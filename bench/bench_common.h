@@ -1,0 +1,39 @@
+// Shared plumbing for the per-figure benchmark binaries.
+
+#ifndef SEP2P_BENCH_BENCH_COMMON_H_
+#define SEP2P_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "sim/metrics.h"
+#include "sim/parameters.h"
+
+namespace sep2p::bench {
+
+// --quick shrinks sweeps so a full `for b in build/bench/*` run stays
+// fast; the defaults reproduce the paper-scale series.
+inline bool QuickMode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) return true;
+  }
+  return false;
+}
+
+inline void PrintHeader(const char* figure, const char* claim,
+                        const sim::Parameters& params) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", figure);
+  std::printf("paper claim: %s\n", claim);
+  std::printf("defaults: %s\n", params.ToString().c_str());
+  std::printf("==============================================================\n\n");
+}
+
+inline std::string Num(double v, int precision = 3) {
+  return sim::TablePrinter::Num(v, precision);
+}
+
+}  // namespace sep2p::bench
+
+#endif  // SEP2P_BENCH_BENCH_COMMON_H_

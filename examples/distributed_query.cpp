@@ -1,0 +1,99 @@
+// Use case 3 (paper §5.1): distributed aggregate queries.
+//
+// "Find the average number of sick-leave days of pilots in their
+// forties" — the paper's own example. Target finding resolves the
+// profile expression through the concept index; the matching nodes
+// verify the aggregator list and contribute their values through random
+// proxies so the aggregators never learn who sent what.
+
+#include <cstdio>
+
+#include "apps/query.h"
+#include "sim/network.h"
+
+using namespace sep2p;
+
+int main() {
+  sim::Parameters params;
+  params.n = 1500;
+  params.colluding_fraction = 0.01;
+  params.cache_size = 192;
+  params.seed = 4242;
+
+  auto network = sim::Network::Build(params);
+  if (!network.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 network.status().ToString().c_str());
+    return 1;
+  }
+  sim::Network& net = **network;
+
+  std::vector<node::PdmsNode> pdms;
+  for (uint32_t i = 0; i < net.directory().size(); ++i) pdms.emplace_back(i);
+
+  // Population: 20% pilots, 30% in their forties; sick-leave days 0..14.
+  util::Rng rng(8);
+  int pilots_in_forties = 0;
+  for (uint32_t i = 0; i < pdms.size(); ++i) {
+    bool pilot = rng.NextBool(0.2);
+    bool forties = rng.NextBool(0.3);
+    if (pilot) pdms[i].AddConcept("occupation:pilot");
+    if (forties) pdms[i].AddConcept("age:40s");
+    pdms[i].SetAttribute("sick_leave_days",
+                         static_cast<double>(rng.NextUint64(15)));
+    pilots_in_forties += pilot && forties;
+  }
+  std::printf("population: %zu PDMSs, %d pilots in their forties\n\n",
+              pdms.size(), pilots_in_forties);
+
+  apps::ConceptIndex index(&net);
+  apps::DiffusionApp publisher(&net, &pdms, &index);
+  if (!publisher.PublishAllProfiles(rng).ok()) {
+    std::fprintf(stderr, "profile publication failed\n");
+    return 1;
+  }
+
+  apps::QueryApp app(&net, &pdms, &index);
+  apps::QuerySpec spec;
+  spec.profile_expression = "occupation:pilot AND age:40s";
+  spec.attribute = "sick_leave_days";
+  spec.aggregate = apps::Aggregate::kAvg;
+
+  auto result = app.Execute(/*querier=*/3, spec, rng);
+  if (!result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("SELECT AVG(sick_leave_days) WHERE %s\n",
+              spec.profile_expression.c_str());
+  std::printf("  -> %.3f over %llu contributors\n\n", result->value,
+              static_cast<unsigned long long>(result->contributors));
+
+  std::printf("data aggregators (SEP2P-selected):");
+  for (uint32_t da : result->aggregators) std::printf(" %u", da);
+  std::printf("\nquery cost: %s\n", result->cost.ToString().c_str());
+
+  // Knowledge separation: the DA-side trace has values but no senders;
+  // the proxy-side trace has senders but no values.
+  std::printf("\nDA trace: %zu anonymous values; proxy trace: %zu "
+              "identities without data\n",
+              result->values_seen_by_da.size(),
+              result->senders_seen_by_proxies.size());
+
+  // Ground-truth cross-check.
+  double expected = 0;
+  int count = 0;
+  for (const auto& node : pdms) {
+    if (node.HasConcept("occupation:pilot") && node.HasConcept("age:40s")) {
+      expected += *node.GetAttribute("sick_leave_days");
+      ++count;
+    }
+  }
+  std::printf("ground truth: %.3f over %d nodes -> %s\n", expected / count,
+              count,
+              std::abs(expected / count - result->value) < 1e-9 ? "MATCH"
+                                                                : "MISMATCH");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Use case 1 (paper §5.1): mobile participatory sensing.
+//
+// 800 PDMSs record geo-localized traffic-speed readings; one aggregation
+// round selects data aggregators with the SEP2P protocol, every source
+// verifies the actor list (2k ops), contributes anonymized (cell, value)
+// tuples, and the main aggregator publishes the spatial statistics.
+
+#include <cstdio>
+
+#include "apps/sensing.h"
+#include "sim/network.h"
+
+using namespace sep2p;
+
+int main() {
+  sim::Parameters params;
+  params.n = 800;
+  params.colluding_fraction = 0.01;
+  params.cache_size = 96;
+  params.seed = 20260706;
+
+  auto network = sim::Network::Build(params);
+  if (!network.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 network.status().ToString().c_str());
+    return 1;
+  }
+  sim::Network& net = **network;
+
+  std::vector<node::PdmsNode> pdms;
+  for (uint32_t i = 0; i < net.directory().size(); ++i) pdms.emplace_back(i);
+
+  apps::ParticipatorySensingApp::Config config;
+  config.grid = 4;
+  config.aggregator_count = 8;
+  apps::ParticipatorySensingApp app(&net, &pdms, config);
+
+  util::Rng rng(99);
+  app.GenerateWorkload(/*sources=*/250, /*readings_per_source=*/8, rng);
+  std::printf("250 mobile probes recorded 8 readings each.\n\n");
+
+  auto round = app.RunRound(/*trigger_index=*/17, rng);
+  if (!round.ok()) {
+    std::fprintf(stderr, "round failed: %s\n",
+                 round.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("data aggregators (SEP2P-selected):");
+  for (uint32_t da : round->aggregators) std::printf(" %u", da);
+  std::printf("   MDA: %u\n", round->main_aggregator);
+  std::printf("sources contributed: %d (each verified the actor list at "
+              "%.0f asym ops)\n\n",
+              round->sources, round->per_source_verification_ops);
+
+  std::printf("spatial average speed (km/h), %dx%d grid "
+              "(measured / ground truth):\n",
+              config.grid, config.grid);
+  for (int iy = config.grid - 1; iy >= 0; --iy) {
+    for (int ix = 0; ix < config.grid; ++ix) {
+      const apps::CellStat& cell = round->aggregate.at(ix, iy);
+      std::printf("  %5.1f/%-5.1f", cell.average(),
+                  app.GroundTruth(ix, iy));
+    }
+    std::printf("\n");
+  }
+  std::printf("\ntotal readings aggregated: %llu\n",
+              static_cast<unsigned long long>(
+                  round->aggregate.total_count()));
+  std::printf("round cost: %s\n", round->cost.ToString().c_str());
+
+  // Task atomicity: what did each DA actually see?
+  std::printf("\nanonymized values seen per DA (no identities):");
+  for (const auto& values : round->values_seen_by_da) {
+    std::printf(" %zu", values.size());
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Use case 2 (paper §5.1): profile-based targeted data diffusion.
+//
+// Nodes publish profile concepts into the distributed concept index
+// (Shamir-sharded so no single metadata indexer learns the subscriber
+// base); a publisher then diffuses a message to everyone matching
+//   "subscriber:tech AND city:paris AND NOT unsubscribed".
+
+#include <cstdio>
+
+#include "apps/concept_index.h"
+#include "apps/diffusion.h"
+#include "sim/network.h"
+
+using namespace sep2p;
+
+int main() {
+  sim::Parameters params;
+  params.n = 1000;
+  params.colluding_fraction = 0.01;
+  params.cache_size = 128;
+  params.seed = 31337;
+
+  auto network = sim::Network::Build(params);
+  if (!network.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 network.status().ToString().c_str());
+    return 1;
+  }
+  sim::Network& net = **network;
+
+  std::vector<node::PdmsNode> pdms;
+  for (uint32_t i = 0; i < net.directory().size(); ++i) pdms.emplace_back(i);
+
+  // Profiles: every 3rd node follows tech, every 4th lives in Paris,
+  // every 10th unsubscribed.
+  for (uint32_t i = 0; i < pdms.size(); ++i) {
+    if (i % 3 == 0) pdms[i].AddConcept("subscriber:tech");
+    if (i % 4 == 0) pdms[i].AddConcept("city:paris");
+    if (i % 10 == 0) pdms[i].AddConcept("unsubscribed");
+  }
+
+  // 2-of-3 Shamir sharding: one corrupted indexer reconstructs nothing.
+  apps::ConceptIndex::Options options;
+  options.shamir_threshold = 2;
+  options.shamir_shares = 3;
+  apps::ConceptIndex index(&net, options);
+  apps::DiffusionApp app(&net, &pdms, &index);
+
+  util::Rng rng(5);
+  auto published = app.PublishAllProfiles(rng);
+  if (!published.ok()) {
+    std::fprintf(stderr, "publish failed\n");
+    return 1;
+  }
+  std::printf("profiles published into the concept index "
+              "(%.0f DHT messages, 2-of-3 Shamir shares per posting)\n\n",
+              published->msg_work);
+
+  const char* expression =
+      "subscriber:tech AND city:paris AND NOT unsubscribed";
+  auto result = app.Diffuse(/*publisher=*/1, expression,
+                            "new per-cpu datastructures article", rng);
+  if (!result.ok()) {
+    std::fprintf(stderr, "diffusion failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("target profile: %s\n", expression);
+  std::printf("target finders (SEP2P-selected):");
+  for (uint32_t tf : result->target_finders) std::printf(" %u", tf);
+  std::printf("\nindexers contacted: %d (each verified the actor list "
+              "before disclosing its slice)\n",
+              result->indexers_contacted);
+  std::printf("targets reached: %zu", result->targets.size());
+  std::printf("   first few:");
+  for (size_t i = 0; i < result->targets.size() && i < 8; ++i) {
+    std::printf(" %u", result->targets[i]);
+  }
+  std::printf("\ncost: %s\n", result->cost.ToString().c_str());
+
+  // Spot-check one inbox.
+  if (!result->targets.empty()) {
+    uint32_t first = result->targets.front();
+    std::printf("\nnode %u inbox: \"%s\"\n", first,
+                pdms[first].inbox().front().c_str());
+  }
+
+  // What does a single corrupted metadata indexer learn about the
+  // 'subscriber:tech' community? Nothing useful, thanks to the sharding.
+  auto mi = index.IndexerFor("subscriber:tech", 0);
+  if (mi.ok()) {
+    auto leak = index.SingleIndexerDisclosure(*mi, "subscriber:tech");
+    int valid = 0;
+    for (uint32_t decoded : leak) {
+      if (decoded < pdms.size() &&
+          pdms[decoded].HasConcept("subscriber:tech")) {
+        ++valid;
+      }
+    }
+    std::printf("\ncorrupted-MI probe: %zu stored shares decode to %d "
+                "correct postings (expected ~0 with 2-of-3 sharding)\n",
+                leak.size(), valid);
+  }
+  return 0;
+}

@@ -1,0 +1,121 @@
+#include "apps/concept_index.h"
+
+#include "crypto/hash256.h"
+
+namespace sep2p::apps {
+
+ConceptIndex::ConceptIndex(sim::Network* network, Options options)
+    : network_(network), options_(options) {}
+
+std::string ConceptIndex::ShareKey(const std::string& concept_name,
+                                   int share) {
+  return concept_name + "#" + std::to_string(share);
+}
+
+std::vector<uint8_t> ConceptIndex::EncodePosting(uint32_t node_index) {
+  return {static_cast<uint8_t>(node_index >> 24),
+          static_cast<uint8_t>(node_index >> 16),
+          static_cast<uint8_t>(node_index >> 8),
+          static_cast<uint8_t>(node_index)};
+}
+
+uint32_t ConceptIndex::DecodePosting(const std::vector<uint8_t>& bytes) {
+  if (bytes.size() != 4) return 0xffffffffu;
+  return (static_cast<uint32_t>(bytes[0]) << 24) |
+         (static_cast<uint32_t>(bytes[1]) << 16) |
+         (static_cast<uint32_t>(bytes[2]) << 8) |
+         static_cast<uint32_t>(bytes[3]);
+}
+
+Result<uint32_t> ConceptIndex::IndexerFor(const std::string& concept_name,
+                                          int share) const {
+  crypto::Hash256 key = crypto::Hash256::Of(ShareKey(concept_name, share));
+  std::optional<uint32_t> owner =
+      network_->directory().SuccessorIndex(key.ring_pos());
+  if (!owner.has_value()) return Status::Unavailable("index: empty network");
+  return *owner;
+}
+
+Result<net::Cost> ConceptIndex::Publish(uint32_t node_index,
+                                        const std::set<std::string>& concepts,
+                                        util::Rng& rng) {
+  net::Cost cost;
+  for (const std::string& concept_name : concepts) {
+    Result<std::vector<crypto::SecretShare>> shares = crypto::ShamirSplit(
+        EncodePosting(node_index), options_.shamir_threshold,
+        options_.shamir_shares, rng);
+    if (!shares.ok()) return shares.status();
+
+    for (int s = 0; s < options_.shamir_shares; ++s) {
+      crypto::Hash256 key = crypto::Hash256::Of(ShareKey(concept_name, s));
+      Result<dht::RouteResult> route =
+          network_->overlay().RouteKey(node_index, key);
+      if (!route.ok()) return route.status();
+      cost.Then(net::Cost::Step(0, route->hops + 1));  // route + store
+      storage_[route->dest_index][ShareKey(concept_name, s)].push_back(
+          shares.value()[s]);
+    }
+  }
+  return cost;
+}
+
+Result<ConceptIndex::LookupResult> ConceptIndex::Lookup(
+    uint32_t from_index, const std::string& concept_name) const {
+  LookupResult result;
+
+  // Gather share lists from the first p indexers.
+  std::vector<const std::vector<crypto::SecretShare>*> lists;
+  for (int s = 0; s < options_.shamir_threshold; ++s) {
+    crypto::Hash256 key = crypto::Hash256::Of(ShareKey(concept_name, s));
+    Result<dht::RouteResult> route =
+        network_->overlay().RouteKey(from_index, key);
+    if (!route.ok()) return route.status();
+    result.cost.Then(net::Cost::Step(0, route->hops + 1));
+    result.indexers.push_back(route->dest_index);
+
+    auto store_it = storage_.find(route->dest_index);
+    if (store_it == storage_.end()) {
+      return result;  // concept unknown: empty postings
+    }
+    auto list_it = store_it->second.find(ShareKey(concept_name, s));
+    if (list_it == store_it->second.end()) {
+      return result;
+    }
+    lists.push_back(&list_it->second);
+  }
+  if (lists.empty()) return result;
+
+  // Combine the j-th share from each list into the j-th posting.
+  const size_t postings = lists[0]->size();
+  for (const auto* list : lists) {
+    if (list->size() != postings) {
+      return Status::Internal("index: misaligned share lists");
+    }
+  }
+  for (size_t j = 0; j < postings; ++j) {
+    std::vector<crypto::SecretShare> shares;
+    for (const auto* list : lists) shares.push_back((*list)[j]);
+    Result<std::vector<uint8_t>> secret = crypto::ShamirCombine(shares);
+    if (!secret.ok()) return secret.status();
+    result.nodes.push_back(DecodePosting(secret.value()));
+  }
+  return result;
+}
+
+std::vector<uint32_t> ConceptIndex::SingleIndexerDisclosure(
+    uint32_t indexer, const std::string& concept_name) const {
+  std::vector<uint32_t> disclosed;
+  auto store_it = storage_.find(indexer);
+  if (store_it == storage_.end()) return disclosed;
+  for (int s = 0; s < options_.shamir_shares; ++s) {
+    auto list_it = store_it->second.find(ShareKey(concept_name, s));
+    if (list_it == store_it->second.end()) continue;
+    for (const crypto::SecretShare& share : list_it->second) {
+      // A lone corrupted MI can only treat its share bytes as data.
+      disclosed.push_back(DecodePosting(share.data));
+    }
+  }
+  return disclosed;
+}
+
+}  // namespace sep2p::apps

@@ -1,0 +1,87 @@
+// Distributed concept index (paper §5.1 use case 2 and §5.3 metadata
+// index protection).
+//
+// Every node stores, for each concept of its profile, a posting
+// (concept -> node id) at the DHT owner of hash(concept). The imposed
+// node locations randomize the association between concepts and metadata
+// indexers (MIs). To keep a single corrupted MI from disclosing the
+// postings it hosts, each posting can be split into `s` Shamir shares
+// with threshold `p`: share i of a posting for concept c is stored at
+// the owner of hash(c#i), so reconstructing any posting requires p
+// colluding MIs that the attacker does not get to choose.
+//
+// The degenerate configuration p = s = 1 is the plaintext index.
+
+#ifndef SEP2P_APPS_CONCEPT_INDEX_H_
+#define SEP2P_APPS_CONCEPT_INDEX_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "crypto/shamir.h"
+#include "net/cost.h"
+#include "sim/network.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace sep2p::apps {
+
+class ConceptIndex {
+ public:
+  struct Options {
+    int shamir_threshold = 1;  // p
+    int shamir_shares = 1;     // s (p <= s)
+  };
+
+  // `network` must outlive the index.
+  explicit ConceptIndex(sim::Network* network) : ConceptIndex(network, Options()) {}
+  ConceptIndex(sim::Network* network, Options options);
+
+  // Publishes `concepts` for `node_index`: one posting per concept,
+  // sharded into s shares routed to their indexers.
+  Result<net::Cost> Publish(uint32_t node_index,
+                            const std::set<std::string>& concepts,
+                            util::Rng& rng);
+
+  struct LookupResult {
+    std::vector<uint32_t> nodes;     // postings: nodes having the concept
+    std::vector<uint32_t> indexers;  // MIs contacted (p of them)
+    net::Cost cost;                  // DHT routings
+  };
+
+  // Resolves a concept to the nodes exposing it by gathering p shares.
+  Result<LookupResult> Lookup(uint32_t from_index,
+                              const std::string& concept_name) const;
+
+  // The MI hosting share `share` of `concept_name`.
+  Result<uint32_t> IndexerFor(const std::string& concept_name,
+                              int share) const;
+
+  // What a single corrupted MI reconstructs from its local share store
+  // for `concept_name`, decoding shares as if they were plaintext. With
+  // p = 1 this equals the true postings (full disclosure); with p > 1 it
+  // is noise — the privacy tests assert both.
+  std::vector<uint32_t> SingleIndexerDisclosure(
+      uint32_t indexer, const std::string& concept_name) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  static std::string ShareKey(const std::string& concept_name, int share);
+  static std::vector<uint8_t> EncodePosting(uint32_t node_index);
+  static uint32_t DecodePosting(const std::vector<uint8_t>& bytes);
+
+  sim::Network* network_;
+  Options options_;
+  // storage_[indexer][share key] = shares in publish order (aligned
+  // across indexers because Publish writes all s shares of a posting
+  // atomically).
+  std::map<uint32_t, std::map<std::string, std::vector<crypto::SecretShare>>>
+      storage_;
+};
+
+}  // namespace sep2p::apps
+
+#endif  // SEP2P_APPS_CONCEPT_INDEX_H_

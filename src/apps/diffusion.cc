@@ -1,0 +1,89 @@
+#include "apps/diffusion.h"
+
+#include <algorithm>
+#include <set>
+
+#include "core/verification.h"
+
+namespace sep2p::apps {
+
+DiffusionApp::DiffusionApp(sim::Network* network,
+                           std::vector<node::PdmsNode>* pdms,
+                           ConceptIndex* index, Config config)
+    : network_(network), pdms_(pdms), index_(index), config_(config) {}
+
+Result<net::Cost> DiffusionApp::PublishAllProfiles(util::Rng& rng) {
+  net::Cost cost;
+  for (uint32_t i = 0; i < pdms_->size(); ++i) {
+    const node::PdmsNode& pdms = (*pdms_)[i];
+    if (pdms.concepts().empty()) continue;
+    Result<net::Cost> published = index_->Publish(i, pdms.concepts(), rng);
+    if (!published.ok()) return published.status();
+    cost.Then(published.value());
+  }
+  return cost;
+}
+
+Result<DiffusionApp::DiffusionResult> DiffusionApp::Diffuse(
+    uint32_t publisher_index, const std::string& expression_text,
+    const std::string& message, util::Rng& rng) {
+  Result<ProfileExpression> expression =
+      ProfileExpression::Parse(expression_text);
+  if (!expression.ok()) return expression.status();
+
+  core::ProtocolContext ctx = network_->context();
+  ctx.actor_count = config_.target_finder_count;
+
+  // 1. Secure selection of the target finders.
+  core::SelectionProtocol selection(ctx);
+  Result<core::SelectionProtocol::Outcome> selected =
+      selection.Run(publisher_index, rng);
+  if (!selected.ok()) return selected.status();
+
+  DiffusionResult result;
+  result.cost = selected->cost;
+  result.target_finders = selected->actor_indices;
+
+  // 2. A TF resolves each positive concept; the MI verifies the VAL
+  // before disclosing its slice. TFs split the lookups round-robin.
+  std::set<uint32_t> candidates;
+  const std::vector<std::string>& lookups = expression->positive_concepts();
+  for (size_t i = 0; i < lookups.size(); ++i) {
+    uint32_t tf = result.target_finders[i % result.target_finders.size()];
+
+    core::VerifierDecision decision = core::VerifyBeforeDisclosure(
+        ctx, selected->val, /*limiter=*/nullptr, /*trigger_id=*/nullptr);
+    ++result.indexers_contacted;
+    if (!decision.accepted) {
+      ++result.indexer_rejections;
+      continue;
+    }
+    result.cost.Then(net::Cost::WorkOnly(decision.cost.crypto_work, 0));
+
+    Result<ConceptIndex::LookupResult> postings =
+        index_->Lookup(tf, lookups[i]);
+    if (!postings.ok()) return postings.status();
+    result.cost.Then(postings->cost);
+    candidates.insert(postings->nodes.begin(), postings->nodes.end());
+  }
+
+  // 3. Evaluate the full expression against each candidate's profile.
+  // (Negated concepts are resolved against the candidate's published
+  // profile; candidates only come from positive postings.)
+  for (uint32_t candidate : candidates) {
+    if (candidate >= pdms_->size()) continue;  // corrupt posting
+    const node::PdmsNode& pdms = (*pdms_)[candidate];
+    if (!expression->Matches(pdms.concepts())) continue;
+    result.targets.push_back(candidate);
+  }
+  std::sort(result.targets.begin(), result.targets.end());
+
+  // 4. Deliver.
+  for (uint32_t target : result.targets) {
+    (*pdms_)[target].Deliver(message);
+    result.cost.Then(net::Cost::WorkOnly(0, 1));
+  }
+  return result;
+}
+
+}  // namespace sep2p::apps

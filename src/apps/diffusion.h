@@ -1,0 +1,74 @@
+// Use case 2: subscription / profile-based targeted data diffusion
+// (paper §5.1-§5.2).
+//
+// A publisher wants a message delivered to exactly the nodes whose
+// profile matches a logical expression of concepts, without any party
+// learning the full subscriber base:
+//
+//   1. The publisher runs the SEP2P actor selection; the actors become
+//      target finders (TFs).
+//   2. For each positive concept of the expression, a TF looks up the
+//      distributed concept index. The metadata indexers are verifiers:
+//      they check the verifiable actor list (2k ops) before releasing
+//      their index slice.
+//   3. The TFs evaluate the expression over the candidate postings and
+//      compute the target-node set TN.
+//   4. The message is sent to the targets.
+//
+// Task atomicity: each MI discloses one concept slice (or only a Shamir
+// share of it), each TF sees candidate ids but not the users' other
+// concepts, and the publisher never learns the subscriber base unless it
+// is itself a target.
+
+#ifndef SEP2P_APPS_DIFFUSION_H_
+#define SEP2P_APPS_DIFFUSION_H_
+
+#include <string>
+#include <vector>
+
+#include "apps/concept_index.h"
+#include "apps/profile_expression.h"
+#include "node/pdms_node.h"
+#include "sim/network.h"
+
+namespace sep2p::apps {
+
+class DiffusionApp {
+ public:
+  struct Config {
+    int target_finder_count = 4;  // A for the selection
+  };
+
+  DiffusionApp(sim::Network* network, std::vector<node::PdmsNode>* pdms,
+               ConceptIndex* index)
+      : DiffusionApp(network, pdms, index, Config()) {}
+  DiffusionApp(sim::Network* network, std::vector<node::PdmsNode>* pdms,
+               ConceptIndex* index, Config config);
+
+  // Registers every PDMS's concepts in the index.
+  Result<net::Cost> PublishAllProfiles(util::Rng& rng);
+
+  struct DiffusionResult {
+    std::vector<uint32_t> targets;        // nodes that matched + received
+    std::vector<uint32_t> target_finders; // the TF actors
+    int indexers_contacted = 0;
+    int indexer_rejections = 0;  // MIs that refused a tampered VAL
+    net::Cost cost;
+  };
+
+  // Diffuses `message` to every node matching `expression_text`.
+  Result<DiffusionResult> Diffuse(uint32_t publisher_index,
+                                  const std::string& expression_text,
+                                  const std::string& message,
+                                  util::Rng& rng);
+
+ private:
+  sim::Network* network_;
+  std::vector<node::PdmsNode>* pdms_;
+  ConceptIndex* index_;
+  Config config_;
+};
+
+}  // namespace sep2p::apps
+
+#endif  // SEP2P_APPS_DIFFUSION_H_

@@ -1,0 +1,246 @@
+#include "apps/profile_expression.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace sep2p::apps {
+
+namespace {
+
+using Node = ProfileExpression::Node;
+
+struct Token {
+  enum class Kind { kAnd, kOr, kNot, kLParen, kRParen, kConcept, kEnd };
+  Kind kind;
+  std::string text;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    size_t i = 0;
+    while (i < text_.size()) {
+      char c = text_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (c == '(') {
+        tokens.push_back({Token::Kind::kLParen, "("});
+        ++i;
+        continue;
+      }
+      if (c == ')') {
+        tokens.push_back({Token::Kind::kRParen, ")"});
+        ++i;
+        continue;
+      }
+      if (IsConceptChar(c)) {
+        size_t start = i;
+        while (i < text_.size() && IsConceptChar(text_[i])) ++i;
+        std::string word = text_.substr(start, i - start);
+        std::string upper = word;
+        std::transform(upper.begin(), upper.end(), upper.begin(),
+                       [](unsigned char ch) { return std::toupper(ch); });
+        if (upper == "AND") {
+          tokens.push_back({Token::Kind::kAnd, word});
+        } else if (upper == "OR") {
+          tokens.push_back({Token::Kind::kOr, word});
+        } else if (upper == "NOT") {
+          tokens.push_back({Token::Kind::kNot, word});
+        } else {
+          tokens.push_back({Token::Kind::kConcept, word});
+        }
+        continue;
+      }
+      return Status::InvalidArgument(
+          std::string("profile expression: unexpected character '") + c +
+          "'");
+    }
+    tokens.push_back({Token::Kind::kEnd, ""});
+    return tokens;
+  }
+
+ private:
+  static bool IsConceptChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == ':' || c == '.' || c == '-';
+  }
+
+  const std::string& text_;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::unique_ptr<Node>> Parse() {
+    Result<std::unique_ptr<Node>> expr = ParseOr();
+    if (!expr.ok()) return expr;
+    if (Peek().kind != Token::Kind::kEnd) {
+      return Status::InvalidArgument(
+          "profile expression: trailing tokens after expression");
+    }
+    return expr;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  Token Take() { return tokens_[pos_++]; }
+
+  Result<std::unique_ptr<Node>> ParseOr() {
+    Result<std::unique_ptr<Node>> left = ParseAnd();
+    if (!left.ok()) return left;
+    std::unique_ptr<Node> node = std::move(left.value());
+    while (Peek().kind == Token::Kind::kOr) {
+      Take();
+      Result<std::unique_ptr<Node>> right = ParseAnd();
+      if (!right.ok()) return right;
+      auto parent = std::make_unique<Node>();
+      parent->kind = Node::Kind::kOr;
+      parent->children.push_back(std::move(node));
+      parent->children.push_back(std::move(right.value()));
+      node = std::move(parent);
+    }
+    return node;
+  }
+
+  Result<std::unique_ptr<Node>> ParseAnd() {
+    Result<std::unique_ptr<Node>> left = ParseFactor();
+    if (!left.ok()) return left;
+    std::unique_ptr<Node> node = std::move(left.value());
+    while (Peek().kind == Token::Kind::kAnd) {
+      Take();
+      Result<std::unique_ptr<Node>> right = ParseFactor();
+      if (!right.ok()) return right;
+      auto parent = std::make_unique<Node>();
+      parent->kind = Node::Kind::kAnd;
+      parent->children.push_back(std::move(node));
+      parent->children.push_back(std::move(right.value()));
+      node = std::move(parent);
+    }
+    return node;
+  }
+
+  Result<std::unique_ptr<Node>> ParseFactor() {
+    const Token& token = Peek();
+    if (token.kind == Token::Kind::kNot) {
+      Take();
+      Result<std::unique_ptr<Node>> child = ParseFactor();
+      if (!child.ok()) return child;
+      auto node = std::make_unique<Node>();
+      node->kind = Node::Kind::kNot;
+      node->children.push_back(std::move(child.value()));
+      return node;
+    }
+    if (token.kind == Token::Kind::kLParen) {
+      Take();
+      Result<std::unique_ptr<Node>> inner = ParseOr();
+      if (!inner.ok()) return inner;
+      if (Peek().kind != Token::Kind::kRParen) {
+        return Status::InvalidArgument("profile expression: missing ')'");
+      }
+      Take();
+      return inner;
+    }
+    if (token.kind == Token::Kind::kConcept) {
+      auto node = std::make_unique<Node>();
+      node->kind = Node::Kind::kConcept;
+      node->concept_name = Take().text;
+      return node;
+    }
+    return Status::InvalidArgument(
+        "profile expression: expected concept, NOT or '('");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+bool Eval(const Node& node, const std::set<std::string>& concepts) {
+  switch (node.kind) {
+    case Node::Kind::kConcept:
+      return concepts.count(node.concept_name) > 0;
+    case Node::Kind::kAnd:
+      return Eval(*node.children[0], concepts) &&
+             Eval(*node.children[1], concepts);
+    case Node::Kind::kOr:
+      return Eval(*node.children[0], concepts) ||
+             Eval(*node.children[1], concepts);
+    case Node::Kind::kNot:
+      return !Eval(*node.children[0], concepts);
+  }
+  return false;
+}
+
+// Collects concepts; `negated` tracks whether the path crosses a NOT.
+void Collect(const Node& node, bool negated, std::vector<std::string>* positive,
+             std::vector<std::string>* all) {
+  if (node.kind == Node::Kind::kConcept) {
+    all->push_back(node.concept_name);
+    if (!negated) positive->push_back(node.concept_name);
+    return;
+  }
+  bool child_negated = negated ^ (node.kind == Node::Kind::kNot);
+  for (const auto& child : node.children) {
+    Collect(*child, child_negated, positive, all);
+  }
+}
+
+std::string Render(const Node& node) {
+  switch (node.kind) {
+    case Node::Kind::kConcept:
+      return node.concept_name;
+    case Node::Kind::kAnd:
+      return "(" + Render(*node.children[0]) + " AND " +
+             Render(*node.children[1]) + ")";
+    case Node::Kind::kOr:
+      return "(" + Render(*node.children[0]) + " OR " +
+             Render(*node.children[1]) + ")";
+    case Node::Kind::kNot:
+      return "NOT " + Render(*node.children[0]);
+  }
+  return "?";
+}
+
+void Dedup(std::vector<std::string>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+}  // namespace
+
+Result<ProfileExpression> ProfileExpression::Parse(const std::string& text) {
+  Lexer lexer(text);
+  Result<std::vector<Token>> tokens = lexer.Tokenize();
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens.value()));
+  Result<std::unique_ptr<Node>> root = parser.Parse();
+  if (!root.ok()) return root.status();
+
+  ProfileExpression expr;
+  std::vector<std::string> positive, all;
+  Collect(*root.value(), /*negated=*/false, &positive, &all);
+  Dedup(positive);
+  Dedup(all);
+  if (positive.empty()) {
+    return Status::InvalidArgument(
+        "profile expression: needs at least one non-negated concept (the "
+        "concept index cannot enumerate absences)");
+  }
+  expr.root_ = std::shared_ptr<const Node>(root.value().release());
+  expr.positive_ = std::move(positive);
+  expr.all_ = std::move(all);
+  return expr;
+}
+
+bool ProfileExpression::Matches(const std::set<std::string>& concepts) const {
+  return Eval(*root_, concepts);
+}
+
+std::string ProfileExpression::ToString() const { return Render(*root_); }
+
+}  // namespace sep2p::apps

@@ -1,0 +1,62 @@
+// Boolean profile expressions over concepts (paper §5.1, use case 2).
+//
+// A target profile is "a logical expression of concepts", e.g.
+//   occupation:academic AND city:paris AND NOT age:minor
+// Grammar (case-insensitive keywords, standard precedence NOT > AND > OR):
+//   expr   := term ( OR term )*
+//   term   := factor ( AND factor )*
+//   factor := NOT factor | '(' expr ')' | CONCEPT
+//   CONCEPT:= [A-Za-z0-9_:.\-]+
+//
+// An expression evaluates against a node's concept set. Expressions that
+// match on absence alone (no positive concept anywhere) are rejected:
+// the concept index can only enumerate nodes that *have* concepts.
+
+#ifndef SEP2P_APPS_PROFILE_EXPRESSION_H_
+#define SEP2P_APPS_PROFILE_EXPRESSION_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sep2p::apps {
+
+class ProfileExpression {
+ public:
+  // Parses `text`; fails on syntax errors or absence-only expressions.
+  static Result<ProfileExpression> Parse(const std::string& text);
+
+  // True when a node with `concepts` matches the profile.
+  bool Matches(const std::set<std::string>& concepts) const;
+
+  // Every concept mentioned positively (the index lookups needed to build
+  // the candidate set).
+  const std::vector<std::string>& positive_concepts() const {
+    return positive_;
+  }
+  // Every concept mentioned anywhere (including under NOT).
+  const std::vector<std::string>& all_concepts() const { return all_; }
+
+  std::string ToString() const;
+
+  // -- implementation detail exposed for tests -------------------------
+  struct Node {
+    enum class Kind { kConcept, kAnd, kOr, kNot } kind = Kind::kConcept;
+    std::string concept_name;            // kConcept
+    std::vector<std::unique_ptr<Node>> children;
+  };
+
+ private:
+  ProfileExpression() = default;
+
+  std::shared_ptr<const Node> root_;
+  std::vector<std::string> positive_;
+  std::vector<std::string> all_;
+};
+
+}  // namespace sep2p::apps
+
+#endif  // SEP2P_APPS_PROFILE_EXPRESSION_H_

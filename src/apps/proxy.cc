@@ -1,0 +1,124 @@
+#include "apps/proxy.h"
+
+#include <set>
+
+#include "crypto/sha256.h"
+
+namespace sep2p::apps {
+
+namespace {
+
+// Keystream block i = SHA256("seal" || recipient || nonce || i).
+void ApplyKeystream(const crypto::PublicKey& recipient,
+                    const std::array<uint8_t, 32>& nonce,
+                    std::vector<uint8_t>& data) {
+  for (size_t block = 0; block * 32 < data.size(); ++block) {
+    crypto::Sha256 ctx;
+    ctx.Update("seal");
+    ctx.Update(recipient.data(), recipient.size());
+    ctx.Update(nonce.data(), nonce.size());
+    uint8_t counter[4] = {static_cast<uint8_t>(block >> 24),
+                          static_cast<uint8_t>(block >> 16),
+                          static_cast<uint8_t>(block >> 8),
+                          static_cast<uint8_t>(block)};
+    ctx.Update(counter, sizeof(counter));
+    crypto::Digest stream = ctx.Finish();
+    for (size_t i = 0; i < 32 && block * 32 + i < data.size(); ++i) {
+      data[block * 32 + i] ^= stream[i];
+    }
+  }
+}
+
+}  // namespace
+
+SealedMessage SealForRecipient(const crypto::PublicKey& recipient,
+                               const std::vector<uint8_t>& plaintext,
+                               util::Rng& rng) {
+  SealedMessage sealed;
+  sealed.recipient = recipient;
+  sealed.nonce = rng.NextBytes32();
+  sealed.ciphertext = plaintext;
+  ApplyKeystream(recipient, sealed.nonce, sealed.ciphertext);
+  return sealed;
+}
+
+Result<std::vector<uint8_t>> OpenSealed(crypto::SignatureProvider& provider,
+                                        const SealedMessage& sealed,
+                                        const crypto::PrivateKey& priv) {
+  Result<crypto::PublicKey> pub = provider.DerivePublicKey(priv);
+  if (!pub.ok()) return pub.status();
+  if (pub.value() != sealed.recipient) {
+    return Status::PermissionDenied(
+        "sealed message: private key does not match recipient");
+  }
+  std::vector<uint8_t> plaintext = sealed.ciphertext;
+  ApplyKeystream(sealed.recipient, sealed.nonce, plaintext);
+  return plaintext;
+}
+
+Result<ProxyDelivery> ForwardViaProxy(sim::Network& network,
+                                      uint32_t sender_index,
+                                      const crypto::PublicKey& recipient_key,
+                                      const std::vector<uint8_t>& plaintext,
+                                      util::Rng& rng) {
+  const dht::Directory& dir = network.directory();
+  std::optional<uint32_t> recipient_index;
+  dht::NodeId recipient_id = dht::NodeIdForKey(recipient_key);
+  recipient_index = dir.IndexOf(recipient_id);
+  if (!recipient_index.has_value()) {
+    return Status::NotFound("proxy: recipient not in directory");
+  }
+
+  // TN has every reason to pick the proxy honestly at random: it is the
+  // party whose privacy is at stake.
+  uint32_t proxy;
+  do {
+    proxy = static_cast<uint32_t>(rng.NextUint64(dir.size()));
+  } while (proxy == sender_index || proxy == *recipient_index);
+
+  ProxyDelivery delivery;
+  delivery.proxy_index = proxy;
+  delivery.delivered = SealForRecipient(recipient_key, plaintext, rng);
+  delivery.proxy_saw_sender = true;    // P receives directly from TN
+  delivery.proxy_saw_payload = false;  // but only ciphertext
+  delivery.recipient_saw_sender = false;  // DA sees the proxy's address
+  delivery.cost = net::Cost::Step(0, 2);  // TN -> P -> DA
+  return delivery;
+}
+
+Result<ChainDelivery> ForwardViaProxyChain(
+    sim::Network& network, uint32_t sender_index,
+    const crypto::PublicKey& recipient_key,
+    const std::vector<uint8_t>& plaintext, int chain_length,
+    util::Rng& rng) {
+  if (chain_length < 1) {
+    return Status::InvalidArgument("proxy chain: need at least one relay");
+  }
+  const dht::Directory& dir = network.directory();
+  std::optional<uint32_t> recipient_index =
+      dir.IndexOf(dht::NodeIdForKey(recipient_key));
+  if (!recipient_index.has_value()) {
+    return Status::NotFound("proxy chain: recipient not in directory");
+  }
+  if (dir.size() < static_cast<size_t>(chain_length) + 2) {
+    return Status::InvalidArgument("proxy chain: network too small");
+  }
+
+  ChainDelivery delivery;
+  std::set<uint32_t> used{sender_index, *recipient_index};
+  while (static_cast<int>(delivery.chain.size()) < chain_length) {
+    uint32_t relay = static_cast<uint32_t>(rng.NextUint64(dir.size()));
+    if (!used.insert(relay).second) continue;
+    delivery.chain.push_back(relay);
+  }
+
+  delivery.delivered = SealForRecipient(recipient_key, plaintext, rng);
+  for (int i = 0; i < chain_length; ++i) {
+    delivery.relay_saw_sender.push_back(i == 0);
+    delivery.relay_saw_recipient.push_back(i == chain_length - 1);
+  }
+  delivery.cost = net::Cost::Step(0, chain_length + 1);
+  return delivery;
+}
+
+}  // namespace sep2p::apps

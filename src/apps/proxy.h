@@ -1,0 +1,96 @@
+// Proxy-forwarder and sealed messages (paper §5.3, user identity
+// protection).
+//
+// A target node TN must deliver data to a data aggregator DA without the
+// DA learning who sent it and without the relay learning what was sent.
+// TN seals the payload to the DA's public key (known from the verifiable
+// actor list), picks a random proxy P, and sends the sealed message
+// through P: the DA sees data without a sender, P sees a sender without
+// data. The probability that both DA and P collude is ~(C/N)^2.
+//
+// Sealing here simulates hybrid public-key encryption: the keystream is
+// derived from the recipient key and a fresh nonce, and OpenSealed
+// refuses to decrypt unless the caller proves key ownership by supplying
+// the matching private key. This preserves exactly the structural
+// property the paper's analysis needs (who *can* read what), but it is
+// NOT confidential against an adversary outside the API — see DESIGN.md
+// substitutions.
+
+#ifndef SEP2P_APPS_PROXY_H_
+#define SEP2P_APPS_PROXY_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "crypto/signature_provider.h"
+#include "net/cost.h"
+#include "sim/network.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace sep2p::apps {
+
+struct SealedMessage {
+  crypto::PublicKey recipient{};
+  std::array<uint8_t, 32> nonce{};
+  std::vector<uint8_t> ciphertext;
+};
+
+// Seals `plaintext` so only the holder of the private key matching
+// `recipient` opens it.
+SealedMessage SealForRecipient(const crypto::PublicKey& recipient,
+                               const std::vector<uint8_t>& plaintext,
+                               util::Rng& rng);
+
+// Opens a sealed message; fails with PERMISSION_DENIED when `priv` does
+// not match the recipient key.
+Result<std::vector<uint8_t>> OpenSealed(crypto::SignatureProvider& provider,
+                                        const SealedMessage& sealed,
+                                        const crypto::PrivateKey& priv);
+
+// What each party observed during a proxied delivery; the privacy tests
+// assert the knowledge separation.
+struct ProxyDelivery {
+  uint32_t proxy_index = 0;
+  SealedMessage delivered;          // what the DA receives
+  bool proxy_saw_sender = false;    // P knows TN
+  bool proxy_saw_payload = false;   // P could read the data
+  bool recipient_saw_sender = false;  // DA learned TN's identity
+  net::Cost cost;                   // two messages: TN->P, P->DA
+};
+
+// Sends `plaintext` from `sender_index` to the node owning
+// `recipient_key` through a uniformly random proxy (never the sender or
+// the recipient).
+Result<ProxyDelivery> ForwardViaProxy(sim::Network& network,
+                                      uint32_t sender_index,
+                                      const crypto::PublicKey& recipient_key,
+                                      const std::vector<uint8_t>& plaintext,
+                                      util::Rng& rng);
+
+// Multi-hop variant (§5.3: "we could use several proxies, thus mimicking
+// anonymization network techniques"): the payload stays sealed to the
+// final recipient across `chain_length` distinct relays. Only the first
+// relay sees the sender and only the last sees the recipient; interior
+// relays see neither endpoint. Defeating the delivery's unlinkability
+// requires corrupting the whole chain AND the recipient, probability
+// ~ (C/N)^(chain_length+1).
+struct ChainDelivery {
+  std::vector<uint32_t> chain;  // relay directory indices, in order
+  SealedMessage delivered;
+  net::Cost cost;  // chain_length + 1 messages
+  // Knowledge trace per relay position for the privacy tests.
+  std::vector<bool> relay_saw_sender;
+  std::vector<bool> relay_saw_recipient;
+};
+
+Result<ChainDelivery> ForwardViaProxyChain(
+    sim::Network& network, uint32_t sender_index,
+    const crypto::PublicKey& recipient_key,
+    const std::vector<uint8_t>& plaintext, int chain_length,
+    util::Rng& rng);
+
+}  // namespace sep2p::apps
+
+#endif  // SEP2P_APPS_PROXY_H_

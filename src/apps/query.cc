@@ -1,0 +1,110 @@
+#include "apps/query.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "apps/proxy.h"
+#include "core/verification.h"
+
+namespace sep2p::apps {
+
+QueryApp::QueryApp(sim::Network* network, std::vector<node::PdmsNode>* pdms,
+                   ConceptIndex* index, Config config)
+    : network_(network), pdms_(pdms), index_(index), config_(config) {}
+
+Result<QueryApp::QueryResult> QueryApp::Execute(uint32_t querier_index,
+                                                const QuerySpec& spec,
+                                                util::Rng& rng) {
+  // --- Phase 1: target finding (use case 2 machinery, no delivery).
+  DiffusionApp::Config tf_config;
+  tf_config.target_finder_count = config_.target_finder_count;
+  DiffusionApp finder(network_, pdms_, index_, tf_config);
+  // Diffuse a query notification: targets learn a query wants their data,
+  // which they must consent to by contributing.
+  Result<DiffusionApp::DiffusionResult> targets = finder.Diffuse(
+      querier_index, spec.profile_expression, "query:" + spec.attribute, rng);
+  if (!targets.ok()) return targets.status();
+
+  QueryResult result;
+  result.cost = targets->cost;
+
+  // --- Phase 2: secure selection of the aggregators.
+  core::ProtocolContext ctx = network_->context();
+  ctx.actor_count = config_.aggregator_count;
+  core::SelectionProtocol selection(ctx);
+  Result<core::SelectionProtocol::Outcome> selected =
+      selection.Run(querier_index, rng);
+  if (!selected.ok()) return selected.status();
+  result.cost.Then(selected->cost);
+  result.aggregators = selected->actor_indices;
+
+  // --- Phase 3: each target verifies the VAL, then contributes its
+  // attribute value to a DA through a random proxy.
+  std::vector<double> da_values;
+  for (uint32_t target : targets->targets) {
+    std::optional<double> value = (*pdms_)[target].GetAttribute(
+        spec.attribute);
+    if (!value.has_value()) continue;
+
+    core::VerifierDecision decision = core::VerifyBeforeDisclosure(
+        ctx, selected->val, /*limiter=*/nullptr, /*trigger_id=*/nullptr);
+    if (!decision.accepted) continue;
+    result.cost.Then(net::Cost::WorkOnly(decision.cost.crypto_work, 0));
+
+    // Round-robin DA assignment; payload = 8-byte double.
+    size_t da_slot = da_values.size() % result.aggregators.size();
+    const dht::NodeRecord& da =
+        network_->directory().node(result.aggregators[da_slot]);
+    std::vector<uint8_t> payload(sizeof(double));
+    double v = *value;
+    std::memcpy(payload.data(), &v, sizeof(double));
+
+    Result<ProxyDelivery> delivery =
+        ForwardViaProxy(*network_, target, da.pub, payload, rng);
+    if (!delivery.ok()) return delivery.status();
+    result.cost.Then(delivery->cost);
+    result.senders_seen_by_proxies.push_back(target);
+
+    // The DA opens the sealed payload with its private key.
+    Result<std::vector<uint8_t>> opened = OpenSealed(
+        network_->provider(), delivery->delivered, da.priv);
+    if (!opened.ok()) return opened.status();
+    double received;
+    std::memcpy(&received, opened->data(), sizeof(double));
+    da_values.push_back(received);
+    result.values_seen_by_da.push_back(received);
+  }
+
+  // --- Phase 4: MDA combines (one partial per DA) and answers the
+  // querier only.
+  result.contributors = da_values.size();
+  result.cost.Then(
+      net::Cost::Step(0, static_cast<double>(result.aggregators.size()) + 1));
+  if (da_values.empty()) {
+    result.value = 0;
+    return result;
+  }
+  switch (spec.aggregate) {
+    case Aggregate::kCount:
+      result.value = static_cast<double>(da_values.size());
+      break;
+    case Aggregate::kSum:
+    case Aggregate::kAvg: {
+      double sum = 0;
+      for (double v : da_values) sum += v;
+      result.value = spec.aggregate == Aggregate::kSum
+                         ? sum
+                         : sum / static_cast<double>(da_values.size());
+      break;
+    }
+    case Aggregate::kMin:
+      result.value = *std::min_element(da_values.begin(), da_values.end());
+      break;
+    case Aggregate::kMax:
+      result.value = *std::max_element(da_values.begin(), da_values.end());
+      break;
+  }
+  return result;
+}
+
+}  // namespace sep2p::apps

@@ -1,0 +1,75 @@
+// Use case 3: distributed aggregate queries over profiled nodes
+// (paper §5.1-§5.3).
+//
+// "Find the average number of sick-leave days of pilots in their
+// forties": the query carries a target profile expression and an
+// aggregate over a numeric attribute. Processing is use case 2 followed
+// by use case 1:
+//
+//   1. Target finding — TFs resolve the profile expression through the
+//      concept index (MIs verify the actor list before disclosing).
+//   2. Aggregation — the matching target nodes (TNs) become data
+//      sources: each verifies the actor list, then sends its attribute
+//      value to a data aggregator *through a random proxy*, sealed to
+//      the DA's key (apps/proxy.h): the DA gets values without
+//      identities, the proxy identities without values.
+//   3. The main aggregator combines the partials; only the querier
+//      receives the final result.
+
+#ifndef SEP2P_APPS_QUERY_H_
+#define SEP2P_APPS_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "apps/concept_index.h"
+#include "apps/diffusion.h"
+#include "node/pdms_node.h"
+#include "sim/network.h"
+
+namespace sep2p::apps {
+
+enum class Aggregate { kCount, kSum, kAvg, kMin, kMax };
+
+struct QuerySpec {
+  std::string profile_expression;  // which nodes contribute
+  std::string attribute;           // which value they contribute
+  Aggregate aggregate = Aggregate::kAvg;
+};
+
+class QueryApp {
+ public:
+  struct Config {
+    int aggregator_count = 4;     // DAs (first is the MDA)
+    int target_finder_count = 4;  // TFs
+  };
+
+  QueryApp(sim::Network* network, std::vector<node::PdmsNode>* pdms,
+           ConceptIndex* index)
+      : QueryApp(network, pdms, index, Config()) {}
+  QueryApp(sim::Network* network, std::vector<node::PdmsNode>* pdms,
+           ConceptIndex* index, Config config);
+
+  struct QueryResult {
+    double value = 0;
+    uint64_t contributors = 0;
+    std::vector<uint32_t> aggregators;
+    net::Cost cost;
+    // Knowledge-separation trace for the privacy tests.
+    std::vector<double> values_seen_by_da;      // no identities attached
+    std::vector<uint32_t> senders_seen_by_proxies;  // no values attached
+  };
+
+  Result<QueryResult> Execute(uint32_t querier_index, const QuerySpec& spec,
+                              util::Rng& rng);
+
+ private:
+  sim::Network* network_;
+  std::vector<node::PdmsNode>* pdms_;
+  ConceptIndex* index_;
+  Config config_;
+};
+
+}  // namespace sep2p::apps
+
+#endif  // SEP2P_APPS_QUERY_H_

@@ -1,0 +1,148 @@
+#include "apps/sensing.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "apps/proxy.h"
+#include "strategies/strategy.h"
+
+namespace sep2p::apps {
+
+uint64_t SpatialAggregate::total_count() const {
+  uint64_t total = 0;
+  for (const CellStat& cell : cells) total += cell.count;
+  return total;
+}
+
+ParticipatorySensingApp::ParticipatorySensingApp(
+    sim::Network* network, std::vector<node::PdmsNode>* pdms, Config config)
+    : network_(network), pdms_(pdms), config_(config) {}
+
+double ParticipatorySensingApp::GroundTruth(int ix, int iy) const {
+  // A smooth, cell-dependent field (e.g. traffic speed in km/h).
+  return 30.0 + 10.0 * ix + 3.0 * iy;
+}
+
+void ParticipatorySensingApp::GenerateWorkload(int sources,
+                                               int readings_per_source,
+                                               util::Rng& rng) {
+  const size_t n = pdms_->size();
+  std::vector<size_t> chosen =
+      rng.SampleIndices(n, std::min<size_t>(sources, n));
+  for (size_t idx : chosen) {
+    node::PdmsNode& pdms = (*pdms_)[idx];
+    for (int r = 0; r < readings_per_source; ++r) {
+      node::SensorReading reading;
+      reading.x = rng.NextDouble();
+      reading.y = rng.NextDouble();
+      int ix = std::min(config_.grid - 1,
+                        static_cast<int>(reading.x * config_.grid));
+      int iy = std::min(config_.grid - 1,
+                        static_cast<int>(reading.y * config_.grid));
+      // Noisy sample of the ground truth.
+      reading.value = GroundTruth(ix, iy) + (rng.NextDouble() - 0.5) * 2.0;
+      reading.time = 0;
+      pdms.AddReading(reading);
+    }
+  }
+}
+
+Result<ParticipatorySensingApp::RoundResult>
+ParticipatorySensingApp::RunRound(uint32_t trigger_index, util::Rng& rng) {
+  core::ProtocolContext ctx = network_->context();
+  ctx.actor_count = config_.aggregator_count;
+
+  // 1. Secure actor selection: the DAs (first doubles as MDA).
+  core::SelectionProtocol selection(ctx);
+  Result<core::SelectionProtocol::Outcome> selected =
+      selection.Run(trigger_index, rng);
+  if (!selected.ok()) return selected.status();
+
+  RoundResult result;
+  result.cost = selected->cost;
+  result.aggregators = selected->actor_indices;
+  result.main_aggregator = result.aggregators.front();
+  result.values_seen_by_da.resize(result.aggregators.size());
+
+  // Per-DA partial aggregates.
+  std::vector<SpatialAggregate> partials(result.aggregators.size());
+  for (auto& partial : partials) {
+    partial.grid = config_.grid;
+    partial.cells.assign(config_.grid * config_.grid, CellStat{});
+  }
+
+  // 2-3. Every source verifies the VAL, then contributes anonymized
+  // (cell, value) tuples to the DA owning each cell.
+  for (uint32_t src = 0; src < pdms_->size(); ++src) {
+    const node::PdmsNode& pdms = (*pdms_)[src];
+    if (pdms.readings().empty()) continue;
+
+    core::VerifierDecision decision = core::VerifyBeforeDisclosure(
+        ctx, selected->val, /*limiter=*/nullptr, /*trigger_id=*/nullptr);
+    if (!decision.accepted) {
+      ++result.verifier_rejections;
+      continue;
+    }
+    result.per_source_verification_ops = decision.cost.crypto_work;
+    result.cost.Then(net::Cost::WorkOnly(decision.cost.crypto_work, 0));
+    ++result.sources;
+
+    for (const node::SensorReading& reading : pdms.readings()) {
+      int ix = std::min(config_.grid - 1,
+                        static_cast<int>(reading.x * config_.grid));
+      int iy = std::min(config_.grid - 1,
+                        static_cast<int>(reading.y * config_.grid));
+      int cell = iy * config_.grid + ix;
+      size_t da = static_cast<size_t>(cell) % result.aggregators.size();
+
+      // Anonymized contribution: (cell, value) only, sealed to the DA and
+      // delivered without the source's identity.
+      partials[da].at(ix, iy).sum += reading.value;
+      partials[da].at(ix, iy).count += 1;
+      result.values_seen_by_da[da].push_back(reading.value);
+      result.cost.Then(net::Cost::WorkOnly(0, 1));
+    }
+  }
+
+  // 4. MDA merges the per-DA partials (one message per DA) and broadcasts.
+  result.aggregate.grid = config_.grid;
+  result.aggregate.cells.assign(config_.grid * config_.grid, CellStat{});
+  for (const SpatialAggregate& partial : partials) {
+    for (size_t c = 0; c < partial.cells.size(); ++c) {
+      result.aggregate.cells[c].sum += partial.cells[c].sum;
+      result.aggregate.cells[c].count += partial.cells[c].count;
+    }
+    result.cost.Then(net::Cost::WorkOnly(0, 1));
+  }
+  result.cost.Then(net::Cost::Step(0, 1));  // MDA publishes the result
+  return result;
+}
+
+Result<ParticipatorySensingApp::ContinuousResult>
+ParticipatorySensingApp::RunContinuous(int rounds, util::Rng& rng) {
+  ContinuousResult result;
+  result.rounds = rounds;
+  for (int round = 0; round < rounds; ++round) {
+    uint32_t trigger =
+        static_cast<uint32_t>(rng.NextUint64(pdms_->size()));
+    Result<RoundResult> run = RunRound(trigger, rng);
+    if (!run.ok()) return run.status();
+    for (size_t da = 0; da < run->aggregators.size(); ++da) {
+      const uint64_t seen = run->values_seen_by_da[da].size();
+      if (seen == 0) continue;
+      result.values_seen_by_node[run->aggregators[da]] += seen;
+      result.total_values += seen;
+    }
+  }
+  result.distinct_aggregators =
+      static_cast<int>(result.values_seen_by_node.size());
+  for (const auto& [node, seen] : result.values_seen_by_node) {
+    result.max_fraction_seen_by_one_node =
+        std::max(result.max_fraction_seen_by_one_node,
+                 static_cast<double>(seen) /
+                     static_cast<double>(result.total_values));
+  }
+  return result;
+}
+
+}  // namespace sep2p::apps

@@ -1,0 +1,116 @@
+// Use case 1: mobile participatory sensing (paper §5.1-§5.3).
+//
+// Community members act as mobile probes; their PDMSs hold geo-localized
+// readings (traffic speed, noise, air quality). One aggregation round:
+//
+//   1. The triggering node runs the SEP2P actor selection; the A actors
+//      become data aggregators (DAs), the first doubling as the main
+//      data aggregator (MDA).
+//   2. Every data source *verifies the actor list* (2k asymmetric ops)
+//      before contributing — a data source is a verifier by definition.
+//   3. Sources send ANONYMIZED tuples (grid cell, value) — no identity,
+//      no raw position — to the DA responsible for the cell
+//      (cell -> DA by hash), sealed to the DA's key.
+//   4. DAs partially aggregate their cells; the MDA merges the partials
+//      into the spatial aggregate statistics, which are broadcast back.
+//
+// Task atomicity: each DA sees only its own cells' anonymized values,
+// the MDA sees only per-cell partial sums, and a corrupted DA learns a
+// bounded slice of anonymous data — the leakage trace in RoundResult
+// lets tests assert exactly that.
+
+#ifndef SEP2P_APPS_SENSING_H_
+#define SEP2P_APPS_SENSING_H_
+
+#include <map>
+#include <vector>
+
+#include "core/verification.h"
+#include "node/pdms_node.h"
+#include "sim/network.h"
+#include "util/rng.h"
+
+namespace sep2p::apps {
+
+// Average statistic per grid cell.
+struct CellStat {
+  double sum = 0;
+  uint64_t count = 0;
+  double average() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+};
+
+struct SpatialAggregate {
+  int grid = 0;  // grid x grid cells over the unit square
+  std::vector<CellStat> cells;
+
+  CellStat& at(int ix, int iy) { return cells[iy * grid + ix]; }
+  const CellStat& at(int ix, int iy) const { return cells[iy * grid + ix]; }
+  uint64_t total_count() const;
+};
+
+class ParticipatorySensingApp {
+ public:
+  struct Config {
+    int grid = 4;
+    int aggregator_count = 8;  // DAs per round (A for the selection)
+  };
+
+  // `network` and `pdms` (one per directory index) must outlive the app.
+  ParticipatorySensingApp(sim::Network* network,
+                          std::vector<node::PdmsNode>* pdms)
+      : ParticipatorySensingApp(network, pdms, Config()) {}
+  ParticipatorySensingApp(sim::Network* network,
+                          std::vector<node::PdmsNode>* pdms, Config config);
+
+  struct RoundResult {
+    SpatialAggregate aggregate;
+    std::vector<uint32_t> aggregators;  // DA directory indices
+    uint32_t main_aggregator = 0;       // MDA
+    int sources = 0;                    // contributing nodes
+    int verifier_rejections = 0;        // sources that refused a bad VAL
+    net::Cost cost;                     // selection + contribution traffic
+    double per_source_verification_ops = 0;  // 2k
+    // Leakage trace: values seen by each DA, without identities.
+    std::vector<std::vector<double>> values_seen_by_da;
+  };
+
+  // Runs one aggregation round triggered by `trigger_index`.
+  Result<RoundResult> RunRound(uint32_t trigger_index, util::Rng& rng);
+
+  // Continuous sensing (§5.3: "aggregation is continuous in the mobile
+  // sensing use case and the selected DA node will change at each
+  // iteration"): runs `rounds` successive aggregations and reports, per
+  // node that ever served as DA, the fraction of ALL contributed values
+  // it observed. Rotation keeps every node's cumulative exposure near
+  // 1/A per round served, instead of letting a fixed aggregator
+  // accumulate the whole stream.
+  struct ContinuousResult {
+    int rounds = 0;
+    uint64_t total_values = 0;
+    // node -> values seen across all rounds (only nodes that served).
+    std::map<uint32_t, uint64_t> values_seen_by_node;
+    double max_fraction_seen_by_one_node = 0;
+    int distinct_aggregators = 0;
+  };
+  Result<ContinuousResult> RunContinuous(int rounds, util::Rng& rng);
+
+  // Workload generator: seeds `count` random readings across `sources`
+  // random PDMSs; values drawn from a cell-dependent ground truth so the
+  // aggregate is verifiable.
+  void GenerateWorkload(int sources, int readings_per_source,
+                        util::Rng& rng);
+
+  // Ground truth the generator used (for test assertions).
+  double GroundTruth(int ix, int iy) const;
+
+ private:
+  sim::Network* network_;
+  std::vector<node::PdmsNode>* pdms_;
+  Config config_;
+};
+
+}  // namespace sep2p::apps
+
+#endif  // SEP2P_APPS_SENSING_H_

@@ -1,0 +1,53 @@
+// ProtocolContext: the dependencies a protocol execution needs.
+//
+// The simulator (sim/network.h) owns the directory, overlay, signature
+// provider, CA and k-table and hands protocols a non-owning context.
+// Everything here must outlive the protocol run.
+
+#ifndef SEP2P_CORE_CONTEXT_H_
+#define SEP2P_CORE_CONTEXT_H_
+
+#include <cstdint>
+
+#include "core/ktable.h"
+#include "crypto/certificate.h"
+#include "crypto/signature_provider.h"
+#include "dht/chord.h"
+#include "dht/directory.h"
+#include "dht/overlay.h"
+
+namespace sep2p::core {
+
+struct ProtocolContext {
+  dht::Directory* directory = nullptr;
+  // Routing overlay (Chord by default; CAN for the overlay ablation).
+  dht::RoutingOverlay* overlay = nullptr;
+  crypto::SignatureProvider* provider = nullptr;
+  crypto::CertificateAuthority* ca = nullptr;
+  const KTable* ktable = nullptr;
+
+  // Number of actors to select (A).
+  int actor_count = 32;
+  // Node-cache region size (rs3 = cache_size / N).
+  double rs3 = 0.00512;
+  // Verifier tolerance for the baseline strategies: how close to a hashed
+  // destination a node must be for verifiers to accept its claim. Sized so
+  // that *some* genuine node is always within tolerance (otherwise honest
+  // executions would stall); see strategies/es_strategies.cc.
+  double tolerance_rs = 0;
+  // Logical clock and timestamp freshness window (§3.6 reuse prevention).
+  uint64_t now = 1000;
+  uint64_t max_timestamp_age = 600;
+  // Bound on relocation attempts when R3 regions are underpopulated.
+  int max_relocations = 8;
+
+  // Convenience: signs `msg` with the private key of the node at `index`.
+  Result<crypto::Signature> SignAs(uint32_t index,
+                                   const std::vector<uint8_t>& msg) const {
+    return provider->Sign(directory->node(index).priv, msg);
+  }
+};
+
+}  // namespace sep2p::core
+
+#endif  // SEP2P_CORE_CONTEXT_H_

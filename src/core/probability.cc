@@ -1,0 +1,97 @@
+#include "core/probability.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sep2p::core {
+
+double LogBinomialCoefficient(uint64_t n, uint64_t k) {
+  if (k > n) return -INFINITY;
+  if (k == 0 || k == n) return 0.0;
+  return std::lgamma(static_cast<double>(n) + 1) -
+         std::lgamma(static_cast<double>(k) + 1) -
+         std::lgamma(static_cast<double>(n - k) + 1);
+}
+
+double BinomialTail(int64_t m, uint64_t n, double p) {
+  if (m <= 0) return 1.0;
+  if (static_cast<uint64_t>(m) > n) return 0.0;
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return 1.0;
+
+  const double log_p = std::log(p);
+  const double log_q = std::log1p(-p);
+
+  // Start from the first term of the tail and iterate with the ratio
+  // t_{i+1}/t_i = (n-i)/(i+1) * p/q. When m is at or beyond the mode the
+  // terms decrease geometrically and the sum converges in a few dozen
+  // iterations; otherwise fall back to 1 - P(X <= m-1) computed the same
+  // way from the lower tail.
+  const double mode = p * static_cast<double>(n);
+  if (static_cast<double>(m) >= mode) {
+    double log_t = LogBinomialCoefficient(n, static_cast<uint64_t>(m)) +
+                   static_cast<double>(m) * log_p +
+                   static_cast<double>(n - m) * log_q;
+    double t = std::exp(log_t);
+    double sum = 0.0;
+    for (uint64_t i = static_cast<uint64_t>(m); i <= n; ++i) {
+      sum += t;
+      if (t < sum * 1e-18 || t == 0.0) break;
+      t *= (static_cast<double>(n - i) / static_cast<double>(i + 1)) *
+           (p / (1 - p));
+    }
+    return std::min(sum, 1.0);
+  }
+
+  // Lower tail: P(X <= m-1), iterating downward from i = m-1.
+  double log_t = LogBinomialCoefficient(n, static_cast<uint64_t>(m - 1)) +
+                 static_cast<double>(m - 1) * log_p +
+                 static_cast<double>(n - m + 1) * log_q;
+  double t = std::exp(log_t);
+  double sum = 0.0;
+  for (int64_t i = m - 1; i >= 0; --i) {
+    sum += t;
+    if (t < sum * 1e-18 || t == 0.0) break;
+    // t_{i-1} = t_i * i/(n-i+1) * q/p
+    t *= (static_cast<double>(i) / static_cast<double>(n - i + 1)) *
+         ((1 - p) / p);
+  }
+  return std::max(0.0, 1.0 - std::min(sum, 1.0));
+}
+
+double PL(int64_t m, uint64_t n, double rs) { return BinomialTail(m, n, rs); }
+
+double PC(int64_t k, uint64_t c, double rs) { return BinomialTail(k, c, rs); }
+
+double SolveRegionSizeForK(int64_t k, uint64_t c, double alpha) {
+  if (PC(k, c, 1.0) <= alpha) return 1.0;
+  // PC is monotonically increasing in rs; bisect on log10(rs).
+  double lo = -20.0, hi = 0.0;  // rs in [1e-20, 1]
+  for (int iter = 0; iter < 200; ++iter) {
+    double mid = (lo + hi) / 2;
+    double rs = std::pow(10.0, mid);
+    if (PC(k, c, rs) <= alpha) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return std::pow(10.0, lo);
+}
+
+double SolveRegionSizeForPopulation(int64_t m, uint64_t n, double alpha) {
+  if (PL(m, n, 1.0) < 1.0 - alpha) return 1.0;  // unattainable; full ring
+  double lo = -20.0, hi = 0.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    double mid = (lo + hi) / 2;
+    double rs = std::pow(10.0, mid);
+    if (PL(m, n, rs) >= 1.0 - alpha) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return std::pow(10.0, hi);
+}
+
+}  // namespace sep2p::core

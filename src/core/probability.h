@@ -1,0 +1,50 @@
+// Probability engine for SEP2P's probabilistic guarantees (paper §3.3).
+//
+// With imposed uniform node locations, the number of nodes (or colluding
+// nodes) falling in a region of normalized size rs is Binomial(N, rs).
+// Equation (1) of the paper:
+//
+//   PL(>= m, N, rs) = sum_{i=m..N} C(N,i) rs^i (1-rs)^(N-i)
+//
+// and its application to colluders, equation (2):
+//
+//   PC(>= k, C, rs) = sum_{i=k..C} C(C,i) rs^i (1-rs)^(C-i)
+//
+// All sums are evaluated in log space so they remain accurate for
+// N = 10^7 and probabilities down to 1e-300.
+
+#ifndef SEP2P_CORE_PROBABILITY_H_
+#define SEP2P_CORE_PROBABILITY_H_
+
+#include <cstdint>
+
+namespace sep2p::core {
+
+// log(n choose k) via lgamma; exact enough for tail sums.
+double LogBinomialCoefficient(uint64_t n, uint64_t k);
+
+// P(X >= m) for X ~ Binomial(n, p). Numerically stable; exact limits:
+// m <= 0 -> 1, m > n -> 0.
+double BinomialTail(int64_t m, uint64_t n, double p);
+
+// Equation (1): probability of at least m (legitimate) nodes in a region
+// of size rs, out of n uniformly placed nodes.
+double PL(int64_t m, uint64_t n, double rs);
+
+// Equation (2): probability of at least k colluding nodes in a region of
+// size rs, out of c colluders.
+double PC(int64_t k, uint64_t c, double rs);
+
+// Largest region size rs such that PC(>= k, c, rs) <= alpha. Monotone
+// bisection; returns 1.0 when the constraint holds for the full ring
+// (e.g. k > c).
+double SolveRegionSizeForK(int64_t k, uint64_t c, double alpha);
+
+// Smallest region size rs such that PL(>= m, n, rs) >= 1 - alpha, i.e.
+// a region that contains m nodes "always". Used to size the baseline
+// strategies' verifier tolerance and R3 sanity checks.
+double SolveRegionSizeForPopulation(int64_t m, uint64_t n, double alpha);
+
+}  // namespace sep2p::core
+
+#endif  // SEP2P_CORE_PROBABILITY_H_

@@ -1,0 +1,32 @@
+#include "core/rate_limiter.h"
+
+namespace sep2p::core {
+
+void TriggerRateLimiter::Prune(std::deque<uint64_t>& times,
+                               uint64_t now) const {
+  while (!times.empty() && times.front() + window_ <= now) {
+    times.pop_front();
+  }
+}
+
+Status TriggerRateLimiter::Allow(const dht::NodeId& trigger,
+                                 uint64_t timestamp) {
+  std::deque<uint64_t>& times = history_[trigger];
+  Prune(times, timestamp);
+  if (static_cast<int>(times.size()) >= max_triggers_) {
+    return Status::PermissionDenied(
+        "rate limiter: trigger quota exhausted for this window");
+  }
+  times.push_back(timestamp);
+  return Status::Ok();
+}
+
+int TriggerRateLimiter::PendingCount(const dht::NodeId& trigger,
+                                     uint64_t now) {
+  auto it = history_.find(trigger);
+  if (it == history_.end()) return 0;
+  Prune(it->second, now);
+  return static_cast<int>(it->second.size());
+}
+
+}  // namespace sep2p::core

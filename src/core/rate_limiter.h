@@ -1,0 +1,48 @@
+// Actor-list reuse prevention (paper §3.6).
+//
+// Two mechanisms stop an attacker from shopping for a favorable actor
+// list: (i) timestamps — TLs and SLs stamp their signatures, and data
+// sources reject stale lists (enforced in VerifyVrand/VerifyActorList);
+// and (ii) a trigger budget — the TLs around a node T monitor how many
+// executions T starts per time window and refuse beyond a quota. Because
+// T's node cache (and everyone else's around it) pins R1 to the region
+// centered on T, T cannot dodge its monitors by picking different TLs.
+
+#ifndef SEP2P_CORE_RATE_LIMITER_H_
+#define SEP2P_CORE_RATE_LIMITER_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+
+#include "dht/node_id.h"
+#include "util/status.h"
+
+namespace sep2p::core {
+
+class TriggerRateLimiter {
+ public:
+  // Allows at most `max_triggers` executions per `window` time units for
+  // any given triggering node.
+  TriggerRateLimiter(int max_triggers, uint64_t window)
+      : max_triggers_(max_triggers), window_(window) {}
+
+  // Records an execution attempt by `trigger` at `timestamp`; returns
+  // PERMISSION_DENIED once the quota within the sliding window is spent.
+  Status Allow(const dht::NodeId& trigger, uint64_t timestamp);
+
+  // Number of remembered attempts currently inside the window for
+  // `trigger` (after pruning at `now`).
+  int PendingCount(const dht::NodeId& trigger, uint64_t now);
+
+ private:
+  void Prune(std::deque<uint64_t>& times, uint64_t now) const;
+
+  int max_triggers_;
+  uint64_t window_;
+  std::map<dht::NodeId, std::deque<uint64_t>> history_;
+};
+
+}  // namespace sep2p::core
+
+#endif  // SEP2P_CORE_RATE_LIMITER_H_

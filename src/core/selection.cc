@@ -1,0 +1,334 @@
+#include "core/selection.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "crypto/sha256.h"
+#include "dht/region.h"
+
+namespace sep2p::core {
+
+namespace {
+
+// Sort key for step 8.e: kpub_n xor RND_S, compared lexicographically.
+crypto::PublicKey XorKey(const crypto::PublicKey& pub,
+                         const crypto::Hash256& rnd_s) {
+  crypto::PublicKey out;
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = pub[i] ^ rnd_s.bytes()[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+crypto::Hash256 VerifiableActorList::SetterPoint() const {
+  crypto::Hash256 p =
+      crypto::Hash256::Of(rnd_t.bytes().data(), rnd_t.bytes().size());
+  for (int i = 0; i < relocations; ++i) p = p.Rehash();
+  return p;
+}
+
+std::vector<uint8_t> VerifiableActorList::SignedBytes() const {
+  std::vector<uint8_t> out;
+  out.reserve(32 + 12 + actor_keys.size() * 32);
+  out.insert(out.end(), rnd_t.bytes().begin(), rnd_t.bytes().end());
+  for (int i = 3; i >= 0; --i) {
+    out.push_back(static_cast<uint8_t>(relocations >> (8 * i)));
+  }
+  for (int i = 7; i >= 0; --i) {
+    out.push_back(static_cast<uint8_t>(timestamp >> (8 * i)));
+  }
+  for (const crypto::PublicKey& key : actor_keys) {
+    out.insert(out.end(), key.begin(), key.end());
+  }
+  return out;
+}
+
+std::vector<crypto::PublicKey> BuildActorList(
+    const std::vector<std::vector<crypto::PublicKey>>& candidate_lists,
+    const crypto::Hash256& rnd_s, int actor_count) {
+  // Union with deduplication (step 8.c).
+  std::set<crypto::PublicKey> seen;
+  std::vector<crypto::PublicKey> merged;
+  for (const auto& list : candidate_lists) {
+    for (const crypto::PublicKey& key : list) {
+      if (seen.insert(key).second) merged.push_back(key);
+    }
+  }
+  // Unpredictable yet reproducible order (step 8.e): sort on kpub xor
+  // RND_S. RND_S is fixed only after every candidate list was committed,
+  // so no participant could have stacked the order.
+  std::sort(merged.begin(), merged.end(),
+            [&rnd_s](const crypto::PublicKey& a, const crypto::PublicKey& b) {
+              return XorKey(a, rnd_s) < XorKey(b, rnd_s);
+            });
+  if (merged.size() > static_cast<size_t>(actor_count)) {
+    merged.resize(actor_count);
+  }
+  return merged;
+}
+
+Result<SelectionProtocol::Outcome> SelectionProtocol::Run(
+    uint32_t trigger_index, util::Rng& rng,
+    const SelectionOptions& options) const {
+  const dht::Directory& dir = *ctx_.directory;
+
+  // --- Step 1: verifiable random generation around T.
+  VrandProtocol vrand(ctx_);
+  Result<VrandProtocol::Outcome> vrand_outcome =
+      vrand.Generate(trigger_index, rng, options.failures);
+  if (!vrand_outcome.ok()) return vrand_outcome.status();
+
+  Outcome outcome;
+  outcome.cost = vrand_outcome->cost;
+  const crypto::Hash256 rnd_t = vrand_outcome->vrnd.Value();
+
+  // --- Step 2: map hash(RND_T) to a point p and route to S.
+  crypto::Hash256 p_hash =
+      options.forced_point != nullptr
+          ? *options.forced_point
+          : crypto::Hash256::Of(rnd_t.bytes().data(), rnd_t.bytes().size());
+
+  uint32_t route_from = trigger_index;
+  for (int attempt = 0;; ++attempt) {
+    if (attempt > ctx_.max_relocations) {
+      return Status::ResourceExhausted(
+          "selection: exceeded relocation budget");
+    }
+    const dht::RingPos p = p_hash.ring_pos();
+    Result<dht::RouteResult> route = ctx_.overlay->RouteKey(route_from, p_hash);
+    if (!route.ok()) return route.status();
+    outcome.cost.Then(net::Cost::Step(0, route->hops));
+    const uint32_t setter = route->dest_index;
+
+    // --- Step 3: S engages k legitimate nodes w.r.t. R2 centered on p.
+    // R2 is capped at half the cache coverage so every SL's cache
+    // actually overlaps R3 around p (availability; the alpha guarantee
+    // only strengthens on smaller regions).
+    KTable::Choice choice =
+        ctx_.ktable->ChooseForPoint(dir, p, ctx_.rs3 / 2);
+    const int k = choice.entry.k;
+    const double rs2 = choice.entry.rs;
+    dht::Region r2 = dht::Region::Centered(p, rs2);
+    std::vector<uint32_t> sl_candidates = dir.NodesInRegion(r2);
+    if (!choice.found || sl_candidates.size() < static_cast<size_t>(k)) {
+      // Sparse R2: no usable SL quorum here; relocate like an
+      // underpopulated R3 (§3.6). S itself attests the shortage.
+      ++outcome.relocations;
+      outcome.cost.Then(net::Cost::Step(0, 1));
+      p_hash = p_hash.Rehash();
+      route_from = setter;
+      continue;
+    }
+    rng.Shuffle(sl_candidates);
+    sl_candidates.resize(k);
+
+    // --- Steps 4-7: commit/reveal over (RND_j, CL_j).
+    // CL_j = entries of SL_j's node cache that are legitimate w.r.t. R3
+    // centered on p. A cache covers a region of size rs3 centered on its
+    // owner, so CL_j is the intersection of the two arcs.
+    dht::Region r3 = dht::Region::Centered(p, ctx_.rs3);
+    std::vector<std::vector<uint32_t>> cl_indices(k);
+    std::vector<std::vector<crypto::PublicKey>> cl_keys(k);
+    std::vector<crypto::Hash256> rnd_j(k);
+    for (int j = 0; j < k; ++j) {
+      if (options.failures != nullptr && options.failures->ShouldFail()) {
+        return Status::Unavailable("selection: SL failed mid-protocol");
+      }
+      const dht::NodeRecord& sl = dir.node(sl_candidates[j]);
+      dht::Region coverage = dht::Region::Centered(sl.pos, ctx_.rs3);
+      const bool hide =
+          options.colluding_sls_hide_honest && sl.colluding;
+      for (uint32_t idx : dir.NodesInRegion(r3)) {
+        const dht::NodeRecord& candidate = dir.node(idx);
+        if (!coverage.Contains(candidate.pos)) continue;
+        if (hide && !candidate.colluding) continue;  // covert deviation
+        cl_indices[j].push_back(idx);
+        cl_keys[j].push_back(candidate.pub);
+      }
+      rnd_j[j] = crypto::Hash256(crypto::Digest(rng.NextBytes32()));
+    }
+
+    // Messages for steps 3-7: five rounds of k parallel messages
+    // (VRND out, commitments back, L1 out, reveals back, L2 out).
+    for (int round = 0; round < 5; ++round) {
+      outcome.cost.Then(
+          net::Cost::ParIdentical(net::Cost::Step(0, 1), k));
+    }
+
+    // Candidate pool sufficient? Otherwise relocate (§3.6): the SLs
+    // attest the shortage and S rehashes p. Cost of the failed attempt
+    // (k attestation signatures) is charged before retrying.
+    std::set<crypto::PublicKey> pool;
+    for (const auto& list : cl_keys) {
+      pool.insert(list.begin(), list.end());
+    }
+    if (pool.size() < static_cast<size_t>(ctx_.actor_count)) {
+      // Each SL signs a shortage attestation allowing S to relocate.
+      std::vector<uint8_t> shortage(p_hash.bytes().begin(),
+                                    p_hash.bytes().end());
+      shortage.push_back('R');
+      for (int j = 0; j < k; ++j) {
+        Result<crypto::Signature> att =
+            ctx_.SignAs(sl_candidates[j], shortage);
+        if (!att.ok()) return att.status();
+      }
+      outcome.cost.Then(
+          net::Cost::ParIdentical(net::Cost::Step(1, 1), k));
+      ++outcome.relocations;
+      p_hash = p_hash.Rehash();
+      route_from = setter;
+      continue;
+    }
+
+    // --- Step 8: every SL independently verifies and builds the list.
+    const crypto::Hash256 rnd_s = [&] {
+      crypto::Hash256 value;
+      for (const crypto::Hash256& r : rnd_j) value = value.Xor(r);
+      return value;
+    }();
+
+    // 8.a: each SL checks VRND_T. All k verifications run in parallel.
+    std::vector<net::Cost> sl_costs(k);
+    std::vector<std::vector<crypto::PublicKey>> per_sl_lists(k);
+    for (int j = 0; j < k; ++j) {
+      Result<net::Cost> vrnd_check = VerifyVrand(ctx_, vrand_outcome->vrnd);
+      if (!vrnd_check.ok()) return vrnd_check.status();
+      sl_costs[j] = vrnd_check.value();
+      // 8.c-8.e: deterministic list construction from the revealed data.
+      per_sl_lists[j] = BuildActorList(cl_keys, rnd_s, ctx_.actor_count);
+    }
+    // All SLs must agree (at least one is honest, so disagreement would
+    // expose a cheater; in the simulator it would be a bug).
+    for (int j = 1; j < k; ++j) {
+      if (per_sl_lists[j] != per_sl_lists[0]) {
+        return Status::Internal("selection: SLs built divergent lists");
+      }
+    }
+    const std::vector<crypto::PublicKey>& actor_keys = per_sl_lists[0];
+
+    // 8.f: legitimacy checks for actors NOT present in all k candidate
+    // lists (those present everywhere are vouched for by the >=1 honest
+    // SL's valid cache). One certificate check per remaining actor.
+    std::set<crypto::PublicKey> in_all = pool;
+    for (const auto& list : cl_keys) {
+      std::set<crypto::PublicKey> here(list.begin(), list.end());
+      std::set<crypto::PublicKey> kept;
+      std::set_intersection(in_all.begin(), in_all.end(), here.begin(),
+                            here.end(), std::inserter(kept, kept.begin()));
+      in_all.swap(kept);
+    }
+    std::map<crypto::PublicKey, uint32_t> key_to_index;
+    for (uint32_t idx : dir.NodesInRegion(r3)) {
+      key_to_index[dir.node(idx).pub] = idx;
+    }
+    int to_check = 0;
+    for (const crypto::PublicKey& key : actor_keys) {
+      if (in_all.find(key) != in_all.end()) continue;
+      ++to_check;
+      auto it = key_to_index.find(key);
+      if (it == key_to_index.end()) {
+        return Status::SecurityViolation(
+            "selection: actor outside R3 slipped into the list");
+      }
+      // Every SL verifies this actor's certificate (one asymmetric op
+      // per SL, charged below via `to_check`).
+      for (int j = 0; j < k; ++j) {
+        if (!ctx_.ca->Check(dir.node(it->second).cert)) {
+          return Status::SecurityViolation(
+              "selection: actor certificate check failed");
+        }
+      }
+    }
+
+    // Availability pings: each SL confirms the A selected actors are
+    // reachable — one round-trip per actor, all actors pinged in
+    // parallel (latency 2, work 2A per SL).
+    for (int j = 0; j < k; ++j) {
+      sl_costs[j].Then(net::Cost::Step(to_check, 0));
+      sl_costs[j].Then(net::Cost::ParIdentical(net::Cost::Step(0, 2),
+                                               ctx_.actor_count));
+    }
+
+    // --- Assemble VAL: SL signatures over (RND_T, relocations, ts, AL).
+    VerifiableActorList val;
+    val.rnd_t = rnd_t;
+    val.timestamp = ctx_.now;
+    val.rs2 = rs2;
+    val.relocations = outcome.relocations;
+    val.actor_keys = actor_keys;
+
+    // Map keys back to directory indices and collect actor certificates.
+    for (const crypto::PublicKey& key : actor_keys) {
+      auto it = key_to_index.find(key);
+      if (it == key_to_index.end()) {
+        return Status::Internal("selection: actor key not in directory");
+      }
+      outcome.actor_indices.push_back(it->second);
+      val.actor_certs.push_back(dir.node(it->second).cert);
+    }
+
+    const std::vector<uint8_t> signed_bytes = val.SignedBytes();
+    for (int j = 0; j < k; ++j) {
+      if (options.failures != nullptr && options.failures->ShouldFail()) {
+        return Status::Unavailable("selection: SL failed before signing");
+      }
+      Result<crypto::Signature> sig =
+          ctx_.SignAs(sl_candidates[j], signed_bytes);
+      if (!sig.ok()) return sig.status();
+      val.attestations.push_back(
+          {dir.node(sl_candidates[j]).cert, std::move(sig.value())});
+      sl_costs[j].Then(net::Cost::Step(1, 1));  // sign + send to S
+    }
+    outcome.cost.Then(net::Cost::Par(sl_costs));
+
+    outcome.val = std::move(val);
+    outcome.setter_index = setter;
+    outcome.sl_indices = sl_candidates;
+    return outcome;
+  }
+}
+
+Result<net::Cost> VerifyActorList(const ProtocolContext& ctx,
+                                  const VerifiableActorList& val) {
+  net::Cost cost;
+  if (val.attestations.empty()) {
+    return Status::SecurityViolation("val: no attestations");
+  }
+  if (val.timestamp + ctx.max_timestamp_age < ctx.now) {
+    return Status::SecurityViolation("val: stale timestamp");
+  }
+
+  // The claimed R2 size must honor the alpha constraint for this k.
+  Result<double> max_rs = ctx.ktable->RegionSizeForK(val.k());
+  if (!max_rs.ok() || val.rs2 > *max_rs * (1 + 1e-9)) {
+    return Status::SecurityViolation("val: region size exceeds alpha bound");
+  }
+
+  // R2 is centered on the relocation-adjusted point p, which the verifier
+  // recomputes from the attested RND_T.
+  dht::Region r2 =
+      dht::Region::Centered(val.SetterPoint().ring_pos(), val.rs2);
+  const std::vector<uint8_t> signed_bytes = val.SignedBytes();
+
+  for (const VerifiableActorList::Attestation& att : val.attestations) {
+    // Certificate: genuine PDMS + binds the SL's imposed location.
+    cost.Then(net::Cost::Step(1, 0));
+    if (!ctx.ca->Check(att.cert)) {
+      return Status::SecurityViolation("val: bad SL certificate");
+    }
+    if (!r2.Contains(att.cert.NodeIdFromSubject())) {
+      return Status::SecurityViolation("val: SL not legitimate w.r.t. R2");
+    }
+    // Signature over (RND_T, AL).
+    cost.Then(net::Cost::Step(1, 0));
+    if (!ctx.provider->Verify(att.cert.subject, signed_bytes, att.sig)) {
+      return Status::SecurityViolation("val: bad SL signature");
+    }
+  }
+  return cost;
+}
+
+}  // namespace sep2p::core

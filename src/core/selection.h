@@ -1,0 +1,118 @@
+// SEP2P distributed secure actor selection (paper §3.5).
+//
+// Full pipeline (Figure 1 of the paper):
+//
+//   1. T generates a verifiable random RND_T with k TLs (core/vrand.h).
+//   2. hash(RND_T) maps to a point p; the DHT routes to the execution
+//      Setter S = successor(p).
+//   3. S engages k legitimate nodes w.r.t. R2 (centered on p), the SLs.
+//   4-7. Commit/reveal between S and the SLs over (RND_j, CL_j), where
+//      CL_j is the part of SL_j's node cache legitimate w.r.t. R3
+//      (centered on p).
+//   8. Every SL independently: verifies VRND_T; merges the candidate
+//      lists CL = union CL_j; computes RND_S = xor RND_j; sorts CL by
+//      kpub_n xor RND_S; takes the first A as the actor list AL; checks
+//      legitimacy of actors not present in every CL_j; signs (RND_T, AL).
+//   9. S assembles the verifiable actor list VAL.
+//
+// Any verifier then accepts VAL after k certificate checks + k signature
+// checks = 2k asymmetric operations — the paper's headline cost.
+//
+// If R3 around p holds fewer than A candidates, the selection relocates:
+// p' = hash(p) and steps 3-8 re-run there (§3.6), which Figure 7 measures.
+
+#ifndef SEP2P_CORE_SELECTION_H_
+#define SEP2P_CORE_SELECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/context.h"
+#include "core/vrand.h"
+#include "net/cost.h"
+#include "net/failure.h"
+#include "util/rng.h"
+
+namespace sep2p::core {
+
+struct VerifiableActorList {
+  crypto::Hash256 rnd_t;  // attested by the k SL signatures
+  uint64_t timestamp = 0;
+  double rs2 = 0;          // SL legitimacy region size (k-table entry)
+  int relocations = 0;     // number of rehash relocations applied to p
+  std::vector<crypto::PublicKey> actor_keys;
+  std::vector<crypto::Certificate> actor_certs;  // for app-level use
+                                                 // (e.g. encrypting to a DA)
+
+  struct Attestation {
+    crypto::Certificate cert;  // the SL's certificate
+    crypto::Signature sig;     // over SignedBytes()
+  };
+  std::vector<Attestation> attestations;  // exactly k
+
+  int k() const { return static_cast<int>(attestations.size()); }
+  int actor_count() const { return static_cast<int>(actor_keys.size()); }
+
+  // The point p the SLs must be legitimate around: hash(RND_T), rehashed
+  // `relocations` times.
+  crypto::Hash256 SetterPoint() const;
+
+  // Canonical bytes the SLs sign: RND_T || relocations || ts || actor keys.
+  std::vector<uint8_t> SignedBytes() const;
+};
+
+struct SelectionOptions {
+  // Covert-adversary behaviour: colluding SLs report only colluding nodes
+  // in their candidate lists, hoping to skew AL. SEP2P defeats this via
+  // the union with at least one honest SL's full list; the property tests
+  // assert the final AL is unchanged.
+  bool colluding_sls_hide_honest = false;
+  net::FailureModel* failures = nullptr;
+  // SIMULATOR-ONLY hook (paper §4.1: "the simulator allows to force
+  // choosing a given Execution Setter by artificially fixing the RND_T
+  // value"): overrides hash(RND_T) as the initial setter point so every
+  // node can be exercised as S exhaustively. The produced VAL will NOT
+  // verify (the SLs' region no longer matches the attested RND_T);
+  // exhaustive runs only measure costs and actor composition.
+  const crypto::Hash256* forced_point = nullptr;
+};
+
+class SelectionProtocol {
+ public:
+  explicit SelectionProtocol(const ProtocolContext& ctx) : ctx_(ctx) {}
+
+  struct Outcome {
+    VerifiableActorList val;
+    std::vector<uint32_t> actor_indices;  // simulator view of AL
+    uint32_t setter_index = 0;            // final S after relocations
+    std::vector<uint32_t> sl_indices;     // final SLs
+    int relocations = 0;
+    net::Cost cost;  // total setup cost, incl. vrand and routing
+  };
+
+  // Runs the full protocol triggered by node `trigger_index`.
+  Result<Outcome> Run(uint32_t trigger_index, util::Rng& rng,
+                      const SelectionOptions& options = {}) const;
+
+ private:
+  const ProtocolContext& ctx_;
+};
+
+// Deterministic actor-list construction shared by every SL (§3.5 step
+// 8.c-8.e): union of candidate lists, sorted by kpub xor RND_S, first A.
+// Exposed for tests (every SL must compute the identical list).
+std::vector<crypto::PublicKey> BuildActorList(
+    const std::vector<std::vector<crypto::PublicKey>>& candidate_lists,
+    const crypto::Hash256& rnd_s, int actor_count);
+
+// Verifies a VAL as a data source would before releasing data: for each
+// of the k attestations, the SL certificate (genuine PDMS), the SL's
+// legitimacy w.r.t. R2 centered on the (relocation-adjusted) setter
+// point, and the signature over (RND_T, AL). Exactly 2k asymmetric
+// operations on success.
+Result<net::Cost> VerifyActorList(const ProtocolContext& ctx,
+                                  const VerifiableActorList& val);
+
+}  // namespace sep2p::core
+
+#endif  // SEP2P_CORE_SELECTION_H_

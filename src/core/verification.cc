@@ -1,0 +1,59 @@
+#include "core/verification.h"
+
+namespace sep2p::core {
+
+VerifierDecision VerifyBeforeDisclosure(const ProtocolContext& ctx,
+                                        const VerifiableActorList& val,
+                                        TriggerRateLimiter* limiter,
+                                        const dht::NodeId* trigger_id) {
+  VerifierDecision decision;
+
+  if (limiter != nullptr && trigger_id != nullptr) {
+    Status allowed = limiter->Allow(*trigger_id, val.timestamp);
+    if (!allowed.ok()) {
+      decision.reason = allowed;
+      return decision;
+    }
+  }
+
+  Result<net::Cost> cost = VerifyActorList(ctx, val);
+  if (!cost.ok()) {
+    decision.reason = cost.status();
+    return decision;
+  }
+  decision.accepted = true;
+  decision.cost = cost.value();
+  return decision;
+}
+
+namespace tamper {
+
+VerifiableActorList ReplaceActor(VerifiableActorList val,
+                                 const crypto::PublicKey& forged) {
+  if (!val.actor_keys.empty()) val.actor_keys[0] = forged;
+  return val;
+}
+
+VerifiableActorList ReplaceRandom(VerifiableActorList val,
+                                  const crypto::Hash256& forged) {
+  val.rnd_t = forged;
+  return val;
+}
+
+VerifiableActorList MakeStale(VerifiableActorList val) {
+  val.timestamp = 0;
+  return val;
+}
+
+VerifiableActorList ReplaceAttestation(
+    VerifiableActorList val, const crypto::Certificate& foreign_cert,
+    const crypto::Signature& foreign_sig) {
+  if (!val.attestations.empty()) {
+    val.attestations[0].cert = foreign_cert;
+    val.attestations[0].sig = foreign_sig;
+  }
+  return val;
+}
+
+}  // namespace tamper
+}  // namespace sep2p::core

@@ -1,0 +1,56 @@
+// Verifier-side gate: what a data source runs before disclosing data.
+//
+// In SEP2P every node that is about to release sensitive data (a data
+// source, a metadata indexer) is a *verifier* (Definition 2): it checks
+// the verifiable actor list first and only then talks to the actors. The
+// gate bundles VAL verification with the reuse-prevention checks so
+// applications (src/apps/) call a single function.
+
+#ifndef SEP2P_CORE_VERIFICATION_H_
+#define SEP2P_CORE_VERIFICATION_H_
+
+#include "core/context.h"
+#include "core/rate_limiter.h"
+#include "core/selection.h"
+
+namespace sep2p::core {
+
+struct VerifierDecision {
+  bool accepted = false;
+  net::Cost cost;        // exactly 2k asymmetric ops when accepted
+  Status reason;         // populated when rejected
+};
+
+// Runs the full verifier-side gate on `val`. `limiter` may be null; when
+// provided, the quota is charged against the trigger recorded in the
+// VAL's verifiable random — the simulator passes the trigger id
+// explicitly since the VAL itself (by design) reveals only RND_T.
+VerifierDecision VerifyBeforeDisclosure(const ProtocolContext& ctx,
+                                        const VerifiableActorList& val,
+                                        TriggerRateLimiter* limiter,
+                                        const dht::NodeId* trigger_id);
+
+// Test helpers: targeted tampering used by the security test-suite to
+// prove the verifier catches each class of forgery.
+namespace tamper {
+
+// Swaps one actor for another key (list stuffing after signing).
+VerifiableActorList ReplaceActor(VerifiableActorList val,
+                                 const crypto::PublicKey& forged);
+
+// Rewrites RND_T (would let the attacker pick the setter region).
+VerifiableActorList ReplaceRandom(VerifiableActorList val,
+                                  const crypto::Hash256& forged);
+
+// Backdates the timestamp beyond any freshness window.
+VerifiableActorList MakeStale(VerifiableActorList val);
+
+// Replaces an SL attestation with one from a node outside R2.
+VerifiableActorList ReplaceAttestation(
+    VerifiableActorList val, const crypto::Certificate& foreign_cert,
+    const crypto::Signature& foreign_sig);
+
+}  // namespace tamper
+}  // namespace sep2p::core
+
+#endif  // SEP2P_CORE_VERIFICATION_H_

@@ -1,0 +1,157 @@
+#include "core/vrand.h"
+
+#include <algorithm>
+
+#include "crypto/sha256.h"
+#include "dht/region.h"
+
+namespace sep2p::core {
+
+crypto::Hash256 VerifiableRandom::Value() const {
+  crypto::Hash256 value;
+  for (const VrandParticipant& p : participants) {
+    value = value.Xor(p.rnd);
+  }
+  return value;
+}
+
+std::vector<uint8_t> VerifiableRandom::SignedBytes() const {
+  std::vector<uint8_t> out;
+  out.reserve(participants.size() * 32 + 8);
+  for (const VrandParticipant& p : participants) {
+    crypto::Digest commitment =
+        crypto::Sha256Hash(p.rnd.bytes().data(), p.rnd.bytes().size());
+    out.insert(out.end(), commitment.begin(), commitment.end());
+  }
+  for (int i = 7; i >= 0; --i) {
+    out.push_back(static_cast<uint8_t>(timestamp >> (8 * i)));
+  }
+  return out;
+}
+
+Result<VrandProtocol::Outcome> VrandProtocol::Generate(
+    uint32_t trigger_index, util::Rng& rng,
+    net::FailureModel* failures) const {
+  const dht::Directory& dir = *ctx_.directory;
+  const dht::NodeRecord& trigger = dir.node(trigger_index);
+
+  // T consults the k-table for the cheapest entry usable at its
+  // location; R1 is capped at T's cache coverage (T can only contact
+  // nodes it knows).
+  KTable::Choice choice =
+      ctx_.ktable->ChooseForPoint(dir, trigger.pos, ctx_.rs3);
+  if (!choice.found) {
+    return Status::ResourceExhausted(
+        "vrand: trigger's neighborhood too sparse even for k_max");
+  }
+  const int k = choice.entry.k;
+  const double rs1 = choice.entry.rs;
+
+  // Candidate TLs: legitimate nodes w.r.t. R1, excluding T itself.
+  dht::Region r1 = dht::Region::Centered(trigger.pos, rs1);
+  std::vector<uint32_t> candidates = dir.NodesInRegion(r1);
+  candidates.erase(
+      std::remove(candidates.begin(), candidates.end(), trigger_index),
+      candidates.end());
+  if (candidates.size() < static_cast<size_t>(k)) {
+    return Status::ResourceExhausted("vrand: fewer than k legitimate nodes");
+  }
+  rng.Shuffle(candidates);
+  candidates.resize(k);
+
+  Outcome outcome;
+  outcome.tl_indices = candidates;
+  VerifiableRandom& vrnd = outcome.vrnd;
+  vrnd.cert_t = trigger.cert;
+  vrnd.timestamp = ctx_.now;
+  vrnd.rs1 = rs1;
+
+  // Steps 1-2: contact + commitments. Each TL draws RND_i.
+  vrnd.participants.resize(k);
+  for (int i = 0; i < k; ++i) {
+    if (failures != nullptr && failures->ShouldFail()) {
+      return Status::Unavailable("vrand: TL failed during commitment");
+    }
+    VrandParticipant& p = vrnd.participants[i];
+    p.cert = dir.node(candidates[i]).cert;
+    p.rnd = crypto::Hash256(crypto::Digest(rng.NextBytes32()));
+  }
+
+  // Steps 3-4: T broadcasts L; each TL checks its commitment and signs
+  // (L, ts). Hashing is symmetric crypto and free in the cost model; the
+  // signature is 1 asymmetric op per TL, all k in parallel.
+  const std::vector<uint8_t> signed_bytes = vrnd.SignedBytes();
+  for (int i = 0; i < k; ++i) {
+    if (failures != nullptr && failures->ShouldFail()) {
+      return Status::Unavailable("vrand: TL failed during reveal");
+    }
+    Result<crypto::Signature> sig = ctx_.SignAs(candidates[i], signed_bytes);
+    if (!sig.ok()) return sig.status();
+    vrnd.participants[i].sig = std::move(sig.value());
+  }
+
+  // Cost model.
+  //   Messages: 4 rounds of k messages each (contact, commitment,
+  //   commitment list, reveal+signature); all TLs act in parallel.
+  //   Crypto: 1 signature per TL (parallel), then T validates the result
+  //   it is about to use (2k+1 ops, see VerifyVrand).
+  net::Cost cost;
+  for (int round = 0; round < 4; ++round) {
+    cost.Then(net::Cost::ParIdentical(net::Cost::Step(0, 1), k));
+  }
+  cost.Then(net::Cost::ParIdentical(net::Cost::Step(1, 0), k));  // TL signs
+  Result<net::Cost> check = VerifyVrand(ctx_, vrnd);
+  if (!check.ok()) return check.status();
+  cost.Then(check.value());
+  outcome.cost = cost;
+  return outcome;
+}
+
+Result<net::Cost> VerifyVrand(const ProtocolContext& ctx,
+                              const VerifiableRandom& vrnd) {
+  net::Cost cost;
+
+  // (i) T's certificate: fixes the center of R1 and proves T is genuine.
+  cost.Then(net::Cost::Step(1, 0));
+  if (!ctx.ca->Check(vrnd.cert_t)) {
+    return Status::SecurityViolation("vrand: bad trigger certificate");
+  }
+
+  // Timestamp freshness (reuse prevention, §3.6).
+  if (vrnd.timestamp + ctx.max_timestamp_age < ctx.now) {
+    return Status::SecurityViolation("vrand: stale timestamp");
+  }
+
+  if (vrnd.participants.empty()) {
+    return Status::SecurityViolation("vrand: no participants");
+  }
+
+  // The claimed R1 size must honor the alpha constraint for this k: an
+  // inflated region would admit TLs from anywhere.
+  Result<double> max_rs = ctx.ktable->RegionSizeForK(vrnd.k());
+  if (!max_rs.ok() || vrnd.rs1 > *max_rs * (1 + 1e-9)) {
+    return Status::SecurityViolation("vrand: region size exceeds alpha bound");
+  }
+
+  const dht::RingPos center = vrnd.cert_t.NodeIdFromSubject().ring_pos();
+  dht::Region r1 = dht::Region::Centered(center, vrnd.rs1);
+  const std::vector<uint8_t> signed_bytes = vrnd.SignedBytes();
+
+  // (ii) per TL: certificate, legitimacy w.r.t. R1, signature over L.
+  for (const VrandParticipant& p : vrnd.participants) {
+    cost.Then(net::Cost::Step(1, 0));
+    if (!ctx.ca->Check(p.cert)) {
+      return Status::SecurityViolation("vrand: bad TL certificate");
+    }
+    if (!r1.Contains(p.cert.NodeIdFromSubject())) {
+      return Status::SecurityViolation("vrand: TL not legitimate w.r.t. R1");
+    }
+    cost.Then(net::Cost::Step(1, 0));
+    if (!ctx.provider->Verify(p.cert.subject, signed_bytes, p.sig)) {
+      return Status::SecurityViolation("vrand: bad TL signature");
+    }
+  }
+  return cost;
+}
+
+}  // namespace sep2p::core

@@ -1,0 +1,89 @@
+// Verifiable random generation (paper §3.4).
+//
+// A triggering node T obtains a 256-bit random value that provably cannot
+// have been chosen by any coalition of fewer than k participants, where
+// the k participants ("TLs") are legitimate nodes of a region R1 centered
+// on T whose size guarantees (probability < alpha) that at least one of
+// them is honest. The protocol is the CSAR commit-reveal scheme
+// [Backes et al., NDSS'09] restricted to k legitimate nodes instead of
+// C+1 arbitrary ones:
+//
+//   1. T contacts k legitimate nodes TL_1..TL_k w.r.t. R1.
+//   2. Each TL_i commits: sends hash(RND_i).
+//   3. T broadcasts the commitment list L.
+//   4. Each TL_i checks its commitment is in L, then reveals RND_i and
+//      signs (L, timestamp).
+//   5. RND_T = RND_1 xor ... xor RND_k.
+//
+// A coalition of k-1 colluding TLs cannot steer RND_T: their values are
+// fixed by the commitments before any reveal, so the single honest
+// participant's uniform RND_i makes the XOR uniform.
+
+#ifndef SEP2P_CORE_VRAND_H_
+#define SEP2P_CORE_VRAND_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/context.h"
+#include "crypto/hash256.h"
+#include "net/cost.h"
+#include "net/failure.h"
+#include "util/rng.h"
+
+namespace sep2p::core {
+
+struct VrandParticipant {
+  crypto::Certificate cert;  // proves the TL is a genuine PDMS (and its id)
+  crypto::Hash256 rnd;       // revealed random contribution
+  crypto::Signature sig;     // over (L, timestamp)
+};
+
+struct VerifiableRandom {
+  crypto::Certificate cert_t;  // identifies T; fixes the center of R1
+  uint64_t timestamp = 0;
+  double rs1 = 0;              // region size used (from the k-table)
+  std::vector<VrandParticipant> participants;  // exactly k
+
+  int k() const { return static_cast<int>(participants.size()); }
+
+  // RND_T = xor of all revealed contributions.
+  crypto::Hash256 Value() const;
+
+  // Canonical bytes of the commitment list L = hash(RND_1)..hash(RND_k),
+  // plus the timestamp; this is what every participant signs.
+  std::vector<uint8_t> SignedBytes() const;
+};
+
+class VrandProtocol {
+ public:
+  explicit VrandProtocol(const ProtocolContext& ctx) : ctx_(ctx) {}
+
+  struct Outcome {
+    VerifiableRandom vrnd;
+    std::vector<uint32_t> tl_indices;  // simulator view of the TLs
+    net::Cost cost;                    // generation cost, incl. T's check
+  };
+
+  // Runs the protocol with T = `trigger_index`. `rng` drives both the TL
+  // choice and the TLs' random contributions. If `failures` is non-null,
+  // each participant step may fail, aborting the run with kUnavailable
+  // (the caller restarts, as in the paper).
+  Result<Outcome> Generate(uint32_t trigger_index, util::Rng& rng,
+                           net::FailureModel* failures = nullptr) const;
+
+ private:
+  const ProtocolContext& ctx_;
+};
+
+// Checks a VerifiableRandom end to end: T's certificate, each TL's
+// certificate, each TL's legitimacy w.r.t. R1 (center = hash of T's key,
+// size = rs1), each signature over (L, ts), and timestamp freshness.
+// On success returns the verification cost: 2k+1 asymmetric operations
+// (1 cert_T + k TL certs + k signatures).
+Result<net::Cost> VerifyVrand(const ProtocolContext& ctx,
+                              const VerifiableRandom& vrnd);
+
+}  // namespace sep2p::core
+
+#endif  // SEP2P_CORE_VRAND_H_

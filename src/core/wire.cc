@@ -1,0 +1,287 @@
+#include "core/wire.h"
+
+#include <cstring>
+
+namespace sep2p::core::wire {
+
+namespace {
+
+constexpr uint8_t kMagic0 = 'S';
+constexpr uint8_t kMagic1 = '2';
+constexpr uint8_t kMagic2 = 'P';
+constexpr uint8_t kTagVrand = 0x01;
+constexpr uint8_t kTagActorList = 0x02;
+constexpr uint16_t kVersion = 1;
+
+// Hard caps so a malicious length prefix cannot trigger huge
+// allocations before validation.
+constexpr uint32_t kMaxParticipants = 4096;
+constexpr uint32_t kMaxActors = 65536;
+constexpr uint32_t kMaxBlobLen = 1 << 16;
+
+class Writer {
+ public:
+  void U8(uint8_t v) { out_.push_back(v); }
+  void U16(uint16_t v) {
+    out_.push_back(static_cast<uint8_t>(v >> 8));
+    out_.push_back(static_cast<uint8_t>(v));
+  }
+  void U32(uint32_t v) {
+    for (int i = 3; i >= 0; --i) {
+      out_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+  void U64(uint64_t v) {
+    for (int i = 7; i >= 0; --i) {
+      out_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+  void F64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    U64(bits);
+  }
+  void Raw(const uint8_t* data, size_t len) {
+    out_.insert(out_.end(), data, data + len);
+  }
+  void Blob(const std::vector<uint8_t>& data) {
+    U32(static_cast<uint32_t>(data.size()));
+    Raw(data.data(), data.size());
+  }
+  void Hash(const crypto::Hash256& h) {
+    Raw(h.bytes().data(), h.bytes().size());
+  }
+  void Key(const crypto::PublicKey& k) { Raw(k.data(), k.size()); }
+  void Cert(const crypto::Certificate& cert) {
+    Key(cert.subject);
+    U64(cert.serial);
+    Blob(cert.ca_signature);
+  }
+
+  std::vector<uint8_t> Take() { return std::move(out_); }
+
+ private:
+  std::vector<uint8_t> out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<uint8_t>& data) : data_(data) {}
+
+  Status U8(uint8_t* v) { return Fixed(v, 1); }
+  Status U16(uint16_t* v) {
+    uint8_t b[2];
+    SEP2P_RETURN_IF_ERROR(Bytes(b, 2));
+    *v = static_cast<uint16_t>((b[0] << 8) | b[1]);
+    return Status::Ok();
+  }
+  Status U32(uint32_t* v) {
+    uint8_t b[4];
+    SEP2P_RETURN_IF_ERROR(Bytes(b, 4));
+    *v = (static_cast<uint32_t>(b[0]) << 24) |
+         (static_cast<uint32_t>(b[1]) << 16) |
+         (static_cast<uint32_t>(b[2]) << 8) | b[3];
+    return Status::Ok();
+  }
+  Status U64(uint64_t* v) {
+    uint8_t b[8];
+    SEP2P_RETURN_IF_ERROR(Bytes(b, 8));
+    *v = 0;
+    for (int i = 0; i < 8; ++i) *v = (*v << 8) | b[i];
+    return Status::Ok();
+  }
+  Status F64(double* v) {
+    uint64_t bits;
+    SEP2P_RETURN_IF_ERROR(U64(&bits));
+    std::memcpy(v, &bits, sizeof(*v));
+    return Status::Ok();
+  }
+  Status Blob(std::vector<uint8_t>* out) {
+    uint32_t len;
+    SEP2P_RETURN_IF_ERROR(U32(&len));
+    if (len > kMaxBlobLen) {
+      return Status::InvalidArgument("wire: blob too large");
+    }
+    if (pos_ + len > data_.size()) {
+      return Status::InvalidArgument("wire: truncated blob");
+    }
+    out->assign(data_.begin() + pos_, data_.begin() + pos_ + len);
+    pos_ += len;
+    return Status::Ok();
+  }
+  Status Hash(crypto::Hash256* h) {
+    return Bytes(h->bytes().data(), h->bytes().size());
+  }
+  Status Key(crypto::PublicKey* k) { return Bytes(k->data(), k->size()); }
+  Status Cert(crypto::Certificate* cert) {
+    SEP2P_RETURN_IF_ERROR(Key(&cert->subject));
+    SEP2P_RETURN_IF_ERROR(U64(&cert->serial));
+    return Blob(&cert->ca_signature);
+  }
+
+  Status ExpectEnd() const {
+    if (pos_ != data_.size()) {
+      return Status::InvalidArgument("wire: trailing bytes");
+    }
+    return Status::Ok();
+  }
+
+ private:
+  Status Bytes(uint8_t* out, size_t len) {
+    if (pos_ + len > data_.size()) {
+      return Status::InvalidArgument("wire: truncated input");
+    }
+    std::memcpy(out, data_.data() + pos_, len);
+    pos_ += len;
+    return Status::Ok();
+  }
+  template <typename T>
+  Status Fixed(T* v, size_t len) {
+    return Bytes(reinterpret_cast<uint8_t*>(v), len);
+  }
+
+  const std::vector<uint8_t>& data_;
+  size_t pos_ = 0;
+};
+
+Status CheckHeader(Reader& reader, uint8_t expected_tag) {
+  uint8_t m0, m1, m2, tag;
+  SEP2P_RETURN_IF_ERROR(reader.U8(&m0));
+  SEP2P_RETURN_IF_ERROR(reader.U8(&m1));
+  SEP2P_RETURN_IF_ERROR(reader.U8(&m2));
+  SEP2P_RETURN_IF_ERROR(reader.U8(&tag));
+  if (m0 != kMagic0 || m1 != kMagic1 || m2 != kMagic2) {
+    return Status::InvalidArgument("wire: bad magic");
+  }
+  if (tag != expected_tag) {
+    return Status::InvalidArgument("wire: wrong artifact tag");
+  }
+  uint16_t version = 0;
+  SEP2P_RETURN_IF_ERROR(reader.U16(&version));
+  if (version != kVersion) {
+    return Status::InvalidArgument("wire: unsupported version");
+  }
+  return Status::Ok();
+}
+
+void WriteHeader(Writer& writer, uint8_t tag) {
+  writer.U8(kMagic0);
+  writer.U8(kMagic1);
+  writer.U8(kMagic2);
+  writer.U8(tag);
+  writer.U16(kVersion);
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeVerifiableRandom(const VerifiableRandom& vrnd) {
+  Writer writer;
+  WriteHeader(writer, kTagVrand);
+  writer.Cert(vrnd.cert_t);
+  writer.U64(vrnd.timestamp);
+  writer.F64(vrnd.rs1);
+  writer.U32(static_cast<uint32_t>(vrnd.participants.size()));
+  for (const VrandParticipant& p : vrnd.participants) {
+    writer.Cert(p.cert);
+    writer.Hash(p.rnd);
+    writer.Blob(p.sig);
+  }
+  return writer.Take();
+}
+
+Result<VerifiableRandom> DecodeVerifiableRandom(
+    const std::vector<uint8_t>& bytes) {
+  Reader reader(bytes);
+  SEP2P_RETURN_IF_ERROR(CheckHeader(reader, kTagVrand));
+
+  VerifiableRandom vrnd;
+  SEP2P_RETURN_IF_ERROR(reader.Cert(&vrnd.cert_t));
+  SEP2P_RETURN_IF_ERROR(reader.U64(&vrnd.timestamp));
+  SEP2P_RETURN_IF_ERROR(reader.F64(&vrnd.rs1));
+  uint32_t count = 0;
+  SEP2P_RETURN_IF_ERROR(reader.U32(&count));
+  if (count == 0 || count > kMaxParticipants) {
+    return Status::InvalidArgument("wire: bad participant count");
+  }
+  vrnd.participants.resize(count);
+  for (VrandParticipant& p : vrnd.participants) {
+    SEP2P_RETURN_IF_ERROR(reader.Cert(&p.cert));
+    SEP2P_RETURN_IF_ERROR(reader.Hash(&p.rnd));
+    SEP2P_RETURN_IF_ERROR(reader.Blob(&p.sig));
+  }
+  SEP2P_RETURN_IF_ERROR(reader.ExpectEnd());
+  return vrnd;
+}
+
+std::vector<uint8_t> EncodeActorList(const VerifiableActorList& val) {
+  Writer writer;
+  WriteHeader(writer, kTagActorList);
+  writer.Hash(val.rnd_t);
+  writer.U64(val.timestamp);
+  writer.F64(val.rs2);
+  writer.U32(static_cast<uint32_t>(val.relocations));
+  writer.U32(static_cast<uint32_t>(val.actor_keys.size()));
+  for (const crypto::PublicKey& key : val.actor_keys) writer.Key(key);
+  writer.U32(static_cast<uint32_t>(val.actor_certs.size()));
+  for (const crypto::Certificate& cert : val.actor_certs) {
+    writer.Cert(cert);
+  }
+  writer.U32(static_cast<uint32_t>(val.attestations.size()));
+  for (const VerifiableActorList::Attestation& att : val.attestations) {
+    writer.Cert(att.cert);
+    writer.Blob(att.sig);
+  }
+  return writer.Take();
+}
+
+Result<VerifiableActorList> DecodeActorList(
+    const std::vector<uint8_t>& bytes) {
+  Reader reader(bytes);
+  SEP2P_RETURN_IF_ERROR(CheckHeader(reader, kTagActorList));
+
+  VerifiableActorList val;
+  SEP2P_RETURN_IF_ERROR(reader.Hash(&val.rnd_t));
+  SEP2P_RETURN_IF_ERROR(reader.U64(&val.timestamp));
+  SEP2P_RETURN_IF_ERROR(reader.F64(&val.rs2));
+  uint32_t relocations = 0;
+  SEP2P_RETURN_IF_ERROR(reader.U32(&relocations));
+  if (relocations > 1024) {
+    return Status::InvalidArgument("wire: absurd relocation count");
+  }
+  val.relocations = static_cast<int>(relocations);
+
+  uint32_t key_count = 0;
+  SEP2P_RETURN_IF_ERROR(reader.U32(&key_count));
+  if (key_count == 0 || key_count > kMaxActors) {
+    return Status::InvalidArgument("wire: bad actor count");
+  }
+  val.actor_keys.resize(key_count);
+  for (crypto::PublicKey& key : val.actor_keys) {
+    SEP2P_RETURN_IF_ERROR(reader.Key(&key));
+  }
+
+  uint32_t cert_count = 0;
+  SEP2P_RETURN_IF_ERROR(reader.U32(&cert_count));
+  if (cert_count > kMaxActors) {
+    return Status::InvalidArgument("wire: bad actor cert count");
+  }
+  val.actor_certs.resize(cert_count);
+  for (crypto::Certificate& cert : val.actor_certs) {
+    SEP2P_RETURN_IF_ERROR(reader.Cert(&cert));
+  }
+
+  uint32_t att_count = 0;
+  SEP2P_RETURN_IF_ERROR(reader.U32(&att_count));
+  if (att_count == 0 || att_count > kMaxParticipants) {
+    return Status::InvalidArgument("wire: bad attestation count");
+  }
+  val.attestations.resize(att_count);
+  for (VerifiableActorList::Attestation& att : val.attestations) {
+    SEP2P_RETURN_IF_ERROR(reader.Cert(&att.cert));
+    SEP2P_RETURN_IF_ERROR(reader.Blob(&att.sig));
+  }
+  SEP2P_RETURN_IF_ERROR(reader.ExpectEnd());
+  return val;
+}
+
+}  // namespace sep2p::core::wire

@@ -1,0 +1,40 @@
+// Wire format for SEP2P's verifiable artifacts.
+//
+// In a deployment, verifiable randoms and actor lists travel between
+// nodes that do not trust each other, so the library ships a canonical,
+// versioned, length-checked binary encoding. Decoding is strict: any
+// truncation, trailing garbage, bad magic or oversized field count fails
+// with INVALID_ARGUMENT *before* any cryptographic check runs.
+//
+// Layout (all integers big-endian):
+//   [4] magic 'S''2''P' + artifact tag
+//   [2] version (currently 1)
+//   ... artifact-specific fields, variable-size ones length-prefixed.
+
+#ifndef SEP2P_CORE_WIRE_H_
+#define SEP2P_CORE_WIRE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/selection.h"
+#include "core/vrand.h"
+#include "util/status.h"
+
+namespace sep2p::core::wire {
+
+// Serializes a verifiable random (§3.4 artifact).
+std::vector<uint8_t> EncodeVerifiableRandom(const VerifiableRandom& vrnd);
+Result<VerifiableRandom> DecodeVerifiableRandom(
+    const std::vector<uint8_t>& bytes);
+
+// Serializes a verifiable actor list (§3.5 artifact). Actor
+// certificates are included so application layers can seal data to the
+// actors straight from the decoded VAL.
+std::vector<uint8_t> EncodeActorList(const VerifiableActorList& val);
+Result<VerifiableActorList> DecodeActorList(
+    const std::vector<uint8_t>& bytes);
+
+}  // namespace sep2p::core::wire
+
+#endif  // SEP2P_CORE_WIRE_H_

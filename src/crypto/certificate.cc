@@ -1,0 +1,37 @@
+#include "crypto/certificate.h"
+
+namespace sep2p::crypto {
+
+std::vector<uint8_t> Certificate::SignedBytes() const {
+  std::vector<uint8_t> out;
+  out.reserve(subject.size() + 8);
+  out.insert(out.end(), subject.begin(), subject.end());
+  for (int i = 7; i >= 0; --i) {
+    out.push_back(static_cast<uint8_t>(serial >> (8 * i)));
+  }
+  return out;
+}
+
+Result<CertificateAuthority> CertificateAuthority::Create(
+    SignatureProvider& provider, util::Rng& rng) {
+  Result<KeyPair> pair = provider.GenerateKeyPair(rng);
+  if (!pair.ok()) return pair.status();
+  return CertificateAuthority(provider, std::move(pair.value()));
+}
+
+Result<Certificate> CertificateAuthority::Issue(const PublicKey& subject) {
+  Certificate cert;
+  cert.subject = subject;
+  cert.serial = next_serial_++;
+  Result<Signature> sig = provider_->Sign(key_pair_.priv, cert.SignedBytes());
+  if (!sig.ok()) return sig.status();
+  cert.ca_signature = std::move(sig.value());
+  return cert;
+}
+
+bool CertificateAuthority::Check(const Certificate& cert) const {
+  return provider_->Verify(key_pair_.pub, cert.SignedBytes(),
+                           cert.ca_signature);
+}
+
+}  // namespace sep2p::crypto

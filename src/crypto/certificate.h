@@ -1,0 +1,63 @@
+// PDMS device certificates (paper Assumption 2).
+//
+// Every genuine PDMS is provisioned with a certificate binding its public
+// key, signed by an *offline* certificate authority. Certificates defeat
+// Sybil attacks: a verifier checks one CA signature to know a node is a
+// genuine device. Checking a certificate costs exactly one asymmetric
+// crypto operation, which is how the paper's verification-cost formulas
+// (2k, 2k+A, ...) count them.
+
+#ifndef SEP2P_CRYPTO_CERTIFICATE_H_
+#define SEP2P_CRYPTO_CERTIFICATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/hash256.h"
+#include "crypto/signature_provider.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace sep2p::crypto {
+
+struct Certificate {
+  PublicKey subject{};      // the node's public key
+  uint64_t serial = 0;      // issuance serial, included under the signature
+  Signature ca_signature;   // CA signature over (subject, serial)
+
+  // Imposed DHT location (§3.2): id = hash(public key).
+  Hash256 NodeIdFromSubject() const {
+    return Hash256::Of(subject.data(), subject.size());
+  }
+
+  // Canonical byte serialization of the signed portion.
+  std::vector<uint8_t> SignedBytes() const;
+};
+
+class CertificateAuthority {
+ public:
+  // Generates the CA key pair from `rng` using `provider`.
+  // `provider` must outlive the authority.
+  static Result<CertificateAuthority> Create(SignatureProvider& provider,
+                                             util::Rng& rng);
+
+  // Issues a certificate for `subject`.
+  Result<Certificate> Issue(const PublicKey& subject);
+
+  // Verifies the CA signature on `cert`; costs 1 asymmetric operation.
+  bool Check(const Certificate& cert) const;
+
+  const PublicKey& public_key() const { return key_pair_.pub; }
+
+ private:
+  CertificateAuthority(SignatureProvider& provider, KeyPair key_pair)
+      : provider_(&provider), key_pair_(std::move(key_pair)) {}
+
+  SignatureProvider* provider_;
+  KeyPair key_pair_;
+  uint64_t next_serial_ = 1;
+};
+
+}  // namespace sep2p::crypto
+
+#endif  // SEP2P_CRYPTO_CERTIFICATE_H_

@@ -1,0 +1,24 @@
+// HMAC-SHA256 (RFC 2104) built on the from-scratch SHA-256.
+//
+// Used by the simulation signature provider (crypto/sim_provider.h) to
+// produce deterministic, verifiable-inside-the-simulator pseudo-signatures.
+
+#ifndef SEP2P_CRYPTO_HMAC_H_
+#define SEP2P_CRYPTO_HMAC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/sha256.h"
+
+namespace sep2p::crypto {
+
+// Computes HMAC-SHA256(key, message).
+Digest HmacSha256(const uint8_t* key, size_t key_len, const uint8_t* msg,
+                  size_t msg_len);
+Digest HmacSha256(const std::vector<uint8_t>& key,
+                  const std::vector<uint8_t>& msg);
+
+}  // namespace sep2p::crypto
+
+#endif  // SEP2P_CRYPTO_HMAC_H_

@@ -1,0 +1,55 @@
+// SHA-256 implemented from scratch (FIPS 180-4).
+//
+// This is the cryptographic hash the whole system builds on: node ids are
+// hash(public key) (imposed node location, SEP2P §3.2), verifiable randoms
+// commit via hash(RND_i) (§3.4), and the execution Setter location is
+// hash(RND_T) (§3.5). The implementation is validated against the NIST
+// test vectors in tests/sha256_test.cc and cross-checked against OpenSSL.
+
+#ifndef SEP2P_CRYPTO_SHA256_H_
+#define SEP2P_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sep2p::crypto {
+
+using Digest = std::array<uint8_t, 32>;
+
+// Incremental SHA-256 context.
+class Sha256 {
+ public:
+  Sha256();
+
+  // Absorbs `len` bytes.
+  void Update(const uint8_t* data, size_t len);
+  void Update(const std::vector<uint8_t>& data);
+  void Update(const std::string& data);
+  void Update(const Digest& digest);
+
+  // Finalizes and returns the digest. The context must not be reused
+  // afterwards without Reset().
+  Digest Finish();
+
+  void Reset();
+
+ private:
+  void ProcessBlock(const uint8_t block[64]);
+
+  uint32_t state_[8];
+  uint64_t total_len_;
+  uint8_t buffer_[64];
+  size_t buffer_len_;
+};
+
+// One-shot helpers.
+Digest Sha256Hash(const uint8_t* data, size_t len);
+Digest Sha256Hash(const std::vector<uint8_t>& data);
+Digest Sha256Hash(const std::string& data);
+
+}  // namespace sep2p::crypto
+
+#endif  // SEP2P_CRYPTO_SHA256_H_

@@ -1,0 +1,109 @@
+#include "crypto/shamir.h"
+
+#include <set>
+
+namespace sep2p::crypto {
+
+namespace gf256 {
+
+uint8_t Add(uint8_t a, uint8_t b) { return a ^ b; }
+
+uint8_t Mul(uint8_t a, uint8_t b) {
+  // Russian-peasant multiplication modulo the AES polynomial 0x11b.
+  uint8_t result = 0;
+  while (b) {
+    if (b & 1) result ^= a;
+    bool carry = a & 0x80;
+    a <<= 1;
+    if (carry) a ^= 0x1b;
+    b >>= 1;
+  }
+  return result;
+}
+
+uint8_t Inv(uint8_t a) {
+  // a^(2^8 - 2) = a^254 by square-and-multiply.
+  uint8_t result = 1;
+  uint8_t base = a;
+  int exp = 254;
+  while (exp) {
+    if (exp & 1) result = Mul(result, base);
+    base = Mul(base, base);
+    exp >>= 1;
+  }
+  return result;
+}
+
+}  // namespace gf256
+
+Result<std::vector<SecretShare>> ShamirSplit(
+    const std::vector<uint8_t>& secret, int threshold, int share_count,
+    util::Rng& rng) {
+  if (threshold < 1 || share_count < threshold || share_count > 255) {
+    return Status::InvalidArgument(
+        "shamir: need 1 <= threshold <= share_count <= 255");
+  }
+
+  std::vector<SecretShare> shares(share_count);
+  for (int i = 0; i < share_count; ++i) {
+    shares[i].x = static_cast<uint8_t>(i + 1);
+    shares[i].data.resize(secret.size());
+  }
+
+  // Per secret byte: random polynomial of degree threshold-1 with the
+  // secret as constant term, evaluated at each share's x.
+  std::vector<uint8_t> coeffs(threshold);
+  for (size_t byte = 0; byte < secret.size(); ++byte) {
+    coeffs[0] = secret[byte];
+    for (int c = 1; c < threshold; ++c) {
+      coeffs[c] = static_cast<uint8_t>(rng.NextUint64(256));
+    }
+    for (int i = 0; i < share_count; ++i) {
+      uint8_t x = shares[i].x;
+      // Horner evaluation.
+      uint8_t y = coeffs[threshold - 1];
+      for (int c = threshold - 2; c >= 0; --c) {
+        y = gf256::Add(gf256::Mul(y, x), coeffs[c]);
+      }
+      shares[i].data[byte] = y;
+    }
+  }
+  return shares;
+}
+
+Result<std::vector<uint8_t>> ShamirCombine(
+    const std::vector<SecretShare>& shares) {
+  if (shares.empty()) return Status::InvalidArgument("shamir: no shares");
+  const size_t len = shares[0].data.size();
+  std::set<uint8_t> xs;
+  for (const SecretShare& share : shares) {
+    if (share.data.size() != len) {
+      return Status::InvalidArgument("shamir: inconsistent share lengths");
+    }
+    if (share.x == 0 || !xs.insert(share.x).second) {
+      return Status::InvalidArgument("shamir: duplicate or zero share index");
+    }
+  }
+
+  // Lagrange interpolation at x = 0, byte by byte.
+  std::vector<uint8_t> secret(len, 0);
+  const size_t n = shares.size();
+  for (size_t i = 0; i < n; ++i) {
+    // basis_i = prod_{j != i} x_j / (x_j - x_i); in GF(2^8) subtraction
+    // is XOR.
+    uint8_t basis = 1;
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      uint8_t num = shares[j].x;
+      uint8_t den = gf256::Add(shares[j].x, shares[i].x);
+      basis = gf256::Mul(basis, gf256::Mul(num, gf256::Inv(den)));
+    }
+    for (size_t byte = 0; byte < len; ++byte) {
+      secret[byte] =
+          gf256::Add(secret[byte], gf256::Mul(shares[i].data[byte], basis));
+    }
+  }
+  return secret;
+}
+
+}  // namespace sep2p::crypto

@@ -1,0 +1,115 @@
+// Asymmetric signature abstraction + crypto-operation metering.
+//
+// SEP2P's protocols are agnostic to the concrete signature scheme: they
+// need key pairs, Sign, and Verify. Two implementations exist:
+//
+//  * Ed25519Provider (crypto/ed25519_provider.h) — real Ed25519 via
+//    OpenSSL; used by unit tests, the examples, and anywhere actual
+//    security matters.
+//  * SimProvider (crypto/sim_provider.h) — deterministic HMAC-based
+//    pseudo-signatures; used by the large-scale simulator where
+//    generating hundreds of thousands of real key pairs would dominate
+//    runtime. NOT cryptographically secure (see its header).
+//
+// Every Sign/Verify call is counted by the provider's CryptoMeter. The
+// paper's evaluation metric is the *number of asymmetric crypto
+// operations* (Definition 3), so the meter is what the benchmark
+// harnesses ultimately report, making the two providers interchangeable
+// for experiments.
+
+#ifndef SEP2P_CRYPTO_SIGNATURE_PROVIDER_H_
+#define SEP2P_CRYPTO_SIGNATURE_PROVIDER_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace sep2p::crypto {
+
+// Both providers use 32-byte public keys, which also keeps the actor-list
+// sort key (kpub xor RND_S, §3.5 step 8.e) uniform across schemes.
+using PublicKey = std::array<uint8_t, 32>;
+
+struct PrivateKey {
+  std::vector<uint8_t> data;
+};
+
+struct KeyPair {
+  PublicKey pub;
+  PrivateKey priv;
+};
+
+using Signature = std::vector<uint8_t>;
+
+// Counts asymmetric crypto operations (the security-cost unit of the
+// paper, Definition 3).
+class CryptoMeter {
+ public:
+  void Reset() { key_gens_ = signs_ = verifies_ = 0; }
+
+  uint64_t key_gens() const { return key_gens_; }
+  uint64_t signs() const { return signs_; }
+  uint64_t verifies() const { return verifies_; }
+  // Total asymmetric operations (signature creations + verifications;
+  // certificate checks are signature verifications).
+  uint64_t asym_ops() const { return signs_ + verifies_; }
+
+  void CountKeyGen() { ++key_gens_; }
+  void CountSign() { ++signs_; }
+  void CountVerify() { ++verifies_; }
+
+ private:
+  uint64_t key_gens_ = 0;
+  uint64_t signs_ = 0;
+  uint64_t verifies_ = 0;
+};
+
+class SignatureProvider {
+ public:
+  virtual ~SignatureProvider() = default;
+
+  // Deterministically derives a key pair from `rng`.
+  Result<KeyPair> GenerateKeyPair(util::Rng& rng);
+
+  // Signs `len` bytes at `msg`.
+  Result<Signature> Sign(const PrivateKey& key, const uint8_t* msg,
+                         size_t len);
+  Result<Signature> Sign(const PrivateKey& key,
+                         const std::vector<uint8_t>& msg) {
+    return Sign(key, msg.data(), msg.size());
+  }
+
+  // Returns true iff `sig` is a valid signature of the message under `key`.
+  bool Verify(const PublicKey& key, const uint8_t* msg, size_t len,
+              const Signature& sig);
+  bool Verify(const PublicKey& key, const std::vector<uint8_t>& msg,
+              const Signature& sig) {
+    return Verify(key, msg.data(), msg.size(), sig);
+  }
+
+  // Recomputes the public key matching `key`. Used by the sealed-message
+  // layer to enforce that only the intended recipient opens a message.
+  virtual Result<PublicKey> DerivePublicKey(const PrivateKey& key) = 0;
+
+  virtual const char* name() const = 0;
+
+  CryptoMeter& meter() { return meter_; }
+  const CryptoMeter& meter() const { return meter_; }
+
+ protected:
+  virtual Result<KeyPair> DoGenerateKeyPair(util::Rng& rng) = 0;
+  virtual Result<Signature> DoSign(const PrivateKey& key, const uint8_t* msg,
+                                   size_t len) = 0;
+  virtual bool DoVerify(const PublicKey& key, const uint8_t* msg, size_t len,
+                        const Signature& sig) = 0;
+
+ private:
+  CryptoMeter meter_;
+};
+
+}  // namespace sep2p::crypto
+
+#endif  // SEP2P_CRYPTO_SIGNATURE_PROVIDER_H_

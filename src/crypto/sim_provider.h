@@ -1,0 +1,37 @@
+// SimProvider: fast deterministic pseudo-signatures for simulation.
+//
+// *** NOT CRYPTOGRAPHICALLY SECURE — simulation only. ***
+//
+// A signature here is HMAC-SHA256(SHA256("sep2p-sim-tag" || pubkey), msg):
+// anyone holding the public key can forge it. That is acceptable inside
+// the closed simulator, where the only "signers" are protocol code paths
+// and the quantities of interest are operation *counts* (Definition 3 in
+// the paper), which the CryptoMeter records identically for this provider
+// and for Ed25519Provider. Large-scale experiments (10^5..10^6 nodes)
+// use SimProvider so that key generation does not dominate runtime;
+// everything security-relevant in the test suite runs Ed25519Provider.
+
+#ifndef SEP2P_CRYPTO_SIM_PROVIDER_H_
+#define SEP2P_CRYPTO_SIM_PROVIDER_H_
+
+#include "crypto/signature_provider.h"
+
+namespace sep2p::crypto {
+
+class SimProvider : public SignatureProvider {
+ public:
+  const char* name() const override { return "sim"; }
+
+  Result<PublicKey> DerivePublicKey(const PrivateKey& key) override;
+
+ protected:
+  Result<KeyPair> DoGenerateKeyPair(util::Rng& rng) override;
+  Result<Signature> DoSign(const PrivateKey& key, const uint8_t* msg,
+                           size_t len) override;
+  bool DoVerify(const PublicKey& key, const uint8_t* msg, size_t len,
+                const Signature& sig) override;
+};
+
+}  // namespace sep2p::crypto
+
+#endif  // SEP2P_CRYPTO_SIM_PROVIDER_H_

@@ -1,0 +1,179 @@
+#include "dht/can.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace sep2p::dht {
+
+namespace {
+
+double CoordFromBytes(const crypto::Digest& bytes, int offset) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | bytes[offset + i];
+  return static_cast<double>(v >> 11) * 0x1.0p-53;  // [0, 1)
+}
+
+// Signed shortest toroidal displacement from a to b (in (-0.5, 0.5]).
+double ToroidalDelta(double a, double b) {
+  double d = b - a;
+  if (d > 0.5) d -= 1.0;
+  if (d <= -0.5) d += 1.0;
+  return d;
+}
+
+}  // namespace
+
+void CanOverlay::PointForId(const NodeId& id, double* x, double* y) {
+  *x = CoordFromBytes(id.bytes(), 16);
+  *y = CoordFromBytes(id.bytes(), 24);
+}
+
+CanOverlay::CanOverlay(const Directory* directory) : directory_(directory) {
+  zone_of_node_.assign(directory_->size(), -1);
+
+  bool first = true;
+  for (uint32_t i = 0; i < directory_->size(); ++i) {
+    const NodeRecord& r = directory_->node(i);
+    if (!r.alive) continue;
+    double x, y;
+    PointForId(r.id, &x, &y);
+    if (first) {
+      // The first node owns the whole torus.
+      Zone zone;
+      zone.owner = i;
+      zones_.push_back(zone);
+      TreeNode leaf;
+      leaf.zone_index = 0;
+      tree_.push_back(leaf);
+      zone_of_node_[i] = 0;
+      first = false;
+    } else {
+      Insert(i, x, y);
+    }
+  }
+}
+
+int CanOverlay::LocateLeaf(double x, double y) const {
+  int node = 0;
+  while (tree_[node].dim != -1) {
+    const TreeNode& t = tree_[node];
+    double coord = (t.dim == 0) ? x : y;
+    node = (coord < t.split) ? t.left : t.right;
+  }
+  return node;
+}
+
+void CanOverlay::Insert(uint32_t node_index, double x, double y) {
+  int leaf = LocateLeaf(x, y);
+  int zone_index = tree_[leaf].zone_index;
+  Zone old_zone = zones_[zone_index];
+
+  // Split along the longer dimension at the midpoint (exact in binary
+  // floating point, so zone edges stay exactly representable).
+  int dim = old_zone.width() >= old_zone.height() ? 0 : 1;
+  double split = (dim == 0) ? (old_zone.x0 + old_zone.x1) / 2
+                            : (old_zone.y0 + old_zone.y1) / 2;
+
+  Zone low = old_zone, high = old_zone;
+  if (dim == 0) {
+    low.x1 = split;
+    high.x0 = split;
+  } else {
+    low.y1 = split;
+    high.y0 = split;
+  }
+
+  // The joining node takes the half containing its point; the previous
+  // owner keeps the other half.
+  double coord = (dim == 0) ? x : y;
+  Zone& new_half = (coord < split) ? low : high;
+  Zone& old_half = (coord < split) ? high : low;
+  new_half.owner = node_index;
+  old_half.owner = old_zone.owner;
+
+  // Reuse the old zone slot for the low half, append the high half.
+  zones_[zone_index] = low;
+  int high_index = static_cast<int>(zones_.size());
+  zones_.push_back(high);
+
+  zone_of_node_[low.owner] = zone_index;
+  zone_of_node_[high.owner] = high_index;
+
+  // Turn the leaf into an internal node with two fresh leaves.
+  TreeNode left_leaf, right_leaf;
+  left_leaf.zone_index = zone_index;
+  right_leaf.zone_index = high_index;
+  int left = static_cast<int>(tree_.size());
+  tree_.push_back(left_leaf);
+  int right = static_cast<int>(tree_.size());
+  tree_.push_back(right_leaf);
+
+  TreeNode& parent = tree_[leaf];
+  parent.dim = dim;
+  parent.split = split;
+  parent.left = left;
+  parent.right = right;
+  parent.zone_index = -1;
+}
+
+uint32_t CanOverlay::OwnerOf(double x, double y) const {
+  return zones_[tree_[LocateLeaf(x, y)].zone_index].owner;
+}
+
+const CanOverlay::Zone& CanOverlay::ZoneOfNode(uint32_t node_index) const {
+  assert(zone_of_node_[node_index] >= 0);
+  return zones_[zone_of_node_[node_index]];
+}
+
+Result<RouteResult> CanOverlay::Route(uint32_t from_index,
+                                      const NodeId& key) const {
+  if (zones_.empty()) return Status::Unavailable("can: no alive node");
+  if (zone_of_node_[from_index] < 0) {
+    return Status::InvalidArgument("can: source node has no zone");
+  }
+
+  double tx, ty;
+  PointForId(key, &tx, &ty);
+  const uint32_t owner = OwnerOf(tx, ty);
+
+  RouteResult result;
+  result.dest_index = owner;
+
+  // Greedy per-axis walk. Position starts at the source zone's center.
+  const Zone* zone = &ZoneOfNode(from_index);
+  double cx = (zone->x0 + zone->x1) / 2;
+  double cy = (zone->y0 + zone->y1) / 2;
+
+  const int max_hops =
+      static_cast<int>(8 * std::sqrt(static_cast<double>(zones_.size()))) +
+      64;
+  while (zone->owner != owner) {
+    if (result.hops > max_hops) {
+      return Status::Internal("can: routing failed to converge");
+    }
+    bool x_inside = tx >= zone->x0 && tx < zone->x1;
+    bool y_inside = ty >= zone->y0 && ty < zone->y1;
+    // Step across the boundary of an axis on which the target lies
+    // outside the current zone, preferring the axis with the larger gap.
+    double dx = x_inside ? 0 : ToroidalDelta(cx, tx);
+    double dy = y_inside ? 0 : ToroidalDelta(cy, ty);
+    if (std::abs(dx) >= std::abs(dy)) {
+      // Cross the x boundary (zones are half-open, so the far edge x1
+      // belongs to the neighbor and the near edge requires a nudge).
+      cx = dx > 0 ? zone->x1 : std::nextafter(zone->x0, -1.0);
+      if (cx >= 1.0) cx -= 1.0;
+      if (cx < 0.0) cx += 1.0;
+    } else {
+      cy = dy > 0 ? zone->y1 : std::nextafter(zone->y0, -1.0);
+      if (cy >= 1.0) cy -= 1.0;
+      if (cy < 0.0) cy += 1.0;
+    }
+    zone = &zones_[tree_[LocateLeaf(cx, cy)].zone_index];
+    // Re-center within the new zone on the crossing axis' orthogonal
+    // coordinate to avoid drifting along zone borders.
+    ++result.hops;
+  }
+  return result;
+}
+
+}  // namespace sep2p::dht

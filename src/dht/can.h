@@ -1,0 +1,84 @@
+// CAN overlay (Ratnasamy et al., SIGCOMM'01): a 2-d coordinate space on
+// the unit torus, partitioned into one rectangular zone per node.
+//
+// The paper's simulator implements both Chord and CAN; Chord is used for
+// the published figures, so CAN here mainly serves the DHT-abstraction
+// tests and the primitive micro-benchmarks. Construction follows CAN's
+// join procedure (locate the zone containing the joining node's point,
+// split it in half along its longer dimension); routing is greedy
+// per-axis toward the target point, counting one hop per zone crossed,
+// giving the characteristic O(sqrt N) path lengths.
+
+#ifndef SEP2P_DHT_CAN_H_
+#define SEP2P_DHT_CAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dht/directory.h"
+#include "dht/overlay.h"
+
+namespace sep2p::dht {
+
+class CanOverlay : public RoutingOverlay {
+ public:
+  struct Zone {
+    double x0 = 0, x1 = 1, y0 = 0, y1 = 1;  // half-open [x0,x1) x [y0,y1)
+    uint32_t owner = 0;                      // Directory index
+
+    bool Contains(double x, double y) const {
+      return x >= x0 && x < x1 && y >= y0 && y < y1;
+    }
+    double width() const { return x1 - x0; }
+    double height() const { return y1 - y0; }
+  };
+
+  // Builds the zone partition for all alive nodes in `directory` (which
+  // must outlive the overlay and not churn afterwards).
+  explicit CanOverlay(const Directory* directory);
+
+  // Maps a 256-bit key/id to its point on the torus (bytes 16..31, i.e.
+  // independent from the Chord ring position bits).
+  static void PointForId(const NodeId& id, double* x, double* y);
+
+  // Directory index of the node owning the zone containing (x, y).
+  uint32_t OwnerOf(double x, double y) const;
+
+  // Greedy routing from `from_index` to the owner of `key`; hops = zones
+  // crossed.
+  Result<RouteResult> Route(uint32_t from_index, const NodeId& key) const;
+
+  // RoutingOverlay:
+  Result<RouteResult> RouteKey(uint32_t from_index,
+                               const NodeId& key) const override {
+    return Route(from_index, key);
+  }
+  const char* name() const override { return "can"; }
+
+  size_t zone_count() const { return zones_.size(); }
+  const Zone& zone(size_t i) const { return zones_[i]; }
+  // Zone owned by a directory index (must be alive at construction).
+  const Zone& ZoneOfNode(uint32_t node_index) const;
+
+ private:
+  struct TreeNode {
+    // Internal: dim >= 0 (0 = x, 1 = y) with children; leaf: dim == -1.
+    int dim = -1;
+    double split = 0;
+    int left = -1;
+    int right = -1;
+    int zone_index = -1;
+  };
+
+  int LocateLeaf(double x, double y) const;
+  void Insert(uint32_t node_index, double x, double y);
+
+  const Directory* directory_;
+  std::vector<TreeNode> tree_;
+  std::vector<Zone> zones_;
+  std::vector<int> zone_of_node_;  // directory index -> zone index (-1 none)
+};
+
+}  // namespace sep2p::dht
+
+#endif  // SEP2P_DHT_CAN_H_

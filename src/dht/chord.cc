@@ -1,0 +1,56 @@
+#include "dht/chord.h"
+
+namespace sep2p::dht {
+
+int ChordOverlay::kMaxHops = 200;
+
+ChordOverlay::ChordOverlay(const Directory* directory)
+    : directory_(directory) {}
+
+Result<RouteResult> ChordOverlay::Route(uint32_t from_index,
+                                        RingPos target) const {
+  std::optional<uint32_t> owner_opt = directory_->SuccessorIndex(target);
+  if (!owner_opt.has_value()) {
+    return Status::Unavailable("chord: no alive node");
+  }
+  const uint32_t owner = *owner_opt;
+
+  RouteResult result;
+  result.dest_index = owner;
+
+  uint32_t current = from_index;
+  while (current != owner && result.hops < kMaxHops) {
+    RingPos cur_pos = directory_->node(current).pos;
+    RingPos dist_to_target = ClockwiseDistance(cur_pos, target);
+
+    // Closest preceding finger: the largest 2^j jump that stays strictly
+    // inside (current, target).
+    uint32_t next = owner;  // fallback: target owner is our successor
+    for (int j = 127; j >= 0; --j) {
+      RingPos jump = static_cast<RingPos>(1) << j;
+      if (jump >= dist_to_target) continue;
+      std::optional<uint32_t> finger =
+          directory_->SuccessorIndex(cur_pos + jump);
+      if (!finger.has_value()) break;
+      RingPos finger_dist =
+          ClockwiseDistance(cur_pos, directory_->node(*finger).pos);
+      // The finger must make progress but not overshoot the target.
+      if (finger_dist > 0 && finger_dist < dist_to_target) {
+        next = *finger;
+        break;
+      }
+    }
+    ++result.hops;
+    if (next == current) break;  // no progress possible; owner adjacent
+    current = next;
+  }
+
+  if (current != owner) {
+    // Greedy routing always terminates on a static ring; reaching the hop
+    // bound indicates an internal inconsistency.
+    return Status::Internal("chord: routing failed to converge");
+  }
+  return result;
+}
+
+}  // namespace sep2p::dht

@@ -1,0 +1,150 @@
+#include "dht/directory.h"
+
+#include <algorithm>
+
+namespace sep2p::dht {
+
+Directory::Directory(std::vector<NodeRecord> records)
+    : records_(std::move(records)) {
+  std::sort(records_.begin(), records_.end(),
+            [](const NodeRecord& a, const NodeRecord& b) {
+              if (a.pos != b.pos) return a.pos < b.pos;
+              return a.id < b.id;
+            });
+  for (const NodeRecord& r : records_) {
+    if (r.alive) ++alive_count_;
+  }
+}
+
+void Directory::SetAlive(uint32_t index, bool alive) {
+  NodeRecord& r = records_[index];
+  if (r.alive == alive) return;
+  r.alive = alive;
+  alive_count_ += alive ? 1 : -1;
+}
+
+size_t Directory::LowerBound(RingPos pos) const {
+  size_t lo = 0, hi = records_.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (records_[mid].pos < pos) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::optional<uint32_t> Directory::SuccessorIndex(RingPos pos) const {
+  if (alive_count_ == 0) return std::nullopt;
+  size_t start = LowerBound(pos);
+  for (size_t step = 0; step < records_.size(); ++step) {
+    size_t i = (start + step) % records_.size();
+    if (records_[i].alive) return static_cast<uint32_t>(i);
+  }
+  return std::nullopt;
+}
+
+std::optional<uint32_t> Directory::PredecessorIndex(RingPos pos) const {
+  if (alive_count_ == 0) return std::nullopt;
+  size_t start = LowerBound(pos);  // first record with pos >= `pos`
+  for (size_t step = 1; step <= records_.size(); ++step) {
+    size_t i = (start + records_.size() - step) % records_.size();
+    if (!records_[i].alive) continue;
+    // Records at exactly `pos` are not "strictly before" — unless the
+    // search wrapped the whole ring (a single-position ring).
+    if (records_[i].pos == pos && step < records_.size()) continue;
+    return static_cast<uint32_t>(i);
+  }
+  return std::nullopt;
+}
+
+std::optional<uint32_t> Directory::NearestIndex(RingPos pos) const {
+  std::optional<uint32_t> succ = SuccessorIndex(pos);
+  if (!succ.has_value()) return std::nullopt;
+  // The nearest node is either the successor or the alive predecessor.
+  size_t start = LowerBound(pos);
+  for (size_t step = 1; step <= records_.size(); ++step) {
+    size_t i = (start + records_.size() * 2 - step) % records_.size();
+    if (!records_[i].alive) continue;
+    RingPos d_pred = RingDistance(records_[i].pos, pos);
+    RingPos d_succ = RingDistance(records_[*succ].pos, pos);
+    return d_pred < d_succ ? static_cast<uint32_t>(i) : *succ;
+  }
+  return succ;
+}
+
+template <typename Fn>
+void Directory::ForEachAliveInRegion(const Region& region, Fn&& fn) const {
+  if (records_.empty()) return;
+  const RingPos kMaxHalf = static_cast<RingPos>(1) << 127;
+  const RingPos begin = region.begin();
+  const bool full_ring = region.half_width() >= kMaxHalf;
+  // A point p is inside iff its clockwise distance from the region's start
+  // is at most the full width (equivalent to |p - center| <= half_width).
+  const RingPos width = region.half_width() << 1;
+
+  size_t start = LowerBound(begin);
+  for (size_t step = 0; step < records_.size(); ++step) {
+    size_t i = (start + step) % records_.size();
+    const NodeRecord& r = records_[i];
+    if (!full_ring && ClockwiseDistance(begin, r.pos) > width) break;
+    if (r.alive) {
+      if (!fn(static_cast<uint32_t>(i))) return;
+    }
+  }
+}
+
+std::vector<uint32_t> Directory::NodesInRegion(const Region& region) const {
+  return NodesInRegion(region, 0);
+}
+
+std::vector<uint32_t> Directory::NodesInRegion(const Region& region,
+                                               size_t limit) const {
+  std::vector<uint32_t> out;
+  ForEachAliveInRegion(region, [&](uint32_t index) {
+    out.push_back(index);
+    return limit == 0 || out.size() < limit;
+  });
+  return out;
+}
+
+size_t Directory::CountInRegion(const Region& region) const {
+  size_t count = 0;
+  ForEachAliveInRegion(region, [&](uint32_t) {
+    ++count;
+    return true;
+  });
+  return count;
+}
+
+std::optional<uint32_t> Directory::FirstAliveInRange(RingPos lo,
+                                                     RingPos hi) const {
+  for (size_t i = LowerBound(lo); i < records_.size(); ++i) {
+    if (hi != 0 && records_[i].pos >= hi) break;
+    if (records_[i].alive) return static_cast<uint32_t>(i);
+  }
+  return std::nullopt;
+}
+
+size_t Directory::CountAliveInRange(RingPos lo, RingPos hi) const {
+  size_t count = 0;
+  for (size_t i = LowerBound(lo); i < records_.size(); ++i) {
+    if (hi != 0 && records_[i].pos >= hi) break;
+    if (records_[i].alive) ++count;
+  }
+  return count;
+}
+
+std::optional<uint32_t> Directory::IndexOf(const NodeId& id) const {
+  size_t start = LowerBound(id.ring_pos());
+  for (size_t step = 0; step < records_.size(); ++step) {
+    size_t i = (start + step) % records_.size();
+    if (records_[i].pos != id.ring_pos()) break;
+    if (records_[i].id == id) return static_cast<uint32_t>(i);
+  }
+  return std::nullopt;
+}
+
+}  // namespace sep2p::dht

@@ -1,0 +1,95 @@
+// Directory: the simulator's ground-truth node table.
+//
+// Holds every node record sorted by ring position and answers the queries
+// the overlays and protocols need: successor-of-position, nodes-in-region,
+// nearest-node. Because nodes are sorted by position, any region is a
+// contiguous arc, so region queries cost O(log N + answer); this is what
+// makes exhaustive 100K-node simulation feasible on one core.
+//
+// The Directory is *simulator state*, not something a real node would
+// hold — real nodes see only their node cache (node/node_cache.h) and the
+// DHT routing tables (dht/chord.h).
+
+#ifndef SEP2P_DHT_DIRECTORY_H_
+#define SEP2P_DHT_DIRECTORY_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "crypto/certificate.h"
+#include "dht/region.h"
+
+namespace sep2p::dht {
+
+struct NodeRecord {
+  NodeId id;
+  RingPos pos = 0;  // cached id.ring_pos()
+  crypto::PublicKey pub{};
+  crypto::PrivateKey priv;  // simulator convenience: nodes sign locally
+  crypto::Certificate cert;
+  bool colluding = false;
+  bool alive = true;
+};
+
+class Directory {
+ public:
+  // Takes ownership of the records and sorts them by ring position.
+  explicit Directory(std::vector<NodeRecord> records);
+
+  size_t size() const { return records_.size(); }
+  const NodeRecord& node(uint32_t index) const { return records_[index]; }
+  NodeRecord& mutable_node(uint32_t index) { return records_[index]; }
+
+  // Number of alive nodes.
+  size_t alive_count() const { return alive_count_; }
+  void SetAlive(uint32_t index, bool alive);
+
+  // Index of the first alive node at or clockwise-after `pos` (Chord
+  // successor). Returns nullopt when no node is alive.
+  std::optional<uint32_t> SuccessorIndex(RingPos pos) const;
+
+  // Index of the last alive node strictly before `pos` (Chord
+  // predecessor), wrapping. Returns nullopt when no node is alive.
+  std::optional<uint32_t> PredecessorIndex(RingPos pos) const;
+
+  // Index of the alive node minimizing ring distance to `pos`.
+  std::optional<uint32_t> NearestIndex(RingPos pos) const;
+
+  // Indices of alive nodes whose id lies in `region`, in ring order
+  // starting from the region's counter-clockwise edge.
+  std::vector<uint32_t> NodesInRegion(const Region& region) const;
+
+  // Same, but stops early once `limit` nodes are collected (0 = no limit).
+  std::vector<uint32_t> NodesInRegion(const Region& region,
+                                      size_t limit) const;
+
+  // Number of alive nodes in `region` without materializing them.
+  size_t CountInRegion(const Region& region) const;
+
+  // Index lookup by node id; nullopt if absent.
+  std::optional<uint32_t> IndexOf(const NodeId& id) const;
+
+  // First alive node with position in the half-open interval [lo, hi),
+  // NOT wrapping; hi == 0 means "up to the end of the space" (2^128).
+  // Used by Kademlia's trie descent, whose buckets are dyadic intervals.
+  std::optional<uint32_t> FirstAliveInRange(RingPos lo, RingPos hi) const;
+
+  // Number of alive nodes in [lo, hi) (same conventions).
+  size_t CountAliveInRange(RingPos lo, RingPos hi) const;
+
+ private:
+  // First record (alive or not) with pos >= `pos`, as an index into
+  // records_, possibly records_.size() (wraps to 0 logically).
+  size_t LowerBound(RingPos pos) const;
+
+  template <typename Fn>
+  void ForEachAliveInRegion(const Region& region, Fn&& fn) const;
+
+  std::vector<NodeRecord> records_;
+  size_t alive_count_ = 0;
+};
+
+}  // namespace sep2p::dht
+
+#endif  // SEP2P_DHT_DIRECTORY_H_

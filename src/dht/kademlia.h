@@ -1,0 +1,62 @@
+// Kademlia overlay (Maymounkov & Mazieres, IPTPS'02) — the third DHT
+// the paper's Background 1 cites.
+//
+// Distance between ids is their XOR, interpreted as an integer; the
+// owner of a key is the alive node whose position minimizes that XOR.
+// Node u's routing table has one bucket per bit: bucket b holds contacts
+// sharing u's prefix above bit b and differing at bit b — a *dyadic
+// interval* of the id space. Routing greedily forwards to the contact
+// closest to the target; every hop fixes at least one more prefix bit,
+// so lookups take O(log N) hops.
+//
+// Simulation assumptions, mirroring the Chord overlay: perfectly
+// maintained routing tables, modeled by resolving "the contact in
+// bucket b closest to the target" against the Directory's ground truth
+// via a binary trie descent over position ranges (the buckets being
+// dyadic intervals is what makes that descent exact and cheap).
+
+#ifndef SEP2P_DHT_KADEMLIA_H_
+#define SEP2P_DHT_KADEMLIA_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "dht/directory.h"
+#include "dht/overlay.h"
+
+namespace sep2p::dht {
+
+class KademliaOverlay : public RoutingOverlay {
+ public:
+  // Contacts kept per bucket (Kademlia's K). Governs the per-hop fan-in
+  // and therefore the O(log N / log K) path lengths.
+  static constexpr size_t kBucketSize = 8;
+
+  // `directory` must outlive the overlay.
+  explicit KademliaOverlay(const Directory* directory);
+
+  // XOR distance between two positions.
+  static RingPos XorDistance(RingPos a, RingPos b) { return a ^ b; }
+
+  // The alive node minimizing XOR distance to `target`.
+  std::optional<uint32_t> XorNearest(RingPos target) const;
+
+  // The alive node minimizing XOR distance to `target` whose position
+  // lies in [lo, hi) (hi == 0 meaning end of space); nullopt if the
+  // interval holds no alive node. `lo`/`hi` must delimit a dyadic
+  // interval (size a power of two, aligned).
+  std::optional<uint32_t> XorNearestInInterval(RingPos target, RingPos lo,
+                                               RingPos hi) const;
+
+  // RoutingOverlay:
+  Result<RouteResult> RouteKey(uint32_t from_index,
+                               const NodeId& key) const override;
+  const char* name() const override { return "kademlia"; }
+
+ private:
+  const Directory* directory_;
+};
+
+}  // namespace sep2p::dht
+
+#endif  // SEP2P_DHT_KADEMLIA_H_

@@ -1,0 +1,78 @@
+#include "dht/kv_store.h"
+
+namespace sep2p::dht {
+
+KvStore::KvStore(const Directory* directory, const RoutingOverlay* overlay,
+                 int replication)
+    : directory_(directory),
+      overlay_(overlay),
+      replication_(replication < 1 ? 1 : replication) {}
+
+NodeId KvStore::ReplicaKey(const std::string& key, int replica) const {
+  return NodeId::Of(key + "#" + std::to_string(replica));
+}
+
+Result<net::Cost> KvStore::Put(uint32_t from_index, const std::string& key,
+                               std::vector<uint8_t> value) {
+  net::Cost cost;
+  for (int r = 0; r < replication_; ++r) {
+    Result<RouteResult> route =
+        overlay_->RouteKey(from_index, ReplicaKey(key, r));
+    if (!route.ok()) return route.status();
+    cost.Then(net::Cost::Step(0, route->hops + 1));  // route + store msg
+    storage_[route->dest_index][key] = value;
+  }
+  return cost;
+}
+
+Result<KvStore::GetResult> KvStore::Get(uint32_t from_index,
+                                        const std::string& key) const {
+  GetResult result;
+  bool reached_alive = false;
+  for (int r = 0; r < replication_; ++r) {
+    Result<RouteResult> route =
+        overlay_->RouteKey(from_index, ReplicaKey(key, r));
+    if (!route.ok()) return route.status();
+    result.cost.Then(net::Cost::Step(0, route->hops + 1));
+    ++result.replicas_tried;
+
+    const uint32_t holder = route->dest_index;
+    if (!directory_->node(holder).alive) continue;
+    reached_alive = true;
+    result.replica_index = holder;
+    auto node_it = storage_.find(holder);
+    if (node_it == storage_.end()) continue;  // try further replicas
+    auto value_it = node_it->second.find(key);
+    if (value_it != node_it->second.end()) {
+      result.value = value_it->second;
+      return result;  // hit
+    }
+    // Alive replica without the key: may still be a churn-induced gap on
+    // this replica; keep trying the others before declaring a miss.
+  }
+  if (!reached_alive) {
+    return Status::Unavailable("kv: all replicas unreachable");
+  }
+  return result;  // authoritative miss
+}
+
+Result<net::Cost> KvStore::Remove(uint32_t from_index,
+                                  const std::string& key) {
+  net::Cost cost;
+  for (int r = 0; r < replication_; ++r) {
+    Result<RouteResult> route =
+        overlay_->RouteKey(from_index, ReplicaKey(key, r));
+    if (!route.ok()) return route.status();
+    cost.Then(net::Cost::Step(0, route->hops + 1));
+    auto node_it = storage_.find(route->dest_index);
+    if (node_it != storage_.end()) node_it->second.erase(key);
+  }
+  return cost;
+}
+
+size_t KvStore::StoredCount(uint32_t node_index) const {
+  auto it = storage_.find(node_index);
+  return it == storage_.end() ? 0 : it->second.size();
+}
+
+}  // namespace sep2p::dht

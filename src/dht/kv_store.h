@@ -1,0 +1,69 @@
+// Replicated DHT key-value store (paper Background 1: the classical
+// store(key, value) / lookup(key) interface).
+//
+// The owner of key K is the node responsible for hash(K) under the
+// routing overlay; replica r lives at the owner of hash(K '#' r). The
+// store survives node departures up to replication-1 simultaneous
+// replica failures — the redundancy defense the DHT-security literature
+// the paper cites prescribes against storage attacks.
+//
+// Simulator semantics: values live in an in-memory table keyed by the
+// storing node; a dead node's slice is unreachable until it returns.
+
+#ifndef SEP2P_DHT_KV_STORE_H_
+#define SEP2P_DHT_KV_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dht/directory.h"
+#include "dht/overlay.h"
+#include "net/cost.h"
+#include "util/status.h"
+
+namespace sep2p::dht {
+
+class KvStore {
+ public:
+  // `directory` and `overlay` must outlive the store; `replication` >= 1
+  // replicas per key.
+  KvStore(const Directory* directory, const RoutingOverlay* overlay,
+          int replication = 1);
+
+  // Stores `value` under `key` at all replicas, routing from
+  // `from_index`. Overwrites any previous value.
+  Result<net::Cost> Put(uint32_t from_index, const std::string& key,
+                        std::vector<uint8_t> value);
+
+  struct GetResult {
+    std::optional<std::vector<uint8_t>> value;  // nullopt: key unknown
+    uint32_t replica_index = 0;                  // node that answered
+    int replicas_tried = 0;
+    net::Cost cost;
+  };
+
+  // Looks `key` up, trying replicas in order until an alive one answers.
+  Result<GetResult> Get(uint32_t from_index, const std::string& key) const;
+
+  // Removes `key` from all reachable replicas.
+  Result<net::Cost> Remove(uint32_t from_index, const std::string& key);
+
+  int replication() const { return replication_; }
+  // Number of (key, replica) entries a given node currently stores.
+  size_t StoredCount(uint32_t node_index) const;
+
+ private:
+  NodeId ReplicaKey(const std::string& key, int replica) const;
+
+  const Directory* directory_;
+  const RoutingOverlay* overlay_;
+  int replication_;
+  std::map<uint32_t, std::map<std::string, std::vector<uint8_t>>> storage_;
+};
+
+}  // namespace sep2p::dht
+
+#endif  // SEP2P_DHT_KV_STORE_H_

@@ -1,0 +1,40 @@
+// RoutingOverlay: the interface protocols route through.
+//
+// The paper's simulator implements Chord and CAN (Table 3, "DHT
+// overlay"); protocols are overlay-agnostic and only consume routed
+// message counts. Keys are full 256-bit hashes; each overlay derives its
+// own coordinates from them (Chord: the top-128-bit ring position; CAN:
+// the 2-d point from bytes 16..31). Note that *legitimacy regions*
+// (R1/R2/R3) are always defined on the hash ring — they come from the
+// imposed id hash(kpub), not from the routing overlay.
+
+#ifndef SEP2P_DHT_OVERLAY_H_
+#define SEP2P_DHT_OVERLAY_H_
+
+#include <cstdint>
+
+#include "dht/node_id.h"
+#include "util/status.h"
+
+namespace sep2p::dht {
+
+struct RouteResult {
+  uint32_t dest_index = 0;  // node responsible for the key
+  int hops = 0;             // messages used to reach it
+};
+
+class RoutingOverlay {
+ public:
+  virtual ~RoutingOverlay() = default;
+
+  // Routes from the node at `from_index` to the node responsible for
+  // `key` under this overlay; hops = messages spent.
+  virtual Result<RouteResult> RouteKey(uint32_t from_index,
+                                       const NodeId& key) const = 0;
+
+  virtual const char* name() const = 0;
+};
+
+}  // namespace sep2p::dht
+
+#endif  // SEP2P_DHT_OVERLAY_H_

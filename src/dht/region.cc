@@ -1,0 +1,25 @@
+#include "dht/region.h"
+
+namespace sep2p::dht {
+
+Region Region::Centered(RingPos center, double rs) {
+  RingPos width = WidthFromFraction(rs);
+  RingPos half = width >> 1;
+  // The maximal ring distance is 2^127; a half-width of 2^127 therefore
+  // contains every point (full ring).
+  const RingPos kMaxHalf = static_cast<RingPos>(1) << 127;
+  if (half > kMaxHalf) half = kMaxHalf;
+  return Region(center, half);
+}
+
+bool Region::Contains(RingPos pos) const {
+  return RingDistance(center_, pos) <= half_width_;
+}
+
+double Region::size() const {
+  const RingPos kMaxHalf = static_cast<RingPos>(1) << 127;
+  if (half_width_ >= kMaxHalf) return 1.0;
+  return FractionFromWidth(half_width_ << 1);
+}
+
+}  // namespace sep2p::dht

@@ -1,0 +1,53 @@
+// DHT regions (paper §3.2-§3.3).
+//
+// A region R of size rs is an arc of the normalized DHT ring centered on a
+// point. A node n is *legitimate* w.r.t. R iff hash(kpub_n) falls inside R
+// (Definition 4). Region sizes are chosen from the probability engine
+// (core/probability.h) so that "k or more colluders in R" has probability
+// below the security threshold alpha.
+
+#ifndef SEP2P_DHT_REGION_H_
+#define SEP2P_DHT_REGION_H_
+
+#include "dht/node_id.h"
+
+namespace sep2p::dht {
+
+class Region {
+ public:
+  Region() = default;
+
+  // A region of normalized size `rs` (fraction of the ring, in (0, 1])
+  // centered on `center`.
+  static Region Centered(RingPos center, double rs);
+
+  // Membership test: minimal ring distance from the center at most half
+  // the region width.
+  bool Contains(RingPos pos) const;
+  bool Contains(const NodeId& id) const { return Contains(id.ring_pos()); }
+
+  RingPos center() const { return center_; }
+  RingPos half_width() const { return half_width_; }
+  // Normalized size (may be marginally off the constructor argument due to
+  // fixed-point rounding).
+  double size() const;
+
+  // Region start (counter-clockwise edge) and end (clockwise edge).
+  RingPos begin() const { return center_ - half_width_; }
+  RingPos end() const { return center_ + half_width_; }
+
+  friend bool operator==(const Region& a, const Region& b) {
+    return a.center_ == b.center_ && a.half_width_ == b.half_width_;
+  }
+
+ private:
+  Region(RingPos center, RingPos half_width)
+      : center_(center), half_width_(half_width) {}
+
+  RingPos center_ = 0;
+  RingPos half_width_ = 0;
+};
+
+}  // namespace sep2p::dht
+
+#endif  // SEP2P_DHT_REGION_H_

@@ -1,0 +1,43 @@
+#include "net/cost.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace sep2p::net {
+
+Cost& Cost::Then(const Cost& next) {
+  crypto_latency += next.crypto_latency;
+  msg_latency += next.msg_latency;
+  crypto_work += next.crypto_work;
+  msg_work += next.msg_work;
+  return *this;
+}
+
+Cost Cost::Par(const std::vector<Cost>& branches) {
+  Cost out;
+  for (const Cost& b : branches) {
+    out.crypto_latency = std::max(out.crypto_latency, b.crypto_latency);
+    out.msg_latency = std::max(out.msg_latency, b.msg_latency);
+    out.crypto_work += b.crypto_work;
+    out.msg_work += b.msg_work;
+  }
+  return out;
+}
+
+Cost Cost::ParIdentical(const Cost& branch, size_t n) {
+  if (n == 0) return Cost{};
+  Cost out = branch;
+  out.crypto_work = branch.crypto_work * static_cast<double>(n);
+  out.msg_work = branch.msg_work * static_cast<double>(n);
+  return out;
+}
+
+std::string Cost::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "crypto{lat=%.1f work=%.1f} msg{lat=%.1f work=%.1f}",
+                crypto_latency, crypto_work, msg_latency, msg_work);
+  return buf;
+}
+
+}  // namespace sep2p::net

@@ -1,0 +1,64 @@
+// Cost accounting for protocol executions.
+//
+// The paper evaluates latency as the number of asymmetric crypto
+// operations and exchanged messages on the protocol's critical path, and
+// "total work" as the cumulative counts over all participants (§4.1,
+// Figures 4-5). Cost is a small value type with the two combinators the
+// protocols need:
+//
+//   * Seq(a, b): a then b — latency adds, work adds.
+//   * Par(branches): k nodes working in parallel — latency is the max
+//     branch latency, work is the sum.
+//
+// Protocol implementations build their cost bottom-up from these, so the
+// figures fall out of the same code path that actually executes the
+// cryptographic operations.
+
+#ifndef SEP2P_NET_COST_H_
+#define SEP2P_NET_COST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sep2p::net {
+
+struct Cost {
+  // Critical-path ("latency") counts.
+  double crypto_latency = 0;
+  double msg_latency = 0;
+  // Cumulative ("total work") counts.
+  double crypto_work = 0;
+  double msg_work = 0;
+
+  // A purely sequential step performed by one participant.
+  static Cost Step(double crypto_ops, double messages) {
+    return Cost{crypto_ops, messages, crypto_ops, messages};
+  }
+
+  // Work that happens off the critical path (e.g. many data sources
+  // verifying in parallel): contributes to totals only.
+  static Cost WorkOnly(double crypto_ops, double messages) {
+    Cost cost;
+    cost.crypto_work = crypto_ops;
+    cost.msg_work = messages;
+    return cost;
+  }
+
+  // Appends `next` after this cost (sequential composition).
+  Cost& Then(const Cost& next);
+
+  // Parallel composition of per-participant branches.
+  static Cost Par(const std::vector<Cost>& branches);
+
+  // Parallel composition of `n` identical branches.
+  static Cost ParIdentical(const Cost& branch, size_t n);
+
+  Cost& operator+=(const Cost& other) { return Then(other); }
+
+  std::string ToString() const;
+};
+
+}  // namespace sep2p::net
+
+#endif  // SEP2P_NET_COST_H_

@@ -1,0 +1,4 @@
+#include "net/failure.h"
+
+// FailureModel is header-only today; this translation unit anchors the
+// header in the build and hosts future out-of-line additions.

@@ -1,0 +1,43 @@
+// Failure injection for robustness experiments (paper §3.6, "Failures and
+// disconnections").
+//
+// FailureModel decides, per protocol participant, whether that node fails
+// mid-protocol. The actor-selection code consults it at each step that
+// involves a remote participant; a failure of a TL/SL/S aborts the run,
+// which must then restart with a fresh RND_T — exactly the paper's
+// described behaviour. The model is also used by the churn simulator
+// (node/churn.h) for Figure 8.
+
+#ifndef SEP2P_NET_FAILURE_H_
+#define SEP2P_NET_FAILURE_H_
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace sep2p::net {
+
+class FailureModel {
+ public:
+  // `per_step_probability`: probability that a given participant fails
+  // during one protocol step.
+  FailureModel(double per_step_probability, uint64_t seed)
+      : probability_(per_step_probability), rng_(seed) {}
+
+  // No failures.
+  FailureModel() : FailureModel(0.0, 0) {}
+
+  bool ShouldFail() {
+    return probability_ > 0 && rng_.NextBool(probability_);
+  }
+
+  double probability() const { return probability_; }
+
+ private:
+  double probability_;
+  util::Rng rng_;
+};
+
+}  // namespace sep2p::net
+
+#endif  // SEP2P_NET_FAILURE_H_

@@ -1,0 +1,116 @@
+#include "node/churn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "dht/region.h"
+
+namespace sep2p::node {
+
+namespace {
+
+// Per-cycle costs of the model documented in the header.
+struct CycleCost {
+  double crypto = 0;
+  double messages = 0;
+};
+
+CycleCost CostOfCycle(int k, double covering_caches) {
+  CycleCost cost;
+  // Leave: notify covering caches.
+  cost.messages += covering_caches;
+  // Rejoin: two attested cache transfers...
+  cost.crypto += 2.0 * k;       // k signatures per attestation
+  cost.crypto += 2.0 * 2.0 * k; // newcomer verifies both (certs + sigs)
+  cost.messages += 2.0 * (k + 2);  // request/response + k attestations
+  // ...and announcement to the nodes that must now cache the newcomer,
+  // each verifying its certificate.
+  cost.messages += covering_caches;
+  cost.crypto += covering_caches;
+  return cost;
+}
+
+}  // namespace
+
+MaintenanceReport ChurnSimulator::Run(double mtbf_hours, double sim_hours,
+                                      util::Rng& rng) {
+  MaintenanceReport report;
+  report.cache_size = cache_size_;
+  report.mtbf_hours = mtbf_hours;
+  report.sim_hours = sim_hours;
+
+  const size_t n = directory_->size();
+  const double rs3 =
+      std::min(1.0, static_cast<double>(cache_size_) / static_cast<double>(n));
+
+  // Event queue of (time_hours, node, is_disconnect).
+  struct Event {
+    double time;
+    uint32_t node;
+    bool disconnect;
+    bool operator>(const Event& other) const { return time > other.time; }
+  };
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue;
+
+  auto exp_sample = [&rng](double mean) {
+    return -mean * std::log(1.0 - rng.NextDouble());
+  };
+
+  for (uint32_t i = 0; i < n; ++i) {
+    queue.push({exp_sample(mtbf_hours), i, true});
+  }
+
+  const double kReconnectMeanHours = 0.05;  // ~3 minutes offline
+  while (!queue.empty() && queue.top().time < sim_hours) {
+    Event event = queue.top();
+    queue.pop();
+    if (event.disconnect) {
+      if (!directory_->node(event.node).alive) continue;
+      directory_->SetAlive(event.node, false);
+      ++report.churn_cycles;
+      // The covering caches are those whose region includes the node: by
+      // symmetry, the nodes inside an rs3 region centered on it.
+      dht::Region around =
+          dht::Region::Centered(directory_->node(event.node).pos, rs3);
+      double covering =
+          static_cast<double>(directory_->CountInRegion(around));
+      CycleCost cost = CostOfCycle(k_, covering);
+      report.crypto_ops_total += cost.crypto;
+      report.messages_total += cost.messages;
+      queue.push({event.time + exp_sample(kReconnectMeanHours), event.node,
+                  false});
+    } else {
+      directory_->SetAlive(event.node, true);
+      queue.push({event.time + exp_sample(mtbf_hours), event.node, true});
+    }
+  }
+
+  // Restore every node for subsequent experiments.
+  for (uint32_t i = 0; i < n; ++i) directory_->SetAlive(i, true);
+
+  const double node_minutes =
+      static_cast<double>(n) * sim_hours * 60.0;
+  report.crypto_ops_per_node_per_min = report.crypto_ops_total / node_minutes;
+  report.messages_per_node_per_min = report.messages_total / node_minutes;
+  return report;
+}
+
+MaintenanceReport ChurnSimulator::Analytic(uint64_t n, int k,
+                                           size_t cache_size,
+                                           double mtbf_hours) {
+  MaintenanceReport report;
+  report.cache_size = cache_size;
+  report.mtbf_hours = mtbf_hours;
+
+  const double covering = std::min<double>(cache_size, n - 1);
+  CycleCost cost = CostOfCycle(k, covering);
+  // Each node cycles once per MTBF on average; per-node-per-minute cost
+  // is therefore the cycle cost divided by the MTBF in minutes.
+  const double mtbf_minutes = mtbf_hours * 60.0;
+  report.crypto_ops_per_node_per_min = cost.crypto / mtbf_minutes;
+  report.messages_per_node_per_min = cost.messages / mtbf_minutes;
+  return report;
+}
+
+}  // namespace sep2p::node

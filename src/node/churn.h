@@ -1,0 +1,73 @@
+// Churn and cache-maintenance model (paper §3.6 joining procedure and
+// §4.3 / Figure 8 maintenance costs).
+//
+// Cost model for one disconnect/reconnect cycle of a node, with security
+// degree k and an average cache of `cache_size` entries:
+//
+//  * Graceful leave: one notification to each node whose cache covers the
+//    leaver (~cache_size messages, no asymmetric crypto).
+//  * Rejoin (Chord): the newcomer asks its successor and predecessor for
+//    their node caches, each attested by k legitimate nodes of an
+//    R1-sized region — k signatures per attestation (2k signs total) —
+//    and verifies both attestations (2 * 2k verifies). It then announces
+//    itself to the ~cache_size nodes whose caches must now include it;
+//    each of them verifies the newcomer's certificate (1 asymmetric op)
+//    before insertion, or the cache's validity guarantee would break.
+//
+// The event-driven simulator below draws per-node lifetimes from the
+// MTBF, plays the cycles against a real Directory (alive flags toggle),
+// and reports asymmetric operations and messages per node per minute —
+// the units of Figure 8.
+
+#ifndef SEP2P_NODE_CHURN_H_
+#define SEP2P_NODE_CHURN_H_
+
+#include <cstdint>
+
+#include "core/ktable.h"
+#include "dht/directory.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace sep2p::node {
+
+struct MaintenanceReport {
+  size_t cache_size = 0;
+  double mtbf_hours = 0;
+  double sim_hours = 0;
+  uint64_t churn_cycles = 0;
+  double crypto_ops_total = 0;
+  double messages_total = 0;
+  // The Figure 8 metrics.
+  double crypto_ops_per_node_per_min = 0;
+  double messages_per_node_per_min = 0;
+};
+
+class ChurnSimulator {
+ public:
+  // `directory` is mutated (alive flags) during simulation and restored
+  // on completion. `k` is the security degree used for cache
+  // attestations (from the network's k-table).
+  ChurnSimulator(dht::Directory* directory, int k, size_t cache_size)
+      : directory_(directory), k_(k), cache_size_(cache_size) {}
+
+  // Simulates `sim_hours` hours of churn where every node independently
+  // disconnects with mean time between failures `mtbf_hours` and
+  // reconnects after a short pause.
+  MaintenanceReport Run(double mtbf_hours, double sim_hours, util::Rng& rng);
+
+  // Closed-form expectation of the same model; used to cross-check the
+  // simulator in tests and to extrapolate to cache sizes too large to
+  // simulate comfortably.
+  static MaintenanceReport Analytic(uint64_t n, int k, size_t cache_size,
+                                    double mtbf_hours);
+
+ private:
+  dht::Directory* directory_;
+  int k_;
+  size_t cache_size_;
+};
+
+}  // namespace sep2p::node
+
+#endif  // SEP2P_NODE_CHURN_H_

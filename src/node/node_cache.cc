@@ -1,0 +1,35 @@
+#include "node/node_cache.h"
+
+namespace sep2p::node {
+
+NodeCache::NodeCache(const dht::Directory* directory, uint32_t owner_index,
+                     double rs3)
+    : directory_(directory),
+      owner_(owner_index),
+      coverage_(dht::Region::Centered(directory->node(owner_index).pos,
+                                      rs3)) {}
+
+std::vector<uint32_t> NodeCache::Entries() const {
+  std::vector<uint32_t> out = directory_->NodesInRegion(coverage_);
+  std::erase(out, owner_);
+  return out;
+}
+
+size_t NodeCache::size() const { return Entries().size(); }
+
+std::vector<uint32_t> NodeCache::LegitimateFor(
+    const dht::Region& region) const {
+  std::vector<uint32_t> out;
+  for (uint32_t idx : directory_->NodesInRegion(region)) {
+    if (idx == owner_) continue;
+    if (coverage_.Contains(directory_->node(idx).pos)) out.push_back(idx);
+  }
+  return out;
+}
+
+bool NodeCache::Covers(uint32_t index) const {
+  return index != owner_ &&
+         coverage_.Contains(directory_->node(index).pos);
+}
+
+}  // namespace sep2p::node

@@ -1,0 +1,53 @@
+// Node cache (paper §3.5): every node keeps the IP address and
+// certificate of the legitimate nodes w.r.t. a region of size rs3
+// centered on itself.
+//
+// The cache is what makes SEP2P's candidate lists (CL_j) cheap: it is
+// "the relevant part of a full mesh network ... without paying the whole
+// maintenance cost". In the simulator the cache is a validated *view*
+// over the Directory (ground truth); its maintenance cost under churn is
+// modeled by node/churn.h (Figure 8), and cache-size effects on the
+// selection protocol by the rs3 knob (Figure 7).
+
+#ifndef SEP2P_NODE_NODE_CACHE_H_
+#define SEP2P_NODE_NODE_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dht/directory.h"
+#include "dht/region.h"
+
+namespace sep2p::node {
+
+class NodeCache {
+ public:
+  // `directory` must outlive the cache.
+  NodeCache(const dht::Directory* directory, uint32_t owner_index,
+            double rs3);
+
+  uint32_t owner() const { return owner_; }
+  const dht::Region& coverage() const { return coverage_; }
+
+  // All alive cache entries (excluding the owner itself).
+  std::vector<uint32_t> Entries() const;
+  size_t size() const;
+
+  // Cache entries that are legitimate w.r.t. `region` (the CL_j
+  // computation of §3.5 step 4): intersection of the coverage arc and
+  // `region`.
+  std::vector<uint32_t> LegitimateFor(const dht::Region& region) const;
+
+  // True when `index` is inside this cache's coverage (i.e. this cache
+  // must be updated when that node joins or leaves).
+  bool Covers(uint32_t index) const;
+
+ private:
+  const dht::Directory* directory_;
+  uint32_t owner_;
+  dht::Region coverage_;
+};
+
+}  // namespace sep2p::node
+
+#endif  // SEP2P_NODE_NODE_CACHE_H_

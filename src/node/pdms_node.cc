@@ -1,0 +1,4 @@
+#include "node/pdms_node.h"
+
+// PdmsNode is header-only today; this translation unit anchors the header
+// in the build.

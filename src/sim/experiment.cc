@@ -1,0 +1,401 @@
+#include "sim/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/ktable.h"
+#include "sim/metrics.h"
+#include "strategies/strategy.h"
+#include "util/logging.h"
+
+namespace sep2p::sim {
+
+Result<std::vector<StrategyPoint>> RunStrategyComparison(
+    const Parameters& base, const std::vector<double>& c_fractions,
+    const std::vector<std::string>& strategy_names, int trials) {
+  std::vector<StrategyPoint> points;
+
+  for (double c_fraction : c_fractions) {
+    Parameters params = base;
+    params.colluding_fraction = c_fraction;
+    Result<std::unique_ptr<Network>> network = Network::Build(params);
+    if (!network.ok()) return network.status();
+    Network& net = *network.value();
+    util::Rng rng(params.seed ^ 0x5e9f2d1c);
+
+    for (const std::string& name : strategy_names) {
+      core::ProtocolContext ctx = net.context();
+      strategies::AdversaryConfig adversary;  // full covert adversary
+      std::unique_ptr<strategies::Strategy> strategy =
+          strategies::MakeStrategy(name, ctx, adversary);
+      if (strategy == nullptr) {
+        return Status::InvalidArgument("unknown strategy: " + name);
+      }
+
+      OnlineStats corrupted, verification, crypto_lat, crypto_work, msg_lat,
+          msg_work, relocations;
+      for (int t = 0; t < trials; ++t) {
+        // Fresh colluder placement every few trials decorrelates the
+        // "is a colluder near hash(RND_T)" events.
+        if (t % 16 == 0 && t > 0) net.ReassignColluders(rng);
+        uint32_t trigger = static_cast<uint32_t>(
+            rng.NextUint64(net.directory().size()));
+        Result<strategies::StrategyOutcome> run = strategy->Run(trigger, rng);
+        if (!run.ok()) return run.status();
+        corrupted.Add(run->corrupted_actors);
+        verification.Add(run->verification_cost);
+        crypto_lat.Add(run->setup_cost.crypto_latency);
+        crypto_work.Add(run->setup_cost.crypto_work);
+        msg_lat.Add(run->setup_cost.msg_latency);
+        msg_work.Add(run->setup_cost.msg_work);
+        relocations.Add(run->relocations);
+      }
+      net.ReassignColluders(rng);
+
+      StrategyPoint point;
+      point.strategy = name;
+      point.c_fraction = c_fraction;
+      point.trials = trials;
+      point.verification_cost = verification.mean();
+      point.ideal_corrupted = static_cast<double>(params.actor_count) *
+                              static_cast<double>(params.c()) /
+                              static_cast<double>(params.n);
+      point.avg_corrupted = corrupted.mean();
+      point.effectiveness =
+          point.avg_corrupted <= point.ideal_corrupted
+              ? 1.0
+              : point.ideal_corrupted / point.avg_corrupted;
+      point.setup_crypto_latency = crypto_lat.mean();
+      point.setup_crypto_work = crypto_work.mean();
+      point.setup_msg_latency = msg_lat.mean();
+      point.setup_msg_work = msg_work.mean();
+      point.relocation_rate = relocations.mean();
+      points.push_back(point);
+    }
+  }
+  return points;
+}
+
+KCurvePoint ComputeAverageK(uint64_t n, double c_fraction, double alpha,
+                            int samples, uint64_t seed) {
+  const uint64_t c = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::llround(
+             static_cast<double>(n) * c_fraction)));
+  core::KTable table = core::KTable::Build(n, c, alpha);
+
+  KCurvePoint point;
+  point.n = n;
+  point.c_fraction = c_fraction;
+  point.alpha = alpha;
+  point.k_max = table.k_max();
+
+  // Per sampled node, the region size at which its i-th nearest neighbor
+  // appears is the i-th order statistic of N-1 uniforms on [0,1] (see
+  // DESIGN.md): generated as normalized partial sums of Exp(1) gaps,
+  // exact up to O(k_max/N).
+  util::Rng rng(seed);
+  OnlineStats ks;
+  double max_k = 0;
+  for (int s = 0; s < samples; ++s) {
+    double sum = 0;
+    std::vector<double> thresholds;
+    thresholds.reserve(table.k_max() + 1);
+    for (int i = 0; i < table.k_max(); ++i) {
+      sum += -std::log(1.0 - rng.NextDouble());
+      thresholds.push_back(sum / static_cast<double>(n - 1));
+    }
+    int chosen = table.k_max();
+    for (const core::KTable::Entry& entry : table.entries()) {
+      // Number of neighbors within region size entry.rs.
+      size_t count = static_cast<size_t>(
+          std::upper_bound(thresholds.begin(), thresholds.end(), entry.rs) -
+          thresholds.begin());
+      if (count >= static_cast<size_t>(entry.k)) {
+        chosen = entry.k;
+        break;
+      }
+    }
+    ks.Add(chosen);
+    max_k = std::max(max_k, static_cast<double>(chosen));
+  }
+  point.avg_k = ks.mean();
+  point.max_k_seen = max_k;
+  return point;
+}
+
+Result<std::vector<CachePoint>> RunCacheSweep(
+    const Parameters& base, const std::vector<size_t>& cache_sizes,
+    int trials) {
+  Result<std::unique_ptr<Network>> network = Network::Build(base);
+  if (!network.ok()) return network.status();
+  Network& net = *network.value();
+  util::Rng rng(base.seed ^ 0xcac4e51ce);
+
+  std::vector<CachePoint> points;
+  for (size_t cache_size : cache_sizes) {
+    core::ProtocolContext ctx = net.context();
+    ctx.rs3 = std::min(1.0, static_cast<double>(cache_size) /
+                                static_cast<double>(base.n));
+    // With tiny caches the selection may relocate many times before
+    // accumulating A candidates.
+    ctx.max_relocations = 64;
+    strategies::Sep2pStrategy strategy(ctx,
+                                       strategies::AdversaryConfig::Passive());
+
+    OnlineStats reloc, crypto_lat, crypto_work, msg_lat, msg_work;
+    int relocated_runs = 0;
+    int failed_runs = 0;
+    for (int t = 0; t < trials; ++t) {
+      uint32_t trigger =
+          static_cast<uint32_t>(rng.NextUint64(net.directory().size()));
+      Result<strategies::StrategyOutcome> run = strategy.Run(trigger, rng);
+      if (!run.ok()) {
+        // A cache smaller than A can make the selection impossible; that
+        // is a data point (the paper's "sparse regions cannot fully take
+        // part"), not a harness error.
+        if (run.status().code() == StatusCode::kResourceExhausted) {
+          ++failed_runs;
+          continue;
+        }
+        return run.status();
+      }
+      reloc.Add(run->relocations);
+      if (run->relocations > 0) ++relocated_runs;
+      crypto_lat.Add(run->setup_cost.crypto_latency);
+      crypto_work.Add(run->setup_cost.crypto_work);
+      msg_lat.Add(run->setup_cost.msg_latency);
+      msg_work.Add(run->setup_cost.msg_work);
+    }
+
+    CachePoint point;
+    point.cache_size = cache_size;
+    point.trials = trials;
+    point.relocation_rate = reloc.mean();
+    point.relocated_fraction =
+        static_cast<double>(relocated_runs) / std::max(1, trials);
+    point.failed_fraction =
+        static_cast<double>(failed_runs) / std::max(1, trials);
+    point.setup_crypto_latency = crypto_lat.mean();
+    point.setup_crypto_work = crypto_work.mean();
+    point.setup_msg_latency = msg_lat.mean();
+    point.setup_msg_work = msg_work.mean();
+    points.push_back(point);
+  }
+  return points;
+}
+
+Result<std::vector<ActorsPoint>> RunActorSweep(
+    const Parameters& base, const std::vector<int>& actor_counts,
+    int trials) {
+  Result<std::unique_ptr<Network>> network = Network::Build(base);
+  if (!network.ok()) return network.status();
+  Network& net = *network.value();
+  util::Rng rng(base.seed ^ 0xac1052);
+
+  std::vector<ActorsPoint> points;
+  for (int actor_count : actor_counts) {
+    core::ProtocolContext ctx = net.context();
+    ctx.actor_count = actor_count;
+    // Keep R3 populated for the largest sweeps.
+    ctx.rs3 = std::max(ctx.rs3, 4.0 * actor_count / static_cast<double>(
+                                                        base.n));
+    strategies::Sep2pStrategy strategy(ctx,
+                                       strategies::AdversaryConfig::Passive());
+
+    OnlineStats crypto_work, msg_work, verification;
+    for (int t = 0; t < trials; ++t) {
+      uint32_t trigger =
+          static_cast<uint32_t>(rng.NextUint64(net.directory().size()));
+      Result<strategies::StrategyOutcome> run = strategy.Run(trigger, rng);
+      if (!run.ok()) return run.status();
+      crypto_work.Add(run->setup_cost.crypto_work);
+      msg_work.Add(run->setup_cost.msg_work);
+      verification.Add(run->verification_cost);
+    }
+
+    ActorsPoint point;
+    point.actor_count = actor_count;
+    point.setup_crypto_work = crypto_work.mean();
+    point.setup_msg_work = msg_work.mean();
+    point.verification_cost = verification.mean();
+    points.push_back(point);
+  }
+  return points;
+}
+
+Result<ExhaustiveStats> RunExhaustiveSetters(const Parameters& base,
+                                             size_t sample) {
+  Result<std::unique_ptr<Network>> network = Network::Build(base);
+  if (!network.ok()) return network.status();
+  Network& net = *network.value();
+  util::Rng rng(base.seed ^ 0xe4a);
+
+  std::vector<uint32_t> setters;
+  if (sample == 0 || sample >= net.directory().size()) {
+    for (uint32_t i = 0; i < net.directory().size(); ++i) {
+      setters.push_back(i);
+    }
+  } else {
+    for (size_t idx : rng.SampleIndices(net.directory().size(), sample)) {
+      setters.push_back(static_cast<uint32_t>(idx));
+    }
+  }
+
+  core::ProtocolContext ctx = net.context();
+  core::SelectionProtocol protocol(ctx);
+  OnlineStats verif, cw, mw, cl, ml;
+  for (uint32_t setter : setters) {
+    // Force the setter point onto this node's exact position.
+    crypto::Hash256 point =
+        crypto::Hash256::FromRingPos(net.directory().node(setter).pos);
+    core::SelectionOptions options;
+    options.forced_point = &point;
+    uint32_t trigger =
+        static_cast<uint32_t>(rng.NextUint64(net.directory().size()));
+    Result<core::SelectionProtocol::Outcome> run =
+        protocol.Run(trigger, rng, options);
+    if (!run.ok()) {
+      if (run.status().code() == StatusCode::kResourceExhausted) continue;
+      return run.status();
+    }
+    verif.Add(2.0 * run->val.k());
+    cw.Add(run->cost.crypto_work);
+    mw.Add(run->cost.msg_work);
+    cl.Add(run->cost.crypto_latency);
+    ml.Add(run->cost.msg_latency);
+  }
+
+  ExhaustiveStats stats;
+  stats.setters = static_cast<int>(verif.count());
+  stats.verif_avg = verif.mean();
+  stats.verif_max = verif.max();
+  stats.verif_stddev = verif.stddev();
+  stats.crypto_work_avg = cw.mean();
+  stats.crypto_work_max = cw.max();
+  stats.crypto_work_stddev = cw.stddev();
+  stats.msg_work_avg = mw.mean();
+  stats.msg_work_max = mw.max();
+  stats.msg_work_stddev = mw.stddev();
+  stats.crypto_lat_avg = cl.mean();
+  stats.crypto_lat_max = cl.max();
+  stats.crypto_lat_stddev = cl.stddev();
+  stats.msg_lat_avg = ml.mean();
+  stats.msg_lat_max = ml.max();
+  stats.msg_lat_stddev = ml.stddev();
+  return stats;
+}
+
+Result<std::vector<FailurePoint>> RunFailureSweep(
+    const Parameters& base, const std::vector<double>& probabilities,
+    int trials, int max_attempts) {
+  Result<std::unique_ptr<Network>> network = Network::Build(base);
+  if (!network.ok()) return network.status();
+  Network& net = *network.value();
+  util::Rng rng(base.seed ^ 0xfa11);
+
+  std::vector<FailurePoint> points;
+  for (double probability : probabilities) {
+    net::FailureModel failures(probability, base.seed ^ 0xdead);
+    core::ProtocolContext ctx = net.context();
+    core::SelectionProtocol protocol(ctx);
+
+    int first_try = 0, gave_up = 0;
+    OnlineStats attempts;
+    for (int t = 0; t < trials; ++t) {
+      uint32_t trigger =
+          static_cast<uint32_t>(rng.NextUint64(net.directory().size()));
+      int attempt = 1;
+      for (; attempt <= max_attempts; ++attempt) {
+        core::SelectionOptions options;
+        options.failures = &failures;
+        Result<core::SelectionProtocol::Outcome> run =
+            protocol.Run(trigger, rng, options);
+        if (run.ok()) break;
+        if (run.status().code() != StatusCode::kUnavailable) {
+          return run.status();
+        }
+      }
+      if (attempt > max_attempts) {
+        ++gave_up;
+      } else {
+        attempts.Add(attempt);
+        if (attempt == 1) ++first_try;
+      }
+    }
+
+    FailurePoint point;
+    point.failure_probability = probability;
+    point.trials = trials;
+    point.first_try_success_rate =
+        static_cast<double>(first_try) / std::max(1, trials);
+    point.avg_attempts = attempts.mean();
+    point.give_up_rate = static_cast<double>(gave_up) / std::max(1, trials);
+    points.push_back(point);
+  }
+  return points;
+}
+
+Result<AlphaPoint> ProbeAlpha(const Parameters& base, double alpha,
+                              int network_count) {
+  Parameters params = base;
+  params.alpha = alpha;
+  Result<std::unique_ptr<Network>> network = Network::Build(params);
+  if (!network.ok()) return network.status();
+  Network& net = *network.value();
+  util::Rng rng(params.seed ^ 0xa1fa);
+
+  // Test the k-table's densest guarantee: the k_max entry (largest
+  // region). A breach anywhere lets an attacker fully control one
+  // selection.
+  const core::KTable& table = net.ktable();
+  const core::KTable::Entry entry = table.entries().back();
+  const dht::RingPos width = dht::WidthFromFraction(entry.rs);
+
+  AlphaPoint point;
+  point.alpha = alpha;
+  point.k = entry.k;
+  point.rs = entry.rs;
+  point.networks_tested = network_count;
+
+  for (int round = 0; round < network_count; ++round) {
+    if (round > 0) net.ReassignColluders(rng);
+    std::vector<dht::RingPos> colluders;
+    for (uint32_t idx : net.ColluderIndices()) {
+      colluders.push_back(net.directory().node(idx).pos);
+    }
+    std::sort(colluders.begin(), colluders.end());
+
+    // The attack that alpha must prevent: a corrupted triggering node T
+    // finds k colluding TLs legitimate w.r.t. R1 *centered on itself* —
+    // i.e. k+1 colluders (T included) inside a region of size rs
+    // centered on a colluder. Scan every colluder as the center.
+    int max_centered = 0;
+    const size_t m = colluders.size();
+    const dht::RingPos half = width >> 1;
+    for (size_t i = 0; i < m; ++i) {
+      const dht::RingPos start = colluders[i] - half;
+      int count = 0;
+      // Walk clockwise from the region's start; the anchor list is
+      // sorted, so begin at the first colluder >= start (with wrap).
+      size_t lo = std::lower_bound(colluders.begin(), colluders.end(),
+                                   start) -
+                  colluders.begin();
+      for (size_t step = 0; step < m; ++step) {
+        size_t j = (lo + step) % m;
+        if (dht::ClockwiseDistance(start, colluders[j]) <= width) {
+          ++count;
+        } else {
+          break;
+        }
+      }
+      max_centered = std::max(max_centered, count);
+    }
+    point.max_colluders_seen =
+        std::max(point.max_colluders_seen, max_centered);
+    // Full control needs T plus k colluding TLs.
+    if (max_centered >= entry.k + 1) ++point.breaches;
+  }
+  return point;
+}
+
+}  // namespace sep2p::sim

@@ -1,0 +1,153 @@
+// Experiment harnesses: one entry point per paper figure.
+//
+// The benchmark binaries under bench/ are thin mains over these
+// functions, and the integration tests run scaled-down versions of the
+// same code paths, so what is printed is what is tested.
+
+#ifndef SEP2P_SIM_EXPERIMENT_H_
+#define SEP2P_SIM_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/network.h"
+#include "sim/parameters.h"
+#include "util/status.h"
+
+namespace sep2p::sim {
+
+// ---------------------------------------------------------------- Fig 3-5
+// One point per (strategy, C%): security effectiveness, verification cost
+// and setup costs, averaged over `trials` protocol executions with random
+// triggering nodes and re-randomized colluder assignments.
+struct StrategyPoint {
+  std::string strategy;
+  double c_fraction = 0;
+  int trials = 0;
+  double verification_cost = 0;  // asymmetric ops per verifier (avg)
+  double ideal_corrupted = 0;    // A_C^ideal = A * C / N
+  double avg_corrupted = 0;      // measured A_C
+  double effectiveness = 0;      // A_C^ideal / A_C, capped at 1
+  double setup_crypto_latency = 0;
+  double setup_crypto_work = 0;
+  double setup_msg_latency = 0;
+  double setup_msg_work = 0;
+  double relocation_rate = 0;    // avg relocations per execution
+};
+
+Result<std::vector<StrategyPoint>> RunStrategyComparison(
+    const Parameters& base, const std::vector<double>& c_fractions,
+    const std::vector<std::string>& strategy_names, int trials);
+
+// ------------------------------------------------------------------ Fig 6
+// Average security degree k for a network configuration, where each node
+// picks the cheapest usable k-table entry. Evaluated by sampling node
+// neighborhoods from the exact order-statistics model (no directory
+// materialization, so N = 10^7 is cheap); `k_max` is the value every node
+// would pay without the k-table optimization.
+struct KCurvePoint {
+  uint64_t n = 0;
+  double c_fraction = 0;
+  double alpha = 0;
+  double avg_k = 0;
+  double max_k_seen = 0;
+  int k_max = 0;  // the "no k-table" cost
+};
+
+KCurvePoint ComputeAverageK(uint64_t n, double c_fraction, double alpha,
+                            int samples, uint64_t seed);
+
+// ------------------------------------------------------------------ Fig 7
+// Node-cache size sweep on the reference network: relocation rate and
+// setup costs of the SEP2P selection as rs3 = cache/N varies.
+struct CachePoint {
+  size_t cache_size = 0;
+  int trials = 0;
+  double relocation_rate = 0;  // avg relocations per execution
+  double relocated_fraction = 0;  // fraction of executions relocating
+  // Executions that never found A candidates (cache too small vs A) and
+  // gave up after the relocation budget.
+  double failed_fraction = 0;
+  double setup_crypto_latency = 0;
+  double setup_crypto_work = 0;
+  double setup_msg_latency = 0;
+  double setup_msg_work = 0;
+};
+
+Result<std::vector<CachePoint>> RunCacheSweep(
+    const Parameters& base, const std::vector<size_t>& cache_sizes,
+    int trials);
+
+// ---------------------------------------------------------- §4.3 ablation
+// Total-work growth with the number of actors A (results the paper
+// mentions but omits "for the sake of brevity").
+struct ActorsPoint {
+  int actor_count = 0;
+  double setup_crypto_work = 0;
+  double setup_msg_work = 0;
+  double verification_cost = 0;
+};
+
+Result<std::vector<ActorsPoint>> RunActorSweep(
+    const Parameters& base, const std::vector<int>& actor_counts,
+    int trials);
+
+// ------------------------------------------------------- §4.1 methodology
+// The paper's simulator forces each node to act as Execution Setter to
+// obtain "the exhaustive set of cases ... and then capture the average,
+// maximum and standard deviation" of the metrics. Same here, over all
+// nodes or a sample.
+struct ExhaustiveStats {
+  int setters = 0;
+  // Per metric: average / maximum / standard deviation.
+  double verif_avg = 0, verif_max = 0, verif_stddev = 0;
+  double crypto_work_avg = 0, crypto_work_max = 0, crypto_work_stddev = 0;
+  double msg_work_avg = 0, msg_work_max = 0, msg_work_stddev = 0;
+  double crypto_lat_avg = 0, crypto_lat_max = 0, crypto_lat_stddev = 0;
+  double msg_lat_avg = 0, msg_lat_max = 0, msg_lat_stddev = 0;
+};
+
+// Runs the SEP2P selection once per (sampled) node forced as setter.
+// `sample` = 0 means every node.
+Result<ExhaustiveStats> RunExhaustiveSetters(const Parameters& base,
+                                             size_t sample);
+
+// ---------------------------------------------------------- §3.6 ablation
+// Robustness to participant failures: the paper's remedy for a TL/SL/S
+// failing mid-protocol is restarting with a fresh RND_T. Sweeping the
+// per-step failure probability measures how many restarts that costs.
+struct FailurePoint {
+  double failure_probability = 0;
+  int trials = 0;
+  double first_try_success_rate = 0;
+  double avg_attempts = 0;  // attempts until success (incl. the success)
+  double give_up_rate = 0;  // trials exhausting the attempt budget
+};
+
+Result<std::vector<FailurePoint>> RunFailureSweep(
+    const Parameters& base, const std::vector<double>& probabilities,
+    int trials, int max_attempts = 50);
+
+// ---------------------------------------------------------- §4.1 ablation
+// Empirical check behind the alpha choice: across `network_count`
+// colluder assignments, the maximum number of colluders found in ANY
+// region of size rs_k, versus the security degree k it would need to
+// defeat.
+struct AlphaPoint {
+  double alpha = 0;
+  int k = 0;        // k-table entry under test (k_max)
+  double rs = 0;    // its region size
+  int networks_tested = 0;
+  int max_colluders_seen = 0;  // in any region centered on a colluder
+  // Assignments where a corrupted trigger could find k colluding TLs
+  // around itself (k+1 colluders in a colluder-centered region) — full
+  // protocol capture.
+  int breaches = 0;
+};
+
+Result<AlphaPoint> ProbeAlpha(const Parameters& base, double alpha,
+                              int network_count);
+
+}  // namespace sep2p::sim
+
+#endif  // SEP2P_SIM_EXPERIMENT_H_

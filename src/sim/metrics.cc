@@ -1,0 +1,77 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace sep2p::sim {
+
+void OnlineStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    std::printf("|");
+    for (size_t i = 0; i < cells.size(); ++i) {
+      std::printf(" %-*s |", static_cast<int>(widths[i]), cells[i].c_str());
+    }
+    std::printf("\n");
+  };
+  auto print_rule = [&] {
+    std::printf("+");
+    for (size_t w : widths) {
+      for (size_t i = 0; i < w + 2; ++i) std::printf("-");
+      std::printf("+");
+    }
+    std::printf("\n");
+  };
+
+  print_rule();
+  print_row(headers_);
+  print_rule();
+  for (const auto& row : rows_) print_row(row);
+  print_rule();
+}
+
+std::string TablePrinter::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision + 3, v);
+  // %.Ng keeps it compact; fall back to fixed for small magnitudes.
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  std::string s = buf;
+  // Trim trailing zeros but keep at least one decimal digit removed dot.
+  while (!s.empty() && s.find('.') != std::string::npos &&
+         (s.back() == '0' || s.back() == '.')) {
+    bool was_dot = s.back() == '.';
+    s.pop_back();
+    if (was_dot) break;
+  }
+  return s.empty() ? "0" : s;
+}
+
+}  // namespace sep2p::sim

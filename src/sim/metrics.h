@@ -1,0 +1,54 @@
+// Metric accumulators and table printing for the experiment harnesses.
+
+#ifndef SEP2P_SIM_METRICS_H_
+#define SEP2P_SIM_METRICS_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sep2p::sim {
+
+// Streaming mean / max / stddev (Welford).
+class OnlineStats {
+ public:
+  void Add(double x);
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+// Fixed-width ASCII table, matching the style the benchmark binaries use
+// to print each figure's series.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  // Renders the table to stdout.
+  void Print() const;
+
+  static std::string Num(double v, int precision = 3);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sep2p::sim
+
+#endif  // SEP2P_SIM_METRICS_H_

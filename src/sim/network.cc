@@ -1,0 +1,110 @@
+#include "sim/network.h"
+
+#include "core/probability.h"
+#include "crypto/ed25519_provider.h"
+#include "crypto/sim_provider.h"
+#include "dht/node_id.h"
+#include "util/logging.h"
+
+namespace sep2p::sim {
+
+Result<std::unique_ptr<Network>> Network::Build(const Parameters& params) {
+  if (params.n < 8) {
+    return Status::InvalidArgument("network: need at least 8 nodes");
+  }
+  if (params.c() >= params.n) {
+    return Status::InvalidArgument("network: colluders must be < N");
+  }
+
+  auto network = std::unique_ptr<Network>(new Network(params));
+  if (params.provider == Parameters::ProviderKind::kEd25519) {
+    network->provider_ = std::make_unique<crypto::Ed25519Provider>();
+  } else {
+    network->provider_ = std::make_unique<crypto::SimProvider>();
+  }
+
+  Result<crypto::CertificateAuthority> ca =
+      crypto::CertificateAuthority::Create(*network->provider_,
+                                           network->rng_);
+  if (!ca.ok()) return ca.status();
+  network->ca_.emplace(std::move(ca.value()));
+
+  // Provision every node: key pair, certificate, imposed DHT location.
+  std::vector<dht::NodeRecord> records;
+  records.reserve(params.n);
+  for (uint64_t i = 0; i < params.n; ++i) {
+    Result<crypto::KeyPair> pair =
+        network->provider_->GenerateKeyPair(network->rng_);
+    if (!pair.ok()) return pair.status();
+    Result<crypto::Certificate> cert = network->ca_->Issue(pair->pub);
+    if (!cert.ok()) return cert.status();
+
+    dht::NodeRecord record;
+    record.pub = pair->pub;
+    record.priv = std::move(pair->priv);
+    record.cert = std::move(cert.value());
+    record.id = dht::NodeIdForKey(record.pub);
+    record.pos = record.id.ring_pos();
+    records.push_back(std::move(record));
+  }
+  network->directory_ = std::make_unique<dht::Directory>(std::move(records));
+  network->chord_ =
+      std::make_unique<dht::ChordOverlay>(network->directory_.get());
+
+  // Mark C colluders uniformly at random (their DHT spread is uniform by
+  // the imposed-location construction regardless of which are marked).
+  network->ReassignColluders(network->rng_);
+
+  network->ktable_.emplace(
+      core::KTable::Build(params.n, params.c(), params.alpha));
+  network->tolerance_rs_ =
+      core::SolveRegionSizeForPopulation(1, params.n, params.alpha);
+
+  SEP2P_LOG(Info) << "network built: " << params.ToString()
+                  << " k_max=" << network->ktable_->k_max();
+  return network;
+}
+
+dht::CanOverlay& Network::can() {
+  if (!can_) can_ = std::make_unique<dht::CanOverlay>(directory_.get());
+  return *can_;
+}
+
+dht::RoutingOverlay& Network::overlay() {
+  if (params_.overlay == Parameters::OverlayKind::kCan) return can();
+  return *chord_;
+}
+
+core::ProtocolContext Network::context() {
+  core::ProtocolContext ctx;
+  ctx.directory = directory_.get();
+  ctx.overlay = &overlay();
+  ctx.provider = provider_.get();
+  ctx.ca = &ca_.value();
+  ctx.ktable = &ktable_.value();
+  ctx.actor_count = params_.actor_count;
+  ctx.rs3 = params_.rs3();
+  ctx.tolerance_rs = tolerance_rs_;
+  return ctx;
+}
+
+std::vector<uint32_t> Network::ColluderIndices() const {
+  std::vector<uint32_t> out;
+  for (uint32_t i = 0; i < directory_->size(); ++i) {
+    if (directory_->node(i).colluding) out.push_back(i);
+  }
+  return out;
+}
+
+void Network::ReassignColluders(util::Rng& rng) {
+  for (uint32_t i = 0; i < directory_->size(); ++i) {
+    directory_->mutable_node(i).colluding = false;
+  }
+  std::vector<size_t> chosen =
+      rng.SampleIndices(directory_->size(), params_.c());
+  for (size_t idx : chosen) {
+    directory_->mutable_node(static_cast<uint32_t>(idx)).colluding = true;
+  }
+}
+
+}  // namespace sep2p::sim

@@ -1,0 +1,72 @@
+// Network: builds and owns a complete simulated SEP2P deployment.
+//
+// Provisioning follows the paper's architecture: each node gets a key
+// pair from the signature provider and a certificate from the offline
+// CA; its DHT id is imposed as hash(public key), so colluders — marked
+// uniformly at random — end up uniformly spread over the ring. The
+// network exposes a core::ProtocolContext that protocol runs borrow.
+
+#ifndef SEP2P_SIM_NETWORK_H_
+#define SEP2P_SIM_NETWORK_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/context.h"
+#include "core/ktable.h"
+#include "crypto/certificate.h"
+#include "crypto/signature_provider.h"
+#include "dht/can.h"
+#include "dht/chord.h"
+#include "dht/directory.h"
+#include "sim/parameters.h"
+#include "util/rng.h"
+
+namespace sep2p::sim {
+
+class Network {
+ public:
+  static Result<std::unique_ptr<Network>> Build(const Parameters& params);
+
+  const Parameters& params() const { return params_; }
+  dht::Directory& directory() { return *directory_; }
+  const dht::Directory& directory() const { return *directory_; }
+  dht::ChordOverlay& chord() { return *chord_; }
+  // The routing overlay selected by params().overlay (Chord or CAN).
+  dht::RoutingOverlay& overlay();
+  crypto::SignatureProvider& provider() { return *provider_; }
+  crypto::CertificateAuthority& ca() { return *ca_; }
+  const core::KTable& ktable() const { return *ktable_; }
+  util::Rng& rng() { return rng_; }
+
+  // Lazily built CAN overlay (only some tests/benches need it).
+  dht::CanOverlay& can();
+
+  // Borrowed protocol context; valid while the Network lives. `now` and
+  // tunables can be adjusted on the returned value.
+  core::ProtocolContext context();
+
+  // Directory indices of the colluding nodes.
+  std::vector<uint32_t> ColluderIndices() const;
+
+  // Re-randomizes which nodes collude (same C), for repeated trials.
+  void ReassignColluders(util::Rng& rng);
+
+ private:
+  Network(const Parameters& params) : params_(params), rng_(params.seed) {}
+
+  Parameters params_;
+  util::Rng rng_;
+  std::unique_ptr<crypto::SignatureProvider> provider_;
+  std::optional<crypto::CertificateAuthority> ca_;
+  std::unique_ptr<dht::Directory> directory_;
+  std::unique_ptr<dht::ChordOverlay> chord_;
+  std::unique_ptr<dht::CanOverlay> can_;
+  std::optional<core::KTable> ktable_;
+  double tolerance_rs_ = 0;
+};
+
+}  // namespace sep2p::sim
+
+#endif  // SEP2P_SIM_NETWORK_H_

@@ -1,0 +1,21 @@
+#include "sim/parameters.h"
+
+#include <cstdio>
+
+namespace sep2p::sim {
+
+std::string Parameters::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "N=%llu C=%llu (%.4g%%) A=%d alpha=%.1e cache=%zu seed=%llu "
+                "provider=%s overlay=%s",
+                static_cast<unsigned long long>(n),
+                static_cast<unsigned long long>(c()),
+                colluding_fraction * 100.0, actor_count, alpha, cache_size,
+                static_cast<unsigned long long>(seed),
+                provider == ProviderKind::kSim ? "sim" : "ed25519",
+                overlay == OverlayKind::kChord ? "chord" : "can");
+  return buf;
+}
+
+}  // namespace sep2p::sim

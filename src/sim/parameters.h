@@ -1,0 +1,49 @@
+// Simulation parameters (paper Table 3; bold defaults reproduced here).
+//
+// Defaults follow the paper's reference network: N = 100K nodes,
+// C% = 1% colluders, A = 32 actors, alpha = 1e-6, node cache = 512
+// entries, Chord overlay.
+
+#ifndef SEP2P_SIM_PARAMETERS_H_
+#define SEP2P_SIM_PARAMETERS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+namespace sep2p::sim {
+
+struct Parameters {
+  uint64_t n = 100000;               // network size
+  double colluding_fraction = 0.01;  // C% (C = max(1, n * C%))
+  int actor_count = 32;              // A
+  double alpha = 1e-6;               // security threshold
+  size_t cache_size = 512;           // node cache entries (rs3 = cache/N)
+  uint64_t seed = 42;
+
+  enum class ProviderKind { kSim, kEd25519 };
+  // Real Ed25519 everywhere is the default for small networks; large
+  // simulations switch to the metered SimProvider (see DESIGN.md,
+  // substitutions).
+  ProviderKind provider = ProviderKind::kSim;
+
+  enum class OverlayKind { kChord, kCan };
+  OverlayKind overlay = OverlayKind::kChord;
+
+  uint64_t c() const {
+    return std::max<uint64_t>(
+        1, static_cast<uint64_t>(std::llround(
+               static_cast<double>(n) * colluding_fraction)));
+  }
+  double rs3() const {
+    return std::min(1.0, static_cast<double>(cache_size) /
+                             static_cast<double>(n));
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace sep2p::sim
+
+#endif  // SEP2P_SIM_PARAMETERS_H_

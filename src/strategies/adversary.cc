@@ -1,0 +1,22 @@
+#include "strategies/adversary.h"
+
+namespace sep2p::strategies {
+
+std::optional<uint32_t> FindClaimingColluder(const dht::Directory& directory,
+                                             dht::RingPos p,
+                                             double tolerance_rs) {
+  dht::Region tolerance = dht::Region::Centered(p, tolerance_rs);
+  std::optional<uint32_t> best;
+  dht::RingPos best_distance = 0;
+  for (uint32_t idx : directory.NodesInRegion(tolerance)) {
+    if (!directory.node(idx).colluding) continue;
+    dht::RingPos d = dht::RingDistance(directory.node(idx).pos, p);
+    if (!best.has_value() || d < best_distance) {
+      best = idx;
+      best_distance = d;
+    }
+  }
+  return best;
+}
+
+}  // namespace sep2p::strategies

@@ -1,0 +1,45 @@
+// Covert-adversary model (paper §2.3-§2.4, Assumption 3).
+//
+// Colluding nodes deviate from a protocol only when the deviation cannot
+// be detected. Against the baseline strategies the profitable covert
+// deviations are:
+//
+//  * Execution-Setter claiming: verifiers can only check that the party
+//    presenting the actor list is "sufficiently near" hash(RND_T) — the
+//    tolerance must admit a region that always holds at least one node,
+//    or honest executions would stall. Any colluder inside the tolerance
+//    region can therefore claim to be S undetected (ES.NAV/ES.AV; per
+//    hashed destination for M.Hash).
+//  * Actor-list stuffing: a corrupted list builder fills the list with
+//    colluders (and, without actor verification, with fabricated ids).
+//  * Cache-entry hiding: a corrupted SL under SEP2P reports only
+//    colluders in its candidate list — defeated by the union with an
+//    honest SL's list (§3.5 discussion); kept here so tests can prove it.
+
+#ifndef SEP2P_STRATEGIES_ADVERSARY_H_
+#define SEP2P_STRATEGIES_ADVERSARY_H_
+
+#include <optional>
+
+#include "dht/directory.h"
+#include "dht/region.h"
+
+namespace sep2p::strategies {
+
+struct AdversaryConfig {
+  bool claim_execution_setter = true;
+  bool stuff_actor_list = true;
+  bool hide_honest_cache_entries = false;
+
+  static AdversaryConfig Passive() { return {false, false, false}; }
+};
+
+// Returns a colluding node inside the tolerance region around `p` able to
+// impersonate the node responsible for `p`, if any.
+std::optional<uint32_t> FindClaimingColluder(const dht::Directory& directory,
+                                             dht::RingPos p,
+                                             double tolerance_rs);
+
+}  // namespace sep2p::strategies
+
+#endif  // SEP2P_STRATEGIES_ADVERSARY_H_

@@ -1,0 +1,40 @@
+// The two bounds of §3.1: the idealized trusted server and the CSAR
+// security-optimal distributed baseline.
+//
+//  * Ideal: a trusted entity that knows all nodes hands out a fresh
+//    uniform actor list per computation; maximal effectiveness at a
+//    verification cost of 1 (the server's signature). Not deployable —
+//    the central point of attack SEP2P exists to avoid — but the yard-
+//    stick the protocol is measured against.
+//  * CSAR: verifiable random with C+1 arbitrary participants, actors by
+//    rank mapping. Also maximal effectiveness, but verification costs
+//    2(C+1) + A on a DHT and the setup fans out to C+1 nodes: unusable
+//    for wide collusions, which is exactly the gap SEP2P closes with
+//    its k legitimate nodes.
+
+#ifndef SEP2P_STRATEGIES_BASELINES_H_
+#define SEP2P_STRATEGIES_BASELINES_H_
+
+#include "strategies/strategy.h"
+
+namespace sep2p::strategies {
+
+class IdealStrategy : public Strategy {
+ public:
+  using Strategy::Strategy;
+  const char* name() const override { return "Ideal"; }
+  Result<StrategyOutcome> Run(uint32_t trigger_index,
+                              util::Rng& rng) override;
+};
+
+class CsarStrategy : public Strategy {
+ public:
+  using Strategy::Strategy;
+  const char* name() const override { return "CSAR"; }
+  Result<StrategyOutcome> Run(uint32_t trigger_index,
+                              util::Rng& rng) override;
+};
+
+}  // namespace sep2p::strategies
+
+#endif  // SEP2P_STRATEGIES_BASELINES_H_

@@ -1,0 +1,47 @@
+#include "strategies/strategy.h"
+
+#include "strategies/baselines.h"
+#include "strategies/es_strategies.h"
+#include "strategies/mhash.h"
+
+namespace sep2p::strategies {
+
+int Strategy::CountCorrupted(const std::vector<uint32_t>& actors) const {
+  int corrupted = 0;
+  for (uint32_t idx : actors) {
+    if (ctx_.directory->node(idx).colluding) ++corrupted;
+  }
+  return corrupted;
+}
+
+Result<StrategyOutcome> Sep2pStrategy::Run(uint32_t trigger_index,
+                                           util::Rng& rng) {
+  core::SelectionProtocol protocol(ctx_);
+  core::SelectionOptions options;
+  options.colluding_sls_hide_honest = adversary_.hide_honest_cache_entries;
+  Result<core::SelectionProtocol::Outcome> run =
+      protocol.Run(trigger_index, rng, options);
+  if (!run.ok()) return run.status();
+
+  StrategyOutcome outcome;
+  outcome.actors = run->actor_indices;
+  outcome.corrupted_actors = CountCorrupted(outcome.actors);
+  outcome.relocations = run->relocations;
+  outcome.setup_cost = run->cost;
+  outcome.verification_cost = 2.0 * run->val.k();
+  return outcome;
+}
+
+std::unique_ptr<Strategy> MakeStrategy(const std::string& name,
+                                       const core::ProtocolContext& ctx,
+                                       const AdversaryConfig& adversary) {
+  if (name == "SEP2P") return std::make_unique<Sep2pStrategy>(ctx, adversary);
+  if (name == "ES.NAV") return std::make_unique<EsNavStrategy>(ctx, adversary);
+  if (name == "ES.AV") return std::make_unique<EsAvStrategy>(ctx, adversary);
+  if (name == "M.Hash") return std::make_unique<MHashStrategy>(ctx, adversary);
+  if (name == "Ideal") return std::make_unique<IdealStrategy>(ctx, adversary);
+  if (name == "CSAR") return std::make_unique<CsarStrategy>(ctx, adversary);
+  return nullptr;
+}
+
+}  // namespace sep2p::strategies

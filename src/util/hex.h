@@ -1,0 +1,23 @@
+// Hexadecimal encoding/decoding helpers.
+
+#ifndef SEP2P_UTIL_HEX_H_
+#define SEP2P_UTIL_HEX_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sep2p::util {
+
+// Lower-case hex encoding of `data`.
+std::string ToHex(const uint8_t* data, size_t len);
+std::string ToHex(const std::vector<uint8_t>& data);
+
+// Decodes a hex string (case-insensitive); returns std::nullopt on a
+// malformed input (odd length or non-hex character).
+std::optional<std::vector<uint8_t>> FromHex(const std::string& hex);
+
+}  // namespace sep2p::util
+
+#endif  // SEP2P_UTIL_HEX_H_

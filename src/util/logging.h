@@ -1,0 +1,43 @@
+// Minimal leveled logging to stderr.
+//
+// Usage: SEP2P_LOG(INFO) << "built network with " << n << " nodes";
+// The default threshold is WARNING so library code stays quiet in tests;
+// harnesses raise it explicitly.
+
+#ifndef SEP2P_UTIL_LOGGING_H_
+#define SEP2P_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace sep2p::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Sets the minimum level that is actually emitted; returns the old level.
+LogLevel SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace sep2p::util
+
+#define SEP2P_LOG(severity)                                              \
+  ::sep2p::util::internal::LogMessage(                                   \
+      ::sep2p::util::LogLevel::k##severity, __FILE__, __LINE__)          \
+      .stream()
+
+#endif  // SEP2P_UTIL_LOGGING_H_

@@ -1,0 +1,112 @@
+#include "dht/can.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/metrics.h"
+#include "tests/test_util.h"
+
+namespace sep2p::dht {
+namespace {
+
+TEST(CanTest, ZonesPartitionTheTorus) {
+  auto dir = test::MakeDirectory(256);
+  CanOverlay can(dir.get());
+  EXPECT_EQ(can.zone_count(), 256u);
+
+  double total_area = 0;
+  for (size_t i = 0; i < can.zone_count(); ++i) {
+    const CanOverlay::Zone& z = can.zone(i);
+    EXPECT_GT(z.width(), 0);
+    EXPECT_GT(z.height(), 0);
+    total_area += z.width() * z.height();
+  }
+  EXPECT_NEAR(total_area, 1.0, 1e-9);
+}
+
+TEST(CanTest, EveryPointHasExactlyOneOwner) {
+  auto dir = test::MakeDirectory(128);
+  CanOverlay can(dir.get());
+  util::Rng rng(1);
+  for (int trial = 0; trial < 500; ++trial) {
+    double x = rng.NextDouble(), y = rng.NextDouble();
+    uint32_t owner = can.OwnerOf(x, y);
+    // The owner's zone must actually contain the point.
+    EXPECT_TRUE(can.ZoneOfNode(owner).Contains(x, y));
+  }
+}
+
+TEST(CanTest, ZoneOfNodeIsConsistentWithOwnership) {
+  auto dir = test::MakeDirectory(64);
+  CanOverlay can(dir.get());
+  for (uint32_t i = 0; i < dir->size(); ++i) {
+    const CanOverlay::Zone& z = can.ZoneOfNode(i);
+    EXPECT_EQ(z.owner, i);
+    double cx = (z.x0 + z.x1) / 2, cy = (z.y0 + z.y1) / 2;
+    EXPECT_EQ(can.OwnerOf(cx, cy), i);
+  }
+}
+
+TEST(CanTest, RouteReachesOwnerOfKey) {
+  auto dir = test::MakeDirectory(400);
+  CanOverlay can(dir.get());
+  util::Rng rng(2);
+  for (int trial = 0; trial < 100; ++trial) {
+    uint32_t from = rng.NextUint64(dir->size());
+    NodeId key = NodeId::Of("key-" + std::to_string(trial));
+    auto route = can.Route(from, key);
+    ASSERT_TRUE(route.ok()) << route.status().ToString();
+    double tx, ty;
+    CanOverlay::PointForId(key, &tx, &ty);
+    EXPECT_EQ(route->dest_index, can.OwnerOf(tx, ty));
+  }
+}
+
+TEST(CanTest, HopCountScalesLikeSqrtN) {
+  util::Rng rng(3);
+  sim::OnlineStats hops_small, hops_large;
+  for (auto [n, stats] :
+       {std::pair<size_t, sim::OnlineStats*>{100, &hops_small},
+        std::pair<size_t, sim::OnlineStats*>{1600, &hops_large}}) {
+    auto dir = test::MakeDirectory(n, /*seed=*/7);
+    CanOverlay can(dir.get());
+    for (int trial = 0; trial < 150; ++trial) {
+      uint32_t from = rng.NextUint64(dir->size());
+      NodeId key = NodeId::Of("k" + std::to_string(trial));
+      auto route = can.Route(from, key);
+      ASSERT_TRUE(route.ok());
+      stats->Add(route->hops);
+    }
+  }
+  // CAN (d=2) routes in O(sqrt N): 16x nodes -> about 4x hops, certainly
+  // much more than Chord's log growth and much less than linear.
+  EXPECT_GT(hops_large.mean(), hops_small.mean() * 1.5);
+  EXPECT_LT(hops_large.mean(), hops_small.mean() * 10.0);
+}
+
+TEST(CanTest, RouteToOwnZoneIsZeroHops) {
+  auto dir = test::MakeDirectory(64);
+  CanOverlay can(dir.get());
+  // Find a key owned by node 5 by probing its zone center.
+  const CanOverlay::Zone& z = can.ZoneOfNode(5);
+  double cx = (z.x0 + z.x1) / 2, cy = (z.y0 + z.y1) / 2;
+  uint32_t owner = can.OwnerOf(cx, cy);
+  EXPECT_EQ(owner, 5u);
+}
+
+TEST(CanTest, PointForIdDeterministic) {
+  NodeId id = NodeId::Of("abc");
+  double x1, y1, x2, y2;
+  CanOverlay::PointForId(id, &x1, &y1);
+  CanOverlay::PointForId(id, &x2, &y2);
+  EXPECT_EQ(x1, x2);
+  EXPECT_EQ(y1, y2);
+  EXPECT_GE(x1, 0.0);
+  EXPECT_LT(x1, 1.0);
+  EXPECT_GE(y1, 0.0);
+  EXPECT_LT(y1, 1.0);
+}
+
+}  // namespace
+}  // namespace sep2p::dht

@@ -1,0 +1,101 @@
+#include "crypto/certificate.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/ed25519_provider.h"
+#include "crypto/sim_provider.h"
+#include "dht/node_id.h"
+
+namespace sep2p::crypto {
+namespace {
+
+TEST(CertificateTest, IssueAndCheck) {
+  Ed25519Provider provider;
+  util::Rng rng(1);
+  auto ca = CertificateAuthority::Create(provider, rng);
+  ASSERT_TRUE(ca.ok());
+
+  auto node = provider.GenerateKeyPair(rng);
+  ASSERT_TRUE(node.ok());
+  auto cert = ca->Issue(node->pub);
+  ASSERT_TRUE(cert.ok());
+  EXPECT_TRUE(ca->Check(*cert));
+}
+
+TEST(CertificateTest, ForgedSubjectRejected) {
+  Ed25519Provider provider;
+  util::Rng rng(2);
+  auto ca = CertificateAuthority::Create(provider, rng);
+  ASSERT_TRUE(ca.ok());
+  auto node = provider.GenerateKeyPair(rng);
+  auto attacker = provider.GenerateKeyPair(rng);
+  auto cert = ca->Issue(node->pub);
+  ASSERT_TRUE(cert.ok());
+
+  Certificate forged = *cert;
+  forged.subject = attacker->pub;  // steal the CA signature for a new key
+  EXPECT_FALSE(ca->Check(forged));
+}
+
+TEST(CertificateTest, ForgedSerialRejected) {
+  SimProvider provider;
+  util::Rng rng(3);
+  auto ca = CertificateAuthority::Create(provider, rng);
+  auto node = provider.GenerateKeyPair(rng);
+  auto cert = ca->Issue(node->pub);
+  ASSERT_TRUE(cert.ok());
+  Certificate forged = *cert;
+  forged.serial += 1;
+  EXPECT_FALSE(ca->Check(forged));
+}
+
+TEST(CertificateTest, SelfSignedRejected) {
+  SimProvider provider;
+  util::Rng rng(4);
+  auto ca = CertificateAuthority::Create(provider, rng);
+  auto rogue = provider.GenerateKeyPair(rng);
+  Certificate cert;
+  cert.subject = rogue->pub;
+  cert.serial = 9;
+  auto sig = provider.Sign(rogue->priv, cert.SignedBytes());
+  ASSERT_TRUE(sig.ok());
+  cert.ca_signature = *sig;  // signed by the rogue key, not the CA
+  EXPECT_FALSE(ca->Check(cert));
+}
+
+TEST(CertificateTest, SerialsAreUnique) {
+  SimProvider provider;
+  util::Rng rng(5);
+  auto ca = CertificateAuthority::Create(provider, rng);
+  auto n1 = provider.GenerateKeyPair(rng);
+  auto n2 = provider.GenerateKeyPair(rng);
+  auto c1 = ca->Issue(n1->pub);
+  auto c2 = ca->Issue(n2->pub);
+  ASSERT_TRUE(c1.ok() && c2.ok());
+  EXPECT_NE(c1->serial, c2->serial);
+}
+
+TEST(CertificateTest, ImposedNodeIdIsHashOfSubject) {
+  SimProvider provider;
+  util::Rng rng(6);
+  auto ca = CertificateAuthority::Create(provider, rng);
+  auto node = provider.GenerateKeyPair(rng);
+  auto cert = ca->Issue(node->pub);
+  ASSERT_TRUE(cert.ok());
+  EXPECT_EQ(cert->NodeIdFromSubject(), dht::NodeIdForKey(node->pub));
+}
+
+TEST(CertificateTest, CheckCostsOneAsymmetricOp) {
+  SimProvider provider;
+  util::Rng rng(7);
+  auto ca = CertificateAuthority::Create(provider, rng);
+  auto node = provider.GenerateKeyPair(rng);
+  auto cert = ca->Issue(node->pub);
+  ASSERT_TRUE(cert.ok());
+  uint64_t before = provider.meter().verifies();
+  ca->Check(*cert);
+  EXPECT_EQ(provider.meter().verifies(), before + 1);
+}
+
+}  // namespace
+}  // namespace sep2p::crypto

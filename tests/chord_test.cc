@@ -1,0 +1,119 @@
+#include "dht/chord.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/metrics.h"
+#include "tests/test_util.h"
+
+namespace sep2p::dht {
+namespace {
+
+TEST(ChordTest, RouteReachesOwner) {
+  auto dir = test::MakeDirectory(1000);
+  ChordOverlay chord(dir.get());
+  util::Rng rng(1);
+  for (int trial = 0; trial < 100; ++trial) {
+    uint32_t from = rng.NextUint64(dir->size());
+    RingPos target = (static_cast<RingPos>(rng.NextUint64()) << 64) |
+                     rng.NextUint64();
+    auto route = chord.Route(from, target);
+    ASSERT_TRUE(route.ok());
+    auto owner = dir->SuccessorIndex(target);
+    ASSERT_TRUE(owner.has_value());
+    EXPECT_EQ(route->dest_index, *owner);
+  }
+}
+
+TEST(ChordTest, RouteToSelfIsZeroHops) {
+  auto dir = test::MakeDirectory(100);
+  ChordOverlay chord(dir.get());
+  for (uint32_t i = 0; i < dir->size(); i += 13) {
+    auto route = chord.Route(i, dir->node(i).pos);
+    ASSERT_TRUE(route.ok());
+    EXPECT_EQ(route->dest_index, i);
+    EXPECT_EQ(route->hops, 0);
+  }
+}
+
+TEST(ChordTest, HopCountIsLogarithmic) {
+  auto dir = test::MakeDirectory(4096);
+  ChordOverlay chord(dir.get());
+  util::Rng rng(2);
+  sim::OnlineStats hops;
+  for (int trial = 0; trial < 300; ++trial) {
+    uint32_t from = rng.NextUint64(dir->size());
+    RingPos target = (static_cast<RingPos>(rng.NextUint64()) << 64) |
+                     rng.NextUint64();
+    auto route = chord.Route(from, target);
+    ASSERT_TRUE(route.ok());
+    hops.Add(route->hops);
+  }
+  double log2n = std::log2(4096.0);
+  // Theoretical average is ~0.5 log2 N; generous envelope around it.
+  EXPECT_GT(hops.mean(), 0.25 * log2n);
+  EXPECT_LT(hops.mean(), 1.5 * log2n);
+  EXPECT_LE(hops.max(), 2.5 * log2n);
+}
+
+TEST(ChordTest, HopsGrowSlowlyWithNetworkSize) {
+  util::Rng rng(3);
+  double mean_small = 0, mean_large = 0;
+  for (auto [n, out] : {std::pair<size_t, double*>{256, &mean_small},
+                        std::pair<size_t, double*>{8192, &mean_large}}) {
+    auto dir = test::MakeDirectory(n, /*seed=*/5);
+    ChordOverlay chord(dir.get());
+    sim::OnlineStats hops;
+    for (int trial = 0; trial < 200; ++trial) {
+      uint32_t from = rng.NextUint64(dir->size());
+      RingPos target = (static_cast<RingPos>(rng.NextUint64()) << 64) |
+                       rng.NextUint64();
+      auto route = chord.Route(from, target);
+      ASSERT_TRUE(route.ok());
+      hops.Add(route->hops);
+    }
+    *out = hops.mean();
+  }
+  // 32x more nodes must cost far less than 32x more hops (log growth).
+  EXPECT_LT(mean_large, mean_small * 3.0);
+}
+
+TEST(ChordTest, RoutesAroundDeadNodes) {
+  auto dir = test::MakeDirectory(200);
+  ChordOverlay chord(dir.get());
+  util::Rng rng(4);
+  // Kill a third of the network.
+  for (uint32_t i = 0; i < dir->size(); i += 3) dir->SetAlive(i, false);
+  for (int trial = 0; trial < 50; ++trial) {
+    uint32_t from;
+    do {
+      from = rng.NextUint64(dir->size());
+    } while (!dir->node(from).alive);
+    RingPos target = (static_cast<RingPos>(rng.NextUint64()) << 64) |
+                     rng.NextUint64();
+    auto route = chord.Route(from, target);
+    ASSERT_TRUE(route.ok());
+    EXPECT_TRUE(dir->node(route->dest_index).alive);
+  }
+}
+
+TEST(ChordTest, EmptyNetworkIsUnavailable) {
+  auto dir = test::MakeDirectory(4);
+  for (uint32_t i = 0; i < 4; ++i) dir->SetAlive(i, false);
+  ChordOverlay chord(dir.get());
+  EXPECT_FALSE(chord.Route(0, static_cast<RingPos>(1)).ok());
+}
+
+TEST(ChordTest, DeterministicRoutes) {
+  auto dir = test::MakeDirectory(512);
+  ChordOverlay chord(dir.get());
+  auto r1 = chord.Route(3, static_cast<RingPos>(1) << 100);
+  auto r2 = chord.Route(3, static_cast<RingPos>(1) << 100);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(r1->dest_index, r2->dest_index);
+  EXPECT_EQ(r1->hops, r2->hops);
+}
+
+}  // namespace
+}  // namespace sep2p::dht

@@ -1,0 +1,78 @@
+#include "node/churn.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace sep2p::node {
+namespace {
+
+TEST(ChurnTest, AnalyticCostScalesWithCacheSize) {
+  auto small = ChurnSimulator::Analytic(10000, 4, 128, 24.0);
+  auto large = ChurnSimulator::Analytic(10000, 4, 4096, 24.0);
+  EXPECT_GT(large.crypto_ops_per_node_per_min,
+            small.crypto_ops_per_node_per_min * 8);
+}
+
+TEST(ChurnTest, AnalyticCostInverselyProportionalToMtbf) {
+  auto fast = ChurnSimulator::Analytic(10000, 4, 512, 1.0);
+  auto slow = ChurnSimulator::Analytic(10000, 4, 512, 24.0);
+  EXPECT_NEAR(fast.crypto_ops_per_node_per_min /
+                  slow.crypto_ops_per_node_per_min,
+              24.0, 0.01);
+}
+
+TEST(ChurnTest, PaperHeadlineNumbersHold) {
+  // Paper §4.3: cache ~512 at MTBF = 1 day costs less than 1 signature
+  // per node per minute; a 32K cache is excessively costly even at
+  // MTBF = 5 days.
+  auto reference = ChurnSimulator::Analytic(100000, 4, 512, 24.0);
+  EXPECT_LT(reference.crypto_ops_per_node_per_min, 1.0);
+
+  auto full_mesh = ChurnSimulator::Analytic(100000, 4, 32768, 120.0);
+  EXPECT_GT(full_mesh.crypto_ops_per_node_per_min, 1.0);
+}
+
+TEST(ChurnTest, SimulatorMatchesAnalyticModel) {
+  auto dir = test::MakeDirectory(2000);
+  ChurnSimulator sim(dir.get(), /*k=*/4, /*cache_size=*/100);
+  util::Rng rng(13);
+  MaintenanceReport simulated = sim.Run(/*mtbf_hours=*/2.0,
+                                        /*sim_hours=*/20.0, rng);
+  MaintenanceReport analytic =
+      ChurnSimulator::Analytic(2000, 4, 100, 2.0);
+  ASSERT_GT(simulated.churn_cycles, 1000u);
+  EXPECT_NEAR(simulated.crypto_ops_per_node_per_min /
+                  analytic.crypto_ops_per_node_per_min,
+              1.0, 0.25);
+  EXPECT_NEAR(simulated.messages_per_node_per_min /
+                  analytic.messages_per_node_per_min,
+              1.0, 0.25);
+}
+
+TEST(ChurnTest, SimulatorRestoresAllNodes) {
+  auto dir = test::MakeDirectory(500);
+  ChurnSimulator sim(dir.get(), 4, 50);
+  util::Rng rng(7);
+  sim.Run(1.0, 5.0, rng);
+  EXPECT_EQ(dir->alive_count(), 500u);
+}
+
+TEST(ChurnTest, NoChurnWithinShortWindow) {
+  auto dir = test::MakeDirectory(100);
+  ChurnSimulator sim(dir.get(), 4, 20);
+  util::Rng rng(3);
+  // MTBF of 10000 hours over 0.01 hours: expected cycles ~ 1e-4.
+  MaintenanceReport report = sim.Run(10000.0, 0.01, rng);
+  EXPECT_EQ(report.churn_cycles, 0u);
+  EXPECT_EQ(report.crypto_ops_total, 0.0);
+}
+
+TEST(ChurnTest, MessagesTrackCacheSizeToo) {
+  auto a = ChurnSimulator::Analytic(10000, 4, 64, 24.0);
+  auto b = ChurnSimulator::Analytic(10000, 4, 1024, 24.0);
+  EXPECT_GT(b.messages_per_node_per_min, a.messages_per_node_per_min * 4);
+}
+
+}  // namespace
+}  // namespace sep2p::node

@@ -1,0 +1,150 @@
+#include "apps/concept_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "tests/test_util.h"
+
+namespace sep2p::apps {
+namespace {
+
+class ConceptIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    network_ = test::MakeNetwork(800, 0.01);
+    ASSERT_NE(network_, nullptr);
+  }
+
+  std::unique_ptr<sim::Network> network_;
+  util::Rng rng_{13};
+};
+
+TEST_F(ConceptIndexTest, PublishThenLookupReturnsPoster) {
+  ConceptIndex index(network_.get());
+  ASSERT_TRUE(index.Publish(42, {"pilot", "paris"}, rng_).ok());
+  auto result = index.Lookup(7, "pilot");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->nodes, (std::vector<uint32_t>{42}));
+}
+
+TEST_F(ConceptIndexTest, MultiplePostersAccumulate) {
+  ConceptIndex index(network_.get());
+  for (uint32_t node : {5u, 9u, 200u}) {
+    ASSERT_TRUE(index.Publish(node, {"pilot"}, rng_).ok());
+  }
+  auto result = index.Lookup(7, "pilot");
+  ASSERT_TRUE(result.ok());
+  std::vector<uint32_t> nodes = result->nodes;
+  std::sort(nodes.begin(), nodes.end());
+  EXPECT_EQ(nodes, (std::vector<uint32_t>{5, 9, 200}));
+}
+
+TEST_F(ConceptIndexTest, UnknownConceptIsEmpty) {
+  ConceptIndex index(network_.get());
+  auto result = index.Lookup(7, "nothing");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->nodes.empty());
+}
+
+TEST_F(ConceptIndexTest, ConceptsScatterAcrossIndexers) {
+  ConceptIndex index(network_.get());
+  std::set<uint32_t> indexers;
+  for (int i = 0; i < 40; ++i) {
+    auto owner = index.IndexerFor("concept-" + std::to_string(i), 0);
+    ASSERT_TRUE(owner.ok());
+    indexers.insert(*owner);
+  }
+  // Randomized concept-to-MI association (imposed node ids): 40 concepts
+  // land on many distinct indexers.
+  EXPECT_GT(indexers.size(), 25u);
+}
+
+TEST_F(ConceptIndexTest, LookupCostCountsDhtRouting) {
+  ConceptIndex index(network_.get());
+  ASSERT_TRUE(index.Publish(3, {"x"}, rng_).ok());
+  auto result = index.Lookup(600, "x");
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->cost.msg_work, 1.0);  // at least the store contact
+}
+
+TEST_F(ConceptIndexTest, PlaintextIndexLeaksToSingleIndexer) {
+  ConceptIndex index(network_.get());  // p = s = 1
+  ASSERT_TRUE(index.Publish(42, {"secret-club"}, rng_).ok());
+  auto owner = index.IndexerFor("secret-club", 0);
+  ASSERT_TRUE(owner.ok());
+  std::vector<uint32_t> leak =
+      index.SingleIndexerDisclosure(*owner, "secret-club");
+  EXPECT_EQ(leak, (std::vector<uint32_t>{42}));  // full disclosure
+}
+
+TEST_F(ConceptIndexTest, ShamirShardedIndexStillAnswersLookups) {
+  ConceptIndex::Options options;
+  options.shamir_threshold = 3;
+  options.shamir_shares = 5;
+  ConceptIndex index(network_.get(), options);
+  for (uint32_t node : {10u, 20u, 30u}) {
+    ASSERT_TRUE(index.Publish(node, {"pilot"}, rng_).ok());
+  }
+  auto result = index.Lookup(7, "pilot");
+  ASSERT_TRUE(result.ok());
+  std::vector<uint32_t> nodes = result->nodes;
+  std::sort(nodes.begin(), nodes.end());
+  EXPECT_EQ(nodes, (std::vector<uint32_t>{10, 20, 30}));
+  EXPECT_EQ(result->indexers.size(), 3u);  // p indexers contacted
+}
+
+TEST_F(ConceptIndexTest, ShamirShardedIndexHidesPostingsFromOneIndexer) {
+  ConceptIndex::Options options;
+  options.shamir_threshold = 2;
+  options.shamir_shares = 3;
+  ConceptIndex index(network_.get(), options);
+  ASSERT_TRUE(index.Publish(42, {"secret-club"}, rng_).ok());
+
+  // No single MI can reconstruct the posting: its naive decode must not
+  // equal the real posting (probability 2^-32 of collision per share).
+  for (int share = 0; share < 3; ++share) {
+    auto owner = index.IndexerFor("secret-club", share);
+    ASSERT_TRUE(owner.ok());
+    std::vector<uint32_t> leak =
+        index.SingleIndexerDisclosure(*owner, "secret-club");
+    for (uint32_t decoded : leak) {
+      EXPECT_NE(decoded, 42u) << "share " << share;
+    }
+  }
+}
+
+TEST_F(ConceptIndexTest, SharesLiveOnDistinctIndexersUsually) {
+  ConceptIndex::Options options;
+  options.shamir_threshold = 2;
+  options.shamir_shares = 3;
+  ConceptIndex index(network_.get(), options);
+  int distinct_total = 0;
+  for (int i = 0; i < 20; ++i) {
+    std::set<uint32_t> owners;
+    for (int s = 0; s < 3; ++s) {
+      auto owner = index.IndexerFor("c" + std::to_string(i), s);
+      ASSERT_TRUE(owner.ok());
+      owners.insert(*owner);
+    }
+    distinct_total += owners.size();
+  }
+  // Hash-scattered share keys: nearly always 3 distinct MIs.
+  EXPECT_GT(distinct_total, 20 * 2);
+}
+
+TEST_F(ConceptIndexTest, PublishCostGrowsWithShares) {
+  ConceptIndex plain(network_.get());
+  ConceptIndex::Options options;
+  options.shamir_threshold = 2;
+  options.shamir_shares = 5;
+  ConceptIndex sharded(network_.get(), options);
+  auto c1 = plain.Publish(1, {"a"}, rng_);
+  auto c5 = sharded.Publish(1, {"a"}, rng_);
+  ASSERT_TRUE(c1.ok() && c5.ok());
+  EXPECT_GT(c5->msg_work, c1->msg_work * 2);
+}
+
+}  // namespace
+}  // namespace sep2p::apps

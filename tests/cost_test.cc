@@ -1,0 +1,76 @@
+#include "net/cost.h"
+
+#include <gtest/gtest.h>
+
+namespace sep2p::net {
+namespace {
+
+TEST(CostTest, StepSetsLatencyAndWorkEqually) {
+  Cost c = Cost::Step(3, 5);
+  EXPECT_DOUBLE_EQ(c.crypto_latency, 3);
+  EXPECT_DOUBLE_EQ(c.crypto_work, 3);
+  EXPECT_DOUBLE_EQ(c.msg_latency, 5);
+  EXPECT_DOUBLE_EQ(c.msg_work, 5);
+}
+
+TEST(CostTest, SequentialCompositionAdds) {
+  Cost c = Cost::Step(1, 2);
+  c.Then(Cost::Step(3, 4));
+  EXPECT_DOUBLE_EQ(c.crypto_latency, 4);
+  EXPECT_DOUBLE_EQ(c.msg_latency, 6);
+  EXPECT_DOUBLE_EQ(c.crypto_work, 4);
+  EXPECT_DOUBLE_EQ(c.msg_work, 6);
+}
+
+TEST(CostTest, ParallelTakesMaxLatencySumWork) {
+  Cost a = Cost::Step(2, 10);
+  Cost b = Cost::Step(5, 1);
+  Cost par = Cost::Par({a, b});
+  EXPECT_DOUBLE_EQ(par.crypto_latency, 5);  // max
+  EXPECT_DOUBLE_EQ(par.msg_latency, 10);    // max per metric
+  EXPECT_DOUBLE_EQ(par.crypto_work, 7);     // sum
+  EXPECT_DOUBLE_EQ(par.msg_work, 11);
+}
+
+TEST(CostTest, ParIdenticalScalesWorkOnly) {
+  Cost branch = Cost::Step(2, 3);
+  Cost par = Cost::ParIdentical(branch, 4);
+  EXPECT_DOUBLE_EQ(par.crypto_latency, 2);
+  EXPECT_DOUBLE_EQ(par.msg_latency, 3);
+  EXPECT_DOUBLE_EQ(par.crypto_work, 8);
+  EXPECT_DOUBLE_EQ(par.msg_work, 12);
+}
+
+TEST(CostTest, ParIdenticalZeroBranches) {
+  Cost par = Cost::ParIdentical(Cost::Step(2, 3), 0);
+  EXPECT_DOUBLE_EQ(par.crypto_latency, 0);
+  EXPECT_DOUBLE_EQ(par.crypto_work, 0);
+}
+
+TEST(CostTest, EmptyParallelIsZero) {
+  Cost par = Cost::Par({});
+  EXPECT_DOUBLE_EQ(par.crypto_latency, 0);
+  EXPECT_DOUBLE_EQ(par.msg_work, 0);
+}
+
+TEST(CostTest, MixedCompositionMatchesHandComputation) {
+  // A protocol doing: 1 sequential sign, then k=3 parallel workers each
+  // doing (2 crypto, 4 msgs), then 1 closing message.
+  Cost c = Cost::Step(1, 0);
+  c.Then(Cost::ParIdentical(Cost::Step(2, 4), 3));
+  c.Then(Cost::Step(0, 1));
+  EXPECT_DOUBLE_EQ(c.crypto_latency, 3);  // 1 + 2 + 0
+  EXPECT_DOUBLE_EQ(c.crypto_work, 7);     // 1 + 6 + 0
+  EXPECT_DOUBLE_EQ(c.msg_latency, 5);     // 0 + 4 + 1
+  EXPECT_DOUBLE_EQ(c.msg_work, 13);       // 0 + 12 + 1
+}
+
+TEST(CostTest, ToStringIsReadable) {
+  Cost c = Cost::Step(1, 2);
+  std::string s = c.ToString();
+  EXPECT_NE(s.find("crypto"), std::string::npos);
+  EXPECT_NE(s.find("msg"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sep2p::net

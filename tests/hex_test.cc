@@ -1,0 +1,43 @@
+#include "util/hex.h"
+
+#include <gtest/gtest.h>
+
+namespace sep2p::util {
+namespace {
+
+TEST(HexTest, EncodesLowercase) {
+  std::vector<uint8_t> data{0x00, 0xde, 0xad, 0xbe, 0xef, 0xff};
+  EXPECT_EQ(ToHex(data), "00deadbeefff");
+}
+
+TEST(HexTest, EmptyInput) {
+  EXPECT_EQ(ToHex(std::vector<uint8_t>{}), "");
+  auto decoded = FromHex("");
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(HexTest, RoundTrip) {
+  std::vector<uint8_t> data;
+  for (int i = 0; i < 256; ++i) data.push_back(static_cast<uint8_t>(i));
+  auto decoded = FromHex(ToHex(data));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, data);
+}
+
+TEST(HexTest, DecodesUppercase) {
+  auto decoded = FromHex("DEADBEEF");
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, (std::vector<uint8_t>{0xde, 0xad, 0xbe, 0xef}));
+}
+
+TEST(HexTest, RejectsOddLength) { EXPECT_FALSE(FromHex("abc").has_value()); }
+
+TEST(HexTest, RejectsNonHexCharacters) {
+  EXPECT_FALSE(FromHex("zz").has_value());
+  EXPECT_FALSE(FromHex("0g").has_value());
+  EXPECT_FALSE(FromHex("a ").has_value());
+}
+
+}  // namespace
+}  // namespace sep2p::util

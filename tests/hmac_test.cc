@@ -1,0 +1,66 @@
+#include "crypto/hmac.h"
+
+#include <gtest/gtest.h>
+
+#include "util/hex.h"
+
+namespace sep2p::crypto {
+namespace {
+
+std::string HmacHex(const std::string& key_hex, const std::string& msg) {
+  auto key = util::FromHex(key_hex);
+  Digest mac = HmacSha256(key->data(), key->size(),
+                          reinterpret_cast<const uint8_t*>(msg.data()),
+                          msg.size());
+  return util::ToHex(mac.data(), mac.size());
+}
+
+// RFC 4231 test vectors.
+TEST(HmacTest, Rfc4231Case1) {
+  EXPECT_EQ(HmacHex("0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b", "Hi There"),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2) {
+  // key = "Jefe", data = "what do ya want for nothing?"
+  EXPECT_EQ(HmacHex("4a656665", "what do ya want for nothing?"),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, Rfc4231Case3) {
+  std::string key(20 * 2, 'a');  // 20 bytes of 0xaa
+  for (size_t i = 0; i < key.size(); ++i) key[i] = 'a';
+  std::string data(50, static_cast<char>(0xdd));
+  auto key_bytes = util::FromHex("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa");
+  Digest mac = HmacSha256(key_bytes->data(), key_bytes->size(),
+                          reinterpret_cast<const uint8_t*>(data.data()),
+                          data.size());
+  EXPECT_EQ(util::ToHex(mac.data(), mac.size()),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacTest, LongKeyIsHashedFirst) {
+  // RFC 4231 case 6: 131-byte key of 0xaa.
+  std::string key_hex;
+  for (int i = 0; i < 131; ++i) key_hex += "aa";
+  EXPECT_EQ(HmacHex(key_hex, "Test Using Larger Than Block-Size Key - "
+                             "Hash Key First"),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacTest, DifferentKeysDifferentMacs) {
+  std::vector<uint8_t> msg{1, 2, 3};
+  Digest a = HmacSha256(std::vector<uint8_t>{1}, msg);
+  Digest b = HmacSha256(std::vector<uint8_t>{2}, msg);
+  EXPECT_NE(a, b);
+}
+
+TEST(HmacTest, DifferentMessagesDifferentMacs) {
+  std::vector<uint8_t> key{9, 9, 9};
+  Digest a = HmacSha256(key, std::vector<uint8_t>{1});
+  Digest b = HmacSha256(key, std::vector<uint8_t>{2});
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace sep2p::crypto

@@ -1,0 +1,134 @@
+#include "node/join.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dht/region.h"
+#include "node/node_cache.h"
+#include "tests/test_util.h"
+
+namespace sep2p::node {
+namespace {
+
+class JoinTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    network_ = test::MakeNetwork(/*n=*/2000, /*c_fraction=*/0.01,
+                                 /*cache=*/200);
+    ASSERT_NE(network_, nullptr);
+    ctx_ = network_->context();
+  }
+
+  std::unique_ptr<sim::Network> network_;
+  core::ProtocolContext ctx_;
+  util::Rng rng_{41};
+};
+
+TEST_F(JoinTest, AttestedCacheVerifies) {
+  JoinProtocol join(ctx_);
+  auto cache = join.AttestCache(15, rng_);
+  ASSERT_TRUE(cache.ok()) << cache.status().ToString();
+  EXPECT_GE(cache->k(), 2);
+  EXPECT_FALSE(cache->entries.empty());
+  auto cost = VerifyAttestedCache(ctx_, *cache);
+  ASSERT_TRUE(cost.ok()) << cost.status().ToString();
+  EXPECT_DOUBLE_EQ(cost->crypto_work, 2.0 * cache->k() + 1);
+}
+
+TEST_F(JoinTest, AttestedEntriesMatchTheOwnersRealCache) {
+  JoinProtocol join(ctx_);
+  auto cache = join.AttestCache(99, rng_);
+  ASSERT_TRUE(cache.ok());
+  NodeCache truth(&network_->directory(), 99, ctx_.rs3);
+  std::vector<crypto::PublicKey> expected;
+  for (uint32_t idx : truth.Entries()) {
+    expected.push_back(network_->directory().node(idx).pub);
+  }
+  EXPECT_EQ(cache->entries, expected);
+}
+
+TEST_F(JoinTest, TamperedEntryListRejected) {
+  JoinProtocol join(ctx_);
+  auto cache = join.AttestCache(15, rng_);
+  ASSERT_TRUE(cache.ok());
+  AttestedCache forged = *cache;
+  // Sneak a fabricated node (a Sybil) into the attested cache.
+  crypto::PublicKey fake{};
+  fake[3] = 0x33;
+  forged.entries.push_back(fake);
+  EXPECT_FALSE(VerifyAttestedCache(ctx_, forged).ok());
+}
+
+TEST_F(JoinTest, ForeignAttestorRejected) {
+  JoinProtocol join(ctx_);
+  auto cache = join.AttestCache(15, rng_);
+  ASSERT_TRUE(cache.ok());
+  // A node far from the owner signs the same bytes — legit signature,
+  // wrong region.
+  const dht::Directory& dir = network_->directory();
+  dht::Region r1 = dht::Region::Centered(dir.node(15).pos, cache->rs1);
+  uint32_t outsider = 0;
+  for (uint32_t i = 0; i < dir.size(); ++i) {
+    if (!r1.Contains(dir.node(i).pos)) {
+      outsider = i;
+      break;
+    }
+  }
+  auto sig = ctx_.SignAs(outsider, cache->SignedBytes());
+  ASSERT_TRUE(sig.ok());
+  AttestedCache forged = *cache;
+  forged.attestations[0] = {dir.node(outsider).cert, *sig};
+  EXPECT_FALSE(VerifyAttestedCache(ctx_, forged).ok());
+}
+
+TEST_F(JoinTest, StaleAttestationRejected) {
+  JoinProtocol join(ctx_);
+  auto cache = join.AttestCache(15, rng_);
+  ASSERT_TRUE(cache.ok());
+  core::ProtocolContext later = ctx_;
+  later.now = ctx_.now + ctx_.max_timestamp_age + 1;
+  EXPECT_FALSE(VerifyAttestedCache(later, *cache).ok());
+}
+
+TEST_F(JoinTest, JoinBuildsNearCompleteValidCache) {
+  JoinProtocol join(ctx_);
+  const uint32_t newcomer = 777;
+  auto outcome = join.Join(newcomer, rng_);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+
+  // Everything in the joined cache is genuinely legitimate w.r.t. the
+  // newcomer's coverage (validity)...
+  NodeCache truth(&network_->directory(), newcomer, ctx_.rs3);
+  std::vector<uint32_t> expected = truth.Entries();
+  std::sort(expected.begin(), expected.end());
+  for (uint32_t idx : outcome->cache) {
+    EXPECT_TRUE(std::binary_search(expected.begin(), expected.end(), idx));
+  }
+  // ...and covers nearly all of it (the neighbors' caches overlap the
+  // newcomer's region except for slivers at the far edges).
+  EXPECT_GE(outcome->cache.size(), expected.size() * 8 / 10);
+}
+
+TEST_F(JoinTest, JoinCostsScaleWithCoverage) {
+  JoinProtocol join(ctx_);
+  auto outcome = join.Join(42, rng_);
+  ASSERT_TRUE(outcome.ok());
+  // Announcement dominates: ~cache_size certificate checks.
+  EXPECT_GT(outcome->cost.crypto_work, 100);   // ~200-entry coverage
+  EXPECT_GT(outcome->cost.msg_work, 100);
+  // But the newcomer's own critical path stays short.
+  EXPECT_LT(outcome->cost.crypto_latency, 40);
+}
+
+TEST_F(JoinTest, NeighborsAreAdjacentOnTheRing) {
+  JoinProtocol join(ctx_);
+  auto outcome = join.Join(100, rng_);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_NE(outcome->successor, 100u);
+  EXPECT_NE(outcome->predecessor, 100u);
+  EXPECT_NE(outcome->successor, outcome->predecessor);
+}
+
+}  // namespace
+}  // namespace sep2p::node

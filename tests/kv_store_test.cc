@@ -1,0 +1,123 @@
+#include "dht/kv_store.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tests/test_util.h"
+
+namespace sep2p::dht {
+namespace {
+
+class KvStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = test::MakeDirectory(500);
+    chord_ = std::make_unique<ChordOverlay>(dir_.get());
+  }
+
+  std::unique_ptr<Directory> dir_;
+  std::unique_ptr<ChordOverlay> chord_;
+};
+
+TEST_F(KvStoreTest, PutGetRoundTrip) {
+  KvStore store(dir_.get(), chord_.get());
+  ASSERT_TRUE(store.Put(3, "user:42:profile", {1, 2, 3}).ok());
+  auto got = store.Get(99, "user:42:profile");
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(got->value.has_value());
+  EXPECT_EQ(*got->value, (std::vector<uint8_t>{1, 2, 3}));
+}
+
+TEST_F(KvStoreTest, MissingKeyIsAuthoritativeMiss) {
+  KvStore store(dir_.get(), chord_.get());
+  auto got = store.Get(5, "nothing-here");
+  ASSERT_TRUE(got.ok());
+  EXPECT_FALSE(got->value.has_value());
+}
+
+TEST_F(KvStoreTest, PutOverwrites) {
+  KvStore store(dir_.get(), chord_.get());
+  ASSERT_TRUE(store.Put(1, "k", {1}).ok());
+  ASSERT_TRUE(store.Put(2, "k", {2}).ok());
+  auto got = store.Get(3, "k");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got->value, (std::vector<uint8_t>{2}));
+}
+
+TEST_F(KvStoreTest, RemoveDeletesEverywhere) {
+  KvStore store(dir_.get(), chord_.get(), /*replication=*/3);
+  ASSERT_TRUE(store.Put(1, "k", {7}).ok());
+  ASSERT_TRUE(store.Remove(2, "k").ok());
+  auto got = store.Get(3, "k");
+  ASSERT_TRUE(got.ok());
+  EXPECT_FALSE(got->value.has_value());
+}
+
+TEST_F(KvStoreTest, KeysScatterAcrossNodes) {
+  KvStore store(dir_.get(), chord_.get());
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(store.Put(0, "key-" + std::to_string(i), {1}).ok());
+  }
+  // No node should hoard the keyspace (hashing spreads keys).
+  size_t max_stored = 0;
+  for (uint32_t i = 0; i < dir_->size(); ++i) {
+    max_stored = std::max(max_stored, store.StoredCount(i));
+  }
+  EXPECT_LE(max_stored, 6u);
+}
+
+TEST_F(KvStoreTest, ReplicationSurvivesPrimaryDeath) {
+  KvStore store(dir_.get(), chord_.get(), /*replication=*/3);
+  ASSERT_TRUE(store.Put(1, "precious", {9, 9}).ok());
+
+  // Kill whichever node answers first; the value must still be served.
+  auto first = store.Get(2, "precious");
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->value.has_value());
+  dir_->SetAlive(first->replica_index, false);
+
+  auto second = store.Get(2, "precious");
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(second->value.has_value());
+  EXPECT_EQ(*second->value, (std::vector<uint8_t>{9, 9}));
+  EXPECT_NE(second->replica_index, first->replica_index);
+  dir_->SetAlive(first->replica_index, true);
+}
+
+TEST_F(KvStoreTest, SingleReplicaLosesDataOnDeath) {
+  // The contrast that motivates replication.
+  KvStore store(dir_.get(), chord_.get(), /*replication=*/1);
+  ASSERT_TRUE(store.Put(1, "fragile", {5}).ok());
+  auto first = store.Get(2, "fragile");
+  ASSERT_TRUE(first.ok());
+  dir_->SetAlive(first->replica_index, false);
+
+  auto second = store.Get(2, "fragile");
+  // Routing lands on the dead node's successor, who never held the key.
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->value.has_value());
+  dir_->SetAlive(first->replica_index, true);
+}
+
+TEST_F(KvStoreTest, CostCountsRoutingPerReplica) {
+  KvStore one(dir_.get(), chord_.get(), 1);
+  KvStore three(dir_.get(), chord_.get(), 3);
+  auto c1 = one.Put(0, "k", {1});
+  auto c3 = three.Put(0, "k", {1});
+  ASSERT_TRUE(c1.ok() && c3.ok());
+  EXPECT_GT(c3->msg_work, c1->msg_work * 1.5);
+}
+
+TEST_F(KvStoreTest, WorksOverCanOverlayToo) {
+  CanOverlay can(dir_.get());
+  KvStore store(dir_.get(), &can, 2);
+  ASSERT_TRUE(store.Put(3, "via-can", {4, 4}).ok());
+  auto got = store.Get(7, "via-can");
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(got->value.has_value());
+  EXPECT_EQ(*got->value, (std::vector<uint8_t>{4, 4}));
+}
+
+}  // namespace
+}  // namespace sep2p::dht

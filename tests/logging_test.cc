@@ -1,0 +1,31 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace sep2p::util {
+namespace {
+
+TEST(LoggingTest, SetLogLevelReturnsPrevious) {
+  LogLevel original = GetLogLevel();
+  LogLevel old = SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(old, original);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, MessagesBelowThresholdAreCheapNoops) {
+  LogLevel original = SetLogLevel(LogLevel::kError);
+  // Must not crash or emit; mainly exercises the stream machinery.
+  SEP2P_LOG(Debug) << "invisible " << 42;
+  SEP2P_LOG(Info) << "also invisible";
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, StreamAcceptsMixedTypes) {
+  LogLevel original = SetLogLevel(LogLevel::kError);
+  SEP2P_LOG(Warning) << "mix " << 1 << ' ' << 2.5 << ' ' << true;
+  SetLogLevel(original);
+}
+
+}  // namespace
+}  // namespace sep2p::util

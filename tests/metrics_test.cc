@@ -1,0 +1,97 @@
+#include "sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/parameters.h"
+#include "util/rng.h"
+
+namespace sep2p::sim {
+namespace {
+
+TEST(OnlineStatsTest, EmptyIsZero) {
+  OnlineStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0);
+  EXPECT_DOUBLE_EQ(stats.stddev(), 0);
+}
+
+TEST(OnlineStatsTest, SingleValue) {
+  OnlineStats stats;
+  stats.Add(42);
+  EXPECT_DOUBLE_EQ(stats.mean(), 42);
+  EXPECT_DOUBLE_EQ(stats.min(), 42);
+  EXPECT_DOUBLE_EQ(stats.max(), 42);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0);
+}
+
+TEST(OnlineStatsTest, KnownSequence) {
+  OnlineStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.Add(v);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  // Sample variance of the classic sequence: 32/7.
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(OnlineStatsTest, MatchesBatchComputation) {
+  util::Rng rng(3);
+  OnlineStats stats;
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.NextDouble() * 100 - 50;
+    values.push_back(v);
+    stats.Add(v);
+  }
+  double mean = 0;
+  for (double v : values) mean += v;
+  mean /= values.size();
+  double var = 0;
+  for (double v : values) var += (v - mean) * (v - mean);
+  var /= (values.size() - 1);
+  EXPECT_NEAR(stats.mean(), mean, 1e-9);
+  EXPECT_NEAR(stats.variance(), var, 1e-6);
+}
+
+TEST(TablePrinterTest, NumFormatsCompactly) {
+  EXPECT_EQ(TablePrinter::Num(1.0), "1");
+  EXPECT_EQ(TablePrinter::Num(1.5), "1.5");
+  EXPECT_EQ(TablePrinter::Num(1.250, 2), "1.25");
+  EXPECT_EQ(TablePrinter::Num(0.0), "0");
+  EXPECT_EQ(TablePrinter::Num(100.0, 1), "100");
+}
+
+TEST(TablePrinterTest, PadsRowsToHeaderWidth) {
+  TablePrinter printer({"a", "b", "c"});
+  printer.AddRow({"only-one"});
+  printer.Print();  // must not crash on short rows
+  SUCCEED();
+}
+
+TEST(ParametersTest, DerivedQuantities) {
+  Parameters params;
+  params.n = 100000;
+  params.colluding_fraction = 0.01;
+  params.cache_size = 512;
+  EXPECT_EQ(params.c(), 1000u);
+  EXPECT_NEAR(params.rs3(), 0.00512, 1e-12);
+
+  params.colluding_fraction = 1e-12;
+  EXPECT_EQ(params.c(), 1u);  // floor of at least one colluder
+
+  params.cache_size = 200000;
+  EXPECT_DOUBLE_EQ(params.rs3(), 1.0);  // saturates at the full ring
+}
+
+TEST(ParametersTest, ToStringMentionsEverything) {
+  Parameters params;
+  std::string s = params.ToString();
+  EXPECT_NE(s.find("N="), std::string::npos);
+  EXPECT_NE(s.find("C="), std::string::npos);
+  EXPECT_NE(s.find("A="), std::string::npos);
+  EXPECT_NE(s.find("alpha="), std::string::npos);
+  EXPECT_NE(s.find("chord"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sep2p::sim

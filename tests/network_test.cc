@@ -1,0 +1,124 @@
+#include "sim/network.h"
+
+#include <gtest/gtest.h>
+
+#include "dht/node_id.h"
+#include "tests/test_util.h"
+
+namespace sep2p::sim {
+namespace {
+
+TEST(NetworkTest, BuildsRequestedSize) {
+  auto network = test::MakeNetwork(1000, 0.01);
+  ASSERT_NE(network, nullptr);
+  EXPECT_EQ(network->directory().size(), 1000u);
+  EXPECT_EQ(network->directory().alive_count(), 1000u);
+}
+
+TEST(NetworkTest, ColluderCountMatchesFraction) {
+  auto network = test::MakeNetwork(1000, 0.05);
+  ASSERT_NE(network, nullptr);
+  EXPECT_EQ(network->ColluderIndices().size(), 50u);
+}
+
+TEST(NetworkTest, AtLeastOneColluderEvenForTinyFractions) {
+  auto network = test::MakeNetwork(1000, 1e-9);
+  ASSERT_NE(network, nullptr);
+  EXPECT_EQ(network->ColluderIndices().size(), 1u);
+}
+
+TEST(NetworkTest, NodeIdsAreImposedFromPublicKeys) {
+  auto network = test::MakeNetwork(200, 0.01);
+  ASSERT_NE(network, nullptr);
+  for (uint32_t i = 0; i < network->directory().size(); ++i) {
+    const dht::NodeRecord& node = network->directory().node(i);
+    EXPECT_EQ(node.id, dht::NodeIdForKey(node.pub));
+    EXPECT_EQ(node.pos, node.id.ring_pos());
+  }
+}
+
+TEST(NetworkTest, EveryCertificateChecksOut) {
+  auto network = test::MakeNetwork(200, 0.01);
+  ASSERT_NE(network, nullptr);
+  for (uint32_t i = 0; i < network->directory().size(); ++i) {
+    EXPECT_TRUE(network->ca().Check(network->directory().node(i).cert));
+  }
+}
+
+TEST(NetworkTest, ReassignColludersKeepsCount) {
+  auto network = test::MakeNetwork(1000, 0.03);
+  ASSERT_NE(network, nullptr);
+  auto before = network->ColluderIndices();
+  util::Rng rng(5);
+  network->ReassignColluders(rng);
+  auto after = network->ColluderIndices();
+  EXPECT_EQ(before.size(), after.size());
+  EXPECT_NE(before, after);  // overwhelmingly likely
+}
+
+TEST(NetworkTest, ColludersAreSpreadUniformly) {
+  // Imposed locations: colluders cannot cluster. Bucket their ring
+  // positions into 8 arcs and check rough balance.
+  auto network = test::MakeNetwork(8000, 0.1, /*cache=*/256, /*seed=*/3);
+  ASSERT_NE(network, nullptr);
+  int buckets[8] = {};
+  for (uint32_t idx : network->ColluderIndices()) {
+    ++buckets[static_cast<int>(network->directory().node(idx).pos >> 125)];
+  }
+  for (int b : buckets) EXPECT_NEAR(b, 100, 45);
+}
+
+TEST(NetworkTest, ContextIsFullyWired) {
+  auto network = test::MakeNetwork(500, 0.01);
+  ASSERT_NE(network, nullptr);
+  core::ProtocolContext ctx = network->context();
+  EXPECT_NE(ctx.directory, nullptr);
+  EXPECT_NE(ctx.overlay, nullptr);
+  EXPECT_NE(ctx.provider, nullptr);
+  EXPECT_NE(ctx.ca, nullptr);
+  EXPECT_NE(ctx.ktable, nullptr);
+  EXPECT_GT(ctx.rs3, 0);
+  EXPECT_GT(ctx.tolerance_rs, 0);
+}
+
+TEST(NetworkTest, RejectsDegenerateParameters) {
+  Parameters too_small;
+  too_small.n = 2;
+  EXPECT_FALSE(Network::Build(too_small).ok());
+
+  Parameters all_colluding;
+  all_colluding.n = 100;
+  all_colluding.colluding_fraction = 1.0;
+  EXPECT_FALSE(Network::Build(all_colluding).ok());
+}
+
+TEST(NetworkTest, Ed25519ProviderWorksEndToEnd) {
+  auto network = test::MakeNetwork(64, 0.05, /*cache=*/16, /*seed=*/9,
+                                   Parameters::ProviderKind::kEd25519);
+  ASSERT_NE(network, nullptr);
+  EXPECT_STREQ(network->provider().name(), "ed25519");
+  for (uint32_t i = 0; i < 8; ++i) {
+    EXPECT_TRUE(network->ca().Check(network->directory().node(i).cert));
+  }
+}
+
+TEST(NetworkTest, SameSeedSameNetwork) {
+  auto a = test::MakeNetwork(300, 0.01, 64, /*seed=*/77);
+  auto b = test::MakeNetwork(300, 0.01, 64, /*seed=*/77);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  for (uint32_t i = 0; i < a->directory().size(); ++i) {
+    EXPECT_EQ(a->directory().node(i).id, b->directory().node(i).id);
+    EXPECT_EQ(a->directory().node(i).colluding,
+              b->directory().node(i).colluding);
+  }
+}
+
+TEST(NetworkTest, CanOverlayIsLazilyAvailable) {
+  auto network = test::MakeNetwork(128, 0.01);
+  ASSERT_NE(network, nullptr);
+  EXPECT_EQ(network->can().zone_count(), 128u);
+}
+
+}  // namespace
+}  // namespace sep2p::sim

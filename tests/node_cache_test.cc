@@ -1,0 +1,90 @@
+#include "node/node_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tests/test_util.h"
+
+namespace sep2p::node {
+namespace {
+
+TEST(NodeCacheTest, CoverageCenteredOnOwner) {
+  auto dir = test::MakeDirectory(1000);
+  NodeCache cache(dir.get(), 42, /*rs3=*/0.05);
+  EXPECT_EQ(cache.coverage().center(), dir->node(42).pos);
+  EXPECT_NEAR(cache.coverage().size(), 0.05, 1e-9);
+}
+
+TEST(NodeCacheTest, SizeTracksRegionDensity) {
+  auto dir = test::MakeDirectory(2000);
+  NodeCache cache(dir.get(), 10, /*rs3=*/0.1);
+  // Expected ~200 nodes; uniform placement keeps it in a wide band.
+  EXPECT_GT(cache.size(), 120u);
+  EXPECT_LT(cache.size(), 300u);
+}
+
+TEST(NodeCacheTest, EntriesExcludeOwnerAndAreLegitimate) {
+  auto dir = test::MakeDirectory(500);
+  NodeCache cache(dir.get(), 7, 0.08);
+  for (uint32_t idx : cache.Entries()) {
+    EXPECT_NE(idx, 7u);
+    EXPECT_TRUE(cache.coverage().Contains(dir->node(idx).pos));
+  }
+}
+
+TEST(NodeCacheTest, LegitimateForIntersectsBothArcs) {
+  auto dir = test::MakeDirectory(1000);
+  NodeCache cache(dir.get(), 3, 0.06);
+  dht::Region r3 = dht::Region::Centered(dir->node(100).pos, 0.06);
+  std::vector<uint32_t> cl = cache.LegitimateFor(r3);
+  for (uint32_t idx : cl) {
+    EXPECT_TRUE(cache.coverage().Contains(dir->node(idx).pos));
+    EXPECT_TRUE(r3.Contains(dir->node(idx).pos));
+  }
+  // Brute-force cross-check.
+  size_t expected = 0;
+  for (uint32_t i = 0; i < dir->size(); ++i) {
+    if (i == 3) continue;
+    if (cache.coverage().Contains(dir->node(i).pos) &&
+        r3.Contains(dir->node(i).pos)) {
+      ++expected;
+    }
+  }
+  EXPECT_EQ(cl.size(), expected);
+}
+
+TEST(NodeCacheTest, DisjointRegionsYieldEmptyCandidateList) {
+  auto dir = test::MakeDirectory(1000);
+  NodeCache cache(dir.get(), 0, 0.01);
+  // A region on the far side of the ring.
+  dht::RingPos antipode =
+      dir->node(0).pos + (static_cast<dht::RingPos>(1) << 127);
+  dht::Region far = dht::Region::Centered(antipode, 0.01);
+  EXPECT_TRUE(cache.LegitimateFor(far).empty());
+}
+
+TEST(NodeCacheTest, CoversMatchesCoverage) {
+  auto dir = test::MakeDirectory(300);
+  NodeCache cache(dir.get(), 5, 0.2);
+  for (uint32_t i = 0; i < dir->size(); ++i) {
+    bool expected =
+        i != 5 && cache.coverage().Contains(dir->node(i).pos);
+    EXPECT_EQ(cache.Covers(i), expected) << i;
+  }
+}
+
+TEST(NodeCacheTest, DeadNodesDropOutOfEntries) {
+  auto dir = test::MakeDirectory(400);
+  NodeCache cache(dir.get(), 9, 0.3);
+  std::vector<uint32_t> before = cache.Entries();
+  ASSERT_FALSE(before.empty());
+  dir->SetAlive(before[0], false);
+  std::vector<uint32_t> after = cache.Entries();
+  EXPECT_EQ(after.size(), before.size() - 1);
+  EXPECT_EQ(std::count(after.begin(), after.end(), before[0]), 0);
+  dir->SetAlive(before[0], true);
+}
+
+}  // namespace
+}  // namespace sep2p::node

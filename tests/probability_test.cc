@@ -1,0 +1,141 @@
+#include "core/probability.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace sep2p::core {
+namespace {
+
+TEST(BinomialTailTest, DegenerateCases) {
+  EXPECT_DOUBLE_EQ(BinomialTail(0, 10, 0.3), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialTail(-5, 10, 0.3), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialTail(11, 10, 0.3), 0.0);
+  EXPECT_DOUBLE_EQ(BinomialTail(1, 10, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(BinomialTail(10, 10, 1.0), 1.0);
+}
+
+TEST(BinomialTailTest, SmallExactValues) {
+  // X ~ Bin(3, 0.5): P(X >= 2) = 4/8 = 0.5; P(X >= 3) = 1/8.
+  EXPECT_NEAR(BinomialTail(2, 3, 0.5), 0.5, 1e-12);
+  EXPECT_NEAR(BinomialTail(3, 3, 0.5), 0.125, 1e-12);
+  // X ~ Bin(2, 0.1): P(X >= 1) = 1 - 0.81 = 0.19.
+  EXPECT_NEAR(BinomialTail(1, 2, 0.1), 0.19, 1e-12);
+}
+
+TEST(BinomialTailTest, ComplementaryTailsSumToOne) {
+  // P(X >= m) + P(X <= m-1) = 1; the lower branch of the implementation
+  // computes exactly that complement.
+  for (int m = 1; m <= 20; ++m) {
+    double upper = BinomialTail(m, 20, 0.37);
+    // Lower tail via the same function on the mirrored variable:
+    // P(X <= m-1) = P(Y >= 20-m+1) with Y = 20 - X ~ Bin(20, 0.63).
+    double lower = BinomialTail(20 - m + 1, 20, 0.63);
+    EXPECT_NEAR(upper + lower, 1.0, 1e-10) << "m=" << m;
+  }
+}
+
+TEST(BinomialTailTest, MatchesMonteCarlo) {
+  util::Rng rng(123);
+  const int n = 50;
+  const double p = 0.08;
+  const int kTrials = 200000;
+  int counts[6] = {};  // P(X >= m) for m=1..5 estimated empirically
+  for (int t = 0; t < kTrials; ++t) {
+    int x = 0;
+    for (int i = 0; i < n; ++i) x += rng.NextBool(p);
+    for (int m = 1; m <= 5; ++m) {
+      if (x >= m) ++counts[m];
+    }
+  }
+  for (int m = 1; m <= 5; ++m) {
+    double empirical = static_cast<double>(counts[m]) / kTrials;
+    double analytic = BinomialTail(m, n, p);
+    EXPECT_NEAR(empirical, analytic, 0.01) << "m=" << m;
+  }
+}
+
+TEST(BinomialTailTest, StableAtPaperScale) {
+  // N = 10M nodes, tiny regions: must not overflow/underflow.
+  double p1 = PL(6, 10000000, 1e-6);
+  EXPECT_GT(p1, 0.0);
+  EXPECT_LT(p1, 1.0);
+  double p2 = PC(6, 100000, 1e-8);
+  EXPECT_GE(p2, 0.0);
+  EXPECT_LT(p2, 1e-6);
+}
+
+TEST(BinomialTailTest, MonotoneInRegionSize) {
+  double prev = 0;
+  for (double rs : {1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3}) {
+    double p = PC(4, 1000, rs);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(BinomialTailTest, MonotoneInThreshold) {
+  double prev = 1.0;
+  for (int k = 1; k <= 10; ++k) {
+    double p = PC(k, 1000, 1e-4);
+    EXPECT_LE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(SolveRegionSizeTest, SolutionSatisfiesConstraintTightly) {
+  for (uint64_t c : {10ull, 1000ull, 100000ull}) {
+    for (int k : {2, 3, 5, 8}) {
+      double rs = SolveRegionSizeForK(k, c, 1e-6);
+      EXPECT_LE(PC(k, c, rs), 1e-6 * 1.01) << "k=" << k << " c=" << c;
+      // Tight: doubling the region must violate the constraint (unless
+      // the solution saturated at the full ring).
+      if (rs < 0.5) {
+        EXPECT_GT(PC(k, c, rs * 2), 1e-6) << "k=" << k << " c=" << c;
+      }
+    }
+  }
+}
+
+TEST(SolveRegionSizeTest, KAboveCIsFullRing) {
+  EXPECT_DOUBLE_EQ(SolveRegionSizeForK(2, 1, 1e-6), 1.0);
+  EXPECT_DOUBLE_EQ(SolveRegionSizeForK(11, 10, 1e-10), 1.0);
+}
+
+TEST(SolveRegionSizeTest, LargerKAllowsLargerRegion) {
+  double prev = 0;
+  for (int k = 2; k <= 8; ++k) {
+    double rs = SolveRegionSizeForK(k, 1000, 1e-6);
+    EXPECT_GT(rs, prev) << "k=" << k;
+    prev = rs;
+  }
+}
+
+TEST(SolveRegionSizeForPopulationTest, SolutionHoldsPopulation) {
+  for (uint64_t n : {10000ull, 1000000ull}) {
+    for (int m : {1, 8, 32}) {
+      double rs = SolveRegionSizeForPopulation(m, n, 1e-6);
+      EXPECT_GE(PL(m, n, rs), 1.0 - 1e-6 * 1.01);
+      // Near-tight from below.
+      EXPECT_LT(PL(m, n, rs / 4), 1.0 - 1e-6);
+    }
+  }
+}
+
+TEST(SolveRegionSizeForPopulationTest, ToleranceScalesInverselyWithN) {
+  double rs_small = SolveRegionSizeForPopulation(1, 10000, 1e-6);
+  double rs_large = SolveRegionSizeForPopulation(1, 1000000, 1e-6);
+  EXPECT_NEAR(rs_small / rs_large, 100.0, 10.0);
+}
+
+TEST(LogBinomialCoefficientTest, MatchesExactValues) {
+  EXPECT_NEAR(LogBinomialCoefficient(5, 2), std::log(10.0), 1e-9);
+  EXPECT_NEAR(LogBinomialCoefficient(10, 0), 0.0, 1e-12);
+  EXPECT_NEAR(LogBinomialCoefficient(10, 10), 0.0, 1e-9);
+  EXPECT_EQ(LogBinomialCoefficient(3, 5), -INFINITY);
+}
+
+}  // namespace
+}  // namespace sep2p::core

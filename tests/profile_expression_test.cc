@@ -1,0 +1,123 @@
+#include "apps/profile_expression.h"
+
+#include <gtest/gtest.h>
+
+namespace sep2p::apps {
+namespace {
+
+std::set<std::string> Concepts(std::initializer_list<const char*> names) {
+  std::set<std::string> out;
+  for (const char* name : names) out.insert(name);
+  return out;
+}
+
+TEST(ProfileExpressionTest, SingleConcept) {
+  auto expr = ProfileExpression::Parse("pilot");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_TRUE(expr->Matches(Concepts({"pilot"})));
+  EXPECT_FALSE(expr->Matches(Concepts({"academic"})));
+}
+
+TEST(ProfileExpressionTest, AndRequiresBoth) {
+  auto expr = ProfileExpression::Parse("pilot AND age:40s");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_TRUE(expr->Matches(Concepts({"pilot", "age:40s"})));
+  EXPECT_FALSE(expr->Matches(Concepts({"pilot"})));
+  EXPECT_FALSE(expr->Matches(Concepts({"age:40s"})));
+}
+
+TEST(ProfileExpressionTest, OrRequiresEither) {
+  auto expr = ProfileExpression::Parse("paris OR lyon");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_TRUE(expr->Matches(Concepts({"paris"})));
+  EXPECT_TRUE(expr->Matches(Concepts({"lyon"})));
+  EXPECT_FALSE(expr->Matches(Concepts({"nice"})));
+}
+
+TEST(ProfileExpressionTest, NotNegates) {
+  auto expr = ProfileExpression::Parse("academic AND NOT retired");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_TRUE(expr->Matches(Concepts({"academic"})));
+  EXPECT_FALSE(expr->Matches(Concepts({"academic", "retired"})));
+}
+
+TEST(ProfileExpressionTest, PrecedenceNotOverAndOverOr) {
+  // a OR b AND NOT c  ==  a OR (b AND (NOT c))
+  auto expr = ProfileExpression::Parse("a OR b AND NOT c");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_TRUE(expr->Matches(Concepts({"a", "c"})));     // a wins
+  EXPECT_TRUE(expr->Matches(Concepts({"b"})));           // b AND NOT c
+  EXPECT_FALSE(expr->Matches(Concepts({"b", "c"})));     // c kills b-branch
+  EXPECT_FALSE(expr->Matches(Concepts({"c"})));
+}
+
+TEST(ProfileExpressionTest, ParenthesesOverridePrecedence) {
+  auto expr = ProfileExpression::Parse("(a OR b) AND c");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_TRUE(expr->Matches(Concepts({"a", "c"})));
+  EXPECT_TRUE(expr->Matches(Concepts({"b", "c"})));
+  EXPECT_FALSE(expr->Matches(Concepts({"a", "b"})));
+}
+
+TEST(ProfileExpressionTest, KeywordsAreCaseInsensitive) {
+  auto expr = ProfileExpression::Parse("a and not b or c");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_TRUE(expr->Matches(Concepts({"a"})));
+  EXPECT_TRUE(expr->Matches(Concepts({"c", "b"})));
+  EXPECT_FALSE(expr->Matches(Concepts({"a", "b"})));
+}
+
+TEST(ProfileExpressionTest, ConceptsMayContainPunctuation) {
+  auto expr = ProfileExpression::Parse(
+      "occupation:pilot AND age:40-49 AND city:paris.fr");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_TRUE(expr->Matches(
+      Concepts({"occupation:pilot", "age:40-49", "city:paris.fr"})));
+}
+
+TEST(ProfileExpressionTest, PositiveConceptsExcludeNegated) {
+  auto expr = ProfileExpression::Parse("a AND NOT b AND (c OR NOT d)");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ(expr->positive_concepts(),
+            (std::vector<std::string>{"a", "c"}));
+  EXPECT_EQ(expr->all_concepts(),
+            (std::vector<std::string>{"a", "b", "c", "d"}));
+}
+
+TEST(ProfileExpressionTest, DoubleNegationIsPositive) {
+  auto expr = ProfileExpression::Parse("NOT NOT a");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ(expr->positive_concepts(), (std::vector<std::string>{"a"}));
+  EXPECT_TRUE(expr->Matches(Concepts({"a"})));
+  EXPECT_FALSE(expr->Matches(Concepts({})));
+}
+
+TEST(ProfileExpressionTest, AbsenceOnlyExpressionsRejected) {
+  EXPECT_FALSE(ProfileExpression::Parse("NOT a").ok());
+  EXPECT_FALSE(ProfileExpression::Parse("NOT a AND NOT b").ok());
+}
+
+TEST(ProfileExpressionTest, SyntaxErrorsRejected) {
+  for (const char* bad : {"", "AND", "a AND", "a OR OR b", "(a", "a)",
+                          "a b", "a && b", "NOT", "()"}) {
+    EXPECT_FALSE(ProfileExpression::Parse(bad).ok()) << "'" << bad << "'";
+  }
+}
+
+TEST(ProfileExpressionTest, ToStringRoundTripsSemantics) {
+  auto expr = ProfileExpression::Parse("a AND (b OR NOT c)");
+  ASSERT_TRUE(expr.ok());
+  auto reparsed = ProfileExpression::Parse(expr->ToString());
+  ASSERT_TRUE(reparsed.ok());
+  // Same truth table over the mentioned concepts.
+  for (int mask = 0; mask < 8; ++mask) {
+    std::set<std::string> cs;
+    if (mask & 1) cs.insert("a");
+    if (mask & 2) cs.insert("b");
+    if (mask & 4) cs.insert("c");
+    EXPECT_EQ(expr->Matches(cs), reparsed->Matches(cs)) << mask;
+  }
+}
+
+}  // namespace
+}  // namespace sep2p::apps

@@ -1,0 +1,143 @@
+#include "apps/query.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tests/test_util.h"
+
+namespace sep2p::apps {
+namespace {
+
+class QueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    network_ = test::MakeNetwork(1200, 0.01, /*cache=*/160);
+    ASSERT_NE(network_, nullptr);
+    for (uint32_t i = 0; i < network_->directory().size(); ++i) {
+      pdms_.emplace_back(i);
+    }
+    // Pilots (i % 5 == 0) in their forties (i % 3 == 0) have a known
+    // number of sick-leave days: i % 10.
+    for (uint32_t i = 0; i < pdms_.size(); ++i) {
+      if (i % 5 == 0) pdms_[i].AddConcept("pilot");
+      if (i % 3 == 0) pdms_[i].AddConcept("age:40s");
+      pdms_[i].SetAttribute("sick_leave_days", i % 10);
+    }
+    index_ = std::make_unique<ConceptIndex>(network_.get());
+    DiffusionApp publish_helper(network_.get(), &pdms_, index_.get());
+    util::Rng rng(5);
+    ASSERT_TRUE(publish_helper.PublishAllProfiles(rng).ok());
+    app_ = std::make_unique<QueryApp>(network_.get(), &pdms_, index_.get());
+  }
+
+  double ExpectedAverage() {
+    double sum = 0;
+    int count = 0;
+    for (uint32_t i = 0; i < pdms_.size(); ++i) {
+      if (i % 15 == 0) {
+        sum += i % 10;
+        ++count;
+      }
+    }
+    return sum / count;
+  }
+
+  std::unique_ptr<sim::Network> network_;
+  std::vector<node::PdmsNode> pdms_;
+  std::unique_ptr<ConceptIndex> index_;
+  std::unique_ptr<QueryApp> app_;
+  util::Rng rng_{23};
+};
+
+TEST_F(QueryTest, AverageOverProfiledSubset) {
+  QuerySpec spec;
+  spec.profile_expression = "pilot AND age:40s";
+  spec.attribute = "sick_leave_days";
+  spec.aggregate = Aggregate::kAvg;
+  auto result = app_->Execute(/*querier=*/2, spec, rng_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->contributors, 80u);  // 1200 / 15
+  EXPECT_NEAR(result->value, ExpectedAverage(), 1e-9);
+}
+
+TEST_F(QueryTest, CountSumMinMax) {
+  QuerySpec spec;
+  spec.profile_expression = "pilot AND age:40s";
+  spec.attribute = "sick_leave_days";
+
+  spec.aggregate = Aggregate::kCount;
+  auto count = app_->Execute(2, spec, rng_);
+  ASSERT_TRUE(count.ok());
+  EXPECT_DOUBLE_EQ(count->value, 80.0);
+
+  spec.aggregate = Aggregate::kSum;
+  auto sum = app_->Execute(2, spec, rng_);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_NEAR(sum->value, ExpectedAverage() * 80, 1e-9);
+
+  spec.aggregate = Aggregate::kMin;
+  auto min = app_->Execute(2, spec, rng_);
+  ASSERT_TRUE(min.ok());
+  EXPECT_DOUBLE_EQ(min->value, 0.0);
+
+  spec.aggregate = Aggregate::kMax;
+  auto max = app_->Execute(2, spec, rng_);
+  ASSERT_TRUE(max.ok());
+  // Multiples of 15 mod 10 cycle {0,5}: max is 5.
+  EXPECT_DOUBLE_EQ(max->value, 5.0);
+}
+
+TEST_F(QueryTest, EmptyTargetSetYieldsZero) {
+  QuerySpec spec;
+  spec.profile_expression = "astronaut";
+  spec.attribute = "sick_leave_days";
+  auto result = app_->Execute(2, spec, rng_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->contributors, 0u);
+  EXPECT_DOUBLE_EQ(result->value, 0.0);
+}
+
+TEST_F(QueryTest, MissingAttributeSkipsContributor) {
+  // Re-create one known target (node 15) without the attribute.
+  pdms_[15] = node::PdmsNode(15);
+  pdms_[15].AddConcept("pilot");
+  pdms_[15].AddConcept("age:40s");
+  QuerySpec spec;
+  spec.profile_expression = "pilot AND age:40s";
+  spec.attribute = "sick_leave_days";
+  auto result = app_->Execute(2, spec, rng_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->contributors, 79u);
+}
+
+TEST_F(QueryTest, KnowledgeSeparationBetweenDasAndProxies) {
+  QuerySpec spec;
+  spec.profile_expression = "pilot AND age:40s";
+  spec.attribute = "sick_leave_days";
+  auto result = app_->Execute(2, spec, rng_);
+  ASSERT_TRUE(result.ok());
+
+  // DAs saw exactly the contributed values — but the trace carries no
+  // sender identities; proxies saw the senders but no values.
+  EXPECT_EQ(result->values_seen_by_da.size(), result->contributors);
+  EXPECT_EQ(result->senders_seen_by_proxies.size(), result->contributors);
+  std::vector<uint32_t> senders = result->senders_seen_by_proxies;
+  std::sort(senders.begin(), senders.end());
+  for (uint32_t sender : senders) {
+    EXPECT_EQ(sender % 15, 0u);  // the actual targets
+  }
+}
+
+TEST_F(QueryTest, AggregatorsChangePerQuery) {
+  QuerySpec spec;
+  spec.profile_expression = "pilot";
+  spec.attribute = "sick_leave_days";
+  auto a = app_->Execute(2, spec, rng_);
+  auto b = app_->Execute(2, spec, rng_);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a->aggregators, b->aggregators);
+}
+
+}  // namespace
+}  // namespace sep2p::apps

@@ -1,0 +1,65 @@
+#include "core/rate_limiter.h"
+
+#include <gtest/gtest.h>
+
+namespace sep2p::core {
+namespace {
+
+dht::NodeId Id(const std::string& name) { return dht::NodeId::Of(name); }
+
+TEST(RateLimiterTest, AllowsUpToQuota) {
+  TriggerRateLimiter limiter(/*max_triggers=*/3, /*window=*/100);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(limiter.Allow(Id("t"), 10 + i).ok()) << i;
+  }
+  EXPECT_FALSE(limiter.Allow(Id("t"), 13).ok());
+}
+
+TEST(RateLimiterTest, DeniedWithPermissionDenied) {
+  TriggerRateLimiter limiter(1, 100);
+  EXPECT_TRUE(limiter.Allow(Id("t"), 0).ok());
+  Status denied = limiter.Allow(Id("t"), 1);
+  EXPECT_EQ(denied.code(), StatusCode::kPermissionDenied);
+}
+
+TEST(RateLimiterTest, WindowSlides) {
+  TriggerRateLimiter limiter(2, 100);
+  EXPECT_TRUE(limiter.Allow(Id("t"), 0).ok());
+  EXPECT_TRUE(limiter.Allow(Id("t"), 50).ok());
+  EXPECT_FALSE(limiter.Allow(Id("t"), 99).ok());
+  // At t=100 the first attempt (t=0) leaves the window.
+  EXPECT_TRUE(limiter.Allow(Id("t"), 100).ok());
+  EXPECT_FALSE(limiter.Allow(Id("t"), 101).ok());
+}
+
+TEST(RateLimiterTest, TriggersAreIndependent) {
+  TriggerRateLimiter limiter(1, 100);
+  EXPECT_TRUE(limiter.Allow(Id("a"), 0).ok());
+  EXPECT_TRUE(limiter.Allow(Id("b"), 0).ok());
+  EXPECT_FALSE(limiter.Allow(Id("a"), 1).ok());
+  EXPECT_FALSE(limiter.Allow(Id("b"), 1).ok());
+}
+
+TEST(RateLimiterTest, PendingCountReflectsWindow) {
+  TriggerRateLimiter limiter(10, 100);
+  EXPECT_EQ(limiter.PendingCount(Id("t"), 0), 0);
+  limiter.Allow(Id("t"), 0);
+  limiter.Allow(Id("t"), 10);
+  EXPECT_EQ(limiter.PendingCount(Id("t"), 20), 2);
+  EXPECT_EQ(limiter.PendingCount(Id("t"), 105), 1);
+  EXPECT_EQ(limiter.PendingCount(Id("t"), 200), 0);
+}
+
+TEST(RateLimiterTest, ShoppingForActorListsIsBlocked) {
+  // The attack §3.6 prevents: regenerate actor lists until a favorable
+  // one appears. With a quota of q per window, at most q lists exist.
+  TriggerRateLimiter limiter(5, 1000);
+  int successes = 0;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    if (limiter.Allow(Id("attacker"), attempt).ok()) ++successes;
+  }
+  EXPECT_EQ(successes, 5);
+}
+
+}  // namespace
+}  // namespace sep2p::core

@@ -1,0 +1,120 @@
+#include "apps/sensing.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace sep2p::apps {
+namespace {
+
+class SensingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    network_ = test::MakeNetwork(1500, 0.01, /*cache=*/192);
+    ASSERT_NE(network_, nullptr);
+    for (uint32_t i = 0; i < network_->directory().size(); ++i) {
+      pdms_.emplace_back(i);
+    }
+  }
+
+  std::unique_ptr<sim::Network> network_;
+  std::vector<node::PdmsNode> pdms_;
+  util::Rng rng_{17};
+};
+
+TEST_F(SensingTest, AggregateApproximatesGroundTruth) {
+  ParticipatorySensingApp app(network_.get(), &pdms_);
+  app.GenerateWorkload(/*sources=*/300, /*readings_per_source=*/10, rng_);
+  auto round = app.RunRound(/*trigger_index=*/3, rng_);
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  EXPECT_EQ(round->sources, 300);
+  EXPECT_EQ(round->aggregate.total_count(), 3000u);
+  for (int ix = 0; ix < round->aggregate.grid; ++ix) {
+    for (int iy = 0; iy < round->aggregate.grid; ++iy) {
+      const CellStat& cell = round->aggregate.at(ix, iy);
+      if (cell.count < 20) continue;  // sparse cells are noisy
+      EXPECT_NEAR(cell.average(), app.GroundTruth(ix, iy), 0.5)
+          << "cell " << ix << "," << iy;
+    }
+  }
+}
+
+TEST_F(SensingTest, AggregatorsAreSelectedSecurely) {
+  ParticipatorySensingApp::Config config;
+  config.aggregator_count = 6;
+  ParticipatorySensingApp app(network_.get(), &pdms_, config);
+  app.GenerateWorkload(50, 4, rng_);
+  auto round = app.RunRound(9, rng_);
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round->aggregators.size(), 6u);
+  EXPECT_EQ(round->main_aggregator, round->aggregators[0]);
+  EXPECT_EQ(round->verifier_rejections, 0);
+}
+
+TEST_F(SensingTest, EverySourcePaysTwoKVerification) {
+  ParticipatorySensingApp app(network_.get(), &pdms_);
+  app.GenerateWorkload(40, 2, rng_);
+  auto round = app.RunRound(5, rng_);
+  ASSERT_TRUE(round.ok());
+  // 2k with k >= 2, and even.
+  EXPECT_GE(round->per_source_verification_ops, 4);
+  EXPECT_EQ(static_cast<int>(round->per_source_verification_ops) % 2, 0);
+}
+
+TEST_F(SensingTest, DataSeenByDasIsAnonymizedButComplete) {
+  ParticipatorySensingApp app(network_.get(), &pdms_);
+  app.GenerateWorkload(100, 5, rng_);
+  auto round = app.RunRound(2, rng_);
+  ASSERT_TRUE(round.ok());
+  size_t total_seen = 0;
+  for (const auto& values : round->values_seen_by_da) {
+    total_seen += values.size();
+  }
+  // Task atomicity: all readings flow through the DAs (values only), and
+  // no single DA sees everything.
+  EXPECT_EQ(total_seen, 500u);
+  for (const auto& values : round->values_seen_by_da) {
+    EXPECT_LT(values.size(), total_seen);
+  }
+}
+
+TEST_F(SensingTest, NoReadingsMeansEmptyAggregate) {
+  ParticipatorySensingApp app(network_.get(), &pdms_);
+  auto round = app.RunRound(1, rng_);
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round->sources, 0);
+  EXPECT_EQ(round->aggregate.total_count(), 0u);
+}
+
+TEST_F(SensingTest, RepeatedRoundsRotateAggregators) {
+  // "Selected DA nodes will change at each iteration" (§5.3): different
+  // rounds land in different DHT regions.
+  ParticipatorySensingApp app(network_.get(), &pdms_);
+  app.GenerateWorkload(20, 1, rng_);
+  auto r1 = app.RunRound(4, rng_);
+  auto r2 = app.RunRound(4, rng_);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_NE(r1->aggregators, r2->aggregators);
+}
+
+TEST_F(SensingTest, ContinuousRoundsRotateAggregatorsAndBoundLeakage) {
+  ParticipatorySensingApp::Config config;
+  config.aggregator_count = 8;
+  ParticipatorySensingApp app(network_.get(), &pdms_, config);
+  app.GenerateWorkload(/*sources=*/120, /*readings_per_source=*/3, rng_);
+
+  auto result = app.RunContinuous(/*rounds=*/12, rng_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->total_values, 12u * 360u);
+
+  // Rotation: far more distinct aggregators than one round's worth.
+  EXPECT_GT(result->distinct_aggregators, 3 * config.aggregator_count);
+
+  // Leakage bound: a single round's DA sees ~1/A of that round, i.e.
+  // ~1/(A*rounds) of the stream; even with collisions nobody should
+  // approach a full round's share of the total.
+  EXPECT_LT(result->max_fraction_seen_by_one_node, 1.0 / 12);
+}
+
+}  // namespace
+}  // namespace sep2p::apps

@@ -1,0 +1,97 @@
+#include "crypto/sha256.h"
+
+#include <gtest/gtest.h>
+#include <openssl/sha.h>
+
+#include <string>
+
+#include "util/hex.h"
+#include "util/rng.h"
+
+namespace sep2p::crypto {
+namespace {
+
+std::string HexOf(const Digest& d) {
+  return util::ToHex(d.data(), d.size());
+}
+
+// FIPS 180-4 / NIST CAVP known-answer tests.
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(HexOf(Sha256Hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(HexOf(Sha256Hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(
+      HexOf(Sha256Hash(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 ctx;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) ctx.Update(chunk);
+  EXPECT_EQ(HexOf(ctx.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  std::string msg = "the quick brown fox jumps over the lazy dog";
+  for (size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 ctx;
+    ctx.Update(msg.substr(0, split));
+    ctx.Update(msg.substr(split));
+    EXPECT_EQ(ctx.Finish(), Sha256Hash(msg)) << "split at " << split;
+  }
+}
+
+TEST(Sha256Test, ResetAllowsReuse) {
+  Sha256 ctx;
+  ctx.Update("first message");
+  ctx.Finish();
+  ctx.Reset();
+  ctx.Update("abc");
+  EXPECT_EQ(HexOf(ctx.Finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+// Cross-check the from-scratch implementation against OpenSSL on random
+// inputs of every length class (sub-block, block-aligned, multi-block).
+TEST(Sha256Test, MatchesOpenSslOnRandomInputs) {
+  util::Rng rng(4242);
+  for (size_t len : {0u, 1u, 31u, 32u, 55u, 56u, 63u, 64u, 65u, 127u, 128u,
+                     1000u, 4096u, 10000u}) {
+    std::vector<uint8_t> data(len);
+    rng.FillBytes(data.data(), data.size());
+    Digest ours = Sha256Hash(data);
+    unsigned char theirs[32];
+    SHA256(data.data(), data.size(), theirs);
+    EXPECT_EQ(0, memcmp(ours.data(), theirs, 32)) << "len " << len;
+  }
+}
+
+TEST(Sha256Test, OutputLooksUniform) {
+  // Bit-balance sanity check over many hashes (each output bit should be
+  // set about half the time) — the property the paper's imposed node
+  // placement relies on.
+  constexpr int kHashes = 2000;
+  int bit_counts[256] = {};
+  for (int i = 0; i < kHashes; ++i) {
+    Digest d = Sha256Hash("node-" + std::to_string(i));
+    for (int bit = 0; bit < 256; ++bit) {
+      if (d[bit / 8] & (1 << (bit % 8))) ++bit_counts[bit];
+    }
+  }
+  for (int bit = 0; bit < 256; ++bit) {
+    EXPECT_NEAR(bit_counts[bit], kHashes / 2, 150) << "bit " << bit;
+  }
+}
+
+}  // namespace
+}  // namespace sep2p::crypto

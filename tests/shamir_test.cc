@@ -1,0 +1,156 @@
+#include "crypto/shamir.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "util/rng.h"
+
+namespace sep2p::crypto {
+namespace {
+
+TEST(Gf256Test, AdditionIsXor) {
+  EXPECT_EQ(gf256::Add(0x53, 0xca), 0x53 ^ 0xca);
+  EXPECT_EQ(gf256::Add(7, 7), 0);
+}
+
+TEST(Gf256Test, MultiplicationKnownValues) {
+  // Classic AES example: 0x53 * 0xca = 0x01.
+  EXPECT_EQ(gf256::Mul(0x53, 0xca), 0x01);
+  EXPECT_EQ(gf256::Mul(0x57, 0x83), 0xc1);
+  EXPECT_EQ(gf256::Mul(0, 0x37), 0);
+  EXPECT_EQ(gf256::Mul(1, 0x37), 0x37);
+}
+
+TEST(Gf256Test, MultiplicationCommutativeAndDistributive) {
+  util::Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    uint8_t a = rng.NextUint64(256), b = rng.NextUint64(256),
+            c = rng.NextUint64(256);
+    EXPECT_EQ(gf256::Mul(a, b), gf256::Mul(b, a));
+    EXPECT_EQ(gf256::Mul(a, gf256::Add(b, c)),
+              gf256::Add(gf256::Mul(a, b), gf256::Mul(a, c)));
+  }
+}
+
+TEST(Gf256Test, EveryNonZeroElementHasInverse) {
+  for (int a = 1; a < 256; ++a) {
+    uint8_t inv = gf256::Inv(static_cast<uint8_t>(a));
+    EXPECT_EQ(gf256::Mul(static_cast<uint8_t>(a), inv), 1) << "a=" << a;
+  }
+}
+
+using SplitParam = std::tuple<int, int>;  // threshold, shares
+
+class ShamirRoundTripTest : public ::testing::TestWithParam<SplitParam> {};
+
+TEST_P(ShamirRoundTripTest, ExactThresholdReconstructs) {
+  auto [threshold, share_count] = GetParam();
+  util::Rng rng(99);
+  std::vector<uint8_t> secret{0xde, 0xad, 0xbe, 0xef, 0x00, 0x42};
+  auto shares = ShamirSplit(secret, threshold, share_count, rng);
+  ASSERT_TRUE(shares.ok());
+  ASSERT_EQ(shares->size(), static_cast<size_t>(share_count));
+
+  std::vector<SecretShare> subset(shares->begin(),
+                                  shares->begin() + threshold);
+  auto recovered = ShamirCombine(subset);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(*recovered, secret);
+}
+
+TEST_P(ShamirRoundTripTest, AnySubsetOfThresholdSizeReconstructs) {
+  auto [threshold, share_count] = GetParam();
+  util::Rng rng(7);
+  std::vector<uint8_t> secret{1, 2, 3};
+  auto shares = ShamirSplit(secret, threshold, share_count, rng);
+  ASSERT_TRUE(shares.ok());
+  // Take the *last* threshold shares (different subset than the first).
+  std::vector<SecretShare> subset(shares->end() - threshold, shares->end());
+  auto recovered = ShamirCombine(subset);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(*recovered, secret);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Thresholds, ShamirRoundTripTest,
+    ::testing::Values(SplitParam{1, 1}, SplitParam{1, 3}, SplitParam{2, 2},
+                      SplitParam{2, 3}, SplitParam{3, 5}, SplitParam{5, 8},
+                      SplitParam{10, 10}, SplitParam{3, 255}));
+
+TEST(ShamirTest, FewerThanThresholdYieldsGarbage) {
+  util::Rng rng(3);
+  std::vector<uint8_t> secret{0xaa, 0xbb, 0xcc};
+  auto shares = ShamirSplit(secret, 3, 5, rng);
+  ASSERT_TRUE(shares.ok());
+  std::vector<SecretShare> two(shares->begin(), shares->begin() + 2);
+  auto recovered = ShamirCombine(two);
+  // Combining too few shares "succeeds" mathematically but must not
+  // reveal the secret.
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_NE(*recovered, secret);
+}
+
+TEST(ShamirTest, SingleShareIsStatisticallyIndependentOfSecret) {
+  // For p >= 2, one share byte should be uniform regardless of the
+  // secret byte: check that share values for a fixed secret hit many
+  // distinct values across random polynomials.
+  util::Rng rng(17);
+  std::map<uint8_t, int> histogram;
+  for (int i = 0; i < 2000; ++i) {
+    auto shares = ShamirSplit({0x42}, 2, 2, rng);
+    ASSERT_TRUE(shares.ok());
+    ++histogram[(*shares)[0].data[0]];
+  }
+  EXPECT_GT(histogram.size(), 200u);  // far from constant
+}
+
+TEST(ShamirTest, EmptySecretSupported) {
+  util::Rng rng(5);
+  auto shares = ShamirSplit({}, 2, 3, rng);
+  ASSERT_TRUE(shares.ok());
+  std::vector<SecretShare> subset(shares->begin(), shares->begin() + 2);
+  auto recovered = ShamirCombine(subset);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_TRUE(recovered->empty());
+}
+
+TEST(ShamirTest, InvalidParametersRejected) {
+  util::Rng rng(6);
+  EXPECT_FALSE(ShamirSplit({1}, 0, 3, rng).ok());   // threshold < 1
+  EXPECT_FALSE(ShamirSplit({1}, 4, 3, rng).ok());   // threshold > shares
+  EXPECT_FALSE(ShamirSplit({1}, 2, 256, rng).ok()); // too many shares
+}
+
+TEST(ShamirTest, CombineRejectsBadShareSets) {
+  util::Rng rng(8);
+  auto shares = ShamirSplit({1, 2}, 2, 3, rng);
+  ASSERT_TRUE(shares.ok());
+
+  EXPECT_FALSE(ShamirCombine({}).ok());  // empty
+
+  std::vector<SecretShare> dup{(*shares)[0], (*shares)[0]};
+  EXPECT_FALSE(ShamirCombine(dup).ok());  // duplicate x
+
+  std::vector<SecretShare> mismatched{(*shares)[0], (*shares)[1]};
+  mismatched[1].data.pop_back();
+  EXPECT_FALSE(ShamirCombine(mismatched).ok());  // inconsistent lengths
+
+  SecretShare zero = (*shares)[0];
+  zero.x = 0;
+  EXPECT_FALSE(ShamirCombine({zero}).ok());  // x = 0 would BE the secret
+}
+
+TEST(ShamirTest, MoreThanThresholdSharesStillReconstruct) {
+  util::Rng rng(9);
+  std::vector<uint8_t> secret{9, 9, 9, 9};
+  auto shares = ShamirSplit(secret, 2, 5, rng);
+  ASSERT_TRUE(shares.ok());
+  auto recovered = ShamirCombine(*shares);  // all 5 shares
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(*recovered, secret);
+}
+
+}  // namespace
+}  // namespace sep2p::crypto

@@ -1,0 +1,73 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace sep2p {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsCarryCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad input");
+}
+
+TEST(StatusTest, SecurityViolationHasDedicatedCode) {
+  Status s = Status::SecurityViolation("forged signature");
+  EXPECT_EQ(s.code(), StatusCode::kSecurityViolation);
+  EXPECT_NE(s.ToString().find("SECURITY_VIOLATION"), std::string::npos);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kSecurityViolation);
+       ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+Status Helper(bool fail) {
+  SEP2P_RETURN_IF_ERROR(fail ? Status::Internal("inner") : Status::Ok());
+  return Status::Ok();
+}
+
+TEST(ResultTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(Helper(false).ok());
+  EXPECT_EQ(Helper(true).code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace sep2p

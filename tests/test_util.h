@@ -1,0 +1,57 @@
+// Shared helpers for the SEP2P test-suite.
+
+#ifndef SEP2P_TESTS_TEST_UTIL_H_
+#define SEP2P_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <vector>
+
+#include "crypto/sim_provider.h"
+#include "dht/directory.h"
+#include "dht/node_id.h"
+#include "sim/network.h"
+#include "util/rng.h"
+
+namespace sep2p::test {
+
+// Builds a bare directory of `n` nodes with imposed ids (no CA/certs),
+// enough for DHT-layer tests.
+inline std::unique_ptr<dht::Directory> MakeDirectory(size_t n,
+                                                     uint64_t seed = 1) {
+  crypto::SimProvider provider;
+  util::Rng rng(seed);
+  std::vector<dht::NodeRecord> records;
+  records.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto pair = provider.GenerateKeyPair(rng);
+    dht::NodeRecord record;
+    record.pub = pair->pub;
+    record.priv = std::move(pair->priv);
+    record.id = dht::NodeIdForKey(record.pub);
+    record.pos = record.id.ring_pos();
+    records.push_back(std::move(record));
+  }
+  return std::make_unique<dht::Directory>(std::move(records));
+}
+
+// Small full network with fast defaults for protocol-layer tests.
+inline std::unique_ptr<sim::Network> MakeNetwork(
+    uint64_t n = 2000, double c_fraction = 0.01, size_t cache = 0,
+    uint64_t seed = 42,
+    sim::Parameters::ProviderKind provider =
+        sim::Parameters::ProviderKind::kSim) {
+  sim::Parameters params;
+  params.n = n;
+  params.colluding_fraction = c_fraction;
+  params.cache_size = cache == 0 ? std::max<size_t>(64, n / 20) : cache;
+  params.actor_count = 8;
+  params.seed = seed;
+  params.provider = provider;
+  auto network = sim::Network::Build(params);
+  if (!network.ok()) return nullptr;
+  return std::move(network.value());
+}
+
+}  // namespace sep2p::test
+
+#endif  // SEP2P_TESTS_TEST_UTIL_H_

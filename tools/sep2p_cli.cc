@@ -1,0 +1,245 @@
+// sep2p_cli — command-line driver for the SEP2P library.
+//
+//   sep2p_cli select  [--n N] [--c FRAC] [--a A] [--seed S]
+//                     [--overlay chord|can] [--ed25519]
+//       Build a network, run one secure actor selection, verify it, and
+//       print the verifiable actor list (also as its wire encoding).
+//   sep2p_cli ktable  [--n N] [--c FRAC] [--alpha A]
+//       Print the k-table for a configuration.
+//   sep2p_cli probe   [--n N] [--c FRAC] [--alpha A] [--rounds R]
+//       Colluder-concentration probe behind the alpha choice.
+//   sep2p_cli demo
+//       End-to-end run of all three paper use cases on one network.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "apps/concept_index.h"
+#include "apps/diffusion.h"
+#include "apps/query.h"
+#include "apps/sensing.h"
+#include "core/verification.h"
+#include "core/wire.h"
+#include "sim/experiment.h"
+#include "sim/metrics.h"
+#include "sim/network.h"
+#include "util/hex.h"
+
+using namespace sep2p;
+
+namespace {
+
+struct Flags {
+  sim::Parameters params;
+  double alpha = 1e-6;
+  int rounds = 50;
+};
+
+bool ParseFlags(int argc, char** argv, int first, Flags* flags) {
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next_value = [&](double* out) {
+      if (i + 1 >= argc) return false;
+      *out = std::atof(argv[++i]);
+      return true;
+    };
+    double value = 0;
+    if (arg == "--n" && next_value(&value)) {
+      flags->params.n = static_cast<uint64_t>(value);
+    } else if (arg == "--c" && next_value(&value)) {
+      flags->params.colluding_fraction = value;
+    } else if (arg == "--a" && next_value(&value)) {
+      flags->params.actor_count = static_cast<int>(value);
+    } else if (arg == "--seed" && next_value(&value)) {
+      flags->params.seed = static_cast<uint64_t>(value);
+    } else if (arg == "--cache" && next_value(&value)) {
+      flags->params.cache_size = static_cast<size_t>(value);
+    } else if (arg == "--alpha" && next_value(&value)) {
+      flags->alpha = value;
+      flags->params.alpha = value;
+    } else if (arg == "--rounds" && next_value(&value)) {
+      flags->rounds = static_cast<int>(value);
+    } else if (arg == "--ed25519") {
+      flags->params.provider = sim::Parameters::ProviderKind::kEd25519;
+    } else if (arg == "--overlay") {
+      if (i + 1 >= argc) return false;
+      std::string overlay = argv[++i];
+      flags->params.overlay = overlay == "can"
+                                  ? sim::Parameters::OverlayKind::kCan
+                                  : sim::Parameters::OverlayKind::kChord;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int CmdSelect(const Flags& flags) {
+  auto network = sim::Network::Build(flags.params);
+  if (!network.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 network.status().ToString().c_str());
+    return 1;
+  }
+  sim::Network& net = **network;
+  std::printf("network: %s\n", flags.params.ToString().c_str());
+
+  core::ProtocolContext ctx = net.context();
+  core::SelectionProtocol selection(ctx);
+  util::Rng rng(flags.params.seed ^ 0xc11);
+  uint32_t trigger =
+      static_cast<uint32_t>(rng.NextUint64(net.directory().size()));
+  auto outcome = selection.Run(trigger, rng);
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "selection failed: %s\n",
+                 outcome.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("trigger: node %u\nRND_T: %s\nsetter: node %u (k = %d, "
+              "relocations = %d)\n",
+              trigger, outcome->val.rnd_t.ToHex().c_str(),
+              outcome->setter_index, outcome->val.k(),
+              outcome->relocations);
+  std::printf("actors:");
+  for (uint32_t actor : outcome->actor_indices) std::printf(" %u", actor);
+  std::printf("\nsetup: %s\n", outcome->cost.ToString().c_str());
+
+  auto decision =
+      core::VerifyBeforeDisclosure(ctx, outcome->val, nullptr, nullptr);
+  std::printf("verification: %s (%.0f asymmetric ops)\n",
+              decision.accepted ? "ACCEPTED" : "REJECTED",
+              decision.cost.crypto_work);
+
+  std::vector<uint8_t> encoded = core::wire::EncodeActorList(outcome->val);
+  std::printf("wire encoding (%zu bytes): %s...\n", encoded.size(),
+              util::ToHex(encoded.data(), std::min<size_t>(32, encoded.size()))
+                  .c_str());
+  auto decoded = core::wire::DecodeActorList(encoded);
+  std::printf("decode + re-verify: %s\n",
+              decoded.ok() && core::VerifyActorList(ctx, *decoded).ok()
+                  ? "OK"
+                  : "FAILED");
+  return decision.accepted ? 0 : 1;
+}
+
+int CmdKtable(const Flags& flags) {
+  uint64_t c = std::max<uint64_t>(
+      1, static_cast<uint64_t>(flags.params.n *
+                               flags.params.colluding_fraction));
+  core::KTable table = core::KTable::Build(flags.params.n, c, flags.alpha);
+  std::printf("N = %llu, C = %llu, alpha = %g\n",
+              static_cast<unsigned long long>(flags.params.n),
+              static_cast<unsigned long long>(c), flags.alpha);
+  sim::TablePrinter printer({"k", "region size rs", "E[nodes in region]"});
+  for (const core::KTable::Entry& entry : table.entries()) {
+    printer.AddRow({std::to_string(entry.k),
+                    sim::TablePrinter::Num(entry.rs, 9),
+                    sim::TablePrinter::Num(entry.rs * flags.params.n, 1)});
+  }
+  printer.Print();
+  return 0;
+}
+
+int CmdProbe(const Flags& flags) {
+  auto probe = sim::ProbeAlpha(flags.params, flags.alpha, flags.rounds);
+  if (!probe.ok()) {
+    std::fprintf(stderr, "probe failed: %s\n",
+                 probe.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("alpha = %g: k = %d, rs = %g\n", flags.alpha, probe->k,
+              probe->rs);
+  std::printf("max colluders in any colluder-centered region: %d "
+              "(capture needs %d)\n",
+              probe->max_colluders_seen, probe->k + 1);
+  std::printf("captures: %d / %d colluder assignments\n", probe->breaches,
+              probe->networks_tested);
+  return 0;
+}
+
+int CmdDemo(const Flags& flags) {
+  sim::Parameters params = flags.params;
+  if (params.n > 5000) params.n = 2000;  // demo-sized
+  auto network = sim::Network::Build(params);
+  if (!network.ok()) {
+    std::fprintf(stderr, "build failed\n");
+    return 1;
+  }
+  sim::Network& net = **network;
+  util::Rng rng(params.seed ^ 0xde40);
+
+  std::vector<node::PdmsNode> pdms;
+  for (uint32_t i = 0; i < net.directory().size(); ++i) pdms.emplace_back(i);
+  for (uint32_t i = 0; i < pdms.size(); ++i) {
+    if (i % 3 == 0) pdms[i].AddConcept("commuter");
+    pdms[i].SetAttribute("km_per_day", static_cast<double>(i % 40));
+  }
+
+  std::printf("== use case 1: participatory sensing ==\n");
+  apps::ParticipatorySensingApp sensing(&net, &pdms);
+  sensing.GenerateWorkload(200, 5, rng);
+  auto round = sensing.RunRound(1, rng);
+  if (!round.ok()) return 1;
+  std::printf("aggregated %llu readings from %d sources via %zu DAs\n\n",
+              static_cast<unsigned long long>(
+                  round->aggregate.total_count()),
+              round->sources, round->aggregators.size());
+
+  std::printf("== use case 2: targeted diffusion ==\n");
+  apps::ConceptIndex index(&net);
+  apps::DiffusionApp diffusion(&net, &pdms, &index);
+  if (!diffusion.PublishAllProfiles(rng).ok()) return 1;
+  auto diffused = diffusion.Diffuse(2, "commuter", "carpool offer", rng);
+  if (!diffused.ok()) return 1;
+  std::printf("delivered to %zu matching nodes\n\n",
+              diffused->targets.size());
+
+  std::printf("== use case 3: distributed query ==\n");
+  apps::QueryApp query(&net, &pdms, &index);
+  apps::QuerySpec spec;
+  spec.profile_expression = "commuter";
+  spec.attribute = "km_per_day";
+  spec.aggregate = apps::Aggregate::kAvg;
+  auto result = query.Execute(3, spec, rng);
+  if (!result.ok()) return 1;
+  std::printf("AVG(km_per_day) over commuters = %.2f (%llu contributors)\n",
+              result->value,
+              static_cast<unsigned long long>(result->contributors));
+  return 0;
+}
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: sep2p_cli <select|ktable|probe|demo> [flags]\n"
+               "flags: --n N --c FRAC --a A --seed S --cache SIZE\n"
+               "       --alpha A --rounds R --overlay chord|can --ed25519\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  Flags flags;
+  flags.params.n = 2000;
+  flags.params.cache_size = 128;
+  flags.params.actor_count = 8;
+  if (!ParseFlags(argc, argv, 2, &flags)) {
+    Usage();
+    return 2;
+  }
+
+  std::string command = argv[1];
+  if (command == "select") return CmdSelect(flags);
+  if (command == "ktable") return CmdKtable(flags);
+  if (command == "probe") return CmdProbe(flags);
+  if (command == "demo") return CmdDemo(flags);
+  Usage();
+  return 2;
+}
