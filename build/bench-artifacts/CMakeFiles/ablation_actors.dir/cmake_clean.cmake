@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_actors"
+  "../bench/ablation_actors.pdb"
+  "CMakeFiles/ablation_actors.dir/ablation_actors.cc.o"
+  "CMakeFiles/ablation_actors.dir/ablation_actors.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_actors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_failures"
+  "../bench/ablation_failures.pdb"
+  "CMakeFiles/ablation_failures.dir/ablation_failures.cc.o"
+  "CMakeFiles/ablation_failures.dir/ablation_failures.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_setup_crypto"
+  "../bench/fig4_setup_crypto.pdb"
+  "CMakeFiles/fig4_setup_crypto.dir/fig4_setup_crypto.cc.o"
+  "CMakeFiles/fig4_setup_crypto.dir/fig4_setup_crypto.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_setup_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

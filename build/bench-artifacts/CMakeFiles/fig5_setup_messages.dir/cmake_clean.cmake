@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_setup_messages"
+  "../bench/fig5_setup_messages.pdb"
+  "CMakeFiles/fig5_setup_messages.dir/fig5_setup_messages.cc.o"
+  "CMakeFiles/fig5_setup_messages.dir/fig5_setup_messages.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_setup_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

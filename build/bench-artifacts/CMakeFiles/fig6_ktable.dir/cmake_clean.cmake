@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_ktable"
+  "../bench/fig6_ktable.pdb"
+  "CMakeFiles/fig6_ktable.dir/fig6_ktable.cc.o"
+  "CMakeFiles/fig6_ktable.dir/fig6_ktable.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_ktable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

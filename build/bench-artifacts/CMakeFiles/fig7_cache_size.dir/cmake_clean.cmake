@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_cache_size"
+  "../bench/fig7_cache_size.pdb"
+  "CMakeFiles/fig7_cache_size.dir/fig7_cache_size.cc.o"
+  "CMakeFiles/fig7_cache_size.dir/fig7_cache_size.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_cache_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_maintenance"
+  "../bench/fig8_maintenance.pdb"
+  "CMakeFiles/fig8_maintenance.dir/fig8_maintenance.cc.o"
+  "CMakeFiles/fig8_maintenance.dir/fig8_maintenance.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

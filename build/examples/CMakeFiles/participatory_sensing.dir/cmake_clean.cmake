@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/participatory_sensing.dir/participatory_sensing.cpp.o"
+  "CMakeFiles/participatory_sensing.dir/participatory_sensing.cpp.o.d"
+  "participatory_sensing"
+  "participatory_sensing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/participatory_sensing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

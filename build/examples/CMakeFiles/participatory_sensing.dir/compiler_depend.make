@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for participatory_sensing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_join.dir/secure_join.cpp.o"
+  "CMakeFiles/secure_join.dir/secure_join.cpp.o.d"
+  "secure_join"
+  "secure_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

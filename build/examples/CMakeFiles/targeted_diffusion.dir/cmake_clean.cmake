@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/targeted_diffusion.dir/targeted_diffusion.cpp.o"
+  "CMakeFiles/targeted_diffusion.dir/targeted_diffusion.cpp.o.d"
+  "targeted_diffusion"
+  "targeted_diffusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/targeted_diffusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/concept_index.cc" "src/CMakeFiles/sep2p.dir/apps/concept_index.cc.o" "gcc" "src/CMakeFiles/sep2p.dir/apps/concept_index.cc.o.d"
+  "/root/repo/src/apps/diffusion.cc" "src/CMakeFiles/sep2p.dir/apps/diffusion.cc.o" "gcc" "src/CMakeFiles/sep2p.dir/apps/diffusion.cc.o.d"
+  "/root/repo/src/apps/profile_expression.cc" "src/CMakeFiles/sep2p.dir/apps/profile_expression.cc.o" "gcc" "src/CMakeFiles/sep2p.dir/apps/profile_expression.cc.o.d"
+  "/root/repo/src/apps/proxy.cc" "src/CMakeFiles/sep2p.dir/apps/proxy.cc.o" "gcc" "src/CMakeFiles/sep2p.dir/apps/proxy.cc.o.d"
+  "/root/repo/src/apps/query.cc" "src/CMakeFiles/sep2p.dir/apps/query.cc.o" "gcc" "src/CMakeFiles/sep2p.dir/apps/query.cc.o.d"
+  "/root/repo/src/apps/sensing.cc" "src/CMakeFiles/sep2p.dir/apps/sensing.cc.o" "gcc" "src/CMakeFiles/sep2p.dir/apps/sensing.cc.o.d"
+  "/root/repo/src/core/csar.cc" "src/CMakeFiles/sep2p.dir/core/csar.cc.o" "gcc" "src/CMakeFiles/sep2p.dir/core/csar.cc.o.d"
+  "/root/repo/src/core/ktable.cc" "src/CMakeFiles/sep2p.dir/core/ktable.cc.o" "gcc" "src/CMakeFiles/sep2p.dir/core/ktable.cc.o.d"
+  "/root/repo/src/core/probability.cc" "src/CMakeFiles/sep2p.dir/core/probability.cc.o" "gcc" "src/CMakeFiles/sep2p.dir/core/probability.cc.o.d"
+  "/root/repo/src/core/rate_limiter.cc" "src/CMakeFiles/sep2p.dir/core/rate_limiter.cc.o" "gcc" "src/CMakeFiles/sep2p.dir/core/rate_limiter.cc.o.d"
+  "/root/repo/src/core/selection.cc" "src/CMakeFiles/sep2p.dir/core/selection.cc.o" "gcc" "src/CMakeFiles/sep2p.dir/core/selection.cc.o.d"
+  "/root/repo/src/core/verification.cc" "src/CMakeFiles/sep2p.dir/core/verification.cc.o" "gcc" "src/CMakeFiles/sep2p.dir/core/verification.cc.o.d"
+  "/root/repo/src/core/vrand.cc" "src/CMakeFiles/sep2p.dir/core/vrand.cc.o" "gcc" "src/CMakeFiles/sep2p.dir/core/vrand.cc.o.d"
+  "/root/repo/src/core/wire.cc" "src/CMakeFiles/sep2p.dir/core/wire.cc.o" "gcc" "src/CMakeFiles/sep2p.dir/core/wire.cc.o.d"
+  "/root/repo/src/crypto/certificate.cc" "src/CMakeFiles/sep2p.dir/crypto/certificate.cc.o" "gcc" "src/CMakeFiles/sep2p.dir/crypto/certificate.cc.o.d"
+  "/root/repo/src/crypto/ed25519_provider.cc" "src/CMakeFiles/sep2p.dir/crypto/ed25519_provider.cc.o" "gcc" "src/CMakeFiles/sep2p.dir/crypto/ed25519_provider.cc.o.d"
+  "/root/repo/src/crypto/hash256.cc" "src/CMakeFiles/sep2p.dir/crypto/hash256.cc.o" "gcc" "src/CMakeFiles/sep2p.dir/crypto/hash256.cc.o.d"
+  "/root/repo/src/crypto/hmac.cc" "src/CMakeFiles/sep2p.dir/crypto/hmac.cc.o" "gcc" "src/CMakeFiles/sep2p.dir/crypto/hmac.cc.o.d"
+  "/root/repo/src/crypto/sha256.cc" "src/CMakeFiles/sep2p.dir/crypto/sha256.cc.o" "gcc" "src/CMakeFiles/sep2p.dir/crypto/sha256.cc.o.d"
+  "/root/repo/src/crypto/shamir.cc" "src/CMakeFiles/sep2p.dir/crypto/shamir.cc.o" "gcc" "src/CMakeFiles/sep2p.dir/crypto/shamir.cc.o.d"
+  "/root/repo/src/crypto/signature_provider.cc" "src/CMakeFiles/sep2p.dir/crypto/signature_provider.cc.o" "gcc" "src/CMakeFiles/sep2p.dir/crypto/signature_provider.cc.o.d"
+  "/root/repo/src/crypto/sim_provider.cc" "src/CMakeFiles/sep2p.dir/crypto/sim_provider.cc.o" "gcc" "src/CMakeFiles/sep2p.dir/crypto/sim_provider.cc.o.d"
+  "/root/repo/src/dht/can.cc" "src/CMakeFiles/sep2p.dir/dht/can.cc.o" "gcc" "src/CMakeFiles/sep2p.dir/dht/can.cc.o.d"
+  "/root/repo/src/dht/chord.cc" "src/CMakeFiles/sep2p.dir/dht/chord.cc.o" "gcc" "src/CMakeFiles/sep2p.dir/dht/chord.cc.o.d"
+  "/root/repo/src/dht/directory.cc" "src/CMakeFiles/sep2p.dir/dht/directory.cc.o" "gcc" "src/CMakeFiles/sep2p.dir/dht/directory.cc.o.d"
+  "/root/repo/src/dht/kademlia.cc" "src/CMakeFiles/sep2p.dir/dht/kademlia.cc.o" "gcc" "src/CMakeFiles/sep2p.dir/dht/kademlia.cc.o.d"
+  "/root/repo/src/dht/kv_store.cc" "src/CMakeFiles/sep2p.dir/dht/kv_store.cc.o" "gcc" "src/CMakeFiles/sep2p.dir/dht/kv_store.cc.o.d"
+  "/root/repo/src/dht/node_id.cc" "src/CMakeFiles/sep2p.dir/dht/node_id.cc.o" "gcc" "src/CMakeFiles/sep2p.dir/dht/node_id.cc.o.d"
+  "/root/repo/src/dht/region.cc" "src/CMakeFiles/sep2p.dir/dht/region.cc.o" "gcc" "src/CMakeFiles/sep2p.dir/dht/region.cc.o.d"
+  "/root/repo/src/net/cost.cc" "src/CMakeFiles/sep2p.dir/net/cost.cc.o" "gcc" "src/CMakeFiles/sep2p.dir/net/cost.cc.o.d"
+  "/root/repo/src/net/failure.cc" "src/CMakeFiles/sep2p.dir/net/failure.cc.o" "gcc" "src/CMakeFiles/sep2p.dir/net/failure.cc.o.d"
+  "/root/repo/src/node/churn.cc" "src/CMakeFiles/sep2p.dir/node/churn.cc.o" "gcc" "src/CMakeFiles/sep2p.dir/node/churn.cc.o.d"
+  "/root/repo/src/node/join.cc" "src/CMakeFiles/sep2p.dir/node/join.cc.o" "gcc" "src/CMakeFiles/sep2p.dir/node/join.cc.o.d"
+  "/root/repo/src/node/node_cache.cc" "src/CMakeFiles/sep2p.dir/node/node_cache.cc.o" "gcc" "src/CMakeFiles/sep2p.dir/node/node_cache.cc.o.d"
+  "/root/repo/src/node/pdms_node.cc" "src/CMakeFiles/sep2p.dir/node/pdms_node.cc.o" "gcc" "src/CMakeFiles/sep2p.dir/node/pdms_node.cc.o.d"
+  "/root/repo/src/sim/experiment.cc" "src/CMakeFiles/sep2p.dir/sim/experiment.cc.o" "gcc" "src/CMakeFiles/sep2p.dir/sim/experiment.cc.o.d"
+  "/root/repo/src/sim/metrics.cc" "src/CMakeFiles/sep2p.dir/sim/metrics.cc.o" "gcc" "src/CMakeFiles/sep2p.dir/sim/metrics.cc.o.d"
+  "/root/repo/src/sim/network.cc" "src/CMakeFiles/sep2p.dir/sim/network.cc.o" "gcc" "src/CMakeFiles/sep2p.dir/sim/network.cc.o.d"
+  "/root/repo/src/sim/parameters.cc" "src/CMakeFiles/sep2p.dir/sim/parameters.cc.o" "gcc" "src/CMakeFiles/sep2p.dir/sim/parameters.cc.o.d"
+  "/root/repo/src/strategies/adversary.cc" "src/CMakeFiles/sep2p.dir/strategies/adversary.cc.o" "gcc" "src/CMakeFiles/sep2p.dir/strategies/adversary.cc.o.d"
+  "/root/repo/src/strategies/baselines.cc" "src/CMakeFiles/sep2p.dir/strategies/baselines.cc.o" "gcc" "src/CMakeFiles/sep2p.dir/strategies/baselines.cc.o.d"
+  "/root/repo/src/strategies/es_strategies.cc" "src/CMakeFiles/sep2p.dir/strategies/es_strategies.cc.o" "gcc" "src/CMakeFiles/sep2p.dir/strategies/es_strategies.cc.o.d"
+  "/root/repo/src/strategies/mhash.cc" "src/CMakeFiles/sep2p.dir/strategies/mhash.cc.o" "gcc" "src/CMakeFiles/sep2p.dir/strategies/mhash.cc.o.d"
+  "/root/repo/src/strategies/strategy.cc" "src/CMakeFiles/sep2p.dir/strategies/strategy.cc.o" "gcc" "src/CMakeFiles/sep2p.dir/strategies/strategy.cc.o.d"
+  "/root/repo/src/util/hex.cc" "src/CMakeFiles/sep2p.dir/util/hex.cc.o" "gcc" "src/CMakeFiles/sep2p.dir/util/hex.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/sep2p.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/sep2p.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/sep2p.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/sep2p.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/sep2p.dir/util/status.cc.o" "gcc" "src/CMakeFiles/sep2p.dir/util/status.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

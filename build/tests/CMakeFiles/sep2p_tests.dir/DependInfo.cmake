@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/can_test.cc" "tests/CMakeFiles/sep2p_tests.dir/can_test.cc.o" "gcc" "tests/CMakeFiles/sep2p_tests.dir/can_test.cc.o.d"
+  "/root/repo/tests/certificate_test.cc" "tests/CMakeFiles/sep2p_tests.dir/certificate_test.cc.o" "gcc" "tests/CMakeFiles/sep2p_tests.dir/certificate_test.cc.o.d"
+  "/root/repo/tests/chord_test.cc" "tests/CMakeFiles/sep2p_tests.dir/chord_test.cc.o" "gcc" "tests/CMakeFiles/sep2p_tests.dir/chord_test.cc.o.d"
+  "/root/repo/tests/churn_test.cc" "tests/CMakeFiles/sep2p_tests.dir/churn_test.cc.o" "gcc" "tests/CMakeFiles/sep2p_tests.dir/churn_test.cc.o.d"
+  "/root/repo/tests/concept_index_test.cc" "tests/CMakeFiles/sep2p_tests.dir/concept_index_test.cc.o" "gcc" "tests/CMakeFiles/sep2p_tests.dir/concept_index_test.cc.o.d"
+  "/root/repo/tests/cost_test.cc" "tests/CMakeFiles/sep2p_tests.dir/cost_test.cc.o" "gcc" "tests/CMakeFiles/sep2p_tests.dir/cost_test.cc.o.d"
+  "/root/repo/tests/csar_test.cc" "tests/CMakeFiles/sep2p_tests.dir/csar_test.cc.o" "gcc" "tests/CMakeFiles/sep2p_tests.dir/csar_test.cc.o.d"
+  "/root/repo/tests/diffusion_test.cc" "tests/CMakeFiles/sep2p_tests.dir/diffusion_test.cc.o" "gcc" "tests/CMakeFiles/sep2p_tests.dir/diffusion_test.cc.o.d"
+  "/root/repo/tests/directory_test.cc" "tests/CMakeFiles/sep2p_tests.dir/directory_test.cc.o" "gcc" "tests/CMakeFiles/sep2p_tests.dir/directory_test.cc.o.d"
+  "/root/repo/tests/experiment_test.cc" "tests/CMakeFiles/sep2p_tests.dir/experiment_test.cc.o" "gcc" "tests/CMakeFiles/sep2p_tests.dir/experiment_test.cc.o.d"
+  "/root/repo/tests/hash256_test.cc" "tests/CMakeFiles/sep2p_tests.dir/hash256_test.cc.o" "gcc" "tests/CMakeFiles/sep2p_tests.dir/hash256_test.cc.o.d"
+  "/root/repo/tests/hex_test.cc" "tests/CMakeFiles/sep2p_tests.dir/hex_test.cc.o" "gcc" "tests/CMakeFiles/sep2p_tests.dir/hex_test.cc.o.d"
+  "/root/repo/tests/hmac_test.cc" "tests/CMakeFiles/sep2p_tests.dir/hmac_test.cc.o" "gcc" "tests/CMakeFiles/sep2p_tests.dir/hmac_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/sep2p_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/sep2p_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/join_test.cc" "tests/CMakeFiles/sep2p_tests.dir/join_test.cc.o" "gcc" "tests/CMakeFiles/sep2p_tests.dir/join_test.cc.o.d"
+  "/root/repo/tests/kademlia_test.cc" "tests/CMakeFiles/sep2p_tests.dir/kademlia_test.cc.o" "gcc" "tests/CMakeFiles/sep2p_tests.dir/kademlia_test.cc.o.d"
+  "/root/repo/tests/ktable_test.cc" "tests/CMakeFiles/sep2p_tests.dir/ktable_test.cc.o" "gcc" "tests/CMakeFiles/sep2p_tests.dir/ktable_test.cc.o.d"
+  "/root/repo/tests/kv_store_test.cc" "tests/CMakeFiles/sep2p_tests.dir/kv_store_test.cc.o" "gcc" "tests/CMakeFiles/sep2p_tests.dir/kv_store_test.cc.o.d"
+  "/root/repo/tests/logging_test.cc" "tests/CMakeFiles/sep2p_tests.dir/logging_test.cc.o" "gcc" "tests/CMakeFiles/sep2p_tests.dir/logging_test.cc.o.d"
+  "/root/repo/tests/metrics_test.cc" "tests/CMakeFiles/sep2p_tests.dir/metrics_test.cc.o" "gcc" "tests/CMakeFiles/sep2p_tests.dir/metrics_test.cc.o.d"
+  "/root/repo/tests/network_test.cc" "tests/CMakeFiles/sep2p_tests.dir/network_test.cc.o" "gcc" "tests/CMakeFiles/sep2p_tests.dir/network_test.cc.o.d"
+  "/root/repo/tests/node_cache_test.cc" "tests/CMakeFiles/sep2p_tests.dir/node_cache_test.cc.o" "gcc" "tests/CMakeFiles/sep2p_tests.dir/node_cache_test.cc.o.d"
+  "/root/repo/tests/probability_test.cc" "tests/CMakeFiles/sep2p_tests.dir/probability_test.cc.o" "gcc" "tests/CMakeFiles/sep2p_tests.dir/probability_test.cc.o.d"
+  "/root/repo/tests/profile_expression_test.cc" "tests/CMakeFiles/sep2p_tests.dir/profile_expression_test.cc.o" "gcc" "tests/CMakeFiles/sep2p_tests.dir/profile_expression_test.cc.o.d"
+  "/root/repo/tests/proxy_test.cc" "tests/CMakeFiles/sep2p_tests.dir/proxy_test.cc.o" "gcc" "tests/CMakeFiles/sep2p_tests.dir/proxy_test.cc.o.d"
+  "/root/repo/tests/query_test.cc" "tests/CMakeFiles/sep2p_tests.dir/query_test.cc.o" "gcc" "tests/CMakeFiles/sep2p_tests.dir/query_test.cc.o.d"
+  "/root/repo/tests/rate_limiter_test.cc" "tests/CMakeFiles/sep2p_tests.dir/rate_limiter_test.cc.o" "gcc" "tests/CMakeFiles/sep2p_tests.dir/rate_limiter_test.cc.o.d"
+  "/root/repo/tests/region_test.cc" "tests/CMakeFiles/sep2p_tests.dir/region_test.cc.o" "gcc" "tests/CMakeFiles/sep2p_tests.dir/region_test.cc.o.d"
+  "/root/repo/tests/rng_test.cc" "tests/CMakeFiles/sep2p_tests.dir/rng_test.cc.o" "gcc" "tests/CMakeFiles/sep2p_tests.dir/rng_test.cc.o.d"
+  "/root/repo/tests/selection_properties_test.cc" "tests/CMakeFiles/sep2p_tests.dir/selection_properties_test.cc.o" "gcc" "tests/CMakeFiles/sep2p_tests.dir/selection_properties_test.cc.o.d"
+  "/root/repo/tests/selection_test.cc" "tests/CMakeFiles/sep2p_tests.dir/selection_test.cc.o" "gcc" "tests/CMakeFiles/sep2p_tests.dir/selection_test.cc.o.d"
+  "/root/repo/tests/sensing_test.cc" "tests/CMakeFiles/sep2p_tests.dir/sensing_test.cc.o" "gcc" "tests/CMakeFiles/sep2p_tests.dir/sensing_test.cc.o.d"
+  "/root/repo/tests/sha256_test.cc" "tests/CMakeFiles/sep2p_tests.dir/sha256_test.cc.o" "gcc" "tests/CMakeFiles/sep2p_tests.dir/sha256_test.cc.o.d"
+  "/root/repo/tests/shamir_test.cc" "tests/CMakeFiles/sep2p_tests.dir/shamir_test.cc.o" "gcc" "tests/CMakeFiles/sep2p_tests.dir/shamir_test.cc.o.d"
+  "/root/repo/tests/signature_test.cc" "tests/CMakeFiles/sep2p_tests.dir/signature_test.cc.o" "gcc" "tests/CMakeFiles/sep2p_tests.dir/signature_test.cc.o.d"
+  "/root/repo/tests/status_test.cc" "tests/CMakeFiles/sep2p_tests.dir/status_test.cc.o" "gcc" "tests/CMakeFiles/sep2p_tests.dir/status_test.cc.o.d"
+  "/root/repo/tests/strategies_test.cc" "tests/CMakeFiles/sep2p_tests.dir/strategies_test.cc.o" "gcc" "tests/CMakeFiles/sep2p_tests.dir/strategies_test.cc.o.d"
+  "/root/repo/tests/verification_test.cc" "tests/CMakeFiles/sep2p_tests.dir/verification_test.cc.o" "gcc" "tests/CMakeFiles/sep2p_tests.dir/verification_test.cc.o.d"
+  "/root/repo/tests/vrand_test.cc" "tests/CMakeFiles/sep2p_tests.dir/vrand_test.cc.o" "gcc" "tests/CMakeFiles/sep2p_tests.dir/vrand_test.cc.o.d"
+  "/root/repo/tests/wire_test.cc" "tests/CMakeFiles/sep2p_tests.dir/wire_test.cc.o" "gcc" "tests/CMakeFiles/sep2p_tests.dir/wire_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sep2p.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sep2p_cli.dir/sep2p_cli.cc.o"
+  "CMakeFiles/sep2p_cli.dir/sep2p_cli.cc.o.d"
+  "sep2p_cli"
+  "sep2p_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sep2p_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
