@@ -11,6 +11,7 @@ using namespace sep2p;
 int main(int argc, char** argv) {
   const bool quick = bench::QuickMode(argc, argv);
   sim::Parameters params;
+  params.threads = bench::ThreadsArg(argc, argv);
   params.n = quick ? 10000 : 50000;
   params.colluding_fraction = 0.01;
   params.cache_size = 1024;  // keep R3 populated for the largest A

@@ -12,6 +12,7 @@ using namespace sep2p;
 int main(int argc, char** argv) {
   const bool quick = bench::QuickMode(argc, argv);
   sim::Parameters params;
+  params.threads = bench::ThreadsArg(argc, argv);
   params.n = quick ? 5000 : 20000;
   params.actor_count = 32;
   params.cache_size = 512;

@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   const int trials = quick ? 50 : 200;
 
   sim::Parameters base;
+  base.threads = bench::ThreadsArg(argc, argv);
   base.n = quick ? 5000 : 20000;
   base.colluding_fraction = 0.01;
   base.actor_count = 32;

@@ -4,6 +4,7 @@
 #define SEP2P_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -19,6 +20,21 @@ inline bool QuickMode(int argc, char** argv) {
     if (std::strcmp(argv[i], "--quick") == 0) return true;
   }
   return false;
+}
+
+// --threads=N / --threads N caps the worker count for network build and
+// trial execution; 0 (the default) means one per hardware thread.
+// Results are bit-identical for every value — only wall-clock changes.
+inline int ThreadsArg(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      return std::atoi(argv[i] + 10);
+    }
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      return std::atoi(argv[i + 1]);
+    }
+  }
+  return 0;
 }
 
 inline void PrintHeader(const char* figure, const char* claim,

@@ -14,6 +14,7 @@ using namespace sep2p;
 int main(int argc, char** argv) {
   const bool quick = bench::QuickMode(argc, argv);
   sim::Parameters params;
+  params.threads = bench::ThreadsArg(argc, argv);
   params.n = quick ? 10000 : 50000;
   params.actor_count = 32;
   params.cache_size = 512;

@@ -14,8 +14,10 @@ using namespace sep2p;
 int main(int argc, char** argv) {
   const bool quick = bench::QuickMode(argc, argv);
   const int samples = quick ? 2000 : 20000;
+  const int threads = bench::ThreadsArg(argc, argv);
 
   sim::Parameters defaults;  // only for the header
+  defaults.threads = threads;
   bench::PrintHeader(
       "Figure 6 — average k vs C% (N and alpha vary)",
       "k depends on C%, not on N; k <= 6 for C% <= 1%; k-tables save up "
@@ -32,7 +34,8 @@ int main(int argc, char** argv) {
     for (double alpha : alphas) {
       for (double c_fraction : c_fractions) {
         sim::KCurvePoint point =
-            sim::ComputeAverageK(n, c_fraction, alpha, samples, seed++);
+            sim::ComputeAverageK(n, c_fraction, alpha, samples, seed++,
+                                 threads);
         char alpha_str[32];
         std::snprintf(alpha_str, sizeof(alpha_str), "%.0e", alpha);
         table.AddRow({std::to_string(n), alpha_str,

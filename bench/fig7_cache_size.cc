@@ -13,6 +13,7 @@ using namespace sep2p;
 int main(int argc, char** argv) {
   const bool quick = bench::QuickMode(argc, argv);
   sim::Parameters params;
+  params.threads = bench::ThreadsArg(argc, argv);
   params.n = quick ? 20000 : 100000;
   params.colluding_fraction = 0.01;
   params.actor_count = 32;

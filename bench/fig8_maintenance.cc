@@ -17,6 +17,7 @@ using namespace sep2p;
 int main(int argc, char** argv) {
   const bool quick = bench::QuickMode(argc, argv);
   sim::Parameters params;
+  params.threads = bench::ThreadsArg(argc, argv);
   params.n = quick ? 4000 : 10000;
   params.colluding_fraction = 0.01;
 

@@ -35,17 +35,20 @@ KTable::Choice KTable::ChooseForPoint(const dht::Directory& directory,
                                       dht::RingPos center,
                                       double max_rs) const {
   Choice choice;
+  // The center node itself (if the point is a node location) must not
+  // count towards its own quorum: it needs k *other* legitimate nodes.
+  // Whether a node sits exactly at the center does not depend on the
+  // entry, so it is resolved once for the whole scan.
+  const std::optional<uint32_t> self = directory.SuccessorIndex(center);
+  const bool self_at_center =
+      self.has_value() && directory.node(*self).pos == center;
   for (const Entry& base : entries_) {
     Entry entry = base;
     entry.rs = std::min(entry.rs, max_rs);
     dht::Region region = dht::Region::Centered(center, entry.rs);
-    // The center node itself (if the point is a node location) must not
-    // count towards its own quorum: it needs k *other* legitimate nodes.
     size_t population = directory.CountInRegion(region);
     size_t usable = population;
-    std::optional<uint32_t> self = directory.SuccessorIndex(center);
-    if (self.has_value() && directory.node(*self).pos == center &&
-        usable > 0) {
+    if (self_at_center && usable > 0) {
       --usable;
     }
     if (usable >= static_cast<size_t>(entry.k)) {

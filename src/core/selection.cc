@@ -1,8 +1,7 @@
 #include "core/selection.h"
 
 #include <algorithm>
-#include <map>
-#include <set>
+#include <utility>
 
 #include "crypto/sha256.h"
 #include "dht/region.h"
@@ -12,11 +11,75 @@ namespace sep2p::core {
 namespace {
 
 // Sort key for step 8.e: kpub_n xor RND_S, compared lexicographically.
+// XOR with a fixed mask is an involution, so the same function maps keys
+// into sort order and back.
 crypto::PublicKey XorKey(const crypto::PublicKey& pub,
                          const crypto::Hash256& rnd_s) {
   crypto::PublicKey out;
   for (size_t i = 0; i < out.size(); ++i) {
     out[i] = pub[i] ^ rnd_s.bytes()[i];
+  }
+  return out;
+}
+
+void SortUnique(std::vector<crypto::PublicKey>& keys) {
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+}
+
+// Indexed twin of BuildActorList for the protocol driver: the candidate
+// lists arrive with their directory indices, and the selected actors
+// come back as (key, index) pairs, which spares the driver a key ->
+// index search over R3 afterwards. The key sequence is exactly
+// BuildActorList's (the index is payload, never part of the ordering;
+// duplicate keys always carry the same index since keys are unique per
+// node).
+std::vector<std::pair<crypto::PublicKey, uint32_t>> BuildActorListIndexed(
+    const std::vector<std::vector<crypto::PublicKey>>& candidate_lists,
+    const std::vector<std::vector<uint32_t>>& index_lists,
+    const crypto::Hash256& rnd_s, int actor_count) {
+  size_t total = 0;
+  for (const auto& list : candidate_lists) total += list.size();
+  std::vector<crypto::PublicKey> xkeys;
+  std::vector<uint32_t> dir_index;
+  xkeys.reserve(total);
+  dir_index.reserve(total);
+  for (size_t l = 0; l < candidate_lists.size(); ++l) {
+    for (size_t i = 0; i < candidate_lists[l].size(); ++i) {
+      xkeys.push_back(XorKey(candidate_lists[l][i], rnd_s));
+      dir_index.push_back(index_lists[l][i]);
+    }
+  }
+  // Sorting 16-byte handles beats shuffling 36-byte pairs, and the
+  // big-endian 8-byte prefix decides the lexicographic order in all but
+  // vanishing cases (XOR-transformed keys are uniformly distributed);
+  // ties fall back to the full key so the order is exact regardless.
+  struct Handle {
+    uint64_t prefix;
+    uint32_t src;  // into xkeys/dir_index
+  };
+  std::vector<Handle> handles(total);
+  for (size_t i = 0; i < total; ++i) {
+    uint64_t prefix = 0;
+    for (int b = 0; b < 8; ++b) {
+      prefix = (prefix << 8) | xkeys[i][b];
+    }
+    handles[i] = {prefix, static_cast<uint32_t>(i)};
+  }
+  std::sort(handles.begin(), handles.end(),
+            [&xkeys](const Handle& a, const Handle& b) {
+              if (a.prefix != b.prefix) return a.prefix < b.prefix;
+              return xkeys[a.src] < xkeys[b.src];
+            });
+  std::vector<std::pair<crypto::PublicKey, uint32_t>> out;
+  out.reserve(std::min<size_t>(total, actor_count));
+  for (size_t i = 0; i < handles.size(); ++i) {
+    if (i > 0 && xkeys[handles[i].src] == xkeys[handles[i - 1].src]) {
+      continue;  // duplicate key (same node reported by several SLs)
+    }
+    if (out.size() == static_cast<size_t>(actor_count)) break;
+    out.emplace_back(XorKey(xkeys[handles[i].src], rnd_s),
+                     dir_index[handles[i].src]);
   }
   return out;
 }
@@ -49,24 +112,27 @@ std::vector<uint8_t> VerifiableActorList::SignedBytes() const {
 std::vector<crypto::PublicKey> BuildActorList(
     const std::vector<std::vector<crypto::PublicKey>>& candidate_lists,
     const crypto::Hash256& rnd_s, int actor_count) {
-  // Union with deduplication (step 8.c).
-  std::set<crypto::PublicKey> seen;
+  // Steps 8.c + 8.e fused: XOR-transform every key once, then a single
+  // sort + unique does both the deduplication (XOR with a fixed mask is
+  // a bijection, so equal transformed keys == equal raw keys) and the
+  // unpredictable-yet-reproducible ordering. RND_S is fixed only after
+  // every candidate list was committed, so no participant could have
+  // stacked the order.
+  size_t total = 0;
+  for (const auto& list : candidate_lists) total += list.size();
   std::vector<crypto::PublicKey> merged;
+  merged.reserve(total);
   for (const auto& list : candidate_lists) {
     for (const crypto::PublicKey& key : list) {
-      if (seen.insert(key).second) merged.push_back(key);
+      merged.push_back(XorKey(key, rnd_s));
     }
   }
-  // Unpredictable yet reproducible order (step 8.e): sort on kpub xor
-  // RND_S. RND_S is fixed only after every candidate list was committed,
-  // so no participant could have stacked the order.
-  std::sort(merged.begin(), merged.end(),
-            [&rnd_s](const crypto::PublicKey& a, const crypto::PublicKey& b) {
-              return XorKey(a, rnd_s) < XorKey(b, rnd_s);
-            });
+  SortUnique(merged);
   if (merged.size() > static_cast<size_t>(actor_count)) {
     merged.resize(actor_count);
   }
+  // Map back to the raw public keys, preserving the XOR-space order.
+  for (crypto::PublicKey& key : merged) key = XorKey(key, rnd_s);
   return merged;
 }
 
@@ -130,6 +196,10 @@ Result<SelectionProtocol::Outcome> SelectionProtocol::Run(
     // centered on p. A cache covers a region of size rs3 centered on its
     // owner, so CL_j is the intersection of the two arcs.
     dht::Region r3 = dht::Region::Centered(p, ctx_.rs3);
+    // The R3 membership scan is identical for every SL; one directory
+    // query serves all k intersections below (it used to be recomputed
+    // k+1 times per attempt).
+    const std::vector<uint32_t> r3_nodes = dir.NodesInRegion(r3);
     std::vector<std::vector<uint32_t>> cl_indices(k);
     std::vector<std::vector<crypto::PublicKey>> cl_keys(k);
     std::vector<crypto::Hash256> rnd_j(k);
@@ -141,7 +211,7 @@ Result<SelectionProtocol::Outcome> SelectionProtocol::Run(
       dht::Region coverage = dht::Region::Centered(sl.pos, ctx_.rs3);
       const bool hide =
           options.colluding_sls_hide_honest && sl.colluding;
-      for (uint32_t idx : dir.NodesInRegion(r3)) {
+      for (uint32_t idx : r3_nodes) {
         const dht::NodeRecord& candidate = dir.node(idx);
         if (!coverage.Contains(candidate.pos)) continue;
         if (hide && !candidate.colluding) continue;  // covert deviation
@@ -160,11 +230,16 @@ Result<SelectionProtocol::Outcome> SelectionProtocol::Run(
 
     // Candidate pool sufficient? Otherwise relocate (§3.6): the SLs
     // attest the shortage and S rehashes p. Cost of the failed attempt
-    // (k attestation signatures) is charged before retrying.
-    std::set<crypto::PublicKey> pool;
-    for (const auto& list : cl_keys) {
-      pool.insert(list.begin(), list.end());
+    // (k attestation signatures) is charged before retrying. Pool math
+    // runs on directory indices (keys are unique per node, so the index
+    // union has exactly the key union's size) — far cheaper to sort and
+    // intersect than 32-byte keys.
+    std::vector<uint32_t> pool;
+    for (const auto& list : cl_indices) {
+      pool.insert(pool.end(), list.begin(), list.end());
     }
+    std::sort(pool.begin(), pool.end());
+    pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
     if (pool.size() < static_cast<size_t>(ctx_.actor_count)) {
       // Each SL signs a shortage attestation allowing S to relocate.
       std::vector<uint8_t> shortage(p_hash.bytes().begin(),
@@ -192,51 +267,47 @@ Result<SelectionProtocol::Outcome> SelectionProtocol::Run(
 
     // 8.a: each SL checks VRND_T. All k verifications run in parallel.
     std::vector<net::Cost> sl_costs(k);
-    std::vector<std::vector<crypto::PublicKey>> per_sl_lists(k);
     for (int j = 0; j < k; ++j) {
       Result<net::Cost> vrnd_check = VerifyVrand(ctx_, vrand_outcome->vrnd);
       if (!vrnd_check.ok()) return vrnd_check.status();
       sl_costs[j] = vrnd_check.value();
-      // 8.c-8.e: deterministic list construction from the revealed data.
-      per_sl_lists[j] = BuildActorList(cl_keys, rnd_s, ctx_.actor_count);
     }
-    // All SLs must agree (at least one is honest, so disagreement would
-    // expose a cheater; in the simulator it would be a bug).
-    for (int j = 1; j < k; ++j) {
-      if (per_sl_lists[j] != per_sl_lists[0]) {
-        return Status::Internal("selection: SLs built divergent lists");
-      }
-    }
-    const std::vector<crypto::PublicKey>& actor_keys = per_sl_lists[0];
+    // 8.c-8.e: deterministic list construction from the revealed data.
+    // Every SL derives the identical list from the same (CL, RND_S)
+    // inputs — BuildActorList is a pure function, so the simulator
+    // builds it once instead of k times; the per-SL verification work
+    // is what sl_costs accounts for. Actors come back with their
+    // directory indices attached (they all originate from the R3 scan).
+    const std::vector<std::pair<crypto::PublicKey, uint32_t>> actors =
+        BuildActorListIndexed(cl_keys, cl_indices, rnd_s,
+                              ctx_.actor_count);
 
     // 8.f: legitimacy checks for actors NOT present in all k candidate
     // lists (those present everywhere are vouched for by the >=1 honest
     // SL's valid cache). One certificate check per remaining actor.
-    std::set<crypto::PublicKey> in_all = pool;
-    for (const auto& list : cl_keys) {
-      std::set<crypto::PublicKey> here(list.begin(), list.end());
-      std::set<crypto::PublicKey> kept;
+    // Sorted-vector set algebra on indices: the candidate lists are
+    // small and short-lived, so node-based std::set/std::map churn was
+    // pure overhead on this path.
+    std::vector<uint32_t> in_all = pool;
+    std::vector<uint32_t> here, kept;
+    for (const auto& list : cl_indices) {
+      here = list;
+      std::sort(here.begin(), here.end());
+      kept.clear();
       std::set_intersection(in_all.begin(), in_all.end(), here.begin(),
-                            here.end(), std::inserter(kept, kept.begin()));
+                            here.end(), std::back_inserter(kept));
       in_all.swap(kept);
     }
-    std::map<crypto::PublicKey, uint32_t> key_to_index;
-    for (uint32_t idx : dir.NodesInRegion(r3)) {
-      key_to_index[dir.node(idx).pub] = idx;
-    }
     int to_check = 0;
-    for (const crypto::PublicKey& key : actor_keys) {
-      if (in_all.find(key) != in_all.end()) continue;
-      ++to_check;
-      auto it = key_to_index.find(key);
-      if (it == key_to_index.end()) {
-        return Status::SecurityViolation(
-            "selection: actor outside R3 slipped into the list");
+    for (const auto& [key, actor_index] : actors) {
+      if (std::binary_search(in_all.begin(), in_all.end(), actor_index)) {
+        continue;
       }
+      ++to_check;
       // Every SL verifies this actor's certificate (one asymmetric op
       // per SL, charged below via `to_check`).
       for (int j = 0; j < k; ++j) {
-        if (!ctx_.ca->Check(dir.node(it->second).cert)) {
+        if (!ctx_.ca->Check(dir.node(actor_index).cert)) {
           return Status::SecurityViolation(
               "selection: actor certificate check failed");
         }
@@ -258,16 +329,13 @@ Result<SelectionProtocol::Outcome> SelectionProtocol::Run(
     val.timestamp = ctx_.now;
     val.rs2 = rs2;
     val.relocations = outcome.relocations;
-    val.actor_keys = actor_keys;
-
-    // Map keys back to directory indices and collect actor certificates.
-    for (const crypto::PublicKey& key : actor_keys) {
-      auto it = key_to_index.find(key);
-      if (it == key_to_index.end()) {
-        return Status::Internal("selection: actor key not in directory");
-      }
-      outcome.actor_indices.push_back(it->second);
-      val.actor_certs.push_back(dir.node(it->second).cert);
+    val.actor_keys.reserve(actors.size());
+    val.actor_certs.reserve(actors.size());
+    outcome.actor_indices.reserve(actors.size());
+    for (const auto& [key, actor_index] : actors) {
+      val.actor_keys.push_back(key);
+      outcome.actor_indices.push_back(actor_index);
+      val.actor_certs.push_back(dir.node(actor_index).cert);
     }
 
     const std::vector<uint8_t> signed_bytes = val.SignedBytes();

@@ -20,9 +20,20 @@ Result<CertificateAuthority> CertificateAuthority::Create(
 }
 
 Result<Certificate> CertificateAuthority::Issue(const PublicKey& subject) {
+  return IssueWithSerial(subject, next_serial_++);
+}
+
+uint64_t CertificateAuthority::ReserveSerials(uint64_t count) {
+  const uint64_t first = next_serial_;
+  next_serial_ += count;
+  return first;
+}
+
+Result<Certificate> CertificateAuthority::IssueWithSerial(
+    const PublicKey& subject, uint64_t serial) const {
   Certificate cert;
   cert.subject = subject;
-  cert.serial = next_serial_++;
+  cert.serial = serial;
   Result<Signature> sig = provider_->Sign(key_pair_.priv, cert.SignedBytes());
   if (!sig.ok()) return sig.status();
   cert.ca_signature = std::move(sig.value());

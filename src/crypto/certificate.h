@@ -44,6 +44,15 @@ class CertificateAuthority {
   // Issues a certificate for `subject`.
   Result<Certificate> Issue(const PublicKey& subject);
 
+  // Batch issuance support: reserves `count` consecutive serials and
+  // returns the first one. Callers (the network builder) then issue the
+  // certificates concurrently with IssueWithSerial, which touches no CA
+  // state — serial assignment stays strictly sequential, signing
+  // parallelizes.
+  uint64_t ReserveSerials(uint64_t count);
+  Result<Certificate> IssueWithSerial(const PublicKey& subject,
+                                      uint64_t serial) const;
+
   // Verifies the CA signature on `cert`; costs 1 asymmetric operation.
   bool Check(const Certificate& cert) const;
 

@@ -21,6 +21,7 @@
 #define SEP2P_CRYPTO_SIGNATURE_PROVIDER_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -45,26 +46,37 @@ struct KeyPair {
 using Signature = std::vector<uint8_t>;
 
 // Counts asymmetric crypto operations (the security-cost unit of the
-// paper, Definition 3).
+// paper, Definition 3). Counters are atomic because one provider is
+// shared by every protocol run, and the trial runner executes runs
+// concurrently; relaxed ordering suffices — totals are sums, which are
+// scheduling-independent.
 class CryptoMeter {
  public:
-  void Reset() { key_gens_ = signs_ = verifies_ = 0; }
+  void Reset() {
+    key_gens_.store(0, std::memory_order_relaxed);
+    signs_.store(0, std::memory_order_relaxed);
+    verifies_.store(0, std::memory_order_relaxed);
+  }
 
-  uint64_t key_gens() const { return key_gens_; }
-  uint64_t signs() const { return signs_; }
-  uint64_t verifies() const { return verifies_; }
+  uint64_t key_gens() const {
+    return key_gens_.load(std::memory_order_relaxed);
+  }
+  uint64_t signs() const { return signs_.load(std::memory_order_relaxed); }
+  uint64_t verifies() const {
+    return verifies_.load(std::memory_order_relaxed);
+  }
   // Total asymmetric operations (signature creations + verifications;
   // certificate checks are signature verifications).
-  uint64_t asym_ops() const { return signs_ + verifies_; }
+  uint64_t asym_ops() const { return signs() + verifies(); }
 
-  void CountKeyGen() { ++key_gens_; }
-  void CountSign() { ++signs_; }
-  void CountVerify() { ++verifies_; }
+  void CountKeyGen() { key_gens_.fetch_add(1, std::memory_order_relaxed); }
+  void CountSign() { signs_.fetch_add(1, std::memory_order_relaxed); }
+  void CountVerify() { verifies_.fetch_add(1, std::memory_order_relaxed); }
 
  private:
-  uint64_t key_gens_ = 0;
-  uint64_t signs_ = 0;
-  uint64_t verifies_ = 0;
+  std::atomic<uint64_t> key_gens_{0};
+  std::atomic<uint64_t> signs_{0};
+  std::atomic<uint64_t> verifies_{0};
 };
 
 class SignatureProvider {

@@ -11,7 +11,9 @@ Directory::Directory(std::vector<NodeRecord> records)
               if (a.pos != b.pos) return a.pos < b.pos;
               return a.id < b.id;
             });
+  positions_.reserve(records_.size());
   for (const NodeRecord& r : records_) {
+    positions_.push_back(r.pos);
     if (r.alive) ++alive_count_;
   }
 }
@@ -24,10 +26,23 @@ void Directory::SetAlive(uint32_t index, bool alive) {
 }
 
 size_t Directory::LowerBound(RingPos pos) const {
-  size_t lo = 0, hi = records_.size();
+  size_t lo = 0, hi = positions_.size();
   while (lo < hi) {
     size_t mid = (lo + hi) / 2;
-    if (records_[mid].pos < pos) {
+    if (positions_[mid] < pos) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+size_t Directory::UpperBound(RingPos pos) const {
+  size_t lo = 0, hi = positions_.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (positions_[mid] <= pos) {
       lo = mid + 1;
     } else {
       hi = mid;
@@ -39,6 +54,9 @@ size_t Directory::LowerBound(RingPos pos) const {
 std::optional<uint32_t> Directory::SuccessorIndex(RingPos pos) const {
   if (alive_count_ == 0) return std::nullopt;
   size_t start = LowerBound(pos);
+  if (alive_count_ == records_.size()) {  // no churn: successor is immediate
+    return static_cast<uint32_t>(start == records_.size() ? 0 : start);
+  }
   for (size_t step = 0; step < records_.size(); ++step) {
     size_t i = (start + step) % records_.size();
     if (records_[i].alive) return static_cast<uint32_t>(i);
@@ -88,9 +106,8 @@ void Directory::ForEachAliveInRegion(const Region& region, Fn&& fn) const {
   size_t start = LowerBound(begin);
   for (size_t step = 0; step < records_.size(); ++step) {
     size_t i = (start + step) % records_.size();
-    const NodeRecord& r = records_[i];
-    if (!full_ring && ClockwiseDistance(begin, r.pos) > width) break;
-    if (r.alive) {
+    if (!full_ring && ClockwiseDistance(begin, positions_[i]) > width) break;
+    if (records_[i].alive) {
       if (!fn(static_cast<uint32_t>(i))) return;
     }
   }
@@ -111,6 +128,20 @@ std::vector<uint32_t> Directory::NodesInRegion(const Region& region,
 }
 
 size_t Directory::CountInRegion(const Region& region) const {
+  // With no churned-out nodes the count is two binary searches: members
+  // are exactly the records with pos in [begin, begin + width] on the
+  // ring, a contiguous index range (possibly wrapping). The generic scan
+  // below computes the same count, one record at a time.
+  if (alive_count_ == records_.size() && !records_.empty()) {
+    const RingPos kMaxHalf = static_cast<RingPos>(1) << 127;
+    if (region.half_width() >= kMaxHalf) return records_.size();
+    const RingPos begin = region.begin();
+    const RingPos end = begin + (region.half_width() << 1);  // wraps
+    const size_t lo = LowerBound(begin);
+    const size_t hi = UpperBound(end);
+    if (begin <= end) return hi - lo;
+    return (records_.size() - lo) + hi;
+  }
   size_t count = 0;
   ForEachAliveInRegion(region, [&](uint32_t) {
     ++count;

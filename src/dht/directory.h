@@ -83,10 +83,18 @@ class Directory {
   // records_, possibly records_.size() (wraps to 0 logically).
   size_t LowerBound(RingPos pos) const;
 
+  // First record with pos > `pos` (same conventions).
+  size_t UpperBound(RingPos pos) const;
+
   template <typename Fn>
   void ForEachAliveInRegion(const Region& region, Fn&& fn) const;
 
   std::vector<NodeRecord> records_;
+  // records_[i].pos densely packed: position binary searches are the
+  // single hottest directory operation (Chord routing does dozens per
+  // hop), and probing a ~200-byte NodeRecord per step thrashes the
+  // cache that a 16-byte-element array walks cleanly.
+  std::vector<RingPos> positions_;
   size_t alive_count_ = 0;
 };
 

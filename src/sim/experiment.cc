@@ -5,56 +5,116 @@
 
 #include "core/ktable.h"
 #include "sim/metrics.h"
+#include "sim/trial_runner.h"
 #include "strategies/strategy.h"
 #include "util/logging.h"
 
 namespace sep2p::sim {
 
+namespace {
+
+// Stream-family salts: every harness draws its per-trial seeds from a
+// distinct family even when sweeps share Parameters::seed. The values
+// keep the historical per-harness XOR constants recognizable.
+constexpr uint64_t kStrategyTrialSalt = 0x5e9f2d1c;
+constexpr uint64_t kStrategyColluderSalt = 0xc011de05;
+constexpr uint64_t kCacheTrialSalt = 0xcac4e51ce;
+constexpr uint64_t kActorTrialSalt = 0xac1052;
+constexpr uint64_t kExhaustiveTrialSalt = 0xe4a;
+constexpr uint64_t kFailureTrialSalt = 0xfa11;
+constexpr uint64_t kFailureModelSalt = 0xdead;
+
+}  // namespace
+
 Result<std::vector<StrategyPoint>> RunStrategyComparison(
     const Parameters& base, const std::vector<double>& c_fractions,
     const std::vector<std::string>& strategy_names, int trials) {
   std::vector<StrategyPoint> points;
+  TrialRunner runner(base.threads);
 
-  for (double c_fraction : c_fractions) {
+  for (size_t ci = 0; ci < c_fractions.size(); ++ci) {
     Parameters params = base;
-    params.colluding_fraction = c_fraction;
+    params.colluding_fraction = c_fractions[ci];
     Result<std::unique_ptr<Network>> network = Network::Build(params);
     if (!network.ok()) return network.status();
     Network& net = *network.value();
-    util::Rng rng(params.seed ^ 0x5e9f2d1c);
 
-    for (const std::string& name : strategy_names) {
+    for (size_t si = 0; si < strategy_names.size(); ++si) {
+      const std::string& name = strategy_names[si];
       core::ProtocolContext ctx = net.context();
       strategies::AdversaryConfig adversary;  // full covert adversary
-      std::unique_ptr<strategies::Strategy> strategy =
-          strategies::MakeStrategy(name, ctx, adversary);
-      if (strategy == nullptr) {
+      if (strategies::MakeStrategy(name, ctx, adversary) == nullptr) {
         return Status::InvalidArgument("unknown strategy: " + name);
+      }
+
+      // One slot per trial: each trial writes only its own slot, and the
+      // slots are folded in trial order afterwards, so the point is
+      // bit-identical for any thread count.
+      struct TrialResult {
+        double corrupted = 0;
+        double verification = 0;
+        double crypto_lat = 0;
+        double crypto_work = 0;
+        double msg_lat = 0;
+        double msg_work = 0;
+        double relocations = 0;
+      };
+      std::vector<TrialResult> slots(trials);
+      const uint64_t trial_seed =
+          MixSeed(params.seed, kStrategyTrialSalt, ci, si);
+      const uint64_t colluder_seed =
+          MixSeed(params.seed, kStrategyColluderSalt, ci, si);
+
+      // Fresh colluder placement every kShardSize trials decorrelates
+      // the "is a colluder near hash(RND_T)" events. Reassignment
+      // mutates the shared Directory, so it happens at epoch barriers;
+      // within an epoch the assignment is frozen and trials run in
+      // parallel against read-only state.
+      for (int begin = 0; begin < trials;
+           begin += TrialRunner::kShardSize) {
+        const int epoch = begin / TrialRunner::kShardSize;
+        util::Rng colluder_rng(
+            StreamSeed(colluder_seed, static_cast<uint64_t>(epoch)));
+        net.ReassignColluders(colluder_rng);
+
+        const int end = std::min(begin + TrialRunner::kShardSize, trials);
+        Status status = runner.RunTrialRange(
+            begin, end, trial_seed, [&](int t, util::Rng& rng) {
+              std::unique_ptr<strategies::Strategy> strategy =
+                  strategies::MakeStrategy(name, ctx, adversary);
+              uint32_t trigger = static_cast<uint32_t>(
+                  rng.NextUint64(net.directory().size()));
+              Result<strategies::StrategyOutcome> run =
+                  strategy->Run(trigger, rng);
+              if (!run.ok()) return run.status();
+              TrialResult& slot = slots[t];
+              slot.corrupted = run->corrupted_actors;
+              slot.verification = run->verification_cost;
+              slot.crypto_lat = run->setup_cost.crypto_latency;
+              slot.crypto_work = run->setup_cost.crypto_work;
+              slot.msg_lat = run->setup_cost.msg_latency;
+              slot.msg_work = run->setup_cost.msg_work;
+              slot.relocations = run->relocations;
+              return Status::Ok();
+            });
+        if (!status.ok()) return status;
       }
 
       OnlineStats corrupted, verification, crypto_lat, crypto_work, msg_lat,
           msg_work, relocations;
-      for (int t = 0; t < trials; ++t) {
-        // Fresh colluder placement every few trials decorrelates the
-        // "is a colluder near hash(RND_T)" events.
-        if (t % 16 == 0 && t > 0) net.ReassignColluders(rng);
-        uint32_t trigger = static_cast<uint32_t>(
-            rng.NextUint64(net.directory().size()));
-        Result<strategies::StrategyOutcome> run = strategy->Run(trigger, rng);
-        if (!run.ok()) return run.status();
-        corrupted.Add(run->corrupted_actors);
-        verification.Add(run->verification_cost);
-        crypto_lat.Add(run->setup_cost.crypto_latency);
-        crypto_work.Add(run->setup_cost.crypto_work);
-        msg_lat.Add(run->setup_cost.msg_latency);
-        msg_work.Add(run->setup_cost.msg_work);
-        relocations.Add(run->relocations);
+      for (const TrialResult& slot : slots) {
+        corrupted.Add(slot.corrupted);
+        verification.Add(slot.verification);
+        crypto_lat.Add(slot.crypto_lat);
+        crypto_work.Add(slot.crypto_work);
+        msg_lat.Add(slot.msg_lat);
+        msg_work.Add(slot.msg_work);
+        relocations.Add(slot.relocations);
       }
-      net.ReassignColluders(rng);
 
       StrategyPoint point;
       point.strategy = name;
-      point.c_fraction = c_fraction;
+      point.c_fraction = c_fractions[ci];
       point.trials = trials;
       point.verification_cost = verification.mean();
       point.ideal_corrupted = static_cast<double>(params.actor_count) *
@@ -77,7 +137,7 @@ Result<std::vector<StrategyPoint>> RunStrategyComparison(
 }
 
 KCurvePoint ComputeAverageK(uint64_t n, double c_fraction, double alpha,
-                            int samples, uint64_t seed) {
+                            int samples, uint64_t seed, int threads) {
   const uint64_t c = std::max<uint64_t>(
       1, static_cast<uint64_t>(std::llround(
              static_cast<double>(n) * c_fraction)));
@@ -92,34 +152,42 @@ KCurvePoint ComputeAverageK(uint64_t n, double c_fraction, double alpha,
   // Per sampled node, the region size at which its i-th nearest neighbor
   // appears is the i-th order statistic of N-1 uniforms on [0,1] (see
   // DESIGN.md): generated as normalized partial sums of Exp(1) gaps,
-  // exact up to O(k_max/N).
-  util::Rng rng(seed);
-  OnlineStats ks;
-  double max_k = 0;
-  for (int s = 0; s < samples; ++s) {
-    double sum = 0;
+  // exact up to O(k_max/N). Each sample draws from its own stream and
+  // accumulates into its shard's stats; shards merge in shard order.
+  TrialRunner runner(threads);
+  std::vector<OnlineStats> shard_ks(TrialRunner::ShardCount(samples));
+  runner.RunShards(samples, [&](int shard, int begin, int end) {
     std::vector<double> thresholds;
-    thresholds.reserve(table.k_max() + 1);
-    for (int i = 0; i < table.k_max(); ++i) {
-      sum += -std::log(1.0 - rng.NextDouble());
-      thresholds.push_back(sum / static_cast<double>(n - 1));
-    }
-    int chosen = table.k_max();
-    for (const core::KTable::Entry& entry : table.entries()) {
-      // Number of neighbors within region size entry.rs.
-      size_t count = static_cast<size_t>(
-          std::upper_bound(thresholds.begin(), thresholds.end(), entry.rs) -
-          thresholds.begin());
-      if (count >= static_cast<size_t>(entry.k)) {
-        chosen = entry.k;
-        break;
+    for (int s = begin; s < end; ++s) {
+      util::Rng rng(StreamSeed(seed, static_cast<uint64_t>(s)));
+      double sum = 0;
+      thresholds.clear();
+      thresholds.reserve(table.k_max() + 1);
+      for (int i = 0; i < table.k_max(); ++i) {
+        sum += -std::log(1.0 - rng.NextDouble());
+        thresholds.push_back(sum / static_cast<double>(n - 1));
       }
+      int chosen = table.k_max();
+      for (const core::KTable::Entry& entry : table.entries()) {
+        // Number of neighbors within region size entry.rs.
+        size_t count = static_cast<size_t>(
+            std::upper_bound(thresholds.begin(), thresholds.end(),
+                             entry.rs) -
+            thresholds.begin());
+        if (count >= static_cast<size_t>(entry.k)) {
+          chosen = entry.k;
+          break;
+        }
+      }
+      shard_ks[shard].Add(chosen);
     }
-    ks.Add(chosen);
-    max_k = std::max(max_k, static_cast<double>(chosen));
-  }
+    return Status::Ok();
+  });
+
+  OnlineStats ks;
+  for (const OnlineStats& shard : shard_ks) ks.Merge(shard);
   point.avg_k = ks.mean();
-  point.max_k_seen = max_k;
+  point.max_k_seen = ks.max();
   return point;
 }
 
@@ -129,42 +197,68 @@ Result<std::vector<CachePoint>> RunCacheSweep(
   Result<std::unique_ptr<Network>> network = Network::Build(base);
   if (!network.ok()) return network.status();
   Network& net = *network.value();
-  util::Rng rng(base.seed ^ 0xcac4e51ce);
+  TrialRunner runner(base.threads);
 
   std::vector<CachePoint> points;
-  for (size_t cache_size : cache_sizes) {
+  for (size_t pi = 0; pi < cache_sizes.size(); ++pi) {
+    const size_t cache_size = cache_sizes[pi];
     core::ProtocolContext ctx = net.context();
     ctx.rs3 = std::min(1.0, static_cast<double>(cache_size) /
                                 static_cast<double>(base.n));
     // With tiny caches the selection may relocate many times before
     // accumulating A candidates.
     ctx.max_relocations = 64;
-    strategies::Sep2pStrategy strategy(ctx,
-                                       strategies::AdversaryConfig::Passive());
+    const uint64_t trial_seed = MixSeed(base.seed, kCacheTrialSalt, pi);
+
+    struct Shard {
+      OnlineStats reloc, crypto_lat, crypto_work, msg_lat, msg_work;
+      int relocated_runs = 0;
+      int failed_runs = 0;
+    };
+    std::vector<Shard> shards(TrialRunner::ShardCount(trials));
+    Status status = runner.RunShards(
+        trials, [&](int shard, int begin, int end) {
+          Shard& sh = shards[shard];
+          strategies::Sep2pStrategy strategy(
+              ctx, strategies::AdversaryConfig::Passive());
+          for (int t = begin; t < end; ++t) {
+            util::Rng rng(StreamSeed(trial_seed, static_cast<uint64_t>(t)));
+            uint32_t trigger = static_cast<uint32_t>(
+                rng.NextUint64(net.directory().size()));
+            Result<strategies::StrategyOutcome> run =
+                strategy.Run(trigger, rng);
+            if (!run.ok()) {
+              // A cache smaller than A can make the selection
+              // impossible; that is a data point (the paper's "sparse
+              // regions cannot fully take part"), not a harness error.
+              if (run.status().code() == StatusCode::kResourceExhausted) {
+                ++sh.failed_runs;
+                continue;
+              }
+              return run.status();
+            }
+            sh.reloc.Add(run->relocations);
+            if (run->relocations > 0) ++sh.relocated_runs;
+            sh.crypto_lat.Add(run->setup_cost.crypto_latency);
+            sh.crypto_work.Add(run->setup_cost.crypto_work);
+            sh.msg_lat.Add(run->setup_cost.msg_latency);
+            sh.msg_work.Add(run->setup_cost.msg_work);
+          }
+          return Status::Ok();
+        });
+    if (!status.ok()) return status;
 
     OnlineStats reloc, crypto_lat, crypto_work, msg_lat, msg_work;
     int relocated_runs = 0;
     int failed_runs = 0;
-    for (int t = 0; t < trials; ++t) {
-      uint32_t trigger =
-          static_cast<uint32_t>(rng.NextUint64(net.directory().size()));
-      Result<strategies::StrategyOutcome> run = strategy.Run(trigger, rng);
-      if (!run.ok()) {
-        // A cache smaller than A can make the selection impossible; that
-        // is a data point (the paper's "sparse regions cannot fully take
-        // part"), not a harness error.
-        if (run.status().code() == StatusCode::kResourceExhausted) {
-          ++failed_runs;
-          continue;
-        }
-        return run.status();
-      }
-      reloc.Add(run->relocations);
-      if (run->relocations > 0) ++relocated_runs;
-      crypto_lat.Add(run->setup_cost.crypto_latency);
-      crypto_work.Add(run->setup_cost.crypto_work);
-      msg_lat.Add(run->setup_cost.msg_latency);
-      msg_work.Add(run->setup_cost.msg_work);
+    for (const Shard& sh : shards) {
+      reloc.Merge(sh.reloc);
+      crypto_lat.Merge(sh.crypto_lat);
+      crypto_work.Merge(sh.crypto_work);
+      msg_lat.Merge(sh.msg_lat);
+      msg_work.Merge(sh.msg_work);
+      relocated_runs += sh.relocated_runs;
+      failed_runs += sh.failed_runs;
     }
 
     CachePoint point;
@@ -190,27 +284,47 @@ Result<std::vector<ActorsPoint>> RunActorSweep(
   Result<std::unique_ptr<Network>> network = Network::Build(base);
   if (!network.ok()) return network.status();
   Network& net = *network.value();
-  util::Rng rng(base.seed ^ 0xac1052);
+  TrialRunner runner(base.threads);
 
   std::vector<ActorsPoint> points;
-  for (int actor_count : actor_counts) {
+  for (size_t pi = 0; pi < actor_counts.size(); ++pi) {
+    const int actor_count = actor_counts[pi];
     core::ProtocolContext ctx = net.context();
     ctx.actor_count = actor_count;
     // Keep R3 populated for the largest sweeps.
     ctx.rs3 = std::max(ctx.rs3, 4.0 * actor_count / static_cast<double>(
                                                         base.n));
-    strategies::Sep2pStrategy strategy(ctx,
-                                       strategies::AdversaryConfig::Passive());
+    const uint64_t trial_seed = MixSeed(base.seed, kActorTrialSalt, pi);
+
+    struct Shard {
+      OnlineStats crypto_work, msg_work, verification;
+    };
+    std::vector<Shard> shards(TrialRunner::ShardCount(trials));
+    Status status = runner.RunShards(
+        trials, [&](int shard, int begin, int end) {
+          Shard& sh = shards[shard];
+          strategies::Sep2pStrategy strategy(
+              ctx, strategies::AdversaryConfig::Passive());
+          for (int t = begin; t < end; ++t) {
+            util::Rng rng(StreamSeed(trial_seed, static_cast<uint64_t>(t)));
+            uint32_t trigger = static_cast<uint32_t>(
+                rng.NextUint64(net.directory().size()));
+            Result<strategies::StrategyOutcome> run =
+                strategy.Run(trigger, rng);
+            if (!run.ok()) return run.status();
+            sh.crypto_work.Add(run->setup_cost.crypto_work);
+            sh.msg_work.Add(run->setup_cost.msg_work);
+            sh.verification.Add(run->verification_cost);
+          }
+          return Status::Ok();
+        });
+    if (!status.ok()) return status;
 
     OnlineStats crypto_work, msg_work, verification;
-    for (int t = 0; t < trials; ++t) {
-      uint32_t trigger =
-          static_cast<uint32_t>(rng.NextUint64(net.directory().size()));
-      Result<strategies::StrategyOutcome> run = strategy.Run(trigger, rng);
-      if (!run.ok()) return run.status();
-      crypto_work.Add(run->setup_cost.crypto_work);
-      msg_work.Add(run->setup_cost.msg_work);
-      verification.Add(run->verification_cost);
+    for (const Shard& sh : shards) {
+      crypto_work.Merge(sh.crypto_work);
+      msg_work.Merge(sh.msg_work);
+      verification.Merge(sh.verification);
     }
 
     ActorsPoint point;
@@ -228,41 +342,69 @@ Result<ExhaustiveStats> RunExhaustiveSetters(const Parameters& base,
   Result<std::unique_ptr<Network>> network = Network::Build(base);
   if (!network.ok()) return network.status();
   Network& net = *network.value();
-  util::Rng rng(base.seed ^ 0xe4a);
 
+  // The setter sample is drawn serially up front; the trials over it are
+  // embarrassingly parallel.
+  util::Rng sample_rng(base.seed ^ kExhaustiveTrialSalt);
   std::vector<uint32_t> setters;
   if (sample == 0 || sample >= net.directory().size()) {
     for (uint32_t i = 0; i < net.directory().size(); ++i) {
       setters.push_back(i);
     }
   } else {
-    for (size_t idx : rng.SampleIndices(net.directory().size(), sample)) {
+    for (size_t idx : sample_rng.SampleIndices(net.directory().size(),
+                                               sample)) {
       setters.push_back(static_cast<uint32_t>(idx));
     }
   }
 
   core::ProtocolContext ctx = net.context();
   core::SelectionProtocol protocol(ctx);
+  const uint64_t trial_seed = MixSeed(base.seed, kExhaustiveTrialSalt);
+  const int trials = static_cast<int>(setters.size());
+
+  struct Shard {
+    OnlineStats verif, cw, mw, cl, ml;
+  };
+  TrialRunner runner(base.threads);
+  std::vector<Shard> shards(TrialRunner::ShardCount(trials));
+  Status status = runner.RunShards(
+      trials, [&](int shard, int begin, int end) {
+        Shard& sh = shards[shard];
+        for (int t = begin; t < end; ++t) {
+          util::Rng rng(StreamSeed(trial_seed, static_cast<uint64_t>(t)));
+          // Force the setter point onto this node's exact position.
+          crypto::Hash256 point = crypto::Hash256::FromRingPos(
+              net.directory().node(setters[t]).pos);
+          core::SelectionOptions options;
+          options.forced_point = &point;
+          uint32_t trigger = static_cast<uint32_t>(
+              rng.NextUint64(net.directory().size()));
+          Result<core::SelectionProtocol::Outcome> run =
+              protocol.Run(trigger, rng, options);
+          if (!run.ok()) {
+            if (run.status().code() == StatusCode::kResourceExhausted) {
+              continue;
+            }
+            return run.status();
+          }
+          sh.verif.Add(2.0 * run->val.k());
+          sh.cw.Add(run->cost.crypto_work);
+          sh.mw.Add(run->cost.msg_work);
+          sh.cl.Add(run->cost.crypto_latency);
+          sh.ml.Add(run->cost.msg_latency);
+        }
+        return Status::Ok();
+      });
+  if (!status.ok()) return status;
+
   OnlineStats verif, cw, mw, cl, ml;
-  for (uint32_t setter : setters) {
-    // Force the setter point onto this node's exact position.
-    crypto::Hash256 point =
-        crypto::Hash256::FromRingPos(net.directory().node(setter).pos);
-    core::SelectionOptions options;
-    options.forced_point = &point;
-    uint32_t trigger =
-        static_cast<uint32_t>(rng.NextUint64(net.directory().size()));
-    Result<core::SelectionProtocol::Outcome> run =
-        protocol.Run(trigger, rng, options);
-    if (!run.ok()) {
-      if (run.status().code() == StatusCode::kResourceExhausted) continue;
-      return run.status();
-    }
-    verif.Add(2.0 * run->val.k());
-    cw.Add(run->cost.crypto_work);
-    mw.Add(run->cost.msg_work);
-    cl.Add(run->cost.crypto_latency);
-    ml.Add(run->cost.msg_latency);
+  for (const Shard& sh : shards) {
+    verif.Merge(sh.verif);
+    cw.Merge(sh.cw);
+    mw.Merge(sh.mw);
+    cl.Merge(sh.cl);
+    ml.Merge(sh.ml);
   }
 
   ExhaustiveStats stats;
@@ -291,36 +433,63 @@ Result<std::vector<FailurePoint>> RunFailureSweep(
   Result<std::unique_ptr<Network>> network = Network::Build(base);
   if (!network.ok()) return network.status();
   Network& net = *network.value();
-  util::Rng rng(base.seed ^ 0xfa11);
+  TrialRunner runner(base.threads);
 
   std::vector<FailurePoint> points;
-  for (double probability : probabilities) {
-    net::FailureModel failures(probability, base.seed ^ 0xdead);
+  for (size_t pi = 0; pi < probabilities.size(); ++pi) {
+    const double probability = probabilities[pi];
     core::ProtocolContext ctx = net.context();
     core::SelectionProtocol protocol(ctx);
+    const uint64_t trial_seed = MixSeed(base.seed, kFailureTrialSalt, pi);
+    const uint64_t failure_seed = MixSeed(base.seed, kFailureModelSalt, pi);
 
-    int first_try = 0, gave_up = 0;
+    struct Shard {
+      OnlineStats attempts;
+      int first_try = 0;
+      int gave_up = 0;
+    };
+    std::vector<Shard> shards(TrialRunner::ShardCount(trials));
+    Status status = runner.RunShards(
+        trials, [&](int shard, int begin, int end) {
+          Shard& sh = shards[shard];
+          for (int t = begin; t < end; ++t) {
+            util::Rng rng(StreamSeed(trial_seed, static_cast<uint64_t>(t)));
+            // Failure injection is part of the trial, so it draws from a
+            // per-trial stream too.
+            net::FailureModel failures(
+                probability, StreamSeed(failure_seed,
+                                        static_cast<uint64_t>(t)));
+            uint32_t trigger = static_cast<uint32_t>(
+                rng.NextUint64(net.directory().size()));
+            int attempt = 1;
+            for (; attempt <= max_attempts; ++attempt) {
+              core::SelectionOptions options;
+              options.failures = &failures;
+              Result<core::SelectionProtocol::Outcome> run =
+                  protocol.Run(trigger, rng, options);
+              if (run.ok()) break;
+              if (run.status().code() != StatusCode::kUnavailable) {
+                return run.status();
+              }
+            }
+            if (attempt > max_attempts) {
+              ++sh.gave_up;
+            } else {
+              sh.attempts.Add(attempt);
+              if (attempt == 1) ++sh.first_try;
+            }
+          }
+          return Status::Ok();
+        });
+    if (!status.ok()) return status;
+
     OnlineStats attempts;
-    for (int t = 0; t < trials; ++t) {
-      uint32_t trigger =
-          static_cast<uint32_t>(rng.NextUint64(net.directory().size()));
-      int attempt = 1;
-      for (; attempt <= max_attempts; ++attempt) {
-        core::SelectionOptions options;
-        options.failures = &failures;
-        Result<core::SelectionProtocol::Outcome> run =
-            protocol.Run(trigger, rng, options);
-        if (run.ok()) break;
-        if (run.status().code() != StatusCode::kUnavailable) {
-          return run.status();
-        }
-      }
-      if (attempt > max_attempts) {
-        ++gave_up;
-      } else {
-        attempts.Add(attempt);
-        if (attempt == 1) ++first_try;
-      }
+    int first_try = 0;
+    int gave_up = 0;
+    for (const Shard& sh : shards) {
+      attempts.Merge(sh.attempts);
+      first_try += sh.first_try;
+      gave_up += sh.gave_up;
     }
 
     FailurePoint point;
@@ -357,13 +526,25 @@ Result<AlphaPoint> ProbeAlpha(const Parameters& base, double alpha,
   point.rs = entry.rs;
   point.networks_tested = network_count;
 
+  // Colluder reassignment mutates the shared Directory, so the
+  // assignments are generated serially (barrier per round) and only the
+  // sorted colluder positions are snapshotted; the O(C^2)-ish
+  // concentration scans then run in parallel over the snapshots.
+  std::vector<std::vector<dht::RingPos>> rounds(
+      std::max(0, network_count));
   for (int round = 0; round < network_count; ++round) {
     if (round > 0) net.ReassignColluders(rng);
-    std::vector<dht::RingPos> colluders;
+    std::vector<dht::RingPos>& colluders = rounds[round];
     for (uint32_t idx : net.ColluderIndices()) {
       colluders.push_back(net.directory().node(idx).pos);
     }
     std::sort(colluders.begin(), colluders.end());
+  }
+
+  TrialRunner runner(params.threads);
+  std::vector<int> max_centered_by_round(rounds.size(), 0);
+  runner.pool().ParallelFor(rounds.size(), [&](size_t round) {
+    const std::vector<dht::RingPos>& colluders = rounds[round];
 
     // The attack that alpha must prevent: a corrupted triggering node T
     // finds k colluding TLs legitimate w.r.t. R1 *centered on itself* —
@@ -390,6 +571,10 @@ Result<AlphaPoint> ProbeAlpha(const Parameters& base, double alpha,
       }
       max_centered = std::max(max_centered, count);
     }
+    max_centered_by_round[round] = max_centered;
+  });
+
+  for (int max_centered : max_centered_by_round) {
     point.max_colluders_seen =
         std::max(point.max_colluders_seen, max_centered);
     // Full control needs T plus k colluding TLs.

@@ -54,8 +54,10 @@ struct KCurvePoint {
   int k_max = 0;  // the "no k-table" cost
 };
 
+// `threads` as in Parameters::threads (sampling parallelizes; the result
+// is identical for every thread count).
 KCurvePoint ComputeAverageK(uint64_t n, double c_fraction, double alpha,
-                            int samples, uint64_t seed);
+                            int samples, uint64_t seed, int threads = 0);
 
 // ------------------------------------------------------------------ Fig 7
 // Node-cache size sweep on the reference network: relocation rate and

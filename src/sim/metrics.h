@@ -15,6 +15,13 @@ class OnlineStats {
  public:
   void Add(double x);
 
+  // Parallel-safe combine (Chan et al.): absorbs `other` as if its
+  // samples had been Add()ed here. Merging a fixed partition of the
+  // sample set in a fixed order is deterministic regardless of which
+  // thread filled which part — the basis of the trial runner's
+  // bit-identical parallel accumulation.
+  void Merge(const OnlineStats& other);
+
   uint64_t count() const { return count_; }
   double mean() const { return count_ ? mean_ : 0.0; }
   double min() const { return count_ ? min_ : 0.0; }

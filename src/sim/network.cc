@@ -1,12 +1,23 @@
 #include "sim/network.h"
 
+#include <mutex>
+
 #include "core/probability.h"
 #include "crypto/ed25519_provider.h"
 #include "crypto/sim_provider.h"
 #include "dht/node_id.h"
+#include "sim/trial_runner.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace sep2p::sim {
+
+namespace {
+
+// Stream-family salt for per-node provisioning randomness (key pairs).
+constexpr uint64_t kProvisionSalt = 0x70726f7669736eULL;  // "provisn"
+
+}  // namespace
 
 Result<std::unique_ptr<Network>> Network::Build(const Parameters& params) {
   if (params.n < 8) {
@@ -30,23 +41,53 @@ Result<std::unique_ptr<Network>> Network::Build(const Parameters& params) {
   network->ca_.emplace(std::move(ca.value()));
 
   // Provision every node: key pair, certificate, imposed DHT location.
-  std::vector<dht::NodeRecord> records;
-  records.reserve(params.n);
-  for (uint64_t i = 0; i < params.n; ++i) {
-    Result<crypto::KeyPair> pair =
-        network->provider_->GenerateKeyPair(network->rng_);
-    if (!pair.ok()) return pair.status();
-    Result<crypto::Certificate> cert = network->ca_->Issue(pair->pub);
-    if (!cert.ok()) return cert.status();
+  // This is the dominant setup cost at scale (N key generations + N CA
+  // signatures — with Ed25519, two EVP operations per node), so it is
+  // sharded across the pool. Node i draws its key material from its own
+  // RNG stream and gets serial `first_serial + i`, so the provisioned
+  // network is a pure function of the parameters — identical for every
+  // thread count.
+  std::vector<dht::NodeRecord> records(params.n);
+  const uint64_t first_serial = network->ca_->ReserveSerials(params.n);
+  const uint64_t provision_seed = MixSeed(params.seed, kProvisionSalt);
+  std::mutex error_mutex;
+  uint64_t error_index = params.n;
+  Status error = Status::Ok();
 
-    dht::NodeRecord record;
-    record.pub = pair->pub;
-    record.priv = std::move(pair->priv);
-    record.cert = std::move(cert.value());
-    record.id = dht::NodeIdForKey(record.pub);
-    record.pos = record.id.ring_pos();
-    records.push_back(std::move(record));
-  }
+  const int threads = util::ThreadPool::ResolveThreads(params.threads);
+  util::ThreadPool pool(threads <= 1 ? 0 : threads);
+  pool.ParallelFor(
+      params.n,
+      [&](size_t i) {
+        auto fail = [&](Status status) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (i < error_index) {
+            error_index = i;
+            error = std::move(status);
+          }
+        };
+        util::Rng rng(StreamSeed(provision_seed, i));
+        Result<crypto::KeyPair> pair =
+            network->provider_->GenerateKeyPair(rng);
+        if (!pair.ok()) {
+          fail(pair.status());
+          return;
+        }
+        Result<crypto::Certificate> cert =
+            network->ca_->IssueWithSerial(pair->pub, first_serial + i);
+        if (!cert.ok()) {
+          fail(cert.status());
+          return;
+        }
+        dht::NodeRecord& record = records[i];
+        record.pub = pair->pub;
+        record.priv = std::move(pair->priv);
+        record.cert = std::move(cert.value());
+        record.id = dht::NodeIdForKey(record.pub);
+        record.pos = record.id.ring_pos();
+      },
+      /*grain=*/64);
+  if (!error.ok()) return error;
   network->directory_ = std::make_unique<dht::Directory>(std::move(records));
   network->chord_ =
       std::make_unique<dht::ChordOverlay>(network->directory_.get());

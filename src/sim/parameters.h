@@ -21,6 +21,10 @@ struct Parameters {
   double alpha = 1e-6;               // security threshold
   size_t cache_size = 512;           // node cache entries (rs3 = cache/N)
   uint64_t seed = 42;
+  // Worker threads for network build and trial execution: >= 1 literal,
+  // 0 (default) = one per hardware thread. Results are bit-identical for
+  // every value (see sim/trial_runner.h).
+  int threads = 0;
 
   enum class ProviderKind { kSim, kEd25519 };
   // Real Ed25519 everywhere is the default for small networks; large

@@ -1,0 +1,99 @@
+// TrialRunner: deterministic parallel execution of Monte-Carlo trials.
+//
+// Every experiment harness in sim/experiment.cc used to advance one
+// shared Rng through its trial loop, which welds the results to the
+// execution order. The TrialRunner breaks that weld with *per-trial RNG
+// streams*: trial t draws from an independent Rng seeded as
+// SplitMix64(seed, t) (see StreamSeed below), so any trial can run on
+// any worker at any time and still produce exactly the bytes it would
+// have produced alone.
+//
+// Determinism contract — results are bit-identical regardless of thread
+// count or scheduling, because nothing order-dependent leaks out of a
+// trial:
+//   * randomness: per-trial streams (StreamSeed), never a shared Rng;
+//   * accumulation: trials are grouped into fixed shards of kShardSize
+//     consecutive trials (a function of the trial count only, never the
+//     thread count). Each shard owns its OnlineStats et al.; shards are
+//     merged serially in shard order after the parallel section
+//     (OnlineStats::Merge is the parallel-safe combine);
+//   * shared simulator state (Network, Directory): read-only during a
+//     parallel section. Mutations (ReassignColluders) happen at barrier
+//     points between sections;
+//   * errors: the failing trial with the lowest index wins, matching
+//     what a serial loop would have reported first.
+
+#ifndef SEP2P_SIM_TRIAL_RUNNER_H_
+#define SEP2P_SIM_TRIAL_RUNNER_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace sep2p::sim {
+
+// Seed of trial stream `index`: one SplitMix64 step over a seed-derived
+// state. Statistically independent streams for free — SplitMix64 is a
+// bijective mixer, so distinct (seed, index) pairs give distinct
+// well-mixed outputs.
+uint64_t StreamSeed(uint64_t seed, uint64_t index);
+
+// Folds experiment-level labels (c_fraction index, strategy index, a
+// purpose salt) into a base seed, so sweeps that share a Parameters::seed
+// still draw from disjoint stream families.
+uint64_t MixSeed(uint64_t seed, uint64_t salt, uint64_t a = 0,
+                 uint64_t b = 0);
+
+class TrialRunner {
+ public:
+  // Fixed shard width for per-shard accumulation. 16 matches the
+  // colluder-reassignment epoch historically used by the strategy
+  // comparison, so an epoch is a whole number of shards.
+  static constexpr int kShardSize = 16;
+
+  // `threads` as in Parameters::threads: >= 1 literal, else one per
+  // hardware thread. A resolved count of 1 uses no worker threads at
+  // all (inline execution).
+  explicit TrialRunner(int threads);
+
+  int threads() const { return threads_; }
+  util::ThreadPool& pool() { return pool_; }
+
+  static int ShardCount(int trials) {
+    return (trials + kShardSize - 1) / kShardSize;
+  }
+
+  // Runs fn(t, rng) for every t in [0, trials), where rng is a fresh
+  // Rng(StreamSeed(seed, t)). Shards of kShardSize trials are the unit
+  // of scheduling. Returns the error of the lowest-indexed failing
+  // trial, or OK. `fn` must confine writes to per-trial or per-shard
+  // state it owns.
+  Status RunTrials(int trials, uint64_t seed,
+                   const std::function<Status(int, util::Rng&)>& fn);
+
+  // As RunTrials, but over the trial range [begin, end). Stream seeds use
+  // the *global* trial index, so running [0, 16) and [16, 32) as two
+  // calls (e.g. with a barrier between epochs) produces exactly the
+  // trials a single [0, 32) run would.
+  Status RunTrialRange(int begin, int end, uint64_t seed,
+                       const std::function<Status(int, util::Rng&)>& fn);
+
+  // Shard-level variant for callers that accumulate into per-shard
+  // state: fn(shard, begin, end) with [begin, end) the trial range of
+  // `shard`. Per-trial seeding stays the caller's job (use
+  // StreamSeed(seed, t) per trial so shard width never leaks into the
+  // random stream).
+  Status RunShards(int trials,
+                   const std::function<Status(int, int, int)>& fn);
+
+ private:
+  int threads_;
+  util::ThreadPool pool_;
+};
+
+}  // namespace sep2p::sim
+
+#endif  // SEP2P_SIM_TRIAL_RUNNER_H_

@@ -1,0 +1,120 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace sep2p::util {
+
+ThreadPool::ThreadPool(int workers) {
+  const int n = std::max(0, workers);
+  threads_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+int ThreadPool::ResolveThreads(int requested) {
+  if (requested >= 1) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void ThreadPool::ParallelFor(size_t count,
+                             const std::function<void(size_t)>& fn,
+                             size_t grain) {
+  if (count == 0) return;
+  if (threads_.empty()) {
+    // Inline mode: plain loop, natural exception propagation.
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  Job job;
+  job.fn = &fn;
+  job.count = count;
+  job.grain = std::max<size_t>(1, grain);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &job;
+    ++generation_;
+  }
+  wake_.notify_all();
+
+  // The caller works too, so a 1-worker pool still gets two hands.
+  WorkOn(&job);
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    drain_.wait(lock, [&] {
+      return job.done == job.count && job.active_workers == 0;
+    });
+    // Retire the job while still holding the lock so no late-waking
+    // worker can grab a pointer to this (stack-allocated) job.
+    job_ = nullptr;
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] {
+        return stop_ || (job_ != nullptr && generation_ != seen);
+      });
+      if (stop_) return;
+      job = job_;
+      seen = generation_;
+      ++job->active_workers;
+    }
+    WorkOn(job);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --job->active_workers;
+    }
+    drain_.notify_all();
+  }
+}
+
+void ThreadPool::WorkOn(Job* job) {
+  for (;;) {
+    const size_t begin = job->next.fetch_add(job->grain,
+                                             std::memory_order_relaxed);
+    if (begin >= job->count) return;
+    const size_t end = std::min(begin + job->grain, job->count);
+
+    bool skip;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      skip = job->cancelled;
+    }
+    if (!skip) {
+      try {
+        for (size_t i = begin; i < end; ++i) (*job->fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!job->error) {
+          job->error = std::current_exception();
+          job->cancelled = true;
+        }
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job->done += end - begin;
+      if (job->done == job->count) drain_.notify_all();
+    }
+  }
+}
+
+}  // namespace sep2p::util

@@ -1,0 +1,83 @@
+// A small reusable thread pool with a blocking parallel-for.
+//
+// The pool exists for coarse-grained, deterministic fan-out: the trial
+// runner (sim/trial_runner.h) shards Monte-Carlo trials over it and the
+// network builder shards per-node key generation. Work items must not
+// depend on which worker executes them — determinism is the caller's
+// responsibility (see trial_runner.h for the seed-stream discipline).
+//
+// ParallelFor distributes indices dynamically (an atomic cursor), blocks
+// until every index has completed, and rethrows the first exception any
+// work item raised. A pool with zero workers runs everything inline on
+// the calling thread, which keeps single-threaded runs free of any
+// synchronization and gives sanitizer-friendly degenerate cases.
+
+#ifndef SEP2P_UTIL_THREAD_POOL_H_
+#define SEP2P_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sep2p::util {
+
+class ThreadPool {
+ public:
+  // `workers` worker threads are spawned immediately; 0 means "no
+  // threads", i.e. ParallelFor runs inline. Negative values are treated
+  // as 0.
+  explicit ThreadPool(int workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int workers() const { return static_cast<int>(threads_.size()); }
+
+  // Runs fn(i) for every i in [0, count), using the calling thread plus
+  // all workers; returns once every index has completed. Indices are
+  // claimed in blocks of `grain` (use a larger grain for very cheap
+  // bodies so the atomic cursor is not the bottleneck). If any call
+  // throws, the remaining unclaimed indices are skipped and the first
+  // exception is rethrown here.
+  void ParallelFor(size_t count, const std::function<void(size_t)>& fn,
+                   size_t grain = 1);
+
+  // Maps a --threads style request onto a concrete thread count:
+  // n >= 1 is taken literally, anything else means "one per hardware
+  // thread" (at least 1).
+  static int ResolveThreads(int requested);
+
+ private:
+  struct Job {
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t count = 0;
+    size_t grain = 1;
+    std::atomic<size_t> next{0};
+    // Guarded by the pool mutex.
+    size_t done = 0;
+    size_t active_workers = 0;
+    bool cancelled = false;
+    std::exception_ptr error;
+  };
+
+  void WorkerLoop();
+  void WorkOn(Job* job);
+
+  std::mutex mutex_;
+  std::condition_variable wake_;   // workers: a new job generation exists
+  std::condition_variable drain_;  // caller: the job fully completed
+  Job* job_ = nullptr;             // guarded by mutex_
+  uint64_t generation_ = 0;        // guarded by mutex_
+  bool stop_ = false;              // guarded by mutex_
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace sep2p::util
+
+#endif  // SEP2P_UTIL_THREAD_POOL_H_

@@ -1,0 +1,134 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace sep2p::util {
+namespace {
+
+TEST(ThreadPoolTest, EveryIndexRunsExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.workers(), 4);
+
+  constexpr size_t kCount = 10000;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.ParallelFor(kCount, [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossManyParallelFors) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> sum{0};
+    pool.ParallelFor(97, [&](size_t i) {
+      sum.fetch_add(static_cast<int>(i), std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), 97 * 96 / 2);
+  }
+}
+
+TEST(ThreadPoolTest, GrainLargerThanCountStillCoversEverything) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(5);
+  pool.ParallelFor(
+      5,
+      [&](size_t i) { hits[i].fetch_add(1, std::memory_order_relaxed); },
+      /*grain=*/64);
+  for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPoolTest, ZeroCountIsANoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.ParallelFor(0, [&](size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, ZeroWorkersRunsInlineOnCallingThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.workers(), 0);
+
+  const std::thread::id caller = std::this_thread::get_id();
+  std::set<std::thread::id> executors;
+  std::vector<size_t> order;
+  pool.ParallelFor(100, [&](size_t i) {
+    executors.insert(std::this_thread::get_id());
+    order.push_back(i);
+  });
+  ASSERT_EQ(executors.size(), 1u);
+  EXPECT_EQ(*executors.begin(), caller);
+  // Inline mode is a plain loop: in-order execution.
+  ASSERT_EQ(order.size(), 100u);
+  for (size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPoolTest, NegativeWorkersClampToZero) {
+  ThreadPool pool(-3);
+  EXPECT_EQ(pool.workers(), 0);
+  std::atomic<int> sum{0};
+  pool.ParallelFor(10, [&](size_t i) {
+    sum.fetch_add(static_cast<int>(i), std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPoolTest, OneWorkerCompletesAllWork) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.workers(), 1);
+  std::atomic<int> count{0};
+  pool.ParallelFor(1000, [&](size_t) {
+    count.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(1000,
+                       [&](size_t i) {
+                         if (i == 123) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesFromInlineMode) {
+  ThreadPool pool(0);
+  EXPECT_THROW(pool.ParallelFor(
+                   10, [&](size_t) { throw std::runtime_error("inline"); }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, PoolSurvivesAnException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.ParallelFor(
+                   100, [&](size_t) { throw std::runtime_error("first"); }),
+               std::runtime_error);
+  // The failed job must be fully retired; the next one runs normally.
+  std::atomic<int> count{0};
+  pool.ParallelFor(100, [&](size_t) {
+    count.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ResolveThreadsTakesPositiveLiterally) {
+  EXPECT_EQ(ThreadPool::ResolveThreads(1), 1);
+  EXPECT_EQ(ThreadPool::ResolveThreads(7), 7);
+  // 0 and negatives mean "one per hardware thread", at least 1.
+  EXPECT_GE(ThreadPool::ResolveThreads(0), 1);
+  EXPECT_GE(ThreadPool::ResolveThreads(-5), 1);
+  EXPECT_EQ(ThreadPool::ResolveThreads(0), ThreadPool::ResolveThreads(-5));
+}
+
+}  // namespace
+}  // namespace sep2p::util

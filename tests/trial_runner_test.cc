@@ -1,0 +1,255 @@
+// The determinism contract of the parallel trial engine: thread count
+// and scheduling must never leak into results. These tests run the same
+// experiments serially and heavily threaded and require bit-identical
+// output (EXPECT_EQ on doubles, not EXPECT_NEAR).
+
+#include "sim/trial_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "sim/metrics.h"
+#include "sim/network.h"
+
+namespace sep2p::sim {
+namespace {
+
+Parameters SmallNet(int threads) {
+  Parameters p;
+  p.n = 2000;
+  p.colluding_fraction = 0.02;
+  p.actor_count = 8;
+  p.cache_size = 128;
+  p.seed = 11;
+  p.threads = threads;
+  return p;
+}
+
+TEST(StreamSeedTest, DistinctIndicesGiveDistinctWellMixedSeeds) {
+  std::set<uint64_t> seeds;
+  for (uint64_t i = 0; i < 10000; ++i) {
+    seeds.insert(StreamSeed(42, i));
+  }
+  EXPECT_EQ(seeds.size(), 10000u);
+  // Deterministic: same (seed, index) -> same stream.
+  EXPECT_EQ(StreamSeed(42, 7), StreamSeed(42, 7));
+  EXPECT_NE(StreamSeed(42, 7), StreamSeed(43, 7));
+}
+
+TEST(StreamSeedTest, MixSeedSeparatesFamiliesAndLabels) {
+  EXPECT_NE(MixSeed(42, 0x111), MixSeed(42, 0x222));
+  EXPECT_NE(MixSeed(42, 0x111, 0, 0), MixSeed(42, 0x111, 1, 0));
+  EXPECT_NE(MixSeed(42, 0x111, 0, 0), MixSeed(42, 0x111, 0, 1));
+  // The (a, b) labels must not alias ((a+1), (b-1)) style neighbors.
+  EXPECT_NE(MixSeed(42, 0x111, 1, 2), MixSeed(42, 0x111, 2, 1));
+}
+
+TEST(OnlineStatsMergeTest, MergeMatchesSequentialAdd) {
+  util::Rng rng(99);
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) {
+    values.push_back(rng.NextDouble() * 100 - 50);
+  }
+
+  OnlineStats sequential;
+  for (double v : values) sequential.Add(v);
+
+  // Merge uneven chunks (including an empty one).
+  OnlineStats merged;
+  const size_t cuts[] = {0, 17, 17, 400, 999, 1000};
+  for (size_t c = 0; c + 1 < std::size(cuts); ++c) {
+    OnlineStats chunk;
+    for (size_t i = cuts[c]; i < cuts[c + 1]; ++i) chunk.Add(values[i]);
+    merged.Merge(chunk);
+  }
+
+  EXPECT_EQ(merged.count(), sequential.count());
+  EXPECT_EQ(merged.min(), sequential.min());
+  EXPECT_EQ(merged.max(), sequential.max());
+  EXPECT_NEAR(merged.mean(), sequential.mean(), 1e-9);
+  EXPECT_NEAR(merged.stddev(), sequential.stddev(), 1e-9);
+}
+
+TEST(OnlineStatsMergeTest, MergeIntoEmptyCopies) {
+  OnlineStats a;
+  OnlineStats b;
+  b.Add(3);
+  b.Add(5);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.mean(), 4.0);
+  a.Merge(OnlineStats());  // merging an empty is a no-op
+  EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(TrialRunnerTest, RunTrialsCoversEveryTrialExactlyOnce) {
+  TrialRunner runner(/*threads=*/4);
+  constexpr int kTrials = 1003;  // not a multiple of kShardSize
+  std::vector<std::atomic<int>> hits(kTrials);
+  Status status =
+      runner.RunTrials(kTrials, /*seed=*/7, [&](int t, util::Rng&) {
+        hits[t].fetch_add(1, std::memory_order_relaxed);
+        return Status::Ok();
+      });
+  ASSERT_TRUE(status.ok());
+  for (int t = 0; t < kTrials; ++t) EXPECT_EQ(hits[t].load(), 1);
+}
+
+TEST(TrialRunnerTest, PerTrialRngIndependentOfExecutionOrder) {
+  // Record each trial's first draw under heavy threading, then compare
+  // with a serial run: the streams must match exactly.
+  constexpr int kTrials = 256;
+  std::vector<uint64_t> parallel_draws(kTrials);
+  TrialRunner parallel(8);
+  ASSERT_TRUE(parallel
+                  .RunTrials(kTrials, 42,
+                             [&](int t, util::Rng& rng) {
+                               parallel_draws[t] = rng.NextUint64();
+                               return Status::Ok();
+                             })
+                  .ok());
+
+  std::vector<uint64_t> serial_draws(kTrials);
+  TrialRunner serial(1);
+  EXPECT_EQ(serial.pool().workers(), 0);
+  ASSERT_TRUE(serial
+                  .RunTrials(kTrials, 42,
+                             [&](int t, util::Rng& rng) {
+                               serial_draws[t] = rng.NextUint64();
+                               return Status::Ok();
+                             })
+                  .ok());
+  EXPECT_EQ(parallel_draws, serial_draws);
+}
+
+TEST(TrialRunnerTest, LowestIndexedFailingTrialWins) {
+  TrialRunner runner(4);
+  Status status = runner.RunTrials(500, 1, [&](int t, util::Rng&) {
+    if (t == 77 || t == 402) {
+      return Status::Internal("trial " + std::to_string(t));
+    }
+    return Status::Ok();
+  });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.message(), "trial 77");
+}
+
+TEST(TrialRunnerTest, RunTrialRangeUsesGlobalTrialIndices) {
+  // Two epoch-style calls must produce exactly the trials of one big
+  // call: stream seeds key off the global index.
+  std::vector<uint64_t> split(64), whole(64);
+  TrialRunner runner(4);
+  for (int begin : {0, 32}) {
+    ASSERT_TRUE(runner
+                    .RunTrialRange(begin, begin + 32, 5,
+                                   [&](int t, util::Rng& rng) {
+                                     split[t] = rng.NextUint64();
+                                     return Status::Ok();
+                                   })
+                    .ok());
+  }
+  ASSERT_TRUE(runner
+                  .RunTrials(64, 5,
+                             [&](int t, util::Rng& rng) {
+                               whole[t] = rng.NextUint64();
+                               return Status::Ok();
+                             })
+                  .ok());
+  EXPECT_EQ(split, whole);
+}
+
+TEST(TrialRunnerTest, NetworkBuildIsIdenticalForAnyThreadCount) {
+  Result<std::unique_ptr<Network>> serial = Network::Build(SmallNet(1));
+  Result<std::unique_ptr<Network>> parallel = Network::Build(SmallNet(8));
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  const dht::Directory& a = (*serial)->directory();
+  const dht::Directory& b = (*parallel)->directory();
+  ASSERT_EQ(a.size(), b.size());
+  for (uint32_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.node(i).pub, b.node(i).pub) << "node " << i;
+    EXPECT_TRUE(a.node(i).pos == b.node(i).pos) << "node " << i;
+    EXPECT_EQ(a.node(i).colluding, b.node(i).colluding) << "node " << i;
+  }
+}
+
+// The flagship guarantee: a whole experiment harness produces
+// bit-identical numbers serially and with 8 threads.
+TEST(TrialRunnerTest, StrategyComparisonBitIdenticalAcrossThreadCounts) {
+  const std::vector<double> c_fractions = {0.01, 0.03};
+  const std::vector<std::string> strategies = {"SEP2P", "ES.AV"};
+  auto serial =
+      RunStrategyComparison(SmallNet(1), c_fractions, strategies,
+                            /*trials=*/48);
+  auto parallel =
+      RunStrategyComparison(SmallNet(8), c_fractions, strategies,
+                            /*trials=*/48);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  ASSERT_EQ(serial->size(), parallel->size());
+  for (size_t i = 0; i < serial->size(); ++i) {
+    const StrategyPoint& s = (*serial)[i];
+    const StrategyPoint& p = (*parallel)[i];
+    EXPECT_EQ(s.strategy, p.strategy);
+    EXPECT_EQ(s.c_fraction, p.c_fraction);
+    EXPECT_EQ(s.verification_cost, p.verification_cost);
+    EXPECT_EQ(s.avg_corrupted, p.avg_corrupted);
+    EXPECT_EQ(s.effectiveness, p.effectiveness);
+    EXPECT_EQ(s.setup_crypto_latency, p.setup_crypto_latency);
+    EXPECT_EQ(s.setup_crypto_work, p.setup_crypto_work);
+    EXPECT_EQ(s.setup_msg_latency, p.setup_msg_latency);
+    EXPECT_EQ(s.setup_msg_work, p.setup_msg_work);
+    EXPECT_EQ(s.relocation_rate, p.relocation_rate);
+  }
+}
+
+TEST(TrialRunnerTest, ExhaustiveSettersBitIdenticalAcrossThreadCounts) {
+  auto serial = RunExhaustiveSetters(SmallNet(1), /*sample=*/64);
+  auto parallel = RunExhaustiveSetters(SmallNet(8), /*sample=*/64);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  EXPECT_EQ(serial->setters, parallel->setters);
+  EXPECT_EQ(serial->verif_avg, parallel->verif_avg);
+  EXPECT_EQ(serial->verif_max, parallel->verif_max);
+  EXPECT_EQ(serial->verif_stddev, parallel->verif_stddev);
+  EXPECT_EQ(serial->crypto_work_avg, parallel->crypto_work_avg);
+  EXPECT_EQ(serial->crypto_work_max, parallel->crypto_work_max);
+  EXPECT_EQ(serial->msg_work_avg, parallel->msg_work_avg);
+  EXPECT_EQ(serial->crypto_lat_avg, parallel->crypto_lat_avg);
+  EXPECT_EQ(serial->msg_lat_avg, parallel->msg_lat_avg);
+}
+
+TEST(TrialRunnerTest, CacheSweepBitIdenticalAcrossThreadCounts) {
+  const std::vector<size_t> cache_sizes = {32, 128};
+  auto serial = RunCacheSweep(SmallNet(1), cache_sizes, /*trials=*/40);
+  auto parallel = RunCacheSweep(SmallNet(8), cache_sizes, /*trials=*/40);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  ASSERT_EQ(serial->size(), parallel->size());
+  for (size_t i = 0; i < serial->size(); ++i) {
+    EXPECT_EQ((*serial)[i].relocation_rate, (*parallel)[i].relocation_rate);
+    EXPECT_EQ((*serial)[i].relocated_fraction,
+              (*parallel)[i].relocated_fraction);
+    EXPECT_EQ((*serial)[i].failed_fraction, (*parallel)[i].failed_fraction);
+    EXPECT_EQ((*serial)[i].setup_msg_work, (*parallel)[i].setup_msg_work);
+  }
+}
+
+TEST(TrialRunnerTest, ComputeAverageKBitIdenticalAcrossThreadCounts) {
+  KCurvePoint serial =
+      ComputeAverageK(10000, 0.01, 1e-6, /*samples=*/500, /*seed=*/3,
+                      /*threads=*/1);
+  KCurvePoint parallel =
+      ComputeAverageK(10000, 0.01, 1e-6, /*samples=*/500, /*seed=*/3,
+                      /*threads=*/8);
+  EXPECT_EQ(serial.avg_k, parallel.avg_k);
+  EXPECT_EQ(serial.max_k_seen, parallel.max_k_seen);
+}
+
+}  // namespace
+}  // namespace sep2p::sim

@@ -1,7 +1,7 @@
 // sep2p_cli — command-line driver for the SEP2P library.
 //
 //   sep2p_cli select  [--n N] [--c FRAC] [--a A] [--seed S]
-//                     [--overlay chord|can] [--ed25519]
+//                     [--overlay chord|can] [--ed25519] [--threads T]
 //       Build a network, run one secure actor selection, verify it, and
 //       print the verifiable actor list (also as its wire encoding).
 //   sep2p_cli ktable  [--n N] [--c FRAC] [--alpha A]
@@ -61,6 +61,8 @@ bool ParseFlags(int argc, char** argv, int first, Flags* flags) {
       flags->params.alpha = value;
     } else if (arg == "--rounds" && next_value(&value)) {
       flags->rounds = static_cast<int>(value);
+    } else if (arg == "--threads" && next_value(&value)) {
+      flags->params.threads = static_cast<int>(value);
     } else if (arg == "--ed25519") {
       flags->params.provider = sim::Parameters::ProviderKind::kEd25519;
     } else if (arg == "--overlay") {
@@ -216,7 +218,8 @@ void Usage() {
   std::fprintf(stderr,
                "usage: sep2p_cli <select|ktable|probe|demo> [flags]\n"
                "flags: --n N --c FRAC --a A --seed S --cache SIZE\n"
-               "       --alpha A --rounds R --overlay chord|can --ed25519\n");
+               "       --alpha A --rounds R --overlay chord|can --ed25519\n"
+               "       --threads T (0 = one per hardware thread)\n");
 }
 
 }  // namespace
