@@ -9,6 +9,7 @@
 #include <algorithm>
 
 #include "bench/bench_common.h"
+#include "net/sim_network.h"
 #include "node/churn.h"
 #include "sim/network.h"
 
@@ -69,5 +70,23 @@ int main(int argc, char** argv) {
   }
   table.Print();
   std::printf("\n(k = %d from the network's k-table)\n", k);
+
+  // Churn is only repaired once a dead cache entry is *noticed*. The
+  // message layer's retry ladder bounds that detection time: probe a
+  // crashed peer over a 2-node SimNetwork and report how long the
+  // timeout/retry/backoff policy takes to declare it failed.
+  net::LinkModel link;
+  net::RetryPolicy retry;
+  net::SimNetwork probe(2, link, retry, params.seed ^ 0xf18);
+  probe.CrashAt(1, 0);
+  net::SimNetwork::RpcResult rpc = probe.Call(
+      0, 1, {0xbe, 0xef}, [](uint32_t, const std::vector<uint8_t>&) {
+        return std::optional<std::vector<uint8_t>>();
+      });
+  std::printf("(failure detection: a crashed cache entry is declared "
+              "failed after %d attempts\n and %.0f ms of virtual time "
+              "under the default timeout/retry/backoff policy)\n",
+              rpc.attempts,
+              static_cast<double>(probe.now_us()) / 1000.0);
   return 0;
 }

@@ -1,0 +1,216 @@
+#include "core/messages.h"
+
+#include "core/wire_format.h"
+
+namespace sep2p::core::msg {
+
+namespace {
+
+using wire::Reader;
+using wire::Writer;
+
+constexpr uint8_t kMagic0 = 'S';
+constexpr uint8_t kMagic1 = '2';
+constexpr uint8_t kMagic2 = 'P';
+constexpr uint16_t kVersion = 1;
+
+// Message tags live above the artifact tags (0x01/0x02 in core/wire.cc)
+// so a message can never be confused with a stored artifact.
+constexpr uint8_t kTagVrandInvite = 0x10;
+constexpr uint8_t kTagCommitReply = 0x11;
+constexpr uint8_t kTagCommitList = 0x12;
+constexpr uint8_t kTagVrandReveal = 0x13;
+constexpr uint8_t kTagSlEngage = 0x14;
+constexpr uint8_t kTagSlReveal = 0x15;
+constexpr uint8_t kTagAttestRequest = 0x16;
+constexpr uint8_t kTagAttestation = 0x17;
+
+void WriteHeader(Writer& writer, uint8_t tag) {
+  writer.U8(kMagic0);
+  writer.U8(kMagic1);
+  writer.U8(kMagic2);
+  writer.U8(tag);
+  writer.U16(kVersion);
+}
+
+Status CheckHeader(Reader& reader, uint8_t expected_tag) {
+  uint8_t m0, m1, m2, tag;
+  SEP2P_RETURN_IF_ERROR(reader.U8(&m0));
+  SEP2P_RETURN_IF_ERROR(reader.U8(&m1));
+  SEP2P_RETURN_IF_ERROR(reader.U8(&m2));
+  SEP2P_RETURN_IF_ERROR(reader.U8(&tag));
+  if (m0 != kMagic0 || m1 != kMagic1 || m2 != kMagic2) {
+    return Status::InvalidArgument("msg: bad magic");
+  }
+  if (tag != expected_tag) {
+    return Status::InvalidArgument("msg: wrong message tag");
+  }
+  uint16_t version = 0;
+  SEP2P_RETURN_IF_ERROR(reader.U16(&version));
+  if (version != kVersion) {
+    return Status::InvalidArgument("msg: unsupported version");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::vector<uint8_t> Encode(const VrandInvite& m) {
+  Writer writer;
+  WriteHeader(writer, kTagVrandInvite);
+  writer.F64(m.rs1);
+  writer.U64(m.timestamp);
+  return writer.Take();
+}
+
+Result<VrandInvite> DecodeVrandInvite(const std::vector<uint8_t>& bytes) {
+  Reader reader(bytes);
+  SEP2P_RETURN_IF_ERROR(CheckHeader(reader, kTagVrandInvite));
+  VrandInvite m;
+  SEP2P_RETURN_IF_ERROR(reader.F64(&m.rs1));
+  SEP2P_RETURN_IF_ERROR(reader.U64(&m.timestamp));
+  SEP2P_RETURN_IF_ERROR(reader.ExpectEnd());
+  return m;
+}
+
+std::vector<uint8_t> Encode(const CommitReply& m) {
+  Writer writer;
+  WriteHeader(writer, kTagCommitReply);
+  writer.Hash(m.commitment);
+  return writer.Take();
+}
+
+Result<CommitReply> DecodeCommitReply(const std::vector<uint8_t>& bytes) {
+  Reader reader(bytes);
+  SEP2P_RETURN_IF_ERROR(CheckHeader(reader, kTagCommitReply));
+  CommitReply m;
+  SEP2P_RETURN_IF_ERROR(reader.Hash(&m.commitment));
+  SEP2P_RETURN_IF_ERROR(reader.ExpectEnd());
+  return m;
+}
+
+std::vector<uint8_t> Encode(const CommitList& m) {
+  Writer writer;
+  WriteHeader(writer, kTagCommitList);
+  writer.U32(static_cast<uint32_t>(m.commitments.size()));
+  for (const crypto::Hash256& h : m.commitments) writer.Hash(h);
+  writer.U64(m.timestamp);
+  return writer.Take();
+}
+
+Result<CommitList> DecodeCommitList(const std::vector<uint8_t>& bytes) {
+  Reader reader(bytes);
+  SEP2P_RETURN_IF_ERROR(CheckHeader(reader, kTagCommitList));
+  CommitList m;
+  uint32_t count = 0;
+  SEP2P_RETURN_IF_ERROR(reader.U32(&count));
+  if (count == 0 || count > wire::kMaxParticipants) {
+    return Status::InvalidArgument("msg: bad commitment count");
+  }
+  m.commitments.resize(count);
+  for (crypto::Hash256& h : m.commitments) {
+    SEP2P_RETURN_IF_ERROR(reader.Hash(&h));
+  }
+  SEP2P_RETURN_IF_ERROR(reader.U64(&m.timestamp));
+  SEP2P_RETURN_IF_ERROR(reader.ExpectEnd());
+  return m;
+}
+
+std::vector<uint8_t> Encode(const VrandReveal& m) {
+  Writer writer;
+  WriteHeader(writer, kTagVrandReveal);
+  writer.Hash(m.rnd);
+  writer.Blob(m.sig);
+  return writer.Take();
+}
+
+Result<VrandReveal> DecodeVrandReveal(const std::vector<uint8_t>& bytes) {
+  Reader reader(bytes);
+  SEP2P_RETURN_IF_ERROR(CheckHeader(reader, kTagVrandReveal));
+  VrandReveal m;
+  SEP2P_RETURN_IF_ERROR(reader.Hash(&m.rnd));
+  SEP2P_RETURN_IF_ERROR(reader.Blob(&m.sig));
+  SEP2P_RETURN_IF_ERROR(reader.ExpectEnd());
+  return m;
+}
+
+std::vector<uint8_t> Encode(const SlEngage& m) {
+  Writer writer;
+  WriteHeader(writer, kTagSlEngage);
+  writer.Blob(m.vrnd);
+  writer.Hash(m.point);
+  return writer.Take();
+}
+
+Result<SlEngage> DecodeSlEngage(const std::vector<uint8_t>& bytes) {
+  Reader reader(bytes);
+  SEP2P_RETURN_IF_ERROR(CheckHeader(reader, kTagSlEngage));
+  SlEngage m;
+  SEP2P_RETURN_IF_ERROR(reader.Blob(&m.vrnd));
+  SEP2P_RETURN_IF_ERROR(reader.Hash(&m.point));
+  SEP2P_RETURN_IF_ERROR(reader.ExpectEnd());
+  return m;
+}
+
+std::vector<uint8_t> Encode(const SlReveal& m) {
+  Writer writer;
+  WriteHeader(writer, kTagSlReveal);
+  writer.Hash(m.rnd);
+  writer.U32(static_cast<uint32_t>(m.candidates.size()));
+  for (const crypto::PublicKey& key : m.candidates) writer.Key(key);
+  return writer.Take();
+}
+
+Result<SlReveal> DecodeSlReveal(const std::vector<uint8_t>& bytes) {
+  Reader reader(bytes);
+  SEP2P_RETURN_IF_ERROR(CheckHeader(reader, kTagSlReveal));
+  SlReveal m;
+  SEP2P_RETURN_IF_ERROR(reader.Hash(&m.rnd));
+  uint32_t count = 0;
+  SEP2P_RETURN_IF_ERROR(reader.U32(&count));
+  if (count > wire::kMaxActors) {
+    return Status::InvalidArgument("msg: bad candidate count");
+  }
+  m.candidates.resize(count);
+  for (crypto::PublicKey& key : m.candidates) {
+    SEP2P_RETURN_IF_ERROR(reader.Key(&key));
+  }
+  SEP2P_RETURN_IF_ERROR(reader.ExpectEnd());
+  return m;
+}
+
+std::vector<uint8_t> Encode(const AttestRequest& m) {
+  Writer writer;
+  WriteHeader(writer, kTagAttestRequest);
+  writer.Hash(m.digest);
+  return writer.Take();
+}
+
+Result<AttestRequest> DecodeAttestRequest(const std::vector<uint8_t>& bytes) {
+  Reader reader(bytes);
+  SEP2P_RETURN_IF_ERROR(CheckHeader(reader, kTagAttestRequest));
+  AttestRequest m;
+  SEP2P_RETURN_IF_ERROR(reader.Hash(&m.digest));
+  SEP2P_RETURN_IF_ERROR(reader.ExpectEnd());
+  return m;
+}
+
+std::vector<uint8_t> Encode(const Attestation& m) {
+  Writer writer;
+  WriteHeader(writer, kTagAttestation);
+  writer.Cert(m.cert);
+  writer.Blob(m.sig);
+  return writer.Take();
+}
+
+Result<Attestation> DecodeAttestation(const std::vector<uint8_t>& bytes) {
+  Reader reader(bytes);
+  SEP2P_RETURN_IF_ERROR(CheckHeader(reader, kTagAttestation));
+  Attestation m;
+  SEP2P_RETURN_IF_ERROR(reader.Cert(&m.cert));
+  SEP2P_RETURN_IF_ERROR(reader.Blob(&m.sig));
+  SEP2P_RETURN_IF_ERROR(reader.ExpectEnd());
+  return m;
+}
+
+}  // namespace sep2p::core::msg

@@ -1,0 +1,96 @@
+// Typed protocol messages for the simulated message network.
+//
+// The selection protocol's remote steps — T→TL commit/reveal for RND_T
+// (§3.4) and S→SL engagement, commit/reveal over (RND_j, CL_j) and
+// attestation collection (§3.5) — travel over net::SimNetwork as the
+// byte payloads defined here. Encoding reuses the canonical wire
+// primitives of core/wire_format.h (big-endian, length-prefixed,
+// hard-capped), with the same magic as the artifact codecs and a
+// distinct tag per message type; decoding is strict and rejects
+// truncation, trailing bytes, wrong tags and absurd counts before any
+// cryptographic processing.
+
+#ifndef SEP2P_CORE_MESSAGES_H_
+#define SEP2P_CORE_MESSAGES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/certificate.h"
+#include "crypto/hash256.h"
+#include "util/status.h"
+
+namespace sep2p::core::msg {
+
+// T → TL: engage as a trusted participant of R1 (size rs1) and commit
+// to a random contribution.
+struct VrandInvite {
+  double rs1 = 0;
+  uint64_t timestamp = 0;
+};
+
+// TL → T and SL → S: commitment hash over the participant's secret.
+struct CommitReply {
+  crypto::Hash256 commitment;
+};
+
+// T → TL (L) and S → SL (L1): the full commitment list; receiving it
+// proves the sender fixed every commitment before any reveal.
+struct CommitList {
+  std::vector<crypto::Hash256> commitments;
+  uint64_t timestamp = 0;
+};
+
+// TL → T: revealed contribution plus the signature over (L, ts).
+struct VrandReveal {
+  crypto::Hash256 rnd;
+  crypto::Signature sig;
+};
+
+// S → SL: engage w.r.t. R2 around `point`; carries the wire-encoded
+// VerifiableRandom so the SL can verify RND_T independently.
+struct SlEngage {
+  std::vector<uint8_t> vrnd;  // wire::EncodeVerifiableRandom bytes
+  crypto::Hash256 point;
+};
+
+// SL → S: revealed (RND_j, CL_j) — the SL's random plus the part of its
+// node cache legitimate w.r.t. R3 centered on the setter point.
+struct SlReveal {
+  crypto::Hash256 rnd;
+  std::vector<crypto::PublicKey> candidates;
+};
+
+// S → SL: request the signature over `digest` (the VAL's SignedBytes
+// digest, or the shortage digest when R3 is underpopulated).
+struct AttestRequest {
+  crypto::Hash256 digest;
+};
+
+// SL → S: the SL's certificate plus its signature.
+struct Attestation {
+  crypto::Certificate cert;
+  crypto::Signature sig;
+};
+
+std::vector<uint8_t> Encode(const VrandInvite& m);
+std::vector<uint8_t> Encode(const CommitReply& m);
+std::vector<uint8_t> Encode(const CommitList& m);
+std::vector<uint8_t> Encode(const VrandReveal& m);
+std::vector<uint8_t> Encode(const SlEngage& m);
+std::vector<uint8_t> Encode(const SlReveal& m);
+std::vector<uint8_t> Encode(const AttestRequest& m);
+std::vector<uint8_t> Encode(const Attestation& m);
+
+Result<VrandInvite> DecodeVrandInvite(const std::vector<uint8_t>& bytes);
+Result<CommitReply> DecodeCommitReply(const std::vector<uint8_t>& bytes);
+Result<CommitList> DecodeCommitList(const std::vector<uint8_t>& bytes);
+Result<VrandReveal> DecodeVrandReveal(const std::vector<uint8_t>& bytes);
+Result<SlEngage> DecodeSlEngage(const std::vector<uint8_t>& bytes);
+Result<SlReveal> DecodeSlReveal(const std::vector<uint8_t>& bytes);
+Result<AttestRequest> DecodeAttestRequest(const std::vector<uint8_t>& bytes);
+Result<Attestation> DecodeAttestation(const std::vector<uint8_t>& bytes);
+
+}  // namespace sep2p::core::msg
+
+#endif  // SEP2P_CORE_MESSAGES_H_

@@ -65,6 +65,12 @@ double PC(int64_t k, uint64_t c, double rs) { return BinomialTail(k, c, rs); }
 
 double SolveRegionSizeForK(int64_t k, uint64_t c, double alpha) {
   if (PC(k, c, 1.0) <= alpha) return 1.0;
+  // Exact limits (the bisection below would otherwise return its grid
+  // floor of 1e-20 for constraints no region size can satisfy):
+  //  - k <= 0: PC = 1 for every rs, so only the empty region works.
+  //  - alpha <= 0 (and k <= c, or the full-ring check above fired):
+  //    PC > 0 for every rs > 0.
+  if (k <= 0 || alpha <= 0.0) return 0.0;
   // PC is monotonically increasing in rs; bisect on log10(rs).
   double lo = -20.0, hi = 0.0;  // rs in [1e-20, 1]
   for (int iter = 0; iter < 200; ++iter) {
@@ -81,6 +87,10 @@ double SolveRegionSizeForK(int64_t k, uint64_t c, double alpha) {
 
 double SolveRegionSizeForPopulation(int64_t m, uint64_t n, double alpha) {
   if (PL(m, n, 1.0) < 1.0 - alpha) return 1.0;  // unattainable; full ring
+  // Exact limits: m <= 0 nodes are found in any region (even an empty
+  // one), and alpha >= 1 demands nothing — both degenerate to rs = 0
+  // instead of the bisection's 1e-20 grid floor.
+  if (m <= 0 || alpha >= 1.0) return 0.0;
   double lo = -20.0, hi = 0.0;
   for (int iter = 0; iter < 200; ++iter) {
     double mid = (lo + hi) / 2;

@@ -36,13 +36,19 @@ double PL(int64_t m, uint64_t n, double rs);
 double PC(int64_t k, uint64_t c, double rs);
 
 // Largest region size rs such that PC(>= k, c, rs) <= alpha. Monotone
-// bisection; returns 1.0 when the constraint holds for the full ring
-// (e.g. k > c).
+// bisection on log10(rs); when the bisection lands on a point where
+// PC == alpha exactly, that point counts as satisfying the constraint
+// (<=), so the returned rs is the largest grid value with PC <= alpha.
+// Exact limits: 1.0 when the constraint holds for the full ring (e.g.
+// k > c, or alpha >= 1); 0.0 when no positive region size can satisfy
+// it (k <= 0, or alpha <= 0 with k <= c).
 double SolveRegionSizeForK(int64_t k, uint64_t c, double alpha);
 
 // Smallest region size rs such that PL(>= m, n, rs) >= 1 - alpha, i.e.
 // a region that contains m nodes "always". Used to size the baseline
-// strategies' verifier tolerance and R3 sanity checks.
+// strategies' verifier tolerance and R3 sanity checks. Exact limits:
+// 1.0 when even the full ring cannot reach the target (m > n with
+// alpha < 1); 0.0 when any region qualifies (m <= 0 or alpha >= 1).
 double SolveRegionSizeForPopulation(int64_t m, uint64_t n, double alpha);
 
 }  // namespace sep2p::core

@@ -9,11 +9,27 @@ void TriggerRateLimiter::Prune(std::deque<uint64_t>& times,
   }
 }
 
+void TriggerRateLimiter::Sweep(uint64_t now) {
+  for (auto it = history_.begin(); it != history_.end();) {
+    Prune(it->second, now);
+    if (it->second.empty()) {
+      it = history_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  last_sweep_ = now;
+}
+
 Status TriggerRateLimiter::Allow(const dht::NodeId& trigger,
                                  uint64_t timestamp) {
+  if (timestamp >= last_sweep_ + window_) Sweep(timestamp);
   std::deque<uint64_t>& times = history_[trigger];
   Prune(times, timestamp);
   if (static_cast<int>(times.size()) >= max_triggers_) {
+    // A zero quota denies the probe with nothing remembered — don't let
+    // the lookup above leave an empty entry behind.
+    if (times.empty()) history_.erase(trigger);
     return Status::PermissionDenied(
         "rate limiter: trigger quota exhausted for this window");
   }
@@ -26,6 +42,12 @@ int TriggerRateLimiter::PendingCount(const dht::NodeId& trigger,
   auto it = history_.find(trigger);
   if (it == history_.end()) return 0;
   Prune(it->second, now);
+  if (it->second.empty()) {
+    // Forget triggers whose window drained — otherwise every NodeId ever
+    // seen keeps an empty deque alive and the map grows without bound.
+    history_.erase(it);
+    return 0;
+  }
   return static_cast<int>(it->second.size());
 }
 

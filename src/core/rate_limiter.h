@@ -35,11 +35,21 @@ class TriggerRateLimiter {
   // `trigger` (after pruning at `now`).
   int PendingCount(const dht::NodeId& trigger, uint64_t now);
 
+  // Number of triggers with at least one remembered attempt. Bounded:
+  // a trigger whose window empties is forgotten entirely, so a monitor
+  // that sees many one-off triggers does not grow without bound.
+  size_t TrackedTriggers() const { return history_.size(); }
+
  private:
   void Prune(std::deque<uint64_t>& times, uint64_t now) const;
+  // Drops every trigger whose remembered attempts all fall outside the
+  // window at `now`. Runs amortized once per window from Allow, so
+  // departed (or Sybil) trigger ids cannot accumulate forever.
+  void Sweep(uint64_t now);
 
   int max_triggers_;
   uint64_t window_;
+  uint64_t last_sweep_ = 0;
   std::map<dht::NodeId, std::deque<uint64_t>> history_;
 };
 

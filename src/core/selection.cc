@@ -1,8 +1,11 @@
 #include "core/selection.h"
 
 #include <algorithm>
+#include <map>
 #include <utility>
 
+#include "core/messages.h"
+#include "core/wire.h"
 #include "crypto/sha256.h"
 #include "dht/region.h"
 
@@ -84,6 +87,119 @@ std::vector<std::pair<crypto::PublicKey, uint32_t>> BuildActorListIndexed(
   return out;
 }
 
+// Message-level S→SL engagement (steps 3-7 over net::SimNetwork): S
+// engages k SLs with replacement of unresponsive candidates, collects
+// commitments over (RND_j, CL_j), broadcasts the commitment list L1 and
+// collects the reveals. Only an unreachable quorum or an SL lost after
+// its commitment is fixed aborts (kUnavailable → restart upstream).
+struct SlEngagement {
+  std::vector<uint32_t> members;
+  std::vector<std::vector<uint32_t>> cl_indices;
+  std::vector<std::vector<crypto::PublicKey>> cl_keys;
+  std::vector<crypto::Hash256> rnd_j;
+};
+
+Result<SlEngagement> EngageSlsOverNetwork(
+    const ProtocolContext& ctx, net::SimNetwork& network, util::Rng& rng,
+    uint32_t setter, const std::vector<uint32_t>& sl_candidates, int k,
+    const std::vector<uint32_t>& r3_nodes, const crypto::Hash256& p_hash,
+    const VerifiableRandom& vrnd, bool colluding_sls_hide_honest) {
+  const dht::Directory& dir = *ctx.directory;
+
+  // Per-SL state (CL_j, RND_j, commitment), computed once per engaged
+  // node: handlers are idempotent, so a retransmitted request must see
+  // the same answer it saw the first time.
+  struct SlState {
+    std::vector<uint32_t> cl_indices;
+    std::vector<crypto::PublicKey> cl_keys;
+    crypto::Hash256 rnd;
+    crypto::Hash256 commitment;
+  };
+  std::map<uint32_t, SlState> state_by_sl;
+  auto sl_state = [&](uint32_t sl_index) -> const SlState& {
+    auto it = state_by_sl.find(sl_index);
+    if (it != state_by_sl.end()) return it->second;
+    SlState state;
+    const dht::NodeRecord& sl = dir.node(sl_index);
+    dht::Region coverage = dht::Region::Centered(sl.pos, ctx.rs3);
+    const bool hide = colluding_sls_hide_honest && sl.colluding;
+    for (uint32_t idx : r3_nodes) {
+      const dht::NodeRecord& candidate = dir.node(idx);
+      if (!coverage.Contains(candidate.pos)) continue;
+      if (hide && !candidate.colluding) continue;  // covert deviation
+      state.cl_indices.push_back(idx);
+      state.cl_keys.push_back(candidate.pub);
+    }
+    state.rnd = crypto::Hash256(crypto::Digest(rng.NextBytes32()));
+    // The commitment binds RND_j AND CL_j, so neither can change after
+    // the commitment list is broadcast.
+    std::vector<uint8_t> bound(state.rnd.bytes().begin(),
+                               state.rnd.bytes().end());
+    for (const crypto::PublicKey& key : state.cl_keys) {
+      bound.insert(bound.end(), key.begin(), key.end());
+    }
+    state.commitment = crypto::Hash256::Of(bound.data(), bound.size());
+    return state_by_sl.emplace(sl_index, std::move(state)).first->second;
+  };
+
+  // Engagement round: VRND + setter point out, commitments back.
+  const std::vector<uint8_t> engage_bytes = msg::Encode(
+      msg::SlEngage{wire::EncodeVerifiableRandom(vrnd), p_hash});
+  net::SimNetwork::QuorumResult quorum = network.EngageQuorum(
+      setter, sl_candidates, k, [&](uint32_t) { return engage_bytes; },
+      [&](uint32_t server, const std::vector<uint8_t>& request)
+          -> std::optional<std::vector<uint8_t>> {
+        if (!msg::DecodeSlEngage(request).ok()) return std::nullopt;
+        return msg::Encode(msg::CommitReply{sl_state(server).commitment});
+      });
+  if (!quorum.ok) {
+    return Status::Unavailable("selection: SL quorum unreachable");
+  }
+
+  // Commitment list L1 out, reveals (RND_j, CL_j) back.
+  msg::CommitList l1;
+  l1.timestamp = ctx.now;
+  l1.commitments.resize(k);
+  for (int j = 0; j < k; ++j) {
+    Result<msg::CommitReply> commit = msg::DecodeCommitReply(quorum.replies[j]);
+    if (!commit.ok()) return commit.status();
+    l1.commitments[j] = commit->commitment;
+  }
+  const std::vector<uint8_t> l1_bytes = msg::Encode(l1);
+  std::vector<net::SimNetwork::RpcResult> reveals = network.CallMany(
+      setter, quorum.members, std::vector<std::vector<uint8_t>>(k, l1_bytes),
+      [&](uint32_t server, const std::vector<uint8_t>& request)
+          -> std::optional<std::vector<uint8_t>> {
+        Result<msg::CommitList> list = msg::DecodeCommitList(request);
+        if (!list.ok()) return std::nullopt;
+        const SlState& state = sl_state(server);
+        if (std::find(list->commitments.begin(), list->commitments.end(),
+                      state.commitment) == list->commitments.end()) {
+          return std::nullopt;  // own commitment missing: refuse to reveal
+        }
+        return msg::Encode(msg::SlReveal{state.rnd, state.cl_keys});
+      });
+
+  SlEngagement out;
+  out.members = quorum.members;
+  out.cl_indices.resize(k);
+  out.cl_keys.resize(k);
+  out.rnd_j.resize(k);
+  for (int j = 0; j < k; ++j) {
+    if (!reveals[j].ok) {
+      return Status::Unavailable("selection: SL failed during reveal");
+    }
+    Result<msg::SlReveal> reveal = msg::DecodeSlReveal(reveals[j].reply);
+    if (!reveal.ok()) return reveal.status();
+    out.rnd_j[j] = reveal->rnd;
+    // Keys come off the wire; the directory indices are the simulator's
+    // own bookkeeping for the same entries (identical order).
+    out.cl_keys[j] = std::move(reveal->candidates);
+    out.cl_indices[j] = sl_state(quorum.members[j]).cl_indices;
+  }
+  return out;
+}
+
 }  // namespace
 
 crypto::Hash256 VerifiableActorList::SetterPoint() const {
@@ -143,8 +259,8 @@ Result<SelectionProtocol::Outcome> SelectionProtocol::Run(
 
   // --- Step 1: verifiable random generation around T.
   VrandProtocol vrand(ctx_);
-  Result<VrandProtocol::Outcome> vrand_outcome =
-      vrand.Generate(trigger_index, rng, options.failures);
+  Result<VrandProtocol::Outcome> vrand_outcome = vrand.Generate(
+      trigger_index, rng, options.failures, options.network);
   if (!vrand_outcome.ok()) return vrand_outcome.status();
 
   Outcome outcome;
@@ -167,6 +283,9 @@ Result<SelectionProtocol::Outcome> SelectionProtocol::Run(
     Result<dht::RouteResult> route = ctx_.overlay->RouteKey(route_from, p_hash);
     if (!route.ok()) return route.status();
     outcome.cost.Then(net::Cost::Step(0, route->hops));
+    if (options.network != nullptr) {
+      options.network->AdvanceRoute(route->hops);
+    }
     const uint32_t setter = route->dest_index;
 
     // --- Step 3: S engages k legitimate nodes w.r.t. R2 centered on p.
@@ -189,7 +308,6 @@ Result<SelectionProtocol::Outcome> SelectionProtocol::Run(
       continue;
     }
     rng.Shuffle(sl_candidates);
-    sl_candidates.resize(k);
 
     // --- Steps 4-7: commit/reveal over (RND_j, CL_j).
     // CL_j = entries of SL_j's node cache that are legitimate w.r.t. R3
@@ -200,25 +318,41 @@ Result<SelectionProtocol::Outcome> SelectionProtocol::Run(
     // query serves all k intersections below (it used to be recomputed
     // k+1 times per attempt).
     const std::vector<uint32_t> r3_nodes = dir.NodesInRegion(r3);
+    std::vector<uint32_t> sl_members;
     std::vector<std::vector<uint32_t>> cl_indices(k);
     std::vector<std::vector<crypto::PublicKey>> cl_keys(k);
     std::vector<crypto::Hash256> rnd_j(k);
-    for (int j = 0; j < k; ++j) {
-      if (options.failures != nullptr && options.failures->ShouldFail()) {
-        return Status::Unavailable("selection: SL failed mid-protocol");
+    if (options.network != nullptr) {
+      // Message-level path: candidates beyond the first k serve as
+      // spares for SLs declared failed during engagement.
+      Result<SlEngagement> engagement = EngageSlsOverNetwork(
+          ctx_, *options.network, rng, setter, sl_candidates, k, r3_nodes,
+          p_hash, vrand_outcome->vrnd, options.colluding_sls_hide_honest);
+      if (!engagement.ok()) return engagement.status();
+      sl_members = std::move(engagement->members);
+      cl_indices = std::move(engagement->cl_indices);
+      cl_keys = std::move(engagement->cl_keys);
+      rnd_j = std::move(engagement->rnd_j);
+    } else {
+      sl_candidates.resize(k);
+      sl_members = sl_candidates;
+      for (int j = 0; j < k; ++j) {
+        if (options.failures != nullptr && options.failures->ShouldFail()) {
+          return Status::Unavailable("selection: SL failed mid-protocol");
+        }
+        const dht::NodeRecord& sl = dir.node(sl_members[j]);
+        dht::Region coverage = dht::Region::Centered(sl.pos, ctx_.rs3);
+        const bool hide =
+            options.colluding_sls_hide_honest && sl.colluding;
+        for (uint32_t idx : r3_nodes) {
+          const dht::NodeRecord& candidate = dir.node(idx);
+          if (!coverage.Contains(candidate.pos)) continue;
+          if (hide && !candidate.colluding) continue;  // covert deviation
+          cl_indices[j].push_back(idx);
+          cl_keys[j].push_back(candidate.pub);
+        }
+        rnd_j[j] = crypto::Hash256(crypto::Digest(rng.NextBytes32()));
       }
-      const dht::NodeRecord& sl = dir.node(sl_candidates[j]);
-      dht::Region coverage = dht::Region::Centered(sl.pos, ctx_.rs3);
-      const bool hide =
-          options.colluding_sls_hide_honest && sl.colluding;
-      for (uint32_t idx : r3_nodes) {
-        const dht::NodeRecord& candidate = dir.node(idx);
-        if (!coverage.Contains(candidate.pos)) continue;
-        if (hide && !candidate.colluding) continue;  // covert deviation
-        cl_indices[j].push_back(idx);
-        cl_keys[j].push_back(candidate.pub);
-      }
-      rnd_j[j] = crypto::Hash256(crypto::Digest(rng.NextBytes32()));
     }
 
     // Messages for steps 3-7: five rounds of k parallel messages
@@ -245,10 +379,37 @@ Result<SelectionProtocol::Outcome> SelectionProtocol::Run(
       std::vector<uint8_t> shortage(p_hash.bytes().begin(),
                                     p_hash.bytes().end());
       shortage.push_back('R');
-      for (int j = 0; j < k; ++j) {
-        Result<crypto::Signature> att =
-            ctx_.SignAs(sl_candidates[j], shortage);
-        if (!att.ok()) return att.status();
+      if (options.network != nullptr) {
+        const std::vector<uint8_t> request_bytes = msg::Encode(
+            msg::AttestRequest{
+                crypto::Hash256::Of(shortage.data(), shortage.size())});
+        std::vector<net::SimNetwork::RpcResult> results =
+            options.network->CallMany(
+                setter, sl_members,
+                std::vector<std::vector<uint8_t>>(k, request_bytes),
+                [&](uint32_t server, const std::vector<uint8_t>& request)
+                    -> std::optional<std::vector<uint8_t>> {
+                  if (!msg::DecodeAttestRequest(request).ok()) {
+                    return std::nullopt;
+                  }
+                  Result<crypto::Signature> sig =
+                      ctx_.SignAs(server, shortage);
+                  if (!sig.ok()) return std::nullopt;
+                  return msg::Encode(msg::Attestation{
+                      dir.node(server).cert, std::move(sig.value())});
+                });
+        for (int j = 0; j < k; ++j) {
+          if (!results[j].ok) {
+            return Status::Unavailable(
+                "selection: SL failed during shortage attestation");
+          }
+        }
+      } else {
+        for (int j = 0; j < k; ++j) {
+          Result<crypto::Signature> att =
+              ctx_.SignAs(sl_members[j], shortage);
+          if (!att.ok()) return att.status();
+        }
       }
       outcome.cost.Then(
           net::Cost::ParIdentical(net::Cost::Step(1, 1), k));
@@ -339,22 +500,57 @@ Result<SelectionProtocol::Outcome> SelectionProtocol::Run(
     }
 
     const std::vector<uint8_t> signed_bytes = val.SignedBytes();
-    for (int j = 0; j < k; ++j) {
-      if (options.failures != nullptr && options.failures->ShouldFail()) {
-        return Status::Unavailable("selection: SL failed before signing");
+    if (options.network != nullptr) {
+      // Attestation collection round: request + signed attestation per
+      // SL, in parallel. The SLs are committed to this AL, so a loss
+      // here cannot be patched by substitution — S restarts instead.
+      const std::vector<uint8_t> request_bytes =
+          msg::Encode(msg::AttestRequest{crypto::Hash256::Of(
+              signed_bytes.data(), signed_bytes.size())});
+      std::vector<net::SimNetwork::RpcResult> results =
+          options.network->CallMany(
+              setter, sl_members,
+              std::vector<std::vector<uint8_t>>(k, request_bytes),
+              [&](uint32_t server, const std::vector<uint8_t>& request)
+                  -> std::optional<std::vector<uint8_t>> {
+                if (!msg::DecodeAttestRequest(request).ok()) {
+                  return std::nullopt;
+                }
+                Result<crypto::Signature> sig =
+                    ctx_.SignAs(server, signed_bytes);
+                if (!sig.ok()) return std::nullopt;
+                return msg::Encode(msg::Attestation{
+                    dir.node(server).cert, std::move(sig.value())});
+              });
+      for (int j = 0; j < k; ++j) {
+        if (!results[j].ok) {
+          return Status::Unavailable("selection: SL failed before signing");
+        }
+        Result<msg::Attestation> att =
+            msg::DecodeAttestation(results[j].reply);
+        if (!att.ok()) return att.status();
+        val.attestations.push_back(
+            {std::move(att->cert), std::move(att->sig)});
+        sl_costs[j].Then(net::Cost::Step(1, 1));  // sign + send to S
       }
-      Result<crypto::Signature> sig =
-          ctx_.SignAs(sl_candidates[j], signed_bytes);
-      if (!sig.ok()) return sig.status();
-      val.attestations.push_back(
-          {dir.node(sl_candidates[j]).cert, std::move(sig.value())});
-      sl_costs[j].Then(net::Cost::Step(1, 1));  // sign + send to S
+    } else {
+      for (int j = 0; j < k; ++j) {
+        if (options.failures != nullptr && options.failures->ShouldFail()) {
+          return Status::Unavailable("selection: SL failed before signing");
+        }
+        Result<crypto::Signature> sig =
+            ctx_.SignAs(sl_members[j], signed_bytes);
+        if (!sig.ok()) return sig.status();
+        val.attestations.push_back(
+            {dir.node(sl_members[j]).cert, std::move(sig.value())});
+        sl_costs[j].Then(net::Cost::Step(1, 1));  // sign + send to S
+      }
     }
     outcome.cost.Then(net::Cost::Par(sl_costs));
 
     outcome.val = std::move(val);
     outcome.setter_index = setter;
-    outcome.sl_indices = sl_candidates;
+    outcome.sl_indices = std::move(sl_members);
     return outcome;
   }
 }

@@ -31,6 +31,7 @@
 #include "core/vrand.h"
 #include "net/cost.h"
 #include "net/failure.h"
+#include "net/sim_network.h"
 #include "util/rng.h"
 
 namespace sep2p::core {
@@ -68,6 +69,19 @@ struct SelectionOptions {
   // assert the final AL is unchanged.
   bool colluding_sls_hide_honest = false;
   net::FailureModel* failures = nullptr;
+  // Message-level execution: when set, every remote step (the T→TL
+  // commit/reveal inside vrand, DHT routing to S, and the S→SL
+  // engagement, commit/reveal and attestation rounds) travels as typed
+  // messages (core/messages.h) over this simulated network, with
+  // per-RPC timeout/retry/backoff. An SL or TL that exhausts its retry
+  // budget during engagement is declared failed and replaced by a spare
+  // candidate; kUnavailable (→ restart with a fresh RND_T) is reserved
+  // for genuinely unreachable quorums and participants lost after their
+  // commitment is fixed. `failures` is ignored in this mode. The
+  // network must be exclusive to the calling trial (never shared across
+  // threads); virtual-clock latency and retry counts accumulate in its
+  // Stats.
+  net::SimNetwork* network = nullptr;
   // SIMULATOR-ONLY hook (paper §4.1: "the simulator allows to force
   // choosing a given Execution Setter by artificially fixing the RND_T
   // value"): overrides hash(RND_T) as the initial setter point so every

@@ -1,7 +1,9 @@
 #include "core/vrand.h"
 
 #include <algorithm>
+#include <map>
 
+#include "core/messages.h"
 #include "crypto/sha256.h"
 #include "dht/region.h"
 
@@ -30,8 +32,8 @@ std::vector<uint8_t> VerifiableRandom::SignedBytes() const {
 }
 
 Result<VrandProtocol::Outcome> VrandProtocol::Generate(
-    uint32_t trigger_index, util::Rng& rng,
-    net::FailureModel* failures) const {
+    uint32_t trigger_index, util::Rng& rng, net::FailureModel* failures,
+    net::SimNetwork* network) const {
   const dht::Directory& dir = *ctx_.directory;
   const dht::NodeRecord& trigger = dir.node(trigger_index);
 
@@ -57,6 +59,10 @@ Result<VrandProtocol::Outcome> VrandProtocol::Generate(
     return Status::ResourceExhausted("vrand: fewer than k legitimate nodes");
   }
   rng.Shuffle(candidates);
+  if (network != nullptr) {
+    return GenerateOverNetwork(trigger_index, rng, *network, choice,
+                               candidates);
+  }
   candidates.resize(k);
 
   Outcome outcome;
@@ -100,6 +106,116 @@ Result<VrandProtocol::Outcome> VrandProtocol::Generate(
     cost.Then(net::Cost::ParIdentical(net::Cost::Step(0, 1), k));
   }
   cost.Then(net::Cost::ParIdentical(net::Cost::Step(1, 0), k));  // TL signs
+  Result<net::Cost> check = VerifyVrand(ctx_, vrnd);
+  if (!check.ok()) return check.status();
+  cost.Then(check.value());
+  outcome.cost = cost;
+  return outcome;
+}
+
+Result<VrandProtocol::Outcome> VrandProtocol::GenerateOverNetwork(
+    uint32_t trigger_index, util::Rng& rng, net::SimNetwork& network,
+    const KTable::Choice& choice,
+    const std::vector<uint32_t>& candidates) const {
+  const dht::Directory& dir = *ctx_.directory;
+  const int k = choice.entry.k;
+  const double rs1 = choice.entry.rs;
+
+  // Each TL draws RND_i once per engagement; retransmitted invites must
+  // reuse it (handlers are idempotent), so draws are cached per node.
+  std::map<uint32_t, crypto::Hash256> rnd_by_tl;
+  auto tl_rnd = [&](uint32_t tl) -> const crypto::Hash256& {
+    auto it = rnd_by_tl.find(tl);
+    if (it == rnd_by_tl.end()) {
+      it = rnd_by_tl
+               .emplace(tl, crypto::Hash256(crypto::Digest(rng.NextBytes32())))
+               .first;
+    }
+    return it->second;
+  };
+
+  // Rounds 1-2: invite every TL, collect commitments. A TL whose RPC
+  // exhausts the retry budget is declared failed and replaced by a
+  // spare R1 candidate; only a dry candidate list aborts.
+  const std::vector<uint8_t> invite_bytes =
+      msg::Encode(msg::VrandInvite{rs1, ctx_.now});
+  net::SimNetwork::QuorumResult quorum = network.EngageQuorum(
+      trigger_index, candidates, k,
+      [&](uint32_t) { return invite_bytes; },
+      [&](uint32_t server, const std::vector<uint8_t>& request)
+          -> std::optional<std::vector<uint8_t>> {
+        if (!msg::DecodeVrandInvite(request).ok()) return std::nullopt;
+        const crypto::Hash256& rnd = tl_rnd(server);
+        crypto::Hash256 commitment =
+            crypto::Hash256::Of(rnd.bytes().data(), rnd.bytes().size());
+        return msg::Encode(msg::CommitReply{commitment});
+      });
+  if (!quorum.ok) {
+    return Status::Unavailable("vrand: TL quorum unreachable");
+  }
+
+  Outcome outcome;
+  outcome.tl_indices = quorum.members;
+  VerifiableRandom& vrnd = outcome.vrnd;
+  vrnd.cert_t = dir.node(trigger_index).cert;
+  vrnd.timestamp = ctx_.now;
+  vrnd.rs1 = rs1;
+  vrnd.participants.resize(k);
+
+  msg::CommitList commit_list;
+  commit_list.timestamp = ctx_.now;
+  commit_list.commitments.resize(k);
+  for (int i = 0; i < k; ++i) {
+    Result<msg::CommitReply> commit = msg::DecodeCommitReply(quorum.replies[i]);
+    if (!commit.ok()) return commit.status();
+    VrandParticipant& p = vrnd.participants[i];
+    p.cert = dir.node(quorum.members[i]).cert;
+    p.rnd = tl_rnd(quorum.members[i]);
+    commit_list.commitments[i] = commit->commitment;
+  }
+
+  // Rounds 3-4: T broadcasts L; each TL checks its commitment is in L,
+  // then reveals RND_i and signs (L, ts). The commitments are fixed
+  // now, so a TL lost here cannot be substituted — the run aborts and
+  // the caller restarts with a fresh RND_T.
+  const std::vector<uint8_t> signed_bytes = vrnd.SignedBytes();
+  const std::vector<uint8_t> list_bytes = msg::Encode(commit_list);
+  std::vector<net::SimNetwork::RpcResult> reveals = network.CallMany(
+      trigger_index, quorum.members,
+      std::vector<std::vector<uint8_t>>(k, list_bytes),
+      [&](uint32_t server, const std::vector<uint8_t>& request)
+          -> std::optional<std::vector<uint8_t>> {
+        Result<msg::CommitList> list = msg::DecodeCommitList(request);
+        if (!list.ok()) return std::nullopt;
+        const crypto::Hash256& rnd = tl_rnd(server);
+        crypto::Hash256 own =
+            crypto::Hash256::Of(rnd.bytes().data(), rnd.bytes().size());
+        if (std::find(list->commitments.begin(), list->commitments.end(),
+                      own) == list->commitments.end()) {
+          return std::nullopt;  // own commitment missing: refuse to reveal
+        }
+        Result<crypto::Signature> sig = ctx_.SignAs(server, signed_bytes);
+        if (!sig.ok()) return std::nullopt;
+        return msg::Encode(msg::VrandReveal{rnd, std::move(sig.value())});
+      });
+  for (int i = 0; i < k; ++i) {
+    if (!reveals[i].ok) {
+      return Status::Unavailable("vrand: TL failed during reveal");
+    }
+    Result<msg::VrandReveal> reveal = msg::DecodeVrandReveal(reveals[i].reply);
+    if (!reveal.ok()) return reveal.status();
+    vrnd.participants[i].rnd = reveal->rnd;
+    vrnd.participants[i].sig = std::move(reveal->sig);
+  }
+
+  // Cost model: identical *logical* rounds as the direct path (4 rounds
+  // of k parallel messages, one signature per TL, T's final check);
+  // retransmissions show up in the network's Stats, not here.
+  net::Cost cost;
+  for (int round = 0; round < 4; ++round) {
+    cost.Then(net::Cost::ParIdentical(net::Cost::Step(0, 1), k));
+  }
+  cost.Then(net::Cost::ParIdentical(net::Cost::Step(1, 0), k));
   Result<net::Cost> check = VerifyVrand(ctx_, vrnd);
   if (!check.ok()) return check.status();
   cost.Then(check.value());

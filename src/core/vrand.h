@@ -29,6 +29,7 @@
 #include "crypto/hash256.h"
 #include "net/cost.h"
 #include "net/failure.h"
+#include "net/sim_network.h"
 #include "util/rng.h"
 
 namespace sep2p::core {
@@ -69,10 +70,26 @@ class VrandProtocol {
   // choice and the TLs' random contributions. If `failures` is non-null,
   // each participant step may fail, aborting the run with kUnavailable
   // (the caller restarts, as in the paper).
+  //
+  // If `network` is non-null, the T→TL commit/reveal rounds travel as
+  // typed messages (core/messages.h) over the simulated network with
+  // per-RPC timeout/retry/backoff: a TL that exhausts the retry budget
+  // during engagement is declared failed and replaced by a spare R1
+  // candidate; only an unreachable quorum (or a TL lost after its
+  // commitment is fixed) aborts with kUnavailable. `failures` is ignored
+  // in that mode — crash and loss behaviour comes from the network.
   Result<Outcome> Generate(uint32_t trigger_index, util::Rng& rng,
-                           net::FailureModel* failures = nullptr) const;
+                           net::FailureModel* failures = nullptr,
+                           net::SimNetwork* network = nullptr) const;
 
  private:
+  // Message-level path: TL engagement with replacement, then the
+  // commit-list/reveal round, all over `network`.
+  Result<Outcome> GenerateOverNetwork(
+      uint32_t trigger_index, util::Rng& rng, net::SimNetwork& network,
+      const KTable::Choice& choice,
+      const std::vector<uint32_t>& candidates) const;
+
   const ProtocolContext& ctx_;
 };
 

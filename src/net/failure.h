@@ -6,7 +6,17 @@
 // involves a remote participant; a failure of a TL/SL/S aborts the run,
 // which must then restart with a fresh RND_T — exactly the paper's
 // described behaviour. The model is also used by the churn simulator
-// (node/churn.h) for Figure 8.
+// (node/churn.h) for Figure 8. For message-level failure injection
+// (latency, drops, crash schedules) see net::SimNetwork, which subsumes
+// this coin flip.
+//
+// Thread contract: ShouldFail() mutates the internal Rng, so a
+// FailureModel instance must be confined to one thread. Experiment
+// harnesses construct one PER TRIAL, seeded from the trial's SplitMix64
+// stream (sim/trial_runner.h), never sharing an instance across
+// TrialRunner shards — that keeps results bit-identical for any thread
+// count AND data-race free (covered by the TSan build's
+// trial-runner tests).
 
 #ifndef SEP2P_NET_FAILURE_H_
 #define SEP2P_NET_FAILURE_H_

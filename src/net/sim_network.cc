@@ -1,0 +1,218 @@
+#include "net/sim_network.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sep2p::net {
+
+SimNetwork::SimNetwork(uint32_t node_count, const LinkModel& link,
+                       const RetryPolicy& retry, uint64_t seed)
+    : link_(link), retry_(retry), rng_(seed), endpoints_(node_count) {}
+
+void SimNetwork::CrashAt(uint32_t node, uint64_t at_us) {
+  endpoints_[node].crash_at_us =
+      std::min(endpoints_[node].crash_at_us, at_us);
+}
+
+bool SimNetwork::IsUp(uint32_t node, uint64_t at_us) const {
+  return at_us < endpoints_[node].crash_at_us;
+}
+
+uint64_t SimNetwork::SampleLatencyUs() {
+  uint64_t latency = link_.base_latency_us;
+  if (link_.jitter_mean_us > 0) {
+    // Exponential jitter: -mean * ln(1 - U), U in [0, 1).
+    const double u = rng_.NextDouble();
+    latency += static_cast<uint64_t>(
+        -static_cast<double>(link_.jitter_mean_us) * std::log1p(-u));
+  }
+  return latency;
+}
+
+bool SimNetwork::StepCrash(uint32_t node, uint64_t at_us) {
+  if (step_crash_probability_ <= 0) return false;
+  if (!rng_.NextBool(step_crash_probability_)) return false;
+  CrashAt(node, at_us);
+  ++stats_.step_crashes;
+  return true;
+}
+
+void SimNetwork::AdvanceRoute(int hops) {
+  for (int h = 0; h < hops; ++h) {
+    ++stats_.messages_sent;
+    ++stats_.messages_delivered;
+    now_us_ += SampleLatencyUs();
+  }
+}
+
+std::optional<uint64_t> SimNetwork::Transmit(
+    uint32_t from, uint32_t to, const std::vector<uint8_t>& payload,
+    uint64_t depart_us, uint64_t* seq_out) {
+  ++stats_.messages_sent;
+  stats_.bytes_sent += payload.size();
+  if (link_.drop_probability > 0 && rng_.NextBool(link_.drop_probability)) {
+    ++stats_.messages_dropped;
+    return std::nullopt;
+  }
+  const uint64_t at_us = depart_us + SampleLatencyUs();
+  if (!IsUp(to, at_us)) {
+    // Destination dead on arrival: the bytes evaporate like a drop.
+    ++stats_.messages_dropped;
+    return std::nullopt;
+  }
+  Delivery d;
+  d.at_us = at_us;
+  d.seq = next_seq_++;
+  d.from = from;
+  d.to = to;
+  d.payload = payload;
+  if (seq_out != nullptr) *seq_out = d.seq;
+  in_flight_.push(std::move(d));
+  return at_us;
+}
+
+void SimNetwork::AdvanceTo(uint64_t at_us) {
+  while (!in_flight_.empty() && in_flight_.top().at_us <= at_us) {
+    // priority_queue::top is const; the pop invalidates it anyway, so a
+    // copy is the safe move here (payloads are small protocol messages).
+    Delivery d = in_flight_.top();
+    in_flight_.pop();
+    ++stats_.messages_delivered;
+    endpoints_[d.to].inbox.push_back(std::move(d));
+  }
+}
+
+SimNetwork::RpcResult SimNetwork::Call(uint32_t client, uint32_t server,
+                                       const std::vector<uint8_t>& request,
+                                       const Handler& handler) {
+  RpcResult result;
+  uint64_t backoff = retry_.backoff_base_us;
+  for (int attempt = 1; attempt <= retry_.max_attempts; ++attempt) {
+    result.attempts = attempt;
+    const uint64_t depart = now_us_;
+    const uint64_t deadline = depart + retry_.timeout_us;
+
+    std::optional<uint64_t> reply_at;
+    uint64_t reply_seq = 0;
+    std::optional<uint64_t> req_at =
+        Transmit(client, server, request, depart, nullptr);
+    if (req_at.has_value() && !StepCrash(server, *req_at)) {
+      // The server consumes the request from its inbox at arrival...
+      AdvanceTo(*req_at);
+      endpoints_[server].inbox.clear();
+      // ...handles it (idempotent; retransmissions re-invoke it), and
+      // replies after its processing delay.
+      std::optional<std::vector<uint8_t>> reply = handler(server, request);
+      if (reply.has_value()) {
+        reply_at = Transmit(server, client, *reply,
+                            *req_at + link_.process_us, &reply_seq);
+      }
+    }
+
+    if (reply_at.has_value() && *reply_at <= deadline) {
+      now_us_ = *reply_at;
+      AdvanceTo(now_us_);
+      // Consume the matching reply; anything else sitting in the inbox
+      // is a stale reply from an abandoned attempt or parallel branch.
+      std::deque<Delivery>& inbox = endpoints_[client].inbox;
+      for (Delivery& d : inbox) {
+        if (d.seq == reply_seq) {
+          result.ok = true;
+          result.reply = std::move(d.payload);
+          break;
+        }
+      }
+      stats_.late_replies += inbox.size() - 1;
+      inbox.clear();
+      return result;
+    }
+
+    ++stats_.timeouts;
+    now_us_ = deadline;
+    if (attempt < retry_.max_attempts) {
+      ++stats_.retries;
+      uint64_t wait = backoff;
+      if (retry_.jitter_fraction > 0) {
+        wait += static_cast<uint64_t>(static_cast<double>(backoff) *
+                                      retry_.jitter_fraction *
+                                      rng_.NextDouble());
+      }
+      now_us_ += wait;
+      backoff = static_cast<uint64_t>(static_cast<double>(backoff) *
+                                      retry_.backoff_factor);
+    }
+  }
+  ++stats_.rpc_failures;
+  return result;
+}
+
+std::vector<SimNetwork::RpcResult> SimNetwork::CallMany(
+    uint32_t client, const std::vector<uint32_t>& servers,
+    const std::vector<std::vector<uint8_t>>& requests,
+    const Handler& handler) {
+  const uint64_t start = now_us_;
+  uint64_t end = start;
+  std::vector<RpcResult> results;
+  results.reserve(servers.size());
+  for (size_t i = 0; i < servers.size(); ++i) {
+    now_us_ = start;  // branches run in parallel from the same instant
+    results.push_back(Call(client, servers[i], requests[i], handler));
+    end = std::max(end, now_us_);
+  }
+  now_us_ = end;  // the round completes with its slowest branch
+  return results;
+}
+
+SimNetwork::QuorumResult SimNetwork::EngageQuorum(
+    uint32_t client, const std::vector<uint32_t>& candidates, int k,
+    const std::function<std::vector<uint8_t>(uint32_t)>& make_request,
+    const Handler& handler) {
+  QuorumResult q;
+  if (static_cast<int>(candidates.size()) < k) return q;
+  const uint64_t retries_before = stats_.retries;
+  q.members.assign(candidates.begin(), candidates.begin() + k);
+  q.replies.resize(k);
+  size_t next = static_cast<size_t>(k);
+
+  // Wave 1 engages the first k candidates in parallel; each later wave
+  // re-engages only the slots whose member was declared failed, with
+  // the next spare substituted in.
+  std::vector<int> pending(k);
+  for (int i = 0; i < k; ++i) pending[i] = i;
+  while (!pending.empty()) {
+    std::vector<uint32_t> servers;
+    std::vector<std::vector<uint8_t>> requests;
+    servers.reserve(pending.size());
+    requests.reserve(pending.size());
+    for (int slot : pending) {
+      servers.push_back(q.members[slot]);
+      requests.push_back(make_request(q.members[slot]));
+    }
+    std::vector<RpcResult> results =
+        CallMany(client, servers, requests, handler);
+
+    std::vector<int> still_pending;
+    for (size_t i = 0; i < pending.size(); ++i) {
+      const int slot = pending[i];
+      if (results[i].ok) {
+        q.replies[slot] = std::move(results[i].reply);
+        continue;
+      }
+      // Declared failed: substitute the next spare, if any remains.
+      if (next >= candidates.size()) {
+        q.retries = static_cast<int>(stats_.retries - retries_before);
+        return q;  // quorum genuinely unreachable (ok = false)
+      }
+      q.members[slot] = candidates[next++];
+      ++q.replacements;
+      ++stats_.quorum_replacements;
+      still_pending.push_back(slot);
+    }
+    pending.swap(still_pending);
+  }
+  q.ok = true;
+  q.retries = static_cast<int>(stats_.retries - retries_before);
+  return q;
+}
+
+}  // namespace sep2p::net

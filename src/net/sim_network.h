@@ -1,0 +1,218 @@
+// SimNetwork: a deterministic discrete-event message layer.
+//
+// The paper's robustness story (§3.6 "Failures and disconnections") was
+// previously modeled by net::FailureModel — an abstract per-step coin
+// flip that aborts the whole selection. SimNetwork replaces that
+// abstraction with actual messages: per-node endpoints with inboxes, a
+// virtual clock in microseconds, a seeded latency distribution
+// (base + exponential jitter per transmission), per-link drop
+// probability, and node-crash schedules. On top of the raw transport it
+// provides the synchronous RPC shape the protocol drivers need —
+// per-call timeouts with bounded retries and exponential backoff plus
+// deterministic jitter — so a slow or dropped reply is retried, and a
+// peer that exhausts the retry budget is *declared failed* instead of
+// silently aborting the run.
+//
+// Determinism contract: every random decision (latency sample, drop,
+// step-crash, backoff jitter) draws from the single Rng owned by the
+// network, and the protocol drivers issue calls in a fixed order, so a
+// SimNetwork seeded identically replays the exact same trace. Parallel
+// experiment harnesses give each trial its OWN SimNetwork seeded from
+// the trial's SplitMix64 stream (sim/trial_runner.h); a SimNetwork must
+// never be shared across threads.
+//
+// The cost model (net/cost.h) keeps counting the *logical* protocol
+// messages of the paper's figures; SimNetwork's Stats count transport
+// transmissions, so retries and drops show up there without skewing the
+// paper-comparable numbers.
+
+#ifndef SEP2P_NET_SIM_NETWORK_H_
+#define SEP2P_NET_SIM_NETWORK_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace sep2p::net {
+
+// One-way link behaviour, identical for every (from, to) pair.
+struct LinkModel {
+  // Fixed propagation floor per transmission.
+  uint64_t base_latency_us = 20'000;
+  // Mean of the exponential jitter added on top (0 = constant latency).
+  uint64_t jitter_mean_us = 10'000;
+  // Probability that a given transmission is lost.
+  double drop_probability = 0.0;
+  // Server-side processing delay between receiving a request and the
+  // reply departing.
+  uint64_t process_us = 1'000;
+};
+
+// Per-RPC timeout/retry/backoff policy.
+struct RetryPolicy {
+  // An attempt times out when the reply has not arrived this long after
+  // the request departed.
+  uint64_t timeout_us = 250'000;
+  // Total attempts (1 = no retries).
+  int max_attempts = 4;
+  // Wait before the first retry; multiplied by `backoff_factor` after
+  // each further timeout.
+  uint64_t backoff_base_us = 100'000;
+  double backoff_factor = 2.0;
+  // Deterministic jitter: each backoff is stretched by a uniform factor
+  // in [0, jitter_fraction), drawn from the network's seeded Rng.
+  double jitter_fraction = 0.2;
+};
+
+class SimNetwork {
+ public:
+  struct Stats {
+    uint64_t messages_sent = 0;     // transmissions attempted
+    uint64_t messages_dropped = 0;  // lost to the link
+    uint64_t messages_delivered = 0;
+    uint64_t late_replies = 0;      // delivered after the caller gave up
+    uint64_t bytes_sent = 0;
+    uint64_t timeouts = 0;      // attempts that expired
+    uint64_t retries = 0;       // re-sent requests
+    uint64_t rpc_failures = 0;  // calls that exhausted every attempt
+    uint64_t step_crashes = 0;  // nodes killed by the per-step coin
+    uint64_t quorum_replacements = 0;  // members declared failed and
+                                       // substituted by EngageQuorum
+  };
+
+  struct RpcResult {
+    bool ok = false;
+    int attempts = 0;  // attempts consumed (>= 1 once issued)
+    std::vector<uint8_t> reply;
+  };
+
+  // Outcome of a quorum engagement (see EngageQuorum).
+  struct QuorumResult {
+    bool ok = false;  // k responsive members found
+    std::vector<uint32_t> members;
+    std::vector<std::vector<uint8_t>> replies;  // one per member
+    int replacements = 0;  // candidates declared failed and substituted
+    int retries = 0;       // transport retries spent on this engagement
+  };
+
+  // Server-side behaviour: given (server node, request bytes), produce
+  // reply bytes, or nullopt when the server refuses to answer. Handlers
+  // MUST be idempotent — a lost reply makes the caller retransmit, which
+  // re-invokes the handler.
+  using Handler = std::function<std::optional<std::vector<uint8_t>>(
+      uint32_t server, const std::vector<uint8_t>& request)>;
+
+  SimNetwork(uint32_t node_count, const LinkModel& link,
+             const RetryPolicy& retry, uint64_t seed);
+
+  uint64_t now_us() const { return now_us_; }
+  const Stats& stats() const { return stats_; }
+  const LinkModel& link() const { return link_; }
+  const RetryPolicy& retry() const { return retry_; }
+  uint32_t node_count() const {
+    return static_cast<uint32_t>(endpoints_.size());
+  }
+
+  // Schedules `node` to crash (become permanently unreachable) at
+  // `at_us` on the virtual clock.
+  void CrashAt(uint32_t node, uint64_t at_us);
+
+  // Per-step crash probability, subsuming FailureModel: every time a
+  // request reaches a live node, the node crashes with this probability
+  // before acting on it. Crashes are permanent, so unlike the coin-flip
+  // model the failure is observable (timeouts) and attributable.
+  void set_step_crash_probability(double p) { step_crash_probability_ = p; }
+
+  bool IsUp(uint32_t node, uint64_t at_us) const;
+
+  // Synchronous request/response from `client` to `server`, advancing
+  // the virtual clock: request latency + server processing + reply
+  // latency on success; timeout + backoff per failed attempt. The reply
+  // is delivered through the event queue into the client's inbox and
+  // consumed from there.
+  RpcResult Call(uint32_t client, uint32_t server,
+                 const std::vector<uint8_t>& request, const Handler& handler);
+
+  // `servers.size()` calls issued in parallel from `client`: every
+  // branch starts at the current virtual time and the clock lands on the
+  // slowest branch's completion. Branches are evaluated in index order,
+  // so the trace is deterministic.
+  std::vector<RpcResult> CallMany(uint32_t client,
+                                  const std::vector<uint32_t>& servers,
+                                  const std::vector<std::vector<uint8_t>>&
+                                      requests,
+                                  const Handler& handler);
+
+  // Engages `k` responsive members out of `candidates` (in order):
+  // the first k are contacted in parallel; members whose RPC exhausts
+  // its retry budget are declared failed and replaced by the next spare
+  // candidates in a follow-up parallel wave. Fails (ok = false) only
+  // when the candidate list runs dry — the caller's cue that the quorum
+  // is genuinely unreachable and a full restart is warranted.
+  QuorumResult EngageQuorum(
+      uint32_t client, const std::vector<uint32_t>& candidates, int k,
+      const std::function<std::vector<uint8_t>(uint32_t)>& make_request,
+      const Handler& handler);
+
+  // Models a DHT routing leg of `hops` store-and-forward messages:
+  // advances the clock by `hops` sampled one-way latencies and counts
+  // the transmissions. Loss recovery on routing legs is the overlay's
+  // business, so no drops are applied here.
+  void AdvanceRoute(int hops);
+
+  // One-way transmission of `bytes` payload bytes departing at
+  // `depart_us`; returns the delivery time, or nullopt when the link
+  // drops the message or the destination is down at arrival. Delivered
+  // payloads are enqueued on the destination's inbox (tagged `seq`).
+  std::optional<uint64_t> Transmit(uint32_t from, uint32_t to,
+                                   const std::vector<uint8_t>& payload,
+                                   uint64_t depart_us, uint64_t* seq_out);
+
+  // Moves every in-flight message with delivery time <= `at_us` into its
+  // destination inbox, in (time, seq) order.
+  void AdvanceTo(uint64_t at_us);
+
+ private:
+  struct Delivery {
+    uint64_t at_us = 0;
+    uint64_t seq = 0;
+    uint32_t from = 0;
+    uint32_t to = 0;
+    std::vector<uint8_t> payload;
+  };
+  struct Endpoint {
+    std::deque<Delivery> inbox;
+    uint64_t crash_at_us = UINT64_MAX;
+  };
+  struct Later {
+    bool operator()(const Delivery& a, const Delivery& b) const {
+      // Min-heap on (time, seq): seq breaks ties deterministically.
+      if (a.at_us != b.at_us) return a.at_us > b.at_us;
+      return a.seq > b.seq;
+    }
+  };
+
+  uint64_t SampleLatencyUs();
+  // Samples the per-step crash coin for a live `node` handling a request
+  // at `at_us`; returns true (and records the crash) on failure.
+  bool StepCrash(uint32_t node, uint64_t at_us);
+
+  LinkModel link_;
+  RetryPolicy retry_;
+  util::Rng rng_;
+  std::vector<Endpoint> endpoints_;
+  std::priority_queue<Delivery, std::vector<Delivery>, Later> in_flight_;
+  uint64_t now_us_ = 0;
+  uint64_t next_seq_ = 0;
+  double step_crash_probability_ = 0.0;
+  Stats stats_;
+};
+
+}  // namespace sep2p::net
+
+#endif  // SEP2P_NET_SIM_NETWORK_H_

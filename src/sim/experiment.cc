@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/ktable.h"
+#include "net/sim_network.h"
 #include "sim/metrics.h"
 #include "sim/trial_runner.h"
 #include "strategies/strategy.h"
@@ -23,6 +24,8 @@ constexpr uint64_t kActorTrialSalt = 0xac1052;
 constexpr uint64_t kExhaustiveTrialSalt = 0xe4a;
 constexpr uint64_t kFailureTrialSalt = 0xfa11;
 constexpr uint64_t kFailureModelSalt = 0xdead;
+constexpr uint64_t kMessageTrialSalt = 0x4e7411a1;
+constexpr uint64_t kMessageNetSalt = 0x4e7411e7;
 
 }  // namespace
 
@@ -499,6 +502,112 @@ Result<std::vector<FailurePoint>> RunFailureSweep(
         static_cast<double>(first_try) / std::max(1, trials);
     point.avg_attempts = attempts.mean();
     point.give_up_rate = static_cast<double>(gave_up) / std::max(1, trials);
+    points.push_back(point);
+  }
+  return points;
+}
+
+Result<std::vector<MessageFailurePoint>> RunMessageFailureSweep(
+    const Parameters& base,
+    const std::vector<MessageFailureSetting>& settings, int trials,
+    int max_attempts) {
+  Result<std::unique_ptr<Network>> network = Network::Build(base);
+  if (!network.ok()) return network.status();
+  Network& net = *network.value();
+  const uint32_t node_count =
+      static_cast<uint32_t>(net.directory().size());
+  TrialRunner runner(base.threads);
+
+  std::vector<MessageFailurePoint> points;
+  for (size_t pi = 0; pi < settings.size(); ++pi) {
+    const MessageFailureSetting& setting = settings[pi];
+    core::ProtocolContext ctx = net.context();
+    core::SelectionProtocol protocol(ctx);
+    const uint64_t trial_seed = MixSeed(base.seed, kMessageTrialSalt, pi);
+    const uint64_t net_seed = MixSeed(base.seed, kMessageNetSalt, pi);
+
+    struct Shard {
+      OnlineStats retries;
+      OnlineStats replacements;
+      OnlineStats restarts;
+      // Per-shard latency samples; concatenated in shard order (then
+      // sorted inside Percentile), so the percentiles are bit-identical
+      // for any thread count.
+      std::vector<double> latencies_ms;
+      int first_try = 0;
+      int gave_up = 0;
+    };
+    std::vector<Shard> shards(TrialRunner::ShardCount(trials));
+    Status status = runner.RunShards(
+        trials, [&](int shard, int begin, int end) {
+          Shard& sh = shards[shard];
+          for (int t = begin; t < end; ++t) {
+            util::Rng rng(StreamSeed(trial_seed, static_cast<uint64_t>(t)));
+            net::LinkModel link;
+            link.drop_probability = setting.drop_probability;
+            link.jitter_mean_us = setting.jitter_mean_us;
+            net::RetryPolicy retry;  // library defaults
+            // The network — and with it every latency/drop/crash draw —
+            // is trial-private, keeping trials embarrassingly parallel.
+            net::SimNetwork simnet(
+                node_count, link, retry,
+                StreamSeed(net_seed, static_cast<uint64_t>(t)));
+            simnet.set_step_crash_probability(
+                setting.step_crash_probability);
+            uint32_t trigger =
+                static_cast<uint32_t>(rng.NextUint64(node_count));
+            int attempt = 1;
+            for (; attempt <= max_attempts; ++attempt) {
+              core::SelectionOptions options;
+              options.network = &simnet;
+              Result<core::SelectionProtocol::Outcome> run =
+                  protocol.Run(trigger, rng, options);
+              if (run.ok()) break;
+              if (run.status().code() != StatusCode::kUnavailable) {
+                return run.status();
+              }
+            }
+            if (attempt > max_attempts) {
+              ++sh.gave_up;
+            } else {
+              if (attempt == 1) ++sh.first_try;
+              sh.restarts.Add(attempt - 1);
+              sh.retries.Add(static_cast<double>(simnet.stats().retries));
+              sh.replacements.Add(
+                  static_cast<double>(simnet.stats().quorum_replacements));
+              sh.latencies_ms.push_back(
+                  static_cast<double>(simnet.now_us()) / 1000.0);
+            }
+          }
+          return Status::Ok();
+        });
+    if (!status.ok()) return status;
+
+    OnlineStats retries, replacements, restarts;
+    std::vector<double> latencies_ms;
+    int first_try = 0;
+    int gave_up = 0;
+    for (const Shard& sh : shards) {
+      retries.Merge(sh.retries);
+      replacements.Merge(sh.replacements);
+      restarts.Merge(sh.restarts);
+      latencies_ms.insert(latencies_ms.end(), sh.latencies_ms.begin(),
+                          sh.latencies_ms.end());
+      first_try += sh.first_try;
+      gave_up += sh.gave_up;
+    }
+
+    MessageFailurePoint point;
+    point.setting = setting;
+    point.trials = trials;
+    point.first_try_success_rate =
+        static_cast<double>(first_try) / std::max(1, trials);
+    point.avg_retries = retries.mean();
+    point.avg_replacements = replacements.mean();
+    point.restart_rate = restarts.mean();
+    point.give_up_rate = static_cast<double>(gave_up) / std::max(1, trials);
+    point.p50_latency_ms = Percentile(latencies_ms, 0.50);
+    point.p99_latency_ms = Percentile(latencies_ms, 0.99);
     points.push_back(point);
   }
   return points;

@@ -130,6 +130,40 @@ Result<std::vector<FailurePoint>> RunFailureSweep(
     const Parameters& base, const std::vector<double>& probabilities,
     int trials, int max_attempts = 50);
 
+// ----------------------------------------------------- §3.6 message level
+// Message-level robustness: every selection executes over a
+// net::SimNetwork (typed messages, seeded latency, link drops, node
+// crashes) with per-RPC timeout/retry/backoff, instead of the abstract
+// per-step coin of RunFailureSweep. Each trial owns its own SimNetwork
+// seeded from the trial's SplitMix64 stream, so every point is
+// bit-identical for any Parameters::threads value.
+struct MessageFailureSetting {
+  double drop_probability = 0;       // per-transmission loss
+  uint64_t jitter_mean_us = 10'000;  // exponential latency jitter mean
+  double step_crash_probability = 0; // node crashes on receiving a request
+};
+
+struct MessageFailurePoint {
+  MessageFailureSetting setting;
+  int trials = 0;
+  // Selections that succeeded on their first attempt (no fresh-RND_T
+  // restart; transport-level retries within the attempt are allowed).
+  double first_try_success_rate = 0;
+  double avg_retries = 0;       // transport retransmissions per trial
+  double avg_replacements = 0;  // TLs/SLs declared failed and replaced
+  double restart_rate = 0;      // fresh-RND_T restarts per successful trial
+  double give_up_rate = 0;      // trials exhausting the restart budget
+  // Virtual-clock time from trigger to a verified selection, restarts
+  // included; over successful trials only.
+  double p50_latency_ms = 0;
+  double p99_latency_ms = 0;
+};
+
+Result<std::vector<MessageFailurePoint>> RunMessageFailureSweep(
+    const Parameters& base,
+    const std::vector<MessageFailureSetting>& settings, int trials,
+    int max_attempts = 25);
+
 // ---------------------------------------------------------- §4.1 ablation
 // Empirical check behind the alpha choice: across `network_count`
 // colluder assignments, the maximum number of colluders found in ANY

@@ -1,6 +1,7 @@
 #include "sim/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 namespace sep2p::sim {
@@ -33,6 +34,17 @@ void OnlineStats::Merge(const OnlineStats& other) {
   count_ += other.count_;
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);
+}
+
+double Percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  q = std::min(1.0, std::max(0.0, q));
+  // Nearest rank: ceil(q * n), 1-based; q = 0 maps to the minimum.
+  size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(samples.size())));
+  if (rank > 0) --rank;
+  return samples[std::min(rank, samples.size() - 1)];
 }
 
 TablePrinter::TablePrinter(std::vector<std::string> headers)

@@ -39,6 +39,12 @@ class OnlineStats {
   double max_ = 0;
 };
 
+// Nearest-rank percentile (q in [0, 1]) over a copy of `samples`; 0 for
+// an empty set. Sorting makes the result independent of sample order,
+// so per-shard sample vectors can be concatenated in shard order and
+// stay bit-identical for any thread count.
+double Percentile(std::vector<double> samples, double q);
+
 // Fixed-width ASCII table, matching the style the benchmark binaries use
 // to print each figure's series.
 class TablePrinter {

@@ -53,6 +53,43 @@ TEST(CostTest, EmptyParallelIsZero) {
   EXPECT_DOUBLE_EQ(par.msg_work, 0);
 }
 
+TEST(CostTest, WorkOnlyInsideParKeepsLatencyZero) {
+  // Off-critical-path branches (e.g. data sources verifying in
+  // parallel) must not leak into latency even when composed under Par.
+  Cost par = Cost::Par({Cost::WorkOnly(4, 6), Cost::WorkOnly(2, 1)});
+  EXPECT_DOUBLE_EQ(par.crypto_latency, 0);
+  EXPECT_DOUBLE_EQ(par.msg_latency, 0);
+  EXPECT_DOUBLE_EQ(par.crypto_work, 6);
+  EXPECT_DOUBLE_EQ(par.msg_work, 7);
+
+  // Mixed with a real step, the step alone sets the critical path.
+  Cost mixed = Cost::Par({Cost::Step(1, 2), Cost::WorkOnly(9, 9)});
+  EXPECT_DOUBLE_EQ(mixed.crypto_latency, 1);
+  EXPECT_DOUBLE_EQ(mixed.msg_latency, 2);
+  EXPECT_DOUBLE_EQ(mixed.crypto_work, 10);
+  EXPECT_DOUBLE_EQ(mixed.msg_work, 11);
+
+  // And ParIdentical of WorkOnly scales totals without creating latency.
+  Cost many = Cost::ParIdentical(Cost::WorkOnly(1, 2), 5);
+  EXPECT_DOUBLE_EQ(many.crypto_latency, 0);
+  EXPECT_DOUBLE_EQ(many.msg_latency, 0);
+  EXPECT_DOUBLE_EQ(many.crypto_work, 5);
+  EXPECT_DOUBLE_EQ(many.msg_work, 10);
+}
+
+TEST(CostTest, ThenChainingEquivalentToPlusEquals) {
+  const Cost steps[] = {Cost::Step(1, 2), Cost::WorkOnly(3, 4),
+                        Cost::ParIdentical(Cost::Step(2, 1), 3)};
+  Cost chained;
+  chained.Then(steps[0]).Then(steps[1]).Then(steps[2]);
+  Cost accumulated;
+  for (const Cost& s : steps) accumulated += s;
+  EXPECT_DOUBLE_EQ(chained.crypto_latency, accumulated.crypto_latency);
+  EXPECT_DOUBLE_EQ(chained.msg_latency, accumulated.msg_latency);
+  EXPECT_DOUBLE_EQ(chained.crypto_work, accumulated.crypto_work);
+  EXPECT_DOUBLE_EQ(chained.msg_work, accumulated.msg_work);
+}
+
 TEST(CostTest, MixedCompositionMatchesHandComputation) {
   // A protocol doing: 1 sequential sign, then k=3 parallel workers each
   // doing (2 crypto, 4 msgs), then 1 closing message.

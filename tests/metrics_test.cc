@@ -53,6 +53,28 @@ TEST(OnlineStatsTest, MatchesBatchComputation) {
   EXPECT_NEAR(stats.variance(), var, 1e-6);
 }
 
+TEST(PercentileTest, NearestRankOnSmallSets) {
+  EXPECT_DOUBLE_EQ(Percentile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 1.0), 7.0);
+  // Sorted {1, 2, 3, 4}: nearest rank for q=0.5 is the 2nd value.
+  EXPECT_DOUBLE_EQ(Percentile({4.0, 1.0, 3.0, 2.0}, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(Percentile({4.0, 1.0, 3.0, 2.0}, 0.75), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile({4.0, 1.0, 3.0, 2.0}, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Percentile({4.0, 1.0, 3.0, 2.0}, 0.0), 1.0);
+}
+
+TEST(PercentileTest, IndependentOfSampleOrder) {
+  std::vector<double> a, b;
+  for (int i = 0; i < 101; ++i) a.push_back(static_cast<double>(i));
+  b.assign(a.rbegin(), a.rend());
+  for (double q : {0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(Percentile(a, q), Percentile(b, q));
+  }
+  EXPECT_DOUBLE_EQ(Percentile(a, 0.99), 99.0);
+}
+
 TEST(TablePrinterTest, NumFormatsCompactly) {
   EXPECT_EQ(TablePrinter::Num(1.0), "1");
   EXPECT_EQ(TablePrinter::Num(1.5), "1.5");

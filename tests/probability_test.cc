@@ -104,6 +104,32 @@ TEST(SolveRegionSizeTest, KAboveCIsFullRing) {
   EXPECT_DOUBLE_EQ(SolveRegionSizeForK(11, 10, 1e-10), 1.0);
 }
 
+TEST(SolveRegionSizeTest, DegenerateConstraintsReturnExactLimits) {
+  // k <= 0: every region (even an empty one) holds >= 0 colluders, so
+  // no positive rs satisfies PC <= alpha < 1. Used to return the
+  // bisection grid floor 1e-20; must be exactly 0.
+  EXPECT_DOUBLE_EQ(SolveRegionSizeForK(0, 100, 1e-6), 0.0);
+  EXPECT_DOUBLE_EQ(SolveRegionSizeForK(-3, 100, 1e-6), 0.0);
+  // alpha <= 0 with k <= c: PC > 0 for every rs > 0.
+  EXPECT_DOUBLE_EQ(SolveRegionSizeForK(5, 100, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(SolveRegionSizeForK(5, 100, -1.0), 0.0);
+  // ...but alpha <= 0 with k > c stays attainable on the full ring.
+  EXPECT_DOUBLE_EQ(SolveRegionSizeForK(101, 100, 0.0), 1.0);
+  // alpha >= 1 admits everything.
+  EXPECT_DOUBLE_EQ(SolveRegionSizeForK(5, 100, 1.0), 1.0);
+}
+
+TEST(SolveRegionSizeTest, AlphaHitExactlyKeepsLargestSatisfyingRegion) {
+  // Pick an rs* on the bisection's own grid and use PC(rs*) as alpha:
+  // the solver must treat "== alpha" as satisfying (<=) and return a
+  // region at least as large as rs*.
+  const double rs_star = SolveRegionSizeForK(4, 1000, 1e-6);
+  const double alpha = PC(4, 1000, rs_star);
+  const double rs = SolveRegionSizeForK(4, 1000, alpha);
+  EXPECT_GE(rs, rs_star * (1 - 1e-9));
+  EXPECT_LE(PC(4, 1000, rs), alpha * (1 + 1e-12));
+}
+
 TEST(SolveRegionSizeTest, LargerKAllowsLargerRegion) {
   double prev = 0;
   for (int k = 2; k <= 8; ++k) {
@@ -122,6 +148,16 @@ TEST(SolveRegionSizeForPopulationTest, SolutionHoldsPopulation) {
       EXPECT_LT(PL(m, n, rs / 4), 1.0 - 1e-6);
     }
   }
+}
+
+TEST(SolveRegionSizeForPopulationTest, DegenerateConstraintsExactLimits) {
+  // m <= 0 nodes are found in any region: exact limit 0.
+  EXPECT_DOUBLE_EQ(SolveRegionSizeForPopulation(0, 1000, 1e-6), 0.0);
+  EXPECT_DOUBLE_EQ(SolveRegionSizeForPopulation(-1, 1000, 1e-6), 0.0);
+  // alpha >= 1 demands nothing.
+  EXPECT_DOUBLE_EQ(SolveRegionSizeForPopulation(5, 1000, 1.0), 0.0);
+  // m > n can't be met even by the full ring: documented fallback 1.0.
+  EXPECT_DOUBLE_EQ(SolveRegionSizeForPopulation(1001, 1000, 1e-6), 1.0);
 }
 
 TEST(SolveRegionSizeForPopulationTest, ToleranceScalesInverselyWithN) {

@@ -50,6 +50,41 @@ TEST(RateLimiterTest, PendingCountReflectsWindow) {
   EXPECT_EQ(limiter.PendingCount(Id("t"), 200), 0);
 }
 
+// Regression: entries used to stay in the history map forever once
+// created, so a long-lived monitor seeing a stream of distinct
+// (departed or Sybil) trigger ids grew without bound.
+TEST(RateLimiterTest, DrainedTriggersAreForgotten) {
+  TriggerRateLimiter limiter(2, /*window=*/100);
+  limiter.Allow(Id("t"), 0);
+  EXPECT_EQ(limiter.TrackedTriggers(), 1u);
+  // Probing after the window drained both answers 0 and erases the entry.
+  EXPECT_EQ(limiter.PendingCount(Id("t"), 500), 0);
+  EXPECT_EQ(limiter.TrackedTriggers(), 0u);
+}
+
+TEST(RateLimiterTest, SybilStreamDoesNotGrowUnboundedly) {
+  TriggerRateLimiter limiter(2, /*window=*/100);
+  // 10k one-shot trigger ids spread over time: the amortized sweep in
+  // Allow must keep only the ids still inside the current window.
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_TRUE(limiter.Allow(Id("sybil-" + std::to_string(i)),
+                              static_cast<uint64_t>(i))
+                    .ok());
+  }
+  // Triggers older than one window (ids 0..9899 at t=9999) are gone.
+  EXPECT_LE(limiter.TrackedTriggers(), 200u);
+  // And quotas still enforce for live triggers.
+  EXPECT_TRUE(limiter.Allow(Id("sybil-9999"), 9999).ok());
+  EXPECT_FALSE(limiter.Allow(Id("sybil-9999"), 9999).ok());
+}
+
+TEST(RateLimiterTest, ZeroQuotaLeavesNoEntryBehind) {
+  TriggerRateLimiter limiter(/*max_triggers=*/0, /*window=*/100);
+  EXPECT_EQ(limiter.Allow(Id("t"), 5).code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_EQ(limiter.TrackedTriggers(), 0u);
+}
+
 TEST(RateLimiterTest, ShoppingForActorListsIsBlocked) {
   // The attack §3.6 prevents: regenerate actor lists until a favorable
   // one appears. With a quota of q per window, at most q lists exist.
