@@ -9,6 +9,8 @@
 #include <cstdio>
 
 #include "apps/query.h"
+#include "net/sim_network.h"
+#include "node/app_runtime.h"
 #include "sim/network.h"
 
 using namespace sep2p;
@@ -46,14 +48,22 @@ int main() {
   std::printf("population: %zu PDMSs, %d pilots in their forties\n\n",
               pdms.size(), pilots_in_forties);
 
-  apps::ConceptIndex index(&net);
-  apps::DiffusionApp publisher(&net, &pdms, &index);
+  // A mildly lossy message network: 1% of transmissions drop, and the
+  // per-RPC retry/backoff machinery absorbs the loss.
+  net::LinkModel link;
+  link.drop_probability = 0.01;
+  net::SimNetwork simnet(net.directory().size(), link, net::RetryPolicy{},
+                         params.seed);
+  node::AppRuntime runtime(&simnet);
+
+  apps::ConceptIndex index(&net, &runtime);
+  apps::DiffusionApp publisher(&net, &pdms, &index, &runtime);
   if (!publisher.PublishAllProfiles(rng).ok()) {
     std::fprintf(stderr, "profile publication failed\n");
     return 1;
   }
 
-  apps::QueryApp app(&net, &pdms, &index);
+  apps::QueryApp app(&net, &pdms, &index, &runtime);
   apps::QuerySpec spec;
   spec.profile_expression = "occupation:pilot AND age:40s";
   spec.attribute = "sick_leave_days";
@@ -74,6 +84,12 @@ int main() {
   std::printf("data aggregators (SEP2P-selected):");
   for (uint32_t da : result->aggregators) std::printf(" %u", da);
   std::printf("\nquery cost: %s\n", result->cost.ToString().c_str());
+  std::printf("query took %.1f virtual seconds; %llu transport retries "
+              "absorbed the 1%% loss (%d contributions lost, %d DA "
+              "failovers)\n",
+              result->round_latency_us / 1e6,
+              static_cast<unsigned long long>(simnet.stats().retries),
+              result->lost_contributions, result->da_failovers);
 
   // Knowledge separation: the DA-side trace has values but no senders;
   // the proxy-side trace has senders but no values.

@@ -8,6 +8,8 @@
 #include <cstdio>
 
 #include "apps/sensing.h"
+#include "net/sim_network.h"
+#include "node/app_runtime.h"
 #include "sim/network.h"
 
 using namespace sep2p;
@@ -30,10 +32,17 @@ int main() {
   std::vector<node::PdmsNode> pdms;
   for (uint32_t i = 0; i < net.directory().size(); ++i) pdms.emplace_back(i);
 
+  // Every application RPC travels over the simulated message network:
+  // 20ms base latency, mild jitter, and (here) a lossless link.
+  net::LinkModel link;
+  net::SimNetwork simnet(net.directory().size(), link, net::RetryPolicy{},
+                         params.seed);
+  node::AppRuntime runtime(&simnet);
+
   apps::ParticipatorySensingApp::Config config;
   config.grid = 4;
   config.aggregator_count = 8;
-  apps::ParticipatorySensingApp app(&net, &pdms, config);
+  apps::ParticipatorySensingApp app(&net, &pdms, &runtime, config);
 
   util::Rng rng(99);
   app.GenerateWorkload(/*sources=*/250, /*readings_per_source=*/8, rng);
@@ -68,6 +77,11 @@ int main() {
               static_cast<unsigned long long>(
                   round->aggregate.total_count()));
   std::printf("round cost: %s\n", round->cost.ToString().c_str());
+  std::printf("round took %.1f virtual seconds; network: %llu msgs, "
+              "%llu retries\n",
+              round->round_latency_us / 1e6,
+              static_cast<unsigned long long>(simnet.stats().messages_sent),
+              static_cast<unsigned long long>(simnet.stats().retries));
 
   // Task atomicity: what did each DA actually see?
   std::printf("\nanonymized values seen per DA (no identities):");

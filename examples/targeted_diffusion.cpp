@@ -9,6 +9,8 @@
 
 #include "apps/concept_index.h"
 #include "apps/diffusion.h"
+#include "net/sim_network.h"
+#include "node/app_runtime.h"
 #include "sim/network.h"
 
 using namespace sep2p;
@@ -43,8 +45,11 @@ int main() {
   apps::ConceptIndex::Options options;
   options.shamir_threshold = 2;
   options.shamir_shares = 3;
-  apps::ConceptIndex index(&net, options);
-  apps::DiffusionApp app(&net, &pdms, &index);
+  net::SimNetwork simnet(net.directory().size(), net::LinkModel{},
+                         net::RetryPolicy{}, params.seed);
+  node::AppRuntime runtime(&simnet);
+  apps::ConceptIndex index(&net, &runtime, options);
+  apps::DiffusionApp app(&net, &pdms, &index, &runtime);
 
   util::Rng rng(5);
   auto published = app.PublishAllProfiles(rng);
@@ -78,6 +83,9 @@ int main() {
     std::printf(" %u", result->targets[i]);
   }
   std::printf("\ncost: %s\n", result->cost.ToString().c_str());
+  std::printf("diffusion took %.1f virtual seconds over the message "
+              "network\n",
+              result->round_latency_us / 1e6);
 
   // Spot-check one inbox.
   if (!result->targets.empty()) {

@@ -1,11 +1,63 @@
 #include "apps/concept_index.h"
 
+#include <algorithm>
+
+#include "core/messages.h"
 #include "crypto/hash256.h"
 
 namespace sep2p::apps {
 
-ConceptIndex::ConceptIndex(sim::Network* network, Options options)
-    : network_(network), options_(options) {}
+namespace msg = core::msg;
+
+ConceptIndex::ConceptIndex(sim::Network* network, node::AppRuntime* runtime,
+                           Options options)
+    : network_(network), runtime_(runtime), options_(options) {
+  // MI-side handlers. Any node can serve as indexer, so both are global
+  // registrations. They MUST be idempotent: a store retransmission is
+  // recognized by (posting id, share x) and not stored twice.
+  runtime_->Register(
+      msg::kTagConceptStore,
+      [this](uint32_t server, const std::vector<uint8_t>& request)
+          -> std::optional<std::vector<uint8_t>> {
+        Result<msg::ConceptStore> store = msg::DecodeConceptStore(request);
+        if (!store.ok()) return std::nullopt;
+        std::string key(store->share_key.begin(), store->share_key.end());
+        std::vector<StoredShare>& list = storage_[server][key];
+        const bool seen =
+            std::any_of(list.begin(), list.end(), [&](const StoredShare& s) {
+              return s.posting_id == store->posting_id &&
+                     s.share.x == store->share_x;
+            });
+        if (!seen) {
+          StoredShare stored;
+          stored.posting_id = store->posting_id;
+          stored.share.x = store->share_x;
+          stored.share.data = store->share_data;
+          list.push_back(std::move(stored));
+        }
+        return msg::Encode(msg::AppAck{});
+      });
+  runtime_->Register(
+      msg::kTagConceptQuery,
+      [this](uint32_t server, const std::vector<uint8_t>& request)
+          -> std::optional<std::vector<uint8_t>> {
+        Result<msg::ConceptQuery> query = msg::DecodeConceptQuery(request);
+        if (!query.ok()) return std::nullopt;
+        msg::ConceptShares reply;
+        auto store_it = storage_.find(server);
+        if (store_it != storage_.end()) {
+          std::string key(query->share_key.begin(), query->share_key.end());
+          auto list_it = store_it->second.find(key);
+          if (list_it != store_it->second.end()) {
+            for (const StoredShare& stored : list_it->second) {
+              reply.posting_ids.push_back(stored.posting_id);
+              reply.shares.push_back(stored.share);
+            }
+          }
+        }
+        return msg::Encode(reply);
+      });
+}
 
 std::string ConceptIndex::ShareKey(const std::string& concept_name,
                                    int share) {
@@ -39,62 +91,84 @@ Result<uint32_t> ConceptIndex::IndexerFor(const std::string& concept_name,
 Result<net::Cost> ConceptIndex::Publish(uint32_t node_index,
                                         const std::set<std::string>& concepts,
                                         util::Rng& rng) {
-  net::Cost cost;
+  const net::Cost before = runtime_->measured_cost();
   for (const std::string& concept_name : concepts) {
     Result<std::vector<crypto::SecretShare>> shares = crypto::ShamirSplit(
         EncodePosting(node_index), options_.shamir_threshold,
         options_.shamir_shares, rng);
     if (!shares.ok()) return shares.status();
+    const uint64_t posting_id = runtime_->NextMessageId();
 
     for (int s = 0; s < options_.shamir_shares; ++s) {
-      crypto::Hash256 key = crypto::Hash256::Of(ShareKey(concept_name, s));
+      const std::string share_key = ShareKey(concept_name, s);
+      crypto::Hash256 key = crypto::Hash256::Of(share_key);
       Result<dht::RouteResult> route =
           network_->overlay().RouteKey(node_index, key);
       if (!route.ok()) return route.status();
-      cost.Then(net::Cost::Step(0, route->hops + 1));  // route + store
-      storage_[route->dest_index][ShareKey(concept_name, s)].push_back(
-          shares.value()[s]);
+      runtime_->AdvanceRoute(route->hops);
+
+      msg::ConceptStore store;
+      store.posting_id = posting_id;
+      store.share_key.assign(share_key.begin(), share_key.end());
+      store.share_x = shares.value()[s].x;
+      store.share_data = shares.value()[s].data;
+      // A failed store loses this share (degraded): the posting drops
+      // out of lookups joining through this MI, nothing else breaks.
+      runtime_->Call(node_index, route->dest_index, msg::Encode(store));
     }
   }
-  return cost;
+  return net::Cost::Delta(runtime_->measured_cost(), before);
 }
 
 Result<ConceptIndex::LookupResult> ConceptIndex::Lookup(
-    uint32_t from_index, const std::string& concept_name) const {
+    uint32_t from_index, const std::string& concept_name) {
   LookupResult result;
+  const net::Cost before = runtime_->measured_cost();
 
-  // Gather share lists from the first p indexers.
-  std::vector<const std::vector<crypto::SecretShare>*> lists;
+  // Gather share lists from the first p indexers over the network.
+  std::vector<msg::ConceptShares> replies;
   for (int s = 0; s < options_.shamir_threshold; ++s) {
-    crypto::Hash256 key = crypto::Hash256::Of(ShareKey(concept_name, s));
+    const std::string share_key = ShareKey(concept_name, s);
+    crypto::Hash256 key = crypto::Hash256::Of(share_key);
     Result<dht::RouteResult> route =
         network_->overlay().RouteKey(from_index, key);
     if (!route.ok()) return route.status();
-    result.cost.Then(net::Cost::Step(0, route->hops + 1));
+    runtime_->AdvanceRoute(route->hops);
     result.indexers.push_back(route->dest_index);
 
-    auto store_it = storage_.find(route->dest_index);
-    if (store_it == storage_.end()) {
-      return result;  // concept unknown: empty postings
-    }
-    auto list_it = store_it->second.find(ShareKey(concept_name, s));
-    if (list_it == store_it->second.end()) {
+    msg::ConceptQuery query;
+    query.share_key.assign(share_key.begin(), share_key.end());
+    net::SimNetwork::RpcResult rpc =
+        runtime_->Call(from_index, route->dest_index, msg::Encode(query));
+    if (!rpc.ok) {
+      // Degraded completion: the MI is unreachable, so this lookup
+      // yields no postings; the caller decides whether that is fatal.
+      result.indexer_unreachable = true;
+      result.cost = net::Cost::Delta(runtime_->measured_cost(), before);
       return result;
     }
-    lists.push_back(&list_it->second);
+    Result<msg::ConceptShares> reply = msg::DecodeConceptShares(rpc.reply);
+    if (!reply.ok()) return reply.status();
+    replies.push_back(std::move(reply.value()));
   }
-  if (lists.empty()) return result;
+  result.cost = net::Cost::Delta(runtime_->measured_cost(), before);
+  if (replies.empty()) return result;
 
-  // Combine the j-th share from each list into the j-th posting.
-  const size_t postings = lists[0]->size();
-  for (const auto* list : lists) {
-    if (list->size() != postings) {
-      return Status::Internal("index: misaligned share lists");
+  // Join the p share lists on posting id: a posting reconstructs only
+  // when every queried MI still holds its share. Publish order is
+  // id order, so walk the first list and probe the others.
+  for (size_t j = 0; j < replies[0].shares.size(); ++j) {
+    const uint64_t id = replies[0].posting_ids[j];
+    std::vector<crypto::SecretShare> shares{replies[0].shares[j]};
+    for (size_t r = 1; r < replies.size(); ++r) {
+      for (size_t i = 0; i < replies[r].posting_ids.size(); ++i) {
+        if (replies[r].posting_ids[i] == id) {
+          shares.push_back(replies[r].shares[i]);
+          break;
+        }
+      }
     }
-  }
-  for (size_t j = 0; j < postings; ++j) {
-    std::vector<crypto::SecretShare> shares;
-    for (const auto* list : lists) shares.push_back((*list)[j]);
+    if (shares.size() != replies.size()) continue;  // share lost somewhere
     Result<std::vector<uint8_t>> secret = crypto::ShamirCombine(shares);
     if (!secret.ok()) return secret.status();
     result.nodes.push_back(DecodePosting(secret.value()));
@@ -110,9 +184,9 @@ std::vector<uint32_t> ConceptIndex::SingleIndexerDisclosure(
   for (int s = 0; s < options_.shamir_shares; ++s) {
     auto list_it = store_it->second.find(ShareKey(concept_name, s));
     if (list_it == store_it->second.end()) continue;
-    for (const crypto::SecretShare& share : list_it->second) {
+    for (const StoredShare& stored : list_it->second) {
       // A lone corrupted MI can only treat its share bytes as data.
-      disclosed.push_back(DecodePosting(share.data));
+      disclosed.push_back(DecodePosting(stored.share.data));
     }
   }
   return disclosed;

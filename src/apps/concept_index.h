@@ -10,6 +10,13 @@
 // the owner of hash(c#i), so reconstructing any posting requires p
 // colluding MIs that the attacker does not get to choose.
 //
+// Shares travel as typed wire messages over the node::AppRuntime
+// (ConceptStore to publish, ConceptQuery/ConceptShares to look up), so
+// an unreachable MI degrades a lookup (indexer_unreachable) instead of
+// aborting it, and a share lost in transit merely drops its posting from
+// the affected share list: postings are re-aligned across MIs by
+// posting id, never mis-combined.
+//
 // The degenerate configuration p = s = 1 is the plaintext index.
 
 #ifndef SEP2P_APPS_CONCEPT_INDEX_H_
@@ -22,6 +29,7 @@
 
 #include "crypto/shamir.h"
 #include "net/cost.h"
+#include "node/app_runtime.h"
 #include "sim/network.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -35,12 +43,17 @@ class ConceptIndex {
     int shamir_shares = 1;     // s (p <= s)
   };
 
-  // `network` must outlive the index.
-  explicit ConceptIndex(sim::Network* network) : ConceptIndex(network, Options()) {}
-  ConceptIndex(sim::Network* network, Options options);
+  // `network` and `runtime` must outlive the index; the constructor
+  // registers the MI-side message handlers on the runtime.
+  ConceptIndex(sim::Network* network, node::AppRuntime* runtime)
+      : ConceptIndex(network, runtime, Options()) {}
+  ConceptIndex(sim::Network* network, node::AppRuntime* runtime,
+               Options options);
 
   // Publishes `concepts` for `node_index`: one posting per concept,
-  // sharded into s shares routed to their indexers.
+  // sharded into s shares routed and stored at their indexers over the
+  // network. A share whose store RPC fails is lost (degraded), not
+  // fatal.
   Result<net::Cost> Publish(uint32_t node_index,
                             const std::set<std::string>& concepts,
                             util::Rng& rng);
@@ -48,12 +61,15 @@ class ConceptIndex {
   struct LookupResult {
     std::vector<uint32_t> nodes;     // postings: nodes having the concept
     std::vector<uint32_t> indexers;  // MIs contacted (p of them)
-    net::Cost cost;                  // DHT routings
+    bool indexer_unreachable = false;  // an MI exhausted its retry budget
+    net::Cost cost;                  // DHT routings + MI round trips
   };
 
-  // Resolves a concept to the nodes exposing it by gathering p shares.
+  // Resolves a concept to the nodes exposing it by gathering p share
+  // lists over the network and joining them on posting id. An
+  // unreachable MI yields a degraded (empty, flagged) result.
   Result<LookupResult> Lookup(uint32_t from_index,
-                              const std::string& concept_name) const;
+                              const std::string& concept_name);
 
   // The MI hosting share `share` of `concept_name`.
   Result<uint32_t> IndexerFor(const std::string& concept_name,
@@ -69,16 +85,21 @@ class ConceptIndex {
   const Options& options() const { return options_; }
 
  private:
+  struct StoredShare {
+    uint64_t posting_id = 0;
+    crypto::SecretShare share;
+  };
+
   static std::string ShareKey(const std::string& concept_name, int share);
   static std::vector<uint8_t> EncodePosting(uint32_t node_index);
   static uint32_t DecodePosting(const std::vector<uint8_t>& bytes);
 
   sim::Network* network_;
+  node::AppRuntime* runtime_;
   Options options_;
-  // storage_[indexer][share key] = shares in publish order (aligned
-  // across indexers because Publish writes all s shares of a posting
-  // atomically).
-  std::map<uint32_t, std::map<std::string, std::vector<crypto::SecretShare>>>
+  // storage_[indexer][share key] = shares in publish order, each tagged
+  // with its posting id (all s shares of one posting share the id).
+  std::map<uint32_t, std::map<std::string, std::vector<StoredShare>>>
       storage_;
 };
 

@@ -2,69 +2,44 @@
 
 #include <set>
 
-#include "crypto/sha256.h"
+#include "core/messages.h"
 
 namespace sep2p::apps {
 
-namespace {
+namespace msg = core::msg;
 
-// Keystream block i = SHA256("seal" || recipient || nonce || i).
-void ApplyKeystream(const crypto::PublicKey& recipient,
-                    const std::array<uint8_t, 32>& nonce,
-                    std::vector<uint8_t>& data) {
-  for (size_t block = 0; block * 32 < data.size(); ++block) {
-    crypto::Sha256 ctx;
-    ctx.Update("seal");
-    ctx.Update(recipient.data(), recipient.size());
-    ctx.Update(nonce.data(), nonce.size());
-    uint8_t counter[4] = {static_cast<uint8_t>(block >> 24),
-                          static_cast<uint8_t>(block >> 16),
-                          static_cast<uint8_t>(block >> 8),
-                          static_cast<uint8_t>(block)};
-    ctx.Update(counter, sizeof(counter));
-    crypto::Digest stream = ctx.Finish();
-    for (size_t i = 0; i < 32 && block * 32 + i < data.size(); ++i) {
-      data[block * 32 + i] ^= stream[i];
-    }
-  }
+void EnsureProxyHandlers(node::AppRuntime& runtime) {
+  // A relay's observable behaviour is just the acknowledgement; the
+  // onward leg is issued by the delivery driver with the relay as
+  // client, because a handler must not re-enter the network.
+  runtime.Register(msg::kTagProxyRelay,
+                   [](uint32_t, const std::vector<uint8_t>& request)
+                       -> std::optional<std::vector<uint8_t>> {
+                     if (!msg::DecodeProxyRelay(request).ok()) {
+                       return std::nullopt;
+                     }
+                     return msg::Encode(msg::AppAck{});
+                   });
+  // Default recipient behaviour: accept the sealed payload. Apps that
+  // must act on it (e.g. a DA accumulating values) override per-node.
+  runtime.Register(msg::kTagSealedDelivery,
+                   [](uint32_t, const std::vector<uint8_t>& request)
+                       -> std::optional<std::vector<uint8_t>> {
+                     if (!msg::DecodeSealedDelivery(request).ok()) {
+                       return std::nullopt;
+                     }
+                     return msg::Encode(msg::AppAck{});
+                   });
 }
 
-}  // namespace
-
-SealedMessage SealForRecipient(const crypto::PublicKey& recipient,
-                               const std::vector<uint8_t>& plaintext,
-                               util::Rng& rng) {
-  SealedMessage sealed;
-  sealed.recipient = recipient;
-  sealed.nonce = rng.NextBytes32();
-  sealed.ciphertext = plaintext;
-  ApplyKeystream(recipient, sealed.nonce, sealed.ciphertext);
-  return sealed;
-}
-
-Result<std::vector<uint8_t>> OpenSealed(crypto::SignatureProvider& provider,
-                                        const SealedMessage& sealed,
-                                        const crypto::PrivateKey& priv) {
-  Result<crypto::PublicKey> pub = provider.DerivePublicKey(priv);
-  if (!pub.ok()) return pub.status();
-  if (pub.value() != sealed.recipient) {
-    return Status::PermissionDenied(
-        "sealed message: private key does not match recipient");
-  }
-  std::vector<uint8_t> plaintext = sealed.ciphertext;
-  ApplyKeystream(sealed.recipient, sealed.nonce, plaintext);
-  return plaintext;
-}
-
-Result<ProxyDelivery> ForwardViaProxy(sim::Network& network,
-                                      uint32_t sender_index,
-                                      const crypto::PublicKey& recipient_key,
-                                      const std::vector<uint8_t>& plaintext,
-                                      util::Rng& rng) {
+Result<ProxyDelivery> ForwardViaProxy(
+    node::AppRuntime& runtime, sim::Network& network, uint32_t sender_index,
+    const crypto::PublicKey& recipient_key,
+    const std::vector<uint8_t>& plaintext, util::Rng& rng,
+    std::optional<uint64_t> contribution_id) {
   const dht::Directory& dir = network.directory();
-  std::optional<uint32_t> recipient_index;
-  dht::NodeId recipient_id = dht::NodeIdForKey(recipient_key);
-  recipient_index = dir.IndexOf(recipient_id);
+  std::optional<uint32_t> recipient_index =
+      dir.IndexOf(dht::NodeIdForKey(recipient_key));
   if (!recipient_index.has_value()) {
     return Status::NotFound("proxy: recipient not in directory");
   }
@@ -76,21 +51,40 @@ Result<ProxyDelivery> ForwardViaProxy(sim::Network& network,
     proxy = static_cast<uint32_t>(rng.NextUint64(dir.size()));
   } while (proxy == sender_index || proxy == *recipient_index);
 
+  EnsureProxyHandlers(runtime);
   ProxyDelivery delivery;
   delivery.proxy_index = proxy;
   delivery.delivered = SealForRecipient(recipient_key, plaintext, rng);
   delivery.proxy_saw_sender = true;    // P receives directly from TN
   delivery.proxy_saw_payload = false;  // but only ciphertext
   delivery.recipient_saw_sender = false;  // DA sees the proxy's address
-  delivery.cost = net::Cost::Step(0, 2);  // TN -> P -> DA
+  const uint64_t id =
+      contribution_id.has_value() ? *contribution_id : runtime.NextMessageId();
+
+  const net::Cost before = runtime.measured_cost();
+  msg::ProxyRelay relay;
+  relay.contribution_id = id;
+  relay.recipient_index = *recipient_index;
+  relay.sealed = delivery.delivered;
+  net::SimNetwork::RpcResult leg1 =
+      runtime.Call(sender_index, proxy, msg::Encode(relay));
+  delivery.relayed = leg1.ok;
+  if (delivery.relayed) {
+    msg::SealedDelivery final_leg;
+    final_leg.contribution_id = id;
+    final_leg.sealed = delivery.delivered;
+    net::SimNetwork::RpcResult leg2 =
+        runtime.Call(proxy, *recipient_index, msg::Encode(final_leg));
+    delivery.delivered_ok = leg2.ok;
+  }
+  delivery.cost = net::Cost::Delta(runtime.measured_cost(), before);
   return delivery;
 }
 
 Result<ChainDelivery> ForwardViaProxyChain(
-    sim::Network& network, uint32_t sender_index,
+    node::AppRuntime& runtime, sim::Network& network, uint32_t sender_index,
     const crypto::PublicKey& recipient_key,
-    const std::vector<uint8_t>& plaintext, int chain_length,
-    util::Rng& rng) {
+    const std::vector<uint8_t>& plaintext, int chain_length, util::Rng& rng) {
   if (chain_length < 1) {
     return Status::InvalidArgument("proxy chain: need at least one relay");
   }
@@ -104,6 +98,7 @@ Result<ChainDelivery> ForwardViaProxyChain(
     return Status::InvalidArgument("proxy chain: network too small");
   }
 
+  EnsureProxyHandlers(runtime);
   ChainDelivery delivery;
   std::set<uint32_t> used{sender_index, *recipient_index};
   while (static_cast<int>(delivery.chain.size()) < chain_length) {
@@ -117,7 +112,36 @@ Result<ChainDelivery> ForwardViaProxyChain(
     delivery.relay_saw_sender.push_back(i == 0);
     delivery.relay_saw_recipient.push_back(i == chain_length - 1);
   }
-  delivery.cost = net::Cost::Step(0, chain_length + 1);
+
+  // Hop h forwards the still-sealed payload to hop h+1; the final hop
+  // delivers it to the recipient. Each hop is its own RPC, so a dead
+  // relay breaks the chain (delivered_ok stays false) instead of
+  // teleporting the payload.
+  const uint64_t id = runtime.NextMessageId();
+  const net::Cost before = runtime.measured_cost();
+  delivery.delivered_ok = true;
+  uint32_t hop_from = sender_index;
+  for (int i = 0; i < chain_length && delivery.delivered_ok; ++i) {
+    msg::ProxyRelay relay;
+    relay.contribution_id = id;
+    relay.recipient_index = i + 1 < chain_length
+                                ? delivery.chain[static_cast<size_t>(i) + 1]
+                                : *recipient_index;
+    relay.sealed = delivery.delivered;
+    net::SimNetwork::RpcResult hop = runtime.Call(
+        hop_from, delivery.chain[static_cast<size_t>(i)], msg::Encode(relay));
+    delivery.delivered_ok = hop.ok;
+    hop_from = delivery.chain[static_cast<size_t>(i)];
+  }
+  if (delivery.delivered_ok) {
+    msg::SealedDelivery final_leg;
+    final_leg.contribution_id = id;
+    final_leg.sealed = delivery.delivered;
+    net::SimNetwork::RpcResult last =
+        runtime.Call(hop_from, *recipient_index, msg::Encode(final_leg));
+    delivery.delivered_ok = last.ok;
+  }
+  delivery.cost = net::Cost::Delta(runtime.measured_cost(), before);
   return delivery;
 }
 

@@ -1,59 +1,54 @@
-// Proxy-forwarder and sealed messages (paper §5.3, user identity
+// Proxy-forwarder for sealed messages (paper §5.3, user identity
 // protection).
 //
 // A target node TN must deliver data to a data aggregator DA without the
 // DA learning who sent it and without the relay learning what was sent.
 // TN seals the payload to the DA's public key (known from the verifiable
 // actor list), picks a random proxy P, and sends the sealed message
-// through P: the DA sees data without a sender, P sees a sender without
-// data. The probability that both DA and P collude is ~(C/N)^2.
+// through P as two typed wire messages over net::SimNetwork
+// (ProxyRelay: TN→P, SealedDelivery: P→DA): the DA sees data without a
+// sender, P sees a sender without data. The probability that both DA
+// and P collude is ~(C/N)^2.
 //
-// Sealing here simulates hybrid public-key encryption: the keystream is
-// derived from the recipient key and a fresh nonce, and OpenSealed
-// refuses to decrypt unless the caller proves key ownership by supplying
-// the matching private key. This preserves exactly the structural
-// property the paper's analysis needs (who *can* read what), but it is
-// NOT confidential against an adversary outside the API — see DESIGN.md
-// substitutions.
+// Sealing itself lives in crypto/sealed.h (the wire messages carry
+// crypto::SealedMessage payloads); the aliases below keep the historical
+// apps-level names working.
 
 #ifndef SEP2P_APPS_PROXY_H_
 #define SEP2P_APPS_PROXY_H_
 
-#include <array>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
+#include "crypto/sealed.h"
 #include "crypto/signature_provider.h"
 #include "net/cost.h"
+#include "node/app_runtime.h"
 #include "sim/network.h"
 #include "util/rng.h"
 #include "util/status.h"
 
 namespace sep2p::apps {
 
-struct SealedMessage {
-  crypto::PublicKey recipient{};
-  std::array<uint8_t, 32> nonce{};
-  std::vector<uint8_t> ciphertext;
-};
+using SealedMessage = crypto::SealedMessage;
+using crypto::OpenSealed;
+using crypto::SealForRecipient;
 
-// Seals `plaintext` so only the holder of the private key matching
-// `recipient` opens it.
-SealedMessage SealForRecipient(const crypto::PublicKey& recipient,
-                               const std::vector<uint8_t>& plaintext,
-                               util::Rng& rng);
-
-// Opens a sealed message; fails with PERMISSION_DENIED when `priv` does
-// not match the recipient key.
-Result<std::vector<uint8_t>> OpenSealed(crypto::SignatureProvider& provider,
-                                        const SealedMessage& sealed,
-                                        const crypto::PrivateKey& priv);
+// Installs the global relay handler (a relay acknowledges a ProxyRelay
+// and holds the sealed payload for its own onward leg — any node can
+// serve as proxy) plus a default SealedDelivery acknowledgement for
+// recipients without an app-specific handler. Idempotent; apps override
+// SealedDelivery per-node (RegisterNode) for their aggregators.
+void EnsureProxyHandlers(node::AppRuntime& runtime);
 
 // What each party observed during a proxied delivery; the privacy tests
 // assert the knowledge separation.
 struct ProxyDelivery {
   uint32_t proxy_index = 0;
   SealedMessage delivered;          // what the DA receives
+  bool relayed = false;             // TN -> P leg succeeded
+  bool delivered_ok = false;        // P -> DA leg succeeded
   bool proxy_saw_sender = false;    // P knows TN
   bool proxy_saw_payload = false;   // P could read the data
   bool recipient_saw_sender = false;  // DA learned TN's identity
@@ -62,23 +57,28 @@ struct ProxyDelivery {
 
 // Sends `plaintext` from `sender_index` to the node owning
 // `recipient_key` through a uniformly random proxy (never the sender or
-// the recipient).
-Result<ProxyDelivery> ForwardViaProxy(sim::Network& network,
-                                      uint32_t sender_index,
-                                      const crypto::PublicKey& recipient_key,
-                                      const std::vector<uint8_t>& plaintext,
-                                      util::Rng& rng);
+// the recipient), as two RPCs over the runtime's network. A failed
+// relay leg leaves relayed = false (the caller may re-pick a proxy); a
+// failed delivery leg leaves delivered_ok = false (the caller may fail
+// over to another recipient). `contribution_id` tags the payload for
+// recipient-side deduplication; by default a fresh runtime id is drawn.
+Result<ProxyDelivery> ForwardViaProxy(
+    node::AppRuntime& runtime, sim::Network& network, uint32_t sender_index,
+    const crypto::PublicKey& recipient_key,
+    const std::vector<uint8_t>& plaintext, util::Rng& rng,
+    std::optional<uint64_t> contribution_id = std::nullopt);
 
 // Multi-hop variant (§5.3: "we could use several proxies, thus mimicking
 // anonymization network techniques"): the payload stays sealed to the
-// final recipient across `chain_length` distinct relays. Only the first
-// relay sees the sender and only the last sees the recipient; interior
-// relays see neither endpoint. Defeating the delivery's unlinkability
-// requires corrupting the whole chain AND the recipient, probability
-// ~ (C/N)^(chain_length+1).
+// final recipient across `chain_length` distinct relays, each hop its
+// own RPC. Only the first relay sees the sender and only the last sees
+// the recipient; interior relays see neither endpoint. Defeating the
+// delivery's unlinkability requires corrupting the whole chain AND the
+// recipient, probability ~ (C/N)^(chain_length+1).
 struct ChainDelivery {
   std::vector<uint32_t> chain;  // relay directory indices, in order
   SealedMessage delivered;
+  bool delivered_ok = false;  // every hop succeeded
   net::Cost cost;  // chain_length + 1 messages
   // Knowledge trace per relay position for the privacy tests.
   std::vector<bool> relay_saw_sender;
@@ -86,10 +86,9 @@ struct ChainDelivery {
 };
 
 Result<ChainDelivery> ForwardViaProxyChain(
-    sim::Network& network, uint32_t sender_index,
+    node::AppRuntime& runtime, sim::Network& network, uint32_t sender_index,
     const crypto::PublicKey& recipient_key,
-    const std::vector<uint8_t>& plaintext, int chain_length,
-    util::Rng& rng);
+    const std::vector<uint8_t>& plaintext, int chain_length, util::Rng& rng);
 
 }  // namespace sep2p::apps
 

@@ -2,106 +2,239 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 
 #include "apps/proxy.h"
+#include "core/messages.h"
 #include "core/verification.h"
 
 namespace sep2p::apps {
 
+namespace msg = core::msg;
+
 QueryApp::QueryApp(sim::Network* network, std::vector<node::PdmsNode>* pdms,
-                   ConceptIndex* index, Config config)
-    : network_(network), pdms_(pdms), index_(index), config_(config) {}
+                   ConceptIndex* index, node::AppRuntime* runtime,
+                   Config config)
+    : network_(network),
+      pdms_(pdms),
+      index_(index),
+      runtime_(runtime),
+      config_(config),
+      finder_(network, pdms, index, runtime,
+              DiffusionApp::Config{config.target_finder_count,
+                                   config.max_selection_attempts}) {}
+
+void QueryApp::ClearRoundRegistrations() {
+  for (const auto& [node, tag] : round_registrations_) {
+    runtime_->UnregisterNode(node, tag);
+  }
+  round_registrations_.clear();
+}
 
 Result<QueryApp::QueryResult> QueryApp::Execute(uint32_t querier_index,
                                                 const QuerySpec& spec,
                                                 util::Rng& rng) {
-  // --- Phase 1: target finding (use case 2 machinery, no delivery).
-  DiffusionApp::Config tf_config;
-  tf_config.target_finder_count = config_.target_finder_count;
-  DiffusionApp finder(network_, pdms_, index_, tf_config);
-  // Diffuse a query notification: targets learn a query wants their data,
-  // which they must consent to by contributing.
-  Result<DiffusionApp::DiffusionResult> targets = finder.Diffuse(
+  const uint64_t round_start_us = runtime_->now_us();
+
+  // --- Phase 1: target finding (use case 2 machinery). Targets learn a
+  // query wants their data, which they consent to by contributing.
+  Result<DiffusionApp::DiffusionResult> targets = finder_.Diffuse(
       querier_index, spec.profile_expression, "query:" + spec.attribute, rng);
   if (!targets.ok()) return targets.status();
 
   QueryResult result;
   result.cost = targets->cost;
+  result.target_finding_cost = targets->cost;
+  result.target_finding_restarts = targets->selection_restarts;
 
-  // --- Phase 2: secure selection of the aggregators.
+  // --- Phase 2: secure selection of the aggregators over the network.
   core::ProtocolContext ctx = network_->context();
   ctx.actor_count = config_.aggregator_count;
-  core::SelectionProtocol selection(ctx);
   Result<core::SelectionProtocol::Outcome> selected =
-      selection.Run(querier_index, rng);
+      runtime_->RunSelection(ctx, querier_index, rng,
+                             config_.max_selection_attempts,
+                             &result.selection_restarts);
   if (!selected.ok()) return selected.status();
+  result.selection_cost = selected->cost;
   result.cost.Then(selected->cost);
   result.aggregators = selected->actor_indices;
+  result.selection_done_us = runtime_->now_us();
+  const size_t da_count = result.aggregators.size();
+
+  // Fresh round state + per-node handlers on this round's DAs, MDA and
+  // querier.
+  ClearRoundRegistrations();
+  round_ = std::make_unique<RoundState>();
+  round_->partials.assign(da_count, Partial{});
+
+  // DA side: open the proxied sealed value, fold it into this DA's
+  // partial statistic. Idempotent via the contribution id; the dedup
+  // set is round-global so a proxy retry landing on a failover DA can
+  // never count twice.
+  auto delivery_handler =
+      [this](uint32_t server, const std::vector<uint8_t>& request)
+      -> std::optional<std::vector<uint8_t>> {
+    Result<msg::SealedDelivery> delivery =
+        msg::DecodeSealedDelivery(request);
+    if (!delivery.ok()) return std::nullopt;
+    auto slot_it = round_->slot_of.find(server);
+    if (slot_it == round_->slot_of.end()) return std::nullopt;
+    if (round_->seen_contributions.insert(delivery->contribution_id).second) {
+      Result<std::vector<uint8_t>> opened =
+          OpenSealed(network_->provider(), delivery->sealed,
+                     network_->directory().node(server).priv);
+      if (!opened.ok() || opened->size() != sizeof(double)) {
+        return std::nullopt;
+      }
+      double value;
+      std::memcpy(&value, opened->data(), sizeof(double));
+      Partial& partial = round_->partials[slot_it->second];
+      partial.min = partial.count == 0 ? value : std::min(partial.min, value);
+      partial.max = partial.count == 0 ? value : std::max(partial.max, value);
+      partial.sum += value;
+      partial.count += 1;
+      round_->values_seen.push_back(value);
+    }
+    return msg::Encode(msg::AppAck{});
+  };
+
+  // MDA / querier side: merge each DA slot exactly once; the
+  // kMergedSlot answer is the MDA's reply to the querier. The same
+  // handler serves both, so querier == MDA needs no special case.
+  auto answer_handler =
+      [this](uint32_t, const std::vector<uint8_t>& request)
+      -> std::optional<std::vector<uint8_t>> {
+    Result<msg::QueryAnswer> answer = msg::DecodeQueryAnswer(request);
+    if (!answer.ok()) return std::nullopt;
+    if (answer->da_slot == msg::kMergedSlot) {
+      round_->answered = true;
+      round_->answer = {answer->count, answer->sum, answer->min, answer->max};
+      return msg::Encode(msg::AppAck{});
+    }
+    if (answer->da_slot >= round_->partials.size()) return std::nullopt;
+    if (round_->merged_slots.insert(answer->da_slot).second &&
+        answer->count > 0) {
+      Partial& merged = round_->merged;
+      merged.min =
+          merged.count == 0 ? answer->min : std::min(merged.min, answer->min);
+      merged.max =
+          merged.count == 0 ? answer->max : std::max(merged.max, answer->max);
+      merged.sum += answer->sum;
+      merged.count += answer->count;
+    }
+    return msg::Encode(msg::AppAck{});
+  };
+
+  for (size_t slot = 0; slot < da_count; ++slot) {
+    round_->slot_of[result.aggregators[slot]] = slot;
+    runtime_->RegisterNode(result.aggregators[slot], msg::kTagSealedDelivery,
+                           delivery_handler);
+    round_registrations_.push_back(
+        {result.aggregators[slot], msg::kTagSealedDelivery});
+  }
+  const uint32_t mda = result.aggregators.front();
+  runtime_->RegisterNode(querier_index, msg::kTagQueryAnswer, answer_handler);
+  round_registrations_.push_back({querier_index, msg::kTagQueryAnswer});
+  runtime_->RegisterNode(mda, msg::kTagQueryAnswer, answer_handler);
+  round_registrations_.push_back({mda, msg::kTagQueryAnswer});
+
+  const net::Cost before_app = runtime_->measured_cost();
 
   // --- Phase 3: each target verifies the VAL, then contributes its
-  // attribute value to a DA through a random proxy.
-  std::vector<double> da_values;
+  // attribute value to a DA through a random proxy. A dead DA triggers
+  // failover to the next slot (the value is re-sealed to that DA's
+  // key); a dead proxy just gets replaced.
+  uint64_t assigned = 0;  // successful deliveries, for slot round-robin
   for (uint32_t target : targets->targets) {
-    std::optional<double> value = (*pdms_)[target].GetAttribute(
-        spec.attribute);
+    std::optional<double> value =
+        (*pdms_)[target].GetAttribute(spec.attribute);
     if (!value.has_value()) continue;
 
     core::VerifierDecision decision = core::VerifyBeforeDisclosure(
         ctx, selected->val, /*limiter=*/nullptr, /*trigger_id=*/nullptr);
     if (!decision.accepted) continue;
-    result.cost.Then(net::Cost::WorkOnly(decision.cost.crypto_work, 0));
+    runtime_->Charge(net::Cost::WorkOnly(decision.cost.crypto_work, 0));
 
-    // Round-robin DA assignment; payload = 8-byte double.
-    size_t da_slot = da_values.size() % result.aggregators.size();
-    const dht::NodeRecord& da =
-        network_->directory().node(result.aggregators[da_slot]);
     std::vector<uint8_t> payload(sizeof(double));
     double v = *value;
     std::memcpy(payload.data(), &v, sizeof(double));
 
-    Result<ProxyDelivery> delivery =
-        ForwardViaProxy(*network_, target, da.pub, payload, rng);
-    if (!delivery.ok()) return delivery.status();
-    result.cost.Then(delivery->cost);
-    result.senders_seen_by_proxies.push_back(target);
-
-    // The DA opens the sealed payload with its private key.
-    Result<std::vector<uint8_t>> opened = OpenSealed(
-        network_->provider(), delivery->delivered, da.priv);
-    if (!opened.ok()) return opened.status();
-    double received;
-    std::memcpy(&received, opened->data(), sizeof(double));
-    da_values.push_back(received);
-    result.values_seen_by_da.push_back(received);
+    // One stable contribution id across every proxy/DA attempt: that is
+    // what keeps retries from ever counting twice.
+    const uint64_t contribution_id = runtime_->NextMessageId();
+    const size_t slot_base = assigned % da_count;
+    bool delivered = false;
+    for (size_t off = 0; off < da_count && !delivered; ++off) {
+      const dht::NodeRecord& da = network_->directory().node(
+          result.aggregators[(slot_base + off) % da_count]);
+      for (int attempt = 0; attempt < config_.proxy_retries; ++attempt) {
+        Result<ProxyDelivery> delivery =
+            ForwardViaProxy(*runtime_, *network_, target, da.pub, payload,
+                            rng, contribution_id);
+        if (!delivery.ok()) return delivery.status();
+        if (!delivery->relayed) continue;  // dead proxy: draw another
+        result.senders_seen_by_proxies.push_back(target);
+        delivered = delivery->delivered_ok;
+        break;  // the proxy answered; a failed second leg means DA down
+      }
+      if (!delivered && off + 1 < da_count) ++result.da_failovers;
+    }
+    if (delivered) {
+      ++assigned;
+    } else {
+      // Every DA (or every proxy) was unreachable for this target: the
+      // answer completes with one contributor fewer.
+      ++result.lost_contributions;
+    }
   }
 
-  // --- Phase 4: MDA combines (one partial per DA) and answers the
-  // querier only.
-  result.contributors = da_values.size();
+  // --- Phase 4: each DA ships its partial statistic to the MDA, which
+  // merges and answers the querier only.
+  for (size_t slot = 0; slot < da_count; ++slot) {
+    const Partial& partial = round_->partials[slot];
+    msg::QueryAnswer wire;
+    wire.da_slot = static_cast<uint32_t>(slot);
+    wire.count = partial.count;
+    wire.sum = partial.sum;
+    wire.min = partial.min;
+    wire.max = partial.max;
+    runtime_->Call(result.aggregators[slot], mda, msg::Encode(wire));
+  }
+  msg::QueryAnswer final_answer;
+  final_answer.da_slot = msg::kMergedSlot;
+  final_answer.count = round_->merged.count;
+  final_answer.sum = round_->merged.sum;
+  final_answer.min = round_->merged.min;
+  final_answer.max = round_->merged.max;
+  runtime_->Call(mda, querier_index, msg::Encode(final_answer));
+  result.answer_delivered = round_->answered;
+
+  result.contributors = round_->merged.count;
+  result.values_seen_by_da = round_->values_seen;
   result.cost.Then(
-      net::Cost::Step(0, static_cast<double>(result.aggregators.size()) + 1));
-  if (da_values.empty()) {
+      net::Cost::Delta(runtime_->measured_cost(), before_app));
+  result.round_latency_us = runtime_->now_us() - round_start_us;
+
+  if (result.contributors == 0) {
     result.value = 0;
     return result;
   }
   switch (spec.aggregate) {
     case Aggregate::kCount:
-      result.value = static_cast<double>(da_values.size());
+      result.value = static_cast<double>(round_->merged.count);
       break;
     case Aggregate::kSum:
-    case Aggregate::kAvg: {
-      double sum = 0;
-      for (double v : da_values) sum += v;
-      result.value = spec.aggregate == Aggregate::kSum
-                         ? sum
-                         : sum / static_cast<double>(da_values.size());
+      result.value = round_->merged.sum;
       break;
-    }
+    case Aggregate::kAvg:
+      result.value =
+          round_->merged.sum / static_cast<double>(round_->merged.count);
+      break;
     case Aggregate::kMin:
-      result.value = *std::min_element(da_values.begin(), da_values.end());
+      result.value = round_->merged.min;
       break;
     case Aggregate::kMax:
-      result.value = *std::max_element(da_values.begin(), da_values.end());
+      result.value = round_->merged.max;
       break;
   }
   return result;

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "apps/proxy.h"
-#include "strategies/strategy.h"
+#include "core/messages.h"
 
 namespace sep2p::apps {
+
+namespace msg = core::msg;
 
 uint64_t SpatialAggregate::total_count() const {
   uint64_t total = 0;
@@ -15,8 +18,9 @@ uint64_t SpatialAggregate::total_count() const {
 }
 
 ParticipatorySensingApp::ParticipatorySensingApp(
-    sim::Network* network, std::vector<node::PdmsNode>* pdms, Config config)
-    : network_(network), pdms_(pdms), config_(config) {}
+    sim::Network* network, std::vector<node::PdmsNode>* pdms,
+    node::AppRuntime* runtime, Config config)
+    : network_(network), pdms_(pdms), runtime_(runtime), config_(config) {}
 
 double ParticipatorySensingApp::GroundTruth(int ix, int iy) const {
   // A smooth, cell-dependent field (e.g. traffic speed in km/h).
@@ -47,32 +51,128 @@ void ParticipatorySensingApp::GenerateWorkload(int sources,
   }
 }
 
+void ParticipatorySensingApp::ClearRoundRegistrations() {
+  for (const auto& [node, tag] : round_registrations_) {
+    runtime_->UnregisterNode(node, tag);
+  }
+  round_registrations_.clear();
+}
+
 Result<ParticipatorySensingApp::RoundResult>
 ParticipatorySensingApp::RunRound(uint32_t trigger_index, util::Rng& rng) {
   core::ProtocolContext ctx = network_->context();
   ctx.actor_count = config_.aggregator_count;
+  const uint64_t round_start_us = runtime_->now_us();
 
-  // 1. Secure actor selection: the DAs (first doubles as MDA).
-  core::SelectionProtocol selection(ctx);
+  // 1. Secure actor selection over the message network: the DAs (first
+  // doubles as MDA). Unreachable quorums restart with a fresh RND_T.
+  RoundResult result;
   Result<core::SelectionProtocol::Outcome> selected =
-      selection.Run(trigger_index, rng);
+      runtime_->RunSelection(ctx, trigger_index, rng,
+                             config_.max_selection_attempts,
+                             &result.selection_restarts);
   if (!selected.ok()) return selected.status();
 
-  RoundResult result;
+  result.selection_cost = selected->cost;
   result.cost = selected->cost;
   result.aggregators = selected->actor_indices;
   result.main_aggregator = result.aggregators.front();
-  result.values_seen_by_da.resize(result.aggregators.size());
+  const uint32_t mda = result.main_aggregator;
+  const size_t da_count = result.aggregators.size();
+  const int cells = config_.grid * config_.grid;
 
-  // Per-DA partial aggregates.
-  std::vector<SpatialAggregate> partials(result.aggregators.size());
-  for (auto& partial : partials) {
+  // Fresh per-round message state + per-node handlers on this round's
+  // DAs, MDA and trigger (stale registrations from the previous round
+  // are dropped first).
+  ClearRoundRegistrations();
+  round_ = std::make_unique<RoundState>();
+  round_->partials.resize(da_count);
+  for (SpatialAggregate& partial : round_->partials) {
     partial.grid = config_.grid;
-    partial.cells.assign(config_.grid * config_.grid, CellStat{});
+    partial.cells.assign(cells, CellStat{});
   }
+  round_->values_seen.resize(da_count);
+  round_->merged.grid = config_.grid;
+  round_->merged.cells.assign(cells, CellStat{});
+
+  // DA side: open the sealed tuple, accumulate into this DA's partial.
+  // Idempotent via the contribution id (round-global set, so a resend
+  // to a spare DA can never count twice either).
+  auto contribution_handler =
+      [this](uint32_t server, const std::vector<uint8_t>& request)
+      -> std::optional<std::vector<uint8_t>> {
+    Result<msg::SensingContribution> tuple =
+        msg::DecodeSensingContribution(request);
+    if (!tuple.ok()) return std::nullopt;
+    auto slot_it = round_->slot_of.find(server);
+    if (slot_it == round_->slot_of.end()) return std::nullopt;
+    if (round_->seen_contributions.insert(tuple->contribution_id).second) {
+      Result<std::vector<uint8_t>> opened =
+          OpenSealed(network_->provider(), tuple->sealed,
+                     network_->directory().node(server).priv);
+      if (!opened.ok() || opened->size() != sizeof(double)) {
+        return std::nullopt;
+      }
+      double value;
+      std::memcpy(&value, opened->data(), sizeof(double));
+      const int ix = static_cast<int>(tuple->cell) % config_.grid;
+      const int iy = static_cast<int>(tuple->cell) / config_.grid;
+      if (iy >= config_.grid) return std::nullopt;
+      SpatialAggregate& partial = round_->partials[slot_it->second];
+      partial.at(ix, iy).sum += value;
+      partial.at(ix, iy).count += 1;
+      round_->values_seen[slot_it->second].push_back(value);
+    }
+    return msg::Encode(msg::AppAck{});
+  };
+
+  // MDA / trigger side: merge per-slot partials exactly once; a
+  // kMergedSlot partial is the MDA's publication to the trigger.
+  auto partial_handler =
+      [this](uint32_t, const std::vector<uint8_t>& request)
+      -> std::optional<std::vector<uint8_t>> {
+    Result<msg::SensingPartial> partial = msg::DecodeSensingPartial(request);
+    if (!partial.ok()) return std::nullopt;
+    if (partial->da_slot == msg::kMergedSlot) {
+      round_->published = true;
+      return msg::Encode(msg::AppAck{});
+    }
+    if (partial->da_slot >= round_->partials.size() ||
+        partial->sums.size() != round_->merged.cells.size()) {
+      return std::nullopt;
+    }
+    if (round_->merged_slots.insert(partial->da_slot).second) {
+      for (size_t c = 0; c < partial->sums.size(); ++c) {
+        round_->merged.cells[c].sum += partial->sums[c];
+        round_->merged.cells[c].count += partial->counts[c];
+      }
+    }
+    return msg::Encode(msg::AppAck{});
+  };
+
+  for (size_t slot = 0; slot < da_count; ++slot) {
+    round_->slot_of[result.aggregators[slot]] = slot;
+    runtime_->RegisterNode(result.aggregators[slot],
+                           msg::kTagSensingContribution,
+                           contribution_handler);
+    round_registrations_.push_back(
+        {result.aggregators[slot], msg::kTagSensingContribution});
+  }
+  // The same handler serves the MDA (merge) and the trigger (receive
+  // the kMergedSlot publication), so trigger == MDA needs no special
+  // case.
+  runtime_->RegisterNode(trigger_index, msg::kTagSensingPartial,
+                         partial_handler);
+  round_registrations_.push_back({trigger_index, msg::kTagSensingPartial});
+  runtime_->RegisterNode(mda, msg::kTagSensingPartial, partial_handler);
+  round_registrations_.push_back({mda, msg::kTagSensingPartial});
+
+  const net::Cost before_app = runtime_->measured_cost();
 
   // 2-3. Every source verifies the VAL, then contributes anonymized
-  // (cell, value) tuples to the DA owning each cell.
+  // (cell, value) tuples — sealed to the cell's DA — in one parallel
+  // wave over the network.
+  std::vector<node::AppRuntime::Outgoing> contributions;
   for (uint32_t src = 0; src < pdms_->size(); ++src) {
     const node::PdmsNode& pdms = (*pdms_)[src];
     if (pdms.readings().empty()) continue;
@@ -84,7 +184,7 @@ ParticipatorySensingApp::RunRound(uint32_t trigger_index, util::Rng& rng) {
       continue;
     }
     result.per_source_verification_ops = decision.cost.crypto_work;
-    result.cost.Then(net::Cost::WorkOnly(decision.cost.crypto_work, 0));
+    runtime_->Charge(net::Cost::WorkOnly(decision.cost.crypto_work, 0));
     ++result.sources;
 
     for (const node::SensorReading& reading : pdms.readings()) {
@@ -93,28 +193,61 @@ ParticipatorySensingApp::RunRound(uint32_t trigger_index, util::Rng& rng) {
       int iy = std::min(config_.grid - 1,
                         static_cast<int>(reading.y * config_.grid));
       int cell = iy * config_.grid + ix;
-      size_t da = static_cast<size_t>(cell) % result.aggregators.size();
+      size_t da = static_cast<size_t>(cell) % da_count;
 
-      // Anonymized contribution: (cell, value) only, sealed to the DA and
-      // delivered without the source's identity.
-      partials[da].at(ix, iy).sum += reading.value;
-      partials[da].at(ix, iy).count += 1;
-      result.values_seen_by_da[da].push_back(reading.value);
-      result.cost.Then(net::Cost::WorkOnly(0, 1));
+      std::vector<uint8_t> payload(sizeof(double));
+      double value = reading.value;
+      std::memcpy(payload.data(), &value, sizeof(double));
+      msg::SensingContribution tuple;
+      tuple.contribution_id = runtime_->NextMessageId();
+      tuple.cell = static_cast<uint32_t>(cell);
+      tuple.sealed = SealForRecipient(
+          network_->directory().node(result.aggregators[da]).pub, payload,
+          rng);
+      contributions.push_back(
+          {src, result.aggregators[da], msg::Encode(tuple)});
     }
   }
-
-  // 4. MDA merges the per-DA partials (one message per DA) and broadcasts.
-  result.aggregate.grid = config_.grid;
-  result.aggregate.cells.assign(config_.grid * config_.grid, CellStat{});
-  for (const SpatialAggregate& partial : partials) {
-    for (size_t c = 0; c < partial.cells.size(); ++c) {
-      result.aggregate.cells[c].sum += partial.cells[c].sum;
-      result.aggregate.cells[c].count += partial.cells[c].count;
-    }
-    result.cost.Then(net::Cost::WorkOnly(0, 1));
+  result.readings_sent = static_cast<int>(contributions.size());
+  for (const net::SimNetwork::RpcResult& rpc :
+       runtime_->CallBatch(contributions)) {
+    // A lost contribution shrinks the round instead of failing it.
+    if (rpc.ok) ++result.readings_delivered;
   }
-  result.cost.Then(net::Cost::Step(0, 1));  // MDA publishes the result
+
+  // 4. DAs ship their partials to the MDA in a parallel wave (the MDA
+  // "sends to itself" too — the paper counts A partial messages)...
+  std::vector<node::AppRuntime::Outgoing> partial_wave;
+  for (size_t slot = 0; slot < da_count; ++slot) {
+    msg::SensingPartial partial;
+    partial.da_slot = static_cast<uint32_t>(slot);
+    partial.grid = static_cast<uint16_t>(config_.grid);
+    for (const CellStat& cell : round_->partials[slot].cells) {
+      partial.sums.push_back(cell.sum);
+      partial.counts.push_back(cell.count);
+    }
+    partial_wave.push_back(
+        {result.aggregators[slot], mda, msg::Encode(partial)});
+  }
+  runtime_->CallBatch(partial_wave);  // loss of a partial = degraded
+  result.partials_merged = static_cast<int>(round_->merged_slots.size());
+
+  // ...and the MDA publishes the merged aggregate to the trigger.
+  msg::SensingPartial merged;
+  merged.da_slot = msg::kMergedSlot;
+  merged.grid = static_cast<uint16_t>(config_.grid);
+  for (const CellStat& cell : round_->merged.cells) {
+    merged.sums.push_back(cell.sum);
+    merged.counts.push_back(cell.count);
+  }
+  runtime_->Call(mda, trigger_index, msg::Encode(merged));
+  result.published = round_->published;
+
+  result.aggregate = round_->merged;
+  result.values_seen_by_da = round_->values_seen;
+  result.cost.Then(
+      net::Cost::Delta(runtime_->measured_cost(), before_app));
+  result.round_latency_us = runtime_->now_us() - round_start_us;
   return result;
 }
 

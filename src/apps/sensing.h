@@ -3,16 +3,20 @@
 // Community members act as mobile probes; their PDMSs hold geo-localized
 // readings (traffic speed, noise, air quality). One aggregation round:
 //
-//   1. The triggering node runs the SEP2P actor selection; the A actors
-//      become data aggregators (DAs), the first doubling as the main
-//      data aggregator (MDA).
+//   1. The triggering node runs the SEP2P actor selection over the
+//      message network; the A actors become data aggregators (DAs), the
+//      first doubling as the main data aggregator (MDA). An unreachable
+//      quorum restarts the selection with a fresh RND_T.
 //   2. Every data source *verifies the actor list* (2k asymmetric ops)
 //      before contributing — a data source is a verifier by definition.
 //   3. Sources send ANONYMIZED tuples (grid cell, value) — no identity,
 //      no raw position — to the DA responsible for the cell
-//      (cell -> DA by hash), sealed to the DA's key.
-//   4. DAs partially aggregate their cells; the MDA merges the partials
-//      into the spatial aggregate statistics, which are broadcast back.
+//      (cell -> DA by hash), sealed to the DA's key, as one parallel
+//      wave of SensingContribution messages. A contribution whose RPC
+//      exhausts its retries is LOST: the round completes with fewer
+//      readings instead of failing (degraded-but-correct).
+//   4. DAs send their partial aggregates to the MDA (SensingPartial
+//      messages); the MDA merges and publishes to the trigger.
 //
 // Task atomicity: each DA sees only its own cells' anonymized values,
 // the MDA sees only per-cell partial sums, and a corrupted DA learns a
@@ -22,10 +26,14 @@
 #ifndef SEP2P_APPS_SENSING_H_
 #define SEP2P_APPS_SENSING_H_
 
+#include <cstdint>
 #include <map>
+#include <memory>
+#include <set>
 #include <vector>
 
 #include "core/verification.h"
+#include "node/app_runtime.h"
 #include "node/pdms_node.h"
 #include "sim/network.h"
 #include "util/rng.h"
@@ -55,23 +63,35 @@ class ParticipatorySensingApp {
   struct Config {
     int grid = 4;
     int aggregator_count = 8;  // DAs per round (A for the selection)
+    int max_selection_attempts = 8;  // fresh-RND_T restart budget
   };
 
-  // `network` and `pdms` (one per directory index) must outlive the app.
+  // `network`, `pdms` (one per directory index) and `runtime` must
+  // outlive the app.
   ParticipatorySensingApp(sim::Network* network,
-                          std::vector<node::PdmsNode>* pdms)
-      : ParticipatorySensingApp(network, pdms, Config()) {}
+                          std::vector<node::PdmsNode>* pdms,
+                          node::AppRuntime* runtime)
+      : ParticipatorySensingApp(network, pdms, runtime, Config()) {}
   ParticipatorySensingApp(sim::Network* network,
-                          std::vector<node::PdmsNode>* pdms, Config config);
+                          std::vector<node::PdmsNode>* pdms,
+                          node::AppRuntime* runtime, Config config);
 
   struct RoundResult {
-    SpatialAggregate aggregate;
+    SpatialAggregate aggregate;         // the MDA's merged view
     std::vector<uint32_t> aggregators;  // DA directory indices
     uint32_t main_aggregator = 0;       // MDA
     int sources = 0;                    // contributing nodes
     int verifier_rejections = 0;        // sources that refused a bad VAL
-    net::Cost cost;                     // selection + contribution traffic
+    net::Cost selection_cost;           // the selection alone
+    net::Cost cost;                     // selection + measured app traffic
     double per_source_verification_ops = 0;  // 2k
+    // Degraded-completion accounting.
+    int selection_restarts = 0;
+    int readings_sent = 0;       // contribution RPCs issued
+    int readings_delivered = 0;  // acknowledged by a DA
+    int partials_merged = 0;     // DA partials that reached the MDA
+    bool published = false;      // MDA -> trigger publication landed
+    uint64_t round_latency_us = 0;  // virtual-clock, selection included
     // Leakage trace: values seen by each DA, without identities.
     std::vector<std::vector<double>> values_seen_by_da;
   };
@@ -106,9 +126,25 @@ class ParticipatorySensingApp {
   double GroundTruth(int ix, int iy) const;
 
  private:
+  // Per-round DA/MDA-side message state, reset by RunRound.
+  struct RoundState {
+    std::vector<SpatialAggregate> partials;         // per DA slot
+    std::vector<std::vector<double>> values_seen;   // per DA slot
+    std::map<uint32_t, size_t> slot_of;             // DA node -> slot
+    std::set<uint64_t> seen_contributions;          // dedup ids
+    SpatialAggregate merged;                        // MDA view
+    std::set<uint32_t> merged_slots;                // dedup partials
+    bool published = false;                         // trigger view
+  };
+
+  void ClearRoundRegistrations();
+
   sim::Network* network_;
   std::vector<node::PdmsNode>* pdms_;
+  node::AppRuntime* runtime_;
   Config config_;
+  std::unique_ptr<RoundState> round_;
+  std::vector<std::pair<uint32_t, uint8_t>> round_registrations_;
 };
 
 }  // namespace sep2p::apps

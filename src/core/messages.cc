@@ -1,5 +1,7 @@
 #include "core/messages.h"
 
+#include <algorithm>
+
 #include "core/wire_format.h"
 
 namespace sep2p::core::msg {
@@ -211,6 +213,274 @@ Result<Attestation> DecodeAttestation(const std::vector<uint8_t>& bytes) {
   SEP2P_RETURN_IF_ERROR(reader.Blob(&m.sig));
   SEP2P_RETURN_IF_ERROR(reader.ExpectEnd());
   return m;
+}
+
+namespace {
+
+void WriteSealed(Writer& writer, const crypto::SealedMessage& sealed) {
+  writer.Key(sealed.recipient);
+  writer.Raw(sealed.nonce.data(), sealed.nonce.size());
+  writer.Blob(sealed.ciphertext);
+}
+
+Status ReadSealed(Reader& reader, crypto::SealedMessage* sealed) {
+  SEP2P_RETURN_IF_ERROR(reader.Key(&sealed->recipient));
+  crypto::Hash256 nonce;
+  SEP2P_RETURN_IF_ERROR(reader.Hash(&nonce));
+  std::copy(nonce.bytes().begin(), nonce.bytes().end(),
+            sealed->nonce.begin());
+  return reader.Blob(&sealed->ciphertext);
+}
+
+}  // namespace
+
+std::vector<uint8_t> Encode(const AppAck&) {
+  Writer writer;
+  WriteHeader(writer, kTagAppAck);
+  return writer.Take();
+}
+
+Result<AppAck> DecodeAppAck(const std::vector<uint8_t>& bytes) {
+  Reader reader(bytes);
+  SEP2P_RETURN_IF_ERROR(CheckHeader(reader, kTagAppAck));
+  SEP2P_RETURN_IF_ERROR(reader.ExpectEnd());
+  return AppAck{};
+}
+
+std::vector<uint8_t> Encode(const SensingContribution& m) {
+  Writer writer;
+  WriteHeader(writer, kTagSensingContribution);
+  writer.U64(m.contribution_id);
+  writer.U32(m.cell);
+  WriteSealed(writer, m.sealed);
+  return writer.Take();
+}
+
+Result<SensingContribution> DecodeSensingContribution(
+    const std::vector<uint8_t>& bytes) {
+  Reader reader(bytes);
+  SEP2P_RETURN_IF_ERROR(CheckHeader(reader, kTagSensingContribution));
+  SensingContribution m;
+  SEP2P_RETURN_IF_ERROR(reader.U64(&m.contribution_id));
+  SEP2P_RETURN_IF_ERROR(reader.U32(&m.cell));
+  SEP2P_RETURN_IF_ERROR(ReadSealed(reader, &m.sealed));
+  SEP2P_RETURN_IF_ERROR(reader.ExpectEnd());
+  return m;
+}
+
+std::vector<uint8_t> Encode(const SensingPartial& m) {
+  Writer writer;
+  WriteHeader(writer, kTagSensingPartial);
+  writer.U32(m.da_slot);
+  writer.U16(m.grid);
+  writer.U32(static_cast<uint32_t>(m.sums.size()));
+  for (double s : m.sums) writer.F64(s);
+  writer.U32(static_cast<uint32_t>(m.counts.size()));
+  for (uint64_t c : m.counts) writer.U64(c);
+  return writer.Take();
+}
+
+Result<SensingPartial> DecodeSensingPartial(
+    const std::vector<uint8_t>& bytes) {
+  Reader reader(bytes);
+  SEP2P_RETURN_IF_ERROR(CheckHeader(reader, kTagSensingPartial));
+  SensingPartial m;
+  SEP2P_RETURN_IF_ERROR(reader.U32(&m.da_slot));
+  SEP2P_RETURN_IF_ERROR(reader.U16(&m.grid));
+  uint32_t count = 0;
+  SEP2P_RETURN_IF_ERROR(reader.U32(&count));
+  if (count > wire::kMaxParticipants) {
+    return Status::InvalidArgument("msg: bad cell count");
+  }
+  m.sums.resize(count);
+  for (double& s : m.sums) SEP2P_RETURN_IF_ERROR(reader.F64(&s));
+  SEP2P_RETURN_IF_ERROR(reader.U32(&count));
+  if (count != m.sums.size()) {
+    return Status::InvalidArgument("msg: sums/counts mismatch");
+  }
+  m.counts.resize(count);
+  for (uint64_t& c : m.counts) SEP2P_RETURN_IF_ERROR(reader.U64(&c));
+  SEP2P_RETURN_IF_ERROR(reader.ExpectEnd());
+  return m;
+}
+
+std::vector<uint8_t> Encode(const ConceptStore& m) {
+  Writer writer;
+  WriteHeader(writer, kTagConceptStore);
+  writer.U64(m.posting_id);
+  writer.Blob(m.share_key);
+  writer.U8(m.share_x);
+  writer.Blob(m.share_data);
+  return writer.Take();
+}
+
+Result<ConceptStore> DecodeConceptStore(const std::vector<uint8_t>& bytes) {
+  Reader reader(bytes);
+  SEP2P_RETURN_IF_ERROR(CheckHeader(reader, kTagConceptStore));
+  ConceptStore m;
+  SEP2P_RETURN_IF_ERROR(reader.U64(&m.posting_id));
+  SEP2P_RETURN_IF_ERROR(reader.Blob(&m.share_key));
+  SEP2P_RETURN_IF_ERROR(reader.U8(&m.share_x));
+  SEP2P_RETURN_IF_ERROR(reader.Blob(&m.share_data));
+  SEP2P_RETURN_IF_ERROR(reader.ExpectEnd());
+  return m;
+}
+
+std::vector<uint8_t> Encode(const ConceptQuery& m) {
+  Writer writer;
+  WriteHeader(writer, kTagConceptQuery);
+  writer.Blob(m.share_key);
+  return writer.Take();
+}
+
+Result<ConceptQuery> DecodeConceptQuery(const std::vector<uint8_t>& bytes) {
+  Reader reader(bytes);
+  SEP2P_RETURN_IF_ERROR(CheckHeader(reader, kTagConceptQuery));
+  ConceptQuery m;
+  SEP2P_RETURN_IF_ERROR(reader.Blob(&m.share_key));
+  SEP2P_RETURN_IF_ERROR(reader.ExpectEnd());
+  return m;
+}
+
+std::vector<uint8_t> Encode(const ConceptShares& m) {
+  Writer writer;
+  WriteHeader(writer, kTagConceptShares);
+  writer.U32(static_cast<uint32_t>(m.shares.size()));
+  for (size_t i = 0; i < m.shares.size(); ++i) {
+    writer.U64(i < m.posting_ids.size() ? m.posting_ids[i] : 0);
+    writer.U8(m.shares[i].x);
+    writer.Blob(m.shares[i].data);
+  }
+  return writer.Take();
+}
+
+Result<ConceptShares> DecodeConceptShares(const std::vector<uint8_t>& bytes) {
+  Reader reader(bytes);
+  SEP2P_RETURN_IF_ERROR(CheckHeader(reader, kTagConceptShares));
+  ConceptShares m;
+  uint32_t count = 0;
+  SEP2P_RETURN_IF_ERROR(reader.U32(&count));
+  if (count > wire::kMaxActors) {
+    return Status::InvalidArgument("msg: bad share count");
+  }
+  m.posting_ids.resize(count);
+  m.shares.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    SEP2P_RETURN_IF_ERROR(reader.U64(&m.posting_ids[i]));
+    SEP2P_RETURN_IF_ERROR(reader.U8(&m.shares[i].x));
+    SEP2P_RETURN_IF_ERROR(reader.Blob(&m.shares[i].data));
+  }
+  SEP2P_RETURN_IF_ERROR(reader.ExpectEnd());
+  return m;
+}
+
+std::vector<uint8_t> Encode(const ProxyRelay& m) {
+  Writer writer;
+  WriteHeader(writer, kTagProxyRelay);
+  writer.U64(m.contribution_id);
+  writer.U32(m.recipient_index);
+  WriteSealed(writer, m.sealed);
+  return writer.Take();
+}
+
+Result<ProxyRelay> DecodeProxyRelay(const std::vector<uint8_t>& bytes) {
+  Reader reader(bytes);
+  SEP2P_RETURN_IF_ERROR(CheckHeader(reader, kTagProxyRelay));
+  ProxyRelay m;
+  SEP2P_RETURN_IF_ERROR(reader.U64(&m.contribution_id));
+  SEP2P_RETURN_IF_ERROR(reader.U32(&m.recipient_index));
+  SEP2P_RETURN_IF_ERROR(ReadSealed(reader, &m.sealed));
+  SEP2P_RETURN_IF_ERROR(reader.ExpectEnd());
+  return m;
+}
+
+std::vector<uint8_t> Encode(const SealedDelivery& m) {
+  Writer writer;
+  WriteHeader(writer, kTagSealedDelivery);
+  writer.U64(m.contribution_id);
+  WriteSealed(writer, m.sealed);
+  return writer.Take();
+}
+
+Result<SealedDelivery> DecodeSealedDelivery(
+    const std::vector<uint8_t>& bytes) {
+  Reader reader(bytes);
+  SEP2P_RETURN_IF_ERROR(CheckHeader(reader, kTagSealedDelivery));
+  SealedDelivery m;
+  SEP2P_RETURN_IF_ERROR(reader.U64(&m.contribution_id));
+  SEP2P_RETURN_IF_ERROR(ReadSealed(reader, &m.sealed));
+  SEP2P_RETURN_IF_ERROR(reader.ExpectEnd());
+  return m;
+}
+
+std::vector<uint8_t> Encode(const DiffusionOffer& m) {
+  Writer writer;
+  WriteHeader(writer, kTagDiffusionOffer);
+  writer.U64(m.offer_id);
+  writer.Blob(m.expression);
+  writer.Blob(m.message);
+  return writer.Take();
+}
+
+Result<DiffusionOffer> DecodeDiffusionOffer(
+    const std::vector<uint8_t>& bytes) {
+  Reader reader(bytes);
+  SEP2P_RETURN_IF_ERROR(CheckHeader(reader, kTagDiffusionOffer));
+  DiffusionOffer m;
+  SEP2P_RETURN_IF_ERROR(reader.U64(&m.offer_id));
+  SEP2P_RETURN_IF_ERROR(reader.Blob(&m.expression));
+  SEP2P_RETURN_IF_ERROR(reader.Blob(&m.message));
+  SEP2P_RETURN_IF_ERROR(reader.ExpectEnd());
+  return m;
+}
+
+std::vector<uint8_t> Encode(const DiffusionAccept& m) {
+  Writer writer;
+  WriteHeader(writer, kTagDiffusionAccept);
+  writer.U8(m.accepted);
+  return writer.Take();
+}
+
+Result<DiffusionAccept> DecodeDiffusionAccept(
+    const std::vector<uint8_t>& bytes) {
+  Reader reader(bytes);
+  SEP2P_RETURN_IF_ERROR(CheckHeader(reader, kTagDiffusionAccept));
+  DiffusionAccept m;
+  SEP2P_RETURN_IF_ERROR(reader.U8(&m.accepted));
+  SEP2P_RETURN_IF_ERROR(reader.ExpectEnd());
+  return m;
+}
+
+std::vector<uint8_t> Encode(const QueryAnswer& m) {
+  Writer writer;
+  WriteHeader(writer, kTagQueryAnswer);
+  writer.U32(m.da_slot);
+  writer.U64(m.count);
+  writer.F64(m.sum);
+  writer.F64(m.min);
+  writer.F64(m.max);
+  return writer.Take();
+}
+
+Result<QueryAnswer> DecodeQueryAnswer(const std::vector<uint8_t>& bytes) {
+  Reader reader(bytes);
+  SEP2P_RETURN_IF_ERROR(CheckHeader(reader, kTagQueryAnswer));
+  QueryAnswer m;
+  SEP2P_RETURN_IF_ERROR(reader.U32(&m.da_slot));
+  SEP2P_RETURN_IF_ERROR(reader.U64(&m.count));
+  SEP2P_RETURN_IF_ERROR(reader.F64(&m.sum));
+  SEP2P_RETURN_IF_ERROR(reader.F64(&m.min));
+  SEP2P_RETURN_IF_ERROR(reader.F64(&m.max));
+  SEP2P_RETURN_IF_ERROR(reader.ExpectEnd());
+  return m;
+}
+
+Result<uint8_t> PeekTag(const std::vector<uint8_t>& bytes) {
+  if (bytes.size() < 4 || bytes[0] != kMagic0 || bytes[1] != kMagic1 ||
+      bytes[2] != kMagic2) {
+    return Status::InvalidArgument("msg: bad magic");
+  }
+  return bytes[3];
 }
 
 }  // namespace sep2p::core::msg

@@ -3,12 +3,15 @@
 // The selection protocol's remote steps — T→TL commit/reveal for RND_T
 // (§3.4) and S→SL engagement, commit/reveal over (RND_j, CL_j) and
 // attestation collection (§3.5) — travel over net::SimNetwork as the
-// byte payloads defined here. Encoding reuses the canonical wire
-// primitives of core/wire_format.h (big-endian, length-prefixed,
-// hard-capped), with the same magic as the artifact codecs and a
-// distinct tag per message type; decoding is strict and rejects
-// truncation, trailing bytes, wrong tags and absurd counts before any
-// cryptographic processing.
+// byte payloads defined here, as does every application-layer exchange
+// of the three use cases (§5.1–§5.3): sealed sensing tuples,
+// concept-index publish/lookup share delivery, proxy-forwarded
+// contributions, and partial/merged aggregates. Encoding reuses the
+// canonical wire primitives of core/wire_format.h (big-endian,
+// length-prefixed, hard-capped), with the same magic as the artifact
+// codecs and a distinct tag per message type; decoding is strict and
+// rejects truncation, trailing bytes, wrong tags and absurd counts
+// before any cryptographic processing.
 
 #ifndef SEP2P_CORE_MESSAGES_H_
 #define SEP2P_CORE_MESSAGES_H_
@@ -18,6 +21,8 @@
 
 #include "crypto/certificate.h"
 #include "crypto/hash256.h"
+#include "crypto/sealed.h"
+#include "crypto/shamir.h"
 #include "util/status.h"
 
 namespace sep2p::core::msg {
@@ -90,6 +95,143 @@ Result<SlEngage> DecodeSlEngage(const std::vector<uint8_t>& bytes);
 Result<SlReveal> DecodeSlReveal(const std::vector<uint8_t>& bytes);
 Result<AttestRequest> DecodeAttestRequest(const std::vector<uint8_t>& bytes);
 Result<Attestation> DecodeAttestation(const std::vector<uint8_t>& bytes);
+
+// ---------------------------------------------------------------------
+// Application-layer messages (use cases §5.1–§5.3). Their tags are
+// public — node::AppRuntime dispatches per-node handlers on the tag
+// byte — whereas the selection tags above stay private to messages.cc.
+// Tags >= 0x20 so they can never collide with the selection messages
+// (0x10–0x17) or the stored-artifact tags (0x01/0x02).
+// ---------------------------------------------------------------------
+
+inline constexpr uint8_t kTagAppAck = 0x20;
+inline constexpr uint8_t kTagSensingContribution = 0x21;
+inline constexpr uint8_t kTagSensingPartial = 0x22;
+inline constexpr uint8_t kTagConceptStore = 0x23;
+inline constexpr uint8_t kTagConceptQuery = 0x24;
+inline constexpr uint8_t kTagConceptShares = 0x25;
+inline constexpr uint8_t kTagProxyRelay = 0x26;
+inline constexpr uint8_t kTagSealedDelivery = 0x27;
+inline constexpr uint8_t kTagDiffusionOffer = 0x28;
+inline constexpr uint8_t kTagDiffusionAccept = 0x29;
+inline constexpr uint8_t kTagQueryAnswer = 0x2a;
+
+// Slot sentinel: a SensingPartial / QueryAnswer carrying this da_slot is
+// the merged result published to the trigger/querier, not a per-DA
+// partial to be merged.
+inline constexpr uint32_t kMergedSlot = 0xffffffffu;
+
+// Generic application acknowledgement (empty payload).
+struct AppAck {};
+
+// Source → DA: one anonymized (cell, value) sensing tuple, the value
+// sealed to the DA's public key. `contribution_id` lets the DA
+// deduplicate retransmissions (handlers are idempotent by contract).
+struct SensingContribution {
+  uint64_t contribution_id = 0;
+  uint32_t cell = 0;
+  crypto::SealedMessage sealed;
+};
+
+// DA → MDA: per-cell partial sums/counts for the DA's slot; also
+// MDA → trigger with da_slot = kMergedSlot for the merged publication.
+struct SensingPartial {
+  uint32_t da_slot = 0;
+  uint16_t grid = 0;
+  std::vector<double> sums;     // grid*grid cells
+  std::vector<uint64_t> counts;  // grid*grid cells
+};
+
+// Publisher → MI: store one Shamir share of a posting. All shares of
+// one posting carry the same `posting_id`, which both deduplicates
+// retransmissions and lets Lookup re-align share lists when some shares
+// were lost in transit.
+struct ConceptStore {
+  uint64_t posting_id = 0;
+  std::vector<uint8_t> share_key;  // "concept#i"
+  uint8_t share_x = 0;
+  std::vector<uint8_t> share_data;
+};
+
+// TF → MI: request every stored share under `share_key`.
+struct ConceptQuery {
+  std::vector<uint8_t> share_key;
+};
+
+// MI → TF: the stored shares, tagged with their posting ids.
+struct ConceptShares {
+  std::vector<uint64_t> posting_ids;        // aligned with `shares`
+  std::vector<crypto::SecretShare> shares;
+};
+
+// Sender → proxy: relay `sealed` to directory node `recipient_index`.
+// The proxy sees the sender and the recipient index but only ciphertext.
+struct ProxyRelay {
+  uint64_t contribution_id = 0;
+  uint32_t recipient_index = 0;
+  crypto::SealedMessage sealed;
+};
+
+// Proxy → recipient (or last chain relay → recipient): the sealed
+// payload without the sender's identity.
+struct SealedDelivery {
+  uint64_t contribution_id = 0;
+  crypto::SealedMessage sealed;
+};
+
+// TF → candidate: the diffusion payload plus the profile expression; the
+// candidate evaluates the expression against its own (local) concepts
+// and consents by accepting.
+struct DiffusionOffer {
+  uint64_t offer_id = 0;
+  std::vector<uint8_t> expression;  // ProfileExpression text
+  std::vector<uint8_t> message;     // payload delivered on match
+};
+
+// Candidate → TF: whether the candidate matched (and kept the message).
+struct DiffusionAccept {
+  uint8_t accepted = 0;
+};
+
+// DA → MDA: per-slot aggregate statistics; also MDA → querier with
+// da_slot = kMergedSlot for the final answer.
+struct QueryAnswer {
+  uint32_t da_slot = 0;
+  uint64_t count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+};
+
+std::vector<uint8_t> Encode(const AppAck& m);
+std::vector<uint8_t> Encode(const SensingContribution& m);
+std::vector<uint8_t> Encode(const SensingPartial& m);
+std::vector<uint8_t> Encode(const ConceptStore& m);
+std::vector<uint8_t> Encode(const ConceptQuery& m);
+std::vector<uint8_t> Encode(const ConceptShares& m);
+std::vector<uint8_t> Encode(const ProxyRelay& m);
+std::vector<uint8_t> Encode(const SealedDelivery& m);
+std::vector<uint8_t> Encode(const DiffusionOffer& m);
+std::vector<uint8_t> Encode(const DiffusionAccept& m);
+std::vector<uint8_t> Encode(const QueryAnswer& m);
+
+Result<AppAck> DecodeAppAck(const std::vector<uint8_t>& bytes);
+Result<SensingContribution> DecodeSensingContribution(
+    const std::vector<uint8_t>& bytes);
+Result<SensingPartial> DecodeSensingPartial(const std::vector<uint8_t>& bytes);
+Result<ConceptStore> DecodeConceptStore(const std::vector<uint8_t>& bytes);
+Result<ConceptQuery> DecodeConceptQuery(const std::vector<uint8_t>& bytes);
+Result<ConceptShares> DecodeConceptShares(const std::vector<uint8_t>& bytes);
+Result<ProxyRelay> DecodeProxyRelay(const std::vector<uint8_t>& bytes);
+Result<SealedDelivery> DecodeSealedDelivery(const std::vector<uint8_t>& bytes);
+Result<DiffusionOffer> DecodeDiffusionOffer(const std::vector<uint8_t>& bytes);
+Result<DiffusionAccept> DecodeDiffusionAccept(
+    const std::vector<uint8_t>& bytes);
+Result<QueryAnswer> DecodeQueryAnswer(const std::vector<uint8_t>& bytes);
+
+// Validates the message magic and returns the tag byte without decoding
+// the body — the dispatch key for node::AppRuntime handlers.
+Result<uint8_t> PeekTag(const std::vector<uint8_t>& bytes);
 
 }  // namespace sep2p::core::msg
 

@@ -1,0 +1,57 @@
+#include "crypto/sealed.h"
+
+#include "crypto/sha256.h"
+
+namespace sep2p::crypto {
+
+namespace {
+
+// Keystream block i = SHA256("seal" || recipient || nonce || i).
+void ApplyKeystream(const PublicKey& recipient,
+                    const std::array<uint8_t, 32>& nonce,
+                    std::vector<uint8_t>& data) {
+  for (size_t block = 0; block * 32 < data.size(); ++block) {
+    Sha256 ctx;
+    ctx.Update("seal");
+    ctx.Update(recipient.data(), recipient.size());
+    ctx.Update(nonce.data(), nonce.size());
+    uint8_t counter[4] = {static_cast<uint8_t>(block >> 24),
+                          static_cast<uint8_t>(block >> 16),
+                          static_cast<uint8_t>(block >> 8),
+                          static_cast<uint8_t>(block)};
+    ctx.Update(counter, sizeof(counter));
+    Digest stream = ctx.Finish();
+    for (size_t i = 0; i < 32 && block * 32 + i < data.size(); ++i) {
+      data[block * 32 + i] ^= stream[i];
+    }
+  }
+}
+
+}  // namespace
+
+SealedMessage SealForRecipient(const PublicKey& recipient,
+                               const std::vector<uint8_t>& plaintext,
+                               util::Rng& rng) {
+  SealedMessage sealed;
+  sealed.recipient = recipient;
+  sealed.nonce = rng.NextBytes32();
+  sealed.ciphertext = plaintext;
+  ApplyKeystream(recipient, sealed.nonce, sealed.ciphertext);
+  return sealed;
+}
+
+Result<std::vector<uint8_t>> OpenSealed(SignatureProvider& provider,
+                                        const SealedMessage& sealed,
+                                        const PrivateKey& priv) {
+  Result<PublicKey> pub = provider.DerivePublicKey(priv);
+  if (!pub.ok()) return pub.status();
+  if (pub.value() != sealed.recipient) {
+    return Status::PermissionDenied(
+        "sealed message: private key does not match recipient");
+  }
+  std::vector<uint8_t> plaintext = sealed.ciphertext;
+  ApplyKeystream(sealed.recipient, sealed.nonce, plaintext);
+  return plaintext;
+}
+
+}  // namespace sep2p::crypto

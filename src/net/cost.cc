@@ -24,6 +24,15 @@ Cost Cost::Par(const std::vector<Cost>& branches) {
   return out;
 }
 
+Cost Cost::Delta(const Cost& later, const Cost& earlier) {
+  Cost out;
+  out.crypto_latency = later.crypto_latency - earlier.crypto_latency;
+  out.msg_latency = later.msg_latency - earlier.msg_latency;
+  out.crypto_work = later.crypto_work - earlier.crypto_work;
+  out.msg_work = later.msg_work - earlier.msg_work;
+  return out;
+}
+
 Cost Cost::ParIdentical(const Cost& branch, size_t n) {
   if (n == 0) return Cost{};
   Cost out = branch;

@@ -54,6 +54,12 @@ struct Cost {
   // Parallel composition of `n` identical branches.
   static Cost ParIdentical(const Cost& branch, size_t n);
 
+  // Component-wise difference `later - earlier`, for snapshot-based
+  // measurement: snapshot an accumulator before a phase, run it, and
+  // Delta yields the phase's own cost. `later` must dominate `earlier`
+  // component-wise (accumulators only grow).
+  static Cost Delta(const Cost& later, const Cost& earlier);
+
   Cost& operator+=(const Cost& other) { return Then(other); }
 
   std::string ToString() const;

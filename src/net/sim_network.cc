@@ -163,6 +163,21 @@ std::vector<SimNetwork::RpcResult> SimNetwork::CallMany(
   return results;
 }
 
+std::vector<SimNetwork::RpcResult> SimNetwork::CallBatch(
+    const std::vector<Outgoing>& calls, const Handler& handler) {
+  const uint64_t start = now_us_;
+  uint64_t end = start;
+  std::vector<RpcResult> results;
+  results.reserve(calls.size());
+  for (const Outgoing& out : calls) {
+    now_us_ = start;  // all calls depart at the same instant
+    results.push_back(Call(out.client, out.server, out.request, handler));
+    end = std::max(end, now_us_);
+  }
+  now_us_ = end;  // the wave completes with its slowest call
+  return results;
+}
+
 SimNetwork::QuorumResult SimNetwork::EngageQuorum(
     uint32_t client, const std::vector<uint32_t>& candidates, int k,
     const std::function<std::vector<uint8_t>(uint32_t)>& make_request,

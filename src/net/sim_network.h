@@ -148,6 +148,21 @@ class SimNetwork {
                                       requests,
                                   const Handler& handler);
 
+  // One call of a batch wave: `client` issues `request` to `server`.
+  struct Outgoing {
+    uint32_t client = 0;
+    uint32_t server = 0;
+    std::vector<uint8_t> request;
+  };
+
+  // A parallel wave of calls from potentially MANY clients (e.g. every
+  // data source contributing to its aggregator at once): every call
+  // starts at the current virtual time and the clock lands on the
+  // slowest call's completion. Calls are evaluated in index order, so
+  // the trace is deterministic.
+  std::vector<RpcResult> CallBatch(const std::vector<Outgoing>& calls,
+                                   const Handler& handler);
+
   // Engages `k` responsive members out of `candidates` (in order):
   // the first k are contacted in parallel; members whose RPC exhausts
   // its retry budget are declared failed and replaced by the next spare

@@ -1,0 +1,81 @@
+#include "node/app_runtime.h"
+
+#include "core/messages.h"
+
+namespace sep2p::node {
+
+void AppRuntime::Register(uint8_t tag, Handler handler) {
+  handlers_[tag] = std::move(handler);
+}
+
+void AppRuntime::RegisterNode(uint32_t node, uint8_t tag, Handler handler) {
+  node_handlers_[{node, tag}] = std::move(handler);
+}
+
+void AppRuntime::UnregisterNode(uint32_t node, uint8_t tag) {
+  node_handlers_.erase({node, tag});
+}
+
+std::optional<std::vector<uint8_t>> AppRuntime::Dispatch(
+    uint32_t server, const std::vector<uint8_t>& request) {
+  Result<uint8_t> tag = core::msg::PeekTag(request);
+  if (!tag.ok()) return std::nullopt;
+  auto node_it = node_handlers_.find({server, tag.value()});
+  if (node_it != node_handlers_.end()) {
+    return node_it->second(server, request);
+  }
+  auto it = handlers_.find(tag.value());
+  if (it == handlers_.end()) return std::nullopt;
+  return it->second(server, request);
+}
+
+net::SimNetwork::RpcResult AppRuntime::Call(
+    uint32_t client, uint32_t server, const std::vector<uint8_t>& request) {
+  cost_.Then(net::Cost::Step(0, 1));
+  return network_->Call(client, server, request,
+                        [this](uint32_t node, const std::vector<uint8_t>& m) {
+                          return Dispatch(node, m);
+                        });
+}
+
+std::vector<net::SimNetwork::RpcResult> AppRuntime::CallBatch(
+    const std::vector<Outgoing>& calls) {
+  cost_.Then(net::Cost::WorkOnly(0, static_cast<double>(calls.size())));
+  std::vector<net::SimNetwork::Outgoing> wave;
+  wave.reserve(calls.size());
+  for (const Outgoing& call : calls) {
+    wave.push_back({call.client, call.server, call.request});
+  }
+  return network_->CallBatch(
+      wave, [this](uint32_t node, const std::vector<uint8_t>& m) {
+        return Dispatch(node, m);
+      });
+}
+
+void AppRuntime::AdvanceRoute(int hops) {
+  cost_.Then(net::Cost::Step(0, static_cast<double>(hops)));
+  network_->AdvanceRoute(hops);
+}
+
+Result<core::SelectionProtocol::Outcome> AppRuntime::RunSelection(
+    const core::ProtocolContext& ctx, uint32_t trigger_index, util::Rng& rng,
+    int max_attempts, int* restarts) {
+  core::SelectionProtocol protocol(ctx);
+  core::SelectionOptions options;
+  options.network = network_;
+  Result<core::SelectionProtocol::Outcome> run =
+      Status::Unavailable("selection: no attempt made");
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    run = protocol.Run(trigger_index, rng, options);
+    if (run.ok()) {
+      if (restarts != nullptr) *restarts = attempt - 1;
+      return run;
+    }
+    // A fresh-RND_T restart only absorbs unreachable quorums; any other
+    // failure is a real error.
+    if (run.status().code() != StatusCode::kUnavailable) return run;
+  }
+  return run;
+}
+
+}  // namespace sep2p::node

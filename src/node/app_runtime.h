@@ -1,0 +1,120 @@
+// AppRuntime: the per-node application endpoint over net::SimNetwork.
+//
+// The use-case applications (apps/sensing, diffusion, concept_index,
+// proxy, query) exchange data exclusively as typed wire messages
+// (core/messages.h) dispatched through this runtime. Each message tag
+// maps to a handler — registered either for every node (Register) or
+// for one specific node (RegisterNode, which wins) — so "the DA merges
+// partials" literally means the DA node's handler consumed a
+// SensingPartial that travelled the simulated network, with the same
+// per-RPC timeout/bounded-retry/backoff treatment the selection protocol
+// gets. Handlers MUST be idempotent: a lost reply makes the caller
+// retransmit, which re-invokes the handler (deduplicate on the message's
+// id field).
+//
+// Cost accounting: the runtime replaces the apps' hand-rolled Cost
+// counters with measurement. Every RPC charges one LOGICAL protocol
+// message (replies/acks ride free, matching the paper's figures);
+// retransmissions only show up in SimNetwork::Stats. Sequential calls
+// charge Step (latency + work); batched background waves charge WorkOnly
+// (work only) — mirroring how the paper composes critical-path vs
+// total-work counts. Apps snapshot measured_cost() around a phase and
+// take net::Cost::Delta to attribute the phase's cost.
+
+#ifndef SEP2P_NODE_APP_RUNTIME_H_
+#define SEP2P_NODE_APP_RUNTIME_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/context.h"
+#include "core/selection.h"
+#include "net/cost.h"
+#include "net/sim_network.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace sep2p::node {
+
+class AppRuntime {
+ public:
+  // Same shape as net::SimNetwork::Handler: (server node, request
+  // bytes) -> reply bytes, or nullopt to refuse (the caller times out).
+  using Handler = std::function<std::optional<std::vector<uint8_t>>(
+      uint32_t server, const std::vector<uint8_t>& request)>;
+
+  struct Outgoing {
+    uint32_t client = 0;
+    uint32_t server = 0;
+    std::vector<uint8_t> request;
+  };
+
+  // `network` must outlive the runtime and never be shared across
+  // threads (one runtime + network per trial).
+  explicit AppRuntime(net::SimNetwork* network) : network_(network) {}
+
+  // Installs `handler` for `tag` on EVERY node (homogeneous deployment,
+  // e.g. any node can serve as metadata indexer). Last registration
+  // wins.
+  void Register(uint8_t tag, Handler handler);
+
+  // Installs `handler` for `tag` on one specific node (e.g. this round's
+  // data aggregators); takes precedence over the global registration.
+  void RegisterNode(uint32_t node, uint8_t tag, Handler handler);
+  void UnregisterNode(uint32_t node, uint8_t tag);
+
+  // Sequential RPC on the critical path: charges Step(0, 1).
+  net::SimNetwork::RpcResult Call(uint32_t client, uint32_t server,
+                                  const std::vector<uint8_t>& request);
+
+  // A parallel wave of calls off the critical path (many clients at
+  // once, e.g. every source contributing to its DA): charges
+  // WorkOnly(0, 1) per call; the virtual clock lands on the slowest
+  // call.
+  std::vector<net::SimNetwork::RpcResult> CallBatch(
+      const std::vector<Outgoing>& calls);
+
+  // DHT routing leg on the critical path: charges Step(0, hops).
+  void AdvanceRoute(int hops);
+
+  // Charges cost incurred outside the transport (e.g. the 2k asymmetric
+  // operations of a VAL verification).
+  void Charge(const net::Cost& cost) { cost_.Then(cost); }
+
+  // Runs the actor selection over this runtime's network, restarting
+  // with a fresh RND_T (up to `max_attempts` runs total) only when a
+  // quorum is genuinely unreachable (kUnavailable). `restarts` (if
+  // non-null) receives the number of restarts consumed on success.
+  Result<core::SelectionProtocol::Outcome> RunSelection(
+      const core::ProtocolContext& ctx, uint32_t trigger_index,
+      util::Rng& rng, int max_attempts, int* restarts);
+
+  // Monotonic id for message-level deduplication (unique per runtime).
+  uint64_t NextMessageId() { return ++next_message_id_; }
+
+  const net::Cost& measured_cost() const { return cost_; }
+  net::SimNetwork* network() { return network_; }
+  uint64_t now_us() const { return network_->now_us(); }
+
+ private:
+  // The one Handler handed to every SimNetwork call: peeks the tag and
+  // routes to the per-node or global registration; unknown tags are
+  // refused (the caller times out, as against a node that does not run
+  // the app).
+  std::optional<std::vector<uint8_t>> Dispatch(
+      uint32_t server, const std::vector<uint8_t>& request);
+
+  net::SimNetwork* network_;
+  std::map<uint8_t, Handler> handlers_;
+  std::map<std::pair<uint32_t, uint8_t>, Handler> node_handlers_;
+  net::Cost cost_;
+  uint64_t next_message_id_ = 0;
+};
+
+}  // namespace sep2p::node
+
+#endif  // SEP2P_NODE_APP_RUNTIME_H_

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#include "apps/sensing.h"
 #include "core/ktable.h"
 #include "net/sim_network.h"
+#include "node/app_runtime.h"
+#include "node/pdms_node.h"
 #include "sim/metrics.h"
 #include "sim/trial_runner.h"
 #include "strategies/strategy.h"
@@ -26,6 +29,8 @@ constexpr uint64_t kFailureTrialSalt = 0xfa11;
 constexpr uint64_t kFailureModelSalt = 0xdead;
 constexpr uint64_t kMessageTrialSalt = 0x4e7411a1;
 constexpr uint64_t kMessageNetSalt = 0x4e7411e7;
+constexpr uint64_t kAppTrialSalt = 0xa9905a17;
+constexpr uint64_t kAppNetSalt = 0xa9905e7a;
 
 }  // namespace
 
@@ -605,6 +610,124 @@ Result<std::vector<MessageFailurePoint>> RunMessageFailureSweep(
     point.avg_retries = retries.mean();
     point.avg_replacements = replacements.mean();
     point.restart_rate = restarts.mean();
+    point.give_up_rate = static_cast<double>(gave_up) / std::max(1, trials);
+    point.p50_latency_ms = Percentile(latencies_ms, 0.50);
+    point.p99_latency_ms = Percentile(latencies_ms, 0.99);
+    points.push_back(point);
+  }
+  return points;
+}
+
+Result<std::vector<AppFailurePoint>> RunAppFailureSweep(
+    const Parameters& base,
+    const std::vector<MessageFailureSetting>& settings, int trials,
+    int max_attempts) {
+  Result<std::unique_ptr<Network>> network = Network::Build(base);
+  if (!network.ok()) return network.status();
+  Network& net = *network.value();
+  const uint32_t node_count =
+      static_cast<uint32_t>(net.directory().size());
+  TrialRunner runner(base.threads);
+  // Deterministic workload shape: a tenth of the network contributes.
+  const int sources = std::max(1, static_cast<int>(node_count / 10));
+  const int readings_per_source = 3;
+
+  std::vector<AppFailurePoint> points;
+  for (size_t pi = 0; pi < settings.size(); ++pi) {
+    const MessageFailureSetting& setting = settings[pi];
+    const uint64_t trial_seed = MixSeed(base.seed, kAppTrialSalt, pi);
+    const uint64_t net_seed = MixSeed(base.seed, kAppNetSalt, pi);
+
+    struct Shard {
+      OnlineStats retries;
+      OnlineStats restarts;
+      OnlineStats delivered;
+      // Concatenated in shard order (sorted inside Percentile), so the
+      // percentiles are bit-identical for any thread count.
+      std::vector<double> latencies_ms;
+      int first_try = 0;
+      int gave_up = 0;
+    };
+    std::vector<Shard> shards(TrialRunner::ShardCount(trials));
+    Status status = runner.RunShards(
+        trials, [&](int shard, int begin, int end) {
+          Shard& sh = shards[shard];
+          for (int t = begin; t < end; ++t) {
+            util::Rng rng(StreamSeed(trial_seed, static_cast<uint64_t>(t)));
+            net::LinkModel link;
+            link.drop_probability = setting.drop_probability;
+            link.jitter_mean_us = setting.jitter_mean_us;
+            net::RetryPolicy retry;  // library defaults
+            net::SimNetwork simnet(
+                node_count, link, retry,
+                StreamSeed(net_seed, static_cast<uint64_t>(t)));
+            simnet.set_step_crash_probability(
+                setting.step_crash_probability);
+            node::AppRuntime runtime(&simnet);
+
+            // Trial-private PDMSs: the handlers write into them, so they
+            // cannot be shared across parallel trials.
+            std::vector<node::PdmsNode> pdms;
+            pdms.reserve(node_count);
+            for (uint32_t i = 0; i < node_count; ++i) pdms.emplace_back(i);
+
+            apps::ParticipatorySensingApp::Config config;
+            config.max_selection_attempts = max_attempts;
+            apps::ParticipatorySensingApp app(&net, &pdms, &runtime,
+                                              config);
+            app.GenerateWorkload(sources, readings_per_source, rng);
+            uint32_t trigger =
+                static_cast<uint32_t>(rng.NextUint64(node_count));
+            Result<apps::ParticipatorySensingApp::RoundResult> round =
+                app.RunRound(trigger, rng);
+            if (!round.ok()) {
+              if (round.status().code() != StatusCode::kUnavailable) {
+                return round.status();
+              }
+              ++sh.gave_up;
+              continue;
+            }
+            const bool clean = round->selection_restarts == 0 &&
+                               round->readings_delivered ==
+                                   round->readings_sent &&
+                               round->published;
+            if (clean) ++sh.first_try;
+            sh.restarts.Add(round->selection_restarts);
+            sh.retries.Add(static_cast<double>(simnet.stats().retries));
+            sh.delivered.Add(
+                round->readings_sent == 0
+                    ? 1.0
+                    : static_cast<double>(round->readings_delivered) /
+                          static_cast<double>(round->readings_sent));
+            sh.latencies_ms.push_back(
+                static_cast<double>(round->round_latency_us) / 1000.0);
+          }
+          return Status::Ok();
+        });
+    if (!status.ok()) return status;
+
+    OnlineStats retries, restarts, delivered;
+    std::vector<double> latencies_ms;
+    int first_try = 0;
+    int gave_up = 0;
+    for (const Shard& sh : shards) {
+      retries.Merge(sh.retries);
+      restarts.Merge(sh.restarts);
+      delivered.Merge(sh.delivered);
+      latencies_ms.insert(latencies_ms.end(), sh.latencies_ms.begin(),
+                          sh.latencies_ms.end());
+      first_try += sh.first_try;
+      gave_up += sh.gave_up;
+    }
+
+    AppFailurePoint point;
+    point.setting = setting;
+    point.trials = trials;
+    point.first_try_success_rate =
+        static_cast<double>(first_try) / std::max(1, trials);
+    point.avg_retries = retries.mean();
+    point.avg_restarts = restarts.mean();
+    point.avg_delivered_fraction = delivered.mean();
     point.give_up_rate = static_cast<double>(gave_up) / std::max(1, trials);
     point.p50_latency_ms = Percentile(latencies_ms, 0.50);
     point.p99_latency_ms = Percentile(latencies_ms, 0.99);

@@ -164,6 +164,36 @@ Result<std::vector<MessageFailurePoint>> RunMessageFailureSweep(
     const std::vector<MessageFailureSetting>& settings, int trials,
     int max_attempts = 25);
 
+// -------------------------------------------------------- §5 app rounds
+// Application-level robustness: one full participatory-sensing round per
+// trial (selection + sealed contribution wave + partial merge + publish)
+// over a faulty net::SimNetwork, through the node::AppRuntime message
+// dispatch. Reuses MessageFailureSetting; each trial owns its SimNetwork
+// and PDMS set, so every point is bit-identical for any
+// Parameters::threads value.
+struct AppFailurePoint {
+  MessageFailureSetting setting;
+  int trials = 0;
+  // Rounds that needed no fresh-RND_T restart AND delivered every
+  // contribution AND published the merged aggregate.
+  double first_try_success_rate = 0;
+  double avg_retries = 0;   // transport retransmissions per round
+  double avg_restarts = 0;  // fresh-RND_T selection restarts per round
+  // Fraction of issued contributions acknowledged by a DA (the
+  // degraded-but-correct knob: loss shrinks the round, never breaks it).
+  double avg_delivered_fraction = 0;
+  double give_up_rate = 0;  // rounds whose selection exhausted its budget
+  // Virtual-clock time for the whole round, selection included; over
+  // completed rounds only.
+  double p50_latency_ms = 0;
+  double p99_latency_ms = 0;
+};
+
+Result<std::vector<AppFailurePoint>> RunAppFailureSweep(
+    const Parameters& base,
+    const std::vector<MessageFailureSetting>& settings, int trials,
+    int max_attempts = 25);
+
 // ---------------------------------------------------------- §4.1 ablation
 // Empirical check behind the alpha choice: across `network_count`
 // colluder assignments, the maximum number of colluders found in ANY

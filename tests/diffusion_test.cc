@@ -24,9 +24,12 @@ class DiffusionTest : public ::testing::Test {
       if (i % 3 == 0) pdms_[i].AddConcept("age:40s");
       if (i % 7 == 0) pdms_[i].AddConcept("retired");
     }
-    index_ = std::make_unique<ConceptIndex>(network_.get());
+    simnet_ = std::make_unique<net::SimNetwork>(
+        test::MakeZeroFaultSimNet(1200));
+    runtime_ = std::make_unique<node::AppRuntime>(simnet_.get());
+    index_ = std::make_unique<ConceptIndex>(network_.get(), runtime_.get());
     app_ = std::make_unique<DiffusionApp>(network_.get(), &pdms_,
-                                          index_.get());
+                                          index_.get(), runtime_.get());
     util::Rng rng(5);
     ASSERT_TRUE(app_->PublishAllProfiles(rng).ok());
   }
@@ -43,6 +46,8 @@ class DiffusionTest : public ::testing::Test {
 
   std::unique_ptr<sim::Network> network_;
   std::vector<node::PdmsNode> pdms_;
+  std::unique_ptr<net::SimNetwork> simnet_;
+  std::unique_ptr<node::AppRuntime> runtime_;
   std::unique_ptr<ConceptIndex> index_;
   std::unique_ptr<DiffusionApp> app_;
   util::Rng rng_{19};
@@ -114,12 +119,58 @@ TEST_F(DiffusionTest, UnknownConceptReachesNobody) {
   EXPECT_TRUE(result->targets.empty());
 }
 
+TEST_F(DiffusionTest, FaultFreeDiffusionHasNoDegradation) {
+  auto result = app_->Diffuse(1, "pilot", "msg", rng_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->selection_restarts, 0);
+  EXPECT_EQ(result->indexer_failures, 0);
+  EXPECT_EQ(result->offer_failures, 0);
+  EXPECT_GT(result->candidates_contacted, 0);
+  EXPECT_GT(result->round_latency_us, 0u);
+}
+
+TEST_F(DiffusionTest, LossyOffersDegradeToASubsetOfTrueTargets) {
+  // Publish over a clean network, then diffuse over a lossy one: some
+  // offers (or index lookups) exhaust their retries, but whoever IS
+  // reached is a genuine match and actually received the message.
+  net::SimNetwork lossy = test::MakeSimNet(1200, /*drop=*/0.25,
+                                           /*jitter_mean_us=*/0, /*seed=*/6);
+  node::AppRuntime runtime(&lossy);
+  ConceptIndex index(network_.get(), &runtime);
+  DiffusionApp app(network_.get(), &pdms_, &index, &runtime);
+  util::Rng rng(31);
+  ASSERT_TRUE(app.PublishAllProfiles(rng).ok());
+  auto result = app.Diffuse(1, "pilot", "lossy hello", rng);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_GT(lossy.stats().retries, 0u);
+
+  std::vector<uint32_t> expected = Expected("pilot");
+  std::set<uint32_t> expected_set(expected.begin(), expected.end());
+  EXPECT_LE(result->targets.size(), expected.size());
+  for (uint32_t target : result->targets) {
+    EXPECT_EQ(expected_set.count(target), 1u) << target;
+    // Exactly one copy despite retransmissions (offer-id dedup).
+    EXPECT_EQ(pdms_[target].inbox().size(), 1u) << target;
+  }
+  // The degradation is reported, never silent: whatever is missing from
+  // the target set is accounted for by a failure counter (a share lost
+  // during publish also shrinks the candidate set).
+  if (result->targets.size() < expected.size()) {
+    EXPECT_GT(result->offer_failures + result->indexer_failures +
+                  static_cast<int>(expected.size()) -
+                  result->candidates_contacted,
+              0);
+  }
+}
+
 TEST_F(DiffusionTest, WorksWithShamirShardedIndex) {
   ConceptIndex::Options options;
   options.shamir_threshold = 2;
   options.shamir_shares = 3;
-  ConceptIndex sharded(network_.get(), options);
-  DiffusionApp app(network_.get(), &pdms_, &sharded);
+  net::SimNetwork simnet = test::MakeZeroFaultSimNet(1200);
+  node::AppRuntime runtime(&simnet);
+  ConceptIndex sharded(network_.get(), &runtime, options);
+  DiffusionApp app(network_.get(), &pdms_, &sharded, &runtime);
   util::Rng rng(7);
   ASSERT_TRUE(app.PublishAllProfiles(rng).ok());
   auto result = app.Diffuse(1, "pilot AND age:40s", "msg", rng);

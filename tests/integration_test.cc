@@ -23,10 +23,15 @@ class IntegrationTest : public ::testing::Test {
     for (uint32_t i = 0; i < network_->directory().size(); ++i) {
       pdms_.emplace_back(i);
     }
+    simnet_ = std::make_unique<net::SimNetwork>(
+        test::MakeZeroFaultSimNet(400));
+    runtime_ = std::make_unique<node::AppRuntime>(simnet_.get());
   }
 
   std::unique_ptr<sim::Network> network_;
   std::vector<node::PdmsNode> pdms_;
+  std::unique_ptr<net::SimNetwork> simnet_;
+  std::unique_ptr<node::AppRuntime> runtime_;
   util::Rng rng_{31};
 };
 
@@ -48,7 +53,8 @@ TEST_F(IntegrationTest, SelectionVerifiesUnderRealCrypto) {
 TEST_F(IntegrationTest, FullSensingRound) {
   apps::ParticipatorySensingApp::Config config;
   config.aggregator_count = 4;
-  apps::ParticipatorySensingApp app(network_.get(), &pdms_, config);
+  apps::ParticipatorySensingApp app(network_.get(), &pdms_, runtime_.get(),
+                                    config);
   app.GenerateWorkload(/*sources=*/60, /*readings_per_source=*/4, rng_);
   auto round = app.RunRound(3, rng_);
   ASSERT_TRUE(round.ok()) << round.status().ToString();
@@ -62,15 +68,16 @@ TEST_F(IntegrationTest, FullDiffusionAndQueryPipeline) {
     if (i % 4 == 0) pdms_[i].AddConcept("subscriber");
     pdms_[i].SetAttribute("score", (i % 7) * 1.0);
   }
-  apps::ConceptIndex index(network_.get());
-  apps::DiffusionApp diffusion(network_.get(), &pdms_, &index);
+  apps::ConceptIndex index(network_.get(), runtime_.get());
+  apps::DiffusionApp diffusion(network_.get(), &pdms_, &index,
+                               runtime_.get());
   ASSERT_TRUE(diffusion.PublishAllProfiles(rng_).ok());
 
   auto diffused = diffusion.Diffuse(1, "subscriber", "breaking news", rng_);
   ASSERT_TRUE(diffused.ok()) << diffused.status().ToString();
   EXPECT_EQ(diffused->targets.size(), 100u);  // 400 / 4
 
-  apps::QueryApp query(network_.get(), &pdms_, &index);
+  apps::QueryApp query(network_.get(), &pdms_, &index, runtime_.get());
   apps::QuerySpec spec;
   spec.profile_expression = "subscriber";
   spec.attribute = "score";

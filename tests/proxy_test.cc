@@ -67,11 +67,15 @@ TEST(SealedMessageTest, MultiBlockPayloadRoundTrips) {
 TEST(ProxyTest, DeliveryEnforcesKnowledgeSeparation) {
   auto network = test::MakeNetwork(500, 0.01);
   ASSERT_NE(network, nullptr);
+  net::SimNetwork simnet = test::MakeZeroFaultSimNet(500);
+  node::AppRuntime runtime(&simnet);
   util::Rng rng(6);
   const auto& recipient = network->directory().node(33);
-  auto delivery =
-      ForwardViaProxy(*network, /*sender=*/7, recipient.pub, {1, 2, 3}, rng);
+  auto delivery = ForwardViaProxy(runtime, *network, /*sender=*/7,
+                                  recipient.pub, {1, 2, 3}, rng);
   ASSERT_TRUE(delivery.ok()) << delivery.status().ToString();
+  EXPECT_TRUE(delivery->relayed);
+  EXPECT_TRUE(delivery->delivered_ok);
   EXPECT_TRUE(delivery->proxy_saw_sender);
   EXPECT_FALSE(delivery->proxy_saw_payload);
   EXPECT_FALSE(delivery->recipient_saw_sender);
@@ -91,6 +95,8 @@ TEST(ProxyTest, BothPartiesColludingIsRare) {
   // across many deliveries with 5% colluders.
   auto network = test::MakeNetwork(500, 0.05);
   ASSERT_NE(network, nullptr);
+  net::SimNetwork simnet = test::MakeZeroFaultSimNet(500);
+  node::AppRuntime runtime(&simnet);
   util::Rng rng(8);
   const auto& dir = network->directory();
   int both_colluding = 0;
@@ -98,7 +104,7 @@ TEST(ProxyTest, BothPartiesColludingIsRare) {
   for (int t = 0; t < kTrials; ++t) {
     uint32_t recipient_index = rng.NextUint64(dir.size());
     if (recipient_index == 7) continue;
-    auto delivery = ForwardViaProxy(*network, 7,
+    auto delivery = ForwardViaProxy(runtime, *network, 7,
                                     dir.node(recipient_index).pub, {1}, rng);
     ASSERT_TRUE(delivery.ok());
     if (dir.node(delivery->proxy_index).colluding &&
@@ -113,22 +119,45 @@ TEST(ProxyTest, BothPartiesColludingIsRare) {
 TEST(ProxyTest, UnknownRecipientFails) {
   auto network = test::MakeNetwork(100, 0.01);
   ASSERT_NE(network, nullptr);
+  net::SimNetwork simnet = test::MakeZeroFaultSimNet(100);
+  node::AppRuntime runtime(&simnet);
   util::Rng rng(9);
   crypto::PublicKey stranger{};
   stranger[5] = 0x55;
-  auto delivery = ForwardViaProxy(*network, 3, stranger, {1}, rng);
+  auto delivery = ForwardViaProxy(runtime, *network, 3, stranger, {1}, rng);
   EXPECT_FALSE(delivery.ok());
+}
+
+TEST(ProxyTest, DeadProxyLeavesRelayedFalse) {
+  auto network = test::MakeNetwork(100, 0.0);
+  ASSERT_NE(network, nullptr);
+  // Every link drops everything: the relay leg must exhaust its retries.
+  net::SimNetwork simnet = test::MakeSimNet(100, /*drop=*/1.0);
+  node::AppRuntime runtime(&simnet);
+  util::Rng rng(10);
+  const auto& recipient = network->directory().node(12);
+  auto delivery =
+      ForwardViaProxy(runtime, *network, 3, recipient.pub, {1}, rng);
+  ASSERT_TRUE(delivery.ok());
+  EXPECT_FALSE(delivery->relayed);
+  EXPECT_FALSE(delivery->delivered_ok);
+  EXPECT_GT(simnet.stats().rpc_failures, 0u);
+  // The logical cost still counts the attempted message.
+  EXPECT_DOUBLE_EQ(delivery->cost.msg_work, 1.0);
 }
 
 
 TEST(ProxyChainTest, ChainHasDistinctRelaysExcludingEndpoints) {
   auto network = test::MakeNetwork(300, 0.01);
   ASSERT_NE(network, nullptr);
+  net::SimNetwork simnet = test::MakeZeroFaultSimNet(300);
+  node::AppRuntime runtime(&simnet);
   util::Rng rng(21);
   const auto& recipient = network->directory().node(50);
-  auto delivery = ForwardViaProxyChain(*network, 7, recipient.pub,
+  auto delivery = ForwardViaProxyChain(runtime, *network, 7, recipient.pub,
                                        {1, 2, 3}, /*chain_length=*/4, rng);
   ASSERT_TRUE(delivery.ok()) << delivery.status().ToString();
+  EXPECT_TRUE(delivery->delivered_ok);
   EXPECT_EQ(delivery->chain.size(), 4u);
   std::set<uint32_t> unique(delivery->chain.begin(),
                             delivery->chain.end());
@@ -141,10 +170,12 @@ TEST(ProxyChainTest, ChainHasDistinctRelaysExcludingEndpoints) {
 TEST(ProxyChainTest, OnlyEndsOfChainSeeEndpoints) {
   auto network = test::MakeNetwork(300, 0.01);
   ASSERT_NE(network, nullptr);
+  net::SimNetwork simnet = test::MakeZeroFaultSimNet(300);
+  node::AppRuntime runtime(&simnet);
   util::Rng rng(23);
   const auto& recipient = network->directory().node(9);
-  auto delivery = ForwardViaProxyChain(*network, 4, recipient.pub, {8},
-                                       3, rng);
+  auto delivery = ForwardViaProxyChain(runtime, *network, 4, recipient.pub,
+                                       {8}, 3, rng);
   ASSERT_TRUE(delivery.ok());
   EXPECT_TRUE(delivery->relay_saw_sender[0]);
   EXPECT_FALSE(delivery->relay_saw_sender[1]);
@@ -157,10 +188,12 @@ TEST(ProxyChainTest, OnlyEndsOfChainSeeEndpoints) {
 TEST(ProxyChainTest, PayloadStaysSealedAcrossChain) {
   auto network = test::MakeNetwork(300, 0.01);
   ASSERT_NE(network, nullptr);
+  net::SimNetwork simnet = test::MakeZeroFaultSimNet(300);
+  node::AppRuntime runtime(&simnet);
   util::Rng rng(25);
   const auto& recipient = network->directory().node(11);
   std::vector<uint8_t> payload{9, 8, 7, 6};
-  auto delivery = ForwardViaProxyChain(*network, 4, recipient.pub,
+  auto delivery = ForwardViaProxyChain(runtime, *network, 4, recipient.pub,
                                        payload, 2, rng);
   ASSERT_TRUE(delivery.ok());
   // A relay cannot open it...
@@ -178,12 +211,16 @@ TEST(ProxyChainTest, PayloadStaysSealedAcrossChain) {
 TEST(ProxyChainTest, DegenerateParametersRejected) {
   auto network = test::MakeNetwork(64, 0.01);
   ASSERT_NE(network, nullptr);
+  net::SimNetwork simnet = test::MakeZeroFaultSimNet(64);
+  node::AppRuntime runtime(&simnet);
   util::Rng rng(27);
   const auto& recipient = network->directory().node(5);
   EXPECT_FALSE(
-      ForwardViaProxyChain(*network, 1, recipient.pub, {1}, 0, rng).ok());
+      ForwardViaProxyChain(runtime, *network, 1, recipient.pub, {1}, 0, rng)
+          .ok());
   EXPECT_FALSE(
-      ForwardViaProxyChain(*network, 1, recipient.pub, {1}, 64, rng).ok());
+      ForwardViaProxyChain(runtime, *network, 1, recipient.pub, {1}, 64, rng)
+          .ok());
 }
 
 }  // namespace

@@ -24,11 +24,16 @@ class QueryTest : public ::testing::Test {
       if (i % 3 == 0) pdms_[i].AddConcept("age:40s");
       pdms_[i].SetAttribute("sick_leave_days", i % 10);
     }
-    index_ = std::make_unique<ConceptIndex>(network_.get());
-    DiffusionApp publish_helper(network_.get(), &pdms_, index_.get());
+    simnet_ = std::make_unique<net::SimNetwork>(
+        test::MakeZeroFaultSimNet(1200));
+    runtime_ = std::make_unique<node::AppRuntime>(simnet_.get());
+    index_ = std::make_unique<ConceptIndex>(network_.get(), runtime_.get());
+    DiffusionApp publish_helper(network_.get(), &pdms_, index_.get(),
+                                runtime_.get());
     util::Rng rng(5);
     ASSERT_TRUE(publish_helper.PublishAllProfiles(rng).ok());
-    app_ = std::make_unique<QueryApp>(network_.get(), &pdms_, index_.get());
+    app_ = std::make_unique<QueryApp>(network_.get(), &pdms_, index_.get(),
+                                      runtime_.get());
   }
 
   double ExpectedAverage() {
@@ -45,6 +50,8 @@ class QueryTest : public ::testing::Test {
 
   std::unique_ptr<sim::Network> network_;
   std::vector<node::PdmsNode> pdms_;
+  std::unique_ptr<net::SimNetwork> simnet_;
+  std::unique_ptr<node::AppRuntime> runtime_;
   std::unique_ptr<ConceptIndex> index_;
   std::unique_ptr<QueryApp> app_;
   util::Rng rng_{23};
@@ -126,6 +133,97 @@ TEST_F(QueryTest, KnowledgeSeparationBetweenDasAndProxies) {
   std::sort(senders.begin(), senders.end());
   for (uint32_t sender : senders) {
     EXPECT_EQ(sender % 15, 0u);  // the actual targets
+  }
+}
+
+TEST_F(QueryTest, FaultFreeQueryDeliversAnswerWithoutDegradation) {
+  QuerySpec spec;
+  spec.profile_expression = "pilot AND age:40s";
+  spec.attribute = "sick_leave_days";
+  auto result = app_->Execute(2, spec, rng_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->answer_delivered);
+  EXPECT_EQ(result->da_failovers, 0);
+  EXPECT_EQ(result->lost_contributions, 0);
+  EXPECT_EQ(result->selection_restarts, 0);
+  EXPECT_EQ(result->target_finding_restarts, 0);
+  EXPECT_GT(result->round_latency_us, 0u);
+}
+
+TEST_F(QueryTest, CrashedAggregatorIsReplacedByFailover) {
+  QuerySpec spec;
+  spec.profile_expression = "pilot AND age:40s";
+  spec.attribute = "sick_leave_days";
+
+  // Build an identical stack twice (same seeds everywhere); the second
+  // run crashes one DA right after the selection completes, so the
+  // selection trace is bit-identical and only the aggregation phase has
+  // to route around the corpse.
+  auto run = [&](std::optional<uint32_t> crash_node, uint64_t crash_at_us)
+      -> Result<QueryApp::QueryResult> {
+    net::SimNetwork simnet = test::MakeZeroFaultSimNet(1200);
+    if (crash_node.has_value()) simnet.CrashAt(*crash_node, crash_at_us);
+    node::AppRuntime runtime(&simnet);
+    ConceptIndex index(network_.get(), &runtime);
+    DiffusionApp publisher(network_.get(), &pdms_, &index, &runtime);
+    util::Rng publish_rng(5);
+    auto published = publisher.PublishAllProfiles(publish_rng);
+    if (!published.ok()) return published.status();
+    QueryApp app(network_.get(), &pdms_, &index, &runtime,
+                 QueryApp::Config{});
+    util::Rng rng(23);
+    return app.Execute(2, spec, rng);
+  };
+
+  auto baseline = run(std::nullopt, 0);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  ASSERT_GT(baseline->aggregators.size(), 1u);
+  EXPECT_EQ(baseline->da_failovers, 0);
+
+  // Kill a non-MDA aggregator the microsecond after it was selected.
+  auto crashed = run(baseline->aggregators[1],
+                     baseline->selection_done_us + 1);
+  ASSERT_TRUE(crashed.ok()) << crashed.status().ToString();
+  EXPECT_EQ(crashed->aggregators, baseline->aggregators);  // same trace
+  EXPECT_GT(crashed->da_failovers, 0);
+  EXPECT_EQ(crashed->lost_contributions, 0);  // spares absorbed it all
+  EXPECT_EQ(crashed->contributors, baseline->contributors);
+  EXPECT_NEAR(crashed->value, baseline->value, 1e-9);
+}
+
+TEST_F(QueryTest, RetriesNeverCountAContributionTwice) {
+  // Lossy transport forcing retransmissions and proxy re-picks: the
+  // round-global dedup on contribution ids must keep every contribution
+  // counted at most once, and the knowledge-separation traces bounded by
+  // the true target population (80 nodes match pilot AND age:40s).
+  net::SimNetwork lossy = test::MakeSimNet(1200, /*drop=*/0.15,
+                                           /*jitter_mean_us=*/0, /*seed=*/3);
+  node::AppRuntime runtime(&lossy);
+  ConceptIndex index(network_.get(), &runtime);
+  DiffusionApp publisher(network_.get(), &pdms_, &index, &runtime);
+  util::Rng publish_rng(5);
+  ASSERT_TRUE(publisher.PublishAllProfiles(publish_rng).ok());
+  QueryApp app(network_.get(), &pdms_, &index, &runtime, QueryApp::Config{});
+  util::Rng rng(23);
+
+  QuerySpec spec;
+  spec.profile_expression = "pilot AND age:40s";
+  spec.attribute = "sick_leave_days";
+  auto result = app.Execute(2, spec, rng);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_GT(lossy.stats().retries, 0u);  // dedup actually exercised
+
+  EXPECT_LE(result->contributors, 80u);
+  EXPECT_LE(result->values_seen_by_da.size(), 80u);  // no double count
+  EXPECT_GE(result->values_seen_by_da.size(), result->contributors);
+  // Proxies saw only genuine targets, values never rode with them.
+  for (uint32_t sender : result->senders_seen_by_proxies) {
+    EXPECT_EQ(sender % 15, 0u);
+  }
+  if (result->contributors > 0) {
+    // Whatever survived still averages inside the attribute's range.
+    EXPECT_GE(result->value, 0.0);
+    EXPECT_LE(result->value, 9.0);
   }
 }
 

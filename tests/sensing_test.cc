@@ -15,15 +15,20 @@ class SensingTest : public ::testing::Test {
     for (uint32_t i = 0; i < network_->directory().size(); ++i) {
       pdms_.emplace_back(i);
     }
+    simnet_ = std::make_unique<net::SimNetwork>(
+        test::MakeZeroFaultSimNet(1500));
+    runtime_ = std::make_unique<node::AppRuntime>(simnet_.get());
   }
 
   std::unique_ptr<sim::Network> network_;
   std::vector<node::PdmsNode> pdms_;
+  std::unique_ptr<net::SimNetwork> simnet_;
+  std::unique_ptr<node::AppRuntime> runtime_;
   util::Rng rng_{17};
 };
 
 TEST_F(SensingTest, AggregateApproximatesGroundTruth) {
-  ParticipatorySensingApp app(network_.get(), &pdms_);
+  ParticipatorySensingApp app(network_.get(), &pdms_, runtime_.get());
   app.GenerateWorkload(/*sources=*/300, /*readings_per_source=*/10, rng_);
   auto round = app.RunRound(/*trigger_index=*/3, rng_);
   ASSERT_TRUE(round.ok()) << round.status().ToString();
@@ -42,7 +47,7 @@ TEST_F(SensingTest, AggregateApproximatesGroundTruth) {
 TEST_F(SensingTest, AggregatorsAreSelectedSecurely) {
   ParticipatorySensingApp::Config config;
   config.aggregator_count = 6;
-  ParticipatorySensingApp app(network_.get(), &pdms_, config);
+  ParticipatorySensingApp app(network_.get(), &pdms_, runtime_.get(), config);
   app.GenerateWorkload(50, 4, rng_);
   auto round = app.RunRound(9, rng_);
   ASSERT_TRUE(round.ok());
@@ -52,7 +57,7 @@ TEST_F(SensingTest, AggregatorsAreSelectedSecurely) {
 }
 
 TEST_F(SensingTest, EverySourcePaysTwoKVerification) {
-  ParticipatorySensingApp app(network_.get(), &pdms_);
+  ParticipatorySensingApp app(network_.get(), &pdms_, runtime_.get());
   app.GenerateWorkload(40, 2, rng_);
   auto round = app.RunRound(5, rng_);
   ASSERT_TRUE(round.ok());
@@ -62,7 +67,7 @@ TEST_F(SensingTest, EverySourcePaysTwoKVerification) {
 }
 
 TEST_F(SensingTest, DataSeenByDasIsAnonymizedButComplete) {
-  ParticipatorySensingApp app(network_.get(), &pdms_);
+  ParticipatorySensingApp app(network_.get(), &pdms_, runtime_.get());
   app.GenerateWorkload(100, 5, rng_);
   auto round = app.RunRound(2, rng_);
   ASSERT_TRUE(round.ok());
@@ -79,7 +84,7 @@ TEST_F(SensingTest, DataSeenByDasIsAnonymizedButComplete) {
 }
 
 TEST_F(SensingTest, NoReadingsMeansEmptyAggregate) {
-  ParticipatorySensingApp app(network_.get(), &pdms_);
+  ParticipatorySensingApp app(network_.get(), &pdms_, runtime_.get());
   auto round = app.RunRound(1, rng_);
   ASSERT_TRUE(round.ok());
   EXPECT_EQ(round->sources, 0);
@@ -89,7 +94,7 @@ TEST_F(SensingTest, NoReadingsMeansEmptyAggregate) {
 TEST_F(SensingTest, RepeatedRoundsRotateAggregators) {
   // "Selected DA nodes will change at each iteration" (§5.3): different
   // rounds land in different DHT regions.
-  ParticipatorySensingApp app(network_.get(), &pdms_);
+  ParticipatorySensingApp app(network_.get(), &pdms_, runtime_.get());
   app.GenerateWorkload(20, 1, rng_);
   auto r1 = app.RunRound(4, rng_);
   auto r2 = app.RunRound(4, rng_);
@@ -100,7 +105,7 @@ TEST_F(SensingTest, RepeatedRoundsRotateAggregators) {
 TEST_F(SensingTest, ContinuousRoundsRotateAggregatorsAndBoundLeakage) {
   ParticipatorySensingApp::Config config;
   config.aggregator_count = 8;
-  ParticipatorySensingApp app(network_.get(), &pdms_, config);
+  ParticipatorySensingApp app(network_.get(), &pdms_, runtime_.get(), config);
   app.GenerateWorkload(/*sources=*/120, /*readings_per_source=*/3, rng_);
 
   auto result = app.RunContinuous(/*rounds=*/12, rng_);
@@ -114,6 +119,93 @@ TEST_F(SensingTest, ContinuousRoundsRotateAggregatorsAndBoundLeakage) {
   // ~1/(A*rounds) of the stream; even with collisions nobody should
   // approach a full round's share of the total.
   EXPECT_LT(result->max_fraction_seen_by_one_node, 1.0 / 12);
+}
+
+TEST_F(SensingTest, FaultFreeRoundDeliversEverythingAndPublishes) {
+  ParticipatorySensingApp app(network_.get(), &pdms_, runtime_.get());
+  app.GenerateWorkload(80, 4, rng_);
+  auto round = app.RunRound(6, rng_);
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round->selection_restarts, 0);
+  EXPECT_EQ(round->readings_sent, 320);
+  EXPECT_EQ(round->readings_delivered, 320);
+  EXPECT_EQ(round->partials_merged,
+            static_cast<int>(round->aggregators.size()));
+  EXPECT_TRUE(round->published);
+  EXPECT_GT(round->round_latency_us, 0u);
+  EXPECT_EQ(simnet_->stats().retries, 0u);
+}
+
+TEST_F(SensingTest, LossyRoundDegradesButAveragesStayCorrect) {
+  // Heavy loss: some contributions exhaust their retries. The round must
+  // still complete, report the shrinkage honestly, and the merged
+  // per-cell statistics must equal exactly what the DAs accepted —
+  // no contribution double-counted, none invented.
+  net::SimNetwork lossy = test::MakeSimNet(1500, /*drop=*/0.3,
+                                           /*jitter_mean_us=*/0, /*seed=*/5);
+  node::AppRuntime runtime(&lossy);
+  ParticipatorySensingApp app(network_.get(), &pdms_, &runtime);
+  app.GenerateWorkload(100, 5, rng_);
+  auto round = app.RunRound(2, rng_);
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+
+  EXPECT_EQ(round->readings_sent, 500);
+  EXPECT_GT(round->readings_delivered, 0);
+  EXPECT_LT(round->readings_delivered, 500);  // with drop=0.3 some lose
+  EXPECT_GT(lossy.stats().retries, 0u);
+
+  // The merged aggregate counts exactly the values the DAs saw: dedup
+  // under retransmission, and a lost partial only shrinks it further.
+  // (seen can exceed delivered: a DA may accept a tuple whose ack is
+  // then lost, making the client give up on an accepted contribution.)
+  uint64_t seen_by_das = 0;
+  for (const auto& values : round->values_seen_by_da) {
+    seen_by_das += values.size();
+  }
+  EXPECT_GE(seen_by_das, static_cast<uint64_t>(round->readings_delivered));
+  EXPECT_LE(seen_by_das, static_cast<uint64_t>(round->readings_sent));
+  EXPECT_LE(round->aggregate.total_count(), seen_by_das);
+  if (round->partials_merged ==
+      static_cast<int>(round->aggregators.size())) {
+    EXPECT_EQ(round->aggregate.total_count(), seen_by_das);
+  }
+
+  // Surviving dense cells still average to the ground truth: loss thins
+  // the sample but never corrupts it.
+  for (int ix = 0; ix < round->aggregate.grid; ++ix) {
+    for (int iy = 0; iy < round->aggregate.grid; ++iy) {
+      const CellStat& cell = round->aggregate.at(ix, iy);
+      if (cell.count < 15) continue;
+      EXPECT_NEAR(cell.average(), app.GroundTruth(ix, iy), 1.0)
+          << "cell " << ix << "," << iy;
+    }
+  }
+}
+
+TEST_F(SensingTest, RetransmissionsNeverDoubleCount) {
+  // Moderate loss so that many RPCs succeed on attempt >= 2 (the DA-side
+  // handler runs, the ack is lost, the client retransmits): every
+  // delivered reading must still be counted exactly once.
+  net::SimNetwork lossy = test::MakeSimNet(1500, /*drop=*/0.2,
+                                           /*jitter_mean_us=*/0, /*seed=*/9);
+  node::AppRuntime runtime(&lossy);
+  ParticipatorySensingApp app(network_.get(), &pdms_, &runtime);
+  app.GenerateWorkload(60, 5, rng_);
+  auto round = app.RunRound(4, rng_);
+  ASSERT_TRUE(round.ok());
+  ASSERT_GT(lossy.stats().retries, 0u);
+
+  uint64_t seen_by_das = 0;
+  for (const auto& values : round->values_seen_by_da) {
+    seen_by_das += values.size();
+  }
+  // A reply lost after the handler accepted the tuple makes
+  // seen >= delivered impossible to violate downward, and dedup makes
+  // seen > delivered impossible upward... except for the accepted-but-
+  // unacked case, where the DA saw it and the client gave up. So:
+  // delivered <= seen <= sent, strictly bounded by dedup.
+  EXPECT_GE(seen_by_das, static_cast<uint64_t>(round->readings_delivered));
+  EXPECT_LE(seen_by_das, static_cast<uint64_t>(round->readings_sent));
 }
 
 }  // namespace

@@ -9,6 +9,8 @@
 #include "crypto/sim_provider.h"
 #include "dht/directory.h"
 #include "dht/node_id.h"
+#include "net/sim_network.h"
+#include "node/app_runtime.h"
 #include "sim/network.h"
 #include "util/rng.h"
 
@@ -50,6 +52,25 @@ inline std::unique_ptr<sim::Network> MakeNetwork(
   auto network = sim::Network::Build(params);
   if (!network.ok()) return nullptr;
   return std::move(network.value());
+}
+
+// Message network with explicit fault rates for app-layer tests.
+inline net::SimNetwork MakeSimNet(uint32_t node_count, double drop = 0.0,
+                                  uint64_t jitter_mean_us = 0,
+                                  uint64_t seed = 7) {
+  net::LinkModel link;
+  link.jitter_mean_us = jitter_mean_us;
+  link.drop_probability = drop;
+  return net::SimNetwork(node_count, link, net::RetryPolicy{}, seed);
+}
+
+// Zero-fault message network (no jitter, no drops): every RPC succeeds
+// on the first attempt and virtual time is a pure function of the call
+// sequence, so measured costs are exactly comparable to the legacy
+// hand-rolled counters.
+inline net::SimNetwork MakeZeroFaultSimNet(uint32_t node_count,
+                                           uint64_t seed = 7) {
+  return MakeSimNet(node_count, 0.0, 0, seed);
 }
 
 }  // namespace sep2p::test

@@ -312,6 +312,34 @@ TEST(TrialRunnerTest, MessageFailureSweepBitIdenticalAcrossThreadCounts) {
   }
 }
 
+// Same criterion one layer up: a full sensing round per trial (selection
+// + contribution wave + merge + publish) through node::AppRuntime.
+TEST(TrialRunnerTest, AppFailureSweepBitIdenticalAcrossThreadCounts) {
+  std::vector<MessageFailureSetting> settings(2);
+  settings[1].drop_probability = 0.1;
+  settings[1].step_crash_probability = 0.001;
+  auto serial = RunAppFailureSweep(SmallNet(1), settings, /*trials=*/12);
+  auto parallel = RunAppFailureSweep(SmallNet(8), settings, /*trials=*/12);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  ASSERT_EQ(serial->size(), parallel->size());
+  for (size_t i = 0; i < serial->size(); ++i) {
+    const AppFailurePoint& s = (*serial)[i];
+    const AppFailurePoint& p = (*parallel)[i];
+    EXPECT_EQ(s.first_try_success_rate, p.first_try_success_rate);
+    EXPECT_EQ(s.avg_retries, p.avg_retries);
+    EXPECT_EQ(s.avg_restarts, p.avg_restarts);
+    EXPECT_EQ(s.avg_delivered_fraction, p.avg_delivered_fraction);
+    EXPECT_EQ(s.give_up_rate, p.give_up_rate);
+    EXPECT_EQ(s.p50_latency_ms, p.p50_latency_ms);
+    EXPECT_EQ(s.p99_latency_ms, p.p99_latency_ms);
+  }
+  // Fault-free rounds deliver everything; faulty rounds degrade.
+  EXPECT_EQ((*serial)[0].avg_delivered_fraction, 1.0);
+  EXPECT_EQ((*serial)[0].first_try_success_rate, 1.0);
+  EXPECT_LE((*serial)[1].avg_delivered_fraction, 1.0);
+}
+
 TEST(TrialRunnerTest, ComputeAverageKBitIdenticalAcrossThreadCounts) {
   KCurvePoint serial =
       ComputeAverageK(10000, 0.01, 1e-6, /*samples=*/500, /*seed=*/3,

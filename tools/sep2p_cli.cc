@@ -22,6 +22,8 @@
 #include "apps/sensing.h"
 #include "core/verification.h"
 #include "core/wire.h"
+#include "net/sim_network.h"
+#include "node/app_runtime.h"
 #include "sim/experiment.h"
 #include "sim/metrics.h"
 #include "sim/network.h"
@@ -35,6 +37,10 @@ struct Flags {
   sim::Parameters params;
   double alpha = 1e-6;
   int rounds = 50;
+  // Fault injection for the app rounds (demo command).
+  double drop = 0;        // per-transmission loss probability
+  double jitter_ms = 10;  // exponential latency jitter mean
+  double crash = 0;       // per-request node-crash probability
 };
 
 bool ParseFlags(int argc, char** argv, int first, Flags* flags) {
@@ -61,6 +67,12 @@ bool ParseFlags(int argc, char** argv, int first, Flags* flags) {
       flags->params.alpha = value;
     } else if (arg == "--rounds" && next_value(&value)) {
       flags->rounds = static_cast<int>(value);
+    } else if (arg == "--drop" && next_value(&value)) {
+      flags->drop = value;
+    } else if (arg == "--jitter-ms" && next_value(&value)) {
+      flags->jitter_ms = value;
+    } else if (arg == "--crash" && next_value(&value)) {
+      flags->crash = value;
     } else if (arg == "--threads" && next_value(&value)) {
       flags->params.threads = static_cast<int>(value);
     } else if (arg == "--ed25519") {
@@ -181,36 +193,82 @@ int CmdDemo(const Flags& flags) {
     pdms[i].SetAttribute("km_per_day", static_cast<double>(i % 40));
   }
 
+  // All three use cases exchange data over one simulated message
+  // network; --drop/--jitter-ms/--crash inject faults into it.
+  net::LinkModel link;
+  link.drop_probability = flags.drop;
+  link.jitter_mean_us = static_cast<uint64_t>(flags.jitter_ms * 1000);
+  net::SimNetwork simnet(net.directory().size(), link, net::RetryPolicy{},
+                         params.seed ^ 0x5e7);
+  simnet.set_step_crash_probability(flags.crash);
+  node::AppRuntime runtime(&simnet);
+  std::printf("message network: drop=%.3f jitter=%.1fms crash=%.4f\n\n",
+              flags.drop, flags.jitter_ms, flags.crash);
+
   std::printf("== use case 1: participatory sensing ==\n");
-  apps::ParticipatorySensingApp sensing(&net, &pdms);
+  apps::ParticipatorySensingApp sensing(&net, &pdms, &runtime);
   sensing.GenerateWorkload(200, 5, rng);
   auto round = sensing.RunRound(1, rng);
-  if (!round.ok()) return 1;
-  std::printf("aggregated %llu readings from %d sources via %zu DAs\n\n",
+  if (!round.ok()) {
+    std::fprintf(stderr, "sensing round failed: %s\n",
+                 round.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("aggregated %llu readings from %d sources via %zu DAs "
+              "(%d of %d delivered, %.1f virtual s)\n\n",
               static_cast<unsigned long long>(
                   round->aggregate.total_count()),
-              round->sources, round->aggregators.size());
+              round->sources, round->aggregators.size(),
+              round->readings_delivered, round->readings_sent,
+              round->round_latency_us / 1e6);
 
   std::printf("== use case 2: targeted diffusion ==\n");
-  apps::ConceptIndex index(&net);
-  apps::DiffusionApp diffusion(&net, &pdms, &index);
-  if (!diffusion.PublishAllProfiles(rng).ok()) return 1;
+  apps::ConceptIndex index(&net, &runtime);
+  apps::DiffusionApp diffusion(&net, &pdms, &index, &runtime);
+  auto published = diffusion.PublishAllProfiles(rng);
+  if (!published.ok()) {
+    std::fprintf(stderr, "publish failed: %s\n",
+                 published.status().ToString().c_str());
+    return 1;
+  }
   auto diffused = diffusion.Diffuse(2, "commuter", "carpool offer", rng);
-  if (!diffused.ok()) return 1;
-  std::printf("delivered to %zu matching nodes\n\n",
-              diffused->targets.size());
+  if (!diffused.ok()) {
+    std::fprintf(stderr, "diffusion failed: %s\n",
+                 diffused.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("delivered to %zu matching nodes (%d offer failures, "
+              "%.1f virtual s)\n\n",
+              diffused->targets.size(), diffused->offer_failures,
+              diffused->round_latency_us / 1e6);
 
   std::printf("== use case 3: distributed query ==\n");
-  apps::QueryApp query(&net, &pdms, &index);
+  apps::QueryApp query(&net, &pdms, &index, &runtime);
   apps::QuerySpec spec;
   spec.profile_expression = "commuter";
   spec.attribute = "km_per_day";
   spec.aggregate = apps::Aggregate::kAvg;
   auto result = query.Execute(3, spec, rng);
-  if (!result.ok()) return 1;
-  std::printf("AVG(km_per_day) over commuters = %.2f (%llu contributors)\n",
+  if (!result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("AVG(km_per_day) over commuters = %.2f (%llu contributors, "
+              "%d lost, %d DA failovers, %.1f virtual s)\n",
               result->value,
-              static_cast<unsigned long long>(result->contributors));
+              static_cast<unsigned long long>(result->contributors),
+              result->lost_contributions, result->da_failovers,
+              result->round_latency_us / 1e6);
+
+  const net::SimNetwork::Stats& stats = simnet.stats();
+  std::printf("\nnetwork totals: %llu messages, %llu dropped, %llu "
+              "retries, %llu timeouts, %llu step crashes\n",
+              static_cast<unsigned long long>(stats.messages_sent),
+              static_cast<unsigned long long>(stats.messages_dropped),
+              static_cast<unsigned long long>(stats.retries),
+              static_cast<unsigned long long>(stats.timeouts),
+              static_cast<unsigned long long>(stats.step_crashes));
   return 0;
 }
 
@@ -219,7 +277,9 @@ void Usage() {
                "usage: sep2p_cli <select|ktable|probe|demo> [flags]\n"
                "flags: --n N --c FRAC --a A --seed S --cache SIZE\n"
                "       --alpha A --rounds R --overlay chord|can --ed25519\n"
-               "       --threads T (0 = one per hardware thread)\n");
+               "       --threads T (0 = one per hardware thread)\n"
+               "       --drop P --jitter-ms M --crash P (demo fault "
+               "injection)\n");
 }
 
 }  // namespace
