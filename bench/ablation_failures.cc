@@ -5,12 +5,14 @@
 // failure rates.
 
 #include "bench/bench_common.h"
+#include "obs/export.h"
 #include "sim/experiment.h"
 
 using namespace sep2p;
 
 int main(int argc, char** argv) {
   const bool quick = bench::QuickMode(argc, argv);
+  const std::string trace_path = bench::TraceArg(argc, argv);
   sim::Parameters params;
   params.threads = bench::ThreadsArg(argc, argv);
   params.n = quick ? 5000 : 20000;
@@ -73,7 +75,10 @@ int main(int argc, char** argv) {
   add(0.01, 10, 0.002);
 
   const int msg_trials = quick ? 25 : 100;
-  auto msg_points = sim::RunMessageFailureSweep(params, settings, msg_trials);
+  obs::TraceRecorder recorder;
+  auto msg_points = sim::RunMessageFailureSweep(
+      params, settings, msg_trials, 25,
+      trace_path.empty() ? nullptr : &recorder);
   if (!msg_points.ok()) {
     std::fprintf(stderr, "error: %s\n",
                  msg_points.status().ToString().c_str());
@@ -96,6 +101,21 @@ int main(int argc, char** argv) {
   msg_table.Print();
   std::printf("\n(virtual-clock latencies; identical output for any "
               "--threads value)\n");
+
+  if (!trace_path.empty()) {
+    Status chrome =
+        obs::WriteFile(trace_path, obs::ToChromeTrace(recorder.trace()));
+    Status jsonl = obs::WriteFile(trace_path + ".jsonl",
+                                  obs::ToJsonl(recorder.trace()));
+    if (!chrome.ok() || !jsonl.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n",
+                   (!chrome.ok() ? chrome : jsonl).ToString().c_str());
+      return 1;
+    }
+    std::printf("\ntrace: %zu events (first selection trial) -> %s + "
+                "%s.jsonl\n",
+                recorder.size(), trace_path.c_str(), trace_path.c_str());
+  }
 
   // Application-round sweep: one full participatory-sensing round per
   // trial (selection + sealed contribution wave + partial merge +

@@ -37,6 +37,19 @@ inline int ThreadsArg(int argc, char** argv) {
   return 0;
 }
 
+// --trace=FILE / --trace FILE: harnesses that support it record one
+// representative trial and write FILE (Chrome trace-event JSON) plus
+// FILE.jsonl (the strict interchange log `sep2p_cli check` consumes).
+inline std::string TraceArg(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) return argv[i] + 8;
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      return argv[i + 1];
+    }
+  }
+  return "";
+}
+
 inline void PrintHeader(const char* figure, const char* claim,
                         const sim::Parameters& params) {
   std::printf("==============================================================\n");

@@ -34,6 +34,8 @@ void QueryApp::ClearRoundRegistrations() {
 Result<QueryApp::QueryResult> QueryApp::Execute(uint32_t querier_index,
                                                 const QuerySpec& spec,
                                                 util::Rng& rng) {
+  obs::TraceRecorder* rec = runtime_->trace();
+  obs::Span query_span(rec, querier_index, "query");
   const uint64_t round_start_us = runtime_->now_us();
 
   // --- Phase 1: target finding (use case 2 machinery). Targets learn a
@@ -144,6 +146,10 @@ Result<QueryApp::QueryResult> QueryApp::Execute(uint32_t querier_index,
   // attribute value to a DA through a random proxy. A dead DA triggers
   // failover to the next slot (the value is re-sealed to that DA's
   // key); a dead proxy just gets replaced.
+  // Explicit open/close (not RAII) so the span ends with phase 3; an
+  // early error return is unwound by the enclosing "query" span.
+  const uint64_t contribute_span =
+      rec != nullptr ? rec->OpenSpan(querier_index, "query-contribute") : 0;
   uint64_t assigned = 0;  // successful deliveries, for slot round-robin
   for (uint32_t target : targets->targets) {
     std::optional<double> value =
@@ -187,6 +193,7 @@ Result<QueryApp::QueryResult> QueryApp::Execute(uint32_t querier_index,
       ++result.lost_contributions;
     }
   }
+  if (rec != nullptr) rec->CloseSpan(contribute_span);
 
   // --- Phase 4: each DA ships its partial statistic to the MDA, which
   // merges and answers the querier only.

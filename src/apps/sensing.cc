@@ -62,6 +62,8 @@ Result<ParticipatorySensingApp::RoundResult>
 ParticipatorySensingApp::RunRound(uint32_t trigger_index, util::Rng& rng) {
   core::ProtocolContext ctx = network_->context();
   ctx.actor_count = config_.aggregator_count;
+  obs::TraceRecorder* rec = runtime_->trace();
+  obs::Span round_span(rec, trigger_index, "sensing-round");
   const uint64_t round_start_us = runtime_->now_us();
 
   // 1. Secure actor selection over the message network: the DAs (first
@@ -209,10 +211,13 @@ ParticipatorySensingApp::RunRound(uint32_t trigger_index, util::Rng& rng) {
     }
   }
   result.readings_sent = static_cast<int>(contributions.size());
-  for (const net::SimNetwork::RpcResult& rpc :
-       runtime_->CallBatch(contributions)) {
-    // A lost contribution shrinks the round instead of failing it.
-    if (rpc.ok) ++result.readings_delivered;
+  {
+    obs::Span contribute_span(rec, trigger_index, "contribute");
+    for (const net::SimNetwork::RpcResult& rpc :
+         runtime_->CallBatch(contributions)) {
+      // A lost contribution shrinks the round instead of failing it.
+      if (rpc.ok) ++result.readings_delivered;
+    }
   }
 
   // 4. DAs ship their partials to the MDA in a parallel wave (the MDA
@@ -229,7 +234,10 @@ ParticipatorySensingApp::RunRound(uint32_t trigger_index, util::Rng& rng) {
     partial_wave.push_back(
         {result.aggregators[slot], mda, msg::Encode(partial)});
   }
-  runtime_->CallBatch(partial_wave);  // loss of a partial = degraded
+  {
+    obs::Span merge_span(rec, mda, "merge");
+    runtime_->CallBatch(partial_wave);  // loss of a partial = degraded
+  }
   result.partials_merged = static_cast<int>(round_->merged_slots.size());
 
   // ...and the MDA publishes the merged aggregate to the trigger.
@@ -240,7 +248,10 @@ ParticipatorySensingApp::RunRound(uint32_t trigger_index, util::Rng& rng) {
     merged.sums.push_back(cell.sum);
     merged.counts.push_back(cell.count);
   }
-  runtime_->Call(mda, trigger_index, msg::Encode(merged));
+  {
+    obs::Span publish_span(rec, mda, "publish");
+    runtime_->Call(mda, trigger_index, msg::Encode(merged));
+  }
   result.published = round_->published;
 
   result.aggregate = round_->merged;

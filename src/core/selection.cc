@@ -8,6 +8,7 @@
 #include "core/wire.h"
 #include "crypto/sha256.h"
 #include "dht/region.h"
+#include "obs/trace.h"
 
 namespace sep2p::core {
 
@@ -105,6 +106,7 @@ Result<SlEngagement> EngageSlsOverNetwork(
     const std::vector<uint32_t>& r3_nodes, const crypto::Hash256& p_hash,
     const VerifiableRandom& vrnd, bool colluding_sls_hide_honest) {
   const dht::Directory& dir = *ctx.directory;
+  obs::TraceRecorder* rec = network.trace();
 
   // Per-SL state (CL_j, RND_j, commitment), computed once per engaged
   // node: handlers are idempotent, so a retransmitted request must see
@@ -145,13 +147,17 @@ Result<SlEngagement> EngageSlsOverNetwork(
   // Engagement round: VRND + setter point out, commitments back.
   const std::vector<uint8_t> engage_bytes = msg::Encode(
       msg::SlEngage{wire::EncodeVerifiableRandom(vrnd), p_hash});
-  net::SimNetwork::QuorumResult quorum = network.EngageQuorum(
-      setter, sl_candidates, k, [&](uint32_t) { return engage_bytes; },
-      [&](uint32_t server, const std::vector<uint8_t>& request)
-          -> std::optional<std::vector<uint8_t>> {
-        if (!msg::DecodeSlEngage(request).ok()) return std::nullopt;
-        return msg::Encode(msg::CommitReply{sl_state(server).commitment});
-      });
+  net::SimNetwork::QuorumResult quorum;
+  {
+    obs::Span engage_span(rec, setter, "sl-engage");
+    quorum = network.EngageQuorum(
+        setter, sl_candidates, k, [&](uint32_t) { return engage_bytes; },
+        [&](uint32_t server, const std::vector<uint8_t>& request)
+            -> std::optional<std::vector<uint8_t>> {
+          if (!msg::DecodeSlEngage(request).ok()) return std::nullopt;
+          return msg::Encode(msg::CommitReply{sl_state(server).commitment});
+        });
+  }
   if (!quorum.ok) {
     return Status::Unavailable("selection: SL quorum unreachable");
   }
@@ -166,19 +172,23 @@ Result<SlEngagement> EngageSlsOverNetwork(
     l1.commitments[j] = commit->commitment;
   }
   const std::vector<uint8_t> l1_bytes = msg::Encode(l1);
-  std::vector<net::SimNetwork::RpcResult> reveals = network.CallMany(
-      setter, quorum.members, std::vector<std::vector<uint8_t>>(k, l1_bytes),
-      [&](uint32_t server, const std::vector<uint8_t>& request)
-          -> std::optional<std::vector<uint8_t>> {
-        Result<msg::CommitList> list = msg::DecodeCommitList(request);
-        if (!list.ok()) return std::nullopt;
-        const SlState& state = sl_state(server);
-        if (std::find(list->commitments.begin(), list->commitments.end(),
-                      state.commitment) == list->commitments.end()) {
-          return std::nullopt;  // own commitment missing: refuse to reveal
-        }
-        return msg::Encode(msg::SlReveal{state.rnd, state.cl_keys});
-      });
+  std::vector<net::SimNetwork::RpcResult> reveals;
+  {
+    obs::Span reveal_span(rec, setter, "sl-reveal");
+    reveals = network.CallMany(
+        setter, quorum.members, std::vector<std::vector<uint8_t>>(k, l1_bytes),
+        [&](uint32_t server, const std::vector<uint8_t>& request)
+            -> std::optional<std::vector<uint8_t>> {
+          Result<msg::CommitList> list = msg::DecodeCommitList(request);
+          if (!list.ok()) return std::nullopt;
+          const SlState& state = sl_state(server);
+          if (std::find(list->commitments.begin(), list->commitments.end(),
+                        state.commitment) == list->commitments.end()) {
+            return std::nullopt;  // own commitment missing: refuse to reveal
+          }
+          return msg::Encode(msg::SlReveal{state.rnd, state.cl_keys});
+        });
+  }
 
   SlEngagement out;
   out.members = quorum.members;
@@ -256,6 +266,9 @@ Result<SelectionProtocol::Outcome> SelectionProtocol::Run(
     uint32_t trigger_index, util::Rng& rng,
     const SelectionOptions& options) const {
   const dht::Directory& dir = *ctx_.directory;
+  obs::TraceRecorder* rec =
+      options.network != nullptr ? options.network->trace() : nullptr;
+  obs::Span selection_span(rec, trigger_index, "selection");
 
   // --- Step 1: verifiable random generation around T.
   VrandProtocol vrand(ctx_);
@@ -284,6 +297,7 @@ Result<SelectionProtocol::Outcome> SelectionProtocol::Run(
     if (!route.ok()) return route.status();
     outcome.cost.Then(net::Cost::Step(0, route->hops));
     if (options.network != nullptr) {
+      obs::Span route_span(rec, route_from, "route-to-setter");
       options.network->AdvanceRoute(route->hops);
     }
     const uint32_t setter = route->dest_index;
@@ -380,6 +394,7 @@ Result<SelectionProtocol::Outcome> SelectionProtocol::Run(
                                     p_hash.bytes().end());
       shortage.push_back('R');
       if (options.network != nullptr) {
+        obs::Span shortage_span(rec, setter, "sl-shortage-attest");
         const std::vector<uint8_t> request_bytes = msg::Encode(
             msg::AttestRequest{
                 crypto::Hash256::Of(shortage.data(), shortage.size())});
@@ -504,6 +519,7 @@ Result<SelectionProtocol::Outcome> SelectionProtocol::Run(
       // Attestation collection round: request + signed attestation per
       // SL, in parallel. The SLs are committed to this AL, so a loss
       // here cannot be patched by substitution — S restarts instead.
+      obs::Span attest_span(rec, setter, "sl-attest");
       const std::vector<uint8_t> request_bytes =
           msg::Encode(msg::AttestRequest{crypto::Hash256::Of(
               signed_bytes.data(), signed_bytes.size())});
@@ -529,6 +545,9 @@ Result<SelectionProtocol::Outcome> SelectionProtocol::Run(
         Result<msg::Attestation> att =
             msg::DecodeAttestation(results[j].reply);
         if (!att.ok()) return att.status();
+        // One kSignature per attestation S actually verified; a
+        // completed selection carries exactly k of these in its span.
+        if (rec != nullptr) rec->Signature(sl_members[j], "sl-attest");
         val.attestations.push_back(
             {std::move(att->cert), std::move(att->sig)});
         sl_costs[j].Then(net::Cost::Step(1, 1));  // sign + send to S
@@ -551,6 +570,9 @@ Result<SelectionProtocol::Outcome> SelectionProtocol::Run(
     outcome.val = std::move(val);
     outcome.setter_index = setter;
     outcome.sl_indices = std::move(sl_members);
+    if (rec != nullptr) {
+      rec->Mark(setter, "selection-complete", static_cast<uint64_t>(k));
+    }
     return outcome;
   }
 }

@@ -6,6 +6,7 @@
 #include "core/messages.h"
 #include "crypto/sha256.h"
 #include "dht/region.h"
+#include "obs/trace.h"
 
 namespace sep2p::core {
 
@@ -118,6 +119,8 @@ Result<VrandProtocol::Outcome> VrandProtocol::GenerateOverNetwork(
     const KTable::Choice& choice,
     const std::vector<uint32_t>& candidates) const {
   const dht::Directory& dir = *ctx_.directory;
+  obs::TraceRecorder* rec = network.trace();
+  obs::Span vrand_span(rec, trigger_index, "vrand");
   const int k = choice.entry.k;
   const double rs1 = choice.entry.rs;
 
@@ -139,17 +142,21 @@ Result<VrandProtocol::Outcome> VrandProtocol::GenerateOverNetwork(
   // spare R1 candidate; only a dry candidate list aborts.
   const std::vector<uint8_t> invite_bytes =
       msg::Encode(msg::VrandInvite{rs1, ctx_.now});
-  net::SimNetwork::QuorumResult quorum = network.EngageQuorum(
-      trigger_index, candidates, k,
-      [&](uint32_t) { return invite_bytes; },
-      [&](uint32_t server, const std::vector<uint8_t>& request)
-          -> std::optional<std::vector<uint8_t>> {
-        if (!msg::DecodeVrandInvite(request).ok()) return std::nullopt;
-        const crypto::Hash256& rnd = tl_rnd(server);
-        crypto::Hash256 commitment =
-            crypto::Hash256::Of(rnd.bytes().data(), rnd.bytes().size());
-        return msg::Encode(msg::CommitReply{commitment});
-      });
+  net::SimNetwork::QuorumResult quorum;
+  {
+    obs::Span commit_span(rec, trigger_index, "vrand-commit");
+    quorum = network.EngageQuorum(
+        trigger_index, candidates, k,
+        [&](uint32_t) { return invite_bytes; },
+        [&](uint32_t server, const std::vector<uint8_t>& request)
+            -> std::optional<std::vector<uint8_t>> {
+          if (!msg::DecodeVrandInvite(request).ok()) return std::nullopt;
+          const crypto::Hash256& rnd = tl_rnd(server);
+          crypto::Hash256 commitment =
+              crypto::Hash256::Of(rnd.bytes().data(), rnd.bytes().size());
+          return msg::Encode(msg::CommitReply{commitment});
+        });
+  }
   if (!quorum.ok) {
     return Status::Unavailable("vrand: TL quorum unreachable");
   }
@@ -180,6 +187,7 @@ Result<VrandProtocol::Outcome> VrandProtocol::GenerateOverNetwork(
   // the caller restarts with a fresh RND_T.
   const std::vector<uint8_t> signed_bytes = vrnd.SignedBytes();
   const std::vector<uint8_t> list_bytes = msg::Encode(commit_list);
+  obs::Span reveal_span(rec, trigger_index, "vrand-reveal");
   std::vector<net::SimNetwork::RpcResult> reveals = network.CallMany(
       trigger_index, quorum.members,
       std::vector<std::vector<uint8_t>>(k, list_bytes),
@@ -204,6 +212,8 @@ Result<VrandProtocol::Outcome> VrandProtocol::GenerateOverNetwork(
     }
     Result<msg::VrandReveal> reveal = msg::DecodeVrandReveal(reveals[i].reply);
     if (!reveal.ok()) return reveal.status();
+    // T verified this TL's reveal + signature off the wire.
+    if (rec != nullptr) rec->Signature(quorum.members[i], "tl-sign");
     vrnd.participants[i].rnd = reveal->rnd;
     vrnd.participants[i].sig = std::move(reveal->sig);
   }

@@ -12,6 +12,28 @@ SimNetwork::SimNetwork(uint32_t node_count, const LinkModel& link,
 void SimNetwork::CrashAt(uint32_t node, uint64_t at_us) {
   endpoints_[node].crash_at_us =
       std::min(endpoints_[node].crash_at_us, at_us);
+  if (trace_ != nullptr) {
+    obs::Event e;
+    e.t_us = at_us;
+    e.kind = obs::EventKind::kCrash;
+    e.node = node;
+    trace_->Record(std::move(e));
+  }
+}
+
+void SimNetwork::set_trace(obs::TraceRecorder* trace) {
+  trace_ = trace;
+  if (trace_ != nullptr) {
+    trace_->BindClock(&now_us_);
+    trace_->meta().node_count = node_count();
+    trace_->meta().max_attempts = retry_.max_attempts;
+  }
+}
+
+void SimNetwork::FinalizeTrace() {
+  if (trace_ == nullptr) return;
+  trace_->Mark(obs::kNoNode, "shutdown",
+               static_cast<uint64_t>(in_flight_.size()));
 }
 
 bool SimNetwork::IsUp(uint32_t node, uint64_t at_us) const {
@@ -43,28 +65,64 @@ void SimNetwork::AdvanceRoute(int hops) {
     ++stats_.messages_delivered;
     now_us_ += SampleLatencyUs();
   }
+  if (trace_ != nullptr && hops > 0) {
+    // Routing legs are store-and-forward overlay hops, not tracked
+    // transmissions; one mark keeps them visible without entering the
+    // send/deliver conservation ledger.
+    trace_->Mark(obs::kNoNode, "route", static_cast<uint64_t>(hops));
+  }
 }
 
 std::optional<uint64_t> SimNetwork::Transmit(
     uint32_t from, uint32_t to, const std::vector<uint8_t>& payload,
     uint64_t depart_us, uint64_t* seq_out) {
+  // Every transmission gets a seq — including ones the link then drops —
+  // so trace events identify the message uniquely. next_seq_ never feeds
+  // the Rng, so the numbering scheme cannot perturb results.
+  const uint64_t seq = next_seq_++;
   ++stats_.messages_sent;
   stats_.bytes_sent += payload.size();
-  if (link_.drop_probability > 0 && rng_.NextBool(link_.drop_probability)) {
+  if (trace_ != nullptr) {
+    obs::Event e;
+    e.t_us = depart_us;
+    e.kind = obs::EventKind::kSend;
+    e.node = from;
+    e.peer = to;
+    e.rpc = cur_rpc_;
+    e.seq = seq;
+    e.value = payload.size();
+    trace_->Record(std::move(e));
+  }
+  auto record_drop = [&](uint64_t t_us, const char* cause) {
     ++stats_.messages_dropped;
+    if (trace_ != nullptr) {
+      obs::Event e;
+      e.t_us = t_us;
+      e.kind = obs::EventKind::kDrop;
+      e.node = from;
+      e.peer = to;
+      e.rpc = cur_rpc_;
+      e.seq = seq;
+      e.detail = cause;
+      trace_->Record(std::move(e));
+    }
+  };
+  if (link_.drop_probability > 0 && rng_.NextBool(link_.drop_probability)) {
+    record_drop(depart_us, "link");
     return std::nullopt;
   }
   const uint64_t at_us = depart_us + SampleLatencyUs();
   if (!IsUp(to, at_us)) {
     // Destination dead on arrival: the bytes evaporate like a drop.
-    ++stats_.messages_dropped;
+    record_drop(at_us, "dead-dest");
     return std::nullopt;
   }
   Delivery d;
   d.at_us = at_us;
-  d.seq = next_seq_++;
+  d.seq = seq;
   d.from = from;
   d.to = to;
+  d.rpc = cur_rpc_;
   d.payload = payload;
   if (seq_out != nullptr) *seq_out = d.seq;
   in_flight_.push(std::move(d));
@@ -77,7 +135,36 @@ void SimNetwork::AdvanceTo(uint64_t at_us) {
     // copy is the safe move here (payloads are small protocol messages).
     Delivery d = in_flight_.top();
     in_flight_.pop();
+    if (!IsUp(d.to, d.at_us)) {
+      // The destination crashed while the message was in flight (a step
+      // crash recorded after the transmission passed its liveness
+      // check): the bytes evaporate like a drop instead of landing in a
+      // dead node's inbox.
+      ++stats_.messages_dropped;
+      if (trace_ != nullptr) {
+        obs::Event e;
+        e.t_us = d.at_us;
+        e.kind = obs::EventKind::kDrop;
+        e.node = d.from;
+        e.peer = d.to;
+        e.rpc = d.rpc;
+        e.seq = d.seq;
+        e.detail = "dead-dest";
+        trace_->Record(std::move(e));
+      }
+      continue;
+    }
     ++stats_.messages_delivered;
+    if (trace_ != nullptr) {
+      obs::Event e;
+      e.t_us = d.at_us;
+      e.kind = obs::EventKind::kDeliver;
+      e.node = d.to;
+      e.peer = d.from;
+      e.rpc = d.rpc;
+      e.seq = d.seq;
+      trace_->Record(std::move(e));
+    }
     endpoints_[d.to].inbox.push_back(std::move(d));
   }
 }
@@ -86,11 +173,39 @@ SimNetwork::RpcResult SimNetwork::Call(uint32_t client, uint32_t server,
                                        const std::vector<uint8_t>& request,
                                        const Handler& handler) {
   RpcResult result;
+  // The id advances whether or not tracing is on (bit-identical runs);
+  // cur_rpc_ lets Transmit attribute its events to this RPC. Handlers
+  // never re-enter the network, but save/restore keeps it safe anyway.
+  const uint64_t rpc = ++next_rpc_id_;
+  const uint64_t prev_rpc = cur_rpc_;
+  cur_rpc_ = rpc;
+  if (trace_ != nullptr) {
+    obs::Event e;
+    e.t_us = now_us_;
+    e.kind = obs::EventKind::kRpcBegin;
+    e.node = client;
+    e.peer = server;
+    e.rpc = rpc;
+    trace_->Record(std::move(e));
+  }
+  auto rpc_event = [&](obs::EventKind kind, uint64_t t_us, uint64_t value) {
+    if (trace_ == nullptr) return;
+    obs::Event e;
+    e.t_us = t_us;
+    e.kind = kind;
+    e.node = client;
+    e.peer = server;
+    e.rpc = rpc;
+    e.value = value;
+    trace_->Record(std::move(e));
+  };
   uint64_t backoff = retry_.backoff_base_us;
   for (int attempt = 1; attempt <= retry_.max_attempts; ++attempt) {
     result.attempts = attempt;
     const uint64_t depart = now_us_;
     const uint64_t deadline = depart + retry_.timeout_us;
+    rpc_event(obs::EventKind::kAttempt, depart,
+              static_cast<uint64_t>(attempt));
 
     std::optional<uint64_t> reply_at;
     uint64_t reply_seq = 0;
@@ -101,7 +216,11 @@ SimNetwork::RpcResult SimNetwork::Call(uint32_t client, uint32_t server,
       AdvanceTo(*req_at);
       endpoints_[server].inbox.clear();
       // ...handles it (idempotent; retransmissions re-invoke it), and
-      // replies after its processing delay.
+      // replies after its processing delay. The clock tracks the
+      // handling instant so dispatch hooks see the arrival time; both
+      // exits below overwrite it, and nothing the handler may do reads
+      // it, so this is invisible outside tracing.
+      now_us_ = *req_at;
       std::optional<std::vector<uint8_t>> reply = handler(server, request);
       if (reply.has_value()) {
         reply_at = Transmit(server, client, *reply,
@@ -124,11 +243,16 @@ SimNetwork::RpcResult SimNetwork::Call(uint32_t client, uint32_t server,
       }
       stats_.late_replies += inbox.size() - 1;
       inbox.clear();
+      rpc_event(obs::EventKind::kRpcEnd, now_us_,
+                static_cast<uint64_t>(attempt));
+      cur_rpc_ = prev_rpc;
       return result;
     }
 
     ++stats_.timeouts;
     now_us_ = deadline;
+    rpc_event(obs::EventKind::kTimeout, deadline,
+              static_cast<uint64_t>(attempt));
     if (attempt < retry_.max_attempts) {
       ++stats_.retries;
       uint64_t wait = backoff;
@@ -140,9 +264,14 @@ SimNetwork::RpcResult SimNetwork::Call(uint32_t client, uint32_t server,
       now_us_ += wait;
       backoff = static_cast<uint64_t>(static_cast<double>(backoff) *
                                       retry_.backoff_factor);
+      rpc_event(obs::EventKind::kRetry, now_us_,
+                static_cast<uint64_t>(attempt + 1));
     }
   }
   ++stats_.rpc_failures;
+  rpc_event(obs::EventKind::kRpcFail, now_us_,
+            static_cast<uint64_t>(retry_.max_attempts));
+  cur_rpc_ = prev_rpc;
   return result;
 }
 
@@ -217,6 +346,15 @@ SimNetwork::QuorumResult SimNetwork::EngageQuorum(
       if (next >= candidates.size()) {
         q.retries = static_cast<int>(stats_.retries - retries_before);
         return q;  // quorum genuinely unreachable (ok = false)
+      }
+      if (trace_ != nullptr) {
+        obs::Event e;
+        e.t_us = now_us_;
+        e.kind = obs::EventKind::kMark;
+        e.node = servers[i];
+        e.peer = candidates[next];
+        e.detail = "quorum-replacement";
+        trace_->Record(std::move(e));
       }
       q.members[slot] = candidates[next++];
       ++q.replacements;

@@ -36,6 +36,7 @@
 #include <queue>
 #include <vector>
 
+#include "obs/trace.h"
 #include "util/rng.h"
 
 namespace sep2p::net {
@@ -130,6 +131,20 @@ class SimNetwork {
 
   bool IsUp(uint32_t node, uint64_t at_us) const;
 
+  // Attaches an observability recorder: the network binds it to its
+  // virtual clock, stamps its meta (node count, retry budget) and emits
+  // send/deliver/drop/timeout/retry/crash events into it. Recording is
+  // passive — no randomness is drawn and no clock is advanced for it —
+  // so a traced run is bit-identical to an untraced one. Pass nullptr
+  // (the default state) to disable.
+  void set_trace(obs::TraceRecorder* trace);
+  obs::TraceRecorder* trace() const { return trace_; }
+
+  // Records the end-of-run mark the checker's message-conservation
+  // invariant closes over: sends = delivers + drops + in-flight at
+  // shutdown. Call once, after the last protocol action.
+  void FinalizeTrace();
+
   // Synchronous request/response from `client` to `server`, advancing
   // the virtual clock: request latency + server processing + reply
   // latency on success; timeout + backoff per failed attempt. The reply
@@ -198,6 +213,7 @@ class SimNetwork {
     uint64_t seq = 0;
     uint32_t from = 0;
     uint32_t to = 0;
+    uint64_t rpc = 0;  // issuing RPC (trace attribution only)
     std::vector<uint8_t> payload;
   };
   struct Endpoint {
@@ -226,6 +242,11 @@ class SimNetwork {
   uint64_t next_seq_ = 0;
   double step_crash_probability_ = 0.0;
   Stats stats_;
+  obs::TraceRecorder* trace_ = nullptr;
+  // RPC ids advance unconditionally (never from the Rng) so traced and
+  // untraced runs stay bit-identical.
+  uint64_t next_rpc_id_ = 0;
+  uint64_t cur_rpc_ = 0;  // the RPC the current Transmit belongs to
 };
 
 }  // namespace sep2p::net

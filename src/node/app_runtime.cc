@@ -20,6 +20,14 @@ std::optional<std::vector<uint8_t>> AppRuntime::Dispatch(
     uint32_t server, const std::vector<uint8_t>& request) {
   Result<uint8_t> tag = core::msg::PeekTag(request);
   if (!tag.ok()) return std::nullopt;
+  if (obs::TraceRecorder* trace = network_->trace(); trace != nullptr) {
+    obs::Event e;
+    e.t_us = trace->now_us();  // the network parks its clock on arrival
+    e.kind = obs::EventKind::kDispatch;
+    e.node = server;
+    e.value = tag.value();
+    trace->Record(std::move(e));
+  }
   auto node_it = node_handlers_.find({server, tag.value()});
   if (node_it != node_handlers_.end()) {
     return node_it->second(server, request);

@@ -99,6 +99,9 @@ class AppRuntime {
   const net::Cost& measured_cost() const { return cost_; }
   net::SimNetwork* network() { return network_; }
   uint64_t now_us() const { return network_->now_us(); }
+  // The network's attached trace recorder (nullptr = tracing off); apps
+  // open obs::Span phases through this.
+  obs::TraceRecorder* trace() const { return network_->trace(); }
 
  private:
   // The one Handler handed to every SimNetwork call: peeks the tag and

@@ -1,0 +1,63 @@
+#include "obs/trace.h"
+
+#include <utility>
+
+namespace sep2p::obs {
+
+void TraceRecorder::Record(Event e) {
+  if (e.kind != EventKind::kSpanBegin && e.kind != EventKind::kSpanEnd) {
+    e.span = CurrentSpan();
+  }
+  trace_.events.push_back(std::move(e));
+}
+
+uint64_t TraceRecorder::OpenSpan(uint32_t node, std::string name) {
+  const uint64_t id = ++next_span_;
+  Event e;
+  e.t_us = now_us();
+  e.kind = EventKind::kSpanBegin;
+  e.node = node;
+  e.span = id;
+  e.parent = CurrentSpan();
+  e.detail = std::move(name);
+  trace_.events.push_back(std::move(e));
+  span_stack_.push_back(id);
+  return id;
+}
+
+void TraceRecorder::CloseSpan(uint64_t id) {
+  // Spans close innermost-first (RAII); tolerate a mismatched close by
+  // unwinding to the requested id so the recorder never corrupts its
+  // stack — the checker flags the resulting trace.
+  while (!span_stack_.empty()) {
+    const uint64_t top = span_stack_.back();
+    span_stack_.pop_back();
+    Event e;
+    e.t_us = now_us();
+    e.kind = EventKind::kSpanEnd;
+    e.span = top;
+    trace_.events.push_back(std::move(e));
+    if (top == id) break;
+  }
+}
+
+void TraceRecorder::Mark(uint32_t node, std::string label, uint64_t value) {
+  Event e;
+  e.t_us = now_us();
+  e.kind = EventKind::kMark;
+  e.node = node;
+  e.value = value;
+  e.detail = std::move(label);
+  Record(std::move(e));
+}
+
+void TraceRecorder::Signature(uint32_t node, std::string role) {
+  Event e;
+  e.t_us = now_us();
+  e.kind = EventKind::kSignature;
+  e.node = node;
+  e.detail = std::move(role);
+  Record(std::move(e));
+}
+
+}  // namespace sep2p::obs

@@ -1,0 +1,142 @@
+// Deterministic protocol tracing.
+//
+// A TraceRecorder is an append-only per-trial event log stamped on
+// net::SimNetwork's virtual clock. Every event carries the time, the
+// node it concerns, a kind, the enclosing span (protocol phase) and a
+// kind-specific detail. Recording is strictly passive: the hook points
+// across the stack consult an optional TraceRecorder* and emit events
+// only when one is attached, drawing no randomness and advancing no
+// clock, so a traced trial is bit-identical to an untraced one — the
+// determinism contract of sim/trial_runner.h extends to traces, and the
+// same trial replayed with tracing on or off produces the same results
+// for any --threads value.
+//
+// Spans model protocol phases (vrand commit/reveal, setter routing, SL
+// engagement, app rounds) as a properly nested tree per trial: obs::Span
+// is the RAII guard protocol code opens around a phase; events recorded
+// while a span is open are attributed to it. The exporters
+// (obs/export.h) turn the log into JSONL or a Chrome trace, and
+// obs::Checker (obs/checker.h) replays it against protocol invariants.
+//
+// A TraceRecorder must never be shared across threads — like the
+// SimNetwork it instruments, it belongs to exactly one trial.
+
+#ifndef SEP2P_OBS_TRACE_H_
+#define SEP2P_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sep2p::obs {
+
+enum class EventKind : uint8_t {
+  kSend = 0,      // transmission departed (node=from, peer=to)
+  kDeliver,       // transmission landed in an inbox (node=to, peer=from)
+  kDrop,          // transmission lost (link loss or dead destination)
+  kTimeout,       // an RPC attempt expired (value=attempt)
+  kRetry,         // the RPC re-sends (value=next attempt number)
+  kAttempt,       // an RPC attempt departs (value=attempt number)
+  kRpcBegin,      // RPC issued (node=client, peer=server)
+  kRpcEnd,        // RPC succeeded (value=attempts consumed)
+  kRpcFail,       // RPC exhausted its retry budget
+  kCrash,         // node becomes permanently unreachable at t_us
+  kDispatch,      // AppRuntime routed a request to a handler (value=tag)
+  kSignature,     // an asymmetric signing step (detail=role)
+  kMark,          // free-form milestone (detail=label, value=payload)
+  kSpanBegin,     // phase opened (span=own id, parent=enclosing span)
+  kSpanEnd,       // phase closed (span=own id)
+};
+
+// `node`/`peer` value meaning "no node involved".
+inline constexpr uint32_t kNoNode = 0xffffffffu;
+
+struct Event {
+  uint64_t t_us = 0;        // virtual-clock timestamp
+  EventKind kind = EventKind::kMark;
+  uint32_t node = kNoNode;  // primary node (sender, crashed node, ...)
+  uint32_t peer = kNoNode;  // secondary node (receiver, server, ...)
+  uint64_t span = 0;        // enclosing span id (0 = top level)
+  uint64_t parent = 0;      // kSpanBegin only: the parent span id
+  uint64_t rpc = 0;         // RPC id (0 = outside any RPC)
+  uint64_t seq = 0;         // transmission sequence number
+  uint64_t value = 0;       // kind-specific payload
+  std::string detail;       // span name / mark label / signature role
+
+  bool operator==(const Event&) const = default;
+};
+
+struct TraceMeta {
+  uint32_t version = 1;
+  uint32_t node_count = 0;  // for node-id range checks
+  int max_attempts = 0;     // the retry budget the checker enforces
+
+  bool operator==(const TraceMeta&) const = default;
+};
+
+struct Trace {
+  TraceMeta meta;
+  std::vector<Event> events;
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+
+  // Binds the recorder to a virtual clock (SimNetwork::set_trace does
+  // this); events recorded without an explicit time are stamped from it.
+  void BindClock(const uint64_t* now_us) { clock_ = now_us; }
+  uint64_t now_us() const { return clock_ != nullptr ? *clock_ : 0; }
+
+  TraceMeta& meta() { return trace_.meta; }
+  const Trace& trace() const { return trace_; }
+  size_t size() const { return trace_.events.size(); }
+
+  // Appends `e` after stamping the enclosing span; `e.t_us` is kept as
+  // given (hook points that know the exact event time — delivery,
+  // crash — pass it), every other field is the caller's.
+  void Record(Event e);
+
+  // Span management: OpenSpan records kSpanBegin and returns the new
+  // span id; CloseSpan records kSpanEnd (stamped from the bound clock)
+  // and pops the span. Spans nest strictly — obs::Span enforces this.
+  uint64_t OpenSpan(uint32_t node, std::string name);
+  void CloseSpan(uint64_t id);
+  uint64_t CurrentSpan() const {
+    return span_stack_.empty() ? 0 : span_stack_.back();
+  }
+
+  // Convenience emitters, stamped from the bound clock.
+  void Mark(uint32_t node, std::string label, uint64_t value = 0);
+  void Signature(uint32_t node, std::string role);
+
+ private:
+  Trace trace_;
+  const uint64_t* clock_ = nullptr;
+  std::vector<uint64_t> span_stack_;
+  uint64_t next_span_ = 0;
+};
+
+// RAII span guard; a null recorder makes every operation a no-op, so
+// protocol code opens spans unconditionally and pays nothing when
+// tracing is off.
+class Span {
+ public:
+  Span(TraceRecorder* recorder, uint32_t node, const char* name)
+      : recorder_(recorder) {
+    if (recorder_ != nullptr) id_ = recorder_->OpenSpan(node, name);
+  }
+  ~Span() {
+    if (recorder_ != nullptr) recorder_->CloseSpan(id_);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  TraceRecorder* recorder_;
+  uint64_t id_ = 0;
+};
+
+}  // namespace sep2p::obs
+
+#endif  // SEP2P_OBS_TRACE_H_

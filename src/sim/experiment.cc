@@ -515,7 +515,7 @@ Result<std::vector<FailurePoint>> RunFailureSweep(
 Result<std::vector<MessageFailurePoint>> RunMessageFailureSweep(
     const Parameters& base,
     const std::vector<MessageFailureSetting>& settings, int trials,
-    int max_attempts) {
+    int max_attempts, obs::TraceRecorder* trace) {
   Result<std::unique_ptr<Network>> network = Network::Build(base);
   if (!network.ok()) return network.status();
   Network& net = *network.value();
@@ -559,6 +559,12 @@ Result<std::vector<MessageFailurePoint>> RunMessageFailureSweep(
                 StreamSeed(net_seed, static_cast<uint64_t>(t)));
             simnet.set_step_crash_probability(
                 setting.step_crash_probability);
+            // The recorder captures ONE representative trial (first
+            // setting, first trial); exactly one shard ever touches
+            // it, so parallel sweeps stay race-free. Recording is
+            // passive, so the traced trial's results are unchanged.
+            const bool traced = trace != nullptr && pi == 0 && t == 0;
+            if (traced) simnet.set_trace(trace);
             uint32_t trigger =
                 static_cast<uint32_t>(rng.NextUint64(node_count));
             int attempt = 1;
@@ -572,6 +578,7 @@ Result<std::vector<MessageFailurePoint>> RunMessageFailureSweep(
                 return run.status();
               }
             }
+            if (traced) simnet.FinalizeTrace();
             if (attempt > max_attempts) {
               ++sh.gave_up;
             } else {
@@ -621,7 +628,7 @@ Result<std::vector<MessageFailurePoint>> RunMessageFailureSweep(
 Result<std::vector<AppFailurePoint>> RunAppFailureSweep(
     const Parameters& base,
     const std::vector<MessageFailureSetting>& settings, int trials,
-    int max_attempts) {
+    int max_attempts, obs::TraceRecorder* trace) {
   Result<std::unique_ptr<Network>> network = Network::Build(base);
   if (!network.ok()) return network.status();
   Network& net = *network.value();
@@ -663,6 +670,9 @@ Result<std::vector<AppFailurePoint>> RunAppFailureSweep(
                 StreamSeed(net_seed, static_cast<uint64_t>(t)));
             simnet.set_step_crash_probability(
                 setting.step_crash_probability);
+            // One representative traced trial; see the message sweep.
+            const bool traced = trace != nullptr && pi == 0 && t == 0;
+            if (traced) simnet.set_trace(trace);
             node::AppRuntime runtime(&simnet);
 
             // Trial-private PDMSs: the handlers write into them, so they
@@ -680,6 +690,7 @@ Result<std::vector<AppFailurePoint>> RunAppFailureSweep(
                 static_cast<uint32_t>(rng.NextUint64(node_count));
             Result<apps::ParticipatorySensingApp::RoundResult> round =
                 app.RunRound(trigger, rng);
+            if (traced) simnet.FinalizeTrace();
             if (!round.ok()) {
               if (round.status().code() != StatusCode::kUnavailable) {
                 return round.status();

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
 #include "sim/network.h"
 #include "sim/parameters.h"
 #include "util/status.h"
@@ -159,10 +160,13 @@ struct MessageFailurePoint {
   double p99_latency_ms = 0;
 };
 
+// `trace` (optional) records ONE representative trial — the first
+// trial of the first setting — for export/checking; recording is
+// passive, so results are identical with or without it.
 Result<std::vector<MessageFailurePoint>> RunMessageFailureSweep(
     const Parameters& base,
     const std::vector<MessageFailureSetting>& settings, int trials,
-    int max_attempts = 25);
+    int max_attempts = 25, obs::TraceRecorder* trace = nullptr);
 
 // -------------------------------------------------------- §5 app rounds
 // Application-level robustness: one full participatory-sensing round per
@@ -189,10 +193,11 @@ struct AppFailurePoint {
   double p99_latency_ms = 0;
 };
 
+// `trace` records one representative trial, as in the message sweep.
 Result<std::vector<AppFailurePoint>> RunAppFailureSweep(
     const Parameters& base,
     const std::vector<MessageFailureSetting>& settings, int trials,
-    int max_attempts = 25);
+    int max_attempts = 25, obs::TraceRecorder* trace = nullptr);
 
 // ---------------------------------------------------------- §4.1 ablation
 // Empirical check behind the alpha choice: across `network_count`

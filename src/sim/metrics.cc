@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <cstdio>
 
 namespace sep2p::sim {
@@ -38,13 +39,18 @@ void OnlineStats::Merge(const OnlineStats& other) {
 
 double Percentile(std::vector<double> samples, double q) {
   if (samples.empty()) return 0.0;
-  std::sort(samples.begin(), samples.end());
   q = std::min(1.0, std::max(0.0, q));
   // Nearest rank: ceil(q * n), 1-based; q = 0 maps to the minimum.
   size_t rank = static_cast<size_t>(
       std::ceil(q * static_cast<double>(samples.size())));
   if (rank > 0) --rank;
-  return samples[std::min(rank, samples.size() - 1)];
+  rank = std::min(rank, samples.size() - 1);
+  // A single order statistic needs selection, not a full sort: O(n)
+  // instead of O(n log n), and the answer is the identical element.
+  std::nth_element(samples.begin(),
+                   samples.begin() + static_cast<std::ptrdiff_t>(rank),
+                   samples.end());
+  return samples[rank];
 }
 
 TablePrinter::TablePrinter(std::vector<std::string> headers)

@@ -3,6 +3,12 @@
 // Usage: SEP2P_LOG(INFO) << "built network with " << n << " nodes";
 // The default threshold is WARNING so library code stays quiet in tests;
 // harnesses raise it explicitly.
+//
+// The threshold check happens AT THE CALL SITE, before any stream
+// argument is evaluated: a suppressed statement costs one level
+// comparison — no LogMessage, no ostringstream, no formatting of the
+// operands. The ternary-plus-Voidify shape keeps the macro a single
+// expression usable anywhere a statement is.
 
 #ifndef SEP2P_UTIL_LOGGING_H_
 #define SEP2P_UTIL_LOGGING_H_
@@ -32,12 +38,23 @@ class LogMessage {
   std::ostringstream stream_;
 };
 
+// Swallows the stream expression of a suppressed statement. operator&
+// binds looser than << but tighter than ?:, so the whole chain is
+// evaluated (or not) as one branch of the conditional.
+struct LogVoidify {
+  void operator&(std::ostream&) {}
+};
+
 }  // namespace internal
 }  // namespace sep2p::util
 
 #define SEP2P_LOG(severity)                                              \
-  ::sep2p::util::internal::LogMessage(                                   \
-      ::sep2p::util::LogLevel::k##severity, __FILE__, __LINE__)          \
-      .stream()
+  (::sep2p::util::LogLevel::k##severity < ::sep2p::util::GetLogLevel())  \
+      ? (void)0                                                          \
+      : ::sep2p::util::internal::LogVoidify() &                          \
+            ::sep2p::util::internal::LogMessage(                         \
+                ::sep2p::util::LogLevel::k##severity, __FILE__,          \
+                __LINE__)                                                \
+                .stream()
 
 #endif  // SEP2P_UTIL_LOGGING_H_

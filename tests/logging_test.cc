@@ -21,6 +21,24 @@ TEST(LoggingTest, MessagesBelowThresholdAreCheapNoops) {
   SetLogLevel(original);
 }
 
+TEST(LoggingTest, SuppressedStatementsSkipOperandEvaluation) {
+  LogLevel original = SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return "formatted";
+  };
+  // Below threshold: the call-site gate must short-circuit the whole
+  // stream expression, not just drop its output.
+  SEP2P_LOG(Debug) << expensive();
+  SEP2P_LOG(Warning) << expensive();
+  EXPECT_EQ(evaluations, 0);
+  // At threshold the operands are evaluated (and the line is emitted).
+  SEP2P_LOG(Error) << "threshold check: " << expensive();
+  EXPECT_EQ(evaluations, 1);
+  SetLogLevel(original);
+}
+
 TEST(LoggingTest, StreamAcceptsMixedTypes) {
   LogLevel original = SetLogLevel(LogLevel::kError);
   SEP2P_LOG(Warning) << "mix " << 1 << ' ' << 2.5 << ' ' << true;

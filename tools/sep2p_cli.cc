@@ -8,8 +8,14 @@
 //       Print the k-table for a configuration.
 //   sep2p_cli probe   [--n N] [--c FRAC] [--alpha A] [--rounds R]
 //       Colluder-concentration probe behind the alpha choice.
-//   sep2p_cli demo
+//   sep2p_cli demo [--trace FILE]
 //       End-to-end run of all three paper use cases on one network.
+//       --trace records the run and writes FILE (Chrome trace-event
+//       JSON for Perfetto / chrome://tracing) plus FILE.jsonl (the
+//       lossless log `sep2p_cli check` consumes).
+//   sep2p_cli check FILE.jsonl
+//       Load a JSONL trace and run the protocol invariant checker;
+//       exits non-zero on a corrupt trace or any violation.
 
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +30,8 @@
 #include "core/wire.h"
 #include "net/sim_network.h"
 #include "node/app_runtime.h"
+#include "obs/checker.h"
+#include "obs/export.h"
 #include "sim/experiment.h"
 #include "sim/metrics.h"
 #include "sim/network.h"
@@ -41,6 +49,7 @@ struct Flags {
   double drop = 0;        // per-transmission loss probability
   double jitter_ms = 10;  // exponential latency jitter mean
   double crash = 0;       // per-request node-crash probability
+  std::string trace_path;  // demo: write Chrome trace here (+ .jsonl)
 };
 
 bool ParseFlags(int argc, char** argv, int first, Flags* flags) {
@@ -75,6 +84,9 @@ bool ParseFlags(int argc, char** argv, int first, Flags* flags) {
       flags->crash = value;
     } else if (arg == "--threads" && next_value(&value)) {
       flags->params.threads = static_cast<int>(value);
+    } else if (arg == "--trace") {
+      if (i + 1 >= argc) return false;
+      flags->trace_path = argv[++i];
     } else if (arg == "--ed25519") {
       flags->params.provider = sim::Parameters::ProviderKind::kEd25519;
     } else if (arg == "--overlay") {
@@ -201,6 +213,8 @@ int CmdDemo(const Flags& flags) {
   net::SimNetwork simnet(net.directory().size(), link, net::RetryPolicy{},
                          params.seed ^ 0x5e7);
   simnet.set_step_crash_probability(flags.crash);
+  obs::TraceRecorder recorder;
+  if (!flags.trace_path.empty()) simnet.set_trace(&recorder);
   node::AppRuntime runtime(&simnet);
   std::printf("message network: drop=%.3f jitter=%.1fms crash=%.4f\n\n",
               flags.drop, flags.jitter_ms, flags.crash);
@@ -269,17 +283,70 @@ int CmdDemo(const Flags& flags) {
               static_cast<unsigned long long>(stats.retries),
               static_cast<unsigned long long>(stats.timeouts),
               static_cast<unsigned long long>(stats.step_crashes));
+
+  if (!flags.trace_path.empty()) {
+    simnet.FinalizeTrace();
+    Status chrome = obs::WriteFile(flags.trace_path,
+                                   obs::ToChromeTrace(recorder.trace()));
+    Status jsonl = obs::WriteFile(flags.trace_path + ".jsonl",
+                                  obs::ToJsonl(recorder.trace()));
+    if (!chrome.ok() || !jsonl.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n",
+                   (!chrome.ok() ? chrome : jsonl).ToString().c_str());
+      return 1;
+    }
+    std::printf("trace: %zu events -> %s (Chrome/Perfetto) + %s.jsonl\n",
+                recorder.size(), flags.trace_path.c_str(),
+                flags.trace_path.c_str());
+  }
   return 0;
+}
+
+int CmdCheck(const char* path) {
+  auto text = obs::ReadFile(path);
+  if (!text.ok()) {
+    std::fprintf(stderr, "check: %s\n", text.status().ToString().c_str());
+    return 1;
+  }
+  auto trace = obs::FromJsonl(*text);
+  if (!trace.ok()) {
+    std::fprintf(stderr, "check: rejected: %s\n",
+                 trace.status().ToString().c_str());
+    return 1;
+  }
+  obs::CheckerReport report = obs::CheckTrace(*trace);
+  std::printf("trace: %zu events, %llu sends, %llu delivers, %llu drops, "
+              "%llu rpcs, %llu spans, %llu selections completed\n",
+              trace->events.size(),
+              static_cast<unsigned long long>(report.sends),
+              static_cast<unsigned long long>(report.delivers),
+              static_cast<unsigned long long>(report.drops),
+              static_cast<unsigned long long>(report.rpcs),
+              static_cast<unsigned long long>(report.spans),
+              static_cast<unsigned long long>(report.selections_completed));
+  for (const std::string& violation : report.violations) {
+    std::fprintf(stderr, "VIOLATION: %s\n", violation.c_str());
+  }
+  if (report.suppressed > 0) {
+    std::fprintf(stderr, "(%llu further violations suppressed)\n",
+                 static_cast<unsigned long long>(report.suppressed));
+  }
+  std::printf("invariants: %s\n", report.ok() ? "OK" : "VIOLATED");
+  return report.ok() ? 0 : 1;
 }
 
 void Usage() {
   std::fprintf(stderr,
-               "usage: sep2p_cli <select|ktable|probe|demo> [flags]\n"
+               "usage: sep2p_cli <select|ktable|probe|demo|check> [flags]\n"
                "flags: --n N --c FRAC --a A --seed S --cache SIZE\n"
                "       --alpha A --rounds R --overlay chord|can --ed25519\n"
                "       --threads T (0 = one per hardware thread)\n"
                "       --drop P --jitter-ms M --crash P (demo fault "
-               "injection)\n");
+               "injection)\n"
+               "       --trace FILE (demo: Chrome trace to FILE, JSONL to "
+               "FILE.jsonl)\n"
+               "check: sep2p_cli check FILE.jsonl (run the invariant "
+               "checker)\n");
 }
 
 }  // namespace
@@ -289,6 +356,16 @@ int main(int argc, char** argv) {
     Usage();
     return 2;
   }
+  std::string command = argv[1];
+  // `check` takes a file path, not the network flags.
+  if (command == "check") {
+    if (argc != 3) {
+      Usage();
+      return 2;
+    }
+    return CmdCheck(argv[2]);
+  }
+
   Flags flags;
   flags.params.n = 2000;
   flags.params.cache_size = 128;
@@ -298,7 +375,6 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::string command = argv[1];
   if (command == "select") return CmdSelect(flags);
   if (command == "ktable") return CmdKtable(flags);
   if (command == "probe") return CmdProbe(flags);
