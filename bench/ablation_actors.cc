@@ -10,6 +10,7 @@ using namespace sep2p;
 
 int main(int argc, char** argv) {
   const bool quick = bench::QuickMode(argc, argv);
+  bench::Observers obs(argc, argv);
   sim::Parameters params;
   params.threads = bench::ThreadsArg(argc, argv);
   params.n = quick ? 10000 : 50000;
@@ -24,7 +25,7 @@ int main(int argc, char** argv) {
       params);
 
   std::vector<int> actor_counts = {8, 16, 32, 64, 128, 256};
-  auto points = sim::RunActorSweep(params, actor_counts, trials);
+  auto points = sim::RunActorSweep(params, actor_counts, trials, obs.get());
   if (!points.ok()) {
     std::fprintf(stderr, "error: %s\n", points.status().ToString().c_str());
     return 1;
@@ -41,5 +42,6 @@ int main(int argc, char** argv) {
   }
   table.Print();
   std::printf("\n(msgs-per-actor flattening out = linear growth in A)\n");
+  if (!obs.Write()) return 1;
   return 0;
 }

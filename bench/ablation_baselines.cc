@@ -11,6 +11,7 @@ using namespace sep2p;
 
 int main(int argc, char** argv) {
   const bool quick = bench::QuickMode(argc, argv);
+  bench::Observers obs(argc, argv);
   sim::Parameters params;
   params.threads = bench::ThreadsArg(argc, argv);
   params.n = quick ? 5000 : 20000;
@@ -28,7 +29,7 @@ int main(int argc, char** argv) {
   // CSAR enrolls C+1 participants, so keep C modest for the sweep.
   std::vector<double> c_fractions = {0.0005, 0.001, 0.002, 0.005, 0.01};
   auto points = sim::RunStrategyComparison(
-      params, c_fractions, {"Ideal", "CSAR", "SEP2P"}, trials);
+      params, c_fractions, {"Ideal", "CSAR", "SEP2P"}, trials, obs.get());
   if (!points.ok()) {
     std::fprintf(stderr, "error: %s\n", points.status().ToString().c_str());
     return 1;
@@ -49,5 +50,6 @@ int main(int argc, char** argv) {
   std::printf("\n(Ideal is not deployable — it IS the central point of "
               "attack; CSAR is the paper's discarded security-optimal "
               "baseline)\n");
+  if (!obs.Write()) return 1;
   return 0;
 }

@@ -10,6 +10,7 @@ using namespace sep2p;
 
 int main(int argc, char** argv) {
   const bool quick = bench::QuickMode(argc, argv);
+  bench::Observers obs(argc, argv);
   sim::Parameters params;
   params.threads = bench::ThreadsArg(argc, argv);
   params.n = quick ? 4000 : 20000;
@@ -25,7 +26,7 @@ int main(int argc, char** argv) {
       "steps of the average across every possible setter",
       params);
 
-  auto stats = sim::RunExhaustiveSetters(params, sample);
+  auto stats = sim::RunExhaustiveSetters(params, sample, obs.get());
   if (!stats.ok()) {
     std::fprintf(stderr, "error: %s\n", stats.status().ToString().c_str());
     return 1;
@@ -49,5 +50,6 @@ int main(int argc, char** argv) {
                 bench::Num(stats->msg_work_stddev, 2)});
   table.Print();
   std::printf("\n(%d setter positions exercised)\n", stats->setters);
+  if (!obs.Write()) return 1;
   return 0;
 }

@@ -12,7 +12,7 @@ using namespace sep2p;
 
 int main(int argc, char** argv) {
   const bool quick = bench::QuickMode(argc, argv);
-  const std::string trace_path = bench::TraceArg(argc, argv);
+  bench::Observers obs(argc, argv);
   sim::Parameters params;
   params.threads = bench::ThreadsArg(argc, argv);
   params.n = quick ? 5000 : 20000;
@@ -74,11 +74,12 @@ int main(int argc, char** argv) {
   if (!quick) add(0.10, 50, 0.0);
   add(0.01, 10, 0.002);
 
+  // The message-level sweep is the observed one: --trace records its
+  // first trials, --metrics meters every one of its trials.
   const int msg_trials = quick ? 25 : 100;
-  obs::TraceRecorder recorder;
-  auto msg_points = sim::RunMessageFailureSweep(
-      params, settings, msg_trials, 25,
-      trace_path.empty() ? nullptr : &recorder);
+  auto msg_points =
+      sim::RunMessageFailureSweep(params, settings, msg_trials, 25,
+                                  obs.get());
   if (!msg_points.ok()) {
     std::fprintf(stderr, "error: %s\n",
                  msg_points.status().ToString().c_str());
@@ -102,20 +103,7 @@ int main(int argc, char** argv) {
   std::printf("\n(virtual-clock latencies; identical output for any "
               "--threads value)\n");
 
-  if (!trace_path.empty()) {
-    Status chrome =
-        obs::WriteFile(trace_path, obs::ToChromeTrace(recorder.trace()));
-    Status jsonl = obs::WriteFile(trace_path + ".jsonl",
-                                  obs::ToJsonl(recorder.trace()));
-    if (!chrome.ok() || !jsonl.ok()) {
-      std::fprintf(stderr, "trace write failed: %s\n",
-                   (!chrome.ok() ? chrome : jsonl).ToString().c_str());
-      return 1;
-    }
-    std::printf("\ntrace: %zu events (first selection trial) -> %s + "
-                "%s.jsonl\n",
-                recorder.size(), trace_path.c_str(), trace_path.c_str());
-  }
+  if (!obs.Write()) return 1;
 
   // Application-round sweep: one full participatory-sensing round per
   // trial (selection + sealed contribution wave + partial merge +

@@ -12,6 +12,7 @@ using namespace sep2p;
 
 int main(int argc, char** argv) {
   const bool quick = bench::QuickMode(argc, argv);
+  bench::Observers obs(argc, argv);
   const int trials = quick ? 50 : 200;
 
   sim::Parameters base;
@@ -35,8 +36,12 @@ int main(int argc, char** argv) {
                        sim::Parameters::OverlayKind::kCan}) {
     sim::Parameters params = base;
     params.overlay = overlay;
-    auto points =
-        sim::RunStrategyComparison(params, {0.01}, {"SEP2P"}, trials);
+    // Observe the Chord run only (the second call would clobber the
+    // first call's trace slots).
+    auto points = sim::RunStrategyComparison(
+        params, {0.01}, {"SEP2P"}, trials,
+        overlay == sim::Parameters::OverlayKind::kChord ? obs.get()
+                                                        : nullptr);
     if (!points.ok()) {
       std::fprintf(stderr, "error: %s\n",
                    points.status().ToString().c_str());
@@ -83,5 +88,6 @@ int main(int argc, char** argv) {
                   bench::Num(verif.mean(), 1), bench::Num(eff, 3)});
   }
   table.Print();
+  if (!obs.Write()) return 1;
   return 0;
 }

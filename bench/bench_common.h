@@ -7,7 +7,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/experiment.h"
 #include "sim/metrics.h"
 #include "sim/parameters.h"
 
@@ -37,9 +42,11 @@ inline int ThreadsArg(int argc, char** argv) {
   return 0;
 }
 
-// --trace=FILE / --trace FILE: harnesses that support it record one
-// representative trial and write FILE (Chrome trace-event JSON) plus
-// FILE.jsonl (the strict interchange log `sep2p_cli check` consumes).
+// --trace=FILE / --trace FILE: record the first --trace-trials trials
+// of the harness's first sweep point. Trial 0 writes FILE (Chrome
+// trace-event JSON) plus FILE.jsonl; trial N writes FILE.trialN.jsonl
+// (deterministic names, so `sep2p_cli report <dir>` aggregates a
+// sweep's traces without a manifest).
 inline std::string TraceArg(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--trace=", 8) == 0) return argv[i] + 8;
@@ -49,6 +56,100 @@ inline std::string TraceArg(int argc, char** argv) {
   }
   return "";
 }
+
+// --trace-trials=N / --trace-trials N caps how many trials --trace
+// records (default 1, the historical single representative trial).
+inline int TraceTrialsArg(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace-trials=", 15) == 0) {
+      return std::atoi(argv[i] + 15);
+    }
+    if (std::strcmp(argv[i], "--trace-trials") == 0 && i + 1 < argc) {
+      return std::atoi(argv[i + 1]);
+    }
+  }
+  return 1;
+}
+
+// --metrics=FILE / --metrics FILE: write the sweep's merged
+// obs::MetricsRegistry snapshot as Prometheus text to FILE and JSON to
+// FILE.json.
+inline std::string MetricsArg(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--metrics=", 10) == 0) return argv[i] + 10;
+    if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      return argv[i + 1];
+    }
+  }
+  return "";
+}
+
+// One bundle per bench main: owns the recorders + registry and binds
+// them into a sim::SweepObservers. Pass Observers::get() (nullptr when
+// neither flag is set — sweeps skip all observer work) to the harness,
+// then Write() after it returns.
+struct Observers {
+  std::string trace_path;
+  std::string metrics_path;
+  std::vector<obs::TraceRecorder> recorders;
+  obs::MetricsRegistry metrics;
+  sim::SweepObservers sweep;
+
+  Observers(int argc, char** argv)
+      : trace_path(TraceArg(argc, argv)),
+        metrics_path(MetricsArg(argc, argv)) {
+    sweep.trace_trials = TraceTrialsArg(argc, argv);
+    if (!trace_path.empty()) sweep.recorders = &recorders;
+    if (!metrics_path.empty()) sweep.metrics = &metrics;
+  }
+
+  const sim::SweepObservers* get() const {
+    return trace_path.empty() && metrics_path.empty() ? nullptr : &sweep;
+  }
+
+  // Writes every recorded trace and the metrics snapshot; returns false
+  // (after printing to stderr) on any I/O failure.
+  bool Write() const {
+    for (size_t t = 0; t < recorders.size(); ++t) {
+      const obs::Trace& trace = recorders[t].trace();
+      Status st = Status::Ok();
+      if (t == 0) {
+        st = obs::WriteFile(trace_path, obs::ToChromeTrace(trace));
+        if (st.ok()) {
+          st = obs::WriteFile(trace_path + ".jsonl", obs::ToJsonl(trace));
+        }
+      } else {
+        st = obs::WriteFile(trace_path + ".trial" + std::to_string(t) +
+                                ".jsonl",
+                            obs::ToJsonl(trace));
+      }
+      if (!st.ok()) {
+        std::fprintf(stderr, "trace write failed: %s\n",
+                     st.ToString().c_str());
+        return false;
+      }
+    }
+    if (!recorders.empty()) {
+      std::printf("\ntrace: %zu trial(s) -> %s (+ .jsonl%s)\n",
+                  recorders.size(), trace_path.c_str(),
+                  recorders.size() > 1 ? ", .trialN.jsonl" : "");
+    }
+    if (!metrics_path.empty()) {
+      Status prom =
+          obs::WriteFile(metrics_path, metrics.ToPrometheusText());
+      Status json =
+          obs::WriteFile(metrics_path + ".json", metrics.ToJson());
+      if (!prom.ok() || !json.ok()) {
+        std::fprintf(stderr, "metrics write failed: %s\n",
+                     (!prom.ok() ? prom : json).ToString().c_str());
+        return false;
+      }
+      std::printf("metrics: %s (Prometheus text) + %s.json\n",
+                  metrics_path.c_str(), metrics_path.c_str());
+    }
+    return true;
+  }
+};
 
 inline void PrintHeader(const char* figure, const char* claim,
                         const sim::Parameters& params) {

@@ -13,6 +13,7 @@ using namespace sep2p;
 
 int main(int argc, char** argv) {
   const bool quick = bench::QuickMode(argc, argv);
+  bench::Observers obs(argc, argv);
   sim::Parameters params;
   params.threads = bench::ThreadsArg(argc, argv);
   params.n = quick ? 10000 : 50000;
@@ -34,9 +35,12 @@ int main(int argc, char** argv) {
     int point_trials = trials;
     if (c_fraction <= 0.0001) point_trials = trials * 16;
     else if (c_fraction <= 0.001) point_trials = trials * 4;
+    // Only the first C% point is observed: each harness call would
+    // otherwise re-prepare the trace slots and clobber earlier trials.
     auto points = sim::RunStrategyComparison(
         params, {c_fraction}, {"SEP2P", "ES.NAV", "ES.AV", "M.Hash"},
-        point_trials);
+        point_trials,
+        c_fraction == c_fractions.front() ? obs.get() : nullptr);
     if (!points.ok()) {
       std::fprintf(stderr, "error: %s\n",
                    points.status().ToString().c_str());
@@ -57,5 +61,6 @@ int main(int argc, char** argv) {
   table.Print();
   std::printf("\n(%d base trials per point, scaled up to 16x at tiny C%%; "
               "colluders re-randomized during the sweep)\n", trials);
+  if (!obs.Write()) return 1;
   return 0;
 }

@@ -13,6 +13,7 @@ using namespace sep2p;
 
 int main(int argc, char** argv) {
   const bool quick = bench::QuickMode(argc, argv);
+  bench::Observers obs(argc, argv);
   sim::Parameters params;
   params.threads = bench::ThreadsArg(argc, argv);
   params.n = quick ? 10000 : 50000;
@@ -28,7 +29,7 @@ int main(int argc, char** argv) {
 
   std::vector<double> c_fractions = {0.0001, 0.001, 0.01, 0.1};
   auto points = sim::RunStrategyComparison(
-      params, c_fractions, {"SEP2P", "ES.NAV", "ES.AV", "M.Hash"}, trials);
+      params, c_fractions, {"SEP2P", "ES.NAV", "ES.AV", "M.Hash"}, trials, obs.get());
   if (!points.ok()) {
     std::fprintf(stderr, "error: %s\n", points.status().ToString().c_str());
     return 1;
@@ -43,5 +44,6 @@ int main(int argc, char** argv) {
                   bench::Num(p.setup_crypto_work, 1)});
   }
   table.Print();
+  if (!obs.Write()) return 1;
   return 0;
 }

@@ -12,6 +12,7 @@ using namespace sep2p;
 
 int main(int argc, char** argv) {
   const bool quick = bench::QuickMode(argc, argv);
+  bench::Observers obs(argc, argv);
   sim::Parameters params;
   params.threads = bench::ThreadsArg(argc, argv);
   params.n = quick ? 20000 : 100000;
@@ -29,7 +30,7 @@ int main(int argc, char** argv) {
   // pool is bounded by the cache size); start the sweep at A.
   std::vector<size_t> cache_sizes = {32, 40, 48, 64, 96,
                                      128, 256, 512, 1024};
-  auto points = sim::RunCacheSweep(params, cache_sizes, trials);
+  auto points = sim::RunCacheSweep(params, cache_sizes, trials, obs.get());
   if (!points.ok()) {
     std::fprintf(stderr, "error: %s\n", points.status().ToString().c_str());
     return 1;
@@ -52,5 +53,6 @@ int main(int argc, char** argv) {
   table.Print();
   std::printf("\n(A = %d; %d SEP2P executions per cache size)\n",
               params.actor_count, trials);
+  if (!obs.Write()) return 1;
   return 0;
 }

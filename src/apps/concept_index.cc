@@ -91,7 +91,7 @@ Result<uint32_t> ConceptIndex::IndexerFor(const std::string& concept_name,
 Result<net::Cost> ConceptIndex::Publish(uint32_t node_index,
                                         const std::set<std::string>& concepts,
                                         util::Rng& rng) {
-  obs::Span publish_span(runtime_->trace(), node_index, "ci-publish");
+  obs::Span publish_span(runtime_->trace(), runtime_->metrics(), node_index, "ci-publish");
   const net::Cost before = runtime_->measured_cost();
   for (const std::string& concept_name : concepts) {
     Result<std::vector<crypto::SecretShare>> shares = crypto::ShamirSplit(
@@ -124,7 +124,7 @@ Result<net::Cost> ConceptIndex::Publish(uint32_t node_index,
 Result<ConceptIndex::LookupResult> ConceptIndex::Lookup(
     uint32_t from_index, const std::string& concept_name) {
   LookupResult result;
-  obs::Span lookup_span(runtime_->trace(), from_index, "ci-lookup");
+  obs::Span lookup_span(runtime_->trace(), runtime_->metrics(), from_index, "ci-lookup");
   const net::Cost before = runtime_->measured_cost();
 
   // Gather share lists from the first p indexers over the network.

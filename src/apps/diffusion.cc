@@ -66,7 +66,7 @@ Result<DiffusionApp::DiffusionResult> DiffusionApp::Diffuse(
 
   core::ProtocolContext ctx = network_->context();
   ctx.actor_count = config_.target_finder_count;
-  obs::Span diffusion_span(runtime_->trace(), publisher_index, "diffusion");
+  obs::Span diffusion_span(runtime_->trace(), runtime_->metrics(), publisher_index, "diffusion");
   const uint64_t round_start_us = runtime_->now_us();
 
   // 1. Secure selection of the target finders; a TF quorum that stays

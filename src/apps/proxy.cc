@@ -61,7 +61,7 @@ Result<ProxyDelivery> ForwardViaProxy(
   const uint64_t id =
       contribution_id.has_value() ? *contribution_id : runtime.NextMessageId();
 
-  obs::Span forward_span(runtime.trace(), sender_index, "proxy-forward");
+  obs::Span forward_span(runtime.trace(), runtime.metrics(), sender_index, "proxy-forward");
   const net::Cost before = runtime.measured_cost();
   msg::ProxyRelay relay;
   relay.contribution_id = id;
@@ -119,7 +119,7 @@ Result<ChainDelivery> ForwardViaProxyChain(
   // relay breaks the chain (delivered_ok stays false) instead of
   // teleporting the payload.
   const uint64_t id = runtime.NextMessageId();
-  obs::Span chain_span(runtime.trace(), sender_index, "proxy-chain");
+  obs::Span chain_span(runtime.trace(), runtime.metrics(), sender_index, "proxy-chain");
   const net::Cost before = runtime.measured_cost();
   delivery.delivered_ok = true;
   uint32_t hop_from = sender_index;

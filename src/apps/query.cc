@@ -35,7 +35,7 @@ Result<QueryApp::QueryResult> QueryApp::Execute(uint32_t querier_index,
                                                 const QuerySpec& spec,
                                                 util::Rng& rng) {
   obs::TraceRecorder* rec = runtime_->trace();
-  obs::Span query_span(rec, querier_index, "query");
+  obs::Span query_span(rec, runtime_->metrics(), querier_index, "query");
   const uint64_t round_start_us = runtime_->now_us();
 
   // --- Phase 1: target finding (use case 2 machinery). Targets learn a

@@ -63,7 +63,7 @@ ParticipatorySensingApp::RunRound(uint32_t trigger_index, util::Rng& rng) {
   core::ProtocolContext ctx = network_->context();
   ctx.actor_count = config_.aggregator_count;
   obs::TraceRecorder* rec = runtime_->trace();
-  obs::Span round_span(rec, trigger_index, "sensing-round");
+  obs::Span round_span(rec, runtime_->metrics(), trigger_index, "sensing-round");
   const uint64_t round_start_us = runtime_->now_us();
 
   // 1. Secure actor selection over the message network: the DAs (first
@@ -212,7 +212,7 @@ ParticipatorySensingApp::RunRound(uint32_t trigger_index, util::Rng& rng) {
   }
   result.readings_sent = static_cast<int>(contributions.size());
   {
-    obs::Span contribute_span(rec, trigger_index, "contribute");
+    obs::Span contribute_span(rec, runtime_->metrics(), trigger_index, "contribute");
     for (const net::SimNetwork::RpcResult& rpc :
          runtime_->CallBatch(contributions)) {
       // A lost contribution shrinks the round instead of failing it.
@@ -235,7 +235,7 @@ ParticipatorySensingApp::RunRound(uint32_t trigger_index, util::Rng& rng) {
         {result.aggregators[slot], mda, msg::Encode(partial)});
   }
   {
-    obs::Span merge_span(rec, mda, "merge");
+    obs::Span merge_span(rec, runtime_->metrics(), mda, "merge");
     runtime_->CallBatch(partial_wave);  // loss of a partial = degraded
   }
   result.partials_merged = static_cast<int>(round_->merged_slots.size());
@@ -249,7 +249,7 @@ ParticipatorySensingApp::RunRound(uint32_t trigger_index, util::Rng& rng) {
     merged.counts.push_back(cell.count);
   }
   {
-    obs::Span publish_span(rec, mda, "publish");
+    obs::Span publish_span(rec, runtime_->metrics(), mda, "publish");
     runtime_->Call(mda, trigger_index, msg::Encode(merged));
   }
   result.published = round_->published;

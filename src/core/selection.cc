@@ -107,6 +107,7 @@ Result<SlEngagement> EngageSlsOverNetwork(
     const VerifiableRandom& vrnd, bool colluding_sls_hide_honest) {
   const dht::Directory& dir = *ctx.directory;
   obs::TraceRecorder* rec = network.trace();
+  obs::MetricsRegistry* met = network.metrics();
 
   // Per-SL state (CL_j, RND_j, commitment), computed once per engaged
   // node: handlers are idempotent, so a retransmitted request must see
@@ -149,7 +150,7 @@ Result<SlEngagement> EngageSlsOverNetwork(
       msg::SlEngage{wire::EncodeVerifiableRandom(vrnd), p_hash});
   net::SimNetwork::QuorumResult quorum;
   {
-    obs::Span engage_span(rec, setter, "sl-engage");
+    obs::Span engage_span(rec, met, setter, "sl-engage");
     quorum = network.EngageQuorum(
         setter, sl_candidates, k, [&](uint32_t) { return engage_bytes; },
         [&](uint32_t server, const std::vector<uint8_t>& request)
@@ -174,7 +175,7 @@ Result<SlEngagement> EngageSlsOverNetwork(
   const std::vector<uint8_t> l1_bytes = msg::Encode(l1);
   std::vector<net::SimNetwork::RpcResult> reveals;
   {
-    obs::Span reveal_span(rec, setter, "sl-reveal");
+    obs::Span reveal_span(rec, met, setter, "sl-reveal");
     reveals = network.CallMany(
         setter, quorum.members, std::vector<std::vector<uint8_t>>(k, l1_bytes),
         [&](uint32_t server, const std::vector<uint8_t>& request)
@@ -266,14 +267,19 @@ Result<SelectionProtocol::Outcome> SelectionProtocol::Run(
     uint32_t trigger_index, util::Rng& rng,
     const SelectionOptions& options) const {
   const dht::Directory& dir = *ctx_.directory;
-  obs::TraceRecorder* rec =
-      options.network != nullptr ? options.network->trace() : nullptr;
-  obs::Span selection_span(rec, trigger_index, "selection");
+  obs::TraceRecorder* rec = options.network != nullptr
+                                ? options.network->trace()
+                                : options.trace;
+  obs::MetricsRegistry* met = options.network != nullptr
+                                  ? options.network->metrics()
+                                  : options.metrics;
+  obs::Span selection_span(rec, met, trigger_index, "selection");
 
   // --- Step 1: verifiable random generation around T.
   VrandProtocol vrand(ctx_);
-  Result<VrandProtocol::Outcome> vrand_outcome = vrand.Generate(
-      trigger_index, rng, options.failures, options.network);
+  Result<VrandProtocol::Outcome> vrand_outcome =
+      vrand.Generate(trigger_index, rng, options.failures, options.network,
+                     options.trace, options.metrics);
   if (!vrand_outcome.ok()) return vrand_outcome.status();
 
   Outcome outcome;
@@ -297,8 +303,11 @@ Result<SelectionProtocol::Outcome> SelectionProtocol::Run(
     if (!route.ok()) return route.status();
     outcome.cost.Then(net::Cost::Step(0, route->hops));
     if (options.network != nullptr) {
-      obs::Span route_span(rec, route_from, "route-to-setter");
+      obs::Span route_span(rec, met, route_from, "route-to-setter");
       options.network->AdvanceRoute(route->hops);
+    } else if (met != nullptr) {
+      met->Inc(obs::Counter::kRouteHops,
+               static_cast<uint64_t>(route->hops));
     }
     const uint32_t setter = route->dest_index;
 
@@ -316,6 +325,7 @@ Result<SelectionProtocol::Outcome> SelectionProtocol::Run(
       // Sparse R2: no usable SL quorum here; relocate like an
       // underpopulated R3 (§3.6). S itself attests the shortage.
       ++outcome.relocations;
+      if (met != nullptr) met->Inc(obs::Counter::kRelocations);
       outcome.cost.Then(net::Cost::Step(0, 1));
       p_hash = p_hash.Rehash();
       route_from = setter;
@@ -394,7 +404,7 @@ Result<SelectionProtocol::Outcome> SelectionProtocol::Run(
                                     p_hash.bytes().end());
       shortage.push_back('R');
       if (options.network != nullptr) {
-        obs::Span shortage_span(rec, setter, "sl-shortage-attest");
+        obs::Span shortage_span(rec, met, setter, "sl-shortage-attest");
         const std::vector<uint8_t> request_bytes = msg::Encode(
             msg::AttestRequest{
                 crypto::Hash256::Of(shortage.data(), shortage.size())});
@@ -410,6 +420,10 @@ Result<SelectionProtocol::Outcome> SelectionProtocol::Run(
                   Result<crypto::Signature> sig =
                       ctx_.SignAs(server, shortage);
                   if (!sig.ok()) return std::nullopt;
+                  if (met != nullptr) {
+                    met->Inc(obs::Counter::kCryptoSign);
+                    met->IncNode(server, obs::NodeCounter::kCrypto);
+                  }
                   return msg::Encode(msg::Attestation{
                       dir.node(server).cert, std::move(sig.value())});
                 });
@@ -420,15 +434,21 @@ Result<SelectionProtocol::Outcome> SelectionProtocol::Run(
           }
         }
       } else {
+        obs::Span shortage_span(rec, met, setter, "sl-shortage-attest");
         for (int j = 0; j < k; ++j) {
           Result<crypto::Signature> att =
               ctx_.SignAs(sl_members[j], shortage);
           if (!att.ok()) return att.status();
+          if (met != nullptr) {
+            met->Inc(obs::Counter::kCryptoSign);
+            met->IncNode(sl_members[j], obs::NodeCounter::kCrypto);
+          }
         }
       }
       outcome.cost.Then(
           net::Cost::ParIdentical(net::Cost::Step(1, 1), k));
       ++outcome.relocations;
+      if (met != nullptr) met->Inc(obs::Counter::kRelocations);
       p_hash = p_hash.Rehash();
       route_from = setter;
       continue;
@@ -444,8 +464,14 @@ Result<SelectionProtocol::Outcome> SelectionProtocol::Run(
     // 8.a: each SL checks VRND_T. All k verifications run in parallel.
     std::vector<net::Cost> sl_costs(k);
     for (int j = 0; j < k; ++j) {
-      Result<net::Cost> vrnd_check = VerifyVrand(ctx_, vrand_outcome->vrnd);
+      Result<net::Cost> vrnd_check =
+          VerifyVrand(ctx_, vrand_outcome->vrnd, met);
       if (!vrnd_check.ok()) return vrnd_check.status();
+      if (met != nullptr) {
+        met->IncNode(sl_members[j], obs::NodeCounter::kCrypto,
+                     2 * static_cast<uint64_t>(
+                             vrand_outcome->vrnd.k()) + 1);
+      }
       sl_costs[j] = vrnd_check.value();
     }
     // 8.c-8.e: deterministic list construction from the revealed data.
@@ -487,6 +513,10 @@ Result<SelectionProtocol::Outcome> SelectionProtocol::Run(
           return Status::SecurityViolation(
               "selection: actor certificate check failed");
         }
+        if (met != nullptr) {
+          met->Inc(obs::Counter::kCryptoVerify);
+          met->IncNode(sl_members[j], obs::NodeCounter::kCrypto);
+        }
       }
     }
 
@@ -519,7 +549,7 @@ Result<SelectionProtocol::Outcome> SelectionProtocol::Run(
       // Attestation collection round: request + signed attestation per
       // SL, in parallel. The SLs are committed to this AL, so a loss
       // here cannot be patched by substitution — S restarts instead.
-      obs::Span attest_span(rec, setter, "sl-attest");
+      obs::Span attest_span(rec, met, setter, "sl-attest");
       const std::vector<uint8_t> request_bytes =
           msg::Encode(msg::AttestRequest{crypto::Hash256::Of(
               signed_bytes.data(), signed_bytes.size())});
@@ -535,6 +565,10 @@ Result<SelectionProtocol::Outcome> SelectionProtocol::Run(
                 Result<crypto::Signature> sig =
                     ctx_.SignAs(server, signed_bytes);
                 if (!sig.ok()) return std::nullopt;
+                if (met != nullptr) {
+                  met->Inc(obs::Counter::kCryptoSign);
+                  met->IncNode(server, obs::NodeCounter::kCrypto);
+                }
                 return msg::Encode(msg::Attestation{
                     dir.node(server).cert, std::move(sig.value())});
               });
@@ -553,6 +587,7 @@ Result<SelectionProtocol::Outcome> SelectionProtocol::Run(
         sl_costs[j].Then(net::Cost::Step(1, 1));  // sign + send to S
       }
     } else {
+      obs::Span attest_span(rec, met, setter, "sl-attest");
       for (int j = 0; j < k; ++j) {
         if (options.failures != nullptr && options.failures->ShouldFail()) {
           return Status::Unavailable("selection: SL failed before signing");
@@ -560,6 +595,14 @@ Result<SelectionProtocol::Outcome> SelectionProtocol::Run(
         Result<crypto::Signature> sig =
             ctx_.SignAs(sl_members[j], signed_bytes);
         if (!sig.ok()) return sig.status();
+        if (met != nullptr) {
+          met->Inc(obs::Counter::kCryptoSign);
+          met->IncNode(sl_members[j], obs::NodeCounter::kCrypto);
+        }
+        // Mirror the network path's per-attestation signature event so
+        // the checker's exactly-k invariant holds for direct-path
+        // traces too.
+        if (rec != nullptr) rec->Signature(sl_members[j], "sl-attest");
         val.attestations.push_back(
             {dir.node(sl_members[j]).cert, std::move(sig.value())});
         sl_costs[j].Then(net::Cost::Step(1, 1));  // sign + send to S
@@ -570,6 +613,7 @@ Result<SelectionProtocol::Outcome> SelectionProtocol::Run(
     outcome.val = std::move(val);
     outcome.setter_index = setter;
     outcome.sl_indices = std::move(sl_members);
+    if (met != nullptr) met->Inc(obs::Counter::kSelectionsCompleted);
     if (rec != nullptr) {
       rec->Mark(setter, "selection-complete", static_cast<uint64_t>(k));
     }
@@ -578,8 +622,13 @@ Result<SelectionProtocol::Outcome> SelectionProtocol::Run(
 }
 
 Result<net::Cost> VerifyActorList(const ProtocolContext& ctx,
-                                  const VerifiableActorList& val) {
+                                  const VerifiableActorList& val,
+                                  obs::MetricsRegistry* metrics) {
   net::Cost cost;
+  auto asym = [&cost, metrics] {
+    cost.Then(net::Cost::Step(1, 0));
+    if (metrics != nullptr) metrics->Inc(obs::Counter::kCryptoVerify);
+  };
   if (val.attestations.empty()) {
     return Status::SecurityViolation("val: no attestations");
   }
@@ -601,7 +650,7 @@ Result<net::Cost> VerifyActorList(const ProtocolContext& ctx,
 
   for (const VerifiableActorList::Attestation& att : val.attestations) {
     // Certificate: genuine PDMS + binds the SL's imposed location.
-    cost.Then(net::Cost::Step(1, 0));
+    asym();
     if (!ctx.ca->Check(att.cert)) {
       return Status::SecurityViolation("val: bad SL certificate");
     }
@@ -609,7 +658,7 @@ Result<net::Cost> VerifyActorList(const ProtocolContext& ctx,
       return Status::SecurityViolation("val: SL not legitimate w.r.t. R2");
     }
     // Signature over (RND_T, AL).
-    cost.Then(net::Cost::Step(1, 0));
+    asym();
     if (!ctx.provider->Verify(att.cert.subject, signed_bytes, att.sig)) {
       return Status::SecurityViolation("val: bad SL signature");
     }

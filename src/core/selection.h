@@ -82,6 +82,13 @@ struct SelectionOptions {
   // threads); virtual-clock latency and retry counts accumulate in its
   // Stats.
   net::SimNetwork* network = nullptr;
+  // Observability for the DIRECT (non-network) execution path: when
+  // `network` is set its attached recorder/registry take precedence, so
+  // these only matter for the fully in-memory protocol mode. Both are
+  // passive (no randomness drawn, no clock advanced) — observed runs
+  // stay bit-identical to plain ones.
+  obs::TraceRecorder* trace = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
   // SIMULATOR-ONLY hook (paper §4.1: "the simulator allows to force
   // choosing a given Execution Setter by artificially fixing the RND_T
   // value"): overrides hash(RND_T) as the initial setter point so every
@@ -123,9 +130,11 @@ std::vector<crypto::PublicKey> BuildActorList(
 // of the k attestations, the SL certificate (genuine PDMS), the SL's
 // legitimacy w.r.t. R2 centered on the (relocation-adjusted) setter
 // point, and the signature over (RND_T, AL). Exactly 2k asymmetric
-// operations on success.
+// operations on success. A non-null `metrics` tallies each asymmetric
+// op as crypto_verify (passive, no behavioural effect).
 Result<net::Cost> VerifyActorList(const ProtocolContext& ctx,
-                                  const VerifiableActorList& val);
+                                  const VerifiableActorList& val,
+                                  obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace sep2p::core
 

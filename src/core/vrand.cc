@@ -34,7 +34,8 @@ std::vector<uint8_t> VerifiableRandom::SignedBytes() const {
 
 Result<VrandProtocol::Outcome> VrandProtocol::Generate(
     uint32_t trigger_index, util::Rng& rng, net::FailureModel* failures,
-    net::SimNetwork* network) const {
+    net::SimNetwork* network, obs::TraceRecorder* trace,
+    obs::MetricsRegistry* metrics) const {
   const dht::Directory& dir = *ctx_.directory;
   const dht::NodeRecord& trigger = dir.node(trigger_index);
 
@@ -64,6 +65,7 @@ Result<VrandProtocol::Outcome> VrandProtocol::Generate(
     return GenerateOverNetwork(trigger_index, rng, *network, choice,
                                candidates);
   }
+  obs::Span vrand_span(trace, metrics, trigger_index, "vrand");
   candidates.resize(k);
 
   Outcome outcome;
@@ -94,6 +96,11 @@ Result<VrandProtocol::Outcome> VrandProtocol::Generate(
     }
     Result<crypto::Signature> sig = ctx_.SignAs(candidates[i], signed_bytes);
     if (!sig.ok()) return sig.status();
+    if (metrics != nullptr) {
+      metrics->Inc(obs::Counter::kCryptoSign);
+      metrics->IncNode(candidates[i], obs::NodeCounter::kCrypto);
+    }
+    if (trace != nullptr) trace->Signature(candidates[i], "tl-sign");
     vrnd.participants[i].sig = std::move(sig.value());
   }
 
@@ -107,7 +114,7 @@ Result<VrandProtocol::Outcome> VrandProtocol::Generate(
     cost.Then(net::Cost::ParIdentical(net::Cost::Step(0, 1), k));
   }
   cost.Then(net::Cost::ParIdentical(net::Cost::Step(1, 0), k));  // TL signs
-  Result<net::Cost> check = VerifyVrand(ctx_, vrnd);
+  Result<net::Cost> check = VerifyVrand(ctx_, vrnd, metrics);
   if (!check.ok()) return check.status();
   cost.Then(check.value());
   outcome.cost = cost;
@@ -120,7 +127,8 @@ Result<VrandProtocol::Outcome> VrandProtocol::GenerateOverNetwork(
     const std::vector<uint32_t>& candidates) const {
   const dht::Directory& dir = *ctx_.directory;
   obs::TraceRecorder* rec = network.trace();
-  obs::Span vrand_span(rec, trigger_index, "vrand");
+  obs::MetricsRegistry* met = network.metrics();
+  obs::Span vrand_span(rec, met, trigger_index, "vrand");
   const int k = choice.entry.k;
   const double rs1 = choice.entry.rs;
 
@@ -144,7 +152,7 @@ Result<VrandProtocol::Outcome> VrandProtocol::GenerateOverNetwork(
       msg::Encode(msg::VrandInvite{rs1, ctx_.now});
   net::SimNetwork::QuorumResult quorum;
   {
-    obs::Span commit_span(rec, trigger_index, "vrand-commit");
+    obs::Span commit_span(rec, met, trigger_index, "vrand-commit");
     quorum = network.EngageQuorum(
         trigger_index, candidates, k,
         [&](uint32_t) { return invite_bytes; },
@@ -187,7 +195,7 @@ Result<VrandProtocol::Outcome> VrandProtocol::GenerateOverNetwork(
   // the caller restarts with a fresh RND_T.
   const std::vector<uint8_t> signed_bytes = vrnd.SignedBytes();
   const std::vector<uint8_t> list_bytes = msg::Encode(commit_list);
-  obs::Span reveal_span(rec, trigger_index, "vrand-reveal");
+  obs::Span reveal_span(rec, met, trigger_index, "vrand-reveal");
   std::vector<net::SimNetwork::RpcResult> reveals = network.CallMany(
       trigger_index, quorum.members,
       std::vector<std::vector<uint8_t>>(k, list_bytes),
@@ -204,6 +212,10 @@ Result<VrandProtocol::Outcome> VrandProtocol::GenerateOverNetwork(
         }
         Result<crypto::Signature> sig = ctx_.SignAs(server, signed_bytes);
         if (!sig.ok()) return std::nullopt;
+        if (met != nullptr) {
+          met->Inc(obs::Counter::kCryptoSign);
+          met->IncNode(server, obs::NodeCounter::kCrypto);
+        }
         return msg::Encode(msg::VrandReveal{rnd, std::move(sig.value())});
       });
   for (int i = 0; i < k; ++i) {
@@ -226,7 +238,7 @@ Result<VrandProtocol::Outcome> VrandProtocol::GenerateOverNetwork(
     cost.Then(net::Cost::ParIdentical(net::Cost::Step(0, 1), k));
   }
   cost.Then(net::Cost::ParIdentical(net::Cost::Step(1, 0), k));
-  Result<net::Cost> check = VerifyVrand(ctx_, vrnd);
+  Result<net::Cost> check = VerifyVrand(ctx_, vrnd, met);
   if (!check.ok()) return check.status();
   cost.Then(check.value());
   outcome.cost = cost;
@@ -234,11 +246,16 @@ Result<VrandProtocol::Outcome> VrandProtocol::GenerateOverNetwork(
 }
 
 Result<net::Cost> VerifyVrand(const ProtocolContext& ctx,
-                              const VerifiableRandom& vrnd) {
+                              const VerifiableRandom& vrnd,
+                              obs::MetricsRegistry* metrics) {
   net::Cost cost;
+  auto asym = [&cost, metrics] {
+    cost.Then(net::Cost::Step(1, 0));
+    if (metrics != nullptr) metrics->Inc(obs::Counter::kCryptoVerify);
+  };
 
   // (i) T's certificate: fixes the center of R1 and proves T is genuine.
-  cost.Then(net::Cost::Step(1, 0));
+  asym();
   if (!ctx.ca->Check(vrnd.cert_t)) {
     return Status::SecurityViolation("vrand: bad trigger certificate");
   }
@@ -265,14 +282,14 @@ Result<net::Cost> VerifyVrand(const ProtocolContext& ctx,
 
   // (ii) per TL: certificate, legitimacy w.r.t. R1, signature over L.
   for (const VrandParticipant& p : vrnd.participants) {
-    cost.Then(net::Cost::Step(1, 0));
+    asym();
     if (!ctx.ca->Check(p.cert)) {
       return Status::SecurityViolation("vrand: bad TL certificate");
     }
     if (!r1.Contains(p.cert.NodeIdFromSubject())) {
       return Status::SecurityViolation("vrand: TL not legitimate w.r.t. R1");
     }
-    cost.Then(net::Cost::Step(1, 0));
+    asym();
     if (!ctx.provider->Verify(p.cert.subject, signed_bytes, p.sig)) {
       return Status::SecurityViolation("vrand: bad TL signature");
     }

@@ -78,9 +78,14 @@ class VrandProtocol {
   // candidate; only an unreachable quorum (or a TL lost after its
   // commitment is fixed) aborts with kUnavailable. `failures` is ignored
   // in that mode — crash and loss behaviour comes from the network.
+  // `trace`/`metrics` observe the DIRECT (non-network) path; with a
+  // network attached, its own recorder/registry take precedence. Both
+  // are passive.
   Result<Outcome> Generate(uint32_t trigger_index, util::Rng& rng,
                            net::FailureModel* failures = nullptr,
-                           net::SimNetwork* network = nullptr) const;
+                           net::SimNetwork* network = nullptr,
+                           obs::TraceRecorder* trace = nullptr,
+                           obs::MetricsRegistry* metrics = nullptr) const;
 
  private:
   // Message-level path: TL engagement with replacement, then the
@@ -97,9 +102,11 @@ class VrandProtocol {
 // certificate, each TL's legitimacy w.r.t. R1 (center = hash of T's key,
 // size = rs1), each signature over (L, ts), and timestamp freshness.
 // On success returns the verification cost: 2k+1 asymmetric operations
-// (1 cert_T + k TL certs + k signatures).
+// (1 cert_T + k TL certs + k signatures). A non-null `metrics` tallies
+// each asymmetric op as crypto_verify (passive).
 Result<net::Cost> VerifyVrand(const ProtocolContext& ctx,
-                              const VerifiableRandom& vrnd);
+                              const VerifiableRandom& vrnd,
+                              obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace sep2p::core
 

@@ -56,20 +56,31 @@ bool SimNetwork::StepCrash(uint32_t node, uint64_t at_us) {
   if (!rng_.NextBool(step_crash_probability_)) return false;
   CrashAt(node, at_us);
   ++stats_.step_crashes;
+  if (metrics_ != nullptr) metrics_->Inc(obs::Counter::kStepCrashes);
   return true;
 }
 
 void SimNetwork::AdvanceRoute(int hops) {
+  const uint64_t start = now_us_;
   for (int h = 0; h < hops; ++h) {
     ++stats_.messages_sent;
     ++stats_.messages_delivered;
     now_us_ += SampleLatencyUs();
   }
+  if (metrics_ != nullptr && hops > 0) {
+    metrics_->Inc(obs::Counter::kRouteHops, static_cast<uint64_t>(hops));
+  }
   if (trace_ != nullptr && hops > 0) {
     // Routing legs are store-and-forward overlay hops, not tracked
-    // transmissions; one mark keeps them visible without entering the
-    // send/deliver conservation ledger.
-    trace_->Mark(obs::kNoNode, "route", static_cast<uint64_t>(hops));
+    // transmissions; one kRoute event keeps them visible (and gives the
+    // analyzer a causal interval: start time, duration, hop count)
+    // without entering the send/deliver conservation ledger.
+    obs::Event e;
+    e.t_us = start;
+    e.kind = obs::EventKind::kRoute;
+    e.seq = static_cast<uint64_t>(hops);
+    e.value = now_us_ - start;
+    trace_->Record(std::move(e));
   }
 }
 
@@ -82,6 +93,11 @@ std::optional<uint64_t> SimNetwork::Transmit(
   const uint64_t seq = next_seq_++;
   ++stats_.messages_sent;
   stats_.bytes_sent += payload.size();
+  if (metrics_ != nullptr) {
+    metrics_->Inc(obs::Counter::kMessagesSent);
+    metrics_->Inc(obs::Counter::kBytesSent, payload.size());
+    metrics_->IncNode(from, obs::NodeCounter::kMessages);
+  }
   if (trace_ != nullptr) {
     obs::Event e;
     e.t_us = depart_us;
@@ -95,6 +111,7 @@ std::optional<uint64_t> SimNetwork::Transmit(
   }
   auto record_drop = [&](uint64_t t_us, const char* cause) {
     ++stats_.messages_dropped;
+    if (metrics_ != nullptr) metrics_->Inc(obs::Counter::kMessagesDropped);
     if (trace_ != nullptr) {
       obs::Event e;
       e.t_us = t_us;
@@ -141,6 +158,9 @@ void SimNetwork::AdvanceTo(uint64_t at_us) {
       // check): the bytes evaporate like a drop instead of landing in a
       // dead node's inbox.
       ++stats_.messages_dropped;
+      if (metrics_ != nullptr) {
+        metrics_->Inc(obs::Counter::kMessagesDropped);
+      }
       if (trace_ != nullptr) {
         obs::Event e;
         e.t_us = d.at_us;
@@ -155,6 +175,9 @@ void SimNetwork::AdvanceTo(uint64_t at_us) {
       continue;
     }
     ++stats_.messages_delivered;
+    if (metrics_ != nullptr) {
+      metrics_->Inc(obs::Counter::kMessagesDelivered);
+    }
     if (trace_ != nullptr) {
       obs::Event e;
       e.t_us = d.at_us;
@@ -178,7 +201,9 @@ SimNetwork::RpcResult SimNetwork::Call(uint32_t client, uint32_t server,
   // never re-enter the network, but save/restore keeps it safe anyway.
   const uint64_t rpc = ++next_rpc_id_;
   const uint64_t prev_rpc = cur_rpc_;
+  const uint64_t rpc_start = now_us_;
   cur_rpc_ = rpc;
+  if (metrics_ != nullptr) metrics_->Inc(obs::Counter::kRpcsBegun);
   if (trace_ != nullptr) {
     obs::Event e;
     e.t_us = now_us_;
@@ -204,6 +229,7 @@ SimNetwork::RpcResult SimNetwork::Call(uint32_t client, uint32_t server,
     result.attempts = attempt;
     const uint64_t depart = now_us_;
     const uint64_t deadline = depart + retry_.timeout_us;
+    if (metrics_ != nullptr) metrics_->Inc(obs::Counter::kRpcAttempts);
     rpc_event(obs::EventKind::kAttempt, depart,
               static_cast<uint64_t>(attempt));
 
@@ -242,6 +268,12 @@ SimNetwork::RpcResult SimNetwork::Call(uint32_t client, uint32_t server,
         }
       }
       stats_.late_replies += inbox.size() - 1;
+      if (metrics_ != nullptr) {
+        metrics_->Inc(obs::Counter::kLateReplies, inbox.size() - 1);
+        metrics_->Observe(obs::Hist::kRpcLatencyUs, now_us_ - rpc_start);
+        metrics_->Observe(obs::Hist::kRpcAttempts,
+                          static_cast<uint64_t>(attempt));
+      }
       inbox.clear();
       rpc_event(obs::EventKind::kRpcEnd, now_us_,
                 static_cast<uint64_t>(attempt));
@@ -250,11 +282,13 @@ SimNetwork::RpcResult SimNetwork::Call(uint32_t client, uint32_t server,
     }
 
     ++stats_.timeouts;
+    if (metrics_ != nullptr) metrics_->Inc(obs::Counter::kTimeouts);
     now_us_ = deadline;
     rpc_event(obs::EventKind::kTimeout, deadline,
               static_cast<uint64_t>(attempt));
     if (attempt < retry_.max_attempts) {
       ++stats_.retries;
+      if (metrics_ != nullptr) metrics_->Inc(obs::Counter::kRetries);
       uint64_t wait = backoff;
       if (retry_.jitter_fraction > 0) {
         wait += static_cast<uint64_t>(static_cast<double>(backoff) *
@@ -269,6 +303,11 @@ SimNetwork::RpcResult SimNetwork::Call(uint32_t client, uint32_t server,
     }
   }
   ++stats_.rpc_failures;
+  if (metrics_ != nullptr) {
+    metrics_->Inc(obs::Counter::kRpcsFailed);
+    metrics_->Observe(obs::Hist::kRpcAttempts,
+                      static_cast<uint64_t>(retry_.max_attempts));
+  }
   rpc_event(obs::EventKind::kRpcFail, now_us_,
             static_cast<uint64_t>(retry_.max_attempts));
   cur_rpc_ = prev_rpc;
@@ -359,6 +398,9 @@ SimNetwork::QuorumResult SimNetwork::EngageQuorum(
       q.members[slot] = candidates[next++];
       ++q.replacements;
       ++stats_.quorum_replacements;
+      if (metrics_ != nullptr) {
+        metrics_->Inc(obs::Counter::kQuorumReplacements);
+      }
       still_pending.push_back(slot);
     }
     pending.swap(still_pending);

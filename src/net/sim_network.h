@@ -140,6 +140,15 @@ class SimNetwork {
   void set_trace(obs::TraceRecorder* trace);
   obs::TraceRecorder* trace() const { return trace_; }
 
+  // Attaches a metrics registry: the network mirrors its Stats into it
+  // (totals AND the phase row currently open via obs::Span) and feeds
+  // the rpc latency/attempt histograms. Metering follows the same
+  // passivity contract as tracing — plain integer adds, no randomness,
+  // no clock — so a metered run is bit-identical to an unmetered one.
+  // The registry, like the network, must stay on one thread.
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+
   // Records the end-of-run mark the checker's message-conservation
   // invariant closes over: sends = delivers + drops + in-flight at
   // shutdown. Call once, after the last protocol action.
@@ -243,6 +252,7 @@ class SimNetwork {
   double step_crash_probability_ = 0.0;
   Stats stats_;
   obs::TraceRecorder* trace_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
   // RPC ids advance unconditionally (never from the Rng) so traced and
   // untraced runs stay bit-identical.
   uint64_t next_rpc_id_ = 0;

@@ -20,6 +20,10 @@ std::optional<std::vector<uint8_t>> AppRuntime::Dispatch(
     uint32_t server, const std::vector<uint8_t>& request) {
   Result<uint8_t> tag = core::msg::PeekTag(request);
   if (!tag.ok()) return std::nullopt;
+  if (obs::MetricsRegistry* metrics = network_->metrics();
+      metrics != nullptr) {
+    metrics->Inc(obs::Counter::kDispatches);
+  }
   if (obs::TraceRecorder* trace = network_->trace(); trace != nullptr) {
     obs::Event e;
     e.t_us = trace->now_us();  // the network parks its clock on arrival
@@ -77,6 +81,11 @@ Result<core::SelectionProtocol::Outcome> AppRuntime::RunSelection(
     run = protocol.Run(trigger_index, rng, options);
     if (run.ok()) {
       if (restarts != nullptr) *restarts = attempt - 1;
+      if (obs::MetricsRegistry* m = network_->metrics();
+          m != nullptr && attempt > 1) {
+        m->Inc(obs::Counter::kRestarts,
+               static_cast<uint64_t>(attempt - 1));
+      }
       return run;
     }
     // A fresh-RND_T restart only absorbs unreachable quorums; any other

@@ -102,6 +102,9 @@ class AppRuntime {
   // The network's attached trace recorder (nullptr = tracing off); apps
   // open obs::Span phases through this.
   obs::TraceRecorder* trace() const { return network_->trace(); }
+  // The network's attached metrics registry (nullptr = metering off);
+  // handing both to obs::Span makes app phases metrics phases too.
+  obs::MetricsRegistry* metrics() const { return network_->metrics(); }
 
  private:
   // The one Handler handed to every SimNetwork call: peeks the tag and

@@ -184,6 +184,10 @@ CheckerReport CheckTrace(const Trace& trace) {
       }
       case EventKind::kDispatch:
         break;
+      case EventKind::kRoute:
+        ++report.routes;
+        report.route_hops += e.seq;
+        break;
       case EventKind::kSignature:
         if (e.detail == "sl-attest") {
           attest_signature_spans.push_back(e.span);

@@ -53,6 +53,8 @@ struct CheckerReport {
   uint64_t rpcs = 0;
   uint64_t spans = 0;
   uint64_t selections_completed = 0;
+  uint64_t routes = 0;
+  uint64_t route_hops = 0;
 
   bool ok() const { return violations.empty() && suppressed == 0; }
 

@@ -28,6 +28,7 @@ const char* KindName(EventKind kind) {
     case EventKind::kDispatch: return "dispatch";
     case EventKind::kSignature: return "signature";
     case EventKind::kMark: return "mark";
+    case EventKind::kRoute: return "route";
     case EventKind::kSpanBegin: return "span-begin";
     case EventKind::kSpanEnd: return "span-end";
   }
@@ -321,6 +322,21 @@ std::string ToChromeTrace(const Trace& trace) {
       obj += "\",\"args\":{\"span\":" + std::to_string(e.span) + "}}";
       emit(obj);
       open.erase(it);
+      continue;
+    }
+    if (e.kind == EventKind::kRoute) {
+      // Routing hop sequences carry their own duration (value) and hop
+      // count (seq) — render them as complete events, not instants.
+      std::string obj = "{\"ph\":\"X\",\"pid\":0,\"tid\":" +
+                        std::to_string(tid) +
+                        ",\"ts\":" + std::to_string(e.t_us) +
+                        ",\"dur\":" + std::to_string(e.value) +
+                        ",\"name\":\"route\",\"args\":{\"hops\":" +
+                        std::to_string(e.seq) + "}}";
+      if (e.peer != kNoNode) {
+        obj.insert(obj.size() - 2, ",\"dest\":" + std::to_string(e.peer));
+      }
+      emit(obj);
       continue;
     }
     std::string name = KindName(e.kind);

@@ -1,0 +1,334 @@
+#include "obs/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+
+#include "obs/export.h"
+
+namespace sep2p::obs {
+namespace {
+
+std::string Num(uint64_t v) { return std::to_string(v); }
+
+std::string Fixed(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+// Nearest-rank percentile over an unsorted copy (matches
+// Histogram::Quantile's convention; exact here because we keep the raw
+// per-trace durations).
+uint64_t PercentileOf(std::vector<uint64_t> values, double q) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  size_t rank = static_cast<size_t>(
+      q * static_cast<double>(values.size()) + 0.999999);
+  if (rank < 1) rank = 1;
+  if (rank > values.size()) rank = values.size();
+  return values[rank - 1];
+}
+
+const char* SegmentKindName(CriticalSegment::Kind kind) {
+  switch (kind) {
+    case CriticalSegment::Kind::kRpc:
+      return "rpc";
+    case CriticalSegment::Kind::kRoute:
+      return "route";
+    case CriticalSegment::Kind::kWait:
+      return "wait";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void MergeAnalysis(Report& report, const Analysis& analysis) {
+  const bool first = report.trace_count == 0;
+  ++report.trace_count;
+
+  report.total_events += analysis.total_events;
+  report.sends += analysis.sends;
+  report.delivers += analysis.delivers;
+  report.drops += analysis.drops;
+  report.timeouts += analysis.timeouts;
+  report.retries += analysis.retries;
+  report.rpcs += analysis.rpcs;
+  report.rpc_fails += analysis.rpc_fails;
+  report.attempts += analysis.attempts;
+  report.signatures += analysis.signatures;
+  report.dispatches += analysis.dispatches;
+  report.crashes += analysis.crashes;
+  report.routes += analysis.routes;
+  report.route_hops += analysis.route_hops;
+  report.bytes_sent += analysis.bytes_sent;
+  report.spans += analysis.spans;
+  report.retry_amplification =
+      report.rpcs == 0 ? 0
+                       : static_cast<double>(report.attempts) /
+                             static_cast<double>(report.rpcs);
+
+  // Phase rows merge by name; both sides are sorted, but a map keeps
+  // the merge simple and the result deterministic.
+  std::map<std::string, PhaseRow> rows;
+  for (PhaseRow& row : report.phases) rows.emplace(row.name, std::move(row));
+  for (const PhaseRow& add : analysis.phases) {
+    PhaseRow& row = rows[add.name];
+    row.name = add.name;
+    row.spans += add.spans;
+    row.events += add.events;
+    row.sends += add.sends;
+    row.delivers += add.delivers;
+    row.drops += add.drops;
+    row.timeouts += add.timeouts;
+    row.retries += add.retries;
+    row.rpcs += add.rpcs;
+    row.rpc_fails += add.rpc_fails;
+    row.attempts += add.attempts;
+    row.signatures += add.signatures;
+    row.dispatches += add.dispatches;
+    row.crashes += add.crashes;
+    row.marks += add.marks;
+    row.routes += add.routes;
+    row.route_hops += add.route_hops;
+    row.bytes_sent += add.bytes_sent;
+    row.total_us += add.total_us;
+    row.self_us += add.self_us;
+    row.rpc_time_us += add.rpc_time_us;
+  }
+  report.phases.clear();
+  report.phases.reserve(rows.size());
+  for (auto& [name, row] : rows) {
+    row.retry_amplification =
+        row.rpcs == 0 ? 0
+                      : static_cast<double>(row.attempts) /
+                            static_cast<double>(row.rpcs);
+    report.phases.push_back(std::move(row));
+  }
+
+  report.rpc_latency.Merge(analysis.rpc_latency);
+  report.trace_durations_us.push_back(analysis.duration_us);
+
+  // Offenders re-rank across traces; keep them all here, the renderers
+  // cap. Tie-break on phase then rpc id for a stable cross-trace order.
+  report.top_retries.insert(report.top_retries.end(),
+                            analysis.top_retries.begin(),
+                            analysis.top_retries.end());
+  std::stable_sort(report.top_retries.begin(), report.top_retries.end(),
+                   [](const RetryOffender& a, const RetryOffender& b) {
+                     if (a.attempts != b.attempts) return a.attempts > b.attempts;
+                     if (a.phase != b.phase) return a.phase < b.phase;
+                     return a.rpc < b.rpc;
+                   });
+
+  if (first) {
+    report.critical_span = analysis.critical_span;
+    report.critical_span_us = analysis.critical_span_us;
+    report.critical_path_us = analysis.critical_path_us;
+    report.critical_path = analysis.critical_path;
+  }
+
+  std::map<std::string, uint64_t> folded;
+  for (const auto& [stack, value] : report.folded_stacks) {
+    folded[stack] += value;
+  }
+  for (const auto& [stack, value] : analysis.folded_stacks) {
+    folded[stack] += value;
+  }
+  report.folded_stacks.assign(folded.begin(), folded.end());
+}
+
+std::string Report::ToMarkdown(const ReportOptions& options) const {
+  std::string out;
+  out += "# SEP2P trace report\n\n";
+  out += "- traces: " + Num(trace_count);
+  if (!sources.empty()) {
+    out += " (`" + sources.front() + "`";
+    if (sources.size() > 1) out += " .. `" + sources.back() + "`";
+    out += ")";
+  }
+  out += "\n";
+  out += "- events: " + Num(total_events) + ", spans: " + Num(spans) + "\n";
+  out += "- virtual duration per trace (us): p50 " +
+         Num(PercentileOf(trace_durations_us, 0.50)) + ", max " +
+         Num(PercentileOf(trace_durations_us, 1.0)) + "\n\n";
+
+  out += "## Totals\n\n";
+  out += "| metric | value |\n|---|---|\n";
+  out += "| messages sent | " + Num(sends) + " |\n";
+  out += "| messages delivered | " + Num(delivers) + " |\n";
+  out += "| messages dropped | " + Num(drops) + " |\n";
+  out += "| bytes sent | " + Num(bytes_sent) + " |\n";
+  out += "| RPCs | " + Num(rpcs) + " |\n";
+  out += "| RPC attempts | " + Num(attempts) + " |\n";
+  out += "| retry amplification | " + Fixed(retry_amplification) + " |\n";
+  out += "| timeouts | " + Num(timeouts) + " |\n";
+  out += "| retries | " + Num(retries) + " |\n";
+  out += "| failed RPCs | " + Num(rpc_fails) + " |\n";
+  out += "| signatures | " + Num(signatures) + " |\n";
+  out += "| dispatches | " + Num(dispatches) + " |\n";
+  out += "| crashes | " + Num(crashes) + " |\n";
+  out += "| routes | " + Num(routes) + " |\n";
+  out += "| route hops | " + Num(route_hops) + " |\n\n";
+
+  out += "## Phase attribution\n\n";
+  out +=
+      "| phase | spans | total us | self us | rpc us | rpcs | attempts "
+      "| amp | sends | delivers | drops | timeouts | retries | sigs | "
+      "bytes |\n";
+  out += "|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|\n";
+  for (const PhaseRow& row : phases) {
+    out += "| " + row.name + " | " + Num(row.spans) + " | " +
+           Num(row.total_us) + " | " + Num(row.self_us) + " | " +
+           Num(row.rpc_time_us) + " | " + Num(row.rpcs) + " | " +
+           Num(row.attempts) + " | " + Fixed(row.retry_amplification) +
+           " | " + Num(row.sends) + " | " + Num(row.delivers) + " | " +
+           Num(row.drops) + " | " + Num(row.timeouts) + " | " +
+           Num(row.retries) + " | " + Num(row.signatures) + " | " +
+           Num(row.bytes_sent) + " |\n";
+  }
+  out += "\n";
+
+  out += "## RPC latency (virtual us, completed RPCs)\n\n";
+  out += "| count | mean | p50 | p90 | p99 | max |\n|---|---|---|---|---|---|\n";
+  out += "| " + Num(rpc_latency.count()) + " | " + Fixed(rpc_latency.mean()) +
+         " | " + Num(rpc_latency.Quantile(0.50)) + " | " +
+         Num(rpc_latency.Quantile(0.90)) + " | " +
+         Num(rpc_latency.Quantile(0.99)) + " | " + Num(rpc_latency.max()) +
+         " |\n\n";
+
+  out += "## Critical path";
+  if (critical_span.empty()) {
+    out += "\n\n(no spans in trace)\n\n";
+  } else {
+    out += " (first trace: `" + critical_span + "`, " +
+           Num(critical_span_us) + " us; chain covers " +
+           Num(critical_path_us) + " us)\n\n";
+    out += "| # | kind | start us | end us | dur us | rpc | node | peer | "
+           "attempts/hops | phase |\n";
+    out += "|---|---|---|---|---|---|---|---|---|---|\n";
+    size_t i = 0;
+    for (const CriticalSegment& seg : critical_path) {
+      out += "| " + Num(i++) + " | " + SegmentKindName(seg.kind) + " | " +
+             Num(seg.start_us) + " | " + Num(seg.end_us) + " | " +
+             Num(seg.end_us - seg.start_us) + " | ";
+      out += seg.kind == CriticalSegment::Kind::kRpc ? Num(seg.rpc) : "-";
+      out += " | ";
+      out += seg.node == kNoNode ? "-" : Num(seg.node);
+      out += " | ";
+      out += seg.peer == kNoNode ? "-" : Num(seg.peer);
+      out += " | ";
+      out += seg.kind == CriticalSegment::Kind::kWait ? "-" : Num(seg.attempts);
+      out += " | " + (seg.phase.empty() ? std::string("-") : seg.phase) +
+             " |\n";
+    }
+    out += "\n";
+  }
+
+  out += "## Top retry offenders\n\n";
+  if (top_retries.empty()) {
+    out += "(none — every RPC succeeded on its first attempt)\n\n";
+  } else {
+    out += "| rpc | client | server | attempts | failed | phase |\n";
+    out += "|---|---|---|---|---|---|\n";
+    size_t shown = 0;
+    for (const RetryOffender& o : top_retries) {
+      if (shown++ >= options.top_n) break;
+      out += "| " + Num(o.rpc) + " | " + Num(o.client) + " | " +
+             Num(o.server) + " | " + Num(o.attempts) + " | " +
+             (o.failed ? "yes" : "no") + " | " + o.phase + " |\n";
+    }
+    out += "\n";
+  }
+
+  out += "## Folded stacks (self us, top " + Num(options.folded_limit) +
+         " by time)\n\n```\n";
+  std::vector<std::pair<std::string, uint64_t>> by_time = folded_stacks;
+  std::stable_sort(by_time.begin(), by_time.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second > b.second;
+                   });
+  size_t lines = 0;
+  for (const auto& [stack, value] : by_time) {
+    if (lines++ >= options.folded_limit) break;
+    out += stack + " " + Num(value) + "\n";
+  }
+  out += "```\n";
+  return out;
+}
+
+std::string Report::ToCsv() const {
+  std::string out =
+      "phase,spans,events,total_us,self_us,rpc_time_us,rpcs,rpc_fails,"
+      "attempts,retry_amplification,sends,delivers,drops,timeouts,retries,"
+      "signatures,dispatches,crashes,marks,routes,route_hops,bytes_sent\n";
+  for (const PhaseRow& row : phases) {
+    out += row.name + "," + Num(row.spans) + "," + Num(row.events) + "," +
+           Num(row.total_us) + "," + Num(row.self_us) + "," +
+           Num(row.rpc_time_us) + "," + Num(row.rpcs) + "," +
+           Num(row.rpc_fails) + "," + Num(row.attempts) + "," +
+           Fixed(row.retry_amplification) + "," + Num(row.sends) + "," +
+           Num(row.delivers) + "," + Num(row.drops) + "," +
+           Num(row.timeouts) + "," + Num(row.retries) + "," +
+           Num(row.signatures) + "," + Num(row.dispatches) + "," +
+           Num(row.crashes) + "," + Num(row.marks) + "," + Num(row.routes) +
+           "," + Num(row.route_hops) + "," + Num(row.bytes_sent) + "\n";
+  }
+  return out;
+}
+
+std::string Report::ToFolded() const {
+  std::string out;
+  for (const auto& [stack, value] : folded_stacks) {
+    out += stack + " " + Num(value) + "\n";
+  }
+  return out;
+}
+
+Result<Report> BuildReport(const std::string& path,
+                           const ReportOptions& options) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  std::vector<std::string> files;
+  if (fs::is_directory(path, ec)) {
+    for (const fs::directory_entry& entry : fs::directory_iterator(path, ec)) {
+      if (entry.is_regular_file() && entry.path().extension() == ".jsonl") {
+        files.push_back(entry.path().string());
+      }
+    }
+    if (ec) {
+      return Status::InvalidArgument("report: cannot list directory " + path);
+    }
+    std::sort(files.begin(), files.end());
+    if (files.empty()) {
+      return Status::InvalidArgument("report: no *.jsonl traces in " + path);
+    }
+  } else {
+    files.push_back(path);
+  }
+
+  Report report;
+  AnalyzerOptions analyzer_options;
+  analyzer_options.top_n = options.top_n;
+  for (const std::string& file : files) {
+    Result<std::string> text = ReadFile(file);
+    if (!text.ok()) return text.status();
+    Result<Trace> trace = FromJsonl(text.value());
+    if (!trace.ok()) {
+      return Status::InvalidArgument(file + ": " +
+                                     trace.status().message());
+    }
+    Result<Analysis> analysis = Analyze(trace.value(), analyzer_options);
+    if (!analysis.ok()) {
+      return Status::InvalidArgument(file + ": " +
+                                     analysis.status().message());
+    }
+    MergeAnalysis(report, analysis.value());
+    report.sources.push_back(file);
+  }
+  return report;
+}
+
+}  // namespace sep2p::obs

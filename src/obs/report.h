@@ -1,0 +1,88 @@
+// Sweep-wide report pipeline: JSONL trace(s) -> dashboard.
+//
+// BuildReport resolves `path` to one trace file or every `*.jsonl`
+// directly inside a directory (sorted by name, so sweep outputs named
+// `<out>.trial<N>.jsonl` aggregate deterministically), runs the strict
+// loader (obs/export.h) and the analyzer (obs/analyzer.h) on each, and
+// merges the results: phase rows sum by name, RPC latency histograms
+// merge bucket-wise (fixed boundaries — obs/metrics.h), retry offenders
+// re-rank across traces, and the critical path of the FIRST trace is
+// kept as the representative chain. Any unreadable, malformed or
+// structurally invalid trace fails the whole report — the CI smoke job
+// relies on that.
+//
+// `sep2p_cli report` is the front-end; the renderers are exposed so
+// tests can assert on the exact tables.
+
+#ifndef SEP2P_OBS_REPORT_H_
+#define SEP2P_OBS_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/analyzer.h"
+#include "util/status.h"
+
+namespace sep2p::obs {
+
+struct ReportOptions {
+  size_t top_n = 10;          // retry-offender cap
+  size_t folded_limit = 40;   // folded-stack lines in the markdown
+};
+
+struct Report {
+  size_t trace_count = 0;
+  std::vector<std::string> sources;  // the files, in analysis order
+
+  // Merged totals across every trace.
+  uint64_t total_events = 0;
+  uint64_t sends = 0;
+  uint64_t delivers = 0;
+  uint64_t drops = 0;
+  uint64_t timeouts = 0;
+  uint64_t retries = 0;
+  uint64_t rpcs = 0;
+  uint64_t rpc_fails = 0;
+  uint64_t attempts = 0;
+  uint64_t signatures = 0;
+  uint64_t dispatches = 0;
+  uint64_t crashes = 0;
+  uint64_t routes = 0;
+  uint64_t route_hops = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t spans = 0;
+  double retry_amplification = 0;
+
+  std::vector<PhaseRow> phases;  // merged by name, sorted
+  Histogram rpc_latency;
+  std::vector<uint64_t> trace_durations_us;  // per trace, analysis order
+  std::vector<RetryOffender> top_retries;
+
+  // Representative critical path (first trace).
+  std::string critical_span;
+  uint64_t critical_span_us = 0;
+  uint64_t critical_path_us = 0;
+  std::vector<CriticalSegment> critical_path;
+
+  std::vector<std::pair<std::string, uint64_t>> folded_stacks;
+
+  std::string ToMarkdown(const ReportOptions& options = {}) const;
+  // Phase-attribution table alone, machine-readable.
+  std::string ToCsv() const;
+  // Folded stacks, one "stack value" line each (flamegraph.pl input).
+  std::string ToFolded() const;
+};
+
+// Accumulates one analyzed trace into the report (exposed so harnesses
+// holding in-memory traces can skip the file round-trip).
+void MergeAnalysis(Report& report, const Analysis& analysis);
+
+// `path`: one .jsonl trace or a directory containing them.
+Result<Report> BuildReport(const std::string& path,
+                           const ReportOptions& options = {});
+
+}  // namespace sep2p::obs
+
+#endif  // SEP2P_OBS_REPORT_H_

@@ -28,6 +28,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace sep2p::obs {
 
 enum class EventKind : uint8_t {
@@ -44,6 +46,8 @@ enum class EventKind : uint8_t {
   kDispatch,      // AppRuntime routed a request to a handler (value=tag)
   kSignature,     // an asymmetric signing step (detail=role)
   kMark,          // free-form milestone (detail=label, value=payload)
+  kRoute,         // greedy routing hop sequence (t_us=start time,
+                  // value=duration_us, seq=hop count, node=src, peer=dst)
   kSpanBegin,     // phase opened (span=own id, parent=enclosing span)
   kSpanEnd,       // phase closed (span=own id)
 };
@@ -119,14 +123,21 @@ class TraceRecorder {
 
 // RAII span guard; a null recorder makes every operation a no-op, so
 // protocol code opens spans unconditionally and pays nothing when
-// tracing is off.
+// tracing is off. Handing it a MetricsRegistry as well makes the span
+// double as a metrics phase: counters incremented while the guard lives
+// are charged to `name`'s phase row (obs/metrics.h).
 class Span {
  public:
   Span(TraceRecorder* recorder, uint32_t node, const char* name)
-      : recorder_(recorder) {
+      : Span(recorder, nullptr, node, name) {}
+  Span(TraceRecorder* recorder, MetricsRegistry* metrics, uint32_t node,
+       const char* name)
+      : recorder_(recorder), metrics_(metrics) {
     if (recorder_ != nullptr) id_ = recorder_->OpenSpan(node, name);
+    if (metrics_ != nullptr) metrics_->PushPhase(name);
   }
   ~Span() {
+    if (metrics_ != nullptr) metrics_->PopPhase();
     if (recorder_ != nullptr) recorder_->CloseSpan(id_);
   }
   Span(const Span&) = delete;
@@ -134,6 +145,7 @@ class Span {
 
  private:
   TraceRecorder* recorder_;
+  MetricsRegistry* metrics_ = nullptr;
   uint64_t id_ = 0;
 };
 

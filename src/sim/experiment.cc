@@ -32,13 +32,55 @@ constexpr uint64_t kMessageNetSalt = 0x4e7411e7;
 constexpr uint64_t kAppTrialSalt = 0xa9905a17;
 constexpr uint64_t kAppNetSalt = 0xa9905e7a;
 
+// Sizes observers->recorders so that trial t of the first sweep point
+// owns slot t; called before any parallel section (the resize is the
+// only operation that touches more than one slot).
+void PrepareRecorders(const SweepObservers* observers, int trials) {
+  if (observers == nullptr || observers->recorders == nullptr) return;
+  const int count = std::clamp(observers->trace_trials, 0, trials);
+  observers->recorders->clear();
+  observers->recorders->resize(static_cast<size_t>(count));
+}
+
+// The recorder trial `t` of point `point` gets (nullptr = untraced):
+// only the first point's first trace_trials trials record, and each
+// traced trial is the sole writer of its slot.
+obs::TraceRecorder* RecorderFor(const SweepObservers* observers,
+                                size_t point, int t) {
+  if (observers == nullptr || observers->recorders == nullptr ||
+      point != 0 || t < 0 ||
+      static_cast<size_t>(t) >= observers->recorders->size()) {
+    return nullptr;
+  }
+  return &(*observers->recorders)[static_cast<size_t>(t)];
+}
+
+// Shard-local registries for one parallel section (empty = metering
+// off); merged into observers->metrics in shard order afterwards.
+std::vector<obs::MetricsRegistry> MakeShardMetrics(
+    const SweepObservers* observers, int trials) {
+  if (observers == nullptr || observers->metrics == nullptr) return {};
+  return std::vector<obs::MetricsRegistry>(
+      static_cast<size_t>(TrialRunner::ShardCount(trials)));
+}
+
+void FoldShardMetrics(const SweepObservers* observers,
+                      const std::vector<obs::MetricsRegistry>& shards) {
+  if (observers == nullptr || observers->metrics == nullptr) return;
+  for (const obs::MetricsRegistry& shard : shards) {
+    observers->metrics->Merge(shard);
+  }
+}
+
 }  // namespace
 
 Result<std::vector<StrategyPoint>> RunStrategyComparison(
     const Parameters& base, const std::vector<double>& c_fractions,
-    const std::vector<std::string>& strategy_names, int trials) {
+    const std::vector<std::string>& strategy_names, int trials,
+    const SweepObservers* observers) {
   std::vector<StrategyPoint> points;
   TrialRunner runner(base.threads);
+  PrepareRecorders(observers, trials);
 
   for (size_t ci = 0; ci < c_fractions.size(); ++ci) {
     Parameters params = base;
@@ -72,6 +114,9 @@ Result<std::vector<StrategyPoint>> RunStrategyComparison(
           MixSeed(params.seed, kStrategyTrialSalt, ci, si);
       const uint64_t colluder_seed =
           MixSeed(params.seed, kStrategyColluderSalt, ci, si);
+      const size_t point_index = ci * strategy_names.size() + si;
+      std::vector<obs::MetricsRegistry> shard_metrics =
+          MakeShardMetrics(observers, trials);
 
       // Fresh colluder placement every kShardSize trials decorrelates
       // the "is a colluder near hash(RND_T)" events. Reassignment
@@ -90,6 +135,16 @@ Result<std::vector<StrategyPoint>> RunStrategyComparison(
             begin, end, trial_seed, [&](int t, util::Rng& rng) {
               std::unique_ptr<strategies::Strategy> strategy =
                   strategies::MakeStrategy(name, ctx, adversary);
+              // One epoch = one shard (kShardSize trials on one
+              // worker), so indexing by t / kShardSize is race-free.
+              obs::MetricsRegistry* met =
+                  shard_metrics.empty()
+                      ? nullptr
+                      : &shard_metrics[static_cast<size_t>(
+                            t / TrialRunner::kShardSize)];
+              strategy->set_observers(
+                  RecorderFor(observers, point_index, t), met);
+              if (met != nullptr) met->Inc(obs::Counter::kTrials);
               uint32_t trigger = static_cast<uint32_t>(
                   rng.NextUint64(net.directory().size()));
               Result<strategies::StrategyOutcome> run =
@@ -107,6 +162,7 @@ Result<std::vector<StrategyPoint>> RunStrategyComparison(
             });
         if (!status.ok()) return status;
       }
+      FoldShardMetrics(observers, shard_metrics);
 
       OnlineStats corrupted, verification, crypto_lat, crypto_work, msg_lat,
           msg_work, relocations;
@@ -201,11 +257,12 @@ KCurvePoint ComputeAverageK(uint64_t n, double c_fraction, double alpha,
 
 Result<std::vector<CachePoint>> RunCacheSweep(
     const Parameters& base, const std::vector<size_t>& cache_sizes,
-    int trials) {
+    int trials, const SweepObservers* observers) {
   Result<std::unique_ptr<Network>> network = Network::Build(base);
   if (!network.ok()) return network.status();
   Network& net = *network.value();
   TrialRunner runner(base.threads);
+  PrepareRecorders(observers, trials);
 
   std::vector<CachePoint> points;
   for (size_t pi = 0; pi < cache_sizes.size(); ++pi) {
@@ -224,13 +281,19 @@ Result<std::vector<CachePoint>> RunCacheSweep(
       int failed_runs = 0;
     };
     std::vector<Shard> shards(TrialRunner::ShardCount(trials));
+    std::vector<obs::MetricsRegistry> shard_metrics =
+        MakeShardMetrics(observers, trials);
     Status status = runner.RunShards(
         trials, [&](int shard, int begin, int end) {
           Shard& sh = shards[shard];
+          obs::MetricsRegistry* met =
+              shard_metrics.empty() ? nullptr : &shard_metrics[shard];
           strategies::Sep2pStrategy strategy(
               ctx, strategies::AdversaryConfig::Passive());
           for (int t = begin; t < end; ++t) {
             util::Rng rng(StreamSeed(trial_seed, static_cast<uint64_t>(t)));
+            strategy.set_observers(RecorderFor(observers, pi, t), met);
+            if (met != nullptr) met->Inc(obs::Counter::kTrials);
             uint32_t trigger = static_cast<uint32_t>(
                 rng.NextUint64(net.directory().size()));
             Result<strategies::StrategyOutcome> run =
@@ -255,6 +318,7 @@ Result<std::vector<CachePoint>> RunCacheSweep(
           return Status::Ok();
         });
     if (!status.ok()) return status;
+    FoldShardMetrics(observers, shard_metrics);
 
     OnlineStats reloc, crypto_lat, crypto_work, msg_lat, msg_work;
     int relocated_runs = 0;
@@ -288,11 +352,12 @@ Result<std::vector<CachePoint>> RunCacheSweep(
 
 Result<std::vector<ActorsPoint>> RunActorSweep(
     const Parameters& base, const std::vector<int>& actor_counts,
-    int trials) {
+    int trials, const SweepObservers* observers) {
   Result<std::unique_ptr<Network>> network = Network::Build(base);
   if (!network.ok()) return network.status();
   Network& net = *network.value();
   TrialRunner runner(base.threads);
+  PrepareRecorders(observers, trials);
 
   std::vector<ActorsPoint> points;
   for (size_t pi = 0; pi < actor_counts.size(); ++pi) {
@@ -308,13 +373,19 @@ Result<std::vector<ActorsPoint>> RunActorSweep(
       OnlineStats crypto_work, msg_work, verification;
     };
     std::vector<Shard> shards(TrialRunner::ShardCount(trials));
+    std::vector<obs::MetricsRegistry> shard_metrics =
+        MakeShardMetrics(observers, trials);
     Status status = runner.RunShards(
         trials, [&](int shard, int begin, int end) {
           Shard& sh = shards[shard];
+          obs::MetricsRegistry* met =
+              shard_metrics.empty() ? nullptr : &shard_metrics[shard];
           strategies::Sep2pStrategy strategy(
               ctx, strategies::AdversaryConfig::Passive());
           for (int t = begin; t < end; ++t) {
             util::Rng rng(StreamSeed(trial_seed, static_cast<uint64_t>(t)));
+            strategy.set_observers(RecorderFor(observers, pi, t), met);
+            if (met != nullptr) met->Inc(obs::Counter::kTrials);
             uint32_t trigger = static_cast<uint32_t>(
                 rng.NextUint64(net.directory().size()));
             Result<strategies::StrategyOutcome> run =
@@ -327,6 +398,7 @@ Result<std::vector<ActorsPoint>> RunActorSweep(
           return Status::Ok();
         });
     if (!status.ok()) return status;
+    FoldShardMetrics(observers, shard_metrics);
 
     OnlineStats crypto_work, msg_work, verification;
     for (const Shard& sh : shards) {
@@ -345,8 +417,9 @@ Result<std::vector<ActorsPoint>> RunActorSweep(
   return points;
 }
 
-Result<ExhaustiveStats> RunExhaustiveSetters(const Parameters& base,
-                                             size_t sample) {
+Result<ExhaustiveStats> RunExhaustiveSetters(
+    const Parameters& base, size_t sample,
+    const SweepObservers* observers) {
   Result<std::unique_ptr<Network>> network = Network::Build(base);
   if (!network.ok()) return network.status();
   Network& net = *network.value();
@@ -375,10 +448,15 @@ Result<ExhaustiveStats> RunExhaustiveSetters(const Parameters& base,
     OnlineStats verif, cw, mw, cl, ml;
   };
   TrialRunner runner(base.threads);
+  PrepareRecorders(observers, trials);
   std::vector<Shard> shards(TrialRunner::ShardCount(trials));
+  std::vector<obs::MetricsRegistry> shard_metrics =
+      MakeShardMetrics(observers, trials);
   Status status = runner.RunShards(
       trials, [&](int shard, int begin, int end) {
         Shard& sh = shards[shard];
+        obs::MetricsRegistry* met =
+            shard_metrics.empty() ? nullptr : &shard_metrics[shard];
         for (int t = begin; t < end; ++t) {
           util::Rng rng(StreamSeed(trial_seed, static_cast<uint64_t>(t)));
           // Force the setter point onto this node's exact position.
@@ -386,6 +464,9 @@ Result<ExhaustiveStats> RunExhaustiveSetters(const Parameters& base,
               net.directory().node(setters[t]).pos);
           core::SelectionOptions options;
           options.forced_point = &point;
+          options.trace = RecorderFor(observers, 0, t);
+          options.metrics = met;
+          if (met != nullptr) met->Inc(obs::Counter::kTrials);
           uint32_t trigger = static_cast<uint32_t>(
               rng.NextUint64(net.directory().size()));
           Result<core::SelectionProtocol::Outcome> run =
@@ -405,6 +486,7 @@ Result<ExhaustiveStats> RunExhaustiveSetters(const Parameters& base,
         return Status::Ok();
       });
   if (!status.ok()) return status;
+  FoldShardMetrics(observers, shard_metrics);
 
   OnlineStats verif, cw, mw, cl, ml;
   for (const Shard& sh : shards) {
@@ -437,11 +519,12 @@ Result<ExhaustiveStats> RunExhaustiveSetters(const Parameters& base,
 
 Result<std::vector<FailurePoint>> RunFailureSweep(
     const Parameters& base, const std::vector<double>& probabilities,
-    int trials, int max_attempts) {
+    int trials, int max_attempts, const SweepObservers* observers) {
   Result<std::unique_ptr<Network>> network = Network::Build(base);
   if (!network.ok()) return network.status();
   Network& net = *network.value();
   TrialRunner runner(base.threads);
+  PrepareRecorders(observers, trials);
 
   std::vector<FailurePoint> points;
   for (size_t pi = 0; pi < probabilities.size(); ++pi) {
@@ -457,9 +540,13 @@ Result<std::vector<FailurePoint>> RunFailureSweep(
       int gave_up = 0;
     };
     std::vector<Shard> shards(TrialRunner::ShardCount(trials));
+    std::vector<obs::MetricsRegistry> shard_metrics =
+        MakeShardMetrics(observers, trials);
     Status status = runner.RunShards(
         trials, [&](int shard, int begin, int end) {
           Shard& sh = shards[shard];
+          obs::MetricsRegistry* met =
+              shard_metrics.empty() ? nullptr : &shard_metrics[shard];
           for (int t = begin; t < end; ++t) {
             util::Rng rng(StreamSeed(trial_seed, static_cast<uint64_t>(t)));
             // Failure injection is part of the trial, so it draws from a
@@ -467,12 +554,15 @@ Result<std::vector<FailurePoint>> RunFailureSweep(
             net::FailureModel failures(
                 probability, StreamSeed(failure_seed,
                                         static_cast<uint64_t>(t)));
+            if (met != nullptr) met->Inc(obs::Counter::kTrials);
             uint32_t trigger = static_cast<uint32_t>(
                 rng.NextUint64(net.directory().size()));
             int attempt = 1;
             for (; attempt <= max_attempts; ++attempt) {
               core::SelectionOptions options;
               options.failures = &failures;
+              options.trace = RecorderFor(observers, pi, t);
+              options.metrics = met;
               Result<core::SelectionProtocol::Outcome> run =
                   protocol.Run(trigger, rng, options);
               if (run.ok()) break;
@@ -485,11 +575,16 @@ Result<std::vector<FailurePoint>> RunFailureSweep(
             } else {
               sh.attempts.Add(attempt);
               if (attempt == 1) ++sh.first_try;
+              if (met != nullptr && attempt > 1) {
+                met->Inc(obs::Counter::kRestarts,
+                         static_cast<uint64_t>(attempt - 1));
+              }
             }
           }
           return Status::Ok();
         });
     if (!status.ok()) return status;
+    FoldShardMetrics(observers, shard_metrics);
 
     OnlineStats attempts;
     int first_try = 0;
@@ -515,13 +610,14 @@ Result<std::vector<FailurePoint>> RunFailureSweep(
 Result<std::vector<MessageFailurePoint>> RunMessageFailureSweep(
     const Parameters& base,
     const std::vector<MessageFailureSetting>& settings, int trials,
-    int max_attempts, obs::TraceRecorder* trace) {
+    int max_attempts, const SweepObservers* observers) {
   Result<std::unique_ptr<Network>> network = Network::Build(base);
   if (!network.ok()) return network.status();
   Network& net = *network.value();
   const uint32_t node_count =
       static_cast<uint32_t>(net.directory().size());
   TrialRunner runner(base.threads);
+  PrepareRecorders(observers, trials);
 
   std::vector<MessageFailurePoint> points;
   for (size_t pi = 0; pi < settings.size(); ++pi) {
@@ -543,9 +639,13 @@ Result<std::vector<MessageFailurePoint>> RunMessageFailureSweep(
       int gave_up = 0;
     };
     std::vector<Shard> shards(TrialRunner::ShardCount(trials));
+    std::vector<obs::MetricsRegistry> shard_metrics =
+        MakeShardMetrics(observers, trials);
     Status status = runner.RunShards(
         trials, [&](int shard, int begin, int end) {
           Shard& sh = shards[shard];
+          obs::MetricsRegistry* met =
+              shard_metrics.empty() ? nullptr : &shard_metrics[shard];
           for (int t = begin; t < end; ++t) {
             util::Rng rng(StreamSeed(trial_seed, static_cast<uint64_t>(t)));
             net::LinkModel link;
@@ -559,12 +659,15 @@ Result<std::vector<MessageFailurePoint>> RunMessageFailureSweep(
                 StreamSeed(net_seed, static_cast<uint64_t>(t)));
             simnet.set_step_crash_probability(
                 setting.step_crash_probability);
-            // The recorder captures ONE representative trial (first
-            // setting, first trial); exactly one shard ever touches
-            // it, so parallel sweeps stay race-free. Recording is
-            // passive, so the traced trial's results are unchanged.
-            const bool traced = trace != nullptr && pi == 0 && t == 0;
-            if (traced) simnet.set_trace(trace);
+            // Trial t of the first setting records into its own slot;
+            // observation is passive, so the observed trials' results
+            // are unchanged.
+            obs::TraceRecorder* rec = RecorderFor(observers, pi, t);
+            if (rec != nullptr) simnet.set_trace(rec);
+            if (met != nullptr) {
+              simnet.set_metrics(met);
+              met->Inc(obs::Counter::kTrials);
+            }
             uint32_t trigger =
                 static_cast<uint32_t>(rng.NextUint64(node_count));
             int attempt = 1;
@@ -578,11 +681,18 @@ Result<std::vector<MessageFailurePoint>> RunMessageFailureSweep(
                 return run.status();
               }
             }
-            if (traced) simnet.FinalizeTrace();
+            if (rec != nullptr) simnet.FinalizeTrace();
+            if (met != nullptr) {
+              met->Observe(obs::Hist::kTrialLatencyUs, simnet.now_us());
+            }
             if (attempt > max_attempts) {
               ++sh.gave_up;
             } else {
               if (attempt == 1) ++sh.first_try;
+              if (met != nullptr && attempt > 1) {
+                met->Inc(obs::Counter::kRestarts,
+                         static_cast<uint64_t>(attempt - 1));
+              }
               sh.restarts.Add(attempt - 1);
               sh.retries.Add(static_cast<double>(simnet.stats().retries));
               sh.replacements.Add(
@@ -594,6 +704,7 @@ Result<std::vector<MessageFailurePoint>> RunMessageFailureSweep(
           return Status::Ok();
         });
     if (!status.ok()) return status;
+    FoldShardMetrics(observers, shard_metrics);
 
     OnlineStats retries, replacements, restarts;
     std::vector<double> latencies_ms;
@@ -628,13 +739,14 @@ Result<std::vector<MessageFailurePoint>> RunMessageFailureSweep(
 Result<std::vector<AppFailurePoint>> RunAppFailureSweep(
     const Parameters& base,
     const std::vector<MessageFailureSetting>& settings, int trials,
-    int max_attempts, obs::TraceRecorder* trace) {
+    int max_attempts, const SweepObservers* observers) {
   Result<std::unique_ptr<Network>> network = Network::Build(base);
   if (!network.ok()) return network.status();
   Network& net = *network.value();
   const uint32_t node_count =
       static_cast<uint32_t>(net.directory().size());
   TrialRunner runner(base.threads);
+  PrepareRecorders(observers, trials);
   // Deterministic workload shape: a tenth of the network contributes.
   const int sources = std::max(1, static_cast<int>(node_count / 10));
   const int readings_per_source = 3;
@@ -656,9 +768,13 @@ Result<std::vector<AppFailurePoint>> RunAppFailureSweep(
       int gave_up = 0;
     };
     std::vector<Shard> shards(TrialRunner::ShardCount(trials));
+    std::vector<obs::MetricsRegistry> shard_metrics =
+        MakeShardMetrics(observers, trials);
     Status status = runner.RunShards(
         trials, [&](int shard, int begin, int end) {
           Shard& sh = shards[shard];
+          obs::MetricsRegistry* met =
+              shard_metrics.empty() ? nullptr : &shard_metrics[shard];
           for (int t = begin; t < end; ++t) {
             util::Rng rng(StreamSeed(trial_seed, static_cast<uint64_t>(t)));
             net::LinkModel link;
@@ -670,9 +786,14 @@ Result<std::vector<AppFailurePoint>> RunAppFailureSweep(
                 StreamSeed(net_seed, static_cast<uint64_t>(t)));
             simnet.set_step_crash_probability(
                 setting.step_crash_probability);
-            // One representative traced trial; see the message sweep.
-            const bool traced = trace != nullptr && pi == 0 && t == 0;
-            if (traced) simnet.set_trace(trace);
+            // Observed trials of the first setting; see the message
+            // sweep.
+            obs::TraceRecorder* rec = RecorderFor(observers, pi, t);
+            if (rec != nullptr) simnet.set_trace(rec);
+            if (met != nullptr) {
+              simnet.set_metrics(met);
+              met->Inc(obs::Counter::kTrials);
+            }
             node::AppRuntime runtime(&simnet);
 
             // Trial-private PDMSs: the handlers write into them, so they
@@ -690,7 +811,10 @@ Result<std::vector<AppFailurePoint>> RunAppFailureSweep(
                 static_cast<uint32_t>(rng.NextUint64(node_count));
             Result<apps::ParticipatorySensingApp::RoundResult> round =
                 app.RunRound(trigger, rng);
-            if (traced) simnet.FinalizeTrace();
+            if (rec != nullptr) simnet.FinalizeTrace();
+            if (met != nullptr) {
+              met->Observe(obs::Hist::kTrialLatencyUs, simnet.now_us());
+            }
             if (!round.ok()) {
               if (round.status().code() != StatusCode::kUnavailable) {
                 return round.status();
@@ -716,6 +840,7 @@ Result<std::vector<AppFailurePoint>> RunAppFailureSweep(
           return Status::Ok();
         });
     if (!status.ok()) return status;
+    FoldShardMetrics(observers, shard_metrics);
 
     OnlineStats retries, restarts, delivered;
     std::vector<double> latencies_ms;

@@ -10,12 +10,33 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/network.h"
 #include "sim/parameters.h"
 #include "util/status.h"
 
 namespace sep2p::sim {
+
+// ------------------------------------------------------- observability
+// Optional per-sweep observers, threaded through every harness below.
+// Both hooks are strictly passive (obs/trace.h, obs/metrics.h): an
+// observed sweep produces bit-identical tables to an unobserved one,
+// for any Parameters::threads value.
+struct SweepObservers {
+  // Record the first min(trace_trials, trials) trials of the FIRST
+  // sweep point, one recorder per trial: the harness resizes
+  // `recorders` and trial t writes only slot t, so parallel sweeps stay
+  // race-free and the slot order is the trial order. nullptr = off.
+  int trace_trials = 1;
+  std::vector<obs::TraceRecorder>* recorders = nullptr;
+  // Merged metrics snapshot over EVERY trial of EVERY point. Trials
+  // accumulate into shard-local registries which merge in shard order
+  // after each parallel section (MetricsRegistry::Merge is commutative
+  // anyway, with fixed histogram buckets), so the snapshot is
+  // bit-identical for any thread count. nullptr = off.
+  obs::MetricsRegistry* metrics = nullptr;
+};
 
 // ---------------------------------------------------------------- Fig 3-5
 // One point per (strategy, C%): security effectiveness, verification cost
@@ -38,7 +59,8 @@ struct StrategyPoint {
 
 Result<std::vector<StrategyPoint>> RunStrategyComparison(
     const Parameters& base, const std::vector<double>& c_fractions,
-    const std::vector<std::string>& strategy_names, int trials);
+    const std::vector<std::string>& strategy_names, int trials,
+    const SweepObservers* observers = nullptr);
 
 // ------------------------------------------------------------------ Fig 6
 // Average security degree k for a network configuration, where each node
@@ -79,7 +101,7 @@ struct CachePoint {
 
 Result<std::vector<CachePoint>> RunCacheSweep(
     const Parameters& base, const std::vector<size_t>& cache_sizes,
-    int trials);
+    int trials, const SweepObservers* observers = nullptr);
 
 // ---------------------------------------------------------- §4.3 ablation
 // Total-work growth with the number of actors A (results the paper
@@ -93,7 +115,7 @@ struct ActorsPoint {
 
 Result<std::vector<ActorsPoint>> RunActorSweep(
     const Parameters& base, const std::vector<int>& actor_counts,
-    int trials);
+    int trials, const SweepObservers* observers = nullptr);
 
 // ------------------------------------------------------- §4.1 methodology
 // The paper's simulator forces each node to act as Execution Setter to
@@ -112,8 +134,9 @@ struct ExhaustiveStats {
 
 // Runs the SEP2P selection once per (sampled) node forced as setter.
 // `sample` = 0 means every node.
-Result<ExhaustiveStats> RunExhaustiveSetters(const Parameters& base,
-                                             size_t sample);
+Result<ExhaustiveStats> RunExhaustiveSetters(
+    const Parameters& base, size_t sample,
+    const SweepObservers* observers = nullptr);
 
 // ---------------------------------------------------------- §3.6 ablation
 // Robustness to participant failures: the paper's remedy for a TL/SL/S
@@ -129,7 +152,8 @@ struct FailurePoint {
 
 Result<std::vector<FailurePoint>> RunFailureSweep(
     const Parameters& base, const std::vector<double>& probabilities,
-    int trials, int max_attempts = 50);
+    int trials, int max_attempts = 50,
+    const SweepObservers* observers = nullptr);
 
 // ----------------------------------------------------- §3.6 message level
 // Message-level robustness: every selection executes over a
@@ -160,13 +184,12 @@ struct MessageFailurePoint {
   double p99_latency_ms = 0;
 };
 
-// `trace` (optional) records ONE representative trial — the first
-// trial of the first setting — for export/checking; recording is
-// passive, so results are identical with or without it.
+// `observers` records the first trace_trials trials of the first
+// setting and meters every trial; see SweepObservers.
 Result<std::vector<MessageFailurePoint>> RunMessageFailureSweep(
     const Parameters& base,
     const std::vector<MessageFailureSetting>& settings, int trials,
-    int max_attempts = 25, obs::TraceRecorder* trace = nullptr);
+    int max_attempts = 25, const SweepObservers* observers = nullptr);
 
 // -------------------------------------------------------- §5 app rounds
 // Application-level robustness: one full participatory-sensing round per
@@ -193,11 +216,11 @@ struct AppFailurePoint {
   double p99_latency_ms = 0;
 };
 
-// `trace` records one representative trial, as in the message sweep.
+// `observers` as in RunMessageFailureSweep.
 Result<std::vector<AppFailurePoint>> RunAppFailureSweep(
     const Parameters& base,
     const std::vector<MessageFailureSetting>& settings, int trials,
-    int max_attempts = 25, obs::TraceRecorder* trace = nullptr);
+    int max_attempts = 25, const SweepObservers* observers = nullptr);
 
 // ---------------------------------------------------------- §4.1 ablation
 // Empirical check behind the alpha choice: across `network_count`

@@ -19,6 +19,8 @@ Result<StrategyOutcome> Sep2pStrategy::Run(uint32_t trigger_index,
   core::SelectionProtocol protocol(ctx_);
   core::SelectionOptions options;
   options.colluding_sls_hide_honest = adversary_.hide_honest_cache_entries;
+  options.trace = trace_;
+  options.metrics = metrics_;
   Result<core::SelectionProtocol::Outcome> run =
       protocol.Run(trigger_index, rng, options);
   if (!run.ok()) return run.status();

@@ -44,12 +44,23 @@ class Strategy {
   virtual Result<StrategyOutcome> Run(uint32_t trigger_index,
                                       util::Rng& rng) = 0;
 
+  // Attaches passive observability sinks for subsequent Run calls.
+  // Sep2pStrategy threads them into the selection protocol; baselines
+  // have no protocol phases worth attributing and ignore them.
+  void set_observers(obs::TraceRecorder* trace,
+                     obs::MetricsRegistry* metrics) {
+    trace_ = trace;
+    metrics_ = metrics;
+  }
+
  protected:
   // Counts colluders among `actors`.
   int CountCorrupted(const std::vector<uint32_t>& actors) const;
 
   const core::ProtocolContext& ctx_;
   AdversaryConfig adversary_;
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 // SEP2P itself (wraps core::SelectionProtocol).

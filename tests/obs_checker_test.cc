@@ -123,11 +123,15 @@ TEST_F(TracedSelectionTest, TraceIsIdenticalForAnyThreadCount) {
   auto sweep = [&](int threads) {
     sim::Parameters p = params;
     p.threads = threads;
-    obs::TraceRecorder recorder;
+    std::vector<obs::TraceRecorder> recorders;
+    sim::SweepObservers observers;
+    observers.recorders = &recorders;
     auto points = sim::RunMessageFailureSweep(p, settings, /*trials=*/3,
-                                              /*max_attempts=*/25, &recorder);
+                                              /*max_attempts=*/25, &observers);
     EXPECT_TRUE(points.ok());
-    return obs::ToJsonl(recorder.trace());
+    EXPECT_EQ(recorders.size(), 1u);
+    return recorders.empty() ? std::string()
+                             : obs::ToJsonl(recorders[0].trace());
   };
   std::string single = sweep(1);
   EXPECT_GT(single.size(), 100u);

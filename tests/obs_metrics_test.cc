@@ -1,0 +1,238 @@
+// MetricsRegistry determinism: fixed histogram buckets, merge-order
+// independence, phase attribution that reconciles exactly with totals,
+// opt-in per-node tables, and stable Prometheus/JSON exposition.
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "util/rng.h"
+
+namespace sep2p {
+namespace {
+
+using obs::Counter;
+using obs::Hist;
+using obs::Histogram;
+using obs::MetricsRegistry;
+using obs::NodeCounter;
+
+TEST(HistogramTest, BucketBoundsAreTheDocumented125Series) {
+  const auto& bounds = Histogram::BucketBounds();
+  ASSERT_EQ(bounds.size(), Histogram::kBoundCount);
+  EXPECT_EQ(bounds.front(), 10u);
+  EXPECT_EQ(bounds.back(), 1'000'000'000u);
+  // Strictly increasing, and each decade is {1, 2, 5} * 10^d.
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+  for (uint64_t bound : bounds) {
+    uint64_t mantissa = bound;
+    while (mantissa % 10 == 0) mantissa /= 10;
+    EXPECT_TRUE(mantissa == 1 || mantissa == 2 || mantissa == 5)
+        << bound;
+  }
+}
+
+TEST(HistogramTest, ObserveTracksCountSumMinMaxAndBuckets) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0u);
+
+  h.Observe(7);     // <= 10 -> first bucket
+  h.Observe(10);    // boundary is inclusive -> first bucket
+  h.Observe(11);    // -> 20 bucket
+  h.Observe(2'000'000'000);  // beyond the last bound -> overflow
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 7u + 10u + 11u + 2'000'000'000u);
+  EXPECT_EQ(h.min(), 7u);
+  EXPECT_EQ(h.max(), 2'000'000'000u);
+  EXPECT_EQ(h.buckets()[0], 2u);
+  EXPECT_EQ(h.buckets()[1], 1u);
+  EXPECT_EQ(h.buckets()[Histogram::kBucketCount - 1], 1u);
+}
+
+TEST(HistogramTest, QuantileIsNearestRankBucketUpperBound) {
+  Histogram h;
+  for (int i = 0; i < 50; ++i) h.Observe(15);   // -> 20 bucket
+  for (int i = 0; i < 49; ++i) h.Observe(300);  // -> 500 bucket
+  h.Observe(5'000'000'000);                     // overflow
+  EXPECT_EQ(h.Quantile(0.0), 20u);
+  EXPECT_EQ(h.Quantile(0.5), 20u);
+  EXPECT_EQ(h.Quantile(0.9), 500u);
+  // Overflow bucket resolves to the recorded max.
+  EXPECT_EQ(h.Quantile(1.0), 5'000'000'000u);
+  // Out-of-range q clamps.
+  EXPECT_EQ(h.Quantile(-3), 20u);
+  EXPECT_EQ(h.Quantile(7), 5'000'000'000u);
+}
+
+TEST(HistogramTest, MergeIsOrderIndependent) {
+  // Three shards with very different value ranges.
+  std::vector<Histogram> shards(3);
+  util::Rng rng(42);
+  for (int i = 0; i < 200; ++i) shards[0].Observe(rng.NextUint64(100));
+  for (int i = 0; i < 50; ++i) {
+    shards[1].Observe(1000 + rng.NextUint64(100'000));
+  }
+  for (int i = 0; i < 5; ++i) {
+    shards[2].Observe(900'000'000 + rng.NextUint64(900'000'000));
+  }
+
+  std::vector<size_t> order = {0, 1, 2};
+  Histogram reference;
+  for (size_t i : order) reference.Merge(shards[i]);
+  while (std::next_permutation(order.begin(), order.end())) {
+    Histogram merged;
+    for (size_t i : order) merged.Merge(shards[i]);
+    EXPECT_EQ(merged.count(), reference.count());
+    EXPECT_EQ(merged.sum(), reference.sum());
+    EXPECT_EQ(merged.min(), reference.min());
+    EXPECT_EQ(merged.max(), reference.max());
+    EXPECT_EQ(merged.buckets(), reference.buckets());
+    for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+      EXPECT_EQ(merged.Quantile(q), reference.Quantile(q)) << q;
+    }
+  }
+}
+
+TEST(MetricsRegistryTest, CountersAndGaugesAccumulate) {
+  MetricsRegistry m;
+  EXPECT_TRUE(m.empty());
+  m.Inc(Counter::kMessagesSent);
+  m.Inc(Counter::kMessagesSent, 4);
+  m.Inc(Counter::kBytesSent, 128);
+  m.SetGauge("n", 2000);
+  EXPECT_FALSE(m.empty());
+  EXPECT_EQ(m.counter(Counter::kMessagesSent), 5u);
+  EXPECT_EQ(m.counter(Counter::kBytesSent), 128u);
+  EXPECT_EQ(m.counter(Counter::kTimeouts), 0u);
+}
+
+TEST(MetricsRegistryTest, PhaseAttributionChargesInnermostPhaseOnly) {
+  MetricsRegistry m;
+  m.Inc(Counter::kMessagesSent);  // outside any phase: totals only
+  m.PushPhase("selection");
+  m.Inc(Counter::kMessagesSent, 2);
+  m.PushPhase("sl-engage");
+  m.Inc(Counter::kMessagesSent, 5);
+  m.Inc(Counter::kCryptoSign, 3);
+  m.PopPhase();
+  m.Inc(Counter::kMessagesSent);  // back in "selection"
+  m.PopPhase();
+
+  EXPECT_EQ(m.counter(Counter::kMessagesSent), 9u);
+  EXPECT_EQ(m.phase_counter("selection", Counter::kMessagesSent), 3u);
+  EXPECT_EQ(m.phase_counter("sl-engage", Counter::kMessagesSent), 5u);
+  EXPECT_EQ(m.phase_counter("sl-engage", Counter::kCryptoSign), 3u);
+  EXPECT_EQ(m.phase_counter("absent", Counter::kMessagesSent), 0u);
+  // Per-phase rows sum exactly to the total minus the unphased share.
+  uint64_t phased = 0;
+  for (const std::string& name : m.PhaseNames()) {
+    phased += m.phase_counter(name, Counter::kMessagesSent);
+  }
+  EXPECT_EQ(phased + 1, m.counter(Counter::kMessagesSent));
+}
+
+TEST(MetricsRegistryTest, SpanGuardDoublesAsPhase) {
+  MetricsRegistry m;
+  {
+    obs::Span span(nullptr, &m, /*node=*/3, "vrand");
+    m.Inc(Counter::kCryptoSign, 7);
+  }
+  m.Inc(Counter::kCryptoSign);  // after the guard: totals only
+  EXPECT_EQ(m.phase_counter("vrand", Counter::kCryptoSign), 7u);
+  EXPECT_EQ(m.counter(Counter::kCryptoSign), 8u);
+}
+
+TEST(MetricsRegistryTest, PerNodeCountersAreOptIn) {
+  MetricsRegistry m;
+  m.IncNode(2, NodeCounter::kMessages);  // before enabling: dropped
+  EXPECT_EQ(m.node_counter(2, NodeCounter::kMessages), 0u);
+  m.EnablePerNode(4);
+  m.IncNode(2, NodeCounter::kMessages, 3);
+  m.IncNode(3, NodeCounter::kCrypto, 9);
+  m.IncNode(99, NodeCounter::kMessages);  // out of range: dropped
+  EXPECT_EQ(m.node_counter(2, NodeCounter::kMessages), 3u);
+  EXPECT_EQ(m.node_counter(3, NodeCounter::kCrypto), 9u);
+  EXPECT_EQ(m.node_counter(99, NodeCounter::kMessages), 0u);
+}
+
+MetricsRegistry MakeShard(uint64_t seed, const char* phase) {
+  MetricsRegistry m;
+  util::Rng rng(seed);
+  m.PushPhase(phase);
+  for (int i = 0; i < 100; ++i) {
+    m.Inc(Counter::kMessagesSent, rng.NextUint64(5));
+    m.Observe(Hist::kRpcLatencyUs, rng.NextUint64(1'000'000));
+  }
+  m.PopPhase();
+  m.EnablePerNode(8);
+  m.IncNode(static_cast<uint32_t>(seed % 8), NodeCounter::kMessages,
+            seed);
+  return m;
+}
+
+TEST(MetricsRegistryTest, MergeIsOrderIndependentAcrossShards) {
+  // Shards that saw different phases, nodes and latency ranges.
+  std::vector<MetricsRegistry> shards;
+  shards.push_back(MakeShard(1, "selection"));
+  shards.push_back(MakeShard(2, "sl-engage"));
+  shards.push_back(MakeShard(3, "selection"));
+  shards.push_back(MakeShard(4, "sensing-round"));
+
+  std::vector<size_t> order(shards.size());
+  std::iota(order.begin(), order.end(), 0);
+  MetricsRegistry reference;
+  for (size_t i : order) reference.Merge(shards[i]);
+  const std::string reference_prom = reference.ToPrometheusText();
+  const std::string reference_json = reference.ToJson();
+
+  while (std::next_permutation(order.begin(), order.end())) {
+    MetricsRegistry merged;
+    for (size_t i : order) merged.Merge(shards[i]);
+    // Byte-identical exposition covers counters, phases, histogram
+    // buckets + percentiles, gauges and the per-node table at once.
+    EXPECT_EQ(merged.ToPrometheusText(), reference_prom);
+    EXPECT_EQ(merged.ToJson(), reference_json);
+  }
+}
+
+TEST(MetricsRegistryTest, PrometheusAndJsonExposition) {
+  MetricsRegistry m;
+  m.SetGauge("n", 800);
+  m.PushPhase("selection");
+  m.Inc(Counter::kMessagesSent, 12);
+  m.PopPhase();
+  m.Observe(Hist::kRpcLatencyUs, 150);
+  m.Observe(Hist::kRpcLatencyUs, 70'000);
+
+  const std::string prom = m.ToPrometheusText();
+  EXPECT_NE(prom.find("# TYPE sep2p_messages_sent counter"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("sep2p_messages_sent 12"), std::string::npos);
+  EXPECT_NE(prom.find("{phase=\"selection\"}"), std::string::npos);
+  EXPECT_NE(prom.find("sep2p_rpc_latency_us_bucket{le=\"+Inf\"} 2"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("sep2p_n 800"), std::string::npos);
+
+  const std::string json = m.ToJson();
+  EXPECT_NE(json.find("\"messages_sent\":12"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"selection\""), std::string::npos);
+  EXPECT_NE(json.find("\"rpc_latency_us\""), std::string::npos);
+  // Deterministic output: rendering twice is byte-identical.
+  EXPECT_EQ(json, m.ToJson());
+  EXPECT_EQ(prom, m.ToPrometheusText());
+}
+
+}  // namespace
+}  // namespace sep2p

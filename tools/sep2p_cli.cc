@@ -16,6 +16,13 @@
 //   sep2p_cli check FILE.jsonl
 //       Load a JSONL trace and run the protocol invariant checker;
 //       exits non-zero on a corrupt trace or any violation.
+//   sep2p_cli report PATH [--out FILE] [--csv FILE] [--folded FILE]
+//                    [--top N]
+//       Analyze one JSONL trace (or every *.jsonl in a directory, e.g. a
+//       sweep's per-trial traces) into a markdown dashboard: per-phase
+//       cost attribution, RPC latency percentiles, the critical path,
+//       and the top retry offenders. Prints to stdout unless --out;
+//       --csv writes the phase table, --folded the flamegraph stacks.
 
 #include <cstdio>
 #include <cstdlib>
@@ -32,6 +39,8 @@
 #include "node/app_runtime.h"
 #include "obs/checker.h"
 #include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
 #include "sim/experiment.h"
 #include "sim/metrics.h"
 #include "sim/network.h"
@@ -50,6 +59,7 @@ struct Flags {
   double jitter_ms = 10;  // exponential latency jitter mean
   double crash = 0;       // per-request node-crash probability
   std::string trace_path;  // demo: write Chrome trace here (+ .jsonl)
+  std::string metrics_path;  // demo: Prometheus text here (+ .json)
 };
 
 bool ParseFlags(int argc, char** argv, int first, Flags* flags) {
@@ -87,6 +97,9 @@ bool ParseFlags(int argc, char** argv, int first, Flags* flags) {
     } else if (arg == "--trace") {
       if (i + 1 >= argc) return false;
       flags->trace_path = argv[++i];
+    } else if (arg == "--metrics") {
+      if (i + 1 >= argc) return false;
+      flags->metrics_path = argv[++i];
     } else if (arg == "--ed25519") {
       flags->params.provider = sim::Parameters::ProviderKind::kEd25519;
     } else if (arg == "--overlay") {
@@ -215,6 +228,11 @@ int CmdDemo(const Flags& flags) {
   simnet.set_step_crash_probability(flags.crash);
   obs::TraceRecorder recorder;
   if (!flags.trace_path.empty()) simnet.set_trace(&recorder);
+  obs::MetricsRegistry metrics;
+  if (!flags.metrics_path.empty()) {
+    metrics.EnablePerNode(static_cast<uint32_t>(net.directory().size()));
+    simnet.set_metrics(&metrics);
+  }
   node::AppRuntime runtime(&simnet);
   std::printf("message network: drop=%.3f jitter=%.1fms crash=%.4f\n\n",
               flags.drop, flags.jitter_ms, flags.crash);
@@ -299,6 +317,75 @@ int CmdDemo(const Flags& flags) {
                 recorder.size(), flags.trace_path.c_str(),
                 flags.trace_path.c_str());
   }
+  if (!flags.metrics_path.empty()) {
+    metrics.SetGauge("demo_n", static_cast<double>(net.directory().size()));
+    Status prom =
+        obs::WriteFile(flags.metrics_path, metrics.ToPrometheusText());
+    Status json =
+        obs::WriteFile(flags.metrics_path + ".json", metrics.ToJson());
+    if (!prom.ok() || !json.ok()) {
+      std::fprintf(stderr, "metrics write failed: %s\n",
+                   (!prom.ok() ? prom : json).ToString().c_str());
+      return 1;
+    }
+    std::printf("metrics: %s (Prometheus text) + %s.json\n",
+                flags.metrics_path.c_str(), flags.metrics_path.c_str());
+  }
+  return 0;
+}
+
+int CmdReport(int argc, char** argv) {
+  // argv[2] = trace file or directory; then report-specific flags.
+  std::string path = argv[2];
+  std::string out_path, csv_path, folded_path;
+  obs::ReportOptions options;
+  for (int i = 3; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--csv" && i + 1 < argc) {
+      csv_path = argv[++i];
+    } else if (arg == "--folded" && i + 1 < argc) {
+      folded_path = argv[++i];
+    } else if (arg == "--top" && i + 1 < argc) {
+      options.top_n = static_cast<size_t>(std::atoi(argv[++i]));
+    } else {
+      std::fprintf(stderr, "report: unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  auto report = obs::BuildReport(path, options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "report: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::string markdown = report->ToMarkdown(options);
+  if (out_path.empty()) {
+    std::fwrite(markdown.data(), 1, markdown.size(), stdout);
+  } else {
+    Status st = obs::WriteFile(out_path, markdown);
+    if (!st.ok()) {
+      std::fprintf(stderr, "report: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("report: %zu trace(s) -> %s\n", report->trace_count,
+                out_path.c_str());
+  }
+  if (!csv_path.empty()) {
+    Status st = obs::WriteFile(csv_path, report->ToCsv());
+    if (!st.ok()) {
+      std::fprintf(stderr, "report: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  if (!folded_path.empty()) {
+    Status st = obs::WriteFile(folded_path, report->ToFolded());
+    if (!st.ok()) {
+      std::fprintf(stderr, "report: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
   return 0;
 }
 
@@ -337,7 +424,8 @@ int CmdCheck(const char* path) {
 
 void Usage() {
   std::fprintf(stderr,
-               "usage: sep2p_cli <select|ktable|probe|demo|check> [flags]\n"
+               "usage: sep2p_cli <select|ktable|probe|demo|check|report> "
+               "[flags]\n"
                "flags: --n N --c FRAC --a A --seed S --cache SIZE\n"
                "       --alpha A --rounds R --overlay chord|can --ed25519\n"
                "       --threads T (0 = one per hardware thread)\n"
@@ -345,8 +433,13 @@ void Usage() {
                "injection)\n"
                "       --trace FILE (demo: Chrome trace to FILE, JSONL to "
                "FILE.jsonl)\n"
+               "       --metrics FILE (demo: Prometheus text to FILE, "
+               "JSON to FILE.json)\n"
                "check: sep2p_cli check FILE.jsonl (run the invariant "
-               "checker)\n");
+               "checker)\n"
+               "report: sep2p_cli report PATH [--out FILE] [--csv FILE]\n"
+               "        [--folded FILE] [--top N]  (PATH = trace.jsonl or "
+               "a directory of them)\n");
 }
 
 }  // namespace
@@ -357,13 +450,20 @@ int main(int argc, char** argv) {
     return 2;
   }
   std::string command = argv[1];
-  // `check` takes a file path, not the network flags.
+  // `check` and `report` take a file path, not the network flags.
   if (command == "check") {
     if (argc != 3) {
       Usage();
       return 2;
     }
     return CmdCheck(argv[2]);
+  }
+  if (command == "report") {
+    if (argc < 3) {
+      Usage();
+      return 2;
+    }
+    return CmdReport(argc, argv);
   }
 
   Flags flags;
