@@ -41,10 +41,42 @@ struct ProtocolContext {
   // Bound on relocation attempts when R3 regions are underpopulated.
   int max_relocations = 8;
 
+  // When set, signature and certificate checks are deferred to this sink
+  // (optimistic verification: the protocol proceeds assuming they pass,
+  // and the engine folds batched verdicts back per task). When null —
+  // every pre-engine caller — checks run synchronously as before.
+  crypto::VerifySink* verify_sink = nullptr;
+
   // Convenience: signs `msg` with the private key of the node at `index`.
   Result<crypto::Signature> SignAs(uint32_t index,
                                    const std::vector<uint8_t>& msg) const {
     return provider->Sign(directory->node(index).priv, msg);
+  }
+
+  // Verifies `sig` over `msg` under `key` — synchronously when no sink
+  // is installed, otherwise deferred (returns true optimistically).
+  // Metering happens when the deferred batch resolves (VerifyBatch
+  // counts each item), so asym-op totals match the synchronous path.
+  bool CheckSignature(const crypto::PublicKey& key,
+                      const std::vector<uint8_t>& msg,
+                      const crypto::Signature& sig) const {
+    if (verify_sink != nullptr) {
+      verify_sink->Defer(key, msg, sig);
+      return true;
+    }
+    return provider->Verify(key, msg, sig);
+  }
+
+  // Checks a certificate against the CA — synchronously or deferred.
+  // Deferred cert checks verify the CA signature over the certificate's
+  // canonical signed bytes, exactly what CertificateAuthority::Check does.
+  bool CheckCertificate(const crypto::Certificate& cert) const {
+    if (verify_sink != nullptr) {
+      verify_sink->Defer(ca->public_key(), cert.SignedBytes(),
+                         cert.ca_signature);
+      return true;
+    }
+    return ca->Check(cert);
   }
 };
 

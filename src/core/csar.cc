@@ -89,7 +89,7 @@ Result<net::Cost> VerifyCsar(const ProtocolContext& ctx,
                              const CsarRandom& random) {
   net::Cost cost;
   cost.Then(net::Cost::Step(1, 0));
-  if (!ctx.ca->Check(random.cert_t)) {
+  if (!ctx.CheckCertificate(random.cert_t)) {
     return Status::SecurityViolation("csar: bad trigger certificate");
   }
   if (random.timestamp + ctx.max_timestamp_age < ctx.now) {
@@ -101,11 +101,11 @@ Result<net::Cost> VerifyCsar(const ProtocolContext& ctx,
   const std::vector<uint8_t> signed_bytes = random.SignedBytes();
   for (const VrandParticipant& p : random.participants) {
     cost.Then(net::Cost::Step(1, 0));
-    if (!ctx.ca->Check(p.cert)) {
+    if (!ctx.CheckCertificate(p.cert)) {
       return Status::SecurityViolation("csar: bad participant certificate");
     }
     cost.Then(net::Cost::Step(1, 0));
-    if (!ctx.provider->Verify(p.cert.subject, signed_bytes, p.sig)) {
+    if (!ctx.CheckSignature(p.cert.subject, signed_bytes, p.sig)) {
       return Status::SecurityViolation("csar: bad participant signature");
     }
   }

@@ -176,8 +176,8 @@ Result<SlEngagement> EngageSlsOverNetwork(
   std::vector<net::SimNetwork::RpcResult> reveals;
   {
     obs::Span reveal_span(rec, met, setter, "sl-reveal");
-    reveals = network.CallMany(
-        setter, quorum.members, std::vector<std::vector<uint8_t>>(k, l1_bytes),
+    reveals = network.Broadcast(
+        setter, quorum.members, l1_bytes,
         [&](uint32_t server, const std::vector<uint8_t>& request)
             -> std::optional<std::vector<uint8_t>> {
           Result<msg::CommitList> list = msg::DecodeCommitList(request);
@@ -368,6 +368,10 @@ Result<SelectionProtocol::Outcome> SelectionProtocol::Run(
         dht::Region coverage = dht::Region::Centered(sl.pos, ctx_.rs3);
         const bool hide =
             options.colluding_sls_hide_honest && sl.colluding;
+        // Candidate lists top out at the R3 scan size; reserving up
+        // front keeps the hot per-SL loop free of regrowth copies.
+        cl_indices[j].reserve(r3_nodes.size());
+        cl_keys[j].reserve(r3_nodes.size());
         for (uint32_t idx : r3_nodes) {
           const dht::NodeRecord& candidate = dir.node(idx);
           if (!coverage.Contains(candidate.pos)) continue;
@@ -393,6 +397,9 @@ Result<SelectionProtocol::Outcome> SelectionProtocol::Run(
     // union has exactly the key union's size) — far cheaper to sort and
     // intersect than 32-byte keys.
     std::vector<uint32_t> pool;
+    size_t pool_total = 0;
+    for (const auto& list : cl_indices) pool_total += list.size();
+    pool.reserve(pool_total);
     for (const auto& list : cl_indices) {
       pool.insert(pool.end(), list.begin(), list.end());
     }
@@ -409,9 +416,8 @@ Result<SelectionProtocol::Outcome> SelectionProtocol::Run(
             msg::AttestRequest{
                 crypto::Hash256::Of(shortage.data(), shortage.size())});
         std::vector<net::SimNetwork::RpcResult> results =
-            options.network->CallMany(
-                setter, sl_members,
-                std::vector<std::vector<uint8_t>>(k, request_bytes),
+            options.network->Broadcast(
+                setter, sl_members, request_bytes,
                 [&](uint32_t server, const std::vector<uint8_t>& request)
                     -> std::optional<std::vector<uint8_t>> {
                   if (!msg::DecodeAttestRequest(request).ok()) {
@@ -509,7 +515,7 @@ Result<SelectionProtocol::Outcome> SelectionProtocol::Run(
       // Every SL verifies this actor's certificate (one asymmetric op
       // per SL, charged below via `to_check`).
       for (int j = 0; j < k; ++j) {
-        if (!ctx_.ca->Check(dir.node(actor_index).cert)) {
+        if (!ctx_.CheckCertificate(dir.node(actor_index).cert)) {
           return Status::SecurityViolation(
               "selection: actor certificate check failed");
         }
@@ -554,9 +560,8 @@ Result<SelectionProtocol::Outcome> SelectionProtocol::Run(
           msg::Encode(msg::AttestRequest{crypto::Hash256::Of(
               signed_bytes.data(), signed_bytes.size())});
       std::vector<net::SimNetwork::RpcResult> results =
-          options.network->CallMany(
-              setter, sl_members,
-              std::vector<std::vector<uint8_t>>(k, request_bytes),
+          options.network->Broadcast(
+              setter, sl_members, request_bytes,
               [&](uint32_t server, const std::vector<uint8_t>& request)
                   -> std::optional<std::vector<uint8_t>> {
                 if (!msg::DecodeAttestRequest(request).ok()) {
@@ -651,7 +656,7 @@ Result<net::Cost> VerifyActorList(const ProtocolContext& ctx,
   for (const VerifiableActorList::Attestation& att : val.attestations) {
     // Certificate: genuine PDMS + binds the SL's imposed location.
     asym();
-    if (!ctx.ca->Check(att.cert)) {
+    if (!ctx.CheckCertificate(att.cert)) {
       return Status::SecurityViolation("val: bad SL certificate");
     }
     if (!r2.Contains(att.cert.NodeIdFromSubject())) {
@@ -659,7 +664,7 @@ Result<net::Cost> VerifyActorList(const ProtocolContext& ctx,
     }
     // Signature over (RND_T, AL).
     asym();
-    if (!ctx.provider->Verify(att.cert.subject, signed_bytes, att.sig)) {
+    if (!ctx.CheckSignature(att.cert.subject, signed_bytes, att.sig)) {
       return Status::SecurityViolation("val: bad SL signature");
     }
   }

@@ -196,9 +196,8 @@ Result<VrandProtocol::Outcome> VrandProtocol::GenerateOverNetwork(
   const std::vector<uint8_t> signed_bytes = vrnd.SignedBytes();
   const std::vector<uint8_t> list_bytes = msg::Encode(commit_list);
   obs::Span reveal_span(rec, met, trigger_index, "vrand-reveal");
-  std::vector<net::SimNetwork::RpcResult> reveals = network.CallMany(
-      trigger_index, quorum.members,
-      std::vector<std::vector<uint8_t>>(k, list_bytes),
+  std::vector<net::SimNetwork::RpcResult> reveals = network.Broadcast(
+      trigger_index, quorum.members, list_bytes,
       [&](uint32_t server, const std::vector<uint8_t>& request)
           -> std::optional<std::vector<uint8_t>> {
         Result<msg::CommitList> list = msg::DecodeCommitList(request);
@@ -256,7 +255,7 @@ Result<net::Cost> VerifyVrand(const ProtocolContext& ctx,
 
   // (i) T's certificate: fixes the center of R1 and proves T is genuine.
   asym();
-  if (!ctx.ca->Check(vrnd.cert_t)) {
+  if (!ctx.CheckCertificate(vrnd.cert_t)) {
     return Status::SecurityViolation("vrand: bad trigger certificate");
   }
 
@@ -283,14 +282,14 @@ Result<net::Cost> VerifyVrand(const ProtocolContext& ctx,
   // (ii) per TL: certificate, legitimacy w.r.t. R1, signature over L.
   for (const VrandParticipant& p : vrnd.participants) {
     asym();
-    if (!ctx.ca->Check(p.cert)) {
+    if (!ctx.CheckCertificate(p.cert)) {
       return Status::SecurityViolation("vrand: bad TL certificate");
     }
     if (!r1.Contains(p.cert.NodeIdFromSubject())) {
       return Status::SecurityViolation("vrand: TL not legitimate w.r.t. R1");
     }
     asym();
-    if (!ctx.provider->Verify(p.cert.subject, signed_bytes, p.sig)) {
+    if (!ctx.CheckSignature(p.cert.subject, signed_bytes, p.sig)) {
       return Status::SecurityViolation("vrand: bad TL signature");
     }
   }

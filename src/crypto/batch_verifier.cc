@@ -1,0 +1,170 @@
+#include "crypto/batch_verifier.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "crypto/sha256.h"
+
+namespace sep2p::crypto {
+
+namespace {
+
+// Shard routing key: first 8 bytes of the public key, little-endian.
+// Keys are SHA-256 outputs (SimProvider) or Ed25519 points, so the low
+// bytes are already uniform — no extra mixing needed.
+uint64_t KeyPrefix(const PublicKey& key) {
+  uint64_t v = 0;
+  for (size_t i = 0; i < 8 && i < key.size(); ++i) {
+    v |= static_cast<uint64_t>(key.data()[i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+BatchVerifier::BatchVerifier(SignatureProvider* provider,
+                             const Options& options)
+    : provider_(provider), options_(options) {
+  if (options_.shard_count < 1) options_.shard_count = 1;
+  if (options_.batch_size < 1) options_.batch_size = 1;
+  if (options_.workers < 0) options_.workers = 0;
+  open_.resize(static_cast<size_t>(options_.shard_count));
+  queues_.resize(static_cast<size_t>(options_.workers));
+  threads_.reserve(static_cast<size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(static_cast<size_t>(i)); });
+  }
+}
+
+BatchVerifier::~BatchVerifier() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void BatchVerifier::Defer(const PublicKey& key,
+                          const std::vector<uint8_t>& msg,
+                          const Signature& sig) {
+  ++pending_items_;
+  // Identify the triple. The msg length is hashed too so (msg, sig)
+  // concatenation boundaries can't alias across different splits.
+  Sha256 hasher;
+  hasher.Update(key.data(), key.size());
+  const uint64_t msg_len = msg.size();
+  uint8_t len_le[8];
+  for (int i = 0; i < 8; ++i) {
+    len_le[i] = static_cast<uint8_t>(msg_len >> (8 * i));
+  }
+  hasher.Update(len_le, sizeof(len_le));
+  hasher.Update(msg.data(), msg.size());
+  hasher.Update(sig.data(), sig.size());
+  const TripleId id = hasher.Finish();
+
+  // Resolved in an earlier drain cycle: reuse the verdict outright.
+  auto verdict = verdicts_.find(id);
+  if (verdict != verdicts_.end()) {
+    ++stats_.coalesced;
+    if (!verdict->second) failed_tasks_.insert(current_task_);
+    return;
+  }
+  // Already in flight this cycle: subscribe to its verdict.
+  auto [waiter, inserted] = waiting_.try_emplace(id);
+  waiter->second.push_back(current_task_);
+  if (!inserted) {
+    ++stats_.coalesced;
+    return;
+  }
+
+  int shard = static_cast<int>(KeyPrefix(key) %
+                               static_cast<uint64_t>(options_.shard_count));
+  Batch& b = open_[static_cast<size_t>(shard)];
+  b.items.push_back(VerifyItem{key, msg, sig});
+  b.ids.push_back(id);
+  if (b.items.size() >= options_.batch_size) DispatchShard(shard);
+}
+
+void BatchVerifier::DispatchShard(int shard) {
+  Batch& b = open_[static_cast<size_t>(shard)];
+  if (b.items.empty()) return;
+  ++stats_.batches;
+  stats_.max_batch = std::max<uint64_t>(stats_.max_batch, b.items.size());
+  Batch out;
+  std::swap(out, b);
+  b.items.reserve(options_.batch_size);
+  b.ids.reserve(options_.batch_size);
+  if (threads_.empty()) {
+    // Degenerate mode: verify inline on the coordinator.
+    RunBatch(std::move(out));
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queues_[static_cast<size_t>(shard) % threads_.size()].push_back(
+        std::move(out));
+    ++queued_;
+  }
+  wake_.notify_all();
+}
+
+void BatchVerifier::WorkerLoop(size_t worker) {
+  std::deque<Batch>& queue = queues_[worker];
+  for (;;) {
+    Batch batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this, &queue] { return stop_ || !queue.empty(); });
+      if (queue.empty()) return;  // stop_ set and nothing left to do
+      batch = std::move(queue.front());
+      queue.pop_front();
+      --queued_;
+      ++in_worker_;
+    }
+    RunBatch(std::move(batch));
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_worker_;
+    }
+    drain_.notify_all();
+  }
+}
+
+void BatchVerifier::RunBatch(Batch batch) {
+  std::vector<uint8_t> ok(batch.items.size());
+  provider_->VerifyBatch(batch.items.data(), batch.items.size(), ok.data());
+  std::lock_guard<std::mutex> lock(result_mutex_);
+  for (size_t i = 0; i < ok.size(); ++i) {
+    resolved_.emplace_back(batch.ids[i], ok[i] != 0);
+  }
+}
+
+void BatchVerifier::Drain() {
+  for (int s = 0; s < options_.shard_count; ++s) DispatchShard(s);
+  if (!threads_.empty()) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    drain_.wait(lock, [this] { return queued_ == 0 && in_worker_ == 0; });
+  }
+  // Fold worker results into the deterministic view. resolved_ arrives
+  // in worker-completion order (nondeterministic), but each unique
+  // triple resolves exactly once ever, verdicts_ insertion is keyed, and
+  // the failure fold below is a set insert plus a count of unique false
+  // verdicts — all order-independent, bit-identical for any worker
+  // count.
+  {
+    std::lock_guard<std::mutex> lock(result_mutex_);
+    for (auto& [id, ok] : resolved_) verdicts_.emplace(id, ok);
+    resolved_.clear();
+  }
+  for (auto& [id, tasks] : waiting_) {
+    if (verdicts_.at(id)) continue;
+    ++stats_.failed_items;
+    for (uint64_t task : tasks) failed_tasks_.insert(task);
+  }
+  waiting_.clear();
+  stats_.items += pending_items_;
+  pending_items_ = 0;
+}
+
+}  // namespace sep2p::crypto

@@ -85,7 +85,7 @@ void SimNetwork::AdvanceRoute(int hops) {
 }
 
 std::optional<uint64_t> SimNetwork::Transmit(
-    uint32_t from, uint32_t to, const std::vector<uint8_t>& payload,
+    uint32_t from, uint32_t to, std::vector<uint8_t> payload,
     uint64_t depart_us, uint64_t* seq_out) {
   // Every transmission gets a seq — including ones the link then drops —
   // so trace events identify the message uniquely. next_seq_ never feeds
@@ -140,18 +140,18 @@ std::optional<uint64_t> SimNetwork::Transmit(
   d.from = from;
   d.to = to;
   d.rpc = cur_rpc_;
-  d.payload = payload;
+  d.payload = std::move(payload);
   if (seq_out != nullptr) *seq_out = d.seq;
-  in_flight_.push(std::move(d));
+  in_flight_.push_back(std::move(d));
+  std::push_heap(in_flight_.begin(), in_flight_.end(), Later{});
   return at_us;
 }
 
 void SimNetwork::AdvanceTo(uint64_t at_us) {
-  while (!in_flight_.empty() && in_flight_.top().at_us <= at_us) {
-    // priority_queue::top is const; the pop invalidates it anyway, so a
-    // copy is the safe move here (payloads are small protocol messages).
-    Delivery d = in_flight_.top();
-    in_flight_.pop();
+  while (!in_flight_.empty() && in_flight_.front().at_us <= at_us) {
+    std::pop_heap(in_flight_.begin(), in_flight_.end(), Later{});
+    Delivery d = std::move(in_flight_.back());
+    in_flight_.pop_back();
     if (!IsUp(d.to, d.at_us)) {
       // The destination crashed while the message was in flight (a step
       // crash recorded after the transmission passed its liveness
@@ -249,7 +249,9 @@ SimNetwork::RpcResult SimNetwork::Call(uint32_t client, uint32_t server,
       now_us_ = *req_at;
       std::optional<std::vector<uint8_t>> reply = handler(server, request);
       if (reply.has_value()) {
-        reply_at = Transmit(server, client, *reply,
+        // The reply buffer is dead after this point: move it into the
+        // event queue instead of copying.
+        reply_at = Transmit(server, client, std::move(*reply),
                             *req_at + link_.process_us, &reply_seq);
       }
     }
@@ -325,6 +327,22 @@ std::vector<SimNetwork::RpcResult> SimNetwork::CallMany(
   for (size_t i = 0; i < servers.size(); ++i) {
     now_us_ = start;  // branches run in parallel from the same instant
     results.push_back(Call(client, servers[i], requests[i], handler));
+    end = std::max(end, now_us_);
+  }
+  now_us_ = end;  // the round completes with its slowest branch
+  return results;
+}
+
+std::vector<SimNetwork::RpcResult> SimNetwork::Broadcast(
+    uint32_t client, const std::vector<uint32_t>& servers,
+    const std::vector<uint8_t>& request, const Handler& handler) {
+  const uint64_t start = now_us_;
+  uint64_t end = start;
+  std::vector<RpcResult> results;
+  results.reserve(servers.size());
+  for (uint32_t server : servers) {
+    now_us_ = start;  // branches run in parallel from the same instant
+    results.push_back(Call(client, server, request, handler));
     end = std::max(end, now_us_);
   }
   now_us_ = end;  // the round completes with its slowest branch

@@ -33,7 +33,6 @@
 #include <deque>
 #include <functional>
 #include <optional>
-#include <queue>
 #include <vector>
 
 #include "obs/trace.h"
@@ -172,6 +171,16 @@ class SimNetwork {
                                       requests,
                                   const Handler& handler);
 
+  // Same-request fan-out: every server receives `request`. Equivalent to
+  // CallMany with `servers.size()` copies of `request`, without
+  // materializing those copies (the quorum paths — reveal, shortage,
+  // attest — all broadcast one message to k members). A distinct name,
+  // not an overload: braced-init request lists would be ambiguous.
+  std::vector<RpcResult> Broadcast(uint32_t client,
+                                   const std::vector<uint32_t>& servers,
+                                   const std::vector<uint8_t>& request,
+                                   const Handler& handler);
+
   // One call of a batch wave: `client` issues `request` to `server`.
   struct Outgoing {
     uint32_t client = 0;
@@ -204,17 +213,31 @@ class SimNetwork {
   // business, so no drops are applied here.
   void AdvanceRoute(int hops);
 
-  // One-way transmission of `bytes` payload bytes departing at
-  // `depart_us`; returns the delivery time, or nullopt when the link
-  // drops the message or the destination is down at arrival. Delivered
-  // payloads are enqueued on the destination's inbox (tagged `seq`).
+  // One-way transmission of `payload` departing at `depart_us`; returns
+  // the delivery time, or nullopt when the link drops the message or the
+  // destination is down at arrival. Delivered payloads are enqueued on
+  // the destination's inbox (tagged `seq`). Takes the payload by value:
+  // callers that are done with the bytes (reply paths) move them in and
+  // the buffer travels through the event queue into the inbox without
+  // ever being copied.
   std::optional<uint64_t> Transmit(uint32_t from, uint32_t to,
-                                   const std::vector<uint8_t>& payload,
+                                   std::vector<uint8_t> payload,
                                    uint64_t depart_us, uint64_t* seq_out);
 
   // Moves every in-flight message with delivery time <= `at_us` into its
   // destination inbox, in (time, seq) order.
   void AdvanceTo(uint64_t at_us);
+
+  // Jumps the virtual clock to `at_us` (delivering anything due), used
+  // by the throughput engine to place each admitted task's execution at
+  // its admission instant. Mirrors CallMany's virtual-parallel shape —
+  // rewinding to an earlier instant models branches that ran
+  // concurrently — so monotonicity is deliberately NOT required; the
+  // event queue keys on delivery time, never on the current clock.
+  void SetTime(uint64_t at_us) {
+    AdvanceTo(at_us);
+    now_us_ = at_us;
+  }
 
  private:
   struct Delivery {
@@ -246,7 +269,11 @@ class SimNetwork {
   RetryPolicy retry_;
   util::Rng rng_;
   std::vector<Endpoint> endpoints_;
-  std::priority_queue<Delivery, std::vector<Delivery>, Later> in_flight_;
+  // Binary heap managed with std::push_heap/pop_heap rather than a
+  // std::priority_queue: priority_queue::top() is const, which forces a
+  // deep copy of every payload on delivery; pop_heap lets AdvanceTo move
+  // the payload straight from the queue into the destination inbox.
+  std::vector<Delivery> in_flight_;
   uint64_t now_us_ = 0;
   uint64_t next_seq_ = 0;
   double step_crash_probability_ = 0.0;

@@ -124,7 +124,7 @@ Result<net::Cost> VerifyAttestedCache(const core::ProtocolContext& ctx,
                                       const AttestedCache& cache) {
   net::Cost cost;
   cost.Then(net::Cost::Step(1, 0));
-  if (!ctx.ca->Check(cache.owner_cert)) {
+  if (!ctx.CheckCertificate(cache.owner_cert)) {
     return Status::SecurityViolation("attested cache: bad owner cert");
   }
   if (cache.timestamp + ctx.max_timestamp_age < ctx.now) {
@@ -144,7 +144,7 @@ Result<net::Cost> VerifyAttestedCache(const core::ProtocolContext& ctx,
   const std::vector<uint8_t> signed_bytes = cache.SignedBytes();
   for (const AttestedCache::Attestation& att : cache.attestations) {
     cost.Then(net::Cost::Step(1, 0));
-    if (!ctx.ca->Check(att.cert)) {
+    if (!ctx.CheckCertificate(att.cert)) {
       return Status::SecurityViolation("attested cache: bad attestor cert");
     }
     if (!r1.Contains(att.cert.NodeIdFromSubject())) {
@@ -152,7 +152,7 @@ Result<net::Cost> VerifyAttestedCache(const core::ProtocolContext& ctx,
           "attested cache: attestor not legitimate");
     }
     cost.Then(net::Cost::Step(1, 0));
-    if (!ctx.provider->Verify(att.cert.subject, signed_bytes, att.sig)) {
+    if (!ctx.CheckSignature(att.cert.subject, signed_bytes, att.sig)) {
       return Status::SecurityViolation("attested cache: bad signature");
     }
   }

@@ -100,6 +100,12 @@ const char* CounterName(Counter c) {
     case Counter::kRelocations: return "relocations";
     case Counter::kRestarts: return "restarts";
     case Counter::kTrials: return "trials";
+    case Counter::kTasksSubmitted: return "tasks_submitted";
+    case Counter::kTasksAdmitted: return "tasks_admitted";
+    case Counter::kTasksCompleted: return "tasks_completed";
+    case Counter::kTasksFailed: return "tasks_failed";
+    case Counter::kVerifyBatches: return "verify_batches";
+    case Counter::kVerifyBatchItems: return "verify_batch_items";
     case Counter::kCount: break;
   }
   return "unknown";
@@ -110,6 +116,8 @@ const char* HistName(Hist h) {
     case Hist::kRpcLatencyUs: return "rpc_latency_us";
     case Hist::kRpcAttempts: return "rpc_attempts_per_call";
     case Hist::kTrialLatencyUs: return "trial_latency_us";
+    case Hist::kTaskQueueDelayUs: return "task_queue_delay_us";
+    case Hist::kTaskLatencyUs: return "task_latency_us";
     case Hist::kCount: break;
   }
   return "unknown";

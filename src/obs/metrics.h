@@ -101,6 +101,17 @@ enum class Counter : size_t {
   kRelocations,
   kRestarts,
   kTrials,
+  // Throughput-engine task lifecycle (engine/throughput.h): submitted =
+  // entered the mempool, admitted = passed the backpressure window,
+  // completed/failed partition the admitted set (no drops — see the
+  // mempool's conservation invariant).
+  kTasksSubmitted,
+  kTasksAdmitted,
+  kTasksCompleted,
+  kTasksFailed,
+  // Batched-verification traffic (crypto/batch_verifier.h).
+  kVerifyBatches,
+  kVerifyBatchItems,
   kCount,  // sentinel
 };
 
@@ -111,6 +122,10 @@ enum class Hist : size_t {
   kRpcLatencyUs = 0,
   kRpcAttempts,
   kTrialLatencyUs,
+  // Admission-control wait (admit - arrival) and end-to-end task time
+  // (complete - arrival) on the engine's virtual clock.
+  kTaskQueueDelayUs,
+  kTaskLatencyUs,
   kCount,  // sentinel
 };
 

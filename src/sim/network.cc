@@ -126,6 +126,7 @@ core::ProtocolContext Network::context() {
   ctx.actor_count = params_.actor_count;
   ctx.rs3 = params_.rs3();
   ctx.tolerance_rs = tolerance_rs_;
+  ctx.verify_sink = verify_sink_;
   return ctx;
 }
 

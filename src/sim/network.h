@@ -47,6 +47,13 @@ class Network {
   // tunables can be adjusted on the returned value.
   core::ProtocolContext context();
 
+  // Installs a deferred-verification sink into every context() built
+  // from here on (the throughput engine's batched mode); nullptr
+  // restores synchronous verification. The sink must outlive any
+  // protocol run using those contexts.
+  void set_verify_sink(crypto::VerifySink* sink) { verify_sink_ = sink; }
+  crypto::VerifySink* verify_sink() const { return verify_sink_; }
+
   // Directory indices of the colluding nodes.
   std::vector<uint32_t> ColluderIndices() const;
 
@@ -65,6 +72,7 @@ class Network {
   std::unique_ptr<dht::CanOverlay> can_;
   std::optional<core::KTable> ktable_;
   double tolerance_rs_ = 0;
+  crypto::VerifySink* verify_sink_ = nullptr;
 };
 
 }  // namespace sep2p::sim

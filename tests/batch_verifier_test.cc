@@ -1,0 +1,251 @@
+// BatchVerifier: deferred batched verification on the sharded worker
+// pool (crypto/batch_verifier.h). The multi-worker tests exercise the
+// queue/drain handshake under real threads, so a TSan build of this
+// file checks the pool's synchronization.
+
+#include "crypto/batch_verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "crypto/ed25519_provider.h"
+#include "crypto/sim_provider.h"
+#include "util/rng.h"
+
+namespace sep2p::crypto {
+namespace {
+
+struct Signed {
+  PublicKey key;
+  std::vector<uint8_t> msg;
+  Signature sig;
+};
+
+// `count` signed messages from `signers` distinct keys; item i is
+// corrupted (one flipped signature byte) iff corrupt(i).
+std::vector<Signed> MakeItems(SignatureProvider& provider, int count,
+                              int signers,
+                              const std::function<bool(int)>& corrupt) {
+  util::Rng rng(99);
+  std::vector<KeyPair> pairs;
+  for (int s = 0; s < signers; ++s) {
+    pairs.push_back(std::move(provider.GenerateKeyPair(rng).value()));
+  }
+  std::vector<Signed> items;
+  items.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    const KeyPair& pair = pairs[static_cast<size_t>(i) % pairs.size()];
+    Signed item;
+    item.key = pair.pub;
+    item.msg = {static_cast<uint8_t>(i), static_cast<uint8_t>(i >> 8), 0x5e};
+    item.sig = std::move(provider.Sign(pair.priv, item.msg).value());
+    if (corrupt(i)) item.sig[0] ^= 0xff;
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+TEST(BatchVerifierTest, AllValidItemsYieldNoFailedTasks) {
+  SimProvider provider;
+  auto items = MakeItems(provider, 100, 7, [](int) { return false; });
+  BatchVerifier::Options opt;
+  opt.shard_count = 4;
+  opt.batch_size = 8;
+  opt.workers = 2;
+  BatchVerifier verifier(&provider, opt);
+  for (int i = 0; i < 100; ++i) {
+    verifier.BeginTask(static_cast<uint64_t>(i / 10));
+    verifier.Defer(items[i].key, items[i].msg, items[i].sig);
+  }
+  verifier.Drain();
+  EXPECT_TRUE(verifier.failed_tasks().empty());
+  EXPECT_EQ(verifier.stats().items, 100u);
+  EXPECT_EQ(verifier.stats().failed_items, 0u);
+  EXPECT_GE(verifier.stats().batches, 100u / 8u);
+  EXPECT_LE(verifier.stats().max_batch, 8u);
+  EXPECT_EQ(verifier.pending(), 0u);
+}
+
+TEST(BatchVerifierTest, CorruptItemsFailExactlyTheirTasks) {
+  SimProvider provider;
+  // Items 17 and 53 are corrupted; with 10 items per task, tasks 1 and
+  // 5 must fail and no others.
+  auto items = MakeItems(provider, 100, 5,
+                         [](int i) { return i == 17 || i == 53; });
+  BatchVerifier::Options opt;
+  opt.shard_count = 8;
+  opt.batch_size = 16;
+  opt.workers = 3;
+  BatchVerifier verifier(&provider, opt);
+  for (int i = 0; i < 100; ++i) {
+    verifier.BeginTask(static_cast<uint64_t>(i / 10));
+    verifier.Defer(items[i].key, items[i].msg, items[i].sig);
+  }
+  verifier.Drain();
+  EXPECT_EQ(verifier.failed_tasks(), (std::set<uint64_t>{1, 5}));
+  EXPECT_TRUE(verifier.TaskFailed(1));
+  EXPECT_TRUE(verifier.TaskFailed(5));
+  EXPECT_FALSE(verifier.TaskFailed(0));
+  EXPECT_EQ(verifier.stats().failed_items, 2u);
+}
+
+TEST(BatchVerifierTest, VerdictsAndStatsAreWorkerCountInvariant) {
+  SimProvider provider;
+  auto items = MakeItems(provider, 257, 11,
+                         [](int i) { return i % 41 == 0; });
+  auto run = [&](int workers) {
+    BatchVerifier::Options opt;
+    opt.shard_count = 16;
+    opt.batch_size = 32;
+    opt.workers = workers;
+    BatchVerifier verifier(&provider, opt);
+    for (size_t i = 0; i < items.size(); ++i) {
+      verifier.BeginTask(i / 7);
+      verifier.Defer(items[i].key, items[i].msg, items[i].sig);
+    }
+    verifier.Drain();
+    return std::make_pair(verifier.failed_tasks(), verifier.stats());
+  };
+  // workers=0 verifies inline on the caller: the reference verdict.
+  auto [ref_failed, ref_stats] = run(0);
+  EXPECT_FALSE(ref_failed.empty());
+  for (int workers : {1, 4, 8}) {
+    auto [failed, stats] = run(workers);
+    EXPECT_EQ(failed, ref_failed) << "workers=" << workers;
+    EXPECT_EQ(stats.items, ref_stats.items) << "workers=" << workers;
+    EXPECT_EQ(stats.batches, ref_stats.batches) << "workers=" << workers;
+    EXPECT_EQ(stats.failed_items, ref_stats.failed_items)
+        << "workers=" << workers;
+    EXPECT_EQ(stats.max_batch, ref_stats.max_batch)
+        << "workers=" << workers;
+    EXPECT_EQ(stats.coalesced, ref_stats.coalesced)
+        << "workers=" << workers;
+  }
+}
+
+TEST(BatchVerifierTest, DuplicateTriplesCoalesceIntoOneVerification) {
+  // SEP2P's duplication pattern: every party an actor list is disclosed
+  // to verifies the SAME k certificates + k signatures. Here ten tasks
+  // each defer the same eight triples (one corrupt): the provider must
+  // see each unique triple once, and the corrupt triple must fail every
+  // subscriber.
+  SimProvider provider;
+  auto items = MakeItems(provider, 8, 4, [](int i) { return i == 3; });
+  BatchVerifier::Options opt;
+  opt.shard_count = 4;
+  opt.batch_size = 4;
+  opt.workers = 2;
+  BatchVerifier verifier(&provider, opt);
+  const uint64_t before = provider.meter().verifies();
+  for (uint64_t task = 0; task < 10; ++task) {
+    verifier.BeginTask(task);
+    for (const Signed& item : items) {
+      verifier.Defer(item.key, item.msg, item.sig);
+    }
+  }
+  verifier.Drain();
+  EXPECT_EQ(verifier.failed_tasks().size(), 10u);
+  EXPECT_EQ(verifier.stats().items, 80u);
+  EXPECT_EQ(verifier.stats().coalesced, 72u);
+  EXPECT_EQ(verifier.stats().failed_items, 1u);  // one unique false verdict
+  EXPECT_EQ(provider.meter().verifies() - before, 8u);
+
+  // A later drain cycle hits the verdict cache: no new provider calls,
+  // and the cached false verdict still fails the new subscriber.
+  verifier.BeginTask(77);
+  verifier.Defer(items[3].key, items[3].msg, items[3].sig);
+  verifier.Defer(items[0].key, items[0].msg, items[0].sig);
+  verifier.Drain();
+  EXPECT_TRUE(verifier.TaskFailed(77));
+  EXPECT_EQ(provider.meter().verifies() - before, 8u);
+  EXPECT_EQ(verifier.stats().coalesced, 74u);
+  EXPECT_EQ(verifier.stats().failed_items, 1u);
+}
+
+TEST(BatchVerifierTest, ReusableAcrossDrainCycles) {
+  SimProvider provider;
+  auto items = MakeItems(provider, 40, 3, [](int i) { return i == 25; });
+  BatchVerifier::Options opt;
+  opt.shard_count = 4;
+  opt.batch_size = 6;
+  opt.workers = 2;
+  BatchVerifier verifier(&provider, opt);
+  // Cycle 1: the first 20 items, all valid.
+  for (int i = 0; i < 20; ++i) {
+    verifier.BeginTask(static_cast<uint64_t>(i));
+    verifier.Defer(items[i].key, items[i].msg, items[i].sig);
+  }
+  verifier.Drain();
+  EXPECT_TRUE(verifier.failed_tasks().empty());
+  EXPECT_EQ(verifier.stats().items, 20u);
+  // Cycle 2: the rest; item 25 is corrupt, so task 25 fails. The
+  // verdict set accumulates across drains.
+  for (int i = 20; i < 40; ++i) {
+    verifier.BeginTask(static_cast<uint64_t>(i));
+    verifier.Defer(items[i].key, items[i].msg, items[i].sig);
+  }
+  verifier.Drain();
+  EXPECT_EQ(verifier.failed_tasks(), (std::set<uint64_t>{25}));
+  EXPECT_EQ(verifier.stats().items, 40u);
+}
+
+// Both providers must agree with their own single-call Verify on every
+// batch verdict — the Ed25519 batch path (key-sorted visit order,
+// cached EVP_PKEY) is exactly the code the throughput bench leans on.
+template <typename Provider>
+class BatchVerifierProviderTest : public ::testing::Test {};
+using Providers = ::testing::Types<SimProvider, Ed25519Provider>;
+TYPED_TEST_SUITE(BatchVerifierProviderTest, Providers);
+
+TYPED_TEST(BatchVerifierProviderTest, BatchVerdictsMatchSingleVerify) {
+  TypeParam provider;
+  auto items = MakeItems(provider, 60, 6, [](int i) { return i % 13 == 7; });
+  BatchVerifier::Options opt;
+  opt.shard_count = 4;
+  opt.batch_size = 16;
+  opt.workers = 2;
+  BatchVerifier verifier(&provider, opt);
+  std::set<uint64_t> expect_failed;
+  for (size_t i = 0; i < items.size(); ++i) {
+    verifier.BeginTask(i);
+    verifier.Defer(items[i].key, items[i].msg, items[i].sig);
+    if (!provider.Verify(items[i].key, items[i].msg, items[i].sig)) {
+      expect_failed.insert(i);
+    }
+  }
+  verifier.Drain();
+  EXPECT_EQ(verifier.failed_tasks(), expect_failed);
+  EXPECT_FALSE(expect_failed.empty());
+  EXPECT_LT(expect_failed.size(), items.size());
+}
+
+TEST(BatchVerifierTest, ManySmallDrainsUnderContention) {
+  // Stress the wake/drain handshake: tiny batches, many drains, four
+  // workers. TSan finds lock-ordering or lost-wakeup bugs here.
+  SimProvider provider;
+  auto items = MakeItems(provider, 300, 13,
+                         [](int i) { return i % 97 == 0; });
+  BatchVerifier::Options opt;
+  opt.shard_count = 32;
+  opt.batch_size = 2;
+  opt.workers = 4;
+  BatchVerifier verifier(&provider, opt);
+  std::set<uint64_t> expect_failed;
+  for (size_t i = 0; i < items.size(); ++i) {
+    verifier.BeginTask(i);
+    if (i % 97 == 0) expect_failed.insert(i);
+    verifier.Defer(items[i].key, items[i].msg, items[i].sig);
+    if (i % 11 == 0) verifier.Drain();
+  }
+  verifier.Drain();
+  EXPECT_EQ(verifier.failed_tasks(), expect_failed);
+  EXPECT_EQ(verifier.stats().items, 300u);
+  EXPECT_EQ(verifier.stats().failed_items, expect_failed.size());
+}
+
+}  // namespace
+}  // namespace sep2p::crypto

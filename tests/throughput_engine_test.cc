@@ -1,0 +1,206 @@
+// ThroughputEngine: concurrent-task execution with the mempool,
+// admission backpressure and batched deferred verification
+// (engine/throughput.h). The determinism tests build a FRESH world per
+// run (engine runs mutate caches, rate limiters and the virtual clock)
+// and compare the bit-identity probes across worker counts.
+
+#include "engine/throughput.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "apps/concept_index.h"
+#include "apps/diffusion.h"
+#include "apps/query.h"
+#include "obs/metrics.h"
+#include "tests/test_util.h"
+
+namespace sep2p::engine {
+namespace {
+
+// One self-contained world: network, PDMS fleet, message runtime, apps.
+// Identical seeds => bit-identical worlds.
+struct World {
+  std::unique_ptr<sim::Network> network;
+  std::vector<node::PdmsNode> pdms;
+  std::unique_ptr<net::SimNetwork> simnet;
+  std::unique_ptr<node::AppRuntime> runtime;
+  std::unique_ptr<apps::ConceptIndex> index;
+  std::unique_ptr<apps::DiffusionApp> diffusion;
+  std::unique_ptr<apps::QueryApp> query;
+};
+
+World MakeWorld() {
+  World w;
+  w.network = test::MakeNetwork(600, 0.01, /*cache=*/128);
+  EXPECT_NE(w.network, nullptr);
+  for (uint32_t i = 0; i < w.network->directory().size(); ++i) {
+    w.pdms.emplace_back(i);
+    if (i % 4 == 0) w.pdms.back().AddConcept("pilot");
+    w.pdms.back().SetAttribute("hours", i % 50);
+  }
+  w.simnet = std::make_unique<net::SimNetwork>(
+      test::MakeZeroFaultSimNet(600));
+  w.runtime = std::make_unique<node::AppRuntime>(w.simnet.get());
+  w.index = std::make_unique<apps::ConceptIndex>(w.network.get(),
+                                                 w.runtime.get());
+  w.diffusion = std::make_unique<apps::DiffusionApp>(
+      w.network.get(), &w.pdms, w.index.get(), w.runtime.get());
+  util::Rng rng(5);
+  EXPECT_TRUE(w.diffusion->PublishAllProfiles(rng).ok());
+  w.query = std::make_unique<apps::QueryApp>(w.network.get(), &w.pdms,
+                                             w.index.get(), w.runtime.get());
+  return w;
+}
+
+apps::QuerySpec Spec() {
+  apps::QuerySpec spec;
+  spec.profile_expression = "pilot";
+  spec.attribute = "hours";
+  spec.aggregate = apps::Aggregate::kAvg;
+  return spec;
+}
+
+ThroughputEngine::Report RunEngine(const ThroughputEngine::Options& options,
+                                   int tasks,
+                                   obs::MetricsRegistry* metrics = nullptr) {
+  World w = MakeWorld();
+  ThroughputEngine engine(w.network.get(), w.simnet.get(), w.runtime.get(),
+                          options);
+  engine.set_diffusion(w.diffusion.get(), "pilot", "notice");
+  engine.set_query(w.query.get(), Spec());
+  if (metrics != nullptr) engine.set_metrics(metrics);
+  engine.SubmitWorkload(tasks, {TaskKind::kSelection, TaskKind::kQuery,
+                                TaskKind::kSelection, TaskKind::kDiffusion});
+  auto report = engine.Run();
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return report.value();
+}
+
+TEST(ThroughputEngineTest, ResultsAreBitIdenticalAcrossWorkerCounts) {
+  ThroughputEngine::Options options;
+  options.verify_mode = ThroughputEngine::VerifyMode::kBatched;
+  options.window = 8;
+  options.arrival_gap_us = 5'000;
+  options.resolve_every = 8;
+
+  options.workers = 1;
+  const ThroughputEngine::Report ref = RunEngine(options, 24);
+  EXPECT_GT(ref.completed, 0u);
+  for (int workers : {4, 8}) {
+    options.workers = workers;
+    const ThroughputEngine::Report r = RunEngine(options, 24);
+    EXPECT_EQ(r.results_digest, ref.results_digest) << "workers=" << workers;
+    EXPECT_EQ(r.completed, ref.completed) << "workers=" << workers;
+    EXPECT_EQ(r.failed, ref.failed) << "workers=" << workers;
+    EXPECT_EQ(r.virtual_makespan_us, ref.virtual_makespan_us)
+        << "workers=" << workers;
+    EXPECT_EQ(r.p50_task_latency_us, ref.p50_task_latency_us)
+        << "workers=" << workers;
+    EXPECT_EQ(r.p99_task_latency_us, ref.p99_task_latency_us)
+        << "workers=" << workers;
+    EXPECT_EQ(r.p50_queue_delay_us, ref.p50_queue_delay_us)
+        << "workers=" << workers;
+    EXPECT_EQ(r.crypto_verifies, ref.crypto_verifies)
+        << "workers=" << workers;
+    EXPECT_EQ(r.verify_stats.items, ref.verify_stats.items)
+        << "workers=" << workers;
+    EXPECT_EQ(r.verify_stats.batches, ref.verify_stats.batches)
+        << "workers=" << workers;
+  }
+}
+
+TEST(ThroughputEngineTest, MetricsAreBitIdenticalAcrossWorkerCounts) {
+  ThroughputEngine::Options options;
+  options.window = 4;
+  options.arrival_gap_us = 2'000;
+
+  options.workers = 1;
+  obs::MetricsRegistry ref;
+  RunEngine(options, 12, &ref);
+  for (int workers : {4, 8}) {
+    options.workers = workers;
+    obs::MetricsRegistry m;
+    RunEngine(options, 12, &m);
+    EXPECT_EQ(m.ToJson(), ref.ToJson()) << "workers=" << workers;
+  }
+}
+
+TEST(ThroughputEngineTest, NaiveAndBatchedAgreeOnVirtualTimeResults) {
+  // Verification never advances the virtual clock in either mode, so
+  // everything except wall-clock and verifier stats must agree — the
+  // anchor that makes the saturation bench's naive/batched comparison
+  // apples-to-apples.
+  ThroughputEngine::Options options;
+  options.window = 8;
+  options.arrival_gap_us = 5'000;
+
+  options.verify_mode = ThroughputEngine::VerifyMode::kNaive;
+  const ThroughputEngine::Report naive = RunEngine(options, 16);
+  options.verify_mode = ThroughputEngine::VerifyMode::kBatched;
+  options.workers = 4;
+  const ThroughputEngine::Report batched = RunEngine(options, 16);
+
+  EXPECT_EQ(batched.results_digest, naive.results_digest);
+  EXPECT_EQ(batched.completed, naive.completed);
+  EXPECT_EQ(batched.failed, naive.failed);
+  EXPECT_EQ(batched.virtual_makespan_us, naive.virtual_makespan_us);
+  EXPECT_EQ(batched.p99_task_latency_us, naive.p99_task_latency_us);
+  // Batched mode coalesces duplicate triples (many parties verifying
+  // the same actor list), so its metered asymmetric-operation count is
+  // at most the naive path's — never more.
+  EXPECT_LE(batched.crypto_verifies, naive.crypto_verifies);
+  EXPECT_GT(batched.crypto_verifies, 0u);
+  EXPECT_GT(batched.verify_stats.items, 0u);
+  EXPECT_GT(batched.verify_stats.coalesced, 0u);
+  EXPECT_EQ(naive.verify_stats.items, 0u);
+}
+
+TEST(ThroughputEngineTest, BackpressureNeverDropsAnAdmittedTask) {
+  // A window far smaller than the workload forces heavy queuing; the
+  // conservation invariant must hold: every submitted task is admitted,
+  // every admitted task resolves to completed or failed.
+  ThroughputEngine::Options options;
+  options.window = 2;
+  options.arrival_gap_us = 100;  // offered load far beyond capacity
+  options.resolve_every = 4;
+  options.workers = 2;
+  const ThroughputEngine::Report r = RunEngine(options, 30);
+  EXPECT_EQ(r.submitted, 30u);
+  EXPECT_EQ(r.admitted, 30u);
+  EXPECT_EQ(r.completed + r.failed, r.admitted);
+  // Saturation shows up as queue delay, not as loss.
+  EXPECT_GT(r.p99_queue_delay_us, 0u);
+}
+
+TEST(ThroughputEngineTest, QueueDelayGrowsWithOfferedLoad) {
+  ThroughputEngine::Options options;
+  options.window = 2;
+  options.workers = 1;
+
+  options.arrival_gap_us = 100'000'000;  // trickle: window never fills
+  const ThroughputEngine::Report idle = RunEngine(options, 10);
+  options.arrival_gap_us = 100;  // flood
+  const ThroughputEngine::Report flooded = RunEngine(options, 10);
+
+  EXPECT_EQ(idle.p99_queue_delay_us, 0u);
+  EXPECT_GT(flooded.p99_queue_delay_us, idle.p99_queue_delay_us);
+  // Offered rate beyond capacity cannot raise the completion rate.
+  EXPECT_GT(flooded.offered_per_virtual_sec,
+            flooded.completed_per_virtual_sec);
+}
+
+TEST(ThroughputEngineTest, RunIsOneShot) {
+  World w = MakeWorld();
+  ThroughputEngine::Options options;
+  ThroughputEngine engine(w.network.get(), w.simnet.get(), w.runtime.get(),
+                          options);
+  engine.Submit(TaskKind::kSelection, 3, 0);
+  EXPECT_TRUE(engine.Run().ok());
+  EXPECT_FALSE(engine.Run().ok());
+}
+
+}  // namespace
+}  // namespace sep2p::engine
