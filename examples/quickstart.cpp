@@ -58,10 +58,10 @@ int main() {
   std::printf("actor list (signed by %d setter-legitimate nodes):\n",
               outcome->val.k());
   for (size_t i = 0; i < outcome->actor_indices.size(); ++i) {
-    const auto& node = net.directory().node(outcome->actor_indices[i]);
-    std::printf("  actor %zu: node %u  id=%s...%s\n", i,
-                outcome->actor_indices[i], node.id.ShortHex().c_str(),
-                node.colluding ? "  [covert colluder]" : "");
+    const uint32_t actor = outcome->actor_indices[i];
+    std::printf("  actor %zu: node %u  id=%s...%s\n", i, actor,
+                net.directory().id(actor).ShortHex().c_str(),
+                net.directory().colluding(actor) ? "  [covert colluder]" : "");
   }
   std::printf("setup cost: %s\n", outcome->cost.ToString().c_str());
 

@@ -84,7 +84,7 @@ Result<QueryApp::QueryResult> QueryApp::Execute(uint32_t querier_index,
     if (round_->seen_contributions.insert(delivery->contribution_id).second) {
       Result<std::vector<uint8_t>> opened =
           OpenSealed(network_->provider(), delivery->sealed,
-                     network_->directory().node(server).priv);
+                     network_->directory().priv(server));
       if (!opened.ok() || opened->size() != sizeof(double)) {
         return std::nullopt;
       }
@@ -171,11 +171,11 @@ Result<QueryApp::QueryResult> QueryApp::Execute(uint32_t querier_index,
     const size_t slot_base = assigned % da_count;
     bool delivered = false;
     for (size_t off = 0; off < da_count && !delivered; ++off) {
-      const dht::NodeRecord& da = network_->directory().node(
+      const crypto::PublicKey& da_pub = network_->directory().pub(
           result.aggregators[(slot_base + off) % da_count]);
       for (int attempt = 0; attempt < config_.proxy_retries; ++attempt) {
         Result<ProxyDelivery> delivery =
-            ForwardViaProxy(*runtime_, *network_, target, da.pub, payload,
+            ForwardViaProxy(*runtime_, *network_, target, da_pub, payload,
                             rng, contribution_id);
         if (!delivery.ok()) return delivery.status();
         if (!delivery->relayed) continue;  // dead proxy: draw another

@@ -111,7 +111,7 @@ ParticipatorySensingApp::RunRound(uint32_t trigger_index, util::Rng& rng) {
     if (round_->seen_contributions.insert(tuple->contribution_id).second) {
       Result<std::vector<uint8_t>> opened =
           OpenSealed(network_->provider(), tuple->sealed,
-                     network_->directory().node(server).priv);
+                     network_->directory().priv(server));
       if (!opened.ok() || opened->size() != sizeof(double)) {
         return std::nullopt;
       }
@@ -204,7 +204,7 @@ ParticipatorySensingApp::RunRound(uint32_t trigger_index, util::Rng& rng) {
       tuple.contribution_id = runtime_->NextMessageId();
       tuple.cell = static_cast<uint32_t>(cell);
       tuple.sealed = SealForRecipient(
-          network_->directory().node(result.aggregators[da]).pub, payload,
+          network_->directory().pub(result.aggregators[da]), payload,
           rng);
       contributions.push_back(
           {src, result.aggregators[da], msg::Encode(tuple)});

@@ -50,7 +50,7 @@ struct ProtocolContext {
   // Convenience: signs `msg` with the private key of the node at `index`.
   Result<crypto::Signature> SignAs(uint32_t index,
                                    const std::vector<uint8_t>& msg) const {
-    return provider->Sign(directory->node(index).priv, msg);
+    return provider->Sign(directory->priv(index), msg);
   }
 
   // Verifies `sig` over `msg` under `key` — synchronously when no sink

@@ -35,7 +35,7 @@ Result<CsarProtocol::Outcome> CsarProtocol::Generate(
   }
 
   Outcome outcome;
-  outcome.random.cert_t = dir.node(trigger_index).cert;
+  outcome.random.cert_t = dir.cert(trigger_index);
   outcome.random.timestamp = ctx_.now;
 
   // Uniform participants over the whole network, excluding T.
@@ -55,7 +55,7 @@ Result<CsarProtocol::Outcome> CsarProtocol::Generate(
   outcome.random.participants.resize(participant_count);
   for (int i = 0; i < participant_count; ++i) {
     VrandParticipant& p = outcome.random.participants[i];
-    p.cert = dir.node(outcome.participant_indices[i]).cert;
+    p.cert = dir.cert(outcome.participant_indices[i]);
     p.rnd = crypto::Hash256(crypto::Digest(rng.NextBytes32()));
   }
   const std::vector<uint8_t> signed_bytes = outcome.random.SignedBytes();
@@ -118,11 +118,11 @@ std::vector<uint32_t> CsarActorsFromRandom(const dht::Directory& directory,
   // Rank table: alive nodes sorted by public key.
   std::vector<uint32_t> by_key;
   for (uint32_t i = 0; i < directory.size(); ++i) {
-    if (directory.node(i).alive) by_key.push_back(i);
+    if (directory.alive(i)) by_key.push_back(i);
   }
   std::sort(by_key.begin(), by_key.end(),
             [&directory](uint32_t a, uint32_t b) {
-              return directory.node(a).pub < directory.node(b).pub;
+              return directory.pub(a) < directory.pub(b);
             });
 
   std::vector<uint32_t> actors;

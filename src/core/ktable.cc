@@ -41,7 +41,7 @@ KTable::Choice KTable::ChooseForPoint(const dht::Directory& directory,
   // entry, so it is resolved once for the whole scan.
   const std::optional<uint32_t> self = directory.SuccessorIndex(center);
   const bool self_at_center =
-      self.has_value() && directory.node(*self).pos == center;
+      self.has_value() && directory.pos(*self) == center;
   for (const Entry& base : entries_) {
     Entry entry = base;
     entry.rs = std::min(entry.rs, max_rs);

@@ -5,12 +5,26 @@
 
 namespace sep2p::core {
 
+namespace {
+
+// lgamma()/std::lgamma() write the process-global `signgam` (POSIX), a
+// data race whenever two threads build k-tables concurrently (parallel
+// trial shards, concurrent churn drivers). The _r variant returns the
+// sign through a local instead; x is always > 0 here so the sign is
+// discarded.
+double LGamma(double x) {
+  int sign = 0;
+  return lgamma_r(x, &sign);
+}
+
+}  // namespace
+
 double LogBinomialCoefficient(uint64_t n, uint64_t k) {
   if (k > n) return -INFINITY;
   if (k == 0 || k == n) return 0.0;
-  return std::lgamma(static_cast<double>(n) + 1) -
-         std::lgamma(static_cast<double>(k) + 1) -
-         std::lgamma(static_cast<double>(n - k) + 1);
+  return LGamma(static_cast<double>(n) + 1) -
+         LGamma(static_cast<double>(k) + 1) -
+         LGamma(static_cast<double>(n - k) + 1);
 }
 
 double BinomialTail(int64_t m, uint64_t n, double p) {

@@ -123,15 +123,13 @@ Result<SlEngagement> EngageSlsOverNetwork(
     auto it = state_by_sl.find(sl_index);
     if (it != state_by_sl.end()) return it->second;
     SlState state;
-    const dht::NodeRecord& sl = dir.node(sl_index);
-    dht::Region coverage = dht::Region::Centered(sl.pos, ctx.rs3);
-    const bool hide = colluding_sls_hide_honest && sl.colluding;
+    dht::Region coverage = dht::Region::Centered(dir.pos(sl_index), ctx.rs3);
+    const bool hide = colluding_sls_hide_honest && dir.colluding(sl_index);
     for (uint32_t idx : r3_nodes) {
-      const dht::NodeRecord& candidate = dir.node(idx);
-      if (!coverage.Contains(candidate.pos)) continue;
-      if (hide && !candidate.colluding) continue;  // covert deviation
+      if (!coverage.Contains(dir.pos(idx))) continue;
+      if (hide && !dir.colluding(idx)) continue;  // covert deviation
       state.cl_indices.push_back(idx);
-      state.cl_keys.push_back(candidate.pub);
+      state.cl_keys.push_back(dir.pub(idx));
     }
     state.rnd = crypto::Hash256(crypto::Digest(rng.NextBytes32()));
     // The commitment binds RND_j AND CL_j, so neither can change after
@@ -364,20 +362,19 @@ Result<SelectionProtocol::Outcome> SelectionProtocol::Run(
         if (options.failures != nullptr && options.failures->ShouldFail()) {
           return Status::Unavailable("selection: SL failed mid-protocol");
         }
-        const dht::NodeRecord& sl = dir.node(sl_members[j]);
-        dht::Region coverage = dht::Region::Centered(sl.pos, ctx_.rs3);
+        dht::Region coverage =
+            dht::Region::Centered(dir.pos(sl_members[j]), ctx_.rs3);
         const bool hide =
-            options.colluding_sls_hide_honest && sl.colluding;
+            options.colluding_sls_hide_honest && dir.colluding(sl_members[j]);
         // Candidate lists top out at the R3 scan size; reserving up
         // front keeps the hot per-SL loop free of regrowth copies.
         cl_indices[j].reserve(r3_nodes.size());
         cl_keys[j].reserve(r3_nodes.size());
         for (uint32_t idx : r3_nodes) {
-          const dht::NodeRecord& candidate = dir.node(idx);
-          if (!coverage.Contains(candidate.pos)) continue;
-          if (hide && !candidate.colluding) continue;  // covert deviation
+          if (!coverage.Contains(dir.pos(idx))) continue;
+          if (hide && !dir.colluding(idx)) continue;  // covert deviation
           cl_indices[j].push_back(idx);
-          cl_keys[j].push_back(candidate.pub);
+          cl_keys[j].push_back(dir.pub(idx));
         }
         rnd_j[j] = crypto::Hash256(crypto::Digest(rng.NextBytes32()));
       }
@@ -431,7 +428,7 @@ Result<SelectionProtocol::Outcome> SelectionProtocol::Run(
                     met->IncNode(server, obs::NodeCounter::kCrypto);
                   }
                   return msg::Encode(msg::Attestation{
-                      dir.node(server).cert, std::move(sig.value())});
+                      dir.cert(server), std::move(sig.value())});
                 });
         for (int j = 0; j < k; ++j) {
           if (!results[j].ok) {
@@ -515,7 +512,7 @@ Result<SelectionProtocol::Outcome> SelectionProtocol::Run(
       // Every SL verifies this actor's certificate (one asymmetric op
       // per SL, charged below via `to_check`).
       for (int j = 0; j < k; ++j) {
-        if (!ctx_.CheckCertificate(dir.node(actor_index).cert)) {
+        if (!ctx_.CheckCertificate(dir.cert(actor_index))) {
           return Status::SecurityViolation(
               "selection: actor certificate check failed");
         }
@@ -547,7 +544,7 @@ Result<SelectionProtocol::Outcome> SelectionProtocol::Run(
     for (const auto& [key, actor_index] : actors) {
       val.actor_keys.push_back(key);
       outcome.actor_indices.push_back(actor_index);
-      val.actor_certs.push_back(dir.node(actor_index).cert);
+      val.actor_certs.push_back(dir.cert(actor_index));
     }
 
     const std::vector<uint8_t> signed_bytes = val.SignedBytes();
@@ -575,7 +572,7 @@ Result<SelectionProtocol::Outcome> SelectionProtocol::Run(
                   met->IncNode(server, obs::NodeCounter::kCrypto);
                 }
                 return msg::Encode(msg::Attestation{
-                    dir.node(server).cert, std::move(sig.value())});
+                    dir.cert(server), std::move(sig.value())});
               });
       for (int j = 0; j < k; ++j) {
         if (!results[j].ok) {
@@ -609,7 +606,7 @@ Result<SelectionProtocol::Outcome> SelectionProtocol::Run(
         // traces too.
         if (rec != nullptr) rec->Signature(sl_members[j], "sl-attest");
         val.attestations.push_back(
-            {dir.node(sl_members[j]).cert, std::move(sig.value())});
+            {dir.cert(sl_members[j]), std::move(sig.value())});
         sl_costs[j].Then(net::Cost::Step(1, 1));  // sign + send to S
       }
     }

@@ -37,13 +37,13 @@ Result<VrandProtocol::Outcome> VrandProtocol::Generate(
     net::SimNetwork* network, obs::TraceRecorder* trace,
     obs::MetricsRegistry* metrics) const {
   const dht::Directory& dir = *ctx_.directory;
-  const dht::NodeRecord& trigger = dir.node(trigger_index);
+  const dht::RingPos trigger_pos = dir.pos(trigger_index);
 
   // T consults the k-table for the cheapest entry usable at its
   // location; R1 is capped at T's cache coverage (T can only contact
   // nodes it knows).
   KTable::Choice choice =
-      ctx_.ktable->ChooseForPoint(dir, trigger.pos, ctx_.rs3);
+      ctx_.ktable->ChooseForPoint(dir, trigger_pos, ctx_.rs3);
   if (!choice.found) {
     return Status::ResourceExhausted(
         "vrand: trigger's neighborhood too sparse even for k_max");
@@ -52,7 +52,7 @@ Result<VrandProtocol::Outcome> VrandProtocol::Generate(
   const double rs1 = choice.entry.rs;
 
   // Candidate TLs: legitimate nodes w.r.t. R1, excluding T itself.
-  dht::Region r1 = dht::Region::Centered(trigger.pos, rs1);
+  dht::Region r1 = dht::Region::Centered(trigger_pos, rs1);
   std::vector<uint32_t> candidates = dir.NodesInRegion(r1);
   candidates.erase(
       std::remove(candidates.begin(), candidates.end(), trigger_index),
@@ -71,7 +71,7 @@ Result<VrandProtocol::Outcome> VrandProtocol::Generate(
   Outcome outcome;
   outcome.tl_indices = candidates;
   VerifiableRandom& vrnd = outcome.vrnd;
-  vrnd.cert_t = trigger.cert;
+  vrnd.cert_t = dir.cert(trigger_index);
   vrnd.timestamp = ctx_.now;
   vrnd.rs1 = rs1;
 
@@ -82,7 +82,7 @@ Result<VrandProtocol::Outcome> VrandProtocol::Generate(
       return Status::Unavailable("vrand: TL failed during commitment");
     }
     VrandParticipant& p = vrnd.participants[i];
-    p.cert = dir.node(candidates[i]).cert;
+    p.cert = dir.cert(candidates[i]);
     p.rnd = crypto::Hash256(crypto::Digest(rng.NextBytes32()));
   }
 
@@ -172,7 +172,7 @@ Result<VrandProtocol::Outcome> VrandProtocol::GenerateOverNetwork(
   Outcome outcome;
   outcome.tl_indices = quorum.members;
   VerifiableRandom& vrnd = outcome.vrnd;
-  vrnd.cert_t = dir.node(trigger_index).cert;
+  vrnd.cert_t = dir.cert(trigger_index);
   vrnd.timestamp = ctx_.now;
   vrnd.rs1 = rs1;
   vrnd.participants.resize(k);
@@ -184,7 +184,7 @@ Result<VrandProtocol::Outcome> VrandProtocol::GenerateOverNetwork(
     Result<msg::CommitReply> commit = msg::DecodeCommitReply(quorum.replies[i]);
     if (!commit.ok()) return commit.status();
     VrandParticipant& p = vrnd.participants[i];
-    p.cert = dir.node(quorum.members[i]).cert;
+    p.cert = dir.cert(quorum.members[i]);
     p.rnd = tl_rnd(quorum.members[i]);
     commit_list.commitments[i] = commit->commitment;
   }

@@ -29,32 +29,43 @@ void CanOverlay::PointForId(const NodeId& id, double* x, double* y) {
 }
 
 CanOverlay::CanOverlay(const Directory* directory) : directory_(directory) {
-  zone_of_node_.assign(directory_->size(), -1);
-
-  bool first = true;
+  zone_of_node_.assign(directory_->size(), kNone);
+  tree_.reserve(2 * directory_->size());
+  zones_.reserve(directory_->size() + 1);
   for (uint32_t i = 0; i < directory_->size(); ++i) {
-    const NodeRecord& r = directory_->node(i);
-    if (!r.alive) continue;
-    double x, y;
-    PointForId(r.id, &x, &y);
-    if (first) {
-      // The first node owns the whole torus.
-      Zone zone;
-      zone.owner = i;
-      zones_.push_back(zone);
-      TreeNode leaf;
-      leaf.zone_index = 0;
-      tree_.push_back(leaf);
-      zone_of_node_[i] = 0;
-      first = false;
-    } else {
-      Insert(i, x, y);
-    }
+    if (!directory_->alive(i)) continue;
+    AddNode(i);
   }
 }
 
-int CanOverlay::LocateLeaf(double x, double y) const {
-  int node = 0;
+size_t CanOverlay::AllocTreeNode() {
+  if (!free_tree_.empty()) {
+    size_t index = free_tree_.back();
+    free_tree_.pop_back();
+    tree_[index] = TreeNode();
+    return index;
+  }
+  tree_.emplace_back();
+  return tree_.size() - 1;
+}
+
+size_t CanOverlay::AllocZone() {
+  if (!free_zones_.empty()) {
+    size_t index = free_zones_.back();
+    free_zones_.pop_back();
+    zones_[index] = Zone();
+    return index;
+  }
+  zones_.emplace_back();
+  return zones_.size() - 1;
+}
+
+void CanOverlay::FreeTreeNode(size_t index) { free_tree_.push_back(index); }
+
+void CanOverlay::FreeZone(size_t index) { free_zones_.push_back(index); }
+
+size_t CanOverlay::LocateLeaf(double x, double y) const {
+  size_t node = root_;
   while (tree_[node].dim != -1) {
     const TreeNode& t = tree_[node];
     double coord = (t.dim == 0) ? x : y;
@@ -63,9 +74,30 @@ int CanOverlay::LocateLeaf(double x, double y) const {
   return node;
 }
 
+void CanOverlay::AddNode(uint32_t node_index) {
+  if (node_index >= zone_of_node_.size()) {
+    zone_of_node_.resize(directory_->size(), kNone);
+  }
+  assert(zone_of_node_[node_index] == kNone);
+  double x, y;
+  PointForId(directory_->id(node_index), &x, &y);
+  if (root_ == kNone) {
+    // The first node owns the whole torus.
+    size_t zone_index = AllocZone();
+    zones_[zone_index].owner = node_index;
+    root_ = AllocTreeNode();
+    tree_[root_].zone_index = zone_index;
+    zone_of_node_[node_index] = zone_index;
+    ++zone_count_;
+    return;
+  }
+  Insert(node_index, x, y);
+  ++zone_count_;
+}
+
 void CanOverlay::Insert(uint32_t node_index, double x, double y) {
-  int leaf = LocateLeaf(x, y);
-  int zone_index = tree_[leaf].zone_index;
+  size_t leaf = LocateLeaf(x, y);
+  size_t zone_index = tree_[leaf].zone_index;
   Zone old_zone = zones_[zone_index];
 
   // Split along the longer dimension at the midpoint (exact in binary
@@ -91,29 +123,117 @@ void CanOverlay::Insert(uint32_t node_index, double x, double y) {
   new_half.owner = node_index;
   old_half.owner = old_zone.owner;
 
-  // Reuse the old zone slot for the low half, append the high half.
+  // Reuse the old zone slot for the low half, allocate the high half.
+  size_t high_index = AllocZone();
   zones_[zone_index] = low;
-  int high_index = static_cast<int>(zones_.size());
-  zones_.push_back(high);
+  zones_[high_index] = high;
 
   zone_of_node_[low.owner] = zone_index;
   zone_of_node_[high.owner] = high_index;
 
   // Turn the leaf into an internal node with two fresh leaves.
-  TreeNode left_leaf, right_leaf;
-  left_leaf.zone_index = zone_index;
-  right_leaf.zone_index = high_index;
-  int left = static_cast<int>(tree_.size());
-  tree_.push_back(left_leaf);
-  int right = static_cast<int>(tree_.size());
-  tree_.push_back(right_leaf);
+  size_t left = AllocTreeNode();
+  size_t right = AllocTreeNode();
+  tree_[left].zone_index = zone_index;
+  tree_[left].parent = leaf;
+  tree_[right].zone_index = high_index;
+  tree_[right].parent = leaf;
 
   TreeNode& parent = tree_[leaf];
   parent.dim = dim;
   parent.split = split;
   parent.left = left;
   parent.right = right;
-  parent.zone_index = -1;
+  parent.zone_index = kNone;
+}
+
+void CanOverlay::RemoveNode(uint32_t node_index) {
+  if (!HasZone(node_index)) return;
+  const size_t zone_index = zone_of_node_[node_index];
+  zone_of_node_[node_index] = kNone;
+  --zone_count_;
+
+  if (zone_count_ == 0) {
+    // Last node out: the partition becomes empty.
+    tree_.clear();
+    zones_.clear();
+    free_tree_.clear();
+    free_zones_.clear();
+    root_ = kNone;
+    return;
+  }
+
+  // Find the departing zone's leaf (walk down; the zone rectangle pins
+  // the path, so this is O(depth)).
+  const Zone departing = zones_[zone_index];
+  size_t leaf = LocateLeaf((departing.x0 + departing.x1) / 2,
+                           (departing.y0 + departing.y1) / 2);
+  assert(tree_[leaf].zone_index == zone_index);
+  const size_t parent = tree_[leaf].parent;
+  assert(parent != kNone);  // zone_count_ > 0 means >= 2 zones existed
+  const size_t sibling =
+      tree_[parent].left == leaf ? tree_[parent].right : tree_[parent].left;
+
+  if (tree_[sibling].dim == -1) {
+    // Sibling is a leaf: merge the two halves back into the parent's
+    // rectangle, owned by the sibling's owner (CAN zone merge).
+    const size_t sib_zone = tree_[sibling].zone_index;
+    Zone merged = zones_[sib_zone];
+    merged.x0 = std::min(merged.x0, departing.x0);
+    merged.x1 = std::max(merged.x1, departing.x1);
+    merged.y0 = std::min(merged.y0, departing.y0);
+    merged.y1 = std::max(merged.y1, departing.y1);
+    zones_[sib_zone] = merged;
+    TreeNode& p = tree_[parent];
+    p.dim = -1;
+    p.split = 0;
+    p.left = kNone;
+    p.right = kNone;
+    p.zone_index = sib_zone;
+    zone_of_node_[merged.owner] = sib_zone;
+    FreeTreeNode(leaf);
+    FreeTreeNode(sibling);
+    FreeZone(zone_index);
+    return;
+  }
+
+  // Sibling is a subtree: CAN's takeover. Deterministically pick the
+  // first internal node under the sibling whose children are both leaves
+  // (left-first descent), merge that leaf pair, and let the freed node
+  // take over the departing zone unchanged.
+  size_t pair = sibling;
+  while (tree_[tree_[pair].left].dim != -1 ||
+         tree_[tree_[pair].right].dim != -1) {
+    pair = tree_[tree_[pair].left].dim != -1 ? tree_[pair].left
+                                             : tree_[pair].right;
+  }
+  const size_t a_leaf = tree_[pair].left;
+  const size_t b_leaf = tree_[pair].right;
+  const size_t a_zone = tree_[a_leaf].zone_index;
+  const size_t b_zone = tree_[b_leaf].zone_index;
+  const uint32_t donated = zones_[b_zone].owner;
+
+  // Merge a+b into their parent's rectangle, owned by a's owner.
+  Zone merged = zones_[a_zone];
+  merged.x0 = std::min(zones_[a_zone].x0, zones_[b_zone].x0);
+  merged.x1 = std::max(zones_[a_zone].x1, zones_[b_zone].x1);
+  merged.y0 = std::min(zones_[a_zone].y0, zones_[b_zone].y0);
+  merged.y1 = std::max(zones_[a_zone].y1, zones_[b_zone].y1);
+  zones_[a_zone] = merged;
+  TreeNode& pp = tree_[pair];
+  pp.dim = -1;
+  pp.split = 0;
+  pp.left = kNone;
+  pp.right = kNone;
+  pp.zone_index = a_zone;
+  zone_of_node_[merged.owner] = a_zone;
+  FreeTreeNode(a_leaf);
+  FreeTreeNode(b_leaf);
+  FreeZone(b_zone);
+
+  // The donated node takes over the departing zone as-is.
+  zones_[zone_index].owner = donated;
+  zone_of_node_[donated] = zone_index;
 }
 
 uint32_t CanOverlay::OwnerOf(double x, double y) const {
@@ -121,14 +241,14 @@ uint32_t CanOverlay::OwnerOf(double x, double y) const {
 }
 
 const CanOverlay::Zone& CanOverlay::ZoneOfNode(uint32_t node_index) const {
-  assert(zone_of_node_[node_index] >= 0);
+  assert(zone_of_node_[node_index] != kNone);
   return zones_[zone_of_node_[node_index]];
 }
 
 Result<RouteResult> CanOverlay::Route(uint32_t from_index,
                                       const NodeId& key) const {
-  if (zones_.empty()) return Status::Unavailable("can: no alive node");
-  if (zone_of_node_[from_index] < 0) {
+  if (zone_count_ == 0) return Status::Unavailable("can: no alive node");
+  if (!HasZone(from_index)) {
     return Status::InvalidArgument("can: source node has no zone");
   }
 
@@ -144,8 +264,8 @@ Result<RouteResult> CanOverlay::Route(uint32_t from_index,
   double cx = (zone->x0 + zone->x1) / 2;
   double cy = (zone->y0 + zone->y1) / 2;
 
-  const int max_hops =
-      static_cast<int>(8 * std::sqrt(static_cast<double>(zones_.size()))) +
+  const int64_t max_hops =
+      static_cast<int64_t>(8 * std::sqrt(static_cast<double>(zone_count_))) +
       64;
   while (zone->owner != owner) {
     if (result.hops > max_hops) {

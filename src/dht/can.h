@@ -8,6 +8,17 @@
 // split it in half along its longer dimension); routing is greedy
 // per-axis toward the target point, counting one hop per zone crossed,
 // giving the characteristic O(sqrt N) path lengths.
+//
+// Churn: AddNode runs the join split for one node; RemoveNode runs the
+// leave procedure (merge with a sibling leaf, or takeover by a node
+// donated from the sibling subtree) — both O(depth), so a million-node
+// partition absorbs joins/leaves without rebuilds. Tree and zone slots
+// freed by departures are recycled through free lists, keeping memory
+// bounded under sustained churn.
+//
+// All container indices are size_t (not int): at N = 10^7 the tree holds
+// ~2N entries and per-trial hop counters sum across millions of routes,
+// which is exactly where narrow index arithmetic starts to bite.
 
 #ifndef SEP2P_DHT_CAN_H_
 #define SEP2P_DHT_CAN_H_
@@ -22,6 +33,9 @@ namespace sep2p::dht {
 
 class CanOverlay : public RoutingOverlay {
  public:
+  // Sentinel for "no slot" in tree/zone index fields.
+  static constexpr size_t kNone = static_cast<size_t>(-1);
+
   struct Zone {
     double x0 = 0, x1 = 1, y0 = 0, y1 = 1;  // half-open [x0,x1) x [y0,y1)
     uint32_t owner = 0;                      // Directory index
@@ -34,7 +48,8 @@ class CanOverlay : public RoutingOverlay {
   };
 
   // Builds the zone partition for all alive nodes in `directory` (which
-  // must outlive the overlay and not churn afterwards).
+  // must outlive the overlay; later membership changes are applied with
+  // AddNode/RemoveNode).
   explicit CanOverlay(const Directory* directory);
 
   // Maps a 256-bit key/id to its point on the torus (bytes 16..31, i.e.
@@ -55,9 +70,29 @@ class CanOverlay : public RoutingOverlay {
   }
   const char* name() const override { return "can"; }
 
-  size_t zone_count() const { return zones_.size(); }
+  // ---------------------------------------------------------------
+  // Incremental maintenance (CAN join / leave).
+
+  // Splits the zone containing the node's point; O(tree depth). The node
+  // must not already own a zone.
+  void AddNode(uint32_t node_index);
+  // Leave: the zone merges with its sibling leaf, or — when the sibling
+  // is a subtree — a sibling-leaf pair is merged and the freed node takes
+  // over the departing zone; O(tree depth). No-op if the node owns no
+  // zone.
+  void RemoveNode(uint32_t node_index);
+
+  // Number of zones currently in the partition (== nodes with a zone).
+  size_t zone_count() const { return zone_count_; }
+  // Zone slots including recycled holes; zone(i) for i < zone_slots() may
+  // be a dead slot (HasZone tells live ones apart).
+  size_t zone_slots() const { return zones_.size(); }
   const Zone& zone(size_t i) const { return zones_[i]; }
-  // Zone owned by a directory index (must be alive at construction).
+  bool HasZone(uint32_t node_index) const {
+    return node_index < zone_of_node_.size() &&
+           zone_of_node_[node_index] != kNone;
+  }
+  // Zone owned by a directory index (must currently own one).
   const Zone& ZoneOfNode(uint32_t node_index) const;
 
  private:
@@ -65,18 +100,27 @@ class CanOverlay : public RoutingOverlay {
     // Internal: dim >= 0 (0 = x, 1 = y) with children; leaf: dim == -1.
     int dim = -1;
     double split = 0;
-    int left = -1;
-    int right = -1;
-    int zone_index = -1;
+    size_t parent = kNone;
+    size_t left = kNone;
+    size_t right = kNone;
+    size_t zone_index = kNone;
   };
 
-  int LocateLeaf(double x, double y) const;
+  size_t LocateLeaf(double x, double y) const;
   void Insert(uint32_t node_index, double x, double y);
+  size_t AllocTreeNode();
+  size_t AllocZone();
+  void FreeTreeNode(size_t index);
+  void FreeZone(size_t index);
 
   const Directory* directory_;
   std::vector<TreeNode> tree_;
   std::vector<Zone> zones_;
-  std::vector<int> zone_of_node_;  // directory index -> zone index (-1 none)
+  std::vector<size_t> zone_of_node_;  // directory index -> zone (kNone none)
+  std::vector<size_t> free_tree_;
+  std::vector<size_t> free_zones_;
+  size_t root_ = kNone;
+  size_t zone_count_ = 0;
 };
 
 }  // namespace sep2p::dht

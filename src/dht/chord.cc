@@ -2,10 +2,8 @@
 
 namespace sep2p::dht {
 
-int ChordOverlay::kMaxHops = 200;
-
-ChordOverlay::ChordOverlay(const Directory* directory)
-    : directory_(directory) {}
+ChordOverlay::ChordOverlay(const Directory* directory, int max_hops)
+    : directory_(directory), max_hops_(max_hops) {}
 
 Result<RouteResult> ChordOverlay::Route(uint32_t from_index,
                                         RingPos target) const {
@@ -19,8 +17,8 @@ Result<RouteResult> ChordOverlay::Route(uint32_t from_index,
   result.dest_index = owner;
 
   uint32_t current = from_index;
-  while (current != owner && result.hops < kMaxHops) {
-    RingPos cur_pos = directory_->node(current).pos;
+  while (current != owner && result.hops < max_hops_) {
+    RingPos cur_pos = directory_->pos(current);
     RingPos dist_to_target = ClockwiseDistance(cur_pos, target);
 
     // Closest preceding finger: the largest 2^j jump that stays strictly
@@ -33,7 +31,7 @@ Result<RouteResult> ChordOverlay::Route(uint32_t from_index,
           directory_->SuccessorIndex(cur_pos + jump);
       if (!finger.has_value()) break;
       RingPos finger_dist =
-          ClockwiseDistance(cur_pos, directory_->node(*finger).pos);
+          ClockwiseDistance(cur_pos, directory_->pos(*finger));
       // The finger must make progress but not overshoot the target.
       if (finger_dist > 0 && finger_dist < dist_to_target) {
         next = *finger;

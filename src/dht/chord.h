@@ -23,8 +23,9 @@ namespace sep2p::dht {
 
 class ChordOverlay : public RoutingOverlay {
  public:
-  // `directory` must outlive the overlay.
-  explicit ChordOverlay(const Directory* directory);
+  // `directory` must outlive the overlay. `max_hops` bounds the greedy
+  // walk; the default comfortably covers O(log2 N) routing up to N=10^7.
+  explicit ChordOverlay(const Directory* directory, int max_hops = 200);
 
   // Routes from `from_index` to the owner of `target`; every forwarding
   // step counts as one hop (one message).
@@ -40,11 +41,14 @@ class ChordOverlay : public RoutingOverlay {
   }
   const char* name() const override { return "chord"; }
 
-  // Expected O(log2 N) upper bound used in sanity tests.
-  static int kMaxHops;
+  // Expected O(log2 N) upper bound used in sanity tests. Per-overlay
+  // (NOT process-global static): concurrent trials own independent
+  // overlays and must not share mutable routing limits.
+  int max_hops() const { return max_hops_; }
 
  private:
   const Directory* directory_;
+  int max_hops_;
 };
 
 }  // namespace sep2p::dht

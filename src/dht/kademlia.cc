@@ -72,7 +72,7 @@ Result<RouteResult> KademliaOverlay::RouteKey(uint32_t from_index,
     if (++guard > 160) {
       return Status::Internal("kademlia: routing failed to converge");
     }
-    const RingPos pos = directory_->node(current).pos;
+    const RingPos pos = directory_->pos(current);
     const RingPos distance = XorDistance(pos, target);
     if (distance == 0) break;  // same position as the target key
 

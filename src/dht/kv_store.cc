@@ -37,7 +37,7 @@ Result<KvStore::GetResult> KvStore::Get(uint32_t from_index,
     ++result.replicas_tried;
 
     const uint32_t holder = route->dest_index;
-    if (!directory_->node(holder).alive) continue;
+    if (!directory_->alive(holder)) continue;
     reached_alive = true;
     result.replica_index = holder;
     auto node_it = storage_.find(holder);

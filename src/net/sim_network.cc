@@ -261,7 +261,7 @@ SimNetwork::RpcResult SimNetwork::Call(uint32_t client, uint32_t server,
       AdvanceTo(now_us_);
       // Consume the matching reply; anything else sitting in the inbox
       // is a stale reply from an abandoned attempt or parallel branch.
-      std::deque<Delivery>& inbox = endpoints_[client].inbox;
+      std::vector<Delivery>& inbox = endpoints_[client].inbox;
       for (Delivery& d : inbox) {
         if (d.seq == reply_seq) {
           result.ok = true;

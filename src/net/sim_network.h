@@ -30,7 +30,6 @@
 #define SEP2P_NET_SIM_NETWORK_H_
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <optional>
 #include <vector>
@@ -249,7 +248,10 @@ class SimNetwork {
     std::vector<uint8_t> payload;
   };
   struct Endpoint {
-    std::deque<Delivery> inbox;
+    // vector, not deque: libstdc++'s deque eagerly allocates a ~512-byte
+    // map+block per instance, which at 10^6 endpoints is ~0.5 GB of dead
+    // weight. Inboxes only ever push_back / iterate / clear.
+    std::vector<Delivery> inbox;
     uint64_t crash_at_us = UINT64_MAX;
   };
   struct Later {

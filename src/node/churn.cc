@@ -66,13 +66,13 @@ MaintenanceReport ChurnSimulator::Run(double mtbf_hours, double sim_hours,
     Event event = queue.top();
     queue.pop();
     if (event.disconnect) {
-      if (!directory_->node(event.node).alive) continue;
+      if (!directory_->alive(event.node)) continue;
       directory_->SetAlive(event.node, false);
       ++report.churn_cycles;
       // The covering caches are those whose region includes the node: by
       // symmetry, the nodes inside an rs3 region centered on it.
       dht::Region around =
-          dht::Region::Centered(directory_->node(event.node).pos, rs3);
+          dht::Region::Centered(directory_->pos(event.node), rs3);
       double covering =
           static_cast<double>(directory_->CountInRegion(around));
       CycleCost cost = CostOfCycle(k_, covering);

@@ -25,26 +25,24 @@ std::vector<uint8_t> AttestedCache::SignedBytes() const {
 Result<AttestedCache> JoinProtocol::AttestCache(uint32_t owner_index,
                                                 util::Rng& rng) const {
   const dht::Directory& dir = *ctx_.directory;
-  const dht::NodeRecord& owner = dir.node(owner_index);
-
   AttestedCache cache;
-  cache.owner_cert = owner.cert;
+  cache.owner_cert = dir.cert(owner_index);
   cache.timestamp = ctx_.now;
 
   NodeCache view(&dir, owner_index, ctx_.rs3);
   for (uint32_t idx : view.Entries()) {
-    cache.entries.push_back(dir.node(idx).pub);
+    cache.entries.push_back(dir.pub(idx));
   }
 
   // k legitimate attestors around the owner (R1 capped at the cache
   // coverage, as everywhere).
   core::KTable::Choice choice =
-      ctx_.ktable->ChooseForPoint(dir, owner.pos, ctx_.rs3);
+      ctx_.ktable->ChooseForPoint(dir, dir.pos(owner_index), ctx_.rs3);
   if (!choice.found) {
     return Status::ResourceExhausted("attest: owner's region too sparse");
   }
   cache.rs1 = choice.entry.rs;
-  dht::Region r1 = dht::Region::Centered(owner.pos, cache.rs1);
+  dht::Region r1 = dht::Region::Centered(dir.pos(owner_index), cache.rs1);
   std::vector<uint32_t> attestors = dir.NodesInRegion(r1);
   std::erase(attestors, owner_index);
   if (attestors.size() < static_cast<size_t>(choice.entry.k)) {
@@ -60,7 +58,7 @@ Result<AttestedCache> JoinProtocol::AttestCache(uint32_t owner_index,
   for (uint32_t attestor : attestors) {
     Result<crypto::Signature> sig = ctx_.SignAs(attestor, signed_bytes);
     if (!sig.ok()) return sig.status();
-    cache.attestations.push_back({dir.node(attestor).cert, *sig});
+    cache.attestations.push_back({dir.cert(attestor), *sig});
   }
   return cache;
 }
@@ -68,14 +66,14 @@ Result<AttestedCache> JoinProtocol::AttestCache(uint32_t owner_index,
 Result<JoinProtocol::Outcome> JoinProtocol::Join(uint32_t newcomer_index,
                                                  util::Rng& rng) const {
   const dht::Directory& dir = *ctx_.directory;
-  const dht::NodeRecord& newcomer = dir.node(newcomer_index);
+  const dht::RingPos newcomer_pos = dir.pos(newcomer_index);
 
   // Chord neighbors of the newcomer (skipping itself).
-  std::optional<uint32_t> successor = dir.SuccessorIndex(newcomer.pos + 1);
+  std::optional<uint32_t> successor = dir.SuccessorIndex(newcomer_pos + 1);
   if (!successor.has_value() || *successor == newcomer_index) {
     return Status::Unavailable("join: no successor");
   }
-  std::optional<uint32_t> predecessor = dir.PredecessorIndex(newcomer.pos);
+  std::optional<uint32_t> predecessor = dir.PredecessorIndex(newcomer_pos);
   if (!predecessor.has_value() || *predecessor == newcomer_index) {
     return Status::Unavailable("join: no predecessor");
   }
@@ -98,11 +96,11 @@ Result<JoinProtocol::Outcome> JoinProtocol::Join(uint32_t newcomer_index,
     if (!verified.ok()) return verified.status();
     outcome.cost.Then(*verified);
     pool.insert(attested->entries.begin(), attested->entries.end());
-    pool.insert(dir.node(neighbor).pub);  // the neighbor itself is known
+    pool.insert(dir.pub(neighbor));  // the neighbor itself is known
   }
 
   // Keep the union's entries legitimate w.r.t. rs3 centered on self.
-  dht::Region coverage = dht::Region::Centered(newcomer.pos, ctx_.rs3);
+  dht::Region coverage = dht::Region::Centered(newcomer_pos, ctx_.rs3);
   for (const crypto::PublicKey& key : pool) {
     dht::NodeId id = dht::NodeIdForKey(key);
     if (!coverage.Contains(id)) continue;

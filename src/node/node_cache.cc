@@ -6,7 +6,7 @@ NodeCache::NodeCache(const dht::Directory* directory, uint32_t owner_index,
                      double rs3)
     : directory_(directory),
       owner_(owner_index),
-      coverage_(dht::Region::Centered(directory->node(owner_index).pos,
+      coverage_(dht::Region::Centered(directory->pos(owner_index),
                                       rs3)) {}
 
 std::vector<uint32_t> NodeCache::Entries() const {
@@ -22,14 +22,14 @@ std::vector<uint32_t> NodeCache::LegitimateFor(
   std::vector<uint32_t> out;
   for (uint32_t idx : directory_->NodesInRegion(region)) {
     if (idx == owner_) continue;
-    if (coverage_.Contains(directory_->node(idx).pos)) out.push_back(idx);
+    if (coverage_.Contains(directory_->pos(idx))) out.push_back(idx);
   }
   return out;
 }
 
 bool NodeCache::Covers(uint32_t index) const {
   return index != owner_ &&
-         coverage_.Contains(directory_->node(index).pos);
+         coverage_.Contains(directory_->pos(index));
 }
 
 }  // namespace sep2p::node

@@ -106,6 +106,11 @@ const char* CounterName(Counter c) {
     case Counter::kTasksFailed: return "tasks_failed";
     case Counter::kVerifyBatches: return "verify_batches";
     case Counter::kVerifyBatchItems: return "verify_batch_items";
+    case Counter::kChurnJoins: return "churn_joins";
+    case Counter::kChurnJoinsRejected: return "churn_joins_rejected";
+    case Counter::kChurnLeaves: return "churn_leaves";
+    case Counter::kChurnCrashes: return "churn_crashes";
+    case Counter::kChurnCertsIssued: return "churn_certs_issued";
     case Counter::kCount: break;
   }
   return "unknown";

@@ -112,6 +112,14 @@ enum class Counter : size_t {
   // Batched-verification traffic (crypto/batch_verifier.h).
   kVerifyBatches,
   kVerifyBatchItems,
+  // Continuous-churn driver events (sim/churn_driver.h). Joins split
+  // into attested (§3.6 join ran and verified) vs rejected; leaves are
+  // graceful departures, crashes are failures.
+  kChurnJoins,
+  kChurnJoinsRejected,
+  kChurnLeaves,
+  kChurnCrashes,
+  kChurnCertsIssued,
   kCount,  // sentinel
 };
 

@@ -461,7 +461,7 @@ Result<ExhaustiveStats> RunExhaustiveSetters(
           util::Rng rng(StreamSeed(trial_seed, static_cast<uint64_t>(t)));
           // Force the setter point onto this node's exact position.
           crypto::Hash256 point = crypto::Hash256::FromRingPos(
-              net.directory().node(setters[t]).pos);
+              net.directory().pos(setters[t]));
           core::SelectionOptions options;
           options.forced_point = &point;
           options.trace = RecorderFor(observers, 0, t);
@@ -904,7 +904,7 @@ Result<AlphaPoint> ProbeAlpha(const Parameters& base, double alpha,
     if (round > 0) net.ReassignColluders(rng);
     std::vector<dht::RingPos>& colluders = rounds[round];
     for (uint32_t idx : net.ColluderIndices()) {
-      colluders.push_back(net.directory().node(idx).pos);
+      colluders.push_back(net.directory().pos(idx));
     }
     std::sort(colluders.begin(), colluders.end());
   }

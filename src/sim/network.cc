@@ -1,5 +1,6 @@
 #include "sim/network.h"
 
+#include <algorithm>
 #include <mutex>
 
 #include "core/probability.h"
@@ -47,17 +48,23 @@ Result<std::unique_ptr<Network>> Network::Build(const Parameters& params) {
   // RNG stream and gets serial `first_serial + i`, so the provisioned
   // network is a pure function of the parameters — identical for every
   // thread count.
-  std::vector<dht::NodeRecord> records(params.n);
-  const uint64_t first_serial = network->ca_->ReserveSerials(params.n);
+  // Churn-pool nodes (indices n..n+pool) are provisioned dead and
+  // WITHOUT a CA signature: certificate issuance is part of the join
+  // they will later perform (sim/churn_driver.h), which is exactly the
+  // CA load the paper's §3.6 analysis charges to churn. Their serials
+  // are reserved here so issuance order never depends on join order.
+  const uint64_t total = params.n + params.churn_pool;
+  std::vector<dht::NodeRecord> records(total);
+  const uint64_t first_serial = network->ca_->ReserveSerials(total);
   const uint64_t provision_seed = MixSeed(params.seed, kProvisionSalt);
   std::mutex error_mutex;
-  uint64_t error_index = params.n;
+  uint64_t error_index = total;
   Status error = Status::Ok();
 
   const int threads = util::ThreadPool::ResolveThreads(params.threads);
   util::ThreadPool pool(threads <= 1 ? 0 : threads);
   pool.ParallelFor(
-      params.n,
+      total,
       [&](size_t i) {
         auto fail = [&](Status status) {
           std::lock_guard<std::mutex> lock(error_mutex);
@@ -73,16 +80,22 @@ Result<std::unique_ptr<Network>> Network::Build(const Parameters& params) {
           fail(pair.status());
           return;
         }
-        Result<crypto::Certificate> cert =
-            network->ca_->IssueWithSerial(pair->pub, first_serial + i);
-        if (!cert.ok()) {
-          fail(cert.status());
-          return;
-        }
         dht::NodeRecord& record = records[i];
+        if (i < params.n) {
+          Result<crypto::Certificate> cert =
+              network->ca_->IssueWithSerial(pair->pub, first_serial + i);
+          if (!cert.ok()) {
+            fail(cert.status());
+            return;
+          }
+          record.cert = std::move(cert.value());
+        } else {
+          record.cert.subject = pair->pub;
+          record.cert.serial = first_serial + i;
+          record.alive = false;
+        }
         record.pub = pair->pub;
         record.priv = std::move(pair->priv);
-        record.cert = std::move(cert.value());
         record.id = dht::NodeIdForKey(record.pub);
         record.pos = record.id.ring_pos();
       },
@@ -130,23 +143,32 @@ core::ProtocolContext Network::context() {
   return ctx;
 }
 
-std::vector<uint32_t> Network::ColluderIndices() const {
-  std::vector<uint32_t> out;
-  for (uint32_t i = 0; i < directory_->size(); ++i) {
-    if (directory_->node(i).colluding) out.push_back(i);
+void Network::ReassignColluders(util::Rng& rng) {
+  for (uint32_t idx : colluder_indices_) {
+    directory_->SetColluding(idx, false);
   }
-  return out;
+  // Sample over the alive population (pool/departed nodes never collude;
+  // their handles are interleaved with alive ones because the directory
+  // sorts by ring position). With no pool and no churn the k-th alive
+  // node IS handle k, so the RNG stream and the chosen set are
+  // bit-identical to the historical sample-over-[0, n) path.
+  const size_t alive = directory_->alive_count();
+  std::vector<size_t> chosen = rng.SampleIndices(
+      alive, std::min<uint64_t>(params_.c(), alive));
+  colluder_indices_.clear();
+  colluder_indices_.reserve(chosen.size());
+  for (size_t k : chosen) {
+    const uint32_t idx = *directory_->NthAlive(k);
+    directory_->SetColluding(idx, true);
+    colluder_indices_.push_back(idx);
+  }
+  std::sort(colluder_indices_.begin(), colluder_indices_.end());
 }
 
-void Network::ReassignColluders(util::Rng& rng) {
-  for (uint32_t i = 0; i < directory_->size(); ++i) {
-    directory_->mutable_node(i).colluding = false;
-  }
-  std::vector<size_t> chosen =
-      rng.SampleIndices(directory_->size(), params_.c());
-  for (size_t idx : chosen) {
-    directory_->mutable_node(static_cast<uint32_t>(idx)).colluding = true;
-  }
+void Network::RefreshKTable(uint64_t population) {
+  ktable_.emplace(core::KTable::Build(population, params_.c(), params_.alpha));
+  tolerance_rs_ =
+      core::SolveRegionSizeForPopulation(1, population, params_.alpha);
 }
 
 }  // namespace sep2p::sim

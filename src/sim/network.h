@@ -54,11 +54,22 @@ class Network {
   void set_verify_sink(crypto::VerifySink* sink) { verify_sink_ = sink; }
   crypto::VerifySink* verify_sink() const { return verify_sink_; }
 
-  // Directory indices of the colluding nodes.
-  std::vector<uint32_t> ColluderIndices() const;
+  // Directory indices of the colluding nodes, ascending.
+  const std::vector<uint32_t>& ColluderIndices() const {
+    return colluder_indices_;
+  }
 
   // Re-randomizes which nodes collude (same C), for repeated trials.
+  // O(C): clears the previous sample and applies the new one instead of
+  // resetting all N flags — at N=10^6+ the full wipe dominated per-trial
+  // reset. Draws the same RNG stream as the historical full-wipe path,
+  // so assignments are bit-identical to it. Colluders are sampled among
+  // the initial population (churn-pool nodes never collude).
   void ReassignColluders(util::Rng& rng);
+
+  // Rebuilds the k-table for a new effective population (churn drivers
+  // call this when the alive count drifts far from the k-table's N).
+  void RefreshKTable(uint64_t population);
 
  private:
   Network(const Parameters& params) : params_(params), rng_(params.seed) {}
@@ -73,6 +84,7 @@ class Network {
   std::optional<core::KTable> ktable_;
   double tolerance_rs_ = 0;
   crypto::VerifySink* verify_sink_ = nullptr;
+  std::vector<uint32_t> colluder_indices_;  // ascending
 };
 
 }  // namespace sep2p::sim

@@ -8,11 +8,12 @@ std::string Parameters::ToString() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "N=%llu C=%llu (%.4g%%) A=%d alpha=%.1e cache=%zu seed=%llu "
-                "provider=%s overlay=%s threads=%s",
+                "pool=%llu provider=%s overlay=%s threads=%s",
                 static_cast<unsigned long long>(n),
                 static_cast<unsigned long long>(c()),
                 colluding_fraction * 100.0, actor_count, alpha, cache_size,
                 static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(churn_pool),
                 provider == ProviderKind::kSim ? "sim" : "ed25519",
                 overlay == OverlayKind::kChord ? "chord" : "can",
                 threads <= 0 ? "auto"

@@ -25,6 +25,11 @@ struct Parameters {
   // 0 (default) = one per hardware thread. Results are bit-identical for
   // every value (see sim/trial_runner.h).
   int threads = 0;
+  // Extra nodes provisioned dead (key pair + imposed location, no CA
+  // certificate yet) as a standby pool for churn drivers: activating one
+  // is O(log N) in the directory, and its certificate is issued through
+  // the attested-join path at join time (sim/churn_driver.h).
+  uint64_t churn_pool = 0;
 
   enum class ProviderKind { kSim, kEd25519 };
   // Real Ed25519 everywhere is the default for small networks; large

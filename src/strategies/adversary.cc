@@ -9,8 +9,8 @@ std::optional<uint32_t> FindClaimingColluder(const dht::Directory& directory,
   std::optional<uint32_t> best;
   dht::RingPos best_distance = 0;
   for (uint32_t idx : directory.NodesInRegion(tolerance)) {
-    if (!directory.node(idx).colluding) continue;
-    dht::RingPos d = dht::RingDistance(directory.node(idx).pos, p);
+    if (!directory.colluding(idx)) continue;
+    dht::RingPos d = dht::RingDistance(directory.pos(idx), p);
     if (!best.has_value() || d < best_distance) {
       best = idx;
       best_distance = d;

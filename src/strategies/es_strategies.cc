@@ -42,7 +42,7 @@ Result<StrategyOutcome> EsStrategyBase::Run(uint32_t trigger_index,
     setter = FindClaimingColluder(dir, p, ctx_.tolerance_rs);
   }
   if (!setter.has_value()) setter = route->dest_index;
-  const bool setter_corrupted = dir.node(*setter).colluding;
+  const bool setter_corrupted = dir.colluding(*setter);
 
   if (setter_corrupted && adversary_.stuff_actor_list) {
     outcome.attacker_controlled = true;
@@ -58,7 +58,7 @@ Result<StrategyOutcome> EsStrategyBase::Run(uint32_t trigger_index,
     dht::Region r3 = dht::Region::Centered(p, ctx_.rs3);
     std::vector<uint32_t> colluders, honest;
     for (uint32_t idx : dir.NodesInRegion(r3)) {
-      (dir.node(idx).colluding ? colluders : honest).push_back(idx);
+      (dir.colluding(idx) ? colluders : honest).push_back(idx);
     }
     // Colluders anywhere in the network can be enrolled by the corrupted
     // Setter — it freely chooses the list.
@@ -67,7 +67,7 @@ Result<StrategyOutcome> EsStrategyBase::Run(uint32_t trigger_index,
                              static_cast<int>(colluders.size()) <
                                  ctx_.actor_count;
            ++idx) {
-        if (dir.node(idx).colluding &&
+        if (dir.colluding(idx) &&
             std::find(colluders.begin(), colluders.end(), idx) ==
                 colluders.end()) {
           colluders.push_back(idx);
@@ -89,7 +89,7 @@ Result<StrategyOutcome> EsStrategyBase::Run(uint32_t trigger_index,
 
   // Honest Setter: uniformly samples A actors from its node cache.
   dht::Region cache =
-      dht::Region::Centered(dir.node(*setter).pos, ctx_.rs3);
+      dht::Region::Centered(dir.pos(*setter), ctx_.rs3);
   std::vector<uint32_t> pool = dir.NodesInRegion(cache);
   if (pool.size() < static_cast<size_t>(ctx_.actor_count)) {
     return Status::ResourceExhausted("es: cache smaller than actor count");

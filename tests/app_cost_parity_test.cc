@@ -53,8 +53,8 @@ class AppCostParityTest : public ::testing::Test {
 };
 
 TEST_F(AppCostParityTest, ProxyDeliveryCostsTwoMessages) {
-  const auto& recipient = network_->directory().node(7);
-  auto delivery = ForwardViaProxy(*runtime_, *network_, 3, recipient.pub,
+  auto delivery = ForwardViaProxy(*runtime_, *network_, 3,
+                                  network_->directory().pub(7),
                                   {1, 2, 3}, rng_);
   ASSERT_TRUE(delivery.ok());
   EXPECT_TRUE(delivery->delivered_ok);
@@ -63,9 +63,9 @@ TEST_F(AppCostParityTest, ProxyDeliveryCostsTwoMessages) {
 }
 
 TEST_F(AppCostParityTest, ProxyChainCostsChainPlusOneMessages) {
-  const auto& recipient = network_->directory().node(7);
   auto delivery = ForwardViaProxyChain(*runtime_, *network_, 3,
-                                       recipient.pub, {1, 2, 3},
+                                       network_->directory().pub(7),
+                                       {1, 2, 3},
                                        /*chain_length=*/3, rng_);
   ASSERT_TRUE(delivery.ok());
   EXPECT_TRUE(delivery->delivered_ok);

@@ -30,7 +30,7 @@ TEST(ChordTest, RouteToSelfIsZeroHops) {
   auto dir = test::MakeDirectory(100);
   ChordOverlay chord(dir.get());
   for (uint32_t i = 0; i < dir->size(); i += 13) {
-    auto route = chord.Route(i, dir->node(i).pos);
+    auto route = chord.Route(i, dir->pos(i));
     ASSERT_TRUE(route.ok());
     EXPECT_EQ(route->dest_index, i);
     EXPECT_EQ(route->hops, 0);
@@ -89,12 +89,12 @@ TEST(ChordTest, RoutesAroundDeadNodes) {
     uint32_t from;
     do {
       from = rng.NextUint64(dir->size());
-    } while (!dir->node(from).alive);
+    } while (!dir->alive(from));
     RingPos target = (static_cast<RingPos>(rng.NextUint64()) << 64) |
                      rng.NextUint64();
     auto route = chord.Route(from, target);
     ASSERT_TRUE(route.ok());
-    EXPECT_TRUE(dir->node(route->dest_index).alive);
+    EXPECT_TRUE(dir->alive(route->dest_index));
   }
 }
 

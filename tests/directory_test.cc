@@ -14,14 +14,14 @@ namespace {
 TEST(DirectoryTest, SortedByRingPosition) {
   auto dir = test::MakeDirectory(500);
   for (uint32_t i = 1; i < dir->size(); ++i) {
-    EXPECT_LE(dir->node(i - 1).pos, dir->node(i).pos);
+    EXPECT_LE(dir->pos(i - 1), dir->pos(i));
   }
 }
 
 TEST(DirectoryTest, SuccessorOfOwnPositionIsSelf) {
   auto dir = test::MakeDirectory(200);
   for (uint32_t i = 0; i < dir->size(); i += 17) {
-    auto succ = dir->SuccessorIndex(dir->node(i).pos);
+    auto succ = dir->SuccessorIndex(dir->pos(i));
     ASSERT_TRUE(succ.has_value());
     EXPECT_EQ(*succ, i);
   }
@@ -29,7 +29,7 @@ TEST(DirectoryTest, SuccessorOfOwnPositionIsSelf) {
 
 TEST(DirectoryTest, SuccessorWrapsPastLastNode) {
   auto dir = test::MakeDirectory(100);
-  RingPos beyond_last = dir->node(dir->size() - 1).pos + 1;
+  RingPos beyond_last = dir->pos(dir->size() - 1) + 1;
   auto succ = dir->SuccessorIndex(beyond_last);
   ASSERT_TRUE(succ.has_value());
   EXPECT_EQ(*succ, 0u);  // wraps to the first node
@@ -38,7 +38,7 @@ TEST(DirectoryTest, SuccessorWrapsPastLastNode) {
 TEST(DirectoryTest, SuccessorSkipsDeadNodes) {
   auto dir = test::MakeDirectory(50);
   dir->SetAlive(3, false);
-  RingPos pos = dir->node(3).pos;
+  RingPos pos = dir->pos(3);
   auto succ = dir->SuccessorIndex(pos);
   ASSERT_TRUE(succ.has_value());
   EXPECT_EQ(*succ, 4u);
@@ -58,7 +58,7 @@ TEST(DirectoryTest, AliveCountTracksToggles) {
 TEST(DirectoryTest, PredecessorIsStrictlyBefore) {
   auto dir = test::MakeDirectory(200);
   for (uint32_t i = 0; i < dir->size(); i += 11) {
-    auto pred = dir->PredecessorIndex(dir->node(i).pos);
+    auto pred = dir->PredecessorIndex(dir->pos(i));
     ASSERT_TRUE(pred.has_value());
     // Strictly before on the ring: the predecessor of node i's position
     // is node i-1 (wrapping).
@@ -68,11 +68,11 @@ TEST(DirectoryTest, PredecessorIsStrictlyBefore) {
 
 TEST(DirectoryTest, PredecessorSkipsDeadNodes) {
   auto dir = test::MakeDirectory(50);
-  auto pred = dir->PredecessorIndex(dir->node(10).pos);
+  auto pred = dir->PredecessorIndex(dir->pos(10));
   ASSERT_TRUE(pred.has_value());
   EXPECT_EQ(*pred, 9u);
   dir->SetAlive(9, false);
-  pred = dir->PredecessorIndex(dir->node(10).pos);
+  pred = dir->PredecessorIndex(dir->pos(10));
   ASSERT_TRUE(pred.has_value());
   EXPECT_EQ(*pred, 8u);
   dir->SetAlive(9, true);
@@ -89,7 +89,7 @@ TEST(DirectoryTest, SuccessorAndPredecessorAreInverse) {
     ASSERT_TRUE(succ.has_value() && pred.has_value());
     // No alive node lies strictly between pred and probe or between
     // probe and succ (succ may equal probe's exact holder).
-    EXPECT_EQ(*dir->SuccessorIndex(dir->node(*pred).pos + 1), *succ);
+    EXPECT_EQ(*dir->SuccessorIndex(dir->pos(*pred) + 1), *succ);
   }
 }
 
@@ -97,7 +97,7 @@ TEST(DirectoryTest, NearestPicksCloserOfNeighbors) {
   auto dir = test::MakeDirectory(300);
   // Probe points between consecutive nodes.
   for (uint32_t i = 0; i + 1 < dir->size(); i += 23) {
-    RingPos a = dir->node(i).pos, b = dir->node(i + 1).pos;
+    RingPos a = dir->pos(i), b = dir->pos(i + 1);
     if (b - a < 4) continue;
     RingPos near_a = a + 1;
     auto nearest = dir->NearestIndex(near_a);
@@ -121,7 +121,7 @@ TEST(DirectoryTest, RegionQueryMatchesBruteForce) {
 
     std::vector<uint32_t> brute;
     for (uint32_t i = 0; i < dir->size(); ++i) {
-      if (region.Contains(dir->node(i).pos)) brute.push_back(i);
+      if (region.Contains(dir->pos(i))) brute.push_back(i);
     }
     std::vector<uint32_t> fast = dir->NodesInRegion(region);
     std::sort(fast.begin(), fast.end());
@@ -159,7 +159,7 @@ TEST(DirectoryTest, RegionQueryExcludesDeadNodes) {
 TEST(DirectoryTest, IndexOfFindsEveryNode) {
   auto dir = test::MakeDirectory(128);
   for (uint32_t i = 0; i < dir->size(); ++i) {
-    auto found = dir->IndexOf(dir->node(i).id);
+    auto found = dir->IndexOf(dir->id(i));
     ASSERT_TRUE(found.has_value());
     EXPECT_EQ(*found, i);
   }
@@ -183,7 +183,7 @@ TEST(DirectoryTest, ImposedIdsAreUniformAcrossRing) {
   auto dir = test::MakeDirectory(4000);
   int buckets[16] = {};
   for (uint32_t i = 0; i < dir->size(); ++i) {
-    int b = static_cast<int>(dir->node(i).pos >> 124);
+    int b = static_cast<int>(dir->pos(i) >> 124);
     ++buckets[b];
   }
   for (int b : buckets) EXPECT_NEAR(b, 250, 80);

@@ -43,7 +43,7 @@ TEST_F(JoinTest, AttestedEntriesMatchTheOwnersRealCache) {
   NodeCache truth(&network_->directory(), 99, ctx_.rs3);
   std::vector<crypto::PublicKey> expected;
   for (uint32_t idx : truth.Entries()) {
-    expected.push_back(network_->directory().node(idx).pub);
+    expected.push_back(network_->directory().pub(idx));
   }
   EXPECT_EQ(cache->entries, expected);
 }
@@ -67,10 +67,10 @@ TEST_F(JoinTest, ForeignAttestorRejected) {
   // A node far from the owner signs the same bytes — legit signature,
   // wrong region.
   const dht::Directory& dir = network_->directory();
-  dht::Region r1 = dht::Region::Centered(dir.node(15).pos, cache->rs1);
+  dht::Region r1 = dht::Region::Centered(dir.pos(15), cache->rs1);
   uint32_t outsider = 0;
   for (uint32_t i = 0; i < dir.size(); ++i) {
-    if (!r1.Contains(dir.node(i).pos)) {
+    if (!r1.Contains(dir.pos(i))) {
       outsider = i;
       break;
     }
@@ -78,7 +78,7 @@ TEST_F(JoinTest, ForeignAttestorRejected) {
   auto sig = ctx_.SignAs(outsider, cache->SignedBytes());
   ASSERT_TRUE(sig.ok());
   AttestedCache forged = *cache;
-  forged.attestations[0] = {dir.node(outsider).cert, *sig};
+  forged.attestations[0] = {dir.cert(outsider), *sig};
   EXPECT_FALSE(VerifyAttestedCache(ctx_, forged).ok());
 }
 

@@ -29,7 +29,7 @@ TEST(KademliaTest, XorNearestMatchesBruteForce) {
     uint32_t best = 0;
     RingPos best_distance = ~static_cast<RingPos>(0);
     for (uint32_t i = 0; i < dir->size(); ++i) {
-      RingPos d = KademliaOverlay::XorDistance(dir->node(i).pos, target);
+      RingPos d = KademliaOverlay::XorDistance(dir->pos(i), target);
       if (d < best_distance) {
         best_distance = d;
         best = i;
@@ -51,14 +51,14 @@ TEST(KademliaTest, XorNearestInIntervalRespectsBounds) {
     RingPos target = RandomPos(rng);
     auto found = kad.XorNearestInInterval(target, lo, hi);
     if (!found.has_value()) continue;
-    RingPos pos = dir->node(*found).pos;
+    RingPos pos = dir->pos(*found);
     EXPECT_GE(pos, lo);
     if (hi != 0) {
       EXPECT_LT(pos, hi);  // hi == 0: interval ends at 2^128
     }
     // Optimality within the interval (brute force).
     for (uint32_t i = 0; i < dir->size(); ++i) {
-      RingPos p = dir->node(i).pos;
+      RingPos p = dir->pos(i);
       if (p < lo || (hi != 0 && p >= hi)) continue;
       EXPECT_LE(KademliaOverlay::XorDistance(pos, target),
                 KademliaOverlay::XorDistance(p, target));
@@ -85,7 +85,7 @@ TEST(KademliaTest, RouteToOwnKeyIsZeroHops) {
   auto dir = test::MakeDirectory(300);
   KademliaOverlay kad(dir.get());
   for (uint32_t i = 0; i < dir->size(); i += 37) {
-    auto route = kad.RouteKey(i, dir->node(i).id);
+    auto route = kad.RouteKey(i, dir->id(i));
     ASSERT_TRUE(route.ok());
     EXPECT_EQ(route->dest_index, i);
     EXPECT_EQ(route->hops, 0);
@@ -119,11 +119,11 @@ TEST(KademliaTest, RoutesAroundDeadNodes) {
     uint32_t from;
     do {
       from = rng.NextUint64(dir->size());
-    } while (!dir->node(from).alive);
+    } while (!dir->alive(from));
     NodeId key = NodeId::Of("x" + std::to_string(trial));
     auto route = kad.RouteKey(from, key);
     ASSERT_TRUE(route.ok());
-    EXPECT_TRUE(dir->node(route->dest_index).alive);
+    EXPECT_TRUE(dir->alive(route->dest_index));
   }
 }
 

@@ -86,11 +86,11 @@ TEST(KTableTest, ChooseForPointFindsUsableEntry) {
   for (int trial = 0; trial < 50; ++trial) {
     uint32_t node = rng.NextUint64(dir->size());
     KTable::Choice choice =
-        table.ChooseForPoint(*dir, dir->node(node).pos);
+        table.ChooseForPoint(*dir, dir->pos(node));
     ASSERT_TRUE(choice.found);
     // The chosen entry's region truly contains enough other nodes.
     dht::Region region =
-        dht::Region::Centered(dir->node(node).pos, choice.entry.rs);
+        dht::Region::Centered(dir->pos(node), choice.entry.rs);
     size_t population = dir->CountInRegion(region);
     EXPECT_GE(population, static_cast<size_t>(choice.entry.k));
   }
@@ -101,7 +101,7 @@ TEST(KTableTest, ChooseForPointExcludesCenterNode) {
   // towards its own quorum.
   auto dir = test::MakeDirectory(100);
   KTable table = KTable::Build(100, 2, 1e-3);
-  KTable::Choice choice = table.ChooseForPoint(*dir, dir->node(0).pos);
+  KTable::Choice choice = table.ChooseForPoint(*dir, dir->pos(0));
   ASSERT_TRUE(choice.found);
   EXPECT_GE(choice.population, static_cast<size_t>(choice.entry.k));
 }
@@ -116,7 +116,7 @@ TEST(KTableTest, DenserNeighborhoodsGetSmallerK) {
   util::Rng rng(2);
   for (int i = 0; i < samples; ++i) {
     uint32_t node = rng.NextUint64(dir->size());
-    KTable::Choice choice = table.ChooseForPoint(*dir, dir->node(node).pos);
+    KTable::Choice choice = table.ChooseForPoint(*dir, dir->pos(node));
     ASSERT_TRUE(choice.found);
     sum_k += choice.entry.k;
   }

@@ -31,9 +31,9 @@ TEST(NetworkTest, NodeIdsAreImposedFromPublicKeys) {
   auto network = test::MakeNetwork(200, 0.01);
   ASSERT_NE(network, nullptr);
   for (uint32_t i = 0; i < network->directory().size(); ++i) {
-    const dht::NodeRecord& node = network->directory().node(i);
-    EXPECT_EQ(node.id, dht::NodeIdForKey(node.pub));
-    EXPECT_EQ(node.pos, node.id.ring_pos());
+    const dht::Directory& dir = network->directory();
+    EXPECT_EQ(dir.id(i), dht::NodeIdForKey(dir.pub(i)));
+    EXPECT_EQ(dir.pos(i), dir.id(i).ring_pos());
   }
 }
 
@@ -41,7 +41,7 @@ TEST(NetworkTest, EveryCertificateChecksOut) {
   auto network = test::MakeNetwork(200, 0.01);
   ASSERT_NE(network, nullptr);
   for (uint32_t i = 0; i < network->directory().size(); ++i) {
-    EXPECT_TRUE(network->ca().Check(network->directory().node(i).cert));
+    EXPECT_TRUE(network->ca().Check(network->directory().cert(i)));
   }
 }
 
@@ -63,7 +63,7 @@ TEST(NetworkTest, ColludersAreSpreadUniformly) {
   ASSERT_NE(network, nullptr);
   int buckets[8] = {};
   for (uint32_t idx : network->ColluderIndices()) {
-    ++buckets[static_cast<int>(network->directory().node(idx).pos >> 125)];
+    ++buckets[static_cast<int>(network->directory().pos(idx) >> 125)];
   }
   for (int b : buckets) EXPECT_NEAR(b, 100, 45);
 }
@@ -98,7 +98,7 @@ TEST(NetworkTest, Ed25519ProviderWorksEndToEnd) {
   ASSERT_NE(network, nullptr);
   EXPECT_STREQ(network->provider().name(), "ed25519");
   for (uint32_t i = 0; i < 8; ++i) {
-    EXPECT_TRUE(network->ca().Check(network->directory().node(i).cert));
+    EXPECT_TRUE(network->ca().Check(network->directory().cert(i)));
   }
 }
 
@@ -108,9 +108,9 @@ TEST(NetworkTest, SameSeedSameNetwork) {
   ASSERT_NE(a, nullptr);
   ASSERT_NE(b, nullptr);
   for (uint32_t i = 0; i < a->directory().size(); ++i) {
-    EXPECT_EQ(a->directory().node(i).id, b->directory().node(i).id);
-    EXPECT_EQ(a->directory().node(i).colluding,
-              b->directory().node(i).colluding);
+    EXPECT_EQ(a->directory().id(i), b->directory().id(i));
+    EXPECT_EQ(a->directory().colluding(i),
+              b->directory().colluding(i));
   }
 }
 

@@ -12,7 +12,7 @@ namespace {
 TEST(NodeCacheTest, CoverageCenteredOnOwner) {
   auto dir = test::MakeDirectory(1000);
   NodeCache cache(dir.get(), 42, /*rs3=*/0.05);
-  EXPECT_EQ(cache.coverage().center(), dir->node(42).pos);
+  EXPECT_EQ(cache.coverage().center(), dir->pos(42));
   EXPECT_NEAR(cache.coverage().size(), 0.05, 1e-9);
 }
 
@@ -29,25 +29,25 @@ TEST(NodeCacheTest, EntriesExcludeOwnerAndAreLegitimate) {
   NodeCache cache(dir.get(), 7, 0.08);
   for (uint32_t idx : cache.Entries()) {
     EXPECT_NE(idx, 7u);
-    EXPECT_TRUE(cache.coverage().Contains(dir->node(idx).pos));
+    EXPECT_TRUE(cache.coverage().Contains(dir->pos(idx)));
   }
 }
 
 TEST(NodeCacheTest, LegitimateForIntersectsBothArcs) {
   auto dir = test::MakeDirectory(1000);
   NodeCache cache(dir.get(), 3, 0.06);
-  dht::Region r3 = dht::Region::Centered(dir->node(100).pos, 0.06);
+  dht::Region r3 = dht::Region::Centered(dir->pos(100), 0.06);
   std::vector<uint32_t> cl = cache.LegitimateFor(r3);
   for (uint32_t idx : cl) {
-    EXPECT_TRUE(cache.coverage().Contains(dir->node(idx).pos));
-    EXPECT_TRUE(r3.Contains(dir->node(idx).pos));
+    EXPECT_TRUE(cache.coverage().Contains(dir->pos(idx)));
+    EXPECT_TRUE(r3.Contains(dir->pos(idx)));
   }
   // Brute-force cross-check.
   size_t expected = 0;
   for (uint32_t i = 0; i < dir->size(); ++i) {
     if (i == 3) continue;
-    if (cache.coverage().Contains(dir->node(i).pos) &&
-        r3.Contains(dir->node(i).pos)) {
+    if (cache.coverage().Contains(dir->pos(i)) &&
+        r3.Contains(dir->pos(i))) {
       ++expected;
     }
   }
@@ -59,7 +59,7 @@ TEST(NodeCacheTest, DisjointRegionsYieldEmptyCandidateList) {
   NodeCache cache(dir.get(), 0, 0.01);
   // A region on the far side of the ring.
   dht::RingPos antipode =
-      dir->node(0).pos + (static_cast<dht::RingPos>(1) << 127);
+      dir->pos(0) + (static_cast<dht::RingPos>(1) << 127);
   dht::Region far = dht::Region::Centered(antipode, 0.01);
   EXPECT_TRUE(cache.LegitimateFor(far).empty());
 }
@@ -69,7 +69,7 @@ TEST(NodeCacheTest, CoversMatchesCoverage) {
   NodeCache cache(dir.get(), 5, 0.2);
   for (uint32_t i = 0; i < dir->size(); ++i) {
     bool expected =
-        i != 5 && cache.coverage().Contains(dir->node(i).pos);
+        i != 5 && cache.coverage().Contains(dir->pos(i));
     EXPECT_EQ(cache.Covers(i), expected) << i;
   }
 }

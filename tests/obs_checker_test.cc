@@ -239,12 +239,12 @@ TEST(TracedAppsTest, ProxyAndChainTraceSatisfiesInvariants) {
   simnet.set_trace(&recorder);
   node::AppRuntime runtime(&simnet);
   util::Rng rng(6);
-  const auto& recipient = network->directory().node(33);
+  const crypto::PublicKey recipient_pub = network->directory().pub(33);
   auto one = apps::ForwardViaProxy(runtime, *network, /*sender=*/7,
-                                   recipient.pub, {1, 2, 3}, rng);
+                                   recipient_pub, {1, 2, 3}, rng);
   ASSERT_TRUE(one.ok()) << one.status().ToString();
   auto chain = apps::ForwardViaProxyChain(runtime, *network, /*sender=*/7,
-                                          recipient.pub, {4, 5},
+                                          recipient_pub, {4, 5},
                                           /*chain_length=*/3, rng);
   ASSERT_TRUE(chain.ok()) << chain.status().ToString();
   simnet.FinalizeTrace();

@@ -70,9 +70,9 @@ TEST(ProxyTest, DeliveryEnforcesKnowledgeSeparation) {
   net::SimNetwork simnet = test::MakeZeroFaultSimNet(500);
   node::AppRuntime runtime(&simnet);
   util::Rng rng(6);
-  const auto& recipient = network->directory().node(33);
+  const crypto::PublicKey recipient_pub = network->directory().pub(33);
   auto delivery = ForwardViaProxy(runtime, *network, /*sender=*/7,
-                                  recipient.pub, {1, 2, 3}, rng);
+                                  recipient_pub, {1, 2, 3}, rng);
   ASSERT_TRUE(delivery.ok()) << delivery.status().ToString();
   EXPECT_TRUE(delivery->relayed);
   EXPECT_TRUE(delivery->delivered_ok);
@@ -85,7 +85,7 @@ TEST(ProxyTest, DeliveryEnforcesKnowledgeSeparation) {
 
   // Only the recipient opens the payload.
   auto opened = OpenSealed(network->provider(), delivery->delivered,
-                           recipient.priv);
+                           network->directory().priv(33));
   ASSERT_TRUE(opened.ok());
   EXPECT_EQ(*opened, (std::vector<uint8_t>{1, 2, 3}));
 }
@@ -105,10 +105,10 @@ TEST(ProxyTest, BothPartiesColludingIsRare) {
     uint32_t recipient_index = rng.NextUint64(dir.size());
     if (recipient_index == 7) continue;
     auto delivery = ForwardViaProxy(runtime, *network, 7,
-                                    dir.node(recipient_index).pub, {1}, rng);
+                                    dir.pub(recipient_index), {1}, rng);
     ASSERT_TRUE(delivery.ok());
-    if (dir.node(delivery->proxy_index).colluding &&
-        dir.node(recipient_index).colluding) {
+    if (dir.colluding(delivery->proxy_index) &&
+        dir.colluding(recipient_index)) {
       ++both_colluding;
     }
   }
@@ -135,9 +135,9 @@ TEST(ProxyTest, DeadProxyLeavesRelayedFalse) {
   net::SimNetwork simnet = test::MakeSimNet(100, /*drop=*/1.0);
   node::AppRuntime runtime(&simnet);
   util::Rng rng(10);
-  const auto& recipient = network->directory().node(12);
+  const crypto::PublicKey recipient_pub = network->directory().pub(12);
   auto delivery =
-      ForwardViaProxy(runtime, *network, 3, recipient.pub, {1}, rng);
+      ForwardViaProxy(runtime, *network, 3, recipient_pub, {1}, rng);
   ASSERT_TRUE(delivery.ok());
   EXPECT_FALSE(delivery->relayed);
   EXPECT_FALSE(delivery->delivered_ok);
@@ -153,8 +153,8 @@ TEST(ProxyChainTest, ChainHasDistinctRelaysExcludingEndpoints) {
   net::SimNetwork simnet = test::MakeZeroFaultSimNet(300);
   node::AppRuntime runtime(&simnet);
   util::Rng rng(21);
-  const auto& recipient = network->directory().node(50);
-  auto delivery = ForwardViaProxyChain(runtime, *network, 7, recipient.pub,
+  const crypto::PublicKey recipient_pub = network->directory().pub(50);
+  auto delivery = ForwardViaProxyChain(runtime, *network, 7, recipient_pub,
                                        {1, 2, 3}, /*chain_length=*/4, rng);
   ASSERT_TRUE(delivery.ok()) << delivery.status().ToString();
   EXPECT_TRUE(delivery->delivered_ok);
@@ -173,8 +173,8 @@ TEST(ProxyChainTest, OnlyEndsOfChainSeeEndpoints) {
   net::SimNetwork simnet = test::MakeZeroFaultSimNet(300);
   node::AppRuntime runtime(&simnet);
   util::Rng rng(23);
-  const auto& recipient = network->directory().node(9);
-  auto delivery = ForwardViaProxyChain(runtime, *network, 4, recipient.pub,
+  const crypto::PublicKey recipient_pub = network->directory().pub(9);
+  auto delivery = ForwardViaProxyChain(runtime, *network, 4, recipient_pub,
                                        {8}, 3, rng);
   ASSERT_TRUE(delivery.ok());
   EXPECT_TRUE(delivery->relay_saw_sender[0]);
@@ -191,19 +191,18 @@ TEST(ProxyChainTest, PayloadStaysSealedAcrossChain) {
   net::SimNetwork simnet = test::MakeZeroFaultSimNet(300);
   node::AppRuntime runtime(&simnet);
   util::Rng rng(25);
-  const auto& recipient = network->directory().node(11);
+  const crypto::PublicKey recipient_pub = network->directory().pub(11);
   std::vector<uint8_t> payload{9, 8, 7, 6};
-  auto delivery = ForwardViaProxyChain(runtime, *network, 4, recipient.pub,
+  auto delivery = ForwardViaProxyChain(runtime, *network, 4, recipient_pub,
                                        payload, 2, rng);
   ASSERT_TRUE(delivery.ok());
   // A relay cannot open it...
-  const auto& relay = network->directory().node(delivery->chain[0]);
   EXPECT_FALSE(OpenSealed(network->provider(), delivery->delivered,
-                          relay.priv)
+                          network->directory().priv(delivery->chain[0]))
                    .ok());
   // ...the recipient can.
   auto opened = OpenSealed(network->provider(), delivery->delivered,
-                           recipient.priv);
+                           network->directory().priv(11));
   ASSERT_TRUE(opened.ok());
   EXPECT_EQ(*opened, payload);
 }
@@ -214,12 +213,12 @@ TEST(ProxyChainTest, DegenerateParametersRejected) {
   net::SimNetwork simnet = test::MakeZeroFaultSimNet(64);
   node::AppRuntime runtime(&simnet);
   util::Rng rng(27);
-  const auto& recipient = network->directory().node(5);
+  const crypto::PublicKey recipient_pub = network->directory().pub(5);
   EXPECT_FALSE(
-      ForwardViaProxyChain(runtime, *network, 1, recipient.pub, {1}, 0, rng)
+      ForwardViaProxyChain(runtime, *network, 1, recipient_pub, {1}, 0, rng)
           .ok());
   EXPECT_FALSE(
-      ForwardViaProxyChain(runtime, *network, 1, recipient.pub, {1}, 64, rng)
+      ForwardViaProxyChain(runtime, *network, 1, recipient_pub, {1}, 64, rng)
           .ok());
 }
 

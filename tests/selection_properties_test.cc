@@ -56,7 +56,7 @@ TEST_P(SelectionSweepTest, ContractHoldsForSeveralTriggers) {
     dht::Region r3 = dht::Region::Centered(
         outcome->val.SetterPoint().ring_pos(), ctx_.rs3);
     for (uint32_t actor : outcome->actor_indices) {
-      EXPECT_TRUE(r3.Contains(network_->directory().node(actor).pos));
+      EXPECT_TRUE(r3.Contains(network_->directory().pos(actor)));
     }
 
     // Verification accepts at exactly 2k ops; k within the k-table.
@@ -192,7 +192,7 @@ TEST(SetterDistributionTest, SettersSpreadAcrossTheRing) {
     auto outcome = protocol.Run(trigger, rng);
     ASSERT_TRUE(outcome.ok());
     dht::RingPos pos =
-        network->directory().node(outcome->setter_index).pos;
+        network->directory().pos(outcome->setter_index);
     ++buckets[static_cast<int>(pos >> 125)];
   }
   for (int b : buckets) {

@@ -50,7 +50,7 @@ TEST_F(SelectionTest, ActorsAreLegitimateForR3) {
   dht::Region r3 = dht::Region::Centered(
       outcome->val.SetterPoint().ring_pos(), ctx_.rs3);
   for (uint32_t actor : outcome->actor_indices) {
-    EXPECT_TRUE(r3.Contains(network_->directory().node(actor).pos));
+    EXPECT_TRUE(r3.Contains(network_->directory().pos(actor)));
   }
 }
 
@@ -169,10 +169,10 @@ TEST_F(SelectionTest, CollusionHidingCacheEntriesIsDefeated) {
     EXPECT_EQ(b->val.actor_count(), ctx_.actor_count);
     EXPECT_TRUE(VerifyActorList(ctx_, b->val).ok());
     for (uint32_t actor : a->actor_indices) {
-      honest_corrupted += network_->directory().node(actor).colluding;
+      honest_corrupted += network_->directory().colluding(actor);
     }
     for (uint32_t actor : b->actor_indices) {
-      hiding_corrupted += network_->directory().node(actor).colluding;
+      hiding_corrupted += network_->directory().colluding(actor);
     }
   }
   // 15 runs x 8 actors at C% = 1%: ideal ~1.2 corrupted in total. The

@@ -173,9 +173,9 @@ TEST(TrialRunnerTest, NetworkBuildIsIdenticalForAnyThreadCount) {
   const dht::Directory& b = (*parallel)->directory();
   ASSERT_EQ(a.size(), b.size());
   for (uint32_t i = 0; i < a.size(); ++i) {
-    EXPECT_EQ(a.node(i).pub, b.node(i).pub) << "node " << i;
-    EXPECT_TRUE(a.node(i).pos == b.node(i).pos) << "node " << i;
-    EXPECT_EQ(a.node(i).colluding, b.node(i).colluding) << "node " << i;
+    EXPECT_EQ(a.pub(i), b.pub(i)) << "node " << i;
+    EXPECT_TRUE(a.pos(i) == b.pos(i)) << "node " << i;
+    EXPECT_EQ(a.colluding(i), b.colluding(i)) << "node " << i;
   }
 }
 

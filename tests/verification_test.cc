@@ -66,7 +66,7 @@ TEST_F(VerificationTest, ForeignAttestationRejected) {
       dht::Region::Centered(val_.SetterPoint().ring_pos(), val_.rs2);
   uint32_t outsider = 0;
   for (uint32_t i = 0; i < dir.size(); ++i) {
-    if (!r2.Contains(dir.node(i).pos)) {
+    if (!r2.Contains(dir.pos(i))) {
       outsider = i;
       break;
     }
@@ -74,7 +74,7 @@ TEST_F(VerificationTest, ForeignAttestationRejected) {
   auto sig = ctx_.SignAs(outsider, val_.SignedBytes());
   ASSERT_TRUE(sig.ok());
   VerifierDecision decision = VerifyBeforeDisclosure(
-      ctx_, tamper::ReplaceAttestation(val_, dir.node(outsider).cert, *sig),
+      ctx_, tamper::ReplaceAttestation(val_, dir.cert(outsider), *sig),
       nullptr, nullptr);
   EXPECT_FALSE(decision.accepted);
 }
@@ -97,7 +97,7 @@ TEST_F(VerificationTest, EmptyAttestationsRejected) {
 
 TEST_F(VerificationTest, RateLimiterBlocksReplays) {
   TriggerRateLimiter limiter(/*max_triggers=*/2, /*window=*/1000000);
-  dht::NodeId trigger = network_->directory().node(4).id;
+  dht::NodeId trigger = network_->directory().id(4);
   for (int i = 0; i < 2; ++i) {
     VerifierDecision d =
         VerifyBeforeDisclosure(ctx_, val_, &limiter, &trigger);

@@ -59,9 +59,9 @@ TEST_F(VrandTest, TlsAreLegitimateForR1) {
   auto outcome = protocol.Generate(25, rng_);
   ASSERT_TRUE(outcome.ok());
   dht::Region r1 = dht::Region::Centered(
-      network_->directory().node(25).pos, outcome->vrnd.rs1);
+      network_->directory().pos(25), outcome->vrnd.rs1);
   for (uint32_t tl : outcome->tl_indices) {
-    EXPECT_TRUE(r1.Contains(network_->directory().node(tl).pos));
+    EXPECT_TRUE(r1.Contains(network_->directory().pos(tl)));
     EXPECT_NE(tl, 25u);  // T is not its own guarantor
   }
 }
@@ -128,15 +128,15 @@ TEST_F(VrandTest, NonLegitimateParticipantDetected) {
   // Replace participant 0 with a far-away (non-R1) node, fully signed.
   const dht::Directory& dir = network_->directory();
   dht::Region r1 =
-      dht::Region::Centered(dir.node(10).pos, outcome->vrnd.rs1);
+      dht::Region::Centered(dir.pos(10), outcome->vrnd.rs1);
   uint32_t outsider = 0;
   for (uint32_t i = 0; i < dir.size(); ++i) {
-    if (!r1.Contains(dir.node(i).pos)) {
+    if (!r1.Contains(dir.pos(i))) {
       outsider = i;
       break;
     }
   }
-  forged.participants[0].cert = dir.node(outsider).cert;
+  forged.participants[0].cert = dir.cert(outsider);
   auto sig = ctx_.SignAs(outsider, forged.SignedBytes());
   ASSERT_TRUE(sig.ok());
   forged.participants[0].sig = *sig;
