@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "net/sim_network.h"
 #include "obs/export.h"
 #include "sim/churn_driver.h"
 #include "sim/network.h"

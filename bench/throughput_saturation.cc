@@ -29,6 +29,7 @@
 #include "apps/query.h"
 #include "bench/bench_common.h"
 #include "engine/throughput.h"
+#include "net/sim_network.h"
 #include "node/app_runtime.h"
 #include "node/pdms_node.h"
 #include "obs/export.h"

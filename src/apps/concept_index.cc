@@ -140,7 +140,7 @@ Result<ConceptIndex::LookupResult> ConceptIndex::Lookup(
 
     msg::ConceptQuery query;
     query.share_key.assign(share_key.begin(), share_key.end());
-    net::SimNetwork::RpcResult rpc =
+    net::Transport::RpcResult rpc =
         runtime_->Call(from_index, route->dest_index, msg::Encode(query));
     if (!rpc.ok) {
       // Degraded completion: the MI is unreachable, so this lookup

@@ -123,7 +123,7 @@ Result<DiffusionApp::DiffusionResult> DiffusionApp::Diffuse(
   }
   result.candidates_contacted = static_cast<int>(offers.size());
 
-  std::vector<net::SimNetwork::RpcResult> replies =
+  std::vector<net::Transport::RpcResult> replies =
       runtime_->CallBatch(offers);
   for (size_t i = 0; i < replies.size(); ++i) {
     if (!replies[i].ok) {

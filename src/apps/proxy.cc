@@ -67,14 +67,14 @@ Result<ProxyDelivery> ForwardViaProxy(
   relay.contribution_id = id;
   relay.recipient_index = *recipient_index;
   relay.sealed = delivery.delivered;
-  net::SimNetwork::RpcResult leg1 =
+  net::Transport::RpcResult leg1 =
       runtime.Call(sender_index, proxy, msg::Encode(relay));
   delivery.relayed = leg1.ok;
   if (delivery.relayed) {
     msg::SealedDelivery final_leg;
     final_leg.contribution_id = id;
     final_leg.sealed = delivery.delivered;
-    net::SimNetwork::RpcResult leg2 =
+    net::Transport::RpcResult leg2 =
         runtime.Call(proxy, *recipient_index, msg::Encode(final_leg));
     delivery.delivered_ok = leg2.ok;
   }
@@ -130,7 +130,7 @@ Result<ChainDelivery> ForwardViaProxyChain(
                                 ? delivery.chain[static_cast<size_t>(i) + 1]
                                 : *recipient_index;
     relay.sealed = delivery.delivered;
-    net::SimNetwork::RpcResult hop = runtime.Call(
+    net::Transport::RpcResult hop = runtime.Call(
         hop_from, delivery.chain[static_cast<size_t>(i)], msg::Encode(relay));
     delivery.delivered_ok = hop.ok;
     hop_from = delivery.chain[static_cast<size_t>(i)];
@@ -139,7 +139,7 @@ Result<ChainDelivery> ForwardViaProxyChain(
     msg::SealedDelivery final_leg;
     final_leg.contribution_id = id;
     final_leg.sealed = delivery.delivered;
-    net::SimNetwork::RpcResult last =
+    net::Transport::RpcResult last =
         runtime.Call(hop_from, *recipient_index, msg::Encode(final_leg));
     delivery.delivered_ok = last.ok;
   }

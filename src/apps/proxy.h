@@ -5,7 +5,7 @@
 // DA learning who sent it and without the relay learning what was sent.
 // TN seals the payload to the DA's public key (known from the verifiable
 // actor list), picks a random proxy P, and sends the sealed message
-// through P as two typed wire messages over net::SimNetwork
+// through P as two typed wire messages over net::Transport
 // (ProxyRelay: TN→P, SealedDelivery: P→DA): the DA sees data without a
 // sender, P sees a sender without data. The probability that both DA
 // and P collude is ~(C/N)^2.

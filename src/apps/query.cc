@@ -6,7 +6,10 @@
 
 #include "apps/proxy.h"
 #include "core/messages.h"
+#include "core/selection.h"
 #include "core/verification.h"
+#include "core/wire.h"
+#include "dht/node_id.h"
 
 namespace sep2p::apps {
 
@@ -22,7 +25,65 @@ QueryApp::QueryApp(sim::Network* network, std::vector<node::PdmsNode>* pdms,
       config_(config),
       finder_(network, pdms, index, runtime,
               DiffusionApp::Config{config.target_finder_count,
-                                   config.max_selection_attempts}) {}
+                                   config.max_selection_attempts}) {
+  // Remote control plane (never exercised by sim runs, which install the
+  // round in-process and ship partials directly): a QueryDeploy installs
+  // the round in every hosting process after checking the VAL — the
+  // deployment is only accepted when the claimed aggregators really are
+  // this round's verifiable selection — and a QueryFlush reads a slot's
+  // partial (or the MDA's merged result) back out as a QueryAnswer.
+  runtime_->Register(
+      msg::kTagQueryDeploy,
+      [this](uint32_t, const std::vector<uint8_t>& request)
+          -> std::optional<std::vector<uint8_t>> {
+        Result<msg::QueryDeploy> deploy = msg::DecodeQueryDeploy(request);
+        if (!deploy.ok()) return std::nullopt;
+        if (round_ != nullptr && round_->round_id == deploy->round_id) {
+          return msg::Encode(msg::AppAck{});  // re-deploy: idempotent
+        }
+        Result<core::VerifiableActorList> val =
+            core::wire::DecodeActorList(deploy->val);
+        if (!val.ok()) return std::nullopt;
+        core::ProtocolContext ctx = network_->context();
+        ctx.actor_count = val->actor_count();
+        if (!core::VerifyActorList(ctx, *val).ok()) return std::nullopt;
+        std::vector<uint32_t> aggregators;
+        const dht::Directory& dir = network_->directory();
+        for (const crypto::PublicKey& key : val->actor_keys) {
+          std::optional<uint32_t> idx = dir.IndexOf(dht::NodeIdForKey(key));
+          if (!idx.has_value()) return std::nullopt;
+          aggregators.push_back(*idx);
+        }
+        if (aggregators.empty()) return std::nullopt;
+        InstallRound(deploy->round_id, deploy->querier, aggregators);
+        return msg::Encode(msg::AppAck{});
+      });
+  runtime_->Register(
+      msg::kTagQueryFlush,
+      [this](uint32_t, const std::vector<uint8_t>& request)
+          -> std::optional<std::vector<uint8_t>> {
+        Result<msg::QueryFlush> flush = msg::DecodeQueryFlush(request);
+        if (!flush.ok()) return std::nullopt;
+        if (round_ == nullptr || round_->round_id != flush->round_id) {
+          return std::nullopt;
+        }
+        const Partial* partial = nullptr;
+        if (flush->da_slot == msg::kMergedSlot) {
+          partial = &round_->merged;
+        } else if (flush->da_slot < round_->partials.size()) {
+          partial = &round_->partials[flush->da_slot];
+        } else {
+          return std::nullopt;
+        }
+        msg::QueryAnswer answer;
+        answer.da_slot = flush->da_slot;
+        answer.count = partial->count;
+        answer.sum = partial->sum;
+        answer.min = partial->min;
+        answer.max = partial->max;
+        return msg::Encode(answer);
+      });
+}
 
 void QueryApp::ClearRoundRegistrations() {
   for (const auto& [node, tag] : round_registrations_) {
@@ -31,43 +92,12 @@ void QueryApp::ClearRoundRegistrations() {
   round_registrations_.clear();
 }
 
-Result<QueryApp::QueryResult> QueryApp::Execute(uint32_t querier_index,
-                                                const QuerySpec& spec,
-                                                util::Rng& rng) {
-  obs::TraceRecorder* rec = runtime_->trace();
-  obs::Span query_span(rec, runtime_->metrics(), querier_index, "query");
-  const uint64_t round_start_us = runtime_->now_us();
-
-  // --- Phase 1: target finding (use case 2 machinery). Targets learn a
-  // query wants their data, which they consent to by contributing.
-  Result<DiffusionApp::DiffusionResult> targets = finder_.Diffuse(
-      querier_index, spec.profile_expression, "query:" + spec.attribute, rng);
-  if (!targets.ok()) return targets.status();
-
-  QueryResult result;
-  result.cost = targets->cost;
-  result.target_finding_cost = targets->cost;
-  result.target_finding_restarts = targets->selection_restarts;
-
-  // --- Phase 2: secure selection of the aggregators over the network.
-  core::ProtocolContext ctx = network_->context();
-  ctx.actor_count = config_.aggregator_count;
-  Result<core::SelectionProtocol::Outcome> selected =
-      runtime_->RunSelection(ctx, querier_index, rng,
-                             config_.max_selection_attempts,
-                             &result.selection_restarts);
-  if (!selected.ok()) return selected.status();
-  result.selection_cost = selected->cost;
-  result.cost.Then(selected->cost);
-  result.aggregators = selected->actor_indices;
-  result.selection_done_us = runtime_->now_us();
-  const size_t da_count = result.aggregators.size();
-
-  // Fresh round state + per-node handlers on this round's DAs, MDA and
-  // querier.
+void QueryApp::InstallRound(uint64_t round_id, uint32_t querier_index,
+                            const std::vector<uint32_t>& aggregators) {
   ClearRoundRegistrations();
   round_ = std::make_unique<RoundState>();
-  round_->partials.assign(da_count, Partial{});
+  round_->round_id = round_id;
+  round_->partials.assign(aggregators.size(), Partial{});
 
   // DA side: open the proxied sealed value, fold it into this DA's
   // partial statistic. Idempotent via the contribution id; the dedup
@@ -127,18 +157,79 @@ Result<QueryApp::QueryResult> QueryApp::Execute(uint32_t querier_index,
     return msg::Encode(msg::AppAck{});
   };
 
-  for (size_t slot = 0; slot < da_count; ++slot) {
-    round_->slot_of[result.aggregators[slot]] = slot;
-    runtime_->RegisterNode(result.aggregators[slot], msg::kTagSealedDelivery,
+  for (size_t slot = 0; slot < aggregators.size(); ++slot) {
+    round_->slot_of[aggregators[slot]] = slot;
+    runtime_->RegisterNode(aggregators[slot], msg::kTagSealedDelivery,
                            delivery_handler);
-    round_registrations_.push_back(
-        {result.aggregators[slot], msg::kTagSealedDelivery});
+    round_registrations_.push_back({aggregators[slot], msg::kTagSealedDelivery});
   }
-  const uint32_t mda = result.aggregators.front();
+  const uint32_t mda = aggregators.front();
   runtime_->RegisterNode(querier_index, msg::kTagQueryAnswer, answer_handler);
   round_registrations_.push_back({querier_index, msg::kTagQueryAnswer});
   runtime_->RegisterNode(mda, msg::kTagQueryAnswer, answer_handler);
   round_registrations_.push_back({mda, msg::kTagQueryAnswer});
+}
+
+Result<QueryApp::QueryResult> QueryApp::Execute(uint32_t querier_index,
+                                                const QuerySpec& spec,
+                                                util::Rng& rng) {
+  obs::TraceRecorder* rec = runtime_->trace();
+  obs::Span query_span(rec, runtime_->metrics(), querier_index, "query");
+  const uint64_t round_start_us = runtime_->now_us();
+
+  // --- Phase 1: target finding (use case 2 machinery). Targets learn a
+  // query wants their data, which they consent to by contributing.
+  Result<DiffusionApp::DiffusionResult> targets = finder_.Diffuse(
+      querier_index, spec.profile_expression, "query:" + spec.attribute, rng);
+  if (!targets.ok()) return targets.status();
+
+  QueryResult result;
+  result.cost = targets->cost;
+  result.target_finding_cost = targets->cost;
+  result.target_finding_restarts = targets->selection_restarts;
+
+  // --- Phase 2: secure selection of the aggregators over the network.
+  core::ProtocolContext ctx = network_->context();
+  ctx.actor_count = config_.aggregator_count;
+  Result<core::SelectionProtocol::Outcome> selected =
+      runtime_->RunSelection(ctx, querier_index, rng,
+                             config_.max_selection_attempts,
+                             &result.selection_restarts);
+  if (!selected.ok()) return selected.status();
+  result.selection_cost = selected->cost;
+  result.cost.Then(selected->cost);
+  result.aggregators = selected->actor_indices;
+  result.selection_done_us = runtime_->now_us();
+  const size_t da_count = result.aggregators.size();
+
+  // Fresh round state + per-node handlers on this round's DAs, MDA and
+  // querier. A sim run installs directly (every node is hosted here);
+  // a remote run deploys the round as a message carrying the VAL, so
+  // each hosting process — this one included — verifies the selection
+  // and installs its own replica on its dispatch path.
+  const bool remote = runtime_->network()->remote_dispatch();
+  uint64_t round_id = 0;
+  if (!remote) {
+    InstallRound(round_id, querier_index, result.aggregators);
+  } else {
+    round_id = runtime_->network()->NewEngagementNonce();
+    msg::QueryDeploy deploy;
+    deploy.round_id = round_id;
+    deploy.querier = querier_index;
+    deploy.val = core::wire::EncodeActorList(selected->val);
+    const std::vector<uint8_t> deploy_bytes = msg::Encode(deploy);
+    std::set<uint32_t> role_nodes(result.aggregators.begin(),
+                                  result.aggregators.end());
+    role_nodes.insert(querier_index);
+    for (uint32_t node : role_nodes) {
+      net::Transport::RpcResult ack =
+          runtime_->Call(querier_index, node, deploy_bytes);
+      if (!ack.ok) {
+        return Status::Unavailable("query: round deployment failed");
+      }
+    }
+  }
+  const uint32_t mda = result.aggregators.front();
 
   const net::Cost before_app = runtime_->measured_cost();
 
@@ -196,28 +287,66 @@ Result<QueryApp::QueryResult> QueryApp::Execute(uint32_t querier_index,
   if (rec != nullptr) rec->CloseSpan(contribute_span);
 
   // --- Phase 4: each DA ships its partial statistic to the MDA, which
-  // merges and answers the querier only.
+  // merges and answers the querier only. In a remote run the partials
+  // live in each DA's hosting process, so the driver first flushes the
+  // slot out (QueryFlush) and relays the QueryAnswer bytes unchanged; a
+  // DA whose process is unreachable simply contributes nothing, exactly
+  // like a crashed DA in sim.
   for (size_t slot = 0; slot < da_count; ++slot) {
-    const Partial& partial = round_->partials[slot];
-    msg::QueryAnswer wire;
-    wire.da_slot = static_cast<uint32_t>(slot);
-    wire.count = partial.count;
-    wire.sum = partial.sum;
-    wire.min = partial.min;
-    wire.max = partial.max;
-    runtime_->Call(result.aggregators[slot], mda, msg::Encode(wire));
+    std::vector<uint8_t> wire_bytes;
+    if (remote) {
+      msg::QueryFlush flush{round_id, static_cast<uint32_t>(slot)};
+      net::Transport::RpcResult flushed = runtime_->Call(
+          querier_index, result.aggregators[slot], msg::Encode(flush));
+      if (!flushed.ok) continue;
+      wire_bytes = std::move(flushed.reply);
+    } else {
+      const Partial& partial = round_->partials[slot];
+      msg::QueryAnswer wire;
+      wire.da_slot = static_cast<uint32_t>(slot);
+      wire.count = partial.count;
+      wire.sum = partial.sum;
+      wire.min = partial.min;
+      wire.max = partial.max;
+      wire_bytes = msg::Encode(wire);
+    }
+    runtime_->Call(result.aggregators[slot], mda, wire_bytes);
   }
-  msg::QueryAnswer final_answer;
-  final_answer.da_slot = msg::kMergedSlot;
-  final_answer.count = round_->merged.count;
-  final_answer.sum = round_->merged.sum;
-  final_answer.min = round_->merged.min;
-  final_answer.max = round_->merged.max;
-  runtime_->Call(mda, querier_index, msg::Encode(final_answer));
-  result.answer_delivered = round_->answered;
+  Partial merged;
+  bool answered = false;
+  if (remote) {
+    msg::QueryFlush flush{round_id, msg::kMergedSlot};
+    net::Transport::RpcResult flushed =
+        runtime_->Call(querier_index, mda, msg::Encode(flush));
+    if (!flushed.ok) {
+      return Status::Unavailable("query: MDA unreachable at merge");
+    }
+    Result<msg::QueryAnswer> final_answer =
+        msg::DecodeQueryAnswer(flushed.reply);
+    if (!final_answer.ok()) return final_answer.status();
+    merged = {final_answer->count, final_answer->sum, final_answer->min,
+              final_answer->max};
+    net::Transport::RpcResult ack =
+        runtime_->Call(mda, querier_index, flushed.reply);
+    answered = ack.ok;
+  } else {
+    msg::QueryAnswer final_answer;
+    final_answer.da_slot = msg::kMergedSlot;
+    final_answer.count = round_->merged.count;
+    final_answer.sum = round_->merged.sum;
+    final_answer.min = round_->merged.min;
+    final_answer.max = round_->merged.max;
+    runtime_->Call(mda, querier_index, msg::Encode(final_answer));
+    merged = round_->merged;
+    answered = round_->answered;
+  }
+  result.answer_delivered = answered;
 
-  result.contributors = round_->merged.count;
-  result.values_seen_by_da = round_->values_seen;
+  result.contributors = merged.count;
+  // The DA-side value trace exists only where the DAs live; in a remote
+  // run that is other processes, and the flushed aggregates are all the
+  // driver learns (the privacy property, observable).
+  if (!remote) result.values_seen_by_da = round_->values_seen;
   result.cost.Then(
       net::Cost::Delta(runtime_->measured_cost(), before_app));
   result.round_latency_us = runtime_->now_us() - round_start_us;
@@ -228,20 +357,19 @@ Result<QueryApp::QueryResult> QueryApp::Execute(uint32_t querier_index,
   }
   switch (spec.aggregate) {
     case Aggregate::kCount:
-      result.value = static_cast<double>(round_->merged.count);
+      result.value = static_cast<double>(merged.count);
       break;
     case Aggregate::kSum:
-      result.value = round_->merged.sum;
+      result.value = merged.sum;
       break;
     case Aggregate::kAvg:
-      result.value =
-          round_->merged.sum / static_cast<double>(round_->merged.count);
+      result.value = merged.sum / static_cast<double>(merged.count);
       break;
     case Aggregate::kMin:
-      result.value = round_->merged.min;
+      result.value = merged.min;
       break;
     case Aggregate::kMax:
-      result.value = round_->merged.max;
+      result.value = merged.max;
       break;
   }
   return result;

@@ -94,6 +94,7 @@ class QueryApp {
     double max = 0;
   };
   struct RoundState {
+    uint64_t round_id = 0;                  // 0 in sim runs (no deploy)
     std::map<uint32_t, size_t> slot_of;     // DA node -> slot
     std::set<uint64_t> seen_contributions;  // dedup ids (round-global)
     std::vector<Partial> partials;          // per DA slot
@@ -105,6 +106,15 @@ class QueryApp {
   };
 
   void ClearRoundRegistrations();
+
+  // Installs the round's DA/MDA/querier state and per-node handlers.
+  // Execute calls it directly in sim runs (this process hosts every
+  // node); in remote runs it is reached only through the QueryDeploy
+  // handler, so every hosting process — the driver's own included —
+  // installs its replica on the dispatch path, where the transport
+  // serializes registry mutation.
+  void InstallRound(uint64_t round_id, uint32_t querier_index,
+                    const std::vector<uint32_t>& aggregators);
 
   sim::Network* network_;
   std::vector<node::PdmsNode>* pdms_;

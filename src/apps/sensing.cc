@@ -213,7 +213,7 @@ ParticipatorySensingApp::RunRound(uint32_t trigger_index, util::Rng& rng) {
   result.readings_sent = static_cast<int>(contributions.size());
   {
     obs::Span contribute_span(rec, runtime_->metrics(), trigger_index, "contribute");
-    for (const net::SimNetwork::RpcResult& rpc :
+    for (const net::Transport::RpcResult& rpc :
          runtime_->CallBatch(contributions)) {
       // A lost contribution shrinks the round instead of failing it.
       if (rpc.ok) ++result.readings_delivered;

@@ -15,27 +15,21 @@ constexpr uint8_t kMagic0 = 'S';
 constexpr uint8_t kMagic1 = '2';
 constexpr uint8_t kMagic2 = 'P';
 constexpr uint16_t kVersion = 1;
+constexpr uint16_t kVersion2 = 2;
 
-// Message tags live above the artifact tags (0x01/0x02 in core/wire.cc)
-// so a message can never be confused with a stored artifact.
-constexpr uint8_t kTagVrandInvite = 0x10;
-constexpr uint8_t kTagCommitReply = 0x11;
-constexpr uint8_t kTagCommitList = 0x12;
-constexpr uint8_t kTagVrandReveal = 0x13;
-constexpr uint8_t kTagSlEngage = 0x14;
-constexpr uint8_t kTagSlReveal = 0x15;
-constexpr uint8_t kTagAttestRequest = 0x16;
-constexpr uint8_t kTagAttestation = 0x17;
-
-void WriteHeader(Writer& writer, uint8_t tag) {
+void WriteHeader(Writer& writer, uint8_t tag, uint16_t version = kVersion) {
   writer.U8(kMagic0);
   writer.U8(kMagic1);
   writer.U8(kMagic2);
   writer.U8(tag);
-  writer.U16(kVersion);
+  writer.U16(version);
 }
 
-Status CheckHeader(Reader& reader, uint8_t expected_tag) {
+// Versioned messages pass `version_out` and accept 1..2; every other
+// message keeps the strict version-1 check (a version-2 body of a
+// message that never grew fields is undefined, so it is rejected).
+Status CheckHeader(Reader& reader, uint8_t expected_tag,
+                   uint16_t* version_out = nullptr) {
   uint8_t m0, m1, m2, tag;
   SEP2P_RETURN_IF_ERROR(reader.U8(&m0));
   SEP2P_RETURN_IF_ERROR(reader.U8(&m1));
@@ -49,6 +43,13 @@ Status CheckHeader(Reader& reader, uint8_t expected_tag) {
   }
   uint16_t version = 0;
   SEP2P_RETURN_IF_ERROR(reader.U16(&version));
+  if (version_out != nullptr) {
+    if (version != kVersion && version != kVersion2) {
+      return Status::InvalidArgument("msg: unsupported version");
+    }
+    *version_out = version;
+    return Status::Ok();
+  }
   if (version != kVersion) {
     return Status::InvalidArgument("msg: unsupported version");
   }
@@ -59,18 +60,23 @@ Status CheckHeader(Reader& reader, uint8_t expected_tag) {
 
 std::vector<uint8_t> Encode(const VrandInvite& m) {
   Writer writer;
-  WriteHeader(writer, kTagVrandInvite);
+  // Default nonce encodes as version 1 — byte-identical to the
+  // pre-refactor wire (same rule for every versioned message below).
+  WriteHeader(writer, kTagVrandInvite, m.nonce == 0 ? kVersion : kVersion2);
   writer.F64(m.rs1);
   writer.U64(m.timestamp);
+  if (m.nonce != 0) writer.U64(m.nonce);
   return writer.Take();
 }
 
 Result<VrandInvite> DecodeVrandInvite(const std::vector<uint8_t>& bytes) {
   Reader reader(bytes);
-  SEP2P_RETURN_IF_ERROR(CheckHeader(reader, kTagVrandInvite));
+  uint16_t version = 0;
+  SEP2P_RETURN_IF_ERROR(CheckHeader(reader, kTagVrandInvite, &version));
   VrandInvite m;
   SEP2P_RETURN_IF_ERROR(reader.F64(&m.rs1));
   SEP2P_RETURN_IF_ERROR(reader.U64(&m.timestamp));
+  if (version >= kVersion2) SEP2P_RETURN_IF_ERROR(reader.U64(&m.nonce));
   SEP2P_RETURN_IF_ERROR(reader.ExpectEnd());
   return m;
 }
@@ -93,16 +99,18 @@ Result<CommitReply> DecodeCommitReply(const std::vector<uint8_t>& bytes) {
 
 std::vector<uint8_t> Encode(const CommitList& m) {
   Writer writer;
-  WriteHeader(writer, kTagCommitList);
+  WriteHeader(writer, kTagCommitList, m.nonce == 0 ? kVersion : kVersion2);
   writer.U32(static_cast<uint32_t>(m.commitments.size()));
   for (const crypto::Hash256& h : m.commitments) writer.Hash(h);
   writer.U64(m.timestamp);
+  if (m.nonce != 0) writer.U64(m.nonce);
   return writer.Take();
 }
 
 Result<CommitList> DecodeCommitList(const std::vector<uint8_t>& bytes) {
   Reader reader(bytes);
-  SEP2P_RETURN_IF_ERROR(CheckHeader(reader, kTagCommitList));
+  uint16_t version = 0;
+  SEP2P_RETURN_IF_ERROR(CheckHeader(reader, kTagCommitList, &version));
   CommitList m;
   uint32_t count = 0;
   SEP2P_RETURN_IF_ERROR(reader.U32(&count));
@@ -114,6 +122,7 @@ Result<CommitList> DecodeCommitList(const std::vector<uint8_t>& bytes) {
     SEP2P_RETURN_IF_ERROR(reader.Hash(&h));
   }
   SEP2P_RETURN_IF_ERROR(reader.U64(&m.timestamp));
+  if (version >= kVersion2) SEP2P_RETURN_IF_ERROR(reader.U64(&m.nonce));
   SEP2P_RETURN_IF_ERROR(reader.ExpectEnd());
   return m;
 }
@@ -138,18 +147,21 @@ Result<VrandReveal> DecodeVrandReveal(const std::vector<uint8_t>& bytes) {
 
 std::vector<uint8_t> Encode(const SlEngage& m) {
   Writer writer;
-  WriteHeader(writer, kTagSlEngage);
+  WriteHeader(writer, kTagSlEngage, m.nonce == 0 ? kVersion : kVersion2);
   writer.Blob(m.vrnd);
   writer.Hash(m.point);
+  if (m.nonce != 0) writer.U64(m.nonce);
   return writer.Take();
 }
 
 Result<SlEngage> DecodeSlEngage(const std::vector<uint8_t>& bytes) {
   Reader reader(bytes);
-  SEP2P_RETURN_IF_ERROR(CheckHeader(reader, kTagSlEngage));
+  uint16_t version = 0;
+  SEP2P_RETURN_IF_ERROR(CheckHeader(reader, kTagSlEngage, &version));
   SlEngage m;
   SEP2P_RETURN_IF_ERROR(reader.Blob(&m.vrnd));
   SEP2P_RETURN_IF_ERROR(reader.Hash(&m.point));
+  if (version >= kVersion2) SEP2P_RETURN_IF_ERROR(reader.U64(&m.nonce));
   SEP2P_RETURN_IF_ERROR(reader.ExpectEnd());
   return m;
 }
@@ -183,16 +195,20 @@ Result<SlReveal> DecodeSlReveal(const std::vector<uint8_t>& bytes) {
 
 std::vector<uint8_t> Encode(const AttestRequest& m) {
   Writer writer;
-  WriteHeader(writer, kTagAttestRequest);
+  WriteHeader(writer, kTagAttestRequest,
+              m.preimage.empty() ? kVersion : kVersion2);
   writer.Hash(m.digest);
+  if (!m.preimage.empty()) writer.Blob(m.preimage);
   return writer.Take();
 }
 
 Result<AttestRequest> DecodeAttestRequest(const std::vector<uint8_t>& bytes) {
   Reader reader(bytes);
-  SEP2P_RETURN_IF_ERROR(CheckHeader(reader, kTagAttestRequest));
+  uint16_t version = 0;
+  SEP2P_RETURN_IF_ERROR(CheckHeader(reader, kTagAttestRequest, &version));
   AttestRequest m;
   SEP2P_RETURN_IF_ERROR(reader.Hash(&m.digest));
+  if (version >= kVersion2) SEP2P_RETURN_IF_ERROR(reader.Blob(&m.preimage));
   SEP2P_RETURN_IF_ERROR(reader.ExpectEnd());
   return m;
 }
@@ -471,6 +487,44 @@ Result<QueryAnswer> DecodeQueryAnswer(const std::vector<uint8_t>& bytes) {
   SEP2P_RETURN_IF_ERROR(reader.F64(&m.sum));
   SEP2P_RETURN_IF_ERROR(reader.F64(&m.min));
   SEP2P_RETURN_IF_ERROR(reader.F64(&m.max));
+  SEP2P_RETURN_IF_ERROR(reader.ExpectEnd());
+  return m;
+}
+
+std::vector<uint8_t> Encode(const QueryDeploy& m) {
+  Writer writer;
+  WriteHeader(writer, kTagQueryDeploy);
+  writer.U64(m.round_id);
+  writer.U32(m.querier);
+  writer.Blob(m.val);
+  return writer.Take();
+}
+
+Result<QueryDeploy> DecodeQueryDeploy(const std::vector<uint8_t>& bytes) {
+  Reader reader(bytes);
+  SEP2P_RETURN_IF_ERROR(CheckHeader(reader, kTagQueryDeploy));
+  QueryDeploy m;
+  SEP2P_RETURN_IF_ERROR(reader.U64(&m.round_id));
+  SEP2P_RETURN_IF_ERROR(reader.U32(&m.querier));
+  SEP2P_RETURN_IF_ERROR(reader.Blob(&m.val));
+  SEP2P_RETURN_IF_ERROR(reader.ExpectEnd());
+  return m;
+}
+
+std::vector<uint8_t> Encode(const QueryFlush& m) {
+  Writer writer;
+  WriteHeader(writer, kTagQueryFlush);
+  writer.U64(m.round_id);
+  writer.U32(m.da_slot);
+  return writer.Take();
+}
+
+Result<QueryFlush> DecodeQueryFlush(const std::vector<uint8_t>& bytes) {
+  Reader reader(bytes);
+  SEP2P_RETURN_IF_ERROR(CheckHeader(reader, kTagQueryFlush));
+  QueryFlush m;
+  SEP2P_RETURN_IF_ERROR(reader.U64(&m.round_id));
+  SEP2P_RETURN_IF_ERROR(reader.U32(&m.da_slot));
   SEP2P_RETURN_IF_ERROR(reader.ExpectEnd());
   return m;
 }

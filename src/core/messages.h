@@ -27,11 +27,43 @@
 
 namespace sep2p::core::msg {
 
+// ---------------------------------------------------------------------
+// Selection-protocol messages (§3.4–§3.6). Their tags are public since
+// the transport refactor: a remote process routes incoming frames
+// through the registered dispatch table (core/protocol_service.h), so
+// the tags are part of the wire contract rather than private codec
+// detail. Tags live above the stored-artifact tags (0x01/0x02 in
+// core/wire.cc) so a message can never be confused with an artifact.
+//
+// Wire-contract versioning (DESIGN.md §14): several messages gained
+// fields for cross-process runs — the engagement `nonce` scoping
+// server-side protocol state, and the AttestRequest `preimage` letting
+// a remote SL check what it signs. A message whose new fields hold
+// their defaults (nonce 0 / empty preimage) encodes as version 1,
+// byte-identical to the pre-refactor wire; only non-default values
+// produce version 2. Decoders accept both and default the fields for
+// version-1 input. This is the versioning rule for all future
+// evolution: new fields are appended, defaults encode as the oldest
+// version that can carry the message, decoders never reject a version
+// they can represent.
+// ---------------------------------------------------------------------
+
+inline constexpr uint8_t kTagVrandInvite = 0x10;
+inline constexpr uint8_t kTagCommitReply = 0x11;
+inline constexpr uint8_t kTagCommitList = 0x12;
+inline constexpr uint8_t kTagVrandReveal = 0x13;
+inline constexpr uint8_t kTagSlEngage = 0x14;
+inline constexpr uint8_t kTagSlReveal = 0x15;
+inline constexpr uint8_t kTagAttestRequest = 0x16;
+inline constexpr uint8_t kTagAttestation = 0x17;
+
 // T → TL: engage as a trusted participant of R1 (size rs1) and commit
 // to a random contribution.
 struct VrandInvite {
   double rs1 = 0;
   uint64_t timestamp = 0;
+  // Scopes the TL's per-engagement state in remote runs (v2; 0 = v1).
+  uint64_t nonce = 0;
 };
 
 // TL → T and SL → S: commitment hash over the participant's secret.
@@ -44,6 +76,10 @@ struct CommitReply {
 struct CommitList {
   std::vector<crypto::Hash256> commitments;
   uint64_t timestamp = 0;
+  // Ties the reveal broadcast back to the engagement whose commitments
+  // these are (v2; 0 = v1). The tag is shared by the TL-reveal and
+  // SL-reveal phases — a resident server disambiguates by nonce lookup.
+  uint64_t nonce = 0;
 };
 
 // TL → T: revealed contribution plus the signature over (L, ts).
@@ -57,6 +93,8 @@ struct VrandReveal {
 struct SlEngage {
   std::vector<uint8_t> vrnd;  // wire::EncodeVerifiableRandom bytes
   crypto::Hash256 point;
+  // Scopes the SL's per-engagement state in remote runs (v2; 0 = v1).
+  uint64_t nonce = 0;
 };
 
 // SL → S: revealed (RND_j, CL_j) — the SL's random plus the part of its
@@ -70,6 +108,12 @@ struct SlReveal {
 // digest, or the shortage digest when R3 is underpopulated).
 struct AttestRequest {
   crypto::Hash256 digest;
+  // The bytes being attested (v2; empty = v1). A resident SL refuses to
+  // sign a bare digest: it recomputes H(preimage), checks it against
+  // `digest`, and signs the preimage — closer to the paper's model
+  // where the SL sees the VAL it attests. In-process runs keep the
+  // preimage in the handler closure and send v1 bytes.
+  std::vector<uint8_t> preimage;
 };
 
 // SL → S: the SL's certificate plus its signature.
@@ -97,11 +141,10 @@ Result<AttestRequest> DecodeAttestRequest(const std::vector<uint8_t>& bytes);
 Result<Attestation> DecodeAttestation(const std::vector<uint8_t>& bytes);
 
 // ---------------------------------------------------------------------
-// Application-layer messages (use cases §5.1–§5.3). Their tags are
-// public — node::AppRuntime dispatches per-node handlers on the tag
-// byte — whereas the selection tags above stay private to messages.cc.
-// Tags >= 0x20 so they can never collide with the selection messages
-// (0x10–0x17) or the stored-artifact tags (0x01/0x02).
+// Application-layer messages (use cases §5.1–§5.3), dispatched on the
+// tag byte through the transport's registered handlers. Tags >= 0x20 so
+// they can never collide with the selection messages (0x10–0x17) or the
+// stored-artifact tags (0x01/0x02).
 // ---------------------------------------------------------------------
 
 inline constexpr uint8_t kTagAppAck = 0x20;
@@ -115,6 +158,8 @@ inline constexpr uint8_t kTagSealedDelivery = 0x27;
 inline constexpr uint8_t kTagDiffusionOffer = 0x28;
 inline constexpr uint8_t kTagDiffusionAccept = 0x29;
 inline constexpr uint8_t kTagQueryAnswer = 0x2a;
+inline constexpr uint8_t kTagQueryDeploy = 0x2b;
+inline constexpr uint8_t kTagQueryFlush = 0x2c;
 
 // Slot sentinel: a SensingPartial / QueryAnswer carrying this da_slot is
 // the merged result published to the trigger/querier, not a per-DA
@@ -203,6 +248,26 @@ struct QueryAnswer {
   double max = 0;
 };
 
+// Querier → aggregators ∪ querier (remote runs only): install the
+// round's aggregation state. Carries the verified actor list so every
+// receiving process can check the deployment against the selection
+// before accepting the role (apps/query.cc verifies the VAL, derives
+// the slot mapping from the actor order, and installs its per-node
+// handlers). Deduplicated by `round_id`.
+struct QueryDeploy {
+  uint64_t round_id = 0;
+  uint32_t querier = 0;
+  std::vector<uint8_t> val;  // wire::EncodeActorList bytes
+};
+
+// Querier → DA / MDA (remote runs only): report the aggregate for
+// `da_slot` (kMergedSlot asks the MDA for the merged result). The reply
+// is the corresponding QueryAnswer.
+struct QueryFlush {
+  uint64_t round_id = 0;
+  uint32_t da_slot = 0;
+};
+
 std::vector<uint8_t> Encode(const AppAck& m);
 std::vector<uint8_t> Encode(const SensingContribution& m);
 std::vector<uint8_t> Encode(const SensingPartial& m);
@@ -214,6 +279,8 @@ std::vector<uint8_t> Encode(const SealedDelivery& m);
 std::vector<uint8_t> Encode(const DiffusionOffer& m);
 std::vector<uint8_t> Encode(const DiffusionAccept& m);
 std::vector<uint8_t> Encode(const QueryAnswer& m);
+std::vector<uint8_t> Encode(const QueryDeploy& m);
+std::vector<uint8_t> Encode(const QueryFlush& m);
 
 Result<AppAck> DecodeAppAck(const std::vector<uint8_t>& bytes);
 Result<SensingContribution> DecodeSensingContribution(
@@ -228,6 +295,8 @@ Result<DiffusionOffer> DecodeDiffusionOffer(const std::vector<uint8_t>& bytes);
 Result<DiffusionAccept> DecodeDiffusionAccept(
     const std::vector<uint8_t>& bytes);
 Result<QueryAnswer> DecodeQueryAnswer(const std::vector<uint8_t>& bytes);
+Result<QueryDeploy> DecodeQueryDeploy(const std::vector<uint8_t>& bytes);
+Result<QueryFlush> DecodeQueryFlush(const std::vector<uint8_t>& bytes);
 
 // Validates the message magic and returns the tag byte without decoding
 // the body — the dispatch key for node::AppRuntime handlers.

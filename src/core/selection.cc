@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/messages.h"
+#include "core/protocol_service.h"
 #include "core/wire.h"
 #include "crypto/sha256.h"
 #include "dht/region.h"
@@ -101,52 +102,34 @@ struct SlEngagement {
 };
 
 Result<SlEngagement> EngageSlsOverNetwork(
-    const ProtocolContext& ctx, net::SimNetwork& network, util::Rng& rng,
+    const ProtocolContext& ctx, net::Transport& network, util::Rng& rng,
     uint32_t setter, const std::vector<uint32_t>& sl_candidates, int k,
     const std::vector<uint32_t>& r3_nodes, const crypto::Hash256& p_hash,
     const VerifiableRandom& vrnd, bool colluding_sls_hide_honest) {
-  const dht::Directory& dir = *ctx.directory;
   obs::TraceRecorder* rec = network.trace();
   obs::MetricsRegistry* met = network.metrics();
 
   // Per-SL state (CL_j, RND_j, commitment), computed once per engaged
-  // node: handlers are idempotent, so a retransmitted request must see
-  // the same answer it saw the first time.
-  struct SlState {
-    std::vector<uint32_t> cl_indices;
-    std::vector<crypto::PublicKey> cl_keys;
-    crypto::Hash256 rnd;
-    crypto::Hash256 commitment;
-  };
+  // node (BuildSlState is shared with the resident cross-process
+  // service): handlers are idempotent, so a retransmitted request must
+  // see the same answer it saw the first time.
   std::map<uint32_t, SlState> state_by_sl;
   auto sl_state = [&](uint32_t sl_index) -> const SlState& {
     auto it = state_by_sl.find(sl_index);
     if (it != state_by_sl.end()) return it->second;
-    SlState state;
-    dht::Region coverage = dht::Region::Centered(dir.pos(sl_index), ctx.rs3);
-    const bool hide = colluding_sls_hide_honest && dir.colluding(sl_index);
-    for (uint32_t idx : r3_nodes) {
-      if (!coverage.Contains(dir.pos(idx))) continue;
-      if (hide && !dir.colluding(idx)) continue;  // covert deviation
-      state.cl_indices.push_back(idx);
-      state.cl_keys.push_back(dir.pub(idx));
-    }
-    state.rnd = crypto::Hash256(crypto::Digest(rng.NextBytes32()));
-    // The commitment binds RND_j AND CL_j, so neither can change after
-    // the commitment list is broadcast.
-    std::vector<uint8_t> bound(state.rnd.bytes().begin(),
-                               state.rnd.bytes().end());
-    for (const crypto::PublicKey& key : state.cl_keys) {
-      bound.insert(bound.end(), key.begin(), key.end());
-    }
-    state.commitment = crypto::Hash256::Of(bound.data(), bound.size());
-    return state_by_sl.emplace(sl_index, std::move(state)).first->second;
+    return state_by_sl
+        .emplace(sl_index, BuildSlState(ctx, sl_index, r3_nodes,
+                                        colluding_sls_hide_honest, rng))
+        .first->second;
   };
 
-  // Engagement round: VRND + setter point out, commitments back.
+  // Engagement round: VRND + setter point out, commitments back. The
+  // nonce scopes resident SL state across processes (0 in sim — v1
+  // bytes).
+  const uint64_t nonce = network.NewEngagementNonce();
   const std::vector<uint8_t> engage_bytes = msg::Encode(
-      msg::SlEngage{wire::EncodeVerifiableRandom(vrnd), p_hash});
-  net::SimNetwork::QuorumResult quorum;
+      msg::SlEngage{wire::EncodeVerifiableRandom(vrnd), p_hash, nonce});
+  net::Transport::QuorumResult quorum;
   {
     obs::Span engage_span(rec, met, setter, "sl-engage");
     quorum = network.EngageQuorum(
@@ -164,6 +147,7 @@ Result<SlEngagement> EngageSlsOverNetwork(
   // Commitment list L1 out, reveals (RND_j, CL_j) back.
   msg::CommitList l1;
   l1.timestamp = ctx.now;
+  l1.nonce = nonce;
   l1.commitments.resize(k);
   for (int j = 0; j < k; ++j) {
     Result<msg::CommitReply> commit = msg::DecodeCommitReply(quorum.replies[j]);
@@ -171,7 +155,7 @@ Result<SlEngagement> EngageSlsOverNetwork(
     l1.commitments[j] = commit->commitment;
   }
   const std::vector<uint8_t> l1_bytes = msg::Encode(l1);
-  std::vector<net::SimNetwork::RpcResult> reveals;
+  std::vector<net::Transport::RpcResult> reveals;
   {
     obs::Span reveal_span(rec, met, setter, "sl-reveal");
     reveals = network.Broadcast(
@@ -180,12 +164,7 @@ Result<SlEngagement> EngageSlsOverNetwork(
             -> std::optional<std::vector<uint8_t>> {
           Result<msg::CommitList> list = msg::DecodeCommitList(request);
           if (!list.ok()) return std::nullopt;
-          const SlState& state = sl_state(server);
-          if (std::find(list->commitments.begin(), list->commitments.end(),
-                        state.commitment) == list->commitments.end()) {
-            return std::nullopt;  // own commitment missing: refuse to reveal
-          }
-          return msg::Encode(msg::SlReveal{state.rnd, state.cl_keys});
+          return SlRevealReply(sl_state(server), *list);
         });
   }
 
@@ -409,10 +388,17 @@ Result<SelectionProtocol::Outcome> SelectionProtocol::Run(
       shortage.push_back('R');
       if (options.network != nullptr) {
         obs::Span shortage_span(rec, met, setter, "sl-shortage-attest");
-        const std::vector<uint8_t> request_bytes = msg::Encode(
-            msg::AttestRequest{
-                crypto::Hash256::Of(shortage.data(), shortage.size())});
-        std::vector<net::SimNetwork::RpcResult> results =
+        msg::AttestRequest attest_request;
+        attest_request.digest =
+            crypto::Hash256::Of(shortage.data(), shortage.size());
+        // A resident SL refuses to sign a bare digest; in-process
+        // handlers see the preimage via the closure (v1 bytes).
+        if (options.network->remote_dispatch()) {
+          attest_request.preimage = shortage;
+        }
+        const std::vector<uint8_t> request_bytes =
+            msg::Encode(attest_request);
+        std::vector<net::Transport::RpcResult> results =
             options.network->Broadcast(
                 setter, sl_members, request_bytes,
                 [&](uint32_t server, const std::vector<uint8_t>& request)
@@ -420,15 +406,7 @@ Result<SelectionProtocol::Outcome> SelectionProtocol::Run(
                   if (!msg::DecodeAttestRequest(request).ok()) {
                     return std::nullopt;
                   }
-                  Result<crypto::Signature> sig =
-                      ctx_.SignAs(server, shortage);
-                  if (!sig.ok()) return std::nullopt;
-                  if (met != nullptr) {
-                    met->Inc(obs::Counter::kCryptoSign);
-                    met->IncNode(server, obs::NodeCounter::kCrypto);
-                  }
-                  return msg::Encode(msg::Attestation{
-                      dir.cert(server), std::move(sig.value())});
+                  return AttestReply(ctx_, met, server, shortage);
                 });
         for (int j = 0; j < k; ++j) {
           if (!results[j].ok) {
@@ -553,10 +531,16 @@ Result<SelectionProtocol::Outcome> SelectionProtocol::Run(
       // SL, in parallel. The SLs are committed to this AL, so a loss
       // here cannot be patched by substitution — S restarts instead.
       obs::Span attest_span(rec, met, setter, "sl-attest");
-      const std::vector<uint8_t> request_bytes =
-          msg::Encode(msg::AttestRequest{crypto::Hash256::Of(
-              signed_bytes.data(), signed_bytes.size())});
-      std::vector<net::SimNetwork::RpcResult> results =
+      msg::AttestRequest attest_request;
+      attest_request.digest =
+          crypto::Hash256::Of(signed_bytes.data(), signed_bytes.size());
+      // Cross-process SLs must see the VAL bytes they attest (they
+      // recompute and check the digest before signing).
+      if (options.network->remote_dispatch()) {
+        attest_request.preimage = signed_bytes;
+      }
+      const std::vector<uint8_t> request_bytes = msg::Encode(attest_request);
+      std::vector<net::Transport::RpcResult> results =
           options.network->Broadcast(
               setter, sl_members, request_bytes,
               [&](uint32_t server, const std::vector<uint8_t>& request)
@@ -564,15 +548,7 @@ Result<SelectionProtocol::Outcome> SelectionProtocol::Run(
                 if (!msg::DecodeAttestRequest(request).ok()) {
                   return std::nullopt;
                 }
-                Result<crypto::Signature> sig =
-                    ctx_.SignAs(server, signed_bytes);
-                if (!sig.ok()) return std::nullopt;
-                if (met != nullptr) {
-                  met->Inc(obs::Counter::kCryptoSign);
-                  met->IncNode(server, obs::NodeCounter::kCrypto);
-                }
-                return msg::Encode(msg::Attestation{
-                    dir.cert(server), std::move(sig.value())});
+                return AttestReply(ctx_, met, server, signed_bytes);
               });
       for (int j = 0; j < k; ++j) {
         if (!results[j].ok) {

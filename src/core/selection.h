@@ -31,7 +31,7 @@
 #include "core/vrand.h"
 #include "net/cost.h"
 #include "net/failure.h"
-#include "net/sim_network.h"
+#include "net/transport.h"
 #include "util/rng.h"
 
 namespace sep2p::core {
@@ -72,16 +72,17 @@ struct SelectionOptions {
   // Message-level execution: when set, every remote step (the T→TL
   // commit/reveal inside vrand, DHT routing to S, and the S→SL
   // engagement, commit/reveal and attestation rounds) travels as typed
-  // messages (core/messages.h) over this simulated network, with
-  // per-RPC timeout/retry/backoff. An SL or TL that exhausts its retry
-  // budget during engagement is declared failed and replaced by a spare
-  // candidate; kUnavailable (→ restart with a fresh RND_T) is reserved
-  // for genuinely unreachable quorums and participants lost after their
-  // commitment is fixed. `failures` is ignored in this mode. The
-  // network must be exclusive to the calling trial (never shared across
-  // threads); virtual-clock latency and retry counts accumulate in its
-  // Stats.
-  net::SimNetwork* network = nullptr;
+  // messages (core/messages.h) over this transport — net::SimNetwork
+  // for virtual-clock simulation, net::TcpTransport for real sockets —
+  // with per-RPC timeout/retry/backoff. An SL or TL that exhausts its
+  // retry budget during engagement is declared failed and replaced by a
+  // spare candidate; kUnavailable (→ restart with a fresh RND_T) is
+  // reserved for genuinely unreachable quorums and participants lost
+  // after their commitment is fixed. `failures` is ignored in this
+  // mode. The transport must be exclusive to the calling trial (never
+  // shared across driver threads); latency and retry counts accumulate
+  // in its Stats.
+  net::Transport* network = nullptr;
   // Observability for the DIRECT (non-network) execution path: when
   // `network` is set its attached recorder/registry take precedence, so
   // these only matter for the fully in-memory protocol mode. Both are

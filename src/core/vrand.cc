@@ -4,6 +4,7 @@
 #include <map>
 
 #include "core/messages.h"
+#include "core/protocol_service.h"
 #include "crypto/sha256.h"
 #include "dht/region.h"
 #include "obs/trace.h"
@@ -34,7 +35,7 @@ std::vector<uint8_t> VerifiableRandom::SignedBytes() const {
 
 Result<VrandProtocol::Outcome> VrandProtocol::Generate(
     uint32_t trigger_index, util::Rng& rng, net::FailureModel* failures,
-    net::SimNetwork* network, obs::TraceRecorder* trace,
+    net::Transport* network, obs::TraceRecorder* trace,
     obs::MetricsRegistry* metrics) const {
   const dht::Directory& dir = *ctx_.directory;
   const dht::RingPos trigger_pos = dir.pos(trigger_index);
@@ -122,7 +123,7 @@ Result<VrandProtocol::Outcome> VrandProtocol::Generate(
 }
 
 Result<VrandProtocol::Outcome> VrandProtocol::GenerateOverNetwork(
-    uint32_t trigger_index, util::Rng& rng, net::SimNetwork& network,
+    uint32_t trigger_index, util::Rng& rng, net::Transport& network,
     const KTable::Choice& choice,
     const std::vector<uint32_t>& candidates) const {
   const dht::Directory& dir = *ctx_.directory;
@@ -147,10 +148,12 @@ Result<VrandProtocol::Outcome> VrandProtocol::GenerateOverNetwork(
 
   // Rounds 1-2: invite every TL, collect commitments. A TL whose RPC
   // exhausts the retry budget is declared failed and replaced by a
-  // spare R1 candidate; only a dry candidate list aborts.
+  // spare R1 candidate; only a dry candidate list aborts. The nonce
+  // scopes resident TL state across processes (0 in sim — v1 bytes).
+  const uint64_t nonce = network.NewEngagementNonce();
   const std::vector<uint8_t> invite_bytes =
-      msg::Encode(msg::VrandInvite{rs1, ctx_.now});
-  net::SimNetwork::QuorumResult quorum;
+      msg::Encode(msg::VrandInvite{rs1, ctx_.now, nonce});
+  net::Transport::QuorumResult quorum;
   {
     obs::Span commit_span(rec, met, trigger_index, "vrand-commit");
     quorum = network.EngageQuorum(
@@ -159,10 +162,7 @@ Result<VrandProtocol::Outcome> VrandProtocol::GenerateOverNetwork(
         [&](uint32_t server, const std::vector<uint8_t>& request)
             -> std::optional<std::vector<uint8_t>> {
           if (!msg::DecodeVrandInvite(request).ok()) return std::nullopt;
-          const crypto::Hash256& rnd = tl_rnd(server);
-          crypto::Hash256 commitment =
-              crypto::Hash256::Of(rnd.bytes().data(), rnd.bytes().size());
-          return msg::Encode(msg::CommitReply{commitment});
+          return TlCommitReply(tl_rnd(server));
         });
   }
   if (!quorum.ok) {
@@ -179,6 +179,7 @@ Result<VrandProtocol::Outcome> VrandProtocol::GenerateOverNetwork(
 
   msg::CommitList commit_list;
   commit_list.timestamp = ctx_.now;
+  commit_list.nonce = nonce;
   commit_list.commitments.resize(k);
   for (int i = 0; i < k; ++i) {
     Result<msg::CommitReply> commit = msg::DecodeCommitReply(quorum.replies[i]);
@@ -190,32 +191,21 @@ Result<VrandProtocol::Outcome> VrandProtocol::GenerateOverNetwork(
   }
 
   // Rounds 3-4: T broadcasts L; each TL checks its commitment is in L,
-  // then reveals RND_i and signs (L, ts). The commitments are fixed
-  // now, so a TL lost here cannot be substituted — the run aborts and
-  // the caller restarts with a fresh RND_T.
-  const std::vector<uint8_t> signed_bytes = vrnd.SignedBytes();
+  // then reveals RND_i and signs (L, ts) — the TL reconstructs the
+  // signed bytes from the RECEIVED list (SignedBytesFromList), which
+  // for an honest engagement equals vrnd.SignedBytes() byte for byte.
+  // The commitments are fixed now, so a TL lost here cannot be
+  // substituted — the run aborts and the caller restarts with a fresh
+  // RND_T.
   const std::vector<uint8_t> list_bytes = msg::Encode(commit_list);
   obs::Span reveal_span(rec, met, trigger_index, "vrand-reveal");
-  std::vector<net::SimNetwork::RpcResult> reveals = network.Broadcast(
+  std::vector<net::Transport::RpcResult> reveals = network.Broadcast(
       trigger_index, quorum.members, list_bytes,
       [&](uint32_t server, const std::vector<uint8_t>& request)
           -> std::optional<std::vector<uint8_t>> {
         Result<msg::CommitList> list = msg::DecodeCommitList(request);
         if (!list.ok()) return std::nullopt;
-        const crypto::Hash256& rnd = tl_rnd(server);
-        crypto::Hash256 own =
-            crypto::Hash256::Of(rnd.bytes().data(), rnd.bytes().size());
-        if (std::find(list->commitments.begin(), list->commitments.end(),
-                      own) == list->commitments.end()) {
-          return std::nullopt;  // own commitment missing: refuse to reveal
-        }
-        Result<crypto::Signature> sig = ctx_.SignAs(server, signed_bytes);
-        if (!sig.ok()) return std::nullopt;
-        if (met != nullptr) {
-          met->Inc(obs::Counter::kCryptoSign);
-          met->IncNode(server, obs::NodeCounter::kCrypto);
-        }
-        return msg::Encode(msg::VrandReveal{rnd, std::move(sig.value())});
+        return TlRevealReply(ctx_, met, server, tl_rnd(server), *list);
       });
   for (int i = 0; i < k; ++i) {
     if (!reveals[i].ok) {

@@ -29,7 +29,7 @@
 #include "crypto/hash256.h"
 #include "net/cost.h"
 #include "net/failure.h"
-#include "net/sim_network.h"
+#include "net/transport.h"
 #include "util/rng.h"
 
 namespace sep2p::core {
@@ -72,7 +72,8 @@ class VrandProtocol {
   // (the caller restarts, as in the paper).
   //
   // If `network` is non-null, the T→TL commit/reveal rounds travel as
-  // typed messages (core/messages.h) over the simulated network with
+  // typed messages (core/messages.h) over that transport — simulated
+  // (net::SimNetwork) or real sockets (net::TcpTransport) — with
   // per-RPC timeout/retry/backoff: a TL that exhausts the retry budget
   // during engagement is declared failed and replaced by a spare R1
   // candidate; only an unreachable quorum (or a TL lost after its
@@ -83,7 +84,7 @@ class VrandProtocol {
   // are passive.
   Result<Outcome> Generate(uint32_t trigger_index, util::Rng& rng,
                            net::FailureModel* failures = nullptr,
-                           net::SimNetwork* network = nullptr,
+                           net::Transport* network = nullptr,
                            obs::TraceRecorder* trace = nullptr,
                            obs::MetricsRegistry* metrics = nullptr) const;
 
@@ -91,7 +92,7 @@ class VrandProtocol {
   // Message-level path: TL engagement with replacement, then the
   // commit-list/reveal round, all over `network`.
   Result<Outcome> GenerateOverNetwork(
-      uint32_t trigger_index, util::Rng& rng, net::SimNetwork& network,
+      uint32_t trigger_index, util::Rng& rng, net::Transport& network,
       const KTable::Choice& choice,
       const std::vector<uint32_t>& candidates) const;
 

@@ -51,7 +51,7 @@ uint64_t Percentile(std::vector<uint64_t>& sample, double p) {
 }  // namespace
 
 ThroughputEngine::ThroughputEngine(sim::Network* world,
-                                   net::SimNetwork* net,
+                                   net::Transport* net,
                                    node::AppRuntime* runtime,
                                    const Options& options)
     : world_(world), net_(net), runtime_(runtime), options_(options) {
@@ -202,7 +202,7 @@ Result<ThroughputEngine::Report> ThroughputEngine::Run() {
                         admit_us - t.arrival_us);
     }
 
-    net_->SetTime(admit_us);
+    net_->SetVirtualTime(admit_us);
     if (verifier_ != nullptr) verifier_->BeginTask(id);
     util::Rng rng(sim::StreamSeed(t.seed, 1));
     uint64_t digest = 0;

@@ -1,4 +1,4 @@
-// ThroughputEngine: concurrent-task execution over one SimNetwork.
+// ThroughputEngine: concurrent-task execution over one transport (net::Transport).
 //
 // The figures so far measure one protocol run at a time. A deployed
 // SEP2P network does not: triggers fire everywhere, so thousands of
@@ -16,9 +16,9 @@
 //    in-flight completion) once the window is full — so offered load
 //    beyond capacity turns into queue delay, never into drops;
 //  * concurrency on the virtual clock: the coordinator executes
-//    admitted tasks serially in admission order (a SimNetwork is
+//    admitted tasks serially in admission order (a transport is
 //    single-threaded by contract), but each task's execution is placed
-//    at its own admission instant via SimNetwork::SetTime — the same
+//    at its own admission instant via Transport::SetVirtualTime — the same
 //    virtual-parallel shape CallMany gives branches of one RPC round;
 //  * batched deferred verification: in kBatched mode the engine
 //    installs a crypto::BatchVerifier as the world's verify sink, so
@@ -49,7 +49,7 @@
 #include "apps/query.h"
 #include "crypto/batch_verifier.h"
 #include "engine/mempool.h"
-#include "net/sim_network.h"
+#include "net/transport.h"
 #include "node/app_runtime.h"
 #include "obs/metrics.h"
 #include "sim/network.h"
@@ -119,7 +119,7 @@ class ThroughputEngine {
   // installs (and on destruction removes) the world's verify sink in
   // kBatched mode. One engine per (world, net) — the engine owns the
   // virtual timeline.
-  ThroughputEngine(sim::Network* world, net::SimNetwork* net,
+  ThroughputEngine(sim::Network* world, net::Transport* net,
                    node::AppRuntime* runtime, const Options& options);
   ~ThroughputEngine();
 
@@ -171,7 +171,7 @@ class ThroughputEngine {
   void ResolveVerdicts();
 
   sim::Network* world_;
-  net::SimNetwork* net_;
+  net::Transport* net_;
   node::AppRuntime* runtime_;
   Options options_;
   TaskMempool mempool_;

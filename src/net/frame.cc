@@ -1,0 +1,111 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+namespace sep2p::net {
+
+namespace {
+
+void PutU16(std::vector<uint8_t>& out, uint16_t v) {
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v));
+}
+
+void PutU32(std::vector<uint8_t>& out, uint32_t v) {
+  for (int i = 3; i >= 0; --i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutU64(std::vector<uint8_t>& out, uint64_t v) {
+  for (int i = 7; i >= 0; --i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+uint16_t GetU16(const uint8_t* p) {
+  return static_cast<uint16_t>((p[0] << 8) | p[1]);
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  return (static_cast<uint32_t>(p[0]) << 24) |
+         (static_cast<uint32_t>(p[1]) << 16) |
+         (static_cast<uint32_t>(p[2]) << 8) | p[3];
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | p[i];
+  return v;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeFrame(const Frame& frame) {
+  std::vector<uint8_t> out;
+  out.reserve(kFrameHeaderLen + frame.payload.size());
+  out.push_back('S');
+  out.push_back('2');
+  out.push_back('P');
+  out.push_back(frame.type);
+  PutU16(out, kFrameVersion);
+  PutU64(out, frame.rpc_id);
+  PutU32(out, frame.src);
+  PutU32(out, frame.dst);
+  out.push_back(frame.status);
+  PutU32(out, static_cast<uint32_t>(frame.payload.size()));
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  return out;
+}
+
+Status FrameParser::ParseHeader(Frame* frame, uint32_t* payload_len) const {
+  const uint8_t* p = buffer_.data();
+  if (p[0] != 'S' || p[1] != '2' || p[2] != 'P') {
+    return Status::InvalidArgument("frame: bad magic");
+  }
+  frame->type = p[3];
+  if (frame->type != kFrameRequest && frame->type != kFrameResponse) {
+    return Status::InvalidArgument("frame: unknown type");
+  }
+  const uint16_t version = GetU16(p + 4);
+  if (version != kFrameVersion) {
+    return Status::InvalidArgument("frame: unsupported version");
+  }
+  frame->rpc_id = GetU64(p + 6);
+  frame->src = GetU32(p + 14);
+  frame->dst = GetU32(p + 18);
+  frame->status = p[22];
+  if (frame->status != kFrameOk && frame->status != kFrameRefused) {
+    return Status::InvalidArgument("frame: unknown status");
+  }
+  *payload_len = GetU32(p + 23);
+  if (*payload_len > kMaxFramePayload) {
+    return Status::InvalidArgument("frame: declared payload too large");
+  }
+  return Status::Ok();
+}
+
+Status FrameParser::Feed(const uint8_t* data, size_t len,
+                         std::vector<Frame>* out) {
+  if (poisoned_) {
+    return Status::InvalidArgument("frame: parser poisoned by earlier error");
+  }
+  buffer_.insert(buffer_.end(), data, data + len);
+  while (buffer_.size() >= kFrameHeaderLen) {
+    Frame frame;
+    uint32_t payload_len = 0;
+    // The header is validated as soon as it is complete — an oversized
+    // or garbage length prefix is rejected BEFORE any payload bytes are
+    // awaited or allocated.
+    Status header = ParseHeader(&frame, &payload_len);
+    if (!header.ok()) {
+      poisoned_ = true;
+      return header;
+    }
+    const size_t total = kFrameHeaderLen + payload_len;
+    if (buffer_.size() < total) break;  // wait for the rest
+    frame.payload.assign(buffer_.begin() + kFrameHeaderLen,
+                         buffer_.begin() + total);
+    buffer_.erase(buffer_.begin(), buffer_.begin() + total);
+    out->push_back(std::move(frame));
+  }
+  return Status::Ok();
+}
+
+}  // namespace sep2p::net

@@ -1,0 +1,88 @@
+// Length-prefixed framing for TcpTransport (net/tcp_transport.h).
+//
+// A frame is one request or response travelling a TCP stream:
+//
+//   magic   'S' '2' 'P'   (3 bytes — same magic as core/messages.h)
+//   type    u8            (1 = request, 2 = response)
+//   version u16           (frame-layer version, currently 1)
+//   rpc_id  u64           (caller-assigned; responses echo it)
+//   src     u32           (logical sender node)
+//   dst     u32           (logical destination node)
+//   status  u8            (responses: 0 = ok, 1 = refused; requests: 0)
+//   len     u32           (payload byte count, <= kMaxFramePayload)
+//   payload len bytes     (a core/messages.h message for requests and
+//                          ok-responses; empty for refusals)
+//
+// All integers are big-endian (core/wire_format.h primitives). The
+// payload inside the frame is a self-describing protocol message with
+// its own magic/tag/version header — the frame layer never interprets
+// it; protocol versioning rules live in core/messages.h (DESIGN.md
+// §14).
+//
+// FrameParser is a strict streaming decoder built for adversarial
+// input: it accumulates partial reads, validates the header before the
+// payload arrives, and rejects bad magic, unknown type/version, and
+// oversized declared lengths WITHOUT allocating payload-sized buffers
+// first — a malicious 4 GB length prefix costs the attacker a closed
+// connection, not our memory. A parse error is sticky: framing has no
+// resync point, so the connection must be dropped.
+
+#ifndef SEP2P_NET_FRAME_H_
+#define SEP2P_NET_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sep2p::net {
+
+inline constexpr uint8_t kFrameRequest = 1;
+inline constexpr uint8_t kFrameResponse = 2;
+
+inline constexpr uint8_t kFrameOk = 0;
+inline constexpr uint8_t kFrameRefused = 1;
+
+inline constexpr uint16_t kFrameVersion = 1;
+inline constexpr size_t kFrameHeaderLen = 27;
+
+// Generous for protocol messages (the largest — a VAL broadcast with
+// attestations — is tens of KB) while keeping a hostile length prefix
+// harmless.
+inline constexpr uint32_t kMaxFramePayload = 1u << 20;
+
+struct Frame {
+  uint8_t type = kFrameRequest;
+  uint64_t rpc_id = 0;
+  uint32_t src = 0;
+  uint32_t dst = 0;
+  uint8_t status = kFrameOk;
+  std::vector<uint8_t> payload;
+};
+
+std::vector<uint8_t> EncodeFrame(const Frame& frame);
+
+class FrameParser {
+ public:
+  // Appends `len` stream bytes and decodes every frame that completes;
+  // decoded frames are pushed onto `out`. Returns an error as soon as
+  // the stream is malformed (bad magic / type / version / length) —
+  // after which the parser refuses further input.
+  Status Feed(const uint8_t* data, size_t len, std::vector<Frame>* out);
+
+  // Bytes buffered awaiting the rest of a frame (test/diagnostic hook).
+  size_t pending_bytes() const { return buffer_.size(); }
+
+ private:
+  // Validates the 27-byte header currently at the front of buffer_ and
+  // fills `frame` (payload not yet attached) + `payload_len`.
+  Status ParseHeader(Frame* frame, uint32_t* payload_len) const;
+
+  std::vector<uint8_t> buffer_;
+  bool poisoned_ = false;
+};
+
+}  // namespace sep2p::net
+
+#endif  // SEP2P_NET_FRAME_H_

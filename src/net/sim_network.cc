@@ -7,7 +7,9 @@ namespace sep2p::net {
 
 SimNetwork::SimNetwork(uint32_t node_count, const LinkModel& link,
                        const RetryPolicy& retry, uint64_t seed)
-    : link_(link), retry_(retry), rng_(seed), endpoints_(node_count) {}
+    : link_(link), rng_(seed), endpoints_(node_count) {
+  retry_ = retry;
+}
 
 void SimNetwork::CrashAt(uint32_t node, uint64_t at_us) {
   endpoints_[node].crash_at_us =
@@ -247,7 +249,8 @@ SimNetwork::RpcResult SimNetwork::Call(uint32_t client, uint32_t server,
       // exits below overwrite it, and nothing the handler may do reads
       // it, so this is invisible outside tracing.
       now_us_ = *req_at;
-      std::optional<std::vector<uint8_t>> reply = handler(server, request);
+      std::optional<std::vector<uint8_t>> reply =
+          handler ? handler(server, request) : Dispatch(server, request);
       if (reply.has_value()) {
         // The reply buffer is dead after this point: move it into the
         // event queue instead of copying.
@@ -362,70 +365,6 @@ std::vector<SimNetwork::RpcResult> SimNetwork::CallBatch(
   }
   now_us_ = end;  // the wave completes with its slowest call
   return results;
-}
-
-SimNetwork::QuorumResult SimNetwork::EngageQuorum(
-    uint32_t client, const std::vector<uint32_t>& candidates, int k,
-    const std::function<std::vector<uint8_t>(uint32_t)>& make_request,
-    const Handler& handler) {
-  QuorumResult q;
-  if (static_cast<int>(candidates.size()) < k) return q;
-  const uint64_t retries_before = stats_.retries;
-  q.members.assign(candidates.begin(), candidates.begin() + k);
-  q.replies.resize(k);
-  size_t next = static_cast<size_t>(k);
-
-  // Wave 1 engages the first k candidates in parallel; each later wave
-  // re-engages only the slots whose member was declared failed, with
-  // the next spare substituted in.
-  std::vector<int> pending(k);
-  for (int i = 0; i < k; ++i) pending[i] = i;
-  while (!pending.empty()) {
-    std::vector<uint32_t> servers;
-    std::vector<std::vector<uint8_t>> requests;
-    servers.reserve(pending.size());
-    requests.reserve(pending.size());
-    for (int slot : pending) {
-      servers.push_back(q.members[slot]);
-      requests.push_back(make_request(q.members[slot]));
-    }
-    std::vector<RpcResult> results =
-        CallMany(client, servers, requests, handler);
-
-    std::vector<int> still_pending;
-    for (size_t i = 0; i < pending.size(); ++i) {
-      const int slot = pending[i];
-      if (results[i].ok) {
-        q.replies[slot] = std::move(results[i].reply);
-        continue;
-      }
-      // Declared failed: substitute the next spare, if any remains.
-      if (next >= candidates.size()) {
-        q.retries = static_cast<int>(stats_.retries - retries_before);
-        return q;  // quorum genuinely unreachable (ok = false)
-      }
-      if (trace_ != nullptr) {
-        obs::Event e;
-        e.t_us = now_us_;
-        e.kind = obs::EventKind::kMark;
-        e.node = servers[i];
-        e.peer = candidates[next];
-        e.detail = "quorum-replacement";
-        trace_->Record(std::move(e));
-      }
-      q.members[slot] = candidates[next++];
-      ++q.replacements;
-      ++stats_.quorum_replacements;
-      if (metrics_ != nullptr) {
-        metrics_->Inc(obs::Counter::kQuorumReplacements);
-      }
-      still_pending.push_back(slot);
-    }
-    pending.swap(still_pending);
-  }
-  q.ok = true;
-  q.retries = static_cast<int>(stats_.retries - retries_before);
-  return q;
 }
 
 }  // namespace sep2p::net

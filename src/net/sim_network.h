@@ -1,4 +1,5 @@
-// SimNetwork: a deterministic discrete-event message layer.
+// SimNetwork: a deterministic discrete-event message layer — the
+// simulation implementation of net::Transport (alias: SimTransport).
 //
 // The paper's robustness story (§3.6 "Failures and disconnections") was
 // previously modeled by net::FailureModel — an abstract per-step coin
@@ -34,6 +35,7 @@
 #include <optional>
 #include <vector>
 
+#include "net/transport.h"
 #include "obs/trace.h"
 #include "util/rng.h"
 
@@ -52,74 +54,23 @@ struct LinkModel {
   uint64_t process_us = 1'000;
 };
 
-// Per-RPC timeout/retry/backoff policy.
-struct RetryPolicy {
-  // An attempt times out when the reply has not arrived this long after
-  // the request departed.
-  uint64_t timeout_us = 250'000;
-  // Total attempts (1 = no retries).
-  int max_attempts = 4;
-  // Wait before the first retry; multiplied by `backoff_factor` after
-  // each further timeout.
-  uint64_t backoff_base_us = 100'000;
-  double backoff_factor = 2.0;
-  // Deterministic jitter: each backoff is stretched by a uniform factor
-  // in [0, jitter_fraction), drawn from the network's seeded Rng.
-  double jitter_fraction = 0.2;
-};
-
-class SimNetwork {
+class SimNetwork : public Transport {
  public:
-  struct Stats {
-    uint64_t messages_sent = 0;     // transmissions attempted
-    uint64_t messages_dropped = 0;  // lost to the link
-    uint64_t messages_delivered = 0;
-    uint64_t late_replies = 0;      // delivered after the caller gave up
-    uint64_t bytes_sent = 0;
-    uint64_t timeouts = 0;      // attempts that expired
-    uint64_t retries = 0;       // re-sent requests
-    uint64_t rpc_failures = 0;  // calls that exhausted every attempt
-    uint64_t step_crashes = 0;  // nodes killed by the per-step coin
-    uint64_t quorum_replacements = 0;  // members declared failed and
-                                       // substituted by EngageQuorum
-  };
-
-  struct RpcResult {
-    bool ok = false;
-    int attempts = 0;  // attempts consumed (>= 1 once issued)
-    std::vector<uint8_t> reply;
-  };
-
-  // Outcome of a quorum engagement (see EngageQuorum).
-  struct QuorumResult {
-    bool ok = false;  // k responsive members found
-    std::vector<uint32_t> members;
-    std::vector<std::vector<uint8_t>> replies;  // one per member
-    int replacements = 0;  // candidates declared failed and substituted
-    int retries = 0;       // transport retries spent on this engagement
-  };
-
-  // Server-side behaviour: given (server node, request bytes), produce
-  // reply bytes, or nullopt when the server refuses to answer. Handlers
-  // MUST be idempotent — a lost reply makes the caller retransmit, which
-  // re-invokes the handler.
-  using Handler = std::function<std::optional<std::vector<uint8_t>>(
-      uint32_t server, const std::vector<uint8_t>& request)>;
-
   SimNetwork(uint32_t node_count, const LinkModel& link,
              const RetryPolicy& retry, uint64_t seed);
 
-  uint64_t now_us() const { return now_us_; }
-  const Stats& stats() const { return stats_; }
+  // In-process dispatch: per-call handler closures model the servers.
+  bool remote_dispatch() const override { return false; }
+
+  uint64_t now_us() const override { return now_us_; }
   const LinkModel& link() const { return link_; }
-  const RetryPolicy& retry() const { return retry_; }
-  uint32_t node_count() const {
+  uint32_t node_count() const override {
     return static_cast<uint32_t>(endpoints_.size());
   }
 
   // Schedules `node` to crash (become permanently unreachable) at
   // `at_us` on the virtual clock.
-  void CrashAt(uint32_t node, uint64_t at_us);
+  void CrashAt(uint32_t node, uint64_t at_us) override;
 
   // Per-step crash probability, subsuming FailureModel: every time a
   // request reaches a live node, the node crashes with this probability
@@ -135,30 +86,22 @@ class SimNetwork {
   // passive — no randomness is drawn and no clock is advanced for it —
   // so a traced run is bit-identical to an untraced one. Pass nullptr
   // (the default state) to disable.
-  void set_trace(obs::TraceRecorder* trace);
-  obs::TraceRecorder* trace() const { return trace_; }
-
-  // Attaches a metrics registry: the network mirrors its Stats into it
-  // (totals AND the phase row currently open via obs::Span) and feeds
-  // the rpc latency/attempt histograms. Metering follows the same
-  // passivity contract as tracing — plain integer adds, no randomness,
-  // no clock — so a metered run is bit-identical to an unmetered one.
-  // The registry, like the network, must stay on one thread.
-  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
-  obs::MetricsRegistry* metrics() const { return metrics_; }
+  void set_trace(obs::TraceRecorder* trace) override;
 
   // Records the end-of-run mark the checker's message-conservation
   // invariant closes over: sends = delivers + drops + in-flight at
   // shutdown. Call once, after the last protocol action.
-  void FinalizeTrace();
+  void FinalizeTrace() override;
 
   // Synchronous request/response from `client` to `server`, advancing
   // the virtual clock: request latency + server processing + reply
   // latency on success; timeout + backoff per failed attempt. The reply
   // is delivered through the event queue into the client's inbox and
-  // consumed from there.
+  // consumed from there. An empty `handler` answers via the registered
+  // dispatch table instead (node::AppRuntime's path).
   RpcResult Call(uint32_t client, uint32_t server,
-                 const std::vector<uint8_t>& request, const Handler& handler);
+                 const std::vector<uint8_t>& request,
+                 const Handler& handler = {}) override;
 
   // `servers.size()` calls issued in parallel from `client`: every
   // branch starts at the current virtual time and the clock lands on the
@@ -168,24 +111,16 @@ class SimNetwork {
                                   const std::vector<uint32_t>& servers,
                                   const std::vector<std::vector<uint8_t>>&
                                       requests,
-                                  const Handler& handler);
+                                  const Handler& handler = {}) override;
 
   // Same-request fan-out: every server receives `request`. Equivalent to
   // CallMany with `servers.size()` copies of `request`, without
   // materializing those copies (the quorum paths — reveal, shortage,
-  // attest — all broadcast one message to k members). A distinct name,
-  // not an overload: braced-init request lists would be ambiguous.
+  // attest — all broadcast one message to k members).
   std::vector<RpcResult> Broadcast(uint32_t client,
                                    const std::vector<uint32_t>& servers,
                                    const std::vector<uint8_t>& request,
-                                   const Handler& handler);
-
-  // One call of a batch wave: `client` issues `request` to `server`.
-  struct Outgoing {
-    uint32_t client = 0;
-    uint32_t server = 0;
-    std::vector<uint8_t> request;
-  };
+                                   const Handler& handler = {}) override;
 
   // A parallel wave of calls from potentially MANY clients (e.g. every
   // data source contributing to its aggregator at once): every call
@@ -193,24 +128,13 @@ class SimNetwork {
   // slowest call's completion. Calls are evaluated in index order, so
   // the trace is deterministic.
   std::vector<RpcResult> CallBatch(const std::vector<Outgoing>& calls,
-                                   const Handler& handler);
-
-  // Engages `k` responsive members out of `candidates` (in order):
-  // the first k are contacted in parallel; members whose RPC exhausts
-  // its retry budget are declared failed and replaced by the next spare
-  // candidates in a follow-up parallel wave. Fails (ok = false) only
-  // when the candidate list runs dry — the caller's cue that the quorum
-  // is genuinely unreachable and a full restart is warranted.
-  QuorumResult EngageQuorum(
-      uint32_t client, const std::vector<uint32_t>& candidates, int k,
-      const std::function<std::vector<uint8_t>(uint32_t)>& make_request,
-      const Handler& handler);
+                                   const Handler& handler = {}) override;
 
   // Models a DHT routing leg of `hops` store-and-forward messages:
   // advances the clock by `hops` sampled one-way latencies and counts
   // the transmissions. Loss recovery on routing legs is the overlay's
   // business, so no drops are applied here.
-  void AdvanceRoute(int hops);
+  void AdvanceRoute(int hops) override;
 
   // One-way transmission of `payload` departing at `depart_us`; returns
   // the delivery time, or nullopt when the link drops the message or the
@@ -236,6 +160,12 @@ class SimNetwork {
   void SetTime(uint64_t at_us) {
     AdvanceTo(at_us);
     now_us_ = at_us;
+  }
+
+  // Transport's discrete-event capability probe maps onto SetTime.
+  bool SetVirtualTime(uint64_t at_us) override {
+    SetTime(at_us);
+    return true;
   }
 
  private:
@@ -268,7 +198,6 @@ class SimNetwork {
   bool StepCrash(uint32_t node, uint64_t at_us);
 
   LinkModel link_;
-  RetryPolicy retry_;
   util::Rng rng_;
   std::vector<Endpoint> endpoints_;
   // Binary heap managed with std::push_heap/pop_heap rather than a
@@ -279,14 +208,15 @@ class SimNetwork {
   uint64_t now_us_ = 0;
   uint64_t next_seq_ = 0;
   double step_crash_probability_ = 0.0;
-  Stats stats_;
-  obs::TraceRecorder* trace_ = nullptr;
-  obs::MetricsRegistry* metrics_ = nullptr;
   // RPC ids advance unconditionally (never from the Rng) so traced and
   // untraced runs stay bit-identical.
   uint64_t next_rpc_id_ = 0;
   uint64_t cur_rpc_ = 0;  // the RPC the current Transmit belongs to
 };
+
+// The discrete-event engine IS the simulation transport; the alias
+// names it by role at Transport-facing call sites.
+using SimTransport = SimNetwork;
 
 }  // namespace sep2p::net
 

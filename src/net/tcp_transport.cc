@@ -1,0 +1,567 @@
+#include "net/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace sep2p::net {
+
+namespace {
+
+// Writes the whole buffer, absorbing partial writes and EINTR. Returns
+// false when the connection is gone.
+bool WriteAll(int fd, const uint8_t* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+int ConnectTo(const std::string& host, uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(const Options& options)
+    : node_count_(options.node_count),
+      process_count_(options.process_count == 0 ? 1 : options.process_count),
+      process_index_(options.process_index),
+      listen_host_(options.listen_host),
+      listen_port_(options.listen_port),
+      rng_(options.seed),
+      epoch_(std::chrono::steady_clock::now()) {
+  retry_ = options.retry;
+  peers_.reserve(process_count_);
+  for (uint32_t p = 0; p < process_count_; ++p) {
+    peers_.push_back(std::make_unique<PeerConn>());
+  }
+}
+
+TcpTransport::~TcpTransport() { Stop(); }
+
+uint64_t TcpTransport::now_us() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void TcpTransport::set_trace(obs::TraceRecorder* trace) {
+  trace_ = trace;
+  if (trace_ != nullptr) {
+    // The recorder samples a bound clock pointer; a wall transport has
+    // no single "current virtual time", so bind a cache refreshed under
+    // mu_ right before every emission.
+    trace_->BindClock(&now_cache_);
+    trace_->meta().node_count = node_count_;
+    trace_->meta().max_attempts = retry_.max_attempts;
+  }
+}
+
+void TcpTransport::FinalizeTrace() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (trace_ == nullptr) return;
+  now_cache_ = now_us();
+  trace_->Mark(obs::kNoNode, "shutdown", 0);
+}
+
+Status TcpTransport::Start() {
+  if (started_) return Status::Ok();
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::Internal("tcp: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(listen_port_);
+  if (::inet_pton(AF_INET, listen_host_.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("tcp: bad listen host");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("tcp: bind() failed");
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("tcp: listen() failed");
+  }
+  // Ephemeral port: read back what the OS picked.
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    listen_port_ = ntohs(addr.sin_port);
+  }
+  started_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void TcpTransport::Stop() {
+  stopping_.store(true, std::memory_order_relaxed);
+  // Closing an fd another thread is blocked on is a race (the number
+  // could be reused under it) — so every fd is shutdown() first, which
+  // only wakes the blocked call, and close()d after the owning thread
+  // has been joined.
+  if (accept_thread_.joinable()) {
+    if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+    accept_thread_.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (auto& peer : peers_) CloseConnLocked(*peer);  // shutdown + mark down
+  }
+  for (auto& peer : peers_) {
+    if (peer->reader.joinable()) peer->reader.join();
+  }
+  {
+    // Reader-less leftovers (a reader closes its own fd on exit).
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (auto& peer : peers_) {
+      if (peer->fd >= 0) {
+        ::close(peer->fd);
+        peer->fd = -1;
+      }
+    }
+  }
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(service_mu_);
+    workers.swap(service_threads_);
+  }
+  for (std::thread& t : workers) {
+    if (t.joinable()) t.join();
+  }
+  started_ = false;
+}
+
+void TcpTransport::SetPeer(uint32_t process, const std::string& host,
+                           uint16_t port) {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  peers_[process]->host = host;
+  peers_[process]->port = port;
+}
+
+Status TcpTransport::WaitForPeers(uint64_t timeout_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (uint32_t p = 0; p < process_count_; ++p) {
+    if (p == process_index_) continue;
+    while (EnsureConn(p) < 0) {
+      if (std::chrono::steady_clock::now() >= deadline) {
+        return Status::Unavailable("tcp: peer never came up");
+      }
+      if (stopping_.load(std::memory_order_relaxed)) {
+        return Status::Unavailable("tcp: stopping");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  return Status::Ok();
+}
+
+void TcpTransport::CloseConnLocked(PeerConn& conn) {
+  // Marks the connection dead and wakes its reader; the close() itself
+  // belongs to the reader thread (it may be blocked in recv on this fd
+  // — closing here would race, ReaderLoop's exit path does it instead).
+  if (conn.fd >= 0) ::shutdown(conn.fd, SHUT_RDWR);
+  conn.up = false;
+}
+
+int TcpTransport::EnsureConn(uint32_t process) {
+  std::unique_lock<std::mutex> lock(conn_mu_);
+  PeerConn& conn = *peers_[process];
+  if (conn.up) return conn.fd;
+  if (conn.port == 0) return -1;  // peer address not declared yet
+  // A dead reader thread from the previous connection must be joined
+  // before its slot is reused.
+  if (conn.reader.joinable()) {
+    std::thread dead;
+    dead.swap(conn.reader);
+    lock.unlock();
+    dead.join();
+    lock.lock();
+    if (conn.up) return conn.fd;  // raced with another reconnect
+  }
+  const int fd = ConnectTo(conn.host, conn.port);
+  if (fd < 0) return -1;
+  conn.fd = fd;
+  conn.up = true;
+  conn.reader = std::thread([this, process, fd] { ReaderLoop(process, fd); });
+  return fd;
+}
+
+void TcpTransport::ReaderLoop(uint32_t process, int fd) {
+  FrameParser parser;
+  uint8_t buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // closed or error: pending calls will time out
+    std::vector<Frame> frames;
+    if (!parser.Feed(buf, static_cast<size_t>(n), &frames).ok()) break;
+    std::lock_guard<std::mutex> lock(wait_mu_);
+    for (Frame& f : frames) {
+      if (f.type != kFrameResponse) continue;  // protocol violation
+      auto it = pending_.find(f.rpc_id);
+      if (it == pending_.end()) {
+        // Reply to an attempt the caller already abandoned.
+        std::lock_guard<std::mutex> slock(mu_);
+        ++stats_.late_replies;
+        if (metrics_ != nullptr) {
+          metrics_->Inc(obs::Counter::kLateReplies);
+        }
+        continue;
+      }
+      it->second.done = true;
+      it->second.status = f.status;
+      it->second.payload = std::move(f.payload);
+    }
+    wait_cv_.notify_all();
+  }
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  PeerConn& conn = *peers_[process];
+  if (conn.fd == fd) {
+    ::close(conn.fd);
+    conn.fd = -1;
+    conn.up = false;
+  }
+}
+
+void TcpTransport::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int r = ::poll(&pfd, 1, 200);
+    if (r < 0 && errno != EINTR) break;
+    if (r <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed by Stop()
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lock(service_mu_);
+    service_threads_.emplace_back([this, fd] { ServiceLoop(fd); });
+  }
+}
+
+void TcpTransport::ServiceLoop(int fd) {
+  FrameParser parser;
+  uint8_t buf[4096];
+  for (;;) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int r = ::poll(&pfd, 1, 200);
+    if (r < 0 && errno != EINTR) break;
+    if (r == 0) {
+      if (stopping_.load(std::memory_order_relaxed)) break;
+      continue;
+    }
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    std::vector<Frame> frames;
+    if (!parser.Feed(buf, static_cast<size_t>(n), &frames).ok()) {
+      break;  // malformed stream: drop the connection
+    }
+    for (Frame& f : frames) {
+      if (f.type != kFrameRequest) continue;
+      Frame resp;
+      resp.type = kFrameResponse;
+      resp.rpc_id = f.rpc_id;
+      resp.src = f.dst;
+      resp.dst = f.src;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        now_cache_ = now_us();
+        ++stats_.messages_delivered;
+        if (metrics_ != nullptr) {
+          metrics_->Inc(obs::Counter::kMessagesDelivered);
+        }
+        dispatch_thread_.store(std::this_thread::get_id(),
+                               std::memory_order_relaxed);
+        std::optional<std::vector<uint8_t>> reply = Dispatch(f.dst, f.payload);
+        dispatch_thread_.store(std::thread::id(), std::memory_order_relaxed);
+        if (reply.has_value()) {
+          resp.status = kFrameOk;
+          resp.payload = std::move(*reply);
+          ++stats_.messages_sent;
+          stats_.bytes_sent += resp.payload.size();
+          if (metrics_ != nullptr) {
+            metrics_->Inc(obs::Counter::kMessagesSent);
+            metrics_->Inc(obs::Counter::kBytesSent, resp.payload.size());
+            metrics_->IncNode(f.dst, obs::NodeCounter::kMessages);
+          }
+        } else {
+          resp.status = kFrameRefused;
+        }
+      }
+      const std::vector<uint8_t> bytes = EncodeFrame(resp);
+      if (!WriteAll(fd, bytes.data(), bytes.size())) break;
+    }
+  }
+  ::close(fd);
+}
+
+void TcpTransport::CountSend(uint32_t from, uint64_t rpc, size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  now_cache_ = now_us();
+  ++stats_.messages_sent;
+  stats_.bytes_sent += bytes;
+  if (metrics_ != nullptr) {
+    metrics_->Inc(obs::Counter::kMessagesSent);
+    metrics_->Inc(obs::Counter::kBytesSent, bytes);
+    metrics_->IncNode(from, obs::NodeCounter::kMessages);
+  }
+  if (trace_ != nullptr) {
+    obs::Event e;
+    e.t_us = now_cache_;
+    e.kind = obs::EventKind::kSend;
+    e.node = from;
+    e.rpc = rpc;
+    e.value = bytes;
+    trace_->Record(std::move(e));
+  }
+}
+
+void TcpTransport::RecordRpcEvent(obs::EventKind kind, uint32_t client,
+                                  uint32_t server, uint64_t rpc,
+                                  uint64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (trace_ == nullptr) return;
+  now_cache_ = now_us();
+  obs::Event e;
+  e.t_us = now_cache_;
+  e.kind = kind;
+  e.node = client;
+  e.peer = server;
+  e.rpc = rpc;
+  e.value = value;
+  trace_->Record(std::move(e));
+}
+
+bool TcpTransport::AttemptRemote(uint32_t process, const Frame& request,
+                                 std::vector<uint8_t>* out) {
+  const int fd = EnsureConn(process);
+  if (fd < 0) return false;
+  {
+    std::lock_guard<std::mutex> lock(wait_mu_);
+    pending_[request.rpc_id] = PendingReply{};
+  }
+  const std::vector<uint8_t> bytes = EncodeFrame(request);
+  bool sent;
+  {
+    std::lock_guard<std::mutex> lock(peers_[process]->write_mu);
+    sent = WriteAll(fd, bytes.data(), bytes.size());
+  }
+  if (!sent) {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    CloseConnLocked(*peers_[process]);
+  }
+  CountSend(request.src, request.rpc_id, request.payload.size());
+
+  bool ok = false;
+  {
+    std::unique_lock<std::mutex> lock(wait_mu_);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::microseconds(retry_.timeout_us);
+    wait_cv_.wait_until(lock, deadline, [this, &request] {
+      auto it = pending_.find(request.rpc_id);
+      return it == pending_.end() || it->second.done;
+    });
+    auto it = pending_.find(request.rpc_id);
+    if (it != pending_.end()) {
+      if (it->second.done && it->second.status == kFrameOk) {
+        *out = std::move(it->second.payload);
+        ok = true;
+      }
+      pending_.erase(it);
+    }
+  }
+  return ok;
+}
+
+Transport::RpcResult TcpTransport::Call(uint32_t client, uint32_t server,
+                                        const std::vector<uint8_t>& request,
+                                        const Handler& handler) {
+  // Per-call handlers model servers in-process; a remote transport
+  // always answers from the server process's registered table.
+  (void)handler;
+  RpcResult result;
+  const uint64_t rpc = next_rpc_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (metrics_ != nullptr) metrics_->Inc(obs::Counter::kRpcsBegun);
+  }
+  RecordRpcEvent(obs::EventKind::kRpcBegin, client, server, rpc, 0);
+  const uint64_t rpc_start = now_us();
+
+  const uint32_t target = ProcessOf(server);
+  uint64_t backoff = retry_.backoff_base_us;
+  for (int attempt = 1; attempt <= retry_.max_attempts; ++attempt) {
+    result.attempts = attempt;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (metrics_ != nullptr) metrics_->Inc(obs::Counter::kRpcAttempts);
+    }
+    RecordRpcEvent(obs::EventKind::kAttempt, client, server, rpc,
+                   static_cast<uint64_t>(attempt));
+
+    if (target == process_index_) {
+      // Locally-hosted server: no socket, same dispatch + accounting.
+      CountSend(client, rpc, request.size());
+      std::lock_guard<std::mutex> lock(mu_);
+      now_cache_ = now_us();
+      ++stats_.messages_delivered;
+      if (metrics_ != nullptr) {
+        metrics_->Inc(obs::Counter::kMessagesDelivered);
+      }
+      dispatch_thread_.store(std::this_thread::get_id(),
+                             std::memory_order_relaxed);
+      std::optional<std::vector<uint8_t>> reply = Dispatch(server, request);
+      dispatch_thread_.store(std::thread::id(), std::memory_order_relaxed);
+      if (reply.has_value()) {
+        result.ok = true;
+        result.reply = std::move(*reply);
+      }
+    } else {
+      Frame f;
+      f.type = kFrameRequest;
+      f.rpc_id = rpc;
+      f.src = client;
+      f.dst = server;
+      f.payload = request;
+      result.ok = AttemptRemote(target, f, &result.reply);
+    }
+
+    if (result.ok) {
+      std::lock_guard<std::mutex> lock(mu_);
+      now_cache_ = now_us();
+      if (metrics_ != nullptr) {
+        metrics_->Observe(obs::Hist::kRpcLatencyUs, now_cache_ - rpc_start);
+        metrics_->Observe(obs::Hist::kRpcAttempts,
+                          static_cast<uint64_t>(attempt));
+      }
+      if (trace_ != nullptr) {
+        obs::Event e;
+        e.t_us = now_cache_;
+        e.kind = obs::EventKind::kRpcEnd;
+        e.node = client;
+        e.peer = server;
+        e.rpc = rpc;
+        e.value = static_cast<uint64_t>(attempt);
+        trace_->Record(std::move(e));
+      }
+      return result;
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.timeouts;
+      if (metrics_ != nullptr) metrics_->Inc(obs::Counter::kTimeouts);
+    }
+    RecordRpcEvent(obs::EventKind::kTimeout, client, server, rpc,
+                   static_cast<uint64_t>(attempt));
+    if (attempt < retry_.max_attempts) {
+      uint64_t wait = backoff;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.retries;
+        if (metrics_ != nullptr) metrics_->Inc(obs::Counter::kRetries);
+        if (retry_.jitter_fraction > 0) {
+          wait += static_cast<uint64_t>(static_cast<double>(backoff) *
+                                        retry_.jitter_fraction *
+                                        rng_.NextDouble());
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(wait));
+      backoff = static_cast<uint64_t>(static_cast<double>(backoff) *
+                                      retry_.backoff_factor);
+      RecordRpcEvent(obs::EventKind::kRetry, client, server, rpc,
+                     static_cast<uint64_t>(attempt + 1));
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.rpc_failures;
+    if (metrics_ != nullptr) {
+      metrics_->Inc(obs::Counter::kRpcsFailed);
+      metrics_->Observe(obs::Hist::kRpcAttempts,
+                        static_cast<uint64_t>(retry_.max_attempts));
+    }
+  }
+  RecordRpcEvent(obs::EventKind::kRpcFail, client, server, rpc,
+                 static_cast<uint64_t>(retry_.max_attempts));
+  return result;
+}
+
+void TcpTransport::Register(uint8_t tag, Handler handler) {
+  if (dispatch_thread_.load(std::memory_order_relaxed) ==
+      std::this_thread::get_id()) {
+    Transport::Register(tag, std::move(handler));
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  Transport::Register(tag, std::move(handler));
+}
+
+void TcpTransport::RegisterNode(uint32_t node, uint8_t tag, Handler handler) {
+  if (dispatch_thread_.load(std::memory_order_relaxed) ==
+      std::this_thread::get_id()) {
+    Transport::RegisterNode(node, tag, std::move(handler));
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  Transport::RegisterNode(node, tag, std::move(handler));
+}
+
+void TcpTransport::UnregisterNode(uint32_t node, uint8_t tag) {
+  if (dispatch_thread_.load(std::memory_order_relaxed) ==
+      std::this_thread::get_id()) {
+    Transport::UnregisterNode(node, tag);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  Transport::UnregisterNode(node, tag);
+}
+
+}  // namespace sep2p::net

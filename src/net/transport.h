@@ -1,0 +1,258 @@
+// net::Transport: the message-layer interface every SEP2P protocol
+// driver talks to.
+//
+// The protocols (CSAR verifiable randomness, imposed-location actor
+// selection, attested joins, the five apps) are specified as messages
+// between nodes; this interface is the contract they are written
+// against. Two implementations exist:
+//
+//   * SimNetwork (net/sim_network.h) — the deterministic discrete-event
+//     engine. Virtual clock, seeded latency/drop/crash injection,
+//     virtual-parallel CallMany. Bit-identical replay for a fixed seed.
+//   * TcpTransport (net/tcp_transport.h) — real sockets between OS
+//     processes. Length-prefixed frames over core/wire.h, wall-clock
+//     timeouts, per-connection reconnect.
+//
+// The split of responsibilities:
+//
+//   * The base class owns the handler registry and PeekTag dispatch
+//     (moved here from node::AppRuntime so a *remote* process can route
+//     an incoming frame to the same handler a sim run would invoke
+//     in-process), the shared Stats block, the obs hooks, and the
+//     EngageQuorum replacement-wave algorithm (pure control flow over
+//     CallMany — identical for both transports by construction).
+//   * Implementations own the clock, the wire, and Call/CallMany/
+//     Broadcast/CallBatch. The base provides sequential defaults built
+//     on Call; SimNetwork overrides them with its virtual-parallel
+//     versions.
+//
+// Per-call handlers vs registered dispatch: Call takes an optional
+// Handler. SimNetwork executes it in-process (this is how the protocol
+// drivers model server-side behaviour with closures over driver state,
+// and it keeps pre-refactor runs bit-identical); when the handler is
+// empty it falls back to the registered dispatch table. TcpTransport
+// ALWAYS ignores the per-call handler — the server process answers from
+// its own registered table (core/protocol_service.h holds the resident
+// server-side protocol state) — which is exactly the honest-execution
+// assumption the closures encode. Capability probes (remote_dispatch,
+// NewEngagementNonce, SetVirtualTime, CrashAt) let shared code ask
+// which world it is in without #ifdef forks.
+//
+// Thread-safety: the registry and stats are NOT internally locked; a
+// SimNetwork must stay on one thread, and TcpTransport serializes all
+// dispatch + stats + obs under its own mutex.
+
+#ifndef SEP2P_NET_TRANSPORT_H_
+#define SEP2P_NET_TRANSPORT_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace sep2p::net {
+
+// Per-RPC timeout/retry/backoff policy. For SimNetwork the times are
+// virtual microseconds; for TcpTransport they are wall-clock.
+struct RetryPolicy {
+  // An attempt times out when the reply has not arrived this long after
+  // the request departed.
+  uint64_t timeout_us = 250'000;
+  // Total attempts (1 = no retries).
+  int max_attempts = 4;
+  // Wait before the first retry; multiplied by `backoff_factor` after
+  // each further timeout.
+  uint64_t backoff_base_us = 100'000;
+  double backoff_factor = 2.0;
+  // Deterministic jitter: each backoff is stretched by a uniform factor
+  // in [0, jitter_fraction), drawn from the transport's seeded Rng.
+  double jitter_fraction = 0.2;
+};
+
+class Transport {
+ public:
+  struct Stats {
+    uint64_t messages_sent = 0;     // transmissions attempted
+    uint64_t messages_dropped = 0;  // lost to the link
+    uint64_t messages_delivered = 0;
+    uint64_t late_replies = 0;      // delivered after the caller gave up
+    uint64_t bytes_sent = 0;
+    uint64_t timeouts = 0;      // attempts that expired
+    uint64_t retries = 0;       // re-sent requests
+    uint64_t rpc_failures = 0;  // calls that exhausted every attempt
+    uint64_t step_crashes = 0;  // nodes killed by the per-step coin
+    uint64_t quorum_replacements = 0;  // members declared failed and
+                                       // substituted by EngageQuorum
+  };
+
+  struct RpcResult {
+    bool ok = false;
+    int attempts = 0;  // attempts consumed (>= 1 once issued)
+    std::vector<uint8_t> reply;
+  };
+
+  // Outcome of a quorum engagement (see EngageQuorum).
+  struct QuorumResult {
+    bool ok = false;  // k responsive members found
+    std::vector<uint32_t> members;
+    std::vector<std::vector<uint8_t>> replies;  // one per member
+    int replacements = 0;  // candidates declared failed and substituted
+    int retries = 0;       // transport retries spent on this engagement
+  };
+
+  // Server-side behaviour: given (server node, request bytes), produce
+  // reply bytes, or nullopt when the server refuses to answer. Handlers
+  // MUST be idempotent — a lost reply makes the caller retransmit, which
+  // re-invokes the handler — and must never re-enter the transport.
+  using Handler = std::function<std::optional<std::vector<uint8_t>>(
+      uint32_t server, const std::vector<uint8_t>& request)>;
+
+  // One call of a batch wave: `client` issues `request` to `server`.
+  struct Outgoing {
+    uint32_t client = 0;
+    uint32_t server = 0;
+    std::vector<uint8_t> request;
+  };
+
+  virtual ~Transport() = default;
+
+  // ---- Capability probes -------------------------------------------
+
+  // True when server-side behaviour executes in OTHER processes via the
+  // registered dispatch table (per-call handler closures are ignored).
+  // Protocol drivers branch on this for data plumbing only — e.g.
+  // sending the commitment preimage on the wire instead of reading it
+  // out of a closure — never for protocol logic.
+  virtual bool remote_dispatch() const = 0;
+
+  // Fresh nonzero nonce scoping one protocol engagement's server-side
+  // state (core/protocol_service.h keys its per-engagement tables on
+  // it). Transports that dispatch in-process return 0: the closures ARE
+  // the engagement state, and a zero nonce encodes to version-1 wire
+  // bytes — bit-identical to pre-refactor runs.
+  virtual uint64_t NewEngagementNonce() { return 0; }
+
+  // Discrete-event capability: jumps the virtual clock to `at_us`
+  // (used by the throughput engine and churn driver for virtual-
+  // parallel task placement). Wall-clock transports refuse.
+  virtual bool SetVirtualTime(uint64_t at_us) {
+    (void)at_us;
+    return false;
+  }
+
+  // Fault-injection capability: schedules `node` to become permanently
+  // unreachable at `at_us`. No-op on transports without injection.
+  virtual void CrashAt(uint32_t node, uint64_t at_us) {
+    (void)node;
+    (void)at_us;
+  }
+
+  // ---- Clock, stats, obs hooks -------------------------------------
+
+  virtual uint64_t now_us() const = 0;
+  virtual uint32_t node_count() const = 0;
+  const Stats& stats() const { return stats_; }
+  const RetryPolicy& retry() const { return retry_; }
+
+  // Attaches an observability recorder / metrics registry. Recording is
+  // passive — no randomness, no clock — so a traced or metered run is
+  // bit-identical to a bare one. Pass nullptr to detach.
+  virtual void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
+  obs::TraceRecorder* trace() const { return trace_; }
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+
+  // Records the end-of-run mark the checker's message-conservation
+  // invariant closes over. Call once, after the last protocol action.
+  virtual void FinalizeTrace() {}
+
+  // ---- Registered dispatch -----------------------------------------
+
+  // Installs `handler` for `tag` on EVERY node (homogeneous deployment,
+  // e.g. any node can serve as metadata indexer). Last registration
+  // wins. Virtual so a threaded transport can serialize registrations
+  // against its concurrent dispatch (handlers themselves may register —
+  // e.g. a QueryDeploy installing the round's per-node handlers — which
+  // a threaded transport already runs under its dispatch lock).
+  virtual void Register(uint8_t tag, Handler handler);
+
+  // Installs `handler` for `tag` on one specific node (e.g. this
+  // round's data aggregators); takes precedence over the global
+  // registration.
+  virtual void RegisterNode(uint32_t node, uint8_t tag, Handler handler);
+  virtual void UnregisterNode(uint32_t node, uint8_t tag);
+
+  // Routes (server, request) through the registry: peeks the tag, then
+  // per-node registration, then global. Unknown tags are refused (the
+  // caller times out, as against a node that does not run the app).
+  std::optional<std::vector<uint8_t>> Dispatch(
+      uint32_t server, const std::vector<uint8_t>& request);
+
+  // ---- Messaging ---------------------------------------------------
+
+  // Synchronous request/response from `client` to `server`. When
+  // `handler` is empty the server side answers via Dispatch (in the
+  // server's process, wherever that is); a non-empty handler models the
+  // server in-process on transports that support it.
+  virtual RpcResult Call(uint32_t client, uint32_t server,
+                         const std::vector<uint8_t>& request,
+                         const Handler& handler = {}) = 0;
+
+  // `servers.size()` calls issued in parallel from `client`. The base
+  // default issues them sequentially in index order (a wall-clock
+  // transport overlaps real time naturally); SimNetwork overrides with
+  // its virtual-parallel version.
+  virtual std::vector<RpcResult> CallMany(
+      uint32_t client, const std::vector<uint32_t>& servers,
+      const std::vector<std::vector<uint8_t>>& requests,
+      const Handler& handler = {});
+
+  // Same-request fan-out: every server receives `request`. A distinct
+  // name, not an overload: braced-init request lists would be
+  // ambiguous.
+  virtual std::vector<RpcResult> Broadcast(
+      uint32_t client, const std::vector<uint32_t>& servers,
+      const std::vector<uint8_t>& request, const Handler& handler = {});
+
+  // A parallel wave of calls from potentially MANY clients (e.g. every
+  // data source contributing to its aggregator at once).
+  virtual std::vector<RpcResult> CallBatch(
+      const std::vector<Outgoing>& calls, const Handler& handler = {});
+
+  // Engages `k` responsive members out of `candidates` (in order):
+  // the first k are contacted in parallel; members whose RPC exhausts
+  // its retry budget are declared failed and replaced by the next spare
+  // candidates in a follow-up parallel wave. Fails (ok = false) only
+  // when the candidate list runs dry — the caller's cue that the quorum
+  // is genuinely unreachable and a full restart is warranted. Pure
+  // control flow over CallMany, shared by every transport.
+  QuorumResult EngageQuorum(
+      uint32_t client, const std::vector<uint32_t>& candidates, int k,
+      const std::function<std::vector<uint8_t>(uint32_t)>& make_request,
+      const Handler& handler = {});
+
+  // Models a DHT routing leg of `hops` store-and-forward messages.
+  // SimNetwork advances the virtual clock; TcpTransport only meters it
+  // (real routing would be the overlay's own traffic).
+  virtual void AdvanceRoute(int hops);
+
+ protected:
+  Transport() = default;
+
+  Stats stats_;
+  RetryPolicy retry_;
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+
+ private:
+  std::map<uint8_t, Handler> handlers_;
+  std::map<std::pair<uint32_t, uint8_t>, Handler> node_handlers_;
+};
+
+}  // namespace sep2p::net
+
+#endif  // SEP2P_NET_TRANSPORT_H_

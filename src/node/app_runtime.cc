@@ -1,67 +1,29 @@
 #include "node/app_runtime.h"
 
-#include "core/messages.h"
-
 namespace sep2p::node {
 
 void AppRuntime::Register(uint8_t tag, Handler handler) {
-  handlers_[tag] = std::move(handler);
+  network_->Register(tag, std::move(handler));
 }
 
 void AppRuntime::RegisterNode(uint32_t node, uint8_t tag, Handler handler) {
-  node_handlers_[{node, tag}] = std::move(handler);
+  network_->RegisterNode(node, tag, std::move(handler));
 }
 
 void AppRuntime::UnregisterNode(uint32_t node, uint8_t tag) {
-  node_handlers_.erase({node, tag});
+  network_->UnregisterNode(node, tag);
 }
 
-std::optional<std::vector<uint8_t>> AppRuntime::Dispatch(
-    uint32_t server, const std::vector<uint8_t>& request) {
-  Result<uint8_t> tag = core::msg::PeekTag(request);
-  if (!tag.ok()) return std::nullopt;
-  if (obs::MetricsRegistry* metrics = network_->metrics();
-      metrics != nullptr) {
-    metrics->Inc(obs::Counter::kDispatches);
-  }
-  if (obs::TraceRecorder* trace = network_->trace(); trace != nullptr) {
-    obs::Event e;
-    e.t_us = trace->now_us();  // the network parks its clock on arrival
-    e.kind = obs::EventKind::kDispatch;
-    e.node = server;
-    e.value = tag.value();
-    trace->Record(std::move(e));
-  }
-  auto node_it = node_handlers_.find({server, tag.value()});
-  if (node_it != node_handlers_.end()) {
-    return node_it->second(server, request);
-  }
-  auto it = handlers_.find(tag.value());
-  if (it == handlers_.end()) return std::nullopt;
-  return it->second(server, request);
-}
-
-net::SimNetwork::RpcResult AppRuntime::Call(
+net::Transport::RpcResult AppRuntime::Call(
     uint32_t client, uint32_t server, const std::vector<uint8_t>& request) {
   cost_.Then(net::Cost::Step(0, 1));
-  return network_->Call(client, server, request,
-                        [this](uint32_t node, const std::vector<uint8_t>& m) {
-                          return Dispatch(node, m);
-                        });
+  return network_->Call(client, server, request);
 }
 
-std::vector<net::SimNetwork::RpcResult> AppRuntime::CallBatch(
+std::vector<net::Transport::RpcResult> AppRuntime::CallBatch(
     const std::vector<Outgoing>& calls) {
   cost_.Then(net::Cost::WorkOnly(0, static_cast<double>(calls.size())));
-  std::vector<net::SimNetwork::Outgoing> wave;
-  wave.reserve(calls.size());
-  for (const Outgoing& call : calls) {
-    wave.push_back({call.client, call.server, call.request});
-  }
-  return network_->CallBatch(
-      wave, [this](uint32_t node, const std::vector<uint8_t>& m) {
-        return Dispatch(node, m);
-      });
+  return network_->CallBatch(calls);
 }
 
 void AppRuntime::AdvanceRoute(int hops) {

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <set>
 
+#include "core/messages.h"
+#include "core/protocol_service.h"
+#include "crypto/hash256.h"
 #include "dht/region.h"
 #include "node/node_cache.h"
 
@@ -49,12 +52,42 @@ Result<AttestedCache> JoinProtocol::AttestCache(uint32_t owner_index,
     return Status::ResourceExhausted("attest: fewer than k attestors");
   }
   rng.Shuffle(attestors);
-  attestors.resize(choice.entry.k);
 
   // Each attestor cross-checks the entries against its own cache (its
   // coverage overlaps the owner's, so lies about shared ground would be
   // detected — covert adversaries therefore sign honestly) and signs.
   const std::vector<uint8_t> signed_bytes = cache.SignedBytes();
+  if (transport_ != nullptr) {
+    // Message-level path: AttestRequest out (digest + preimage, so a
+    // resident attestor can check what it signs), attestations back;
+    // unresponsive attestors are replaced by spare R1 candidates.
+    core::msg::AttestRequest request;
+    request.digest =
+        crypto::Hash256::Of(signed_bytes.data(), signed_bytes.size());
+    if (transport_->remote_dispatch()) request.preimage = signed_bytes;
+    const std::vector<uint8_t> request_bytes = core::msg::Encode(request);
+    obs::MetricsRegistry* met = transport_->metrics();
+    net::Transport::QuorumResult quorum = transport_->EngageQuorum(
+        owner_index, attestors, choice.entry.k,
+        [&](uint32_t) { return request_bytes; },
+        [&](uint32_t server, const std::vector<uint8_t>& req)
+            -> std::optional<std::vector<uint8_t>> {
+          if (!core::msg::DecodeAttestRequest(req).ok()) return std::nullopt;
+          return core::AttestReply(ctx_, met, server, signed_bytes);
+        });
+    if (!quorum.ok) {
+      return Status::Unavailable("attest: attestor quorum unreachable");
+    }
+    for (int j = 0; j < choice.entry.k; ++j) {
+      Result<core::msg::Attestation> att =
+          core::msg::DecodeAttestation(quorum.replies[j]);
+      if (!att.ok()) return att.status();
+      cache.attestations.push_back(
+          {std::move(att->cert), std::move(att->sig)});
+    }
+    return cache;
+  }
+  attestors.resize(choice.entry.k);
   for (uint32_t attestor : attestors) {
     Result<crypto::Signature> sig = ctx_.SignAs(attestor, signed_bytes);
     if (!sig.ok()) return sig.status();

@@ -19,6 +19,7 @@
 
 #include "core/context.h"
 #include "net/cost.h"
+#include "net/transport.h"
 #include "util/rng.h"
 
 namespace sep2p::node {
@@ -42,7 +43,16 @@ struct AttestedCache {
 
 class JoinProtocol {
  public:
-  explicit JoinProtocol(const core::ProtocolContext& ctx) : ctx_(ctx) {}
+  // With the default null transport the attestor signatures are
+  // collected directly (the historical in-memory path — the churn
+  // driver depends on its exact draw order for digest stability). With
+  // a transport, attestation requests travel as AttestRequest messages
+  // carrying the cache's signed bytes (the preimage a resident attestor
+  // demands), through EngageQuorum: unresponsive attestors are replaced
+  // by spare R1 candidates.
+  explicit JoinProtocol(const core::ProtocolContext& ctx,
+                        net::Transport* transport = nullptr)
+      : ctx_(ctx), transport_(transport) {}
 
   // Builds an attested snapshot of `owner`'s node cache: k legitimate
   // nodes w.r.t. an R1-sized region centered on the owner check the
@@ -65,6 +75,7 @@ class JoinProtocol {
 
  private:
   const core::ProtocolContext& ctx_;
+  net::Transport* transport_ = nullptr;
 };
 
 // Verifies an attested cache: owner certificate, attestor certificates,

@@ -14,14 +14,14 @@ constexpr uint32_t kNoNode = UINT32_MAX;
 
 }  // namespace
 
-ChurnDriver::ChurnDriver(Network* network, net::SimNetwork* simnet,
+ChurnDriver::ChurnDriver(Network* network, net::Transport* transport,
                          Options options)
     : network_(network),
-      simnet_(simnet),
+      transport_(transport),
       options_(options),
       rng_(MixSeed(network->params().seed, options.seed)),
       ktable_population_(network->params().n) {
-  if (simnet_ != nullptr) now_us_ = simnet_->now_us();
+  if (transport_ != nullptr) now_us_ = transport_->now_us();
   // Pool nodes were provisioned dead, but their handles are scattered
   // across [0, size) — the directory sorts by ring position, so pool
   // membership does NOT mean "handle >= n". Scan everything; ascending
@@ -63,7 +63,7 @@ void ChurnDriver::Step() {
   uint64_t dt_us = static_cast<uint64_t>(dt_s * 1e6);
   if (dt_us == 0) dt_us = 1;
   now_us_ += dt_us;
-  if (simnet_ != nullptr) simnet_->SetTime(now_us_);
+  if (transport_ != nullptr) transport_->SetVirtualTime(now_us_);
 
   ++stats_.events;
   const double pick = rng_.NextDouble() * total_rate;
@@ -106,9 +106,21 @@ void ChurnDriver::DoJoin() {
   if (options_.attested_joins) {
     core::ProtocolContext ctx = network_->context();
     ctx.now = now_us_ / 1000000 + 1000;  // virtual seconds on the §3.6 clock
+    // Batched verification: the join's signature/certificate checks are
+    // deferred into one task per event and drained before the outcome
+    // folds, so the digest stays bit-identical for any worker count.
+    const uint64_t task_id = stats_.events;
+    if (options_.verifier != nullptr) {
+      ctx.verify_sink = options_.verifier;
+      options_.verifier->BeginTask(task_id);
+    }
     node::JoinProtocol join(ctx);
     Result<node::JoinProtocol::Outcome> outcome = join.Join(idx, rng_);
     ok = outcome.ok() ? 1 : 0;
+    if (options_.verifier != nullptr) {
+      options_.verifier->Drain();
+      if (ok != 0 && options_.verifier->TaskFailed(task_id)) ok = 0;
+    }
   }
   if (ok != 0) {
     ++stats_.joins;
@@ -149,8 +161,8 @@ void ChurnDriver::DoLeave(bool crash) {
   const uint32_t idx = *dir.NthAlive(k);
   if (crash) {
     dir.MarkCrashed(idx);
-    if (simnet_ != nullptr && idx < simnet_->node_count()) {
-      simnet_->CrashAt(idx, now_us_);
+    if (transport_ != nullptr && idx < transport_->node_count()) {
+      transport_->CrashAt(idx, now_us_);
     }
     ++stats_.crashes;
   } else {

@@ -18,7 +18,9 @@
 // Determinism: the driver is strictly sequential on the virtual clock
 // and owns a single SplitMix64 stream, so a run is a pure function of
 // (network, options) — the digest is bit-identical for any thread count
-// used to build the network or drain deferred verification.
+// used to build the network or drain deferred verification (including
+// Options::verifier workers: the attestation signatures a join defers
+// are all valid, so batched verdicts change nothing the digest folds).
 
 #ifndef SEP2P_SIM_CHURN_DRIVER_H_
 #define SEP2P_SIM_CHURN_DRIVER_H_
@@ -26,7 +28,8 @@
 #include <cstdint>
 #include <deque>
 
-#include "net/sim_network.h"
+#include "crypto/batch_verifier.h"
+#include "net/transport.h"
 #include "obs/metrics.h"
 #include "sim/network.h"
 #include "util/rng.h"
@@ -48,6 +51,12 @@ class ChurnDriver {
     double ktable_refresh_factor = 1.25;
     uint64_t seed = 0x636875726eULL;  // "churn"
     obs::MetricsRegistry* metrics = nullptr;
+    // When set, each attested join routes its signature/certificate
+    // checks through this batched verifier (one task per churn event,
+    // drained before the event's outcome folds into the digest) instead
+    // of verifying synchronously. Joins whose deferred checks fail are
+    // counted rejected, exactly as the synchronous path would.
+    crypto::BatchVerifier* verifier = nullptr;
   };
 
   struct Stats {
@@ -65,11 +74,13 @@ class ChurnDriver {
     uint64_t digest = 14695981039346656037ULL;
   };
 
-  // `network` and `simnet` must outlive the driver. `simnet` may be
-  // nullptr (the driver then keeps a private virtual clock); when given,
-  // the driver advances its clock and registers crashes so in-flight
-  // protocol RPCs observe them.
-  ChurnDriver(Network* network, net::SimNetwork* simnet, Options options);
+  // `network` and `transport` must outlive the driver. `transport` may
+  // be nullptr (the driver then keeps a private virtual clock); when
+  // given, the driver advances its virtual clock and registers crashes
+  // through the capability virtuals (SetVirtualTime/CrashAt) so
+  // in-flight protocol RPCs observe them — no-ops on wall-clock
+  // transports.
+  ChurnDriver(Network* network, net::Transport* transport, Options options);
 
   // Applies the next `count` churn events. Events that cannot proceed
   // (join with an empty standby queue, leave/crash of the last alive
@@ -90,7 +101,7 @@ class ChurnDriver {
   void Fold(Kind kind, uint32_t node, uint64_t detail);
 
   Network* network_;
-  net::SimNetwork* simnet_;
+  net::Transport* transport_;
   Options options_;
   util::Rng rng_;
   Stats stats_;

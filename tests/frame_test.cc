@@ -1,0 +1,189 @@
+// Decode-robustness tests for the TcpTransport framing layer
+// (net/frame.h): truncated frames, oversized declared lengths, partial
+// reads, and garbage bytes must be rejected — never crash the parser or
+// make it allocate attacker-controlled amounts of memory.
+
+#include "net/frame.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace sep2p::net {
+namespace {
+
+Frame SampleFrame() {
+  Frame f;
+  f.type = kFrameRequest;
+  f.rpc_id = 0x1122334455667788ULL;
+  f.src = 7;
+  f.dst = 42;
+  f.status = kFrameOk;
+  f.payload = {0xde, 0xad, 0xbe, 0xef};
+  return f;
+}
+
+TEST(FrameTest, RoundTripsRequestAndResponse) {
+  FrameParser parser;
+  std::vector<Frame> out;
+
+  Frame request = SampleFrame();
+  std::vector<uint8_t> wire = EncodeFrame(request);
+  ASSERT_TRUE(parser.Feed(wire.data(), wire.size(), &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].type, kFrameRequest);
+  EXPECT_EQ(out[0].rpc_id, request.rpc_id);
+  EXPECT_EQ(out[0].src, request.src);
+  EXPECT_EQ(out[0].dst, request.dst);
+  EXPECT_EQ(out[0].payload, request.payload);
+
+  Frame response = SampleFrame();
+  response.type = kFrameResponse;
+  response.status = kFrameRefused;
+  response.payload.clear();
+  wire = EncodeFrame(response);
+  out.clear();
+  ASSERT_TRUE(parser.Feed(wire.data(), wire.size(), &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].type, kFrameResponse);
+  EXPECT_EQ(out[0].status, kFrameRefused);
+  EXPECT_TRUE(out[0].payload.empty());
+}
+
+TEST(FrameTest, ByteAtATimeFeedDecodesIdentically) {
+  Frame frame = SampleFrame();
+  std::vector<uint8_t> wire = EncodeFrame(frame);
+
+  FrameParser parser;
+  std::vector<Frame> out;
+  for (size_t i = 0; i < wire.size(); ++i) {
+    ASSERT_TRUE(parser.Feed(&wire[i], 1, &out).ok()) << "at byte " << i;
+    if (i + 1 < wire.size()) {
+      EXPECT_TRUE(out.empty()) << "frame completed early at byte " << i;
+    }
+  }
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].payload, frame.payload);
+  EXPECT_EQ(parser.pending_bytes(), 0u);
+}
+
+TEST(FrameTest, TruncatedFrameStaysPendingNotDecoded) {
+  std::vector<uint8_t> wire = EncodeFrame(SampleFrame());
+  FrameParser parser;
+  std::vector<Frame> out;
+  // Everything but the last payload byte: valid prefix, no frame yet.
+  ASSERT_TRUE(parser.Feed(wire.data(), wire.size() - 1, &out).ok());
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(parser.pending_bytes(), wire.size() - 1);
+  // The final byte completes it.
+  ASSERT_TRUE(parser.Feed(&wire[wire.size() - 1], 1, &out).ok());
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(FrameTest, RejectsBadMagic) {
+  std::vector<uint8_t> wire = EncodeFrame(SampleFrame());
+  wire[0] = 'X';
+  FrameParser parser;
+  std::vector<Frame> out;
+  EXPECT_FALSE(parser.Feed(wire.data(), wire.size(), &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(FrameTest, RejectsUnknownTypeAndVersion) {
+  {
+    std::vector<uint8_t> wire = EncodeFrame(SampleFrame());
+    wire[3] = 9;  // type
+    FrameParser parser;
+    std::vector<Frame> out;
+    EXPECT_FALSE(parser.Feed(wire.data(), wire.size(), &out).ok());
+  }
+  {
+    std::vector<uint8_t> wire = EncodeFrame(SampleFrame());
+    wire[4] = 0xff;  // version hi byte
+    FrameParser parser;
+    std::vector<Frame> out;
+    EXPECT_FALSE(parser.Feed(wire.data(), wire.size(), &out).ok());
+  }
+}
+
+TEST(FrameTest, RejectsOversizedDeclaredLengthWithoutAllocating) {
+  // A hostile 4 GB length prefix must be rejected from the header alone
+  // — no payload bytes ever arrive, and nothing payload-sized may be
+  // allocated. The header is rejected as soon as it is complete.
+  std::vector<uint8_t> wire = EncodeFrame(SampleFrame());
+  wire.resize(kFrameHeaderLen);  // header only
+  // Overwrite the trailing u32 length field with 0xffffffff.
+  std::memset(&wire[kFrameHeaderLen - 4], 0xff, 4);
+  FrameParser parser;
+  std::vector<Frame> out;
+  EXPECT_FALSE(parser.Feed(wire.data(), wire.size(), &out).ok());
+  EXPECT_TRUE(out.empty());
+  // Just over the cap is rejected too; exactly at the cap is fine.
+  auto with_len = [](uint32_t len) {
+    std::vector<uint8_t> header = EncodeFrame(Frame{});
+    header.resize(kFrameHeaderLen);
+    header[kFrameHeaderLen - 4] = static_cast<uint8_t>(len >> 24);
+    header[kFrameHeaderLen - 3] = static_cast<uint8_t>(len >> 16);
+    header[kFrameHeaderLen - 2] = static_cast<uint8_t>(len >> 8);
+    header[kFrameHeaderLen - 1] = static_cast<uint8_t>(len);
+    return header;
+  };
+  {
+    std::vector<uint8_t> header = with_len(kMaxFramePayload + 1);
+    FrameParser p;
+    std::vector<Frame> frames;
+    EXPECT_FALSE(p.Feed(header.data(), header.size(), &frames).ok());
+  }
+  {
+    std::vector<uint8_t> header = with_len(kMaxFramePayload);
+    FrameParser p;
+    std::vector<Frame> frames;
+    EXPECT_TRUE(p.Feed(header.data(), header.size(), &frames).ok());
+    EXPECT_TRUE(frames.empty());  // waiting for 1 MiB of payload
+  }
+}
+
+TEST(FrameTest, GarbageStreamIsRejectedNotCrashed) {
+  std::vector<uint8_t> garbage(4096);
+  for (size_t i = 0; i < garbage.size(); ++i) {
+    garbage[i] = static_cast<uint8_t>(i * 131 + 17);
+  }
+  FrameParser parser;
+  std::vector<Frame> out;
+  EXPECT_FALSE(parser.Feed(garbage.data(), garbage.size(), &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(FrameTest, ParseErrorIsSticky) {
+  std::vector<uint8_t> bad = EncodeFrame(SampleFrame());
+  bad[0] = 'X';
+  FrameParser parser;
+  std::vector<Frame> out;
+  ASSERT_FALSE(parser.Feed(bad.data(), bad.size(), &out).ok());
+  // A perfectly valid frame after the error must still be refused:
+  // framing has no resync point, the connection is dead.
+  std::vector<uint8_t> good = EncodeFrame(SampleFrame());
+  EXPECT_FALSE(parser.Feed(good.data(), good.size(), &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(FrameTest, BackToBackFramesInOneRead) {
+  Frame a = SampleFrame();
+  Frame b = SampleFrame();
+  b.rpc_id = 2;
+  b.payload = {1, 2, 3};
+  std::vector<uint8_t> wire = EncodeFrame(a);
+  std::vector<uint8_t> second = EncodeFrame(b);
+  wire.insert(wire.end(), second.begin(), second.end());
+
+  FrameParser parser;
+  std::vector<Frame> out;
+  ASSERT_TRUE(parser.Feed(wire.data(), wire.size(), &out).ok());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].rpc_id, SampleFrame().rpc_id);
+  EXPECT_EQ(out[1].rpc_id, 2u);
+  EXPECT_EQ(out[1].payload, b.payload);
+}
+
+}  // namespace
+}  // namespace sep2p::net

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <functional>
 #include <string>
 #include <vector>
@@ -121,13 +122,26 @@ std::vector<Codec> AllCodecs() {
   codecs.push_back({"QueryAnswer", msg::kTagQueryAnswer, msg::Encode(answer),
                     Decoder(msg::DecodeQueryAnswer)});
 
+  msg::QueryDeploy deploy;
+  deploy.round_id = 0x0001000000000007ull;
+  deploy.querier = 3;
+  deploy.val = {0x10, 0x20, 0x30};  // opaque EncodeActorList bytes
+  codecs.push_back({"QueryDeploy", msg::kTagQueryDeploy, msg::Encode(deploy),
+                    Decoder(msg::DecodeQueryDeploy)});
+
+  msg::QueryFlush flush;
+  flush.round_id = 0x0001000000000007ull;
+  flush.da_slot = 2;
+  codecs.push_back({"QueryFlush", msg::kTagQueryFlush, msg::Encode(flush),
+                    Decoder(msg::DecodeQueryFlush)});
+
   return codecs;
 }
 
 TEST(MessagesRobustnessTest, CoversEveryAppTag) {
   std::vector<Codec> codecs = AllCodecs();
-  ASSERT_EQ(codecs.size(), 11u);
-  // Contiguous tag coverage 0x20..0x2a, and PeekTag agrees on each.
+  ASSERT_EQ(codecs.size(), 13u);
+  // Contiguous tag coverage 0x20..0x2c, and PeekTag agrees on each.
   for (size_t i = 0; i < codecs.size(); ++i) {
     EXPECT_EQ(codecs[i].tag, 0x20 + i) << codecs[i].name;
     auto tag = msg::PeekTag(codecs[i].bytes);
@@ -200,6 +214,117 @@ TEST(MessagesRobustnessTest, EmptyInputIsRejectedEverywhere) {
     EXPECT_FALSE(codec.decodes({})) << codec.name;
   }
   EXPECT_FALSE(msg::PeekTag({}).ok());
+}
+
+// ---------------------------------------------------------------------
+// Wire-contract versioning (DESIGN.md §14): the selection messages that
+// grew remote-run fields encode their DEFAULTS as version 1 — byte-for-
+// byte what the pre-refactor code produced, which is what keeps sim
+// traces bit-identical — and only non-default values produce version 2.
+// Decoders accept both.
+
+TEST(MessagesVersioningTest, DefaultFieldsEncodeAsVersionOne) {
+  // The only wire difference a nonce makes is the appended u64 (plus
+  // the version bump in the shared header): v2 bytes are exactly 8
+  // longer, and nothing before the header's version field drifts.
+  {
+    msg::VrandInvite v1;
+    v1.rs1 = 0.25;
+    v1.timestamp = 99;
+    msg::VrandInvite v2 = v1;
+    v2.nonce = 0x0002000000000001ull;
+    std::vector<uint8_t> b1 = msg::Encode(v1);
+    std::vector<uint8_t> b2 = msg::Encode(v2);
+    EXPECT_EQ(b2.size(), b1.size() + 8);
+    EXPECT_TRUE(std::equal(b1.begin(), b1.begin() + 4, b2.begin()));
+  }
+  {
+    msg::SlEngage v1;
+    v1.vrnd = {1, 2, 3};
+    msg::SlEngage v2 = v1;
+    v2.nonce = 7;
+    EXPECT_EQ(msg::Encode(v2).size(), msg::Encode(v1).size() + 8);
+  }
+  {
+    msg::CommitList v1;
+    v1.commitments.resize(3);
+    v1.timestamp = 5;
+    msg::CommitList v2 = v1;
+    v2.nonce = 7;
+    EXPECT_EQ(msg::Encode(v2).size(), msg::Encode(v1).size() + 8);
+  }
+}
+
+TEST(MessagesVersioningTest, NonDefaultFieldsRoundTripAsVersionTwo) {
+  msg::VrandInvite invite;
+  invite.rs1 = 0.125;
+  invite.timestamp = 123;
+  invite.nonce = 0x0003000000000042ull;
+  auto invite_rt = msg::DecodeVrandInvite(msg::Encode(invite));
+  ASSERT_TRUE(invite_rt.ok());
+  EXPECT_EQ(invite_rt->nonce, invite.nonce);
+  EXPECT_EQ(invite_rt->rs1, invite.rs1);
+  EXPECT_EQ(invite_rt->timestamp, invite.timestamp);
+
+  msg::CommitList list;
+  list.commitments.resize(2);
+  list.timestamp = 9;
+  list.nonce = 17;
+  auto list_rt = msg::DecodeCommitList(msg::Encode(list));
+  ASSERT_TRUE(list_rt.ok());
+  EXPECT_EQ(list_rt->nonce, list.nonce);
+  EXPECT_EQ(list_rt->commitments.size(), list.commitments.size());
+
+  msg::SlEngage engage;
+  engage.vrnd = {9, 8, 7, 6};
+  engage.nonce = 0x0001000000000009ull;
+  auto engage_rt = msg::DecodeSlEngage(msg::Encode(engage));
+  ASSERT_TRUE(engage_rt.ok());
+  EXPECT_EQ(engage_rt->nonce, engage.nonce);
+  EXPECT_EQ(engage_rt->vrnd, engage.vrnd);
+
+  msg::AttestRequest attest;
+  attest.preimage = {'v', 'a', 'l'};
+  auto attest_rt = msg::DecodeAttestRequest(msg::Encode(attest));
+  ASSERT_TRUE(attest_rt.ok());
+  EXPECT_EQ(attest_rt->preimage, attest.preimage);
+  EXPECT_EQ(attest_rt->digest, attest.digest);
+}
+
+TEST(MessagesVersioningTest, VersionOneBytesDecodeWithDefaultedFields) {
+  // A v1 peer's bytes (defaults omitted on the wire) decode on a v2
+  // node with the new fields at their defaults.
+  msg::VrandInvite invite;
+  invite.rs1 = 0.5;
+  invite.timestamp = 4;  // nonce stays 0 → v1 bytes
+  auto invite_rt = msg::DecodeVrandInvite(msg::Encode(invite));
+  ASSERT_TRUE(invite_rt.ok());
+  EXPECT_EQ(invite_rt->nonce, 0u);
+
+  msg::AttestRequest attest;  // empty preimage → v1 bytes
+  auto attest_rt = msg::DecodeAttestRequest(msg::Encode(attest));
+  ASSERT_TRUE(attest_rt.ok());
+  EXPECT_TRUE(attest_rt->preimage.empty());
+}
+
+TEST(MessagesVersioningTest, VersionedPrefixesStillRejected) {
+  // The robustness sweep above covers v1 bytes; repeat the prefix sweep
+  // for the v2 shapes.
+  msg::SlEngage engage;
+  engage.vrnd = {1, 2};
+  engage.nonce = 3;
+  std::vector<uint8_t> bytes = msg::Encode(engage);
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    std::vector<uint8_t> prefix(bytes.begin(), bytes.begin() + len);
+    EXPECT_FALSE(msg::DecodeSlEngage(prefix).ok()) << len;
+  }
+  msg::AttestRequest attest;
+  attest.preimage = {5, 6, 7, 8};
+  bytes = msg::Encode(attest);
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    std::vector<uint8_t> prefix(bytes.begin(), bytes.begin() + len);
+    EXPECT_FALSE(msg::DecodeAttestRequest(prefix).ok()) << len;
+  }
 }
 
 }  // namespace

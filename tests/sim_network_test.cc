@@ -148,6 +148,32 @@ TEST(SimNetworkTest, EngageQuorumFailsWhenCandidatesRunDry) {
   EXPECT_FALSE(q.ok);
 }
 
+TEST(SimNetworkTest, EngageQuorumRunsDryMidReplacementWave) {
+  // Wave 1 engages {1, 2, 3} (k = 3) and collects slot 0's reply, but
+  // members 2 and 3 are dead: the single spare (4) covers the first
+  // failed slot and the list runs dry on the second — a PARTIAL quorum
+  // with a substitution already made must still come back ok = false,
+  // without losing the replies it did collect.
+  SimNetwork net(6, ExactLink(), ExactRetry(), /*seed=*/10);
+  net.CrashAt(2, 0);
+  net.CrashAt(3, 0);
+  SimNetwork::QuorumResult q = net.EngageQuorum(
+      0, {1, 2, 3, 4}, /*k=*/3,
+      [](uint32_t server) {
+        return std::vector<uint8_t>{static_cast<uint8_t>(server)};
+      },
+      Echo());
+  EXPECT_FALSE(q.ok);
+  EXPECT_GE(q.replacements, 1);
+  ASSERT_EQ(q.members.size(), 3u);
+  EXPECT_EQ(q.members[0], 1u);  // the responsive member kept its slot
+  ASSERT_EQ(q.replies.size(), 3u);
+  EXPECT_EQ(q.replies[0], std::vector<uint8_t>({1}));  // reply retained
+  // The caller treats ok = false as "restart with a fresh RND_T": no
+  // member may be silently promoted into the dry slot.
+  EXPECT_EQ(net.stats().rpc_failures, 2u);
+}
+
 TEST(SimNetworkTest, AdvanceRouteChargesOneLatencyPerHop) {
   SimNetwork net(2, ExactLink(), ExactRetry(), /*seed=*/9);
   net.AdvanceRoute(5);

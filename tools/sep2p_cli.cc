@@ -23,20 +23,48 @@
 //       cost attribution, RPC latency percentiles, the critical path,
 //       and the top retry offenders. Prints to stdout unless --out;
 //       --csv writes the phase table, --folded the flamegraph stacks.
+//   sep2p_cli serve --cluster-index I --cluster-size P --port-base B
+//                   [--drive] [--n N] [--seed S] [--ed25519]
+//                   [--metrics FILE] [--trace FILE]
+//       One node-daemon process of a live cluster: replicates the
+//       deterministic world from the seed, hosts nodes i with
+//       i % P == I over real TCP (net::TcpTransport), and serves the
+//       identical protocol handlers a sim run dispatches in-process.
+//       With --drive it also runs attested join + secure selection +
+//       a distributed query against the cluster and prints CLUSTER OK.
+//       Without it, the process serves until SIGTERM (graceful drain).
+//   sep2p_cli cluster [--nodes P] [--n N] [--seed S] [--ed25519]
+//                     [--port-base B] [--log-dir DIR]
+//       Spawns P local serve processes (child 0 drives), waits for the
+//       driver, SIGTERMs the rest, and dumps the driver's log. Per-node
+//       logs land in DIR (default cluster-logs/).
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "apps/concept_index.h"
 #include "apps/diffusion.h"
+#include "apps/proxy.h"
 #include "apps/query.h"
 #include "apps/sensing.h"
+#include "core/protocol_service.h"
 #include "core/verification.h"
 #include "core/wire.h"
 #include "net/sim_network.h"
+#include "net/tcp_transport.h"
 #include "node/app_runtime.h"
+#include "node/join.h"
 #include "obs/checker.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
@@ -49,6 +77,19 @@
 using namespace sep2p;
 
 namespace {
+
+// The demo/cluster PDMS population: every third node is a commuter and
+// everyone records a km_per_day attribute. Pure function of N, so every
+// cluster process replicates identical profiles.
+std::vector<node::PdmsNode> BuildDemoPdms(size_t n) {
+  std::vector<node::PdmsNode> pdms;
+  for (uint32_t i = 0; i < n; ++i) pdms.emplace_back(i);
+  for (uint32_t i = 0; i < pdms.size(); ++i) {
+    if (i % 3 == 0) pdms[i].AddConcept("commuter");
+    pdms[i].SetAttribute("km_per_day", static_cast<double>(i % 40));
+  }
+  return pdms;
+}
 
 struct Flags {
   sim::Parameters params;
@@ -211,12 +252,7 @@ int CmdDemo(const Flags& flags) {
   sim::Network& net = **network;
   util::Rng rng(params.seed ^ 0xde40);
 
-  std::vector<node::PdmsNode> pdms;
-  for (uint32_t i = 0; i < net.directory().size(); ++i) pdms.emplace_back(i);
-  for (uint32_t i = 0; i < pdms.size(); ++i) {
-    if (i % 3 == 0) pdms[i].AddConcept("commuter");
-    pdms[i].SetAttribute("km_per_day", static_cast<double>(i % 40));
-  }
+  std::vector<node::PdmsNode> pdms = BuildDemoPdms(net.directory().size());
 
   // All three use cases exchange data over one simulated message
   // network; --drop/--jitter-ms/--crash inject faults into it.
@@ -422,9 +458,394 @@ int CmdCheck(const char* path) {
   return report.ok() ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------
+// Live cluster: `serve` runs one daemon process, `cluster` launches P
+// of them on loopback.
+// ---------------------------------------------------------------------
+
+volatile std::sig_atomic_t g_stop = 0;
+net::TcpTransport* g_transport = nullptr;
+
+void OnStopSignal(int) {
+  g_stop = 1;
+  if (g_transport != nullptr) g_transport->RequestStop();
+}
+
+struct ServeFlags {
+  sim::Parameters params;
+  uint32_t cluster_index = 0;
+  uint32_t cluster_size = 1;
+  int port_base = 0;
+  bool drive = false;
+  std::string metrics_path;
+  std::string trace_path;
+};
+
+bool ParseServeFlags(int argc, char** argv, int first, ServeFlags* flags) {
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next_value = [&](double* out) {
+      if (i + 1 >= argc) return false;
+      *out = std::atof(argv[++i]);
+      return true;
+    };
+    double value = 0;
+    if (arg == "--n" && next_value(&value)) {
+      flags->params.n = static_cast<uint64_t>(value);
+    } else if (arg == "--seed" && next_value(&value)) {
+      flags->params.seed = static_cast<uint64_t>(value);
+    } else if (arg == "--cache" && next_value(&value)) {
+      flags->params.cache_size = static_cast<size_t>(value);
+    } else if (arg == "--a" && next_value(&value)) {
+      flags->params.actor_count = static_cast<int>(value);
+    } else if (arg == "--ed25519") {
+      flags->params.provider = sim::Parameters::ProviderKind::kEd25519;
+    } else if (arg == "--cluster-index" && next_value(&value)) {
+      flags->cluster_index = static_cast<uint32_t>(value);
+    } else if (arg == "--cluster-size" && next_value(&value)) {
+      flags->cluster_size = static_cast<uint32_t>(value);
+    } else if (arg == "--port-base" && next_value(&value)) {
+      flags->port_base = static_cast<int>(value);
+    } else if (arg == "--drive") {
+      flags->drive = true;
+    } else if (arg == "--metrics") {
+      if (i + 1 >= argc) return false;
+      flags->metrics_path = argv[++i];
+    } else if (arg == "--trace") {
+      if (i + 1 >= argc) return false;
+      flags->trace_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "serve: unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return flags->port_base != 0 &&
+         flags->cluster_index < flags->cluster_size;
+}
+
+int CmdServe(int argc, char** argv) {
+  ServeFlags flags;
+  flags.params.n = 400;
+  flags.params.cache_size = 128;
+  flags.params.actor_count = 4;
+  if (!ParseServeFlags(argc, argv, 2, &flags)) {
+    std::fprintf(stderr,
+                 "serve: need --port-base and --cluster-index < "
+                 "--cluster-size\n");
+    return 2;
+  }
+
+  // Every process replicates the whole deterministic world from the
+  // seed — keys, certificates, directory, CA — so only messages need to
+  // cross sockets.
+  auto network = sim::Network::Build(flags.params);
+  if (!network.ok()) {
+    std::fprintf(stderr, "serve: build failed: %s\n",
+                 network.status().ToString().c_str());
+    return 1;
+  }
+  sim::Network& net = **network;
+  const uint32_t node_count =
+      static_cast<uint32_t>(net.directory().size());
+
+  net::TcpTransport::Options topt;
+  topt.node_count = node_count;
+  topt.process_count = flags.cluster_size;
+  topt.process_index = flags.cluster_index;
+  topt.listen_port =
+      static_cast<uint16_t>(flags.port_base + flags.cluster_index);
+  topt.seed = flags.params.seed ^ (0x7c1ULL + flags.cluster_index);
+  net::TcpTransport transport(topt);
+  for (uint32_t p = 0; p < flags.cluster_size; ++p) {
+    if (p == flags.cluster_index) continue;
+    transport.SetPeer(p, "127.0.0.1",
+                      static_cast<uint16_t>(flags.port_base + p));
+  }
+
+  obs::MetricsRegistry metrics;
+  transport.set_metrics(&metrics);
+  obs::TraceRecorder recorder;
+  if (!flags.trace_path.empty()) transport.set_trace(&recorder);
+
+  // The resident server side: selection-protocol participants plus the
+  // same app handlers a sim run registers — the identical translation
+  // units answer on both transports.
+  core::ProtocolContext ctx = net.context();
+  core::ProtocolService::Options popt;
+  popt.rng_seed =
+      flags.params.seed ^ (0x5e21ULL + flags.cluster_index * 0x9e37ULL);
+  core::ProtocolService service(ctx, transport, popt);
+
+  std::vector<node::PdmsNode> pdms = BuildDemoPdms(node_count);
+  node::AppRuntime runtime(&transport);
+  apps::EnsureProxyHandlers(runtime);
+  apps::ConceptIndex index(&net, &runtime);
+  apps::DiffusionApp diffusion(&net, &pdms, &index, &runtime);
+  apps::QueryApp query(&net, &pdms, &index, &runtime);
+
+  g_transport = &transport;
+  std::signal(SIGTERM, OnStopSignal);
+  std::signal(SIGINT, OnStopSignal);
+
+  Status started = transport.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "serve: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("serve: process %u/%u hosting %u nodes on port %u (%s)\n",
+              flags.cluster_index, flags.cluster_size, node_count,
+              transport.listen_port(),
+              flags.params.provider == sim::Parameters::ProviderKind::kEd25519
+                  ? "ed25519"
+                  : "toy provider");
+  std::fflush(stdout);
+
+  Status peers = transport.WaitForPeers(30000);
+  if (!peers.ok()) {
+    std::fprintf(stderr, "serve: peers: %s\n", peers.ToString().c_str());
+    transport.Stop();
+    return 1;
+  }
+  std::printf("serve: all %u peers reachable\n", flags.cluster_size);
+  std::fflush(stdout);
+
+  if (!flags.drive) {
+    // Resident participant: serve until SIGTERM, then drain in-flight
+    // work and exit cleanly.
+    while (g_stop == 0 && !transport.stop_requested()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    transport.Stop();
+    const net::Transport::Stats& stats = transport.stats();
+    std::printf("serve: drained; %llu delivered, %llu sent\n",
+                static_cast<unsigned long long>(stats.messages_delivered),
+                static_cast<unsigned long long>(stats.messages_sent));
+    return 0;
+  }
+
+  // --- Driver: the full protocol stack against the live cluster, the
+  // same calls CmdDemo makes against the simulator.
+  util::Rng rng(flags.params.seed ^ 0xc105ULL);
+  int failures = 0;
+
+  std::printf("== profiles ==\n");
+  auto published = diffusion.PublishAllProfiles(rng);
+  if (!published.ok()) {
+    std::fprintf(stderr, "publish failed: %s\n",
+                 published.status().ToString().c_str());
+    ++failures;
+  } else {
+    std::printf("published every profile to its metadata indexers\n");
+  }
+
+  std::printf("== attested join (§3.6) ==\n");
+  node::JoinProtocol join(ctx, &transport);
+  auto joined = join.Join(1, rng);
+  if (!joined.ok()) {
+    std::fprintf(stderr, "join failed: %s\n",
+                 joined.status().ToString().c_str());
+    ++failures;
+  } else {
+    std::printf("node 1 joined: %zu validated cache entries "
+                "(successor %u, predecessor %u)\n",
+                joined->cache.size(), joined->successor,
+                joined->predecessor);
+  }
+
+  std::printf("== secure selection (§3.4-3.5) ==\n");
+  core::ProtocolContext sel_ctx = ctx;
+  sel_ctx.actor_count = flags.params.actor_count;
+  int restarts = 0;
+  auto selected = runtime.RunSelection(sel_ctx, 2, rng, 8, &restarts);
+  if (!selected.ok()) {
+    std::fprintf(stderr, "selection failed: %s\n",
+                 selected.status().ToString().c_str());
+    ++failures;
+  } else {
+    std::printf("selected %zu actors (k = %d, %d restarts):",
+                selected->actor_indices.size(), selected->val.k(), restarts);
+    for (uint32_t actor : selected->actor_indices) {
+      std::printf(" %u", actor);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("== distributed query (§5) ==\n");
+  apps::QuerySpec spec;
+  spec.profile_expression = "commuter";
+  spec.attribute = "km_per_day";
+  spec.aggregate = apps::Aggregate::kAvg;
+  auto result = query.Execute(3, spec, rng);
+  if (!result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 result.status().ToString().c_str());
+    ++failures;
+  } else {
+    std::printf("AVG(km_per_day) over commuters = %.2f "
+                "(%llu contributors, %d lost, %d DA failovers, answer "
+                "delivered: %s)\n",
+                result->value,
+                static_cast<unsigned long long>(result->contributors),
+                result->lost_contributions, result->da_failovers,
+                result->answer_delivered ? "yes" : "no");
+    if (!result->answer_delivered || result->contributors == 0) ++failures;
+  }
+
+  const net::Transport::Stats& stats = transport.stats();
+  std::printf("\nnetwork totals: %llu messages, %llu delivered, %llu "
+              "retries, %llu timeouts, %llu rpc failures\n",
+              static_cast<unsigned long long>(stats.messages_sent),
+              static_cast<unsigned long long>(stats.messages_delivered),
+              static_cast<unsigned long long>(stats.retries),
+              static_cast<unsigned long long>(stats.timeouts),
+              static_cast<unsigned long long>(stats.rpc_failures));
+
+  if (!flags.metrics_path.empty()) {
+    metrics.SetGauge("cluster_nodes", static_cast<double>(node_count));
+    metrics.SetGauge("cluster_processes",
+                     static_cast<double>(flags.cluster_size));
+    Status prom =
+        obs::WriteFile(flags.metrics_path, metrics.ToPrometheusText());
+    Status json =
+        obs::WriteFile(flags.metrics_path + ".json", metrics.ToJson());
+    if (!prom.ok() || !json.ok()) {
+      std::fprintf(stderr, "metrics write failed\n");
+      ++failures;
+    } else {
+      std::printf("metrics: %s (+ .json)\n", flags.metrics_path.c_str());
+    }
+  }
+  if (!flags.trace_path.empty()) {
+    transport.FinalizeTrace();
+    Status chrome = obs::WriteFile(flags.trace_path,
+                                   obs::ToChromeTrace(recorder.trace()));
+    Status jsonl = obs::WriteFile(flags.trace_path + ".jsonl",
+                                  obs::ToJsonl(recorder.trace()));
+    if (!chrome.ok() || !jsonl.ok()) {
+      std::fprintf(stderr, "trace write failed\n");
+      ++failures;
+    } else {
+      std::printf("trace: %zu events -> %s (+ .jsonl)\n", recorder.size(),
+                  flags.trace_path.c_str());
+    }
+  }
+
+  if (failures == 0) std::printf("CLUSTER OK\n");
+  std::fflush(stdout);
+  transport.Stop();
+  return failures == 0 ? 0 : 1;
+}
+
+int CmdCluster(int argc, char** argv) {
+  int processes = 5;
+  int port_base = 0;
+  std::string log_dir = "cluster-logs";
+  std::vector<std::string> passthrough;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--nodes" && i + 1 < argc) {
+      processes = std::atoi(argv[++i]);
+    } else if (arg == "--port-base" && i + 1 < argc) {
+      port_base = std::atoi(argv[++i]);
+    } else if (arg == "--log-dir" && i + 1 < argc) {
+      log_dir = argv[++i];
+    } else if (arg == "--ed25519") {
+      passthrough.push_back(arg);
+    } else if ((arg == "--n" || arg == "--seed" || arg == "--cache" ||
+                arg == "--a") &&
+               i + 1 < argc) {
+      passthrough.push_back(arg);
+      passthrough.push_back(argv[++i]);
+    } else {
+      std::fprintf(stderr, "cluster: unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (processes < 1 || processes > 64) {
+    std::fprintf(stderr, "cluster: --nodes must be in [1, 64]\n");
+    return 2;
+  }
+  if (port_base == 0) {
+    // Deterministic per launcher instance, unlikely to collide across
+    // concurrent CI jobs.
+    port_base = 18000 + static_cast<int>(getpid() % 10000);
+  }
+  if (mkdir(log_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    std::fprintf(stderr, "cluster: mkdir %s: %s\n", log_dir.c_str(),
+                 std::strerror(errno));
+    return 1;
+  }
+
+  std::printf("cluster: %d processes on 127.0.0.1:%d.., logs in %s/\n",
+              processes, port_base, log_dir.c_str());
+  std::fflush(stdout);
+
+  std::vector<pid_t> pids;
+  for (int i = 0; i < processes; ++i) {
+    pid_t pid = fork();
+    if (pid < 0) {
+      std::fprintf(stderr, "cluster: fork: %s\n", std::strerror(errno));
+      for (pid_t child : pids) kill(child, SIGKILL);
+      return 1;
+    }
+    if (pid == 0) {
+      // Child: log to its own file, exec serve.
+      std::string log_path = log_dir + "/node-" + std::to_string(i) + ".log";
+      int fd = open(log_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+      if (fd >= 0) {
+        dup2(fd, STDOUT_FILENO);
+        dup2(fd, STDERR_FILENO);
+        close(fd);
+      }
+      std::vector<std::string> args = {
+          "/proc/self/exe",  "serve",
+          "--cluster-index", std::to_string(i),
+          "--cluster-size",  std::to_string(processes),
+          "--port-base",     std::to_string(port_base)};
+      if (i == 0) args.push_back("--drive");
+      for (const std::string& extra : passthrough) args.push_back(extra);
+      std::vector<char*> argv_exec;
+      for (std::string& a : args) argv_exec.push_back(a.data());
+      argv_exec.push_back(nullptr);
+      execv("/proc/self/exe", argv_exec.data());
+      std::fprintf(stderr, "cluster: exec: %s\n", std::strerror(errno));
+      _exit(127);
+    }
+    pids.push_back(pid);
+  }
+
+  // The driver (child 0) finishes the protocol run; the rest serve
+  // until told to drain.
+  int driver_status = 0;
+  waitpid(pids[0], &driver_status, 0);
+  for (size_t i = 1; i < pids.size(); ++i) kill(pids[i], SIGTERM);
+  for (size_t i = 1; i < pids.size(); ++i) {
+    int status = 0;
+    waitpid(pids[i], &status, 0);
+  }
+
+  // Surface the driver's log on the launcher's stdout.
+  std::string driver_log = log_dir + "/node-0.log";
+  if (FILE* f = std::fopen(driver_log.c_str(), "r")) {
+    char buffer[4096];
+    size_t got;
+    while ((got = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+      std::fwrite(buffer, 1, got, stdout);
+    }
+    std::fclose(f);
+  }
+
+  const int exit_code =
+      WIFEXITED(driver_status) ? WEXITSTATUS(driver_status) : 1;
+  std::printf("cluster: driver exited %d; per-node logs in %s/\n",
+              exit_code, log_dir.c_str());
+  return exit_code;
+}
+
 void Usage() {
   std::fprintf(stderr,
-               "usage: sep2p_cli <select|ktable|probe|demo|check|report> "
+               "usage: sep2p_cli "
+               "<select|ktable|probe|demo|check|report|serve|cluster> "
                "[flags]\n"
                "flags: --n N --c FRAC --a A --seed S --cache SIZE\n"
                "       --alpha A --rounds R --overlay chord|can --ed25519\n"
@@ -439,7 +860,12 @@ void Usage() {
                "checker)\n"
                "report: sep2p_cli report PATH [--out FILE] [--csv FILE]\n"
                "        [--folded FILE] [--top N]  (PATH = trace.jsonl or "
-               "a directory of them)\n");
+               "a directory of them)\n"
+               "serve: sep2p_cli serve --cluster-index I --cluster-size P\n"
+               "       --port-base B [--drive] [--n N] [--seed S] "
+               "[--ed25519]\n"
+               "cluster: sep2p_cli cluster [--nodes P] [--n N] [--seed S]\n"
+               "         [--ed25519] [--port-base B] [--log-dir DIR]\n");
 }
 
 }  // namespace
@@ -465,6 +891,8 @@ int main(int argc, char** argv) {
     }
     return CmdReport(argc, argv);
   }
+  if (command == "serve") return CmdServe(argc, argv);
+  if (command == "cluster") return CmdCluster(argc, argv);
 
   Flags flags;
   flags.params.n = 2000;
