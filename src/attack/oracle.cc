@@ -1,0 +1,26 @@
+#include "attack/oracle.h"
+
+#include "obs/checker.h"
+
+namespace sep2p::attack {
+
+Verdict Judge(const AttackOutcome& outcome, const obs::Trace* trace) {
+  Verdict verdict;
+  verdict.detected = outcome.detected;
+  verdict.signal = outcome.detection_signal;
+  if (trace != nullptr) {
+    const obs::CheckerReport report = obs::CheckTrace(*trace);
+    if (!report.ok()) {
+      verdict.detected = true;
+      verdict.checker_violations =
+          static_cast<uint64_t>(report.violations.size()) +
+          report.suppressed;
+      if (verdict.signal.empty() && !report.violations.empty()) {
+        verdict.signal = "checker: " + report.violations.front();
+      }
+    }
+  }
+  return verdict;
+}
+
+}  // namespace sep2p::attack

@@ -1,0 +1,45 @@
+// Detection oracle: folds every honest-observable signal of one
+// attacked execution into a single verdict.
+//
+// Two signal classes feed it:
+//   * protocol-level — the scenario already knows a verifier rejected
+//     (kSecurityViolation from VerifyActorList / VerifyAttestedCache /
+//     the CA check) or a participant defected attributably after
+//     committing (AttackOutcome::detected + detection_signal);
+//   * trace-level — the obs::Checker invariants replayed over the
+//     trial's trace (obs/checker.h): signature-count mismatches on
+//     completed selections, deliveries to crashed nodes, spontaneous
+//     retries, span discipline. Attacks that corrupt the event record
+//     itself trip these even when no verifier was consulted.
+//
+// The oracle is pure (no randomness, no clock) so judging a trial never
+// perturbs sweep determinism.
+
+#ifndef SEP2P_ATTACK_ORACLE_H_
+#define SEP2P_ATTACK_ORACLE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "attack/scenario.h"
+#include "obs/trace.h"
+
+namespace sep2p::attack {
+
+struct Verdict {
+  bool detected = false;
+  // First signal that fired (protocol-level wins; checker violations
+  // follow); empty when the execution looked clean to every honest
+  // observer.
+  std::string signal;
+  // Checker violations found in the trial trace (0 for a clean trace).
+  uint64_t checker_violations = 0;
+};
+
+// Judges one attacked execution. `trace` may be null (no trace-level
+// evidence available); the scenario's own signals still count.
+Verdict Judge(const AttackOutcome& outcome, const obs::Trace* trace);
+
+}  // namespace sep2p::attack
+
+#endif  // SEP2P_ATTACK_ORACLE_H_

@@ -256,7 +256,7 @@ Result<SelectionProtocol::Outcome> SelectionProtocol::Run(
   VrandProtocol vrand(ctx_);
   Result<VrandProtocol::Outcome> vrand_outcome =
       vrand.Generate(trigger_index, rng, options.failures, options.network,
-                     options.trace, options.metrics);
+                     options.trace, options.metrics, options.attack);
   if (!vrand_outcome.ok()) return vrand_outcome.status();
 
   Outcome outcome;
@@ -337,6 +337,7 @@ Result<SelectionProtocol::Outcome> SelectionProtocol::Run(
     } else {
       sl_candidates.resize(k);
       sl_members = sl_candidates;
+      if (options.attack != nullptr) options.attack->OnSlQuorum(sl_members);
       for (int j = 0; j < k; ++j) {
         if (options.failures != nullptr && options.failures->ShouldFail()) {
           return Status::Unavailable("selection: SL failed mid-protocol");
@@ -344,7 +345,10 @@ Result<SelectionProtocol::Outcome> SelectionProtocol::Run(
         dht::Region coverage =
             dht::Region::Centered(dir.pos(sl_members[j]), ctx_.rs3);
         const bool hide =
-            options.colluding_sls_hide_honest && dir.colluding(sl_members[j]);
+            (options.colluding_sls_hide_honest ||
+             (options.attack != nullptr &&
+              options.attack->SlBiasesCandidates(sl_members[j]))) &&
+            dir.colluding(sl_members[j]);
         // Candidate lists top out at the R3 scan size; reserving up
         // front keeps the hot per-SL loop free of regrowth copies.
         cl_indices[j].reserve(r3_nodes.size());
@@ -570,8 +574,37 @@ Result<SelectionProtocol::Outcome> SelectionProtocol::Run(
         if (options.failures != nullptr && options.failures->ShouldFail()) {
           return Status::Unavailable("selection: SL failed before signing");
         }
+        // Attack seams (core/attack_hooks.h): the SL computed the actor
+        // list itself in step 8, so it may refuse to attest an
+        // unfavourable one (selective abort — an attributable strike,
+        // it is committed to this AL) or sign a doctored list instead
+        // (the assembled VAL keeps the honest keys, so any verifier's
+        // signature check exposes the substitution).
+        const std::vector<uint8_t>* to_sign = &signed_bytes;
+        std::vector<uint8_t> forged_bytes;
+        if (options.attack != nullptr) {
+          if (options.attack->SlWithholdsAttest(sl_members[j],
+                                                val.actor_keys)) {
+            if (rec != nullptr) {
+              rec->Mark(sl_members[j], "attack-sl-withhold", 0);
+            }
+            return Status::Unavailable(
+                "selection: SL withheld attestation");
+          }
+          std::vector<crypto::PublicKey> forged_actors;
+          if (options.attack->SlForgesAttest(sl_members[j], val.actor_keys,
+                                             &forged_actors)) {
+            VerifiableActorList forged = val;
+            forged.actor_keys = std::move(forged_actors);
+            forged_bytes = forged.SignedBytes();
+            to_sign = &forged_bytes;
+            if (rec != nullptr) {
+              rec->Mark(sl_members[j], "attack-sl-forge", 0);
+            }
+          }
+        }
         Result<crypto::Signature> sig =
-            ctx_.SignAs(sl_members[j], signed_bytes);
+            ctx_.SignAs(sl_members[j], *to_sign);
         if (!sig.ok()) return sig.status();
         if (met != nullptr) {
           met->Inc(obs::Counter::kCryptoSign);

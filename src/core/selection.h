@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/attack_hooks.h"
 #include "core/context.h"
 #include "core/vrand.h"
 #include "net/cost.h"
@@ -90,6 +91,13 @@ struct SelectionOptions {
   // stay bit-identical to plain ones.
   obs::TraceRecorder* trace = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  // Active-adversary seams (core/attack_hooks.h): a non-null hook set
+  // installs malicious TL/SL behaviour on the DIRECT execution path —
+  // reveal withholding inside vrand, candidate-list bias, attestation
+  // withholding and forged attestations. nullptr (the default) keeps
+  // the execution byte-identical to hook-free builds; src/attack/
+  // provides the implementations and measures what they achieve.
+  AttackHooks* attack = nullptr;
   // SIMULATOR-ONLY hook (paper §4.1: "the simulator allows to force
   // choosing a given Execution Setter by artificially fixing the RND_T
   // value"): overrides hash(RND_T) as the initial setter point so every

@@ -36,7 +36,7 @@ std::vector<uint8_t> VerifiableRandom::SignedBytes() const {
 Result<VrandProtocol::Outcome> VrandProtocol::Generate(
     uint32_t trigger_index, util::Rng& rng, net::FailureModel* failures,
     net::Transport* network, obs::TraceRecorder* trace,
-    obs::MetricsRegistry* metrics) const {
+    obs::MetricsRegistry* metrics, AttackHooks* attack) const {
   const dht::Directory& dir = *ctx_.directory;
   const dht::RingPos trigger_pos = dir.pos(trigger_index);
 
@@ -77,6 +77,7 @@ Result<VrandProtocol::Outcome> VrandProtocol::Generate(
   vrnd.rs1 = rs1;
 
   // Steps 1-2: contact + commitments. Each TL draws RND_i.
+  if (attack != nullptr) attack->OnTlQuorum(candidates);
   vrnd.participants.resize(k);
   for (int i = 0; i < k; ++i) {
     if (failures != nullptr && failures->ShouldFail()) {
@@ -85,6 +86,23 @@ Result<VrandProtocol::Outcome> VrandProtocol::Generate(
     VrandParticipant& p = vrnd.participants[i];
     p.cert = dir.cert(candidates[i]);
     p.rnd = crypto::Hash256(crypto::Digest(rng.NextBytes32()));
+  }
+
+  // Attack seam (CSAR grinding, core/attack_hooks.h): the commitments
+  // are fixed, so the coalition knows the RND_T the reveal round would
+  // produce and may withhold one reveal to force a re-roll. The defector
+  // committed and then went silent — an attributable strike the caller
+  // can record against it.
+  if (attack != nullptr) {
+    const crypto::Hash256 would_be = vrnd.Value();
+    for (int i = 0; i < k; ++i) {
+      if (attack->TlWithholdsReveal(candidates[i], would_be)) {
+        if (trace != nullptr) {
+          trace->Mark(candidates[i], "attack-tl-withhold", 0);
+        }
+        return Status::Unavailable("vrand: TL withheld reveal");
+      }
+    }
   }
 
   // Steps 3-4: T broadcasts L; each TL checks its commitment and signs

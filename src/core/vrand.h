@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/attack_hooks.h"
 #include "core/context.h"
 #include "crypto/hash256.h"
 #include "net/cost.h"
@@ -82,11 +83,17 @@ class VrandProtocol {
   // `trace`/`metrics` observe the DIRECT (non-network) path; with a
   // network attached, its own recorder/registry take precedence. Both
   // are passive.
+  //
+  // A non-null `attack` installs malicious participant behaviour at the
+  // same seams (core/attack_hooks.h): colluding TLs may withhold their
+  // reveal after seeing the committed outcome (CSAR grinding). With the
+  // default nullptr the execution is byte-identical to hook-free builds.
   Result<Outcome> Generate(uint32_t trigger_index, util::Rng& rng,
                            net::FailureModel* failures = nullptr,
                            net::Transport* network = nullptr,
                            obs::TraceRecorder* trace = nullptr,
-                           obs::MetricsRegistry* metrics = nullptr) const;
+                           obs::MetricsRegistry* metrics = nullptr,
+                           AttackHooks* attack = nullptr) const;
 
  private:
   // Message-level path: TL engagement with replacement, then the

@@ -8,6 +8,7 @@
 #include "crypto/sim_provider.h"
 #include "dht/node_id.h"
 #include "sim/trial_runner.h"
+#include "strategies/adversary.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -147,22 +148,15 @@ void Network::ReassignColluders(util::Rng& rng) {
   for (uint32_t idx : colluder_indices_) {
     directory_->SetColluding(idx, false);
   }
-  // Sample over the alive population (pool/departed nodes never collude;
-  // their handles are interleaved with alive ones because the directory
-  // sorts by ring position). With no pool and no churn the k-th alive
-  // node IS handle k, so the RNG stream and the chosen set are
-  // bit-identical to the historical sample-over-[0, n) path.
-  const size_t alive = directory_->alive_count();
-  std::vector<size_t> chosen = rng.SampleIndices(
-      alive, std::min<uint64_t>(params_.c(), alive));
-  colluder_indices_.clear();
-  colluder_indices_.reserve(chosen.size());
-  for (size_t k : chosen) {
-    const uint32_t idx = *directory_->NthAlive(k);
+  // The placement rule (and its exact RNG draw sequence) lives in
+  // strategies::SampleColluders so the closed-form adversary model and
+  // the live attack scenarios mark the identical coalition for the same
+  // seed; attack_test pins the parity.
+  colluder_indices_ =
+      strategies::SampleColluders(*directory_, params_.c(), rng);
+  for (uint32_t idx : colluder_indices_) {
     directory_->SetColluding(idx, true);
-    colluder_indices_.push_back(idx);
   }
-  std::sort(colluder_indices_.begin(), colluder_indices_.end());
 }
 
 void Network::RefreshKTable(uint64_t population) {

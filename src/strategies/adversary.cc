@@ -1,5 +1,7 @@
 #include "strategies/adversary.h"
 
+#include <algorithm>
+
 namespace sep2p::strategies {
 
 std::optional<uint32_t> FindClaimingColluder(const dht::Directory& directory,
@@ -17,6 +19,25 @@ std::optional<uint32_t> FindClaimingColluder(const dht::Directory& directory,
     }
   }
   return best;
+}
+
+std::vector<uint32_t> SampleColluders(const dht::Directory& directory,
+                                      uint64_t count, util::Rng& rng) {
+  // Sample over the alive population (pool/departed nodes never collude;
+  // their handles are interleaved with alive ones because the directory
+  // sorts by ring position). With no pool and no churn the k-th alive
+  // node IS handle k, so the RNG stream and the chosen set are
+  // bit-identical to the historical sample-over-[0, n) path.
+  const size_t alive = directory.alive_count();
+  std::vector<size_t> chosen =
+      rng.SampleIndices(alive, std::min<uint64_t>(count, alive));
+  std::vector<uint32_t> colluders;
+  colluders.reserve(chosen.size());
+  for (size_t k : chosen) {
+    colluders.push_back(*directory.NthAlive(k));
+  }
+  std::sort(colluders.begin(), colluders.end());
+  return colluders;
 }
 
 }  // namespace sep2p::strategies

@@ -19,10 +19,13 @@
 #ifndef SEP2P_STRATEGIES_ADVERSARY_H_
 #define SEP2P_STRATEGIES_ADVERSARY_H_
 
+#include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "dht/directory.h"
 #include "dht/region.h"
+#include "util/rng.h"
 
 namespace sep2p::strategies {
 
@@ -39,6 +42,17 @@ struct AdversaryConfig {
 std::optional<uint32_t> FindClaimingColluder(const dht::Directory& directory,
                                              dht::RingPos p,
                                              double tolerance_rs);
+
+// The ONE colluder-placement rule, shared by the live simulator
+// (sim::Network::ReassignColluders) and the closed-form adversary
+// model: sample min(count, alive) distinct nodes uniformly from the
+// alive population (standby/departed nodes never collude) and return
+// their directory indices in ascending order. The draw sequence is
+// exactly Rng::SampleIndices over the alive ranks, so both consumers
+// given the same seed mark the identical coalition — the parity the
+// attack sweep and the analytic effectiveness figures rely on.
+std::vector<uint32_t> SampleColluders(const dht::Directory& directory,
+                                      uint64_t count, util::Rng& rng);
 
 }  // namespace sep2p::strategies
 

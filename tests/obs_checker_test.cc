@@ -138,6 +138,108 @@ TEST_F(TracedSelectionTest, TraceIsIdenticalForAnyThreadCount) {
   EXPECT_EQ(single, sweep(4));
 }
 
+// --------------------- negative oracle: tampered REAL traces
+//
+// The synthetic CheckerTest cases below pin each invariant in
+// isolation; these take a genuine recorded execution and apply the
+// minimal tampering a malicious participant (or a corrupted log) would
+// produce. The checker must reject every mutation — this is the
+// trace-level half of the attack detection oracle (attack/oracle.h).
+
+class TamperedTraceTest : public TracedSelectionTest {
+ protected:
+  // One clean, fault-free, message-level selection trace.
+  Trace CleanTrace() {
+    net::SimNetwork simnet = test::MakeSimNet(1500, /*drop=*/0.0,
+                                              /*jitter_mean_us=*/1'000,
+                                              /*seed=*/77);
+    obs::TraceRecorder recorder;
+    simnet.set_trace(&recorder);
+    util::Rng rng(23);
+    auto outcome = RunWithRestarts(simnet, rng);
+    EXPECT_TRUE(outcome.ok()) << outcome.status().ToString();
+    simnet.FinalizeTrace();
+    EXPECT_TRUE(obs::CheckTrace(recorder.trace()).ok());
+    return recorder.trace();
+  }
+};
+
+TEST_F(TamperedTraceTest, DroppedAttestationSignatureIsFlagged) {
+  // A colluding SL's attestation scrubbed from the record: the
+  // selection-complete mark still promises k sl-attest signatures.
+  Trace t = CleanTrace();
+  for (size_t i = 0; i < t.events.size(); ++i) {
+    if (t.events[i].kind == EventKind::kSignature &&
+        t.events[i].detail == "sl-attest") {
+      t.events.erase(t.events.begin() + static_cast<long>(i));
+      break;
+    }
+  }
+  obs::CheckerReport report = obs::CheckTrace(t);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasViolationContaining(report, "sl-attest signatures"));
+}
+
+TEST_F(TamperedTraceTest, ForgedExtraAttestationIsFlagged) {
+  // The inverse forgery: an extra attestation injected into the span.
+  Trace t = CleanTrace();
+  for (size_t i = 0; i < t.events.size(); ++i) {
+    if (t.events[i].kind == EventKind::kSignature &&
+        t.events[i].detail == "sl-attest") {
+      t.events.insert(t.events.begin() + static_cast<long>(i),
+                      t.events[i]);
+      break;
+    }
+  }
+  obs::CheckerReport report = obs::CheckTrace(t);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasViolationContaining(report, "sl-attest signatures"));
+}
+
+TEST_F(TamperedTraceTest, DeliveryToRetroactivelyCrashedNodeIsFlagged) {
+  // Rewrite history so some delivery's recipient had already crashed:
+  // a dead node that keeps participating is exactly what an equivocating
+  // operator's log would show.
+  Trace t = CleanTrace();
+  bool planted = false;
+  for (size_t i = 0; i < t.events.size(); ++i) {
+    if (t.events[i].kind == EventKind::kDeliver) {
+      Event crash;
+      crash.kind = EventKind::kCrash;
+      crash.node = t.events[i].node;
+      crash.t_us = t.events[i].t_us;  // crash at the delivery instant
+      t.events.insert(t.events.begin() + static_cast<long>(i), crash);
+      planted = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(planted);
+  obs::CheckerReport report = obs::CheckTrace(t);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasViolationContaining(report, "crashed node"));
+}
+
+TEST_F(TamperedTraceTest, InjectedSpontaneousRetryIsFlagged) {
+  // A re-send with no preceding timeout/drop of the same rpc — the
+  // signature of a forged (replayed) transmission in the log.
+  Trace t = CleanTrace();
+  bool planted = false;
+  for (size_t i = 0; i < t.events.size() && !planted; ++i) {
+    if (t.events[i].kind == EventKind::kAttempt &&
+        t.events[i].value == 1 && t.events[i].rpc != 0) {
+      Event retry = t.events[i];
+      retry.kind = EventKind::kRetry;
+      retry.value = 2;
+      t.events.insert(t.events.begin() + static_cast<long>(i) + 1, retry);
+      planted = true;
+    }
+  }
+  ASSERT_TRUE(planted);
+  obs::CheckerReport report = obs::CheckTrace(t);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasViolationContaining(report, "retry without preceding"));
+}
+
 // ------------------------------------------- live traces: applications
 
 TEST(TracedAppsTest, SensingRoundTraceSatisfiesInvariants) {

@@ -13,6 +13,11 @@
 //       --trace records the run and writes FILE (Chrome trace-event
 //       JSON for Perfetto / chrome://tracing) plus FILE.jsonl (the
 //       lossless log `sep2p_cli check` consumes).
+//   sep2p_cli attack [--scenario NAME] [--rounds R] [--trace FILE]
+//       Live adversary suite (src/attack/): per-scenario detection /
+//       bias / cost-overhead table from the sweep harness, then one
+//       narrated attacked execution judged by the detection oracle.
+//       --trace writes that execution's trace (Chrome + JSONL).
 //   sep2p_cli check FILE.jsonl
 //       Load a JSONL trace and run the protocol invariant checker;
 //       exits non-zero on a corrupt trace or any violation.
@@ -58,6 +63,9 @@
 #include "apps/proxy.h"
 #include "apps/query.h"
 #include "apps/sensing.h"
+#include "attack/oracle.h"
+#include "attack/scenario.h"
+#include "attack/sweep.h"
 #include "core/protocol_service.h"
 #include "core/verification.h"
 #include "core/wire.h"
@@ -99,6 +107,7 @@ struct Flags {
   double drop = 0;        // per-transmission loss probability
   double jitter_ms = 10;  // exponential latency jitter mean
   double crash = 0;       // per-request node-crash probability
+  std::string scenario;   // attack: scenario name ("" = full table)
   std::string trace_path;  // demo: write Chrome trace here (+ .jsonl)
   std::string metrics_path;  // demo: Prometheus text here (+ .json)
 };
@@ -133,6 +142,9 @@ bool ParseFlags(int argc, char** argv, int first, Flags* flags) {
       flags->jitter_ms = value;
     } else if (arg == "--crash" && next_value(&value)) {
       flags->crash = value;
+    } else if (arg == "--scenario") {
+      if (i + 1 >= argc) return false;
+      flags->scenario = argv[++i];
     } else if (arg == "--threads" && next_value(&value)) {
       flags->params.threads = static_cast<int>(value);
     } else if (arg == "--trace") {
@@ -842,11 +854,119 @@ int CmdCluster(int argc, char** argv) {
   return exit_code;
 }
 
+// Live adversary suite (ROADMAP item 4): runs the attack scenarios of
+// src/attack/ against one network, prints the detection-oracle report,
+// then narrates one traced attacked execution (--trace writes it out
+// for `sep2p_cli check` / `report`).
+int CmdAttack(const Flags& flags) {
+  std::vector<std::string> names;
+  if (flags.scenario.empty()) {
+    names = attack::ScenarioNames();
+  } else {
+    bool known = false;
+    for (const std::string& name : attack::ScenarioNames()) {
+      known |= name == flags.scenario;
+    }
+    if (!known) {
+      std::fprintf(stderr, "unknown scenario: %s\nknown:",
+                   flags.scenario.c_str());
+      for (const std::string& name : attack::ScenarioNames()) {
+        std::fprintf(stderr, " %s", name.c_str());
+      }
+      std::fprintf(stderr, "\n");
+      return 2;
+    }
+    // Keep the honest baseline in front so cost overhead stays defined.
+    if (flags.scenario != "none") names.push_back("none");
+    names.push_back(flags.scenario);
+  }
+
+  const int trials = flags.rounds;
+  std::printf("network: %s\nattack sweep: %d trials per scenario\n\n",
+              flags.params.ToString().c_str(), trials);
+  auto points =
+      attack::RunAdversarySweep(flags.params, names, trials, nullptr);
+  if (!points.ok()) {
+    std::fprintf(stderr, "attack sweep failed: %s\n",
+                 points.status().ToString().c_str());
+    return 1;
+  }
+  sim::TablePrinter table({"scenario", "attempted", "detected",
+                           "accepted", "succeeded", "avg corr.", "ideal",
+                           "effect.", "cost ovh"});
+  for (const attack::AdversaryPoint& p : *points) {
+    table.AddRow({p.scenario, std::to_string(p.attempted),
+                  std::to_string(p.detected), std::to_string(p.accepted),
+                  std::to_string(p.succeeded),
+                  sim::TablePrinter::Num(p.avg_corrupted, 2),
+                  sim::TablePrinter::Num(p.ideal_corrupted, 2),
+                  sim::TablePrinter::Num(p.effectiveness, 3),
+                  sim::TablePrinter::Num(p.cost_overhead, 2)});
+  }
+  table.Print();
+
+  // One narrated attacked execution, traced for the checker tooling.
+  const std::string focus =
+      flags.scenario.empty() ? "csar-grind" : flags.scenario;
+  auto network = sim::Network::Build(flags.params);
+  if (!network.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 network.status().ToString().c_str());
+    return 1;
+  }
+  sim::Network& net = **network;
+  core::ProtocolContext ctx = net.context();
+  auto scenario = attack::MakeScenario(focus, ctx, net.ColluderIndices());
+  obs::TraceRecorder recorder;
+  recorder.meta().node_count =
+      static_cast<uint32_t>(net.directory().size());
+  util::Rng rng(flags.params.seed ^ 0xa77ac4);
+  const uint32_t trigger =
+      static_cast<uint32_t>(rng.NextUint64(net.directory().size()));
+  auto outcome = scenario->Run(trigger, rng, &recorder, nullptr);
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "scenario failed: %s\n",
+                 outcome.status().ToString().c_str());
+    return 1;
+  }
+  attack::Verdict verdict = attack::Judge(*outcome, &recorder.trace());
+  std::printf("\nlive run of '%s' (trigger node %u):\n", focus.c_str(),
+              trigger);
+  std::printf("  coalition deviated: %s\n",
+              outcome->attempted ? "yes" : "no opportunity");
+  std::printf("  detected:           %s%s%s\n",
+              verdict.detected ? "YES" : "no",
+              verdict.signal.empty() ? "" : " — ",
+              verdict.signal.c_str());
+  std::printf("  verdict:            %s accepted, %d/%d colluders among "
+              "accepted entries\n",
+              outcome->accepted ? "list" : "nothing",
+              outcome->corrupted_actors, outcome->actor_count);
+  std::printf("  strikes=%d restarts=%d attempts=%d checker "
+              "violations=%llu\n",
+              outcome->strikes, outcome->restarts, outcome->attempts,
+              static_cast<unsigned long long>(verdict.checker_violations));
+
+  if (!flags.trace_path.empty()) {
+    Status chrome = obs::WriteFile(flags.trace_path,
+                                   obs::ToChromeTrace(recorder.trace()));
+    Status jsonl = obs::WriteFile(flags.trace_path + ".jsonl",
+                                  obs::ToJsonl(recorder.trace()));
+    if (!chrome.ok() || !jsonl.ok()) {
+      std::fprintf(stderr, "trace write failed\n");
+      return 1;
+    }
+    std::printf("  trace: %zu events -> %s (+ .jsonl)\n", recorder.size(),
+                flags.trace_path.c_str());
+  }
+  return 0;
+}
+
 void Usage() {
   std::fprintf(stderr,
                "usage: sep2p_cli "
-               "<select|ktable|probe|demo|check|report|serve|cluster> "
-               "[flags]\n"
+               "<select|ktable|probe|demo|attack|check|report|serve|"
+               "cluster> [flags]\n"
                "flags: --n N --c FRAC --a A --seed S --cache SIZE\n"
                "       --alpha A --rounds R --overlay chord|can --ed25519\n"
                "       --threads T (0 = one per hardware thread)\n"
@@ -856,6 +976,9 @@ void Usage() {
                "FILE.jsonl)\n"
                "       --metrics FILE (demo: Prometheus text to FILE, "
                "JSON to FILE.json)\n"
+               "attack: sep2p_cli attack [--scenario NAME] [--rounds R]\n"
+               "        [--trace FILE]  (live adversary suite + detection "
+               "oracle;\n        omit --scenario for the full table)\n"
                "check: sep2p_cli check FILE.jsonl (run the invariant "
                "checker)\n"
                "report: sep2p_cli report PATH [--out FILE] [--csv FILE]\n"
@@ -907,6 +1030,7 @@ int main(int argc, char** argv) {
   if (command == "ktable") return CmdKtable(flags);
   if (command == "probe") return CmdProbe(flags);
   if (command == "demo") return CmdDemo(flags);
+  if (command == "attack") return CmdAttack(flags);
   Usage();
   return 2;
 }
