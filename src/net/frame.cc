@@ -38,35 +38,35 @@ uint64_t GetU64(const uint8_t* p) {
 }  // namespace
 
 std::vector<uint8_t> EncodeFrame(const Frame& frame) {
+  // Version by content: correlation fields at their defaults encode the
+  // 27-byte version-1 header, byte-identical to pre-observability
+  // builds; a nonzero span or hlc upgrades the frame to version 2.
+  const bool v2 = frame.span != 0 || frame.hlc != 0;
   std::vector<uint8_t> out;
-  out.reserve(kFrameHeaderLen + frame.payload.size());
+  out.reserve((v2 ? kFrameHeaderLenV2 : kFrameHeaderLen) +
+              frame.payload.size());
   out.push_back('S');
   out.push_back('2');
   out.push_back('P');
   out.push_back(frame.type);
-  PutU16(out, kFrameVersion);
+  PutU16(out, v2 ? kFrameVersion2 : kFrameVersion);
   PutU64(out, frame.rpc_id);
   PutU32(out, frame.src);
   PutU32(out, frame.dst);
   out.push_back(frame.status);
+  if (v2) {
+    PutU64(out, frame.span);
+    PutU64(out, frame.hlc);
+  }
   PutU32(out, static_cast<uint32_t>(frame.payload.size()));
   out.insert(out.end(), frame.payload.begin(), frame.payload.end());
   return out;
 }
 
-Status FrameParser::ParseHeader(Frame* frame, uint32_t* payload_len) const {
+Status FrameParser::ParseHeader(size_t header_len, Frame* frame,
+                                uint32_t* payload_len) const {
   const uint8_t* p = buffer_.data();
-  if (p[0] != 'S' || p[1] != '2' || p[2] != 'P') {
-    return Status::InvalidArgument("frame: bad magic");
-  }
   frame->type = p[3];
-  if (frame->type != kFrameRequest && frame->type != kFrameResponse) {
-    return Status::InvalidArgument("frame: unknown type");
-  }
-  const uint16_t version = GetU16(p + 4);
-  if (version != kFrameVersion) {
-    return Status::InvalidArgument("frame: unsupported version");
-  }
   frame->rpc_id = GetU64(p + 6);
   frame->src = GetU32(p + 14);
   frame->dst = GetU32(p + 18);
@@ -74,7 +74,13 @@ Status FrameParser::ParseHeader(Frame* frame, uint32_t* payload_len) const {
   if (frame->status != kFrameOk && frame->status != kFrameRefused) {
     return Status::InvalidArgument("frame: unknown status");
   }
-  *payload_len = GetU32(p + 23);
+  if (header_len == kFrameHeaderLenV2) {
+    frame->span = GetU64(p + 23);
+    frame->hlc = GetU64(p + 31);
+    *payload_len = GetU32(p + 39);
+  } else {
+    *payload_len = GetU32(p + 23);
+  }
   if (*payload_len > kMaxFramePayload) {
     return Status::InvalidArgument("frame: declared payload too large");
   }
@@ -87,20 +93,39 @@ Status FrameParser::Feed(const uint8_t* data, size_t len,
     return Status::InvalidArgument("frame: parser poisoned by earlier error");
   }
   buffer_.insert(buffer_.end(), data, data + len);
-  while (buffer_.size() >= kFrameHeaderLen) {
+  while (buffer_.size() >= kFramePrefixLen) {
+    // Magic, type and version are vetted as soon as they arrive — they
+    // decide the header length; the rest of the header is validated as
+    // soon as it is complete, and an oversized or garbage length prefix
+    // is rejected BEFORE any payload bytes are awaited or allocated.
+    const uint8_t* p = buffer_.data();
+    if (p[0] != 'S' || p[1] != '2' || p[2] != 'P') {
+      poisoned_ = true;
+      return Status::InvalidArgument("frame: bad magic");
+    }
+    if (p[3] != kFrameRequest && p[3] != kFrameResponse &&
+        p[3] != kFrameControl) {
+      poisoned_ = true;
+      return Status::InvalidArgument("frame: unknown type");
+    }
+    const uint16_t version = GetU16(p + 4);
+    if (version != kFrameVersion && version != kFrameVersion2) {
+      poisoned_ = true;
+      return Status::InvalidArgument("frame: unsupported version");
+    }
+    const size_t header_len =
+        version == kFrameVersion2 ? kFrameHeaderLenV2 : kFrameHeaderLen;
+    if (buffer_.size() < header_len) break;  // wait for the header
     Frame frame;
     uint32_t payload_len = 0;
-    // The header is validated as soon as it is complete — an oversized
-    // or garbage length prefix is rejected BEFORE any payload bytes are
-    // awaited or allocated.
-    Status header = ParseHeader(&frame, &payload_len);
+    Status header = ParseHeader(header_len, &frame, &payload_len);
     if (!header.ok()) {
       poisoned_ = true;
       return header;
     }
-    const size_t total = kFrameHeaderLen + payload_len;
+    const size_t total = header_len + payload_len;
     if (buffer_.size() < total) break;  // wait for the rest
-    frame.payload.assign(buffer_.begin() + kFrameHeaderLen,
+    frame.payload.assign(buffer_.begin() + header_len,
                          buffer_.begin() + total);
     buffer_.erase(buffer_.begin(), buffer_.begin() + total);
     out->push_back(std::move(frame));

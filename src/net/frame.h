@@ -1,17 +1,34 @@
 // Length-prefixed framing for TcpTransport (net/tcp_transport.h).
 //
-// A frame is one request or response travelling a TCP stream:
+// A frame is one request, response or control exchange travelling a
+// TCP stream:
 //
 //   magic   'S' '2' 'P'   (3 bytes — same magic as core/messages.h)
-//   type    u8            (1 = request, 2 = response)
-//   version u16           (frame-layer version, currently 1)
+//   type    u8            (1 = request, 2 = response, 3 = control)
+//   version u16           (frame-layer version, 1 or 2)
 //   rpc_id  u64           (caller-assigned; responses echo it)
 //   src     u32           (logical sender node)
 //   dst     u32           (logical destination node)
 //   status  u8            (responses: 0 = ok, 1 = refused; requests: 0)
+//   span    u64           (version 2 only: caller's open trace span)
+//   hlc     u64           (version 2 only: sender's HLC stamp,
+//                          obs/hlc.h — receivers Observe() it so the
+//                          merged cluster trace orders causally)
 //   len     u32           (payload byte count, <= kMaxFramePayload)
 //   payload len bytes     (a core/messages.h message for requests and
-//                          ok-responses; empty for refusals)
+//                          ok-responses; empty for refusals; status
+//                          text for control responses)
+//
+// Version negotiation by content, exactly like the engagement-nonce
+// fields of core/messages.h: a frame whose span and hlc are BOTH zero
+// encodes as version 1 — byte-identical to pre-observability builds —
+// and only correlated frames (an obs::TraceRecorder attached) pay the
+// 16 extra header bytes. Both versions parse on receive.
+//
+// Control frames (type 3) are the transport's status plane: a control
+// request (empty payload) asks the serving process for its live status
+// text; the control response carries it. They never enter protocol
+// dispatch, stats, or traces.
 //
 // All integers are big-endian (core/wire_format.h primitives). The
 // payload inside the frame is a self-describing protocol message with
@@ -40,12 +57,17 @@ namespace sep2p::net {
 
 inline constexpr uint8_t kFrameRequest = 1;
 inline constexpr uint8_t kFrameResponse = 2;
+inline constexpr uint8_t kFrameControl = 3;
 
 inline constexpr uint8_t kFrameOk = 0;
 inline constexpr uint8_t kFrameRefused = 1;
 
 inline constexpr uint16_t kFrameVersion = 1;
+inline constexpr uint16_t kFrameVersion2 = 2;
 inline constexpr size_t kFrameHeaderLen = 27;
+inline constexpr size_t kFrameHeaderLenV2 = kFrameHeaderLen + 16;
+// Magic + type + version: enough to decide which header length applies.
+inline constexpr size_t kFramePrefixLen = 6;
 
 // Generous for protocol messages (the largest — a VAL broadcast with
 // attestations — is tens of KB) while keeping a hostile length prefix
@@ -58,6 +80,8 @@ struct Frame {
   uint32_t src = 0;
   uint32_t dst = 0;
   uint8_t status = kFrameOk;
+  uint64_t span = 0;  // trace correlation (0 = none; encodes version 1)
+  uint64_t hlc = 0;   // HLC stamp (0 = none; encodes version 1)
   std::vector<uint8_t> payload;
 };
 
@@ -75,9 +99,11 @@ class FrameParser {
   size_t pending_bytes() const { return buffer_.size(); }
 
  private:
-  // Validates the 27-byte header currently at the front of buffer_ and
+  // Validates the header currently at the front of buffer_ (27 or 43
+  // bytes depending on the version byte already vetted by Feed) and
   // fills `frame` (payload not yet attached) + `payload_len`.
-  Status ParseHeader(Frame* frame, uint32_t* payload_len) const;
+  Status ParseHeader(size_t header_len, Frame* frame,
+                     uint32_t* payload_len) const;
 
   std::vector<uint8_t> buffer_;
   bool poisoned_ = false;

@@ -7,10 +7,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <thread>
+
+#include "obs/status.h"
 
 namespace sep2p::net {
 
@@ -62,6 +65,11 @@ TcpTransport::TcpTransport(const Options& options)
       rng_(options.seed),
       epoch_(std::chrono::steady_clock::now()) {
   retry_ = options.retry;
+  // Brand rpc ids with the issuing process (same scheme as engagement
+  // nonces) so merged cluster traces never see two processes reuse one
+  // id.
+  next_rpc_id_.store((static_cast<uint64_t>(process_index_) + 1) << 48,
+                     std::memory_order_relaxed);
   peers_.reserve(process_count_);
   for (uint32_t p = 0; p < process_count_; ++p) {
     peers_.push_back(std::make_unique<PeerConn>());
@@ -71,9 +79,14 @@ TcpTransport::TcpTransport(const Options& options)
 TcpTransport::~TcpTransport() { Stop(); }
 
 uint64_t TcpTransport::now_us() const {
+  // Unix microseconds, not a per-process steady offset: every process
+  // of a cluster run stamps the SAME wall domain, so merged trace
+  // shards share one time axis (skew between hosts is tolerated — the
+  // merge orders by HLC, not t_us). The steady epoch_ stays for the
+  // uptime gauge, which must not jump with clock adjustments.
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now() - epoch_)
+          std::chrono::system_clock::now().time_since_epoch())
           .count());
 }
 
@@ -83,9 +96,20 @@ void TcpTransport::set_trace(obs::TraceRecorder* trace) {
     // The recorder samples a bound clock pointer; a wall transport has
     // no single "current virtual time", so bind a cache refreshed under
     // mu_ right before every emission.
+    // Prime the cache: spans opened by protocol code before the first
+    // RPC read it directly, and a zero there would put those events
+    // 56 years before the rest of the wall-clock trace.
+    now_cache_ = now_us();
     trace_->BindClock(&now_cache_);
     trace_->meta().node_count = node_count_;
     trace_->meta().max_attempts = retry_.max_attempts;
+    trace_->meta().clock = obs::ClockDomain::kWall;
+    trace_->meta().process = process_index_;
+    trace_->meta().process_count = process_count_;
+    trace_->EnableHlc();
+    // Span ids count up from a per-process base so shards never collide
+    // when merged (obs/cluster.h).
+    trace_->set_span_base((static_cast<uint64_t>(process_index_) + 1) << 48);
   }
 }
 
@@ -93,7 +117,13 @@ void TcpTransport::FinalizeTrace() {
   std::lock_guard<std::mutex> lock(mu_);
   if (trace_ == nullptr) return;
   now_cache_ = now_us();
-  trace_->Mark(obs::kNoNode, "shutdown", 0);
+  // This shard's residual: sends it recorded that it never saw land
+  // (timed-out RPCs whose replies were late or lost). Server shards
+  // deliver more than they send and report 0; the cluster merge drops
+  // every per-shard mark and re-synthesizes the cluster-wide residual.
+  const uint64_t residual =
+      trace_sends_ > trace_delivers_ ? trace_sends_ - trace_delivers_ : 0;
+  trace_->Mark(obs::kNoNode, "shutdown", residual);
 }
 
 Status TcpTransport::Start() {
@@ -224,6 +254,8 @@ int TcpTransport::EnsureConn(uint32_t process) {
   }
   const int fd = ConnectTo(conn.host, conn.port);
   if (fd < 0) return -1;
+  if (conn.ever_up) reconnects_.fetch_add(1, std::memory_order_relaxed);
+  conn.ever_up = true;
   conn.fd = fd;
   conn.up = true;
   conn.reader = std::thread([this, process, fd] { ReaderLoop(process, fd); });
@@ -254,6 +286,8 @@ void TcpTransport::ReaderLoop(uint32_t process, int fd) {
       }
       it->second.done = true;
       it->second.status = f.status;
+      it->second.span = f.span;
+      it->second.hlc = f.hlc;
       it->second.payload = std::move(f.payload);
     }
     wait_cv_.notify_all();
@@ -286,6 +320,7 @@ void TcpTransport::AcceptLoop() {
 }
 
 void TcpTransport::ServiceLoop(int fd) {
+  service_conns_.fetch_add(1, std::memory_order_relaxed);
   FrameParser parser;
   uint8_t buf[4096];
   for (;;) {
@@ -303,7 +338,26 @@ void TcpTransport::ServiceLoop(int fd) {
     if (!parser.Feed(buf, static_cast<size_t>(n), &frames).ok()) {
       break;  // malformed stream: drop the connection
     }
+    bool write_failed = false;
     for (Frame& f : frames) {
+      if (f.type == kFrameControl) {
+        // Status plane: answered outside mu_ and outside stats/traces —
+        // a scrape must never perturb what it observes.
+        Frame resp;
+        resp.type = kFrameControl;
+        resp.rpc_id = f.rpc_id;
+        resp.src = f.dst;
+        resp.dst = f.src;
+        resp.status = kFrameOk;
+        const std::string text = BuildStatusText();
+        resp.payload.assign(text.begin(), text.end());
+        const std::vector<uint8_t> bytes = EncodeFrame(resp);
+        if (!WriteAll(fd, bytes.data(), bytes.size())) {
+          write_failed = true;
+          break;
+        }
+        continue;
+      }
       if (f.type != kFrameRequest) continue;
       Frame resp;
       resp.type = kFrameResponse;
@@ -316,6 +370,24 @@ void TcpTransport::ServiceLoop(int fd) {
         ++stats_.messages_delivered;
         if (metrics_ != nullptr) {
           metrics_->Inc(obs::Counter::kMessagesDelivered);
+        }
+        if (trace_ != nullptr) {
+          // Merge the caller's stamp first so every event this request
+          // causes orders after its send, then adopt the caller's span:
+          // while it is set, everything recorded here (this deliver,
+          // Dispatch's event, the response send) attributes to the
+          // CLIENT's span tree — the server opens no spans of its own.
+          trace_->ObserveHlc(f.hlc);
+          trace_->set_remote_span(f.span);
+          obs::Event e;
+          e.t_us = now_cache_;
+          e.kind = obs::EventKind::kDeliver;
+          e.node = f.dst;
+          e.peer = f.src;
+          e.rpc = f.rpc_id;
+          e.value = f.payload.size();
+          trace_->Record(std::move(e));
+          ++trace_delivers_;
         }
         dispatch_thread_.store(std::this_thread::get_id(),
                                std::memory_order_relaxed);
@@ -331,18 +403,45 @@ void TcpTransport::ServiceLoop(int fd) {
             metrics_->Inc(obs::Counter::kBytesSent, resp.payload.size());
             metrics_->IncNode(f.dst, obs::NodeCounter::kMessages);
           }
+          if (trace_ != nullptr) {
+            now_cache_ = now_us();
+            obs::Event e;
+            e.t_us = now_cache_;
+            e.kind = obs::EventKind::kSend;
+            e.node = f.dst;
+            e.peer = f.src;
+            e.rpc = f.rpc_id;
+            e.value = resp.payload.size();
+            trace_->Record(std::move(e));
+            ++trace_sends_;
+            // The response frame carries the caller's span back plus
+            // this send's stamp, so the client's deliver orders after
+            // every server-side event.
+            resp.span = f.span;
+            resp.hlc = trace_->last_hlc();
+          }
         } else {
+          // Refused: no response payload crosses the wire as a protocol
+          // message, so neither side records send/deliver for it —
+          // mirrors the stats convention.
           resp.status = kFrameRefused;
         }
+        if (trace_ != nullptr) trace_->set_remote_span(0);
       }
       const std::vector<uint8_t> bytes = EncodeFrame(resp);
-      if (!WriteAll(fd, bytes.data(), bytes.size())) break;
+      if (!WriteAll(fd, bytes.data(), bytes.size())) {
+        write_failed = true;
+        break;
+      }
     }
+    if (write_failed) break;
   }
   ::close(fd);
+  service_conns_.fetch_sub(1, std::memory_order_relaxed);
 }
 
-void TcpTransport::CountSend(uint32_t from, uint64_t rpc, size_t bytes) {
+void TcpTransport::CountSend(uint32_t from, uint64_t rpc, size_t bytes,
+                             uint64_t* span_out, uint64_t* hlc_out) {
   std::lock_guard<std::mutex> lock(mu_);
   now_cache_ = now_us();
   ++stats_.messages_sent;
@@ -360,6 +459,9 @@ void TcpTransport::CountSend(uint32_t from, uint64_t rpc, size_t bytes) {
     e.rpc = rpc;
     e.value = bytes;
     trace_->Record(std::move(e));
+    ++trace_sends_;
+    if (span_out != nullptr) *span_out = trace_->CurrentSpan();
+    if (hlc_out != nullptr) *hlc_out = trace_->last_hlc();
   }
 }
 
@@ -379,10 +481,14 @@ void TcpTransport::RecordRpcEvent(obs::EventKind kind, uint32_t client,
   trace_->Record(std::move(e));
 }
 
-bool TcpTransport::AttemptRemote(uint32_t process, const Frame& request,
+bool TcpTransport::AttemptRemote(uint32_t process, Frame& request,
                                  std::vector<uint8_t>* out) {
   const int fd = EnsureConn(process);
   if (fd < 0) return false;
+  // Count + trace the send BEFORE encoding so the frame carries the
+  // very span and HLC stamp of its own kSend event.
+  CountSend(request.src, request.rpc_id, request.payload.size(),
+            &request.span, &request.hlc);
   {
     std::lock_guard<std::mutex> lock(wait_mu_);
     pending_[request.rpc_id] = PendingReply{};
@@ -397,9 +503,9 @@ bool TcpTransport::AttemptRemote(uint32_t process, const Frame& request,
     std::lock_guard<std::mutex> lock(conn_mu_);
     CloseConnLocked(*peers_[process]);
   }
-  CountSend(request.src, request.rpc_id, request.payload.size());
 
   bool ok = false;
+  uint64_t resp_hlc = 0;
   {
     std::unique_lock<std::mutex> lock(wait_mu_);
     const auto deadline = std::chrono::steady_clock::now() +
@@ -412,9 +518,31 @@ bool TcpTransport::AttemptRemote(uint32_t process, const Frame& request,
     if (it != pending_.end()) {
       if (it->second.done && it->second.status == kFrameOk) {
         *out = std::move(it->second.payload);
+        resp_hlc = it->second.hlc;
         ok = true;
       }
       pending_.erase(it);
+    }
+  }
+  if (ok) {
+    // The response deliver is recorded HERE, on the driver thread — the
+    // reader thread never touches the recorder (protocol code records
+    // on it without mu_). A reply that arrives after the timeout is
+    // counted by stats_.late_replies only and stays out of the trace;
+    // the shutdown mark's residual accounts for it.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (trace_ != nullptr) {
+      now_cache_ = now_us();
+      trace_->ObserveHlc(resp_hlc);
+      obs::Event e;
+      e.t_us = now_cache_;
+      e.kind = obs::EventKind::kDeliver;
+      e.node = request.src;
+      e.peer = request.dst;
+      e.rpc = request.rpc_id;
+      e.value = out->size();
+      trace_->Record(std::move(e));
+      ++trace_delivers_;
     }
   }
   return ok;
@@ -454,6 +582,17 @@ Transport::RpcResult TcpTransport::Call(uint32_t client, uint32_t server,
       ++stats_.messages_delivered;
       if (metrics_ != nullptr) {
         metrics_->Inc(obs::Counter::kMessagesDelivered);
+      }
+      if (trace_ != nullptr) {
+        obs::Event e;
+        e.t_us = now_cache_;
+        e.kind = obs::EventKind::kDeliver;
+        e.node = server;
+        e.peer = client;
+        e.rpc = rpc;
+        e.value = request.size();
+        trace_->Record(std::move(e));
+        ++trace_delivers_;
       }
       dispatch_thread_.store(std::this_thread::get_id(),
                              std::memory_order_relaxed);
@@ -562,6 +701,95 @@ void TcpTransport::UnregisterNode(uint32_t node, uint8_t tag) {
   }
   std::lock_guard<std::mutex> lock(mu_);
   Transport::UnregisterNode(node, tag);
+}
+
+std::string TcpTransport::BuildStatusText() {
+  obs::ProcessStatus ps;
+  ps.process = process_index_;
+  ps.process_count = process_count_;
+  ps.node_count = node_count_;
+  ps.listen_port = listen_port_;
+  ps.uptime_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+  ps.rss_bytes = obs::ReadRssBytes();
+  uint64_t peers_up = 0;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (const auto& peer : peers_) {
+      if (peer->up) ++peers_up;
+    }
+  }
+  ps.open_connections =
+      static_cast<uint64_t>(std::max<int64_t>(
+          0, service_conns_.load(std::memory_order_relaxed))) +
+      peers_up;
+  ps.reconnects = reconnects_.load(std::memory_order_relaxed);
+  std::string metrics_text;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ps.rpc_failures = stats_.rpc_failures;
+    ps.messages_sent = stats_.messages_sent;
+    ps.messages_delivered = stats_.messages_delivered;
+    if (metrics_ != nullptr) metrics_text = metrics_->ToPrometheusText();
+  }
+  return obs::RenderProcessStatus(ps) + metrics_text;
+}
+
+Result<std::string> ScrapeStatus(const std::string& host, uint16_t port,
+                                 uint64_t timeout_ms) {
+  const int fd = ConnectTo(host, port);
+  if (fd < 0) {
+    return Status::Unavailable("scrape: cannot connect to " + host + ":" +
+                               std::to_string(port));
+  }
+  Frame req;
+  req.type = kFrameControl;
+  req.rpc_id = 1;
+  const std::vector<uint8_t> bytes = EncodeFrame(req);
+  if (!WriteAll(fd, bytes.data(), bytes.size())) {
+    ::close(fd);
+    return Status::Unavailable("scrape: write failed");
+  }
+  FrameParser parser;
+  uint8_t buf[4096];
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      ::close(fd);
+      return Status::Unavailable("scrape: timed out");
+    }
+    const auto left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+            .count();
+    pollfd pfd{fd, POLLIN, 0};
+    const int r = ::poll(&pfd, 1, left > 0 ? static_cast<int>(left) : 1);
+    if (r < 0 && errno == EINTR) continue;
+    if (r < 0) {
+      ::close(fd);
+      return Status::Unavailable("scrape: poll failed");
+    }
+    if (r == 0) continue;  // loop re-checks the deadline
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      ::close(fd);
+      return Status::Unavailable("scrape: connection closed");
+    }
+    std::vector<Frame> frames;
+    if (!parser.Feed(buf, static_cast<size_t>(n), &frames).ok()) {
+      ::close(fd);
+      return Status::InvalidArgument("scrape: malformed response");
+    }
+    for (Frame& f : frames) {
+      if (f.type != kFrameControl) continue;
+      ::close(fd);
+      return std::string(f.payload.begin(), f.payload.end());
+    }
+  }
 }
 
 }  // namespace sep2p::net

@@ -31,6 +31,16 @@
 // Shutdown: RequestStop() (safe from a SIGTERM handler via the flag it
 // sets) makes the accept loop exit; Stop() closes the listener, drains
 // in-flight service work, joins every thread and closes all sockets.
+//
+// Observability: with a TraceRecorder attached, every frame carries the
+// caller's open span id and an HLC stamp (version-2 frames, net/frame.h)
+// and the recorder stamps every event with a strictly-increasing HLC —
+// the per-process trace shards a cluster run writes merge into ONE
+// causally-consistent trace (obs/cluster.h) the checker audits whole.
+// t_us is wall-clock unix microseconds here (TraceMeta::clock = kWall).
+// Independently of tracing, the listen port doubles as a status plane:
+// a control frame (type 3) is answered with BuildStatusText() — process
+// gauges + Prometheus metrics — which ScrapeStatus() fetches remotely.
 
 #ifndef SEP2P_NET_TCP_TRANSPORT_H_
 #define SEP2P_NET_TCP_TRANSPORT_H_
@@ -92,6 +102,11 @@ class TcpTransport : public Transport {
 
   uint16_t listen_port() const { return listen_port_; }
 
+  // The live status document a control frame is answered with: process
+  // gauges (obs/status.h) followed by the MetricsRegistry Prometheus
+  // text when one is attached. Safe from any thread.
+  std::string BuildStatusText();
+
   // Declares where peer process `process` listens. All peers must be
   // set before the first cross-process call to them.
   void SetPeer(uint32_t process, const std::string& host, uint16_t port);
@@ -132,6 +147,9 @@ class TcpTransport : public Transport {
   struct PendingReply {
     bool done = false;
     uint8_t status = kFrameRefused;
+    uint64_t span = 0;  // correlation fields echoed by the response
+    uint64_t hlc = 0;   // frame; the DRIVER thread turns them into the
+                        // deliver event (the reader only copies them)
     std::vector<uint8_t> payload;
   };
   // One outgoing connection to a peer process: the caller writes
@@ -142,6 +160,7 @@ class TcpTransport : public Transport {
     uint16_t port = 0;
     int fd = -1;
     bool up = false;
+    bool ever_up = false;  // a later connect is a reconnect (gauge)
     std::mutex write_mu;
     std::thread reader;
   };
@@ -154,13 +173,16 @@ class TcpTransport : public Transport {
   void ServiceLoop(int fd);
   void CloseConnLocked(PeerConn& conn);
 
-  // One attempt of a remote call: write the request frame, wait for the
-  // response until `deadline`. Fills `out` on success.
-  bool AttemptRemote(uint32_t process, const Frame& request,
+  // One attempt of a remote call: stamp + write the request frame, wait
+  // for the response until `deadline`. Fills `out` on success.
+  bool AttemptRemote(uint32_t process, Frame& request,
                      std::vector<uint8_t>* out);
 
-  // Stats + obs helpers, all under mu_.
-  void CountSend(uint32_t from, uint64_t rpc, size_t bytes);
+  // Stats + obs helpers, all under mu_. When tracing, CountSend returns
+  // the send event's span and HLC stamp through the out-params so the
+  // departing frame can carry them.
+  void CountSend(uint32_t from, uint64_t rpc, size_t bytes,
+                 uint64_t* span_out = nullptr, uint64_t* hlc_out = nullptr);
   void RecordRpcEvent(obs::EventKind kind, uint32_t client, uint32_t server,
                       uint64_t rpc, uint64_t value);
 
@@ -188,6 +210,10 @@ class TcpTransport : public Transport {
   // contract). Never held while blocking on a socket.
   std::mutex mu_;
   uint64_t now_cache_ = 0;  // wall clock mirror for BindClock
+  // kSend / kDeliver events this shard recorded (under mu_); their
+  // difference is the shard's residual in-flight count at shutdown.
+  uint64_t trace_sends_ = 0;
+  uint64_t trace_delivers_ = 0;
 
   // The thread currently running Dispatch under mu_ (an empty id when
   // none is): lets the Register* overrides detect handler-side
@@ -196,9 +222,18 @@ class TcpTransport : public Transport {
 
   std::atomic<uint64_t> next_rpc_id_{0};
   std::atomic<uint64_t> next_nonce_{0};
+  // Status-plane gauges (lock-free: scraped from service threads).
+  std::atomic<uint64_t> reconnects_{0};
+  std::atomic<int64_t> service_conns_{0};
   util::Rng rng_;  // backoff jitter (under mu_)
-  std::chrono::steady_clock::time_point epoch_;
+  std::chrono::steady_clock::time_point epoch_;  // uptime gauge base
 };
+
+// Fetches the status document of the daemon listening at host:port by
+// sending one control frame over a throwaway connection. `timeout_ms`
+// bounds the whole exchange.
+Result<std::string> ScrapeStatus(const std::string& host, uint16_t port,
+                                 uint64_t timeout_ms);
 
 }  // namespace sep2p::net
 

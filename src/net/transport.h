@@ -57,7 +57,10 @@
 namespace sep2p::net {
 
 // Per-RPC timeout/retry/backoff policy. For SimNetwork the times are
-// virtual microseconds; for TcpTransport they are wall-clock.
+// virtual microseconds; for TcpTransport they are wall-clock
+// microseconds. Each transport declares which domain it meters in its
+// traces via obs::TraceMeta::clock (obs/trace.h) so exporters and the
+// analyzer label time axes instead of conflating the two.
 struct RetryPolicy {
   // An attempt times out when the reply has not arrived this long after
   // the request departed.

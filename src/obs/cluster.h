@@ -1,0 +1,59 @@
+// Causally-consistent merging of live-cluster trace shards.
+//
+// A P-process `sep2p_cli cluster` run leaves one JSONL shard per
+// process (meta.clock = wall, meta.process / process_count set, every
+// event carrying a nonzero HLC stamp — obs/hlc.h). MergeCluster folds
+// them into ONE trace the existing obs::Checker and obs::Analyzer
+// consume unchanged:
+//
+//  - Shards are validated first: version-1 meta, wall clock domain,
+//    consistent node_count / max_attempts / process_count, distinct
+//    in-range process ids, and a nonzero strictly-increasing HLC on
+//    every event. A mis-stamped shard is rejected loudly — a merge
+//    over broken stamps would produce a plausible-looking trace whose
+//    checker verdict means nothing.
+//  - Events merge by (hlc, process): HLC order contains the
+//    happens-before relation carried by the wire (receivers Observe()
+//    the sender's stamp before stamping their own events), so every
+//    cross-process send precedes its delivery and every server-side
+//    event lands inside the client RPC that caused it; the process id
+//    breaks ties between genuinely concurrent events
+//    deterministically. Shards are pre-sorted by process id, making
+//    the result independent of ingestion order.
+//  - Per-shard "shutdown" marks are residuals of one process's view
+//    (a server shard legitimately delivers more than it sends) and are
+//    dropped; one cluster-wide shutdown mark with the merged in-flight
+//    residual is appended so the checker's message-conservation
+//    invariant closes over the whole cluster.
+//
+// CausalDigest hashes everything EXCEPT timestamps and HLC stamps:
+// two runs of the same protocol schedule digest identically even when
+// the per-process wall clocks are skewed — the determinism handle the
+// merge tests pin.
+
+#ifndef SEP2P_OBS_CLUSTER_H_
+#define SEP2P_OBS_CLUSTER_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace sep2p::obs {
+
+// Merges validated shards into one causally-ordered cluster trace.
+// Shard order is irrelevant (they are sorted by meta.process first).
+Result<Trace> MergeCluster(std::vector<Trace> shards);
+
+// FNV-1a over the merged structure excluding t_us and hlc (both are
+// wall-clock-dependent); identical for any shard ingestion order and
+// any per-process clock skew that preserves the protocol schedule.
+uint64_t CausalDigest(const Trace& trace);
+
+// Loads every *.jsonl shard in `dir` (strict loader) and merges them.
+Result<Trace> LoadClusterTrace(const std::string& dir);
+
+}  // namespace sep2p::obs
+
+#endif  // SEP2P_OBS_CLUSTER_H_

@@ -170,6 +170,15 @@ std::string ToJsonl(const Trace& trace) {
   AppendU64(out, "node_count", trace.meta.node_count);
   AppendU64(out, "max_attempts",
             static_cast<uint64_t>(trace.meta.max_attempts));
+  // New-in-this-version fields are omitted at their defaults, so a sim
+  // trace encodes byte-identically to pre-cluster builds.
+  if (trace.meta.clock == ClockDomain::kWall) out += ",\"clock\":\"wall\"";
+  if (trace.meta.process != 0) {
+    AppendU64(out, "process", trace.meta.process);
+  }
+  if (trace.meta.process_count != 0) {
+    AppendU64(out, "process_count", trace.meta.process_count);
+  }
   out += "}\n";
   for (const Event& e : trace.events) {
     out += "{\"t\":" + std::to_string(e.t_us);
@@ -183,6 +192,7 @@ std::string ToJsonl(const Trace& trace) {
     if (e.rpc != 0) AppendU64(out, "r", e.rpc);
     if (e.seq != 0) AppendU64(out, "s", e.seq);
     if (e.value != 0) AppendU64(out, "v", e.value);
+    if (e.hlc != 0) AppendU64(out, "h", e.hlc);
     if (!e.detail.empty()) {
       out += ",\"d\":\"";
       AppendEscaped(out, e.detail);
@@ -213,7 +223,19 @@ Result<Trace> FromJsonl(const std::string& text) {
       bool saw_magic = false;
       Status st = parser.ParseObject([&](const std::string& key,
                                          bool is_string, uint64_t num,
-                                         const std::string&) {
+                                         const std::string& str) {
+        if (key == "clock") {
+          if (!is_string) return false;
+          if (str == "wall") {
+            trace.meta.clock = ClockDomain::kWall;
+            return true;
+          }
+          if (str == "virtual") {
+            trace.meta.clock = ClockDomain::kVirtual;
+            return true;
+          }
+          return false;
+        }
         if (is_string) return false;
         if (key == "sep2p_trace") {
           saw_magic = true;
@@ -226,6 +248,14 @@ Result<Trace> FromJsonl(const std::string& text) {
         }
         if (key == "max_attempts") {
           trace.meta.max_attempts = static_cast<int>(num);
+          return true;
+        }
+        if (key == "process") {
+          trace.meta.process = static_cast<uint32_t>(num);
+          return true;
+        }
+        if (key == "process_count") {
+          trace.meta.process_count = static_cast<uint32_t>(num);
           return true;
         }
         return false;
@@ -263,6 +293,7 @@ Result<Trace> FromJsonl(const std::string& text) {
       if (key == "r") { e.rpc = num; return true; }
       if (key == "s") { e.seq = num; return true; }
       if (key == "v") { e.value = num; return true; }
+      if (key == "h") { e.hlc = num; return true; }
       return false;
     });
     if (!st.ok()) {

@@ -27,8 +27,11 @@ namespace sep2p::obs {
 
 // Lossless JSONL: header line
 //   {"sep2p_trace":1,"node_count":N,"max_attempts":M}
-// then one event object per line with short keys (t, k, n, p, sp, pa,
-// r, s, v, d), fields at their default value omitted.
+// (live-cluster shards append "clock":"wall", "process", and
+// "process_count") then one event object per line with short keys
+// (t, k, n, p, sp, pa, r, s, v, h, d), fields at their default value
+// omitted — a sim trace therefore encodes byte-identically to
+// pre-cluster builds.
 std::string ToJsonl(const Trace& trace);
 
 // Strict inverse of ToJsonl. Any deviation — bad syntax, an unknown

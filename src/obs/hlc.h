@@ -1,0 +1,67 @@
+// Hybrid logical clock for cluster-scope trace correlation.
+//
+// Live-cluster shards (net/tcp_transport.h) are recorded on per-process
+// wall clocks that share no ordering guarantee finer than NTP drift, so
+// causally-related events in different shards can carry inverted
+// timestamps. An HLC stamp packs the wall clock and a logical counter
+// into one u64 such that (a) stamps issued by one process strictly
+// increase, and (b) a stamp issued after OBSERVING a remote stamp
+// compares greater than it — so sorting a set of shards by HLC yields
+// an order consistent with the happens-before relation carried by the
+// messages, regardless of wall-clock skew between the processes
+// (Kulkarni et al., "Logical Physical Clocks").
+//
+// Packing: stamp = (wall_ms << kLogicalBits) | logical. 20 logical bits
+// ride under ~44 bits of unix milliseconds, leaving headroom past year
+// 500000; a burst of more than 2^20 events inside one millisecond
+// carries into the wall field, which only strengthens monotonicity.
+//
+// Not thread-safe: like the TraceRecorder it stamps for, an Hlc belongs
+// to one serialization domain (the transport's obs mutex).
+
+#ifndef SEP2P_OBS_HLC_H_
+#define SEP2P_OBS_HLC_H_
+
+#include <cstdint>
+
+namespace sep2p::obs {
+
+class Hlc {
+ public:
+  static constexpr int kLogicalBits = 20;
+
+  static constexpr uint64_t Pack(uint64_t wall_ms, uint64_t logical) {
+    return (wall_ms << kLogicalBits) | (logical & ((1ull << kLogicalBits) - 1));
+  }
+  static constexpr uint64_t WallMs(uint64_t stamp) {
+    return stamp >> kLogicalBits;
+  }
+  static constexpr uint64_t Logical(uint64_t stamp) {
+    return stamp & ((1ull << kLogicalBits) - 1);
+  }
+
+  // Issues the next local stamp: the wall reading when it is ahead of
+  // everything seen so far, otherwise the previous stamp plus one
+  // logical tick. Strictly greater than every stamp issued or observed
+  // before it.
+  uint64_t Tick(uint64_t wall_ms) {
+    const uint64_t candidate = wall_ms << kLogicalBits;
+    last_ = candidate > last_ ? candidate : last_ + 1;
+    return last_;
+  }
+
+  // Merges a remote stamp (a received message's HLC field): future
+  // local stamps will compare greater than it.
+  void Observe(uint64_t stamp) {
+    if (stamp > last_) last_ = stamp;
+  }
+
+  uint64_t last() const { return last_; }
+
+ private:
+  uint64_t last_ = 0;
+};
+
+}  // namespace sep2p::obs
+
+#endif  // SEP2P_OBS_HLC_H_

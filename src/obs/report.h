@@ -36,6 +36,11 @@ struct Report {
   size_t trace_count = 0;
   std::vector<std::string> sources;  // the files, in analysis order
 
+  // Clock domain of the first trace (obs/trace.h); the renderers label
+  // time axes "virtual" or "wall" accordingly instead of conflating the
+  // two (TcpTransport meters wall-clock, SimNetwork virtual time).
+  ClockDomain clock = ClockDomain::kVirtual;
+
   // Merged totals across every trace.
   uint64_t total_events = 0;
   uint64_t sends = 0;
@@ -78,6 +83,13 @@ struct Report {
 // Accumulates one analyzed trace into the report (exposed so harnesses
 // holding in-memory traces can skip the file round-trip).
 void MergeAnalysis(Report& report, const Analysis& analysis);
+
+// Resolves `path` to trace files: a regular file stands alone, a
+// directory yields every `*.jsonl` directly inside it, sorted by name.
+// An empty or unlistable directory is an error. Shared by BuildReport,
+// the cluster merger (obs/cluster.h) and `sep2p_cli check` so all three
+// glob identically.
+Result<std::vector<std::string>> ListTraceFiles(const std::string& path);
 
 // `path`: one .jsonl trace or a directory containing them.
 Result<Report> BuildReport(const std::string& path,

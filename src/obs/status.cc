@@ -1,0 +1,47 @@
+#include "obs/status.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace sep2p::obs {
+
+uint64_t ReadRssBytes() {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long long size_pages = 0;
+  unsigned long long rss_pages = 0;
+  const int got = std::fscanf(f, "%llu %llu", &size_pages, &rss_pages);
+  std::fclose(f);
+  if (got != 2) return 0;
+  const long page = ::sysconf(_SC_PAGESIZE);
+  return rss_pages * static_cast<uint64_t>(page > 0 ? page : 4096);
+}
+
+std::string HealthVerdict(uint64_t rpc_failures, uint64_t reconnects) {
+  return (rpc_failures == 0 && reconnects == 0) ? "ok" : "degraded";
+}
+
+std::string RenderProcessStatus(const ProcessStatus& status) {
+  auto gauge = [](const char* name, uint64_t value) {
+    return std::string(name) + " " + std::to_string(value) + "\n";
+  };
+  std::string out;
+  out += "# SEP2P live process status\n";
+  out += gauge("sep2p_process_index", status.process);
+  out += gauge("sep2p_process_count", status.process_count);
+  out += gauge("sep2p_node_count", status.node_count);
+  out += gauge("sep2p_listen_port", status.listen_port);
+  out += gauge("sep2p_uptime_us", status.uptime_us);
+  out += gauge("sep2p_rss_bytes", status.rss_bytes);
+  out += gauge("sep2p_open_connections", status.open_connections);
+  out += gauge("sep2p_reconnects", status.reconnects);
+  out += gauge("sep2p_rpc_failures", status.rpc_failures);
+  out += gauge("sep2p_messages_sent", status.messages_sent);
+  out += gauge("sep2p_messages_delivered", status.messages_delivered);
+  out += "sep2p_health{verdict=\"" +
+         HealthVerdict(status.rpc_failures, status.reconnects) + "\"} 1\n";
+  return out;
+}
+
+}  // namespace sep2p::obs

@@ -1,0 +1,50 @@
+// Live process-status rendering for the transport control plane.
+//
+// A running `sep2p_cli serve` daemon answers control frames
+// (net/frame.h, type 3) with a Prometheus-text status document: the
+// process gauges rendered here (RSS, uptime, open connections,
+// reconnects, health verdict) followed by the MetricsRegistry
+// exposition. The helpers live in obs/ — not net/ — because net
+// already depends on obs and the renderer needs nothing from the
+// socket layer: the transport fills a ProcessStatus from its own
+// counters and hands it over.
+
+#ifndef SEP2P_OBS_STATUS_H_
+#define SEP2P_OBS_STATUS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sep2p::obs {
+
+// Resident-set size of the calling process in bytes (via
+// /proc/self/statm), or 0 where procfs is unavailable.
+uint64_t ReadRssBytes();
+
+// "ok" while the process has completed every RPC within budget on
+// stable connections; "degraded" once an RPC exhausted its retries or
+// a peer link had to be re-established.
+std::string HealthVerdict(uint64_t rpc_failures, uint64_t reconnects);
+
+struct ProcessStatus {
+  uint32_t process = 0;
+  uint32_t process_count = 1;
+  uint32_t node_count = 0;
+  uint32_t listen_port = 0;
+  uint64_t uptime_us = 0;
+  uint64_t rss_bytes = 0;
+  uint64_t open_connections = 0;
+  uint64_t reconnects = 0;
+  uint64_t rpc_failures = 0;
+  uint64_t messages_sent = 0;
+  uint64_t messages_delivered = 0;
+};
+
+// Prometheus-text gauges over the fields above, ending with
+// sep2p_health{verdict="..."} 1. Scrapers key on the sep2p_health line
+// for the go/no-go signal and treat the rest as plain gauges.
+std::string RenderProcessStatus(const ProcessStatus& status);
+
+}  // namespace sep2p::obs
+
+#endif  // SEP2P_OBS_STATUS_H_

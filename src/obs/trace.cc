@@ -8,6 +8,7 @@ void TraceRecorder::Record(Event e) {
   if (e.kind != EventKind::kSpanBegin && e.kind != EventKind::kSpanEnd) {
     e.span = CurrentSpan();
   }
+  StampHlc(e);
   trace_.events.push_back(std::move(e));
 }
 
@@ -18,8 +19,11 @@ uint64_t TraceRecorder::OpenSpan(uint32_t node, std::string name) {
   e.kind = EventKind::kSpanBegin;
   e.node = node;
   e.span = id;
-  e.parent = CurrentSpan();
+  // A span opened by the driver nests under the driver's own stack, not
+  // the remote context (which only adopts leaf events).
+  e.parent = span_stack_.empty() ? 0 : span_stack_.back();
   e.detail = std::move(name);
+  StampHlc(e);
   trace_.events.push_back(std::move(e));
   span_stack_.push_back(id);
   return id;
@@ -36,6 +40,7 @@ void TraceRecorder::CloseSpan(uint64_t id) {
     e.t_us = now_us();
     e.kind = EventKind::kSpanEnd;
     e.span = top;
+    StampHlc(e);
     trace_.events.push_back(std::move(e));
     if (top == id) break;
   }

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/hlc.h"
 #include "obs/metrics.h"
 
 namespace sep2p::obs {
@@ -56,7 +57,7 @@ enum class EventKind : uint8_t {
 inline constexpr uint32_t kNoNode = 0xffffffffu;
 
 struct Event {
-  uint64_t t_us = 0;        // virtual-clock timestamp
+  uint64_t t_us = 0;        // clock timestamp (see TraceMeta::clock)
   EventKind kind = EventKind::kMark;
   uint32_t node = kNoNode;  // primary node (sender, crashed node, ...)
   uint32_t peer = kNoNode;  // secondary node (receiver, server, ...)
@@ -65,15 +66,30 @@ struct Event {
   uint64_t rpc = 0;         // RPC id (0 = outside any RPC)
   uint64_t seq = 0;         // transmission sequence number
   uint64_t value = 0;       // kind-specific payload
+  uint64_t hlc = 0;         // hybrid-logical-clock stamp (obs/hlc.h);
+                            // 0 on sim traces, nonzero strictly
+                            // increasing on live-cluster shards
   std::string detail;       // span name / mark label / signature role
 
   bool operator==(const Event&) const = default;
+};
+
+// Which clock domain t_us lives in. SimNetwork records virtual
+// microseconds (deterministic, replayable); TcpTransport records
+// wall-clock unix microseconds. Exporters and the analyzer label axes
+// accordingly instead of silently conflating the two.
+enum class ClockDomain : uint8_t {
+  kVirtual = 0,
+  kWall = 1,
 };
 
 struct TraceMeta {
   uint32_t version = 1;
   uint32_t node_count = 0;  // for node-id range checks
   int max_attempts = 0;     // the retry budget the checker enforces
+  ClockDomain clock = ClockDomain::kVirtual;
+  uint32_t process = 0;        // live-cluster shard: recording process
+  uint32_t process_count = 0;  // live-cluster shard: P (0 = sim / single)
 
   bool operator==(const TraceMeta&) const = default;
 };
@@ -107,18 +123,51 @@ class TraceRecorder {
   uint64_t OpenSpan(uint32_t node, std::string name);
   void CloseSpan(uint64_t id);
   uint64_t CurrentSpan() const {
-    return span_stack_.empty() ? 0 : span_stack_.back();
+    return span_stack_.empty() ? remote_span_ : span_stack_.back();
   }
 
   // Convenience emitters, stamped from the bound clock.
   void Mark(uint32_t node, std::string label, uint64_t value = 0);
   void Signature(uint32_t node, std::string role);
 
+  // ---- Live-cluster correlation (TcpTransport::set_trace wires these;
+  // sim recorders never touch them, keeping sim traces byte-identical).
+
+  // Stamps every subsequently recorded event with a strictly-increasing
+  // HLC value derived from its t_us (interpreted as unix microseconds).
+  void EnableHlc() { hlc_enabled_ = true; }
+  // Merges a remote stamp carried by a received frame so local stamps
+  // issued afterwards order after the sender's.
+  void ObserveHlc(uint64_t stamp) { hlc_.Observe(stamp); }
+  // The stamp of the most recently recorded event (what an outgoing
+  // frame should carry).
+  uint64_t last_hlc() const { return hlc_.last(); }
+
+  // Brands span ids with a per-process prefix (ids count up from
+  // base + 1) so shards of one cluster run never collide when merged.
+  void set_span_base(uint64_t base) { next_span_ = base; }
+
+  // Remote span context: while no local span is open, CurrentSpan()
+  // returns `id` instead of 0, so events recorded while serving a
+  // remote RPC attribute to the CALLER's span — the server side of a
+  // cluster run contributes leaves to the driver's span tree without
+  // opening spans of its own (which could interleave illegally across
+  // shards). Pass 0 to clear.
+  void set_remote_span(uint64_t id) { remote_span_ = id; }
+
  private:
+  // Stamps e.hlc (when enabled) right before the event is appended.
+  void StampHlc(Event& e) {
+    if (hlc_enabled_) e.hlc = hlc_.Tick(e.t_us / 1000);
+  }
+
   Trace trace_;
   const uint64_t* clock_ = nullptr;
   std::vector<uint64_t> span_stack_;
   uint64_t next_span_ = 0;
+  uint64_t remote_span_ = 0;
+  bool hlc_enabled_ = false;
+  Hlc hlc_;
 };
 
 // RAII span guard; a null recorder makes every operation a no-op, so

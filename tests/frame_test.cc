@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <string>
 
 namespace sep2p::net {
 namespace {
@@ -141,6 +142,111 @@ TEST(FrameTest, RejectsOversizedDeclaredLengthWithoutAllocating) {
     EXPECT_TRUE(p.Feed(header.data(), header.size(), &frames).ok());
     EXPECT_TRUE(frames.empty());  // waiting for 1 MiB of payload
   }
+}
+
+TEST(FrameTest, UntracedFramesEncodeAsVersion1ByteForByte) {
+  // span == hlc == 0 must produce the EXACT pre-observability wire
+  // bytes: version-negotiation-by-content means an untraced cluster
+  // speaks to older builds unchanged.
+  Frame frame = SampleFrame();
+  ASSERT_EQ(frame.span, 0u);
+  ASSERT_EQ(frame.hlc, 0u);
+  const std::vector<uint8_t> wire = EncodeFrame(frame);
+  const std::vector<uint8_t> expected = {
+      'S', '2', 'P',                                   // magic
+      0x01,                                            // type: request
+      0x00, 0x01,                                      // version 1
+      0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88,  // rpc_id
+      0x00, 0x00, 0x00, 0x07,                          // src
+      0x00, 0x00, 0x00, 0x2a,                          // dst
+      0x00,                                            // status: ok
+      0x00, 0x00, 0x00, 0x04,                          // len
+      0xde, 0xad, 0xbe, 0xef,                          // payload
+  };
+  EXPECT_EQ(wire, expected);
+  EXPECT_EQ(wire.size(), kFrameHeaderLen + frame.payload.size());
+}
+
+TEST(FrameTest, TracedFramesRoundTripSpanAndHlcAsVersion2) {
+  Frame frame = SampleFrame();
+  frame.span = 0x0001000000000007ULL;  // process-branded span id
+  frame.hlc = 0xabcdef0123456789ULL;
+  const std::vector<uint8_t> wire = EncodeFrame(frame);
+  EXPECT_EQ(wire.size(), kFrameHeaderLenV2 + frame.payload.size());
+  EXPECT_EQ(wire[4], 0x00);  // version hi
+  EXPECT_EQ(wire[5], 0x02);  // version lo: 2
+
+  FrameParser parser;
+  std::vector<Frame> out;
+  ASSERT_TRUE(parser.Feed(wire.data(), wire.size(), &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].span, frame.span);
+  EXPECT_EQ(out[0].hlc, frame.hlc);
+  EXPECT_EQ(out[0].rpc_id, frame.rpc_id);
+  EXPECT_EQ(out[0].payload, frame.payload);
+
+  // A span alone (hlc 0) is still correlated traffic: version 2.
+  Frame span_only = SampleFrame();
+  span_only.span = 1;
+  EXPECT_EQ(EncodeFrame(span_only).size(),
+            kFrameHeaderLenV2 + span_only.payload.size());
+}
+
+TEST(FrameTest, MixedVersionsInterleaveOnOneStream) {
+  Frame v1 = SampleFrame();
+  Frame v2 = SampleFrame();
+  v2.rpc_id = 2;
+  v2.span = 5;
+  v2.hlc = 77;
+  std::vector<uint8_t> wire = EncodeFrame(v1);
+  const std::vector<uint8_t> second = EncodeFrame(v2);
+  wire.insert(wire.end(), second.begin(), second.end());
+  FrameParser parser;
+  std::vector<Frame> out;
+  ASSERT_TRUE(parser.Feed(wire.data(), wire.size(), &out).ok());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].span, 0u);
+  EXPECT_EQ(out[1].span, 5u);
+  EXPECT_EQ(out[1].hlc, 77u);
+}
+
+TEST(FrameTest, ControlFramesRoundTripTheStatusPlane) {
+  // Request: empty payload, span/hlc zero — the probe a scraper sends.
+  Frame probe;
+  probe.type = kFrameControl;
+  probe.rpc_id = 1;
+  const std::vector<uint8_t> probe_wire = EncodeFrame(probe);
+  EXPECT_EQ(probe_wire.size(), kFrameHeaderLen);  // v1, no payload
+  FrameParser parser;
+  std::vector<Frame> out;
+  ASSERT_TRUE(parser.Feed(probe_wire.data(), probe_wire.size(), &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].type, kFrameControl);
+  EXPECT_TRUE(out[0].payload.empty());
+
+  // Response: the status text rides as the payload.
+  Frame status = probe;
+  const std::string text = "sep2p_health{verdict=\"ok\"} 1\n";
+  status.payload.assign(text.begin(), text.end());
+  const std::vector<uint8_t> status_wire = EncodeFrame(status);
+  out.clear();
+  FrameParser parser2;
+  ASSERT_TRUE(
+      parser2.Feed(status_wire.data(), status_wire.size(), &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].type, kFrameControl);
+  EXPECT_EQ(std::string(out[0].payload.begin(), out[0].payload.end()), text);
+}
+
+TEST(FrameTest, UnknownVersionLowByteIsRejected) {
+  // Version 3 does not exist; only 1 and 2 parse (the hi-byte case is
+  // covered by RejectsUnknownTypeAndVersion).
+  std::vector<uint8_t> wire = EncodeFrame(SampleFrame());
+  wire[5] = 3;  // version lo byte
+  FrameParser parser;
+  std::vector<Frame> out;
+  EXPECT_FALSE(parser.Feed(wire.data(), wire.size(), &out).ok());
+  EXPECT_TRUE(out.empty());
 }
 
 TEST(FrameTest, GarbageStreamIsRejectedNotCrashed) {

@@ -18,9 +18,11 @@
 //       bias / cost-overhead table from the sweep harness, then one
 //       narrated attacked execution judged by the detection oracle.
 //       --trace writes that execution's trace (Chrome + JSONL).
-//   sep2p_cli check FILE.jsonl
-//       Load a JSONL trace and run the protocol invariant checker;
-//       exits non-zero on a corrupt trace or any violation.
+//   sep2p_cli check PATH
+//       Load a JSONL trace (or every *.jsonl in a directory, e.g. a
+//       sweep's per-trial shards) and run the protocol invariant
+//       checker on each; exits non-zero on a corrupt trace or any
+//       violation.
 //   sep2p_cli report PATH [--out FILE] [--csv FILE] [--folded FILE]
 //                    [--top N]
 //       Analyze one JSONL trace (or every *.jsonl in a directory, e.g. a
@@ -28,6 +30,13 @@
 //       cost attribution, RPC latency percentiles, the critical path,
 //       and the top retry offenders. Prints to stdout unless --out;
 //       --csv writes the phase table, --folded the flamegraph stacks.
+//   sep2p_cli report --cluster DIR [--merged FILE] [--out FILE] ...
+//       Cluster mode: ingest the per-process trace shards of a live
+//       run, merge them into ONE causally-consistent trace (HLC order,
+//       obs/cluster.h), run the invariant checker on the merged whole
+//       (non-zero exit on any violation), then render the same
+//       dashboard with cross-process spans and critical path.
+//       --merged writes the merged JSONL for later `check`/`report`.
 //   sep2p_cli serve --cluster-index I --cluster-size P --port-base B
 //                   [--drive] [--n N] [--seed S] [--ed25519]
 //                   [--metrics FILE] [--trace FILE]
@@ -39,10 +48,22 @@
 //       a distributed query against the cluster and prints CLUSTER OK.
 //       Without it, the process serves until SIGTERM (graceful drain).
 //   sep2p_cli cluster [--nodes P] [--n N] [--seed S] [--ed25519]
-//                     [--port-base B] [--log-dir DIR]
+//                     [--port-base B] [--log-dir DIR] [--no-trace]
 //       Spawns P local serve processes (child 0 drives), waits for the
 //       driver, SIGTERMs the rest, and dumps the driver's log. Per-node
-//       logs land in DIR (default cluster-logs/).
+//       logs land in DIR (default cluster-logs/). Unless --no-trace,
+//       every process records a trace shard DIR/shard-I.trace.jsonl —
+//       merge + audit them with `sep2p_cli report --cluster DIR`.
+//   sep2p_cli scrape (--port P | --port-base B --cluster-size P)
+//                    [--host H] [--out FILE] [--timeout-ms T]
+//       Fetch the live status document (process gauges + Prometheus
+//       metrics) from running serve daemons over their control plane.
+//   sep2p_cli soak [--nodes P] [--seconds D] [--n N] [--seed S]
+//                  [--ed25519] [--port-base B] [--log-dir DIR]
+//       Wall-clock soak harness: runs a traced cluster whose driver
+//       keeps issuing queries for D seconds, scrapes every daemon once
+//       a second while it runs, then merges the shards and audits the
+//       merged trace. Prints SOAK OK when everything held.
 
 #include <fcntl.h>
 #include <sys/stat.h>
@@ -74,6 +95,7 @@
 #include "node/app_runtime.h"
 #include "node/join.h"
 #include "obs/checker.h"
+#include "obs/cluster.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
@@ -382,14 +404,29 @@ int CmdDemo(const Flags& flags) {
   return 0;
 }
 
+// Prints checker findings; returns whether every invariant held.
+bool PrintCheckerReport(const obs::CheckerReport& report) {
+  for (const std::string& violation : report.violations) {
+    std::fprintf(stderr, "VIOLATION: %s\n", violation.c_str());
+  }
+  if (report.suppressed > 0) {
+    std::fprintf(stderr, "(%llu further violations suppressed)\n",
+                 static_cast<unsigned long long>(report.suppressed));
+  }
+  return report.ok();
+}
+
 int CmdReport(int argc, char** argv) {
-  // argv[2] = trace file or directory; then report-specific flags.
-  std::string path = argv[2];
+  std::string path, cluster_dir, merged_path;
   std::string out_path, csv_path, folded_path;
   obs::ReportOptions options;
-  for (int i = 3; i < argc; ++i) {
+  for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg == "--out" && i + 1 < argc) {
+    if (arg == "--cluster" && i + 1 < argc) {
+      cluster_dir = argv[++i];
+    } else if (arg == "--merged" && i + 1 < argc) {
+      merged_path = argv[++i];
+    } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else if (arg == "--csv" && i + 1 < argc) {
       csv_path = argv[++i];
@@ -397,16 +434,67 @@ int CmdReport(int argc, char** argv) {
       folded_path = argv[++i];
     } else if (arg == "--top" && i + 1 < argc) {
       options.top_n = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (arg.rfind("--", 0) != 0 && path.empty()) {
+      path = arg;
     } else {
       std::fprintf(stderr, "report: unknown flag: %s\n", arg.c_str());
       return 2;
     }
   }
-  auto report = obs::BuildReport(path, options);
-  if (!report.ok()) {
-    std::fprintf(stderr, "report: %s\n",
-                 report.status().ToString().c_str());
-    return 1;
+  if (path.empty() == cluster_dir.empty()) {
+    std::fprintf(stderr,
+                 "report: need exactly one of a trace PATH or "
+                 "--cluster DIR\n");
+    return 2;
+  }
+
+  obs::Report merged_report;
+  const obs::Report* report = nullptr;
+  Result<obs::Report> built = obs::Report{};
+  if (!cluster_dir.empty()) {
+    // Cluster mode: merge the per-process shards into one causal trace,
+    // audit it whole, then analyze the merged result.
+    auto merged = obs::LoadClusterTrace(cluster_dir);
+    if (!merged.ok()) {
+      std::fprintf(stderr, "report: %s\n",
+                   merged.status().ToString().c_str());
+      return 1;
+    }
+    const bool invariants_ok = PrintCheckerReport(obs::CheckTrace(*merged));
+    std::printf("cluster: merged %s into %zu events "
+                "(%u processes, digest %016llx), invariants %s\n",
+                cluster_dir.c_str(), merged->events.size(),
+                merged->meta.process_count,
+                static_cast<unsigned long long>(obs::CausalDigest(*merged)),
+                invariants_ok ? "OK" : "VIOLATED");
+    if (!merged_path.empty()) {
+      Status st = obs::WriteFile(merged_path, obs::ToJsonl(*merged));
+      if (!st.ok()) {
+        std::fprintf(stderr, "report: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      std::printf("cluster: merged trace -> %s\n", merged_path.c_str());
+    }
+    if (!invariants_ok) return 1;
+    obs::AnalyzerOptions analyzer_options;
+    analyzer_options.top_n = options.top_n;
+    auto analysis = obs::Analyze(*merged, analyzer_options);
+    if (!analysis.ok()) {
+      std::fprintf(stderr, "report: %s\n",
+                   analysis.status().ToString().c_str());
+      return 1;
+    }
+    obs::MergeAnalysis(merged_report, *analysis);
+    merged_report.sources.push_back(cluster_dir);
+    report = &merged_report;
+  } else {
+    built = obs::BuildReport(path, options);
+    if (!built.ok()) {
+      std::fprintf(stderr, "report: %s\n",
+                   built.status().ToString().c_str());
+      return 1;
+    }
+    report = &built.value();
   }
   std::string markdown = report->ToMarkdown(options);
   if (out_path.empty()) {
@@ -437,7 +525,7 @@ int CmdReport(int argc, char** argv) {
   return 0;
 }
 
-int CmdCheck(const char* path) {
+int CheckOneTrace(const std::string& path) {
   auto text = obs::ReadFile(path);
   if (!text.ok()) {
     std::fprintf(stderr, "check: %s\n", text.status().ToString().c_str());
@@ -470,6 +558,26 @@ int CmdCheck(const char* path) {
   return report.ok() ? 0 : 1;
 }
 
+int CmdCheck(const char* path) {
+  // One file or every *.jsonl in a directory (same globbing as report);
+  // any rejected trace or violated invariant fails the whole run.
+  auto files = obs::ListTraceFiles(path);
+  if (!files.ok()) {
+    std::fprintf(stderr, "check: %s\n", files.status().ToString().c_str());
+    return 1;
+  }
+  int rc = 0;
+  for (const std::string& file : files.value()) {
+    if (files->size() > 1) std::printf("== %s ==\n", file.c_str());
+    if (CheckOneTrace(file) != 0) rc = 1;
+  }
+  if (files->size() > 1) {
+    std::printf("checked %zu traces: %s\n", files->size(),
+                rc == 0 ? "all OK" : "FAILURES");
+  }
+  return rc;
+}
+
 // ---------------------------------------------------------------------
 // Live cluster: `serve` runs one daemon process, `cluster` launches P
 // of them on loopback.
@@ -489,6 +597,9 @@ struct ServeFlags {
   uint32_t cluster_size = 1;
   int port_base = 0;
   bool drive = false;
+  // Soak mode: after the protocol pass, the driver keeps issuing live
+  // queries until this much wall clock elapsed (0 = single pass).
+  double drive_seconds = 0;
   std::string metrics_path;
   std::string trace_path;
 };
@@ -520,6 +631,8 @@ bool ParseServeFlags(int argc, char** argv, int first, ServeFlags* flags) {
       flags->port_base = static_cast<int>(value);
     } else if (arg == "--drive") {
       flags->drive = true;
+    } else if (arg == "--drive-seconds" && next_value(&value)) {
+      flags->drive_seconds = value;
     } else if (arg == "--metrics") {
       if (i + 1 >= argc) return false;
       flags->metrics_path = argv[++i];
@@ -628,6 +741,32 @@ int CmdServe(int argc, char** argv) {
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
     }
     transport.Stop();
+    // Shard outputs are written only AFTER Stop() joined every service
+    // thread — the recorder is single-threaded by contract and the
+    // exporter must not race late dispatches.
+    if (!flags.trace_path.empty()) {
+      transport.FinalizeTrace();
+      Status chrome = obs::WriteFile(flags.trace_path,
+                                     obs::ToChromeTrace(recorder.trace()));
+      Status jsonl = obs::WriteFile(flags.trace_path + ".jsonl",
+                                    obs::ToJsonl(recorder.trace()));
+      if (!chrome.ok() || !jsonl.ok()) {
+        std::fprintf(stderr, "trace write failed\n");
+        return 1;
+      }
+      std::printf("trace: %zu events -> %s (+ .jsonl)\n", recorder.size(),
+                  flags.trace_path.c_str());
+    }
+    if (!flags.metrics_path.empty()) {
+      Status prom =
+          obs::WriteFile(flags.metrics_path, metrics.ToPrometheusText());
+      Status json =
+          obs::WriteFile(flags.metrics_path + ".json", metrics.ToJson());
+      if (!prom.ok() || !json.ok()) {
+        std::fprintf(stderr, "metrics write failed\n");
+        return 1;
+      }
+    }
     const net::Transport::Stats& stats = transport.stats();
     std::printf("serve: drained; %llu delivered, %llu sent\n",
                 static_cast<unsigned long long>(stats.messages_delivered),
@@ -703,6 +842,30 @@ int CmdServe(int argc, char** argv) {
     if (!result->answer_delivered || result->contributors == 0) ++failures;
   }
 
+  if (flags.drive_seconds > 0) {
+    // Soak: keep the cluster under live load for the requested wall
+    // time so periodic scrapes observe a working system, not an idle
+    // one.
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(
+            static_cast<int64_t>(flags.drive_seconds * 1000));
+    uint64_t soak_rounds = 0;
+    uint64_t soak_failures = 0;
+    while (std::chrono::steady_clock::now() < deadline && g_stop == 0) {
+      const uint32_t trigger =
+          static_cast<uint32_t>(3 + soak_rounds % 5) % node_count;
+      auto again = query.Execute(trigger, spec, rng);
+      if (!again.ok() || !again->answer_delivered) ++soak_failures;
+      ++soak_rounds;
+    }
+    std::printf("soak: %llu extra query rounds over %.1fs (%llu failed)\n",
+                static_cast<unsigned long long>(soak_rounds),
+                flags.drive_seconds,
+                static_cast<unsigned long long>(soak_failures));
+    if (soak_rounds == 0 || soak_failures > 0) ++failures;
+  }
+
   const net::Transport::Stats& stats = transport.stats();
   std::printf("\nnetwork totals: %llu messages, %llu delivered, %llu "
               "retries, %llu timeouts, %llu rpc failures\n",
@@ -711,6 +874,10 @@ int CmdServe(int argc, char** argv) {
               static_cast<unsigned long long>(stats.retries),
               static_cast<unsigned long long>(stats.timeouts),
               static_cast<unsigned long long>(stats.rpc_failures));
+
+  // Stop FIRST: exporting the recorder while service threads can still
+  // dispatch would race the single-threaded obs contract.
+  transport.Stop();
 
   if (!flags.metrics_path.empty()) {
     metrics.SetGauge("cluster_nodes", static_cast<double>(node_count));
@@ -744,13 +911,13 @@ int CmdServe(int argc, char** argv) {
 
   if (failures == 0) std::printf("CLUSTER OK\n");
   std::fflush(stdout);
-  transport.Stop();
   return failures == 0 ? 0 : 1;
 }
 
 int CmdCluster(int argc, char** argv) {
   int processes = 5;
   int port_base = 0;
+  bool trace_shards = true;
   std::string log_dir = "cluster-logs";
   std::vector<std::string> passthrough;
   for (int i = 2; i < argc; ++i) {
@@ -761,10 +928,12 @@ int CmdCluster(int argc, char** argv) {
       port_base = std::atoi(argv[++i]);
     } else if (arg == "--log-dir" && i + 1 < argc) {
       log_dir = argv[++i];
+    } else if (arg == "--no-trace") {
+      trace_shards = false;
     } else if (arg == "--ed25519") {
       passthrough.push_back(arg);
     } else if ((arg == "--n" || arg == "--seed" || arg == "--cache" ||
-                arg == "--a") &&
+                arg == "--a" || arg == "--drive-seconds") &&
                i + 1 < argc) {
       passthrough.push_back(arg);
       passthrough.push_back(argv[++i]);
@@ -815,6 +984,12 @@ int CmdCluster(int argc, char** argv) {
           "--cluster-size",  std::to_string(processes),
           "--port-base",     std::to_string(port_base)};
       if (i == 0) args.push_back("--drive");
+      if (trace_shards) {
+        // Each process records its own shard; the .jsonl twin the
+        // exporter writes is what `report --cluster` globs and merges.
+        args.push_back("--trace");
+        args.push_back(log_dir + "/shard-" + std::to_string(i) + ".trace");
+      }
       for (const std::string& extra : passthrough) args.push_back(extra);
       std::vector<char*> argv_exec;
       for (std::string& a : args) argv_exec.push_back(a.data());
@@ -851,7 +1026,211 @@ int CmdCluster(int argc, char** argv) {
       WIFEXITED(driver_status) ? WEXITSTATUS(driver_status) : 1;
   std::printf("cluster: driver exited %d; per-node logs in %s/\n",
               exit_code, log_dir.c_str());
+  if (trace_shards) {
+    std::printf("cluster: trace shards in %s/ — merge + audit with "
+                "`sep2p_cli report --cluster %s`\n",
+                log_dir.c_str(), log_dir.c_str());
+  }
   return exit_code;
+}
+
+int CmdScrape(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  std::string out_path;
+  int port = 0;
+  int port_base = 0;
+  int cluster_size = 0;
+  uint64_t timeout_ms = 3000;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--host" && i + 1 < argc) {
+      host = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else if (arg == "--port-base" && i + 1 < argc) {
+      port_base = std::atoi(argv[++i]);
+    } else if (arg == "--cluster-size" && i + 1 < argc) {
+      cluster_size = std::atoi(argv[++i]);
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--timeout-ms" && i + 1 < argc) {
+      timeout_ms = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else {
+      std::fprintf(stderr, "scrape: unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (port == 0 && (port_base == 0 || cluster_size <= 0)) {
+    std::fprintf(stderr,
+                 "scrape: need --port P or --port-base B --cluster-size P\n");
+    return 2;
+  }
+  std::string all;
+  int failures = 0;
+  auto scrape_one = [&](int p) {
+    auto text = net::ScrapeStatus(host, static_cast<uint16_t>(p), timeout_ms);
+    if (!text.ok()) {
+      std::fprintf(stderr, "scrape: %s:%d: %s\n", host.c_str(), p,
+                   text.status().ToString().c_str());
+      ++failures;
+      return;
+    }
+    all += "# target " + host + ":" + std::to_string(p) + "\n";
+    all += *text;
+    all += "\n";
+  };
+  if (port != 0) {
+    scrape_one(port);
+  } else {
+    for (int p = 0; p < cluster_size; ++p) scrape_one(port_base + p);
+  }
+  if (out_path.empty()) {
+    std::fwrite(all.data(), 1, all.size(), stdout);
+  } else {
+    Status st = obs::WriteFile(out_path, all);
+    if (!st.ok()) {
+      std::fprintf(stderr, "scrape: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("scrape: -> %s\n", out_path.c_str());
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+// Wall-clock soak: a traced cluster under continuous query load, with
+// one status scrape of every daemon per second, closed out by a merged
+// causal audit — the live analogue of the sim sweep's checker gate.
+int CmdSoak(int argc, char** argv) {
+  int processes = 3;
+  double seconds = 5;
+  int port_base = 0;
+  std::string log_dir = "soak-logs";
+  std::vector<std::string> passthrough;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--nodes" && i + 1 < argc) {
+      processes = std::atoi(argv[++i]);
+    } else if (arg == "--seconds" && i + 1 < argc) {
+      seconds = std::atof(argv[++i]);
+    } else if (arg == "--port-base" && i + 1 < argc) {
+      port_base = std::atoi(argv[++i]);
+    } else if (arg == "--log-dir" && i + 1 < argc) {
+      log_dir = argv[++i];
+    } else if (arg == "--ed25519") {
+      passthrough.push_back(arg);
+    } else if ((arg == "--n" || arg == "--seed" || arg == "--cache" ||
+                arg == "--a") &&
+               i + 1 < argc) {
+      passthrough.push_back(arg);
+      passthrough.push_back(argv[++i]);
+    } else {
+      std::fprintf(stderr, "soak: unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (processes < 1 || processes > 64 || seconds <= 0) {
+    std::fprintf(stderr, "soak: --nodes in [1, 64], --seconds > 0\n");
+    return 2;
+  }
+  if (port_base == 0) {
+    port_base = 18000 + static_cast<int>(getpid() % 10000);
+  }
+  if (mkdir(log_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    std::fprintf(stderr, "soak: mkdir %s: %s\n", log_dir.c_str(),
+                 std::strerror(errno));
+    return 1;
+  }
+  std::printf("soak: %d processes on 127.0.0.1:%d.. for %.1fs, logs in "
+              "%s/\n",
+              processes, port_base, seconds, log_dir.c_str());
+  std::fflush(stdout);
+
+  std::vector<pid_t> pids;
+  for (int i = 0; i < processes; ++i) {
+    pid_t pid = fork();
+    if (pid < 0) {
+      std::fprintf(stderr, "soak: fork: %s\n", std::strerror(errno));
+      for (pid_t child : pids) kill(child, SIGKILL);
+      return 1;
+    }
+    if (pid == 0) {
+      std::string log_path = log_dir + "/node-" + std::to_string(i) + ".log";
+      int fd = open(log_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+      if (fd >= 0) {
+        dup2(fd, STDOUT_FILENO);
+        dup2(fd, STDERR_FILENO);
+        close(fd);
+      }
+      std::vector<std::string> args = {
+          "/proc/self/exe",  "serve",
+          "--cluster-index", std::to_string(i),
+          "--cluster-size",  std::to_string(processes),
+          "--port-base",     std::to_string(port_base),
+          "--trace",         log_dir + "/shard-" + std::to_string(i) +
+                                 ".trace"};
+      if (i == 0) {
+        args.push_back("--drive");
+        args.push_back("--drive-seconds");
+        args.push_back(std::to_string(seconds));
+      }
+      for (const std::string& extra : passthrough) args.push_back(extra);
+      std::vector<char*> argv_exec;
+      for (std::string& a : args) argv_exec.push_back(a.data());
+      argv_exec.push_back(nullptr);
+      execv("/proc/self/exe", argv_exec.data());
+      std::fprintf(stderr, "soak: exec: %s\n", std::strerror(errno));
+      _exit(127);
+    }
+    pids.push_back(pid);
+  }
+
+  // Scrape every daemon roughly once a second while the driver runs.
+  uint64_t scrapes_attempted = 0;
+  uint64_t scrapes_ok = 0;
+  int driver_status = 0;
+  for (;;) {
+    const pid_t done = waitpid(pids[0], &driver_status, WNOHANG);
+    if (done == pids[0]) break;
+    std::this_thread::sleep_for(std::chrono::seconds(1));
+    for (int p = 0; p < processes; ++p) {
+      ++scrapes_attempted;
+      auto text = net::ScrapeStatus(
+          "127.0.0.1", static_cast<uint16_t>(port_base + p), 2000);
+      if (text.ok() && text->find("sep2p_health") != std::string::npos) {
+        ++scrapes_ok;
+        // Keep the freshest snapshot per daemon next to its shard (the
+        // CI artifact of what the status plane served while under load).
+        (void)obs::WriteFile(
+            log_dir + "/scrape-" + std::to_string(p) + ".prom", text.value());
+      }
+    }
+  }
+  for (size_t i = 1; i < pids.size(); ++i) kill(pids[i], SIGTERM);
+  for (size_t i = 1; i < pids.size(); ++i) {
+    int status = 0;
+    waitpid(pids[i], &status, 0);
+  }
+  const int driver_rc =
+      WIFEXITED(driver_status) ? WEXITSTATUS(driver_status) : 1;
+  std::printf("soak: driver exited %d; scrapes %llu/%llu ok\n", driver_rc,
+              static_cast<unsigned long long>(scrapes_ok),
+              static_cast<unsigned long long>(scrapes_attempted));
+
+  // Final audit: merge the shards and run the checker on the whole.
+  auto merged = obs::LoadClusterTrace(log_dir);
+  if (!merged.ok()) {
+    std::fprintf(stderr, "soak: merge failed: %s\n",
+                 merged.status().ToString().c_str());
+    return 1;
+  }
+  const bool invariants_ok = PrintCheckerReport(obs::CheckTrace(*merged));
+  std::printf("soak: merged %zu events, digest %016llx, invariants %s\n",
+              merged->events.size(),
+              static_cast<unsigned long long>(obs::CausalDigest(*merged)),
+              invariants_ok ? "OK" : "VIOLATED");
+  const bool ok = driver_rc == 0 && invariants_ok && scrapes_ok > 0;
+  if (ok) std::printf("SOAK OK\n");
+  return ok ? 0 : 1;
 }
 
 // Live adversary suite (ROADMAP item 4): runs the attack scenarios of
@@ -966,7 +1345,7 @@ void Usage() {
   std::fprintf(stderr,
                "usage: sep2p_cli "
                "<select|ktable|probe|demo|attack|check|report|serve|"
-               "cluster> [flags]\n"
+               "cluster|scrape|soak> [flags]\n"
                "flags: --n N --c FRAC --a A --seed S --cache SIZE\n"
                "       --alpha A --rounds R --overlay chord|can --ed25519\n"
                "       --threads T (0 = one per hardware thread)\n"
@@ -979,16 +1358,30 @@ void Usage() {
                "attack: sep2p_cli attack [--scenario NAME] [--rounds R]\n"
                "        [--trace FILE]  (live adversary suite + detection "
                "oracle;\n        omit --scenario for the full table)\n"
-               "check: sep2p_cli check FILE.jsonl (run the invariant "
-               "checker)\n"
+               "check: sep2p_cli check PATH (run the invariant checker "
+               "on one\n"
+               "       trace.jsonl or every *.jsonl in a directory)\n"
                "report: sep2p_cli report PATH [--out FILE] [--csv FILE]\n"
                "        [--folded FILE] [--top N]  (PATH = trace.jsonl or "
                "a directory of them)\n"
+               "        sep2p_cli report --cluster DIR [--merged FILE] "
+               "merges the\n"
+               "        per-process shards of a live run, audits the "
+               "merged trace,\n        and reports on the whole cluster\n"
                "serve: sep2p_cli serve --cluster-index I --cluster-size P\n"
-               "       --port-base B [--drive] [--n N] [--seed S] "
-               "[--ed25519]\n"
+               "       --port-base B [--drive] [--drive-seconds D] "
+               "[--n N]\n"
+               "       [--seed S] [--ed25519] [--trace FILE] "
+               "[--metrics FILE]\n"
                "cluster: sep2p_cli cluster [--nodes P] [--n N] [--seed S]\n"
-               "         [--ed25519] [--port-base B] [--log-dir DIR]\n");
+               "         [--ed25519] [--port-base B] [--log-dir DIR] "
+               "[--no-trace]\n"
+               "scrape: sep2p_cli scrape (--port P | --port-base B "
+               "--cluster-size P)\n"
+               "        [--host H] [--out FILE] [--timeout-ms T]\n"
+               "soak: sep2p_cli soak [--nodes P] [--seconds D] [--n N]\n"
+               "      [--seed S] [--ed25519] [--port-base B] "
+               "[--log-dir DIR]\n");
 }
 
 }  // namespace
@@ -1016,6 +1409,8 @@ int main(int argc, char** argv) {
   }
   if (command == "serve") return CmdServe(argc, argv);
   if (command == "cluster") return CmdCluster(argc, argv);
+  if (command == "scrape") return CmdScrape(argc, argv);
+  if (command == "soak") return CmdSoak(argc, argv);
 
   Flags flags;
   flags.params.n = 2000;
